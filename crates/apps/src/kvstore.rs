@@ -1,0 +1,216 @@
+//! A rollback-protected sealed key-value store enclave.
+//!
+//! The canonical persistent-state discipline from the paper's §II-A4/§I:
+//! on every update the enclave increments a monotonic counter and seals
+//! the new counter value together with the store; on load it accepts the
+//! blob only if the embedded version matches the counter. Built on the
+//! *migratable* primitives, the whole store survives machine migration —
+//! and the attack test-suite uses it as the victim workload for the §III
+//! fork and roll-back attacks.
+
+use mig_core::harness::{AppCtx, AppLogic};
+use sgx_sim::wire::{WireReader, WireWriter};
+use sgx_sim::SgxError;
+use std::collections::BTreeMap;
+
+/// ECALL opcodes of the KV store enclave.
+pub mod ops {
+    /// Create the version counter (once per enclave lifetime).
+    pub const INIT: u32 = 1;
+    /// Put a key/value pair; returns the new sealed snapshot.
+    pub const PUT: u32 = 2;
+    /// Get a value by key.
+    pub const GET: u32 = 3;
+    /// Load a sealed snapshot (rollback-checked).
+    pub const LOAD: u32 = 4;
+    /// Read the current version (effective counter value).
+    pub const VERSION: u32 = 5;
+    /// Number of entries.
+    pub const LEN: u32 = 6;
+}
+
+/// AAD tag for KV snapshots.
+const SNAPSHOT_AAD: &[u8] = b"mig-apps.kvstore.snapshot.v1";
+
+/// A parsed snapshot: version-counter id, version, entries.
+type Snapshot = (u8, u32, BTreeMap<Vec<u8>, Vec<u8>>);
+
+/// The in-enclave state of the KV store.
+#[derive(Default)]
+pub struct KvStore {
+    entries: BTreeMap<Vec<u8>, Vec<u8>>,
+    version_counter: Option<u8>,
+}
+
+impl KvStore {
+    /// Creates an empty store (version counter created by [`ops::INIT`]).
+    #[must_use]
+    pub fn new() -> Self {
+        KvStore::default()
+    }
+
+    fn counter(&self) -> Result<u8, SgxError> {
+        self.version_counter
+            .ok_or_else(|| SgxError::Enclave("kv store not initialized".into()))
+    }
+
+    fn snapshot_bytes(&self, version: u32) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u8(self.version_counter.unwrap_or(0));
+        w.u32(version);
+        w.u32(self.entries.len() as u32);
+        for (key, value) in &self.entries {
+            w.bytes(key);
+            w.bytes(value);
+        }
+        w.finish()
+    }
+
+    fn parse_snapshot(
+        bytes: &[u8],
+    ) -> Result<Snapshot, SgxError> {
+        let mut r = WireReader::new(bytes);
+        let counter_id = r.u8()?;
+        let version = r.u32()?;
+        let n = r.u32()? as usize;
+        let mut entries = BTreeMap::new();
+        for _ in 0..n {
+            let key = r.bytes_vec()?;
+            let value = r.bytes_vec()?;
+            entries.insert(key, value);
+        }
+        r.finish()?;
+        Ok((counter_id, version, entries))
+    }
+}
+
+impl AppLogic for KvStore {
+    fn handle(
+        &mut self,
+        ctx: &mut AppCtx<'_, '_>,
+        opcode: u32,
+        input: &[u8],
+    ) -> Result<Vec<u8>, SgxError> {
+        match opcode {
+            ops::INIT => {
+                let (id, value) = ctx.lib.create_migratable_counter(ctx.env)?;
+                self.version_counter = Some(id);
+                let mut w = WireWriter::new();
+                w.u8(id).u32(value);
+                Ok(w.finish())
+            }
+            ops::PUT => {
+                let counter = self.counter()?;
+                let mut r = WireReader::new(input);
+                let key = r.bytes_vec()?;
+                let value = r.bytes_vec()?;
+                r.finish()?;
+                self.entries.insert(key, value);
+                // Version discipline: bump the counter, seal the new
+                // version into the snapshot (paper §II-A4).
+                let version = ctx.lib.increment_migratable_counter(ctx.env, counter)?;
+                let blob = ctx.lib.seal_migratable_data(
+                    ctx.env,
+                    SNAPSHOT_AAD,
+                    &self.snapshot_bytes(version),
+                )?;
+                let mut w = WireWriter::new();
+                w.u32(version).bytes(&blob);
+                Ok(w.finish())
+            }
+            ops::GET => self
+                .entries
+                .get(input)
+                .cloned()
+                .ok_or_else(|| SgxError::Enclave("key not found".into())),
+            ops::LOAD => {
+                let (plaintext, aad) = ctx.lib.unseal_migratable_data(ctx.env, input)?;
+                if aad != SNAPSHOT_AAD {
+                    return Err(SgxError::Decode);
+                }
+                let (counter_id, version, entries) = Self::parse_snapshot(&plaintext)?;
+                let current = ctx.lib.read_migratable_counter(ctx.env, counter_id)?;
+                if version != current {
+                    return Err(SgxError::Enclave(format!(
+                        "rollback detected: snapshot version {version} != counter {current}"
+                    )));
+                }
+                self.version_counter = Some(counter_id);
+                self.entries = entries;
+                Ok(vec![])
+            }
+            ops::VERSION => {
+                let counter = self.counter()?;
+                let value = ctx.lib.read_migratable_counter(ctx.env, counter)?;
+                Ok(value.to_le_bytes().to_vec())
+            }
+            ops::LEN => Ok((self.entries.len() as u32).to_le_bytes().to_vec()),
+            _ => Err(SgxError::InvalidParameter("opcode")),
+        }
+    }
+
+    fn export_state(&self) -> Vec<u8> {
+        self.snapshot_bytes(0)
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), SgxError> {
+        let (counter_id, _version, entries) = Self::parse_snapshot(bytes)?;
+        self.version_counter = Some(counter_id);
+        self.entries = entries;
+        Ok(())
+    }
+}
+
+/// Encodes a PUT request.
+#[must_use]
+pub fn encode_put(key: &[u8], value: &[u8]) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.bytes(key).bytes(value);
+    w.finish()
+}
+
+/// Decodes a PUT response into `(version, sealed snapshot)`.
+///
+/// # Errors
+///
+/// [`SgxError::Decode`] on malformed input.
+pub fn decode_put_response(bytes: &[u8]) -> Result<(u32, Vec<u8>), SgxError> {
+    let mut r = WireReader::new(bytes);
+    let version = r.u32()?;
+    let blob = r.bytes_vec()?;
+    r.finish()?;
+    Ok((version, blob))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_round_trip() {
+        let mut store = KvStore::new();
+        store.version_counter = Some(3);
+        store.entries.insert(b"a".to_vec(), b"1".to_vec());
+        store.entries.insert(b"b".to_vec(), b"2".to_vec());
+        let bytes = store.snapshot_bytes(9);
+        let (id, version, entries) = KvStore::parse_snapshot(&bytes).unwrap();
+        assert_eq!(id, 3);
+        assert_eq!(version, 9);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[b"a".as_slice()], b"1");
+    }
+
+    #[test]
+    fn put_request_encoding() {
+        let req = encode_put(b"key", b"value");
+        let mut r = WireReader::new(&req);
+        assert_eq!(r.bytes().unwrap(), b"key");
+        assert_eq!(r.bytes().unwrap(), b"value");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn malformed_snapshot_rejected() {
+        assert!(KvStore::parse_snapshot(&[1, 2, 3]).is_err());
+    }
+}

@@ -1,0 +1,76 @@
+//! **mig-apps** — enclave workloads over the migration framework.
+//!
+//! The paper motivates persistent-state migration with two published
+//! SGX systems (§III-B): Teechan payment channels \[3\] and the
+//! Hybster/TrInX trusted counter service \[4\]. This crate implements both
+//! disciplines, plus a plain sealed key-value store, as [`AppLogic`]
+//! implementations over the public `mig-core` API:
+//!
+//! * [`kvstore`] — versioned sealed storage (the basic §II-A4 pattern);
+//! * [`teechan`] — duplex payment channels with single-message payments;
+//! * [`trinx`] — certified monotonic counters with equivocation
+//!   detection.
+//!
+//! All three persist their state via *migratable* sealing with a
+//! *migratable* monotonic counter version, so they survive machine
+//! migration; all three are also the victims of the attack test-suite
+//! when run over the naive (persistent-state-less) migration baseline.
+//!
+//! [`AppLogic`]: mig_core::harness::AppLogic
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kvstore;
+pub mod rote;
+pub mod teechan;
+pub mod trinx;
+
+use sgx_sim::measurement::{EnclaveImage, EnclaveSigner};
+
+/// Builds the canonical enclave image for the KV store app.
+#[must_use]
+pub fn kvstore_image() -> EnclaveImage {
+    EnclaveImage::build(
+        "mig-apps.kvstore",
+        1,
+        b"sealed kv store enclave v1",
+        &EnclaveSigner::from_seed(*b"mig-apps reference signer seed!!"),
+    )
+}
+
+/// Builds the canonical enclave image for the Teechan endpoint.
+#[must_use]
+pub fn teechan_image() -> EnclaveImage {
+    EnclaveImage::build(
+        "mig-apps.teechan",
+        1,
+        b"teechan payment channel enclave v1",
+        &EnclaveSigner::from_seed(*b"mig-apps reference signer seed!!"),
+    )
+}
+
+/// Builds the canonical enclave image for the TrInX service.
+#[must_use]
+pub fn trinx_image() -> EnclaveImage {
+    EnclaveImage::build(
+        "mig-apps.trinx",
+        1,
+        b"trinx trusted counter enclave v1",
+        &EnclaveSigner::from_seed(*b"mig-apps reference signer seed!!"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn images_are_distinct_and_stable() {
+        assert_eq!(kvstore_image().mr_enclave(), kvstore_image().mr_enclave());
+        assert_ne!(kvstore_image().mr_enclave(), teechan_image().mr_enclave());
+        assert_ne!(teechan_image().mr_enclave(), trinx_image().mr_enclave());
+        // Same signer across the suite.
+        assert_eq!(kvstore_image().mr_signer(), trinx_image().mr_signer());
+    }
+}

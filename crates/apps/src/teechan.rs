@@ -1,0 +1,437 @@
+//! A Teechan-style duplex payment channel enclave (paper §III-B, \[3\]).
+//!
+//! Two enclaves hold mirrored channel state (balances + sequence
+//! numbers) and exchange *single-message* payments authenticated under a
+//! channel key. Following the Teechan design quoted in the paper, each
+//! enclave "persists its state to secondary storage, encrypted under a
+//! key and stored with a non-replayable version number from the hardware
+//! monotonic counter" — implemented here with the migratable primitives,
+//! so a channel endpoint can migrate between machines.
+//!
+//! The §III-B fork attack against this workload — running two copies of
+//! one endpoint with inconsistent state to double-spend — is reproduced
+//! in the attack test-suite.
+
+use mig_core::harness::{AppCtx, AppLogic};
+use mig_crypto::hmac::HmacSha256;
+use sgx_sim::wire::{WireReader, WireWriter};
+use sgx_sim::SgxError;
+
+/// ECALL opcodes of the payment-channel enclave.
+pub mod ops {
+    /// Open the channel: role, channel id, channel key, deposits.
+    pub const SETUP: u32 = 1;
+    /// Make a payment; returns the payment message for the peer.
+    pub const PAY: u32 = 2;
+    /// Receive a payment message from the peer.
+    pub const RECEIVE: u32 = 3;
+    /// Persist channel state; returns `(version, sealed blob)`.
+    pub const PERSIST: u32 = 4;
+    /// Restore channel state from a sealed blob (rollback-checked).
+    pub const RESTORE: u32 = 5;
+    /// Read `(my_balance, peer_balance)`.
+    pub const BALANCES: u32 = 6;
+    /// Produce a settlement message (final authenticated balances).
+    pub const SETTLE: u32 = 7;
+}
+
+const SNAPSHOT_AAD: &[u8] = b"mig-apps.teechan.state.v1";
+const PAYMENT_CONTEXT: &[u8] = b"mig-apps.teechan.payment.v1";
+const SETTLEMENT_CONTEXT: &[u8] = b"mig-apps.teechan.settlement.v1";
+
+/// Channel state held inside the enclave.
+struct ChannelState {
+    role: u8, // 0 or 1; MACs bind the sender role
+    channel_id: [u8; 16],
+    key: [u8; 16],
+    my_balance: u64,
+    peer_balance: u64,
+    next_seq: u64,
+    last_received_seq: u64,
+}
+
+/// A Teechan-style payment-channel endpoint.
+#[derive(Default)]
+pub struct TeechanNode {
+    channel: Option<ChannelState>,
+    version_counter: Option<u8>,
+}
+
+impl TeechanNode {
+    /// Creates an endpoint with no open channel.
+    #[must_use]
+    pub fn new() -> Self {
+        TeechanNode::default()
+    }
+
+    fn channel(&self) -> Result<&ChannelState, SgxError> {
+        self.channel
+            .as_ref()
+            .ok_or_else(|| SgxError::Enclave("channel not open".into()))
+    }
+
+    fn channel_mut(&mut self) -> Result<&mut ChannelState, SgxError> {
+        self.channel
+            .as_mut()
+            .ok_or_else(|| SgxError::Enclave("channel not open".into()))
+    }
+
+    fn state_bytes(&self, version: u32) -> Result<Vec<u8>, SgxError> {
+        let ch = self.channel()?;
+        let mut w = WireWriter::new();
+        w.u8(self.version_counter.unwrap_or(0));
+        w.u32(version);
+        w.u8(ch.role);
+        w.array(&ch.channel_id);
+        w.array(&ch.key);
+        w.u64(ch.my_balance);
+        w.u64(ch.peer_balance);
+        w.u64(ch.next_seq);
+        w.u64(ch.last_received_seq);
+        Ok(w.finish())
+    }
+}
+
+/// A single-message payment (paper: "they can exchange funds in either
+/// direction with a single message").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Payment {
+    /// Channel this payment belongs to.
+    pub channel_id: [u8; 16],
+    /// Sender's role bit (prevents reflection).
+    pub sender_role: u8,
+    /// Sender-side sequence number (strictly increasing).
+    pub seq: u64,
+    /// Sender's balance after the payment.
+    pub sender_balance: u64,
+    /// Receiver's balance after the payment.
+    pub receiver_balance: u64,
+    /// MAC under the channel key.
+    pub mac: [u8; 32],
+}
+
+impl Payment {
+    fn mac_input(
+        channel_id: &[u8; 16],
+        sender_role: u8,
+        seq: u64,
+        sender_balance: u64,
+        receiver_balance: u64,
+    ) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.bytes(PAYMENT_CONTEXT);
+        w.array(channel_id);
+        w.u8(sender_role);
+        w.u64(seq);
+        w.u64(sender_balance);
+        w.u64(receiver_balance);
+        w.finish()
+    }
+
+    /// Serializes the payment.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.array(&self.channel_id);
+        w.u8(self.sender_role);
+        w.u64(self.seq);
+        w.u64(self.sender_balance);
+        w.u64(self.receiver_balance);
+        w.array(&self.mac);
+        w.finish()
+    }
+
+    /// Parses a payment.
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::Decode`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SgxError> {
+        let mut r = WireReader::new(bytes);
+        let payment = Payment {
+            channel_id: r.array()?,
+            sender_role: r.u8()?,
+            seq: r.u64()?,
+            sender_balance: r.u64()?,
+            receiver_balance: r.u64()?,
+            mac: r.array()?,
+        };
+        r.finish()?;
+        Ok(payment)
+    }
+}
+
+impl AppLogic for TeechanNode {
+    fn handle(
+        &mut self,
+        ctx: &mut AppCtx<'_, '_>,
+        opcode: u32,
+        input: &[u8],
+    ) -> Result<Vec<u8>, SgxError> {
+        match opcode {
+            ops::SETUP => {
+                let mut r = WireReader::new(input);
+                let role = r.u8()?;
+                let channel_id: [u8; 16] = r.array()?;
+                let key: [u8; 16] = r.array()?;
+                let my_balance = r.u64()?;
+                let peer_balance = r.u64()?;
+                r.finish()?;
+                if role > 1 {
+                    return Err(SgxError::InvalidParameter("role"));
+                }
+                let (counter_id, _) = ctx.lib.create_migratable_counter(ctx.env)?;
+                self.version_counter = Some(counter_id);
+                self.channel = Some(ChannelState {
+                    role,
+                    channel_id,
+                    key,
+                    my_balance,
+                    peer_balance,
+                    next_seq: 1,
+                    last_received_seq: 0,
+                });
+                Ok(vec![])
+            }
+            ops::PAY => {
+                let mut r = WireReader::new(input);
+                let amount = r.u64()?;
+                r.finish()?;
+                let ch = self.channel_mut()?;
+                if amount > ch.my_balance {
+                    return Err(SgxError::Enclave("insufficient channel balance".into()));
+                }
+                ch.my_balance -= amount;
+                ch.peer_balance += amount;
+                let seq = ch.next_seq;
+                ch.next_seq += 1;
+                let mac = HmacSha256::mac(
+                    &ch.key,
+                    &Payment::mac_input(&ch.channel_id, ch.role, seq, ch.my_balance, ch.peer_balance),
+                );
+                let payment = Payment {
+                    channel_id: ch.channel_id,
+                    sender_role: ch.role,
+                    seq,
+                    sender_balance: ch.my_balance,
+                    receiver_balance: ch.peer_balance,
+                    mac,
+                };
+                Ok(payment.to_bytes())
+            }
+            ops::RECEIVE => {
+                let payment = Payment::from_bytes(input)?;
+                let ch = self.channel_mut()?;
+                if payment.channel_id != ch.channel_id {
+                    return Err(SgxError::Enclave("wrong channel".into()));
+                }
+                if payment.sender_role == ch.role {
+                    return Err(SgxError::Enclave("reflected payment".into()));
+                }
+                if payment.seq <= ch.last_received_seq {
+                    return Err(SgxError::Enclave("stale payment sequence".into()));
+                }
+                let expected = HmacSha256::mac(
+                    &ch.key,
+                    &Payment::mac_input(
+                        &payment.channel_id,
+                        payment.sender_role,
+                        payment.seq,
+                        payment.sender_balance,
+                        payment.receiver_balance,
+                    ),
+                );
+                if !mig_crypto::ct::ct_eq(&expected, &payment.mac) {
+                    return Err(SgxError::MacMismatch);
+                }
+                ch.my_balance = payment.receiver_balance;
+                ch.peer_balance = payment.sender_balance;
+                ch.last_received_seq = payment.seq;
+                Ok(vec![])
+            }
+            ops::PERSIST => {
+                let counter = self
+                    .version_counter
+                    .ok_or_else(|| SgxError::Enclave("channel not open".into()))?;
+                let version = ctx.lib.increment_migratable_counter(ctx.env, counter)?;
+                let state = self.state_bytes(version)?;
+                let blob = ctx.lib.seal_migratable_data(ctx.env, SNAPSHOT_AAD, &state)?;
+                let mut w = WireWriter::new();
+                w.u32(version).bytes(&blob);
+                Ok(w.finish())
+            }
+            ops::RESTORE => {
+                let (plaintext, aad) = ctx.lib.unseal_migratable_data(ctx.env, input)?;
+                if aad != SNAPSHOT_AAD {
+                    return Err(SgxError::Decode);
+                }
+                let mut r = WireReader::new(&plaintext);
+                let counter_id = r.u8()?;
+                let version = r.u32()?;
+                let role = r.u8()?;
+                let channel_id: [u8; 16] = r.array()?;
+                let key: [u8; 16] = r.array()?;
+                let my_balance = r.u64()?;
+                let peer_balance = r.u64()?;
+                let next_seq = r.u64()?;
+                let last_received_seq = r.u64()?;
+                r.finish()?;
+
+                // Roll-back protection: the version must match the counter.
+                let current = ctx.lib.read_migratable_counter(ctx.env, counter_id)?;
+                if version != current {
+                    return Err(SgxError::Enclave(format!(
+                        "rollback detected: state version {version} != counter {current}"
+                    )));
+                }
+                self.version_counter = Some(counter_id);
+                self.channel = Some(ChannelState {
+                    role,
+                    channel_id,
+                    key,
+                    my_balance,
+                    peer_balance,
+                    next_seq,
+                    last_received_seq,
+                });
+                Ok(vec![])
+            }
+            ops::BALANCES => {
+                let ch = self.channel()?;
+                let mut w = WireWriter::new();
+                w.u64(ch.my_balance).u64(ch.peer_balance);
+                Ok(w.finish())
+            }
+            ops::SETTLE => {
+                let ch = self.channel()?;
+                let mut w = WireWriter::new();
+                w.bytes(SETTLEMENT_CONTEXT);
+                w.array(&ch.channel_id);
+                w.u8(ch.role);
+                w.u64(ch.my_balance);
+                w.u64(ch.peer_balance);
+                let body = w.finish();
+                let mac = HmacSha256::mac(&ch.key, &body);
+                let mut out = WireWriter::new();
+                out.bytes(&body).array(&mac);
+                Ok(out.finish())
+            }
+            _ => Err(SgxError::InvalidParameter("opcode")),
+        }
+    }
+
+    fn export_state(&self) -> Vec<u8> {
+        self.state_bytes(0).unwrap_or_default()
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), SgxError> {
+        let mut r = WireReader::new(bytes);
+        let counter_id = r.u8()?;
+        let _version = r.u32()?;
+        let role = r.u8()?;
+        let channel_id: [u8; 16] = r.array()?;
+        let key: [u8; 16] = r.array()?;
+        let my_balance = r.u64()?;
+        let peer_balance = r.u64()?;
+        let next_seq = r.u64()?;
+        let last_received_seq = r.u64()?;
+        r.finish()?;
+        self.version_counter = Some(counter_id);
+        self.channel = Some(ChannelState {
+            role,
+            channel_id,
+            key,
+            my_balance,
+            peer_balance,
+            next_seq,
+            last_received_seq,
+        });
+        Ok(())
+    }
+}
+
+/// Encodes a SETUP request.
+#[must_use]
+pub fn encode_setup(
+    role: u8,
+    channel_id: &[u8; 16],
+    key: &[u8; 16],
+    my_balance: u64,
+    peer_balance: u64,
+) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.u8(role)
+        .array(channel_id)
+        .array(key)
+        .u64(my_balance)
+        .u64(peer_balance);
+    w.finish()
+}
+
+/// Decodes a BALANCES response into `(my_balance, peer_balance)`.
+///
+/// # Errors
+///
+/// [`SgxError::Decode`] on malformed input.
+pub fn decode_balances(bytes: &[u8]) -> Result<(u64, u64), SgxError> {
+    let mut r = WireReader::new(bytes);
+    let mine = r.u64()?;
+    let peer = r.u64()?;
+    r.finish()?;
+    Ok((mine, peer))
+}
+
+/// Decodes a PERSIST response into `(version, sealed blob)`.
+///
+/// # Errors
+///
+/// [`SgxError::Decode`] on malformed input.
+pub fn decode_persist_response(bytes: &[u8]) -> Result<(u32, Vec<u8>), SgxError> {
+    let mut r = WireReader::new(bytes);
+    let version = r.u32()?;
+    let blob = r.bytes_vec()?;
+    r.finish()?;
+    Ok((version, blob))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payment_bytes_round_trip() {
+        let payment = Payment {
+            channel_id: [1; 16],
+            sender_role: 1,
+            seq: 42,
+            sender_balance: 900,
+            receiver_balance: 1100,
+            mac: [7; 32],
+        };
+        let parsed = Payment::from_bytes(&payment.to_bytes()).unwrap();
+        assert_eq!(parsed, payment);
+        assert!(Payment::from_bytes(&payment.to_bytes()[..10]).is_err());
+    }
+
+    #[test]
+    fn setup_encoding_shape() {
+        let req = encode_setup(0, &[2; 16], &[3; 16], 1000, 500);
+        let mut r = WireReader::new(&req);
+        assert_eq!(r.u8().unwrap(), 0);
+        assert_eq!(r.array::<16>().unwrap(), [2; 16]);
+        assert_eq!(r.array::<16>().unwrap(), [3; 16]);
+        assert_eq!(r.u64().unwrap(), 1000);
+        assert_eq!(r.u64().unwrap(), 500);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn mac_input_binds_all_fields() {
+        let base = Payment::mac_input(&[1; 16], 0, 1, 10, 20);
+        assert_ne!(base, Payment::mac_input(&[2; 16], 0, 1, 10, 20));
+        assert_ne!(base, Payment::mac_input(&[1; 16], 1, 1, 10, 20));
+        assert_ne!(base, Payment::mac_input(&[1; 16], 0, 2, 10, 20));
+        assert_ne!(base, Payment::mac_input(&[1; 16], 0, 1, 11, 20));
+        assert_ne!(base, Payment::mac_input(&[1; 16], 0, 1, 10, 21));
+    }
+}

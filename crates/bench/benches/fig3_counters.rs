@@ -1,0 +1,51 @@
+//! Criterion bench regenerating Figure 3: counter operations, migration
+//! library vs native baseline, over the scaled Intel-ME latency model.
+//!
+//! ```sh
+//! cargo bench -p mig-bench --bench fig3_counters
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mig_bench::{ops, BenchSetup};
+use mig_core::baseline::native::ops as native_ops;
+use std::time::Duration;
+
+fn bench_counters(c: &mut Criterion) {
+    let setup = BenchSetup::new(true);
+    let (mig_id, base_idx) = setup.create_counters();
+
+    let mut group = c.benchmark_group("fig3_counters");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(2));
+
+    group.bench_function("baseline/increase", |b| {
+        b.iter(|| setup.call_baseline(native_ops::COUNTER_INCREMENT, &[base_idx]))
+    });
+    group.bench_function("migratable/increase", |b| {
+        b.iter(|| setup.call_migratable(ops::COUNTER_INCREMENT, &[mig_id]))
+    });
+    group.bench_function("baseline/read", |b| {
+        b.iter(|| setup.call_baseline(native_ops::COUNTER_READ, &[base_idx]))
+    });
+    group.bench_function("migratable/read", |b| {
+        b.iter(|| setup.call_migratable(ops::COUNTER_READ, &[mig_id]))
+    });
+    group.bench_function("baseline/create+destroy", |b| {
+        b.iter(|| {
+            let idx = setup.call_baseline(native_ops::COUNTER_CREATE, &[])[0];
+            setup.call_baseline(native_ops::COUNTER_DESTROY, &[idx]);
+        })
+    });
+    group.bench_function("migratable/create+destroy", |b| {
+        b.iter(|| {
+            let id = setup.call_migratable(ops::COUNTER_CREATE, &[])[0];
+            setup.call_migratable(ops::COUNTER_DESTROY, &[id]);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_counters);
+criterion_main!(benches);

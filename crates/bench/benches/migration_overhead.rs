@@ -1,0 +1,55 @@
+//! Criterion bench for the end-to-end migration overhead (§VII-B, E3):
+//! the host compute cost of one full enclave migration — local
+//! attestation, remote attestation with operator auth, transfer, DONE —
+//! in a fresh two-machine datacenter per iteration.
+//!
+//! ```sh
+//! cargo bench -p mig-bench --bench migration_overhead
+//! ```
+//!
+//! The *simulated* end-to-end latency (with network/IAS/firmware time)
+//! is reported by `cargo run -p mig-bench --bin figures -- e3`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mig_bench::{bench_image, migration_fixture, BenchApp};
+use mig_core::datacenter::Datacenter;
+use mig_core::library::InitRequest;
+use std::time::Duration;
+
+/// Builds a datacenter with source and destination deployed, ready for
+/// the `migrate_app` call to be measured.
+fn prepared_datacenter(seed: u64) -> Datacenter {
+    let (mut dc, m1, m2) = migration_fixture(seed);
+    dc.deploy_app("src", m1, &bench_image(), BenchApp, InitRequest::New)
+        .expect("deploy src");
+    let id = dc.call_app("src", mig_bench::ops::COUNTER_CREATE, &[]).expect("create")[0];
+    dc.call_app("src", mig_bench::ops::COUNTER_INCREMENT, &[id])
+        .expect("inc");
+    dc.deploy_app("dst", m2, &bench_image(), BenchApp, InitRequest::Migrate)
+        .expect("deploy dst");
+    dc
+}
+
+fn bench_migration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("migration_overhead");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5));
+
+    let mut seed = 0u64;
+    group.bench_function("full_migration/host_compute", |b| {
+        b.iter_batched(
+            || {
+                seed += 1;
+                prepared_datacenter(seed)
+            },
+            |mut dc| dc.migrate_app("src", "dst").expect("migrate"),
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_migration);
+criterion_main!(benches);

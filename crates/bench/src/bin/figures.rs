@@ -1,0 +1,260 @@
+//! Regenerates the paper's evaluation figures with its exact methodology:
+//! per-ECALL wall-clock timing, 1000 repetitions, means with 99 %
+//! confidence intervals, one-tailed Welch t-tests.
+//!
+//! ```sh
+//! cargo run -p mig-bench --release --bin figures            # all figures
+//! cargo run -p mig-bench --release --bin figures -- fig3    # one figure
+//! FIG_ITERS=200 cargo run -p mig-bench --release --bin figures
+//! ```
+//!
+//! Paper reference points (DSN'18 §VII-B): counter-increment overhead
+//! 12.3 % (p ≈ 0), counter-read overhead not significant (p ≈ 0.12),
+//! migratable sealing slightly *faster* than native, initialization
+//! negligible, and enclave migration 0.47 ± 0.035 s — an order of
+//! magnitude below VM migration.
+
+use mig_bench::{
+    bench_image, figure_header, migration_fixture, ops, run_one_migration, sample_n, BenchApp,
+    BenchSetup, FigureRow,
+};
+use mig_core::baseline::native::ops as native_ops;
+use mig_core::harness::{encode_init, ops as lib_ops};
+use mig_core::library::InitRequest;
+use mig_core::me::me_image;
+
+fn iterations() -> usize {
+    std::env::var("FIG_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000)
+}
+
+fn fig3(n: usize) {
+    println!("\n=== Figure 3 — average duration of counter operations ===");
+    println!("({n} reps per op; scaled Intel-ME latency model; 99% CI)\n");
+    println!("{}", figure_header());
+
+    let setup = BenchSetup::new(true);
+
+    // Create/Destroy are measured as a pair so the quota stays level.
+    let mut create_base = Vec::with_capacity(n);
+    let mut destroy_base = Vec::with_capacity(n);
+    let mut create_mig = Vec::with_capacity(n);
+    let mut destroy_mig = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut idx = 0u8;
+        create_base.push(mig_bench::time_once(|| {
+            idx = setup.call_baseline(native_ops::COUNTER_CREATE, &[])[0];
+        }) * 1e6);
+        destroy_base.push(mig_bench::time_once(|| {
+            setup.call_baseline(native_ops::COUNTER_DESTROY, &[idx]);
+        }) * 1e6);
+        let mut id = 0u8;
+        create_mig.push(mig_bench::time_once(|| {
+            id = setup.call_migratable(ops::COUNTER_CREATE, &[])[0];
+        }) * 1e6);
+        destroy_mig.push(mig_bench::time_once(|| {
+            setup.call_migratable(ops::COUNTER_DESTROY, &[id]);
+        }) * 1e6);
+    }
+
+    let (mig_id, base_idx) = setup.create_counters();
+    let inc_base = sample_n(n, || {
+        setup.call_baseline(native_ops::COUNTER_INCREMENT, &[base_idx]);
+    });
+    let inc_mig = sample_n(n, || {
+        setup.call_migratable(ops::COUNTER_INCREMENT, &[mig_id]);
+    });
+    let read_base = sample_n(n, || {
+        setup.call_baseline(native_ops::COUNTER_READ, &[base_idx]);
+    });
+    let read_mig = sample_n(n, || {
+        setup.call_migratable(ops::COUNTER_READ, &[mig_id]);
+    });
+
+    for row in [
+        FigureRow::from_samples("Create Counter", Some(create_base), create_mig),
+        FigureRow::from_samples("Increase Counter", Some(inc_base), inc_mig),
+        FigureRow::from_samples("Read Counter", Some(read_base), read_mig),
+        FigureRow::from_samples("Destroy Counter", Some(destroy_base), destroy_mig),
+    ] {
+        println!("{}", row.format());
+    }
+    println!("\npaper: increment overhead 12.3% (p≈0); read not significant (p≈0.12);");
+    println!("       create/destroy overhead from resealing the internal state buffer.");
+}
+
+fn fig4(n: usize) {
+    println!("\n=== Figure 4 — initialization and sealing operations ===");
+    println!("({n} reps per op; 99% CI)\n");
+    println!("{}", figure_header());
+
+    let setup = BenchSetup::new(true);
+
+    // Init New / Init Restore: repeated MIG_INIT ECALLs (no baseline —
+    // the baseline has no library to initialize).
+    let me_mr = me_image().mr_enclave();
+    let init_new = sample_n(n, || {
+        let req = encode_init(&me_mr, &InitRequest::New);
+        let _ = setup.migratable.ecall(lib_ops::MIG_INIT, &req).unwrap();
+    });
+    // Produce a persistent blob to restore from (one counter active, as
+    // a restarted production enclave would have).
+    let init_req = encode_init(&me_mr, &InitRequest::New);
+    let _ = setup.migratable.ecall(lib_ops::MIG_INIT, &init_req).unwrap();
+    let out = setup.migratable.ecall(ops::COUNTER_CREATE, &[]).unwrap();
+    let (_, persist) = mig_core::harness::open_envelope(&out).unwrap();
+    let blob = persist.expect("create persists");
+    let init_restore = sample_n(n, || {
+        let req = encode_init(&me_mr, &InitRequest::Restore { blob: blob.clone() });
+        let _ = setup.migratable.ecall(lib_ops::MIG_INIT, &req).unwrap();
+    });
+
+    for row in [
+        FigureRow::from_samples("Init New", None, init_new),
+        FigureRow::from_samples("Init Restore", None, init_restore),
+    ] {
+        println!("{}", row.format());
+    }
+
+    // Seal/Unseal at 100 B and 100 KiB, native vs migratable.
+    for (label, size) in [("100B", 100usize), ("100kB", 100 * 1024)] {
+        let payload = vec![0xA5u8; size];
+        let seal_base = sample_n(n, || {
+            setup.call_baseline(native_ops::SEAL, &payload);
+        });
+        let seal_mig = sample_n(n, || {
+            setup.call_migratable(ops::SEAL, &payload);
+        });
+        let blob_base = setup.call_baseline(native_ops::SEAL, &payload);
+        let blob_mig = setup.call_migratable(ops::SEAL, &payload);
+        let unseal_base = sample_n(n, || {
+            setup.call_baseline(native_ops::UNSEAL, &blob_base);
+        });
+        let unseal_mig = sample_n(n, || {
+            setup.call_migratable(ops::UNSEAL, &blob_mig);
+        });
+        println!(
+            "{}",
+            FigureRow::from_samples(&format!("Seal {label}"), Some(seal_base), seal_mig).format()
+        );
+        println!(
+            "{}",
+            FigureRow::from_samples(&format!("Unseal {label}"), Some(unseal_base), unseal_mig)
+                .format()
+        );
+    }
+    println!("\npaper: migratable sealing is slightly FASTER than native (the MSK is at");
+    println!("       hand; native sealing pays an extra EGETKEY); init times negligible.");
+}
+
+fn e3(n: usize) {
+    println!("\n=== §VII-B — enclave migration overhead (E3) ===");
+    println!("({n} full migrations, each in a fresh two-machine datacenter)\n");
+
+    let mut virtual_ms = Vec::with_capacity(n);
+    let mut wall_ms = Vec::with_capacity(n);
+    for i in 0..n {
+        let (virt, wall) = run_one_migration(i as u64);
+        virtual_ms.push(virt.as_secs_f64() * 1e3);
+        wall_ms.push(wall.as_secs_f64() * 1e3);
+    }
+    let virt = mig_stats::summarize(&virtual_ms, 0.99);
+    let wall = mig_stats::summarize(&wall_ms, 0.99);
+    println!(
+        "enclave migration (simulated time): {:.3} ± {:.3} ms  [attestation + IAS + transfer]",
+        virt.mean, virt.ci_half_width
+    );
+    println!(
+        "enclave migration (host compute):   {:.3} ± {:.3} ms  [crypto + protocol]",
+        wall.mean, wall.ci_half_width
+    );
+
+    // Steady-state migrations reuse the ME↔ME channel (no RA/IAS).
+    let (mut dc, m1, m2) = migration_fixture(0xE3);
+    dc.deploy_app("w0", m1, &bench_image(), BenchApp, InitRequest::New)
+        .unwrap();
+    let machines = [m1, m2];
+    let mut steady_ms = Vec::new();
+    for g in 0..20usize {
+        let next = format!("w{}", g + 1);
+        let target = machines[(g + 1) % 2];
+        dc.deploy_app(&next, target, &bench_image(), BenchApp, InitRequest::Migrate)
+            .unwrap();
+        let took = dc.migrate_app(&format!("w{g}"), &next).unwrap();
+        // Channels are per direction: both ME↔ME channels exist from the
+        // third migration onward, so only then is the state steady.
+        if g > 1 {
+            steady_ms.push(took.as_secs_f64() * 1e3);
+        }
+    }
+    let steady = mig_stats::summarize(&steady_ms, 0.99);
+    println!(
+        "steady state (ME channel reused):   {:.3} ± {:.3} ms",
+        steady.mean, steady.ci_half_width
+    );
+
+    // Context: VM migration of typical guests over the same fabric.
+    let link = cloud_sim::network::LinkProfile::datacenter();
+    for gib in [1u64, 4, 8] {
+        let vm = cloud_sim::vm::Vm {
+            id: cloud_sim::vm::VmId(1),
+            host: m1,
+            memory_bytes: gib << 30,
+        };
+        let t = cloud_sim::vm::vm_migration_time(&vm, &link);
+        println!(
+            "VM live migration, {gib:>2} GiB guest:    {:>9.1} ms   (enclave adds {:.2}%)",
+            t.as_secs_f64() * 1e3,
+            100.0 * virt.mean / (t.as_secs_f64() * 1e3),
+        );
+    }
+    println!("\npaper: 0.47 ± 0.035 s per enclave migration (real IAS + ME latencies),");
+    println!("       'an order of magnitude lower' than VM migration — same shape here.");
+}
+
+fn ablation() {
+    println!("\n=== §VI-B ablation — counter transfer strategy ===");
+    println!("(naive: increment a fresh destination counter up to the transferred");
+    println!(" value; offset: install the value as a constant-time offset)\n");
+    println!(
+        "{:<16} {:>18} {:>18} {:>10}",
+        "counter value", "fast-forward", "offset design", "ratio"
+    );
+    println!("{}", "-".repeat(66));
+    for value in [1u32, 10, 100, 1_000, 10_000] {
+        let (naive, offset) = mig_bench::counter_transfer_ablation(value);
+        println!(
+            "{:<16} {:>15.1} ms {:>15.1} ms {:>9.0}x",
+            value,
+            naive.as_secs_f64() * 1e3,
+            offset.as_secs_f64() * 1e3,
+            naive.as_secs_f64() / offset.as_secs_f64().max(1e-9),
+        );
+    }
+    println!("\npaper: \"this will incur significant performance overhead because");
+    println!("monotonic counter operations are usually rate-limited. Instead, our");
+    println!("implementation uses a counter offset ... the processing time of a");
+    println!("counter during migration is constant, regardless of the counter value.\"");
+}
+
+fn main() {
+    let which: Vec<String> = std::env::args().skip(1).collect();
+    let all = which.is_empty();
+    let n = iterations();
+
+    println!("sgx-migrate evaluation harness — reproducing DSN'18 Figs. 3-4 + §VII-B");
+    if all || which.iter().any(|w| w == "fig3") {
+        fig3(n);
+    }
+    if all || which.iter().any(|w| w == "fig4") {
+        fig4(n);
+    }
+    if all || which.iter().any(|w| w == "e3") {
+        e3(n.min(100));
+    }
+    if all || which.iter().any(|w| w == "ablation") {
+        ablation();
+    }
+}

@@ -1,0 +1,130 @@
+//! Virtual time for the discrete-event datacenter.
+//!
+//! All latencies — network transfers, Intel firmware operations, VM memory
+//! copies — are accounted against a single monotone [`SimClock`], so
+//! end-to-end experiments (the paper's §VII-B migration-overhead
+//! measurement) can report durations without wall-clock noise.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A point in virtual time (nanoseconds since world start).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The world's epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Adds a duration, saturating at the maximum representable time.
+    #[must_use]
+    pub fn after(self, d: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(d.as_nanos().min(u128::from(u64::MAX)) as u64))
+    }
+
+    /// The duration elapsed since `earlier` (zero if `earlier` is later).
+    #[must_use]
+    pub fn since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let d = Duration::from_nanos(self.0);
+        write!(f, "t+{:.6}s", d.as_secs_f64())
+    }
+}
+
+/// A shared, monotone virtual clock.
+///
+/// Cloneable; all clones observe the same time.
+///
+/// # Example
+///
+/// ```
+/// use cloud_sim::clock::SimClock;
+/// use std::time::Duration;
+///
+/// let clock = SimClock::new();
+/// let t0 = clock.now();
+/// clock.advance(Duration::from_millis(5));
+/// assert_eq!(clock.now().since(t0), Duration::from_millis(5));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SimClock {
+    now_ns: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// Creates a clock at `t = 0`.
+    #[must_use]
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// The current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        SimTime(self.now_ns.load(Ordering::SeqCst))
+    }
+
+    /// Advances the clock by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.now_ns.fetch_add(
+            d.as_nanos().min(u128::from(u64::MAX)) as u64,
+            Ordering::SeqCst,
+        );
+    }
+
+    /// Advances the clock *to* `t` if `t` is in the future (monotone).
+    pub fn advance_to(&self, t: SimTime) {
+        self.now_ns.fetch_max(t.0, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_starts_at_zero_and_advances() {
+        let clock = SimClock::new();
+        assert_eq!(clock.now(), SimTime::ZERO);
+        clock.advance(Duration::from_secs(1));
+        assert_eq!(clock.now(), SimTime(1_000_000_000));
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let clock = SimClock::new();
+        clock.advance_to(SimTime(100));
+        clock.advance_to(SimTime(50)); // must not rewind
+        assert_eq!(clock.now(), SimTime(100));
+        clock.advance_to(SimTime(200));
+        assert_eq!(clock.now(), SimTime(200));
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let a = SimClock::new();
+        let b = a.clone();
+        a.advance(Duration::from_millis(3));
+        assert_eq!(b.now(), SimTime(3_000_000));
+    }
+
+    #[test]
+    fn simtime_arithmetic() {
+        let t = SimTime::ZERO.after(Duration::from_micros(7));
+        assert_eq!(t, SimTime(7_000));
+        assert_eq!(t.since(SimTime::ZERO), Duration::from_micros(7));
+        assert_eq!(SimTime::ZERO.since(t), Duration::ZERO); // saturates
+    }
+
+    #[test]
+    fn simtime_displays_seconds() {
+        let t = SimTime(1_500_000_000);
+        assert_eq!(t.to_string(), "t+1.500000s");
+    }
+}

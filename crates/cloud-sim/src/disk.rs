@@ -1,0 +1,169 @@
+//! Untrusted per-machine persistent storage.
+//!
+//! Sealed blobs live here: the enclave hands them to the untrusted
+//! application, which writes them to the machine's disk (the paper's
+//! Table II "persistent data" flow). Because the disk is fully under the
+//! adversary's control, it supports **snapshots and rollback** — the exact
+//! capability the paper's §III fork and roll-back attacks exploit by
+//! re-supplying an old sealed blob to a restarted enclave.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A point-in-time copy of a disk's contents (an adversary capability).
+#[derive(Clone, Debug)]
+pub struct DiskSnapshot {
+    entries: HashMap<String, Vec<u8>>,
+}
+
+impl DiskSnapshot {
+    /// Number of stored objects in the snapshot.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Reads a single object out of the snapshot without restoring it.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&[u8]> {
+        self.entries.get(key).map(Vec::as_slice)
+    }
+}
+
+/// An untrusted key-value disk. Cloneable handle; clones share contents.
+///
+/// # Example
+///
+/// ```
+/// use cloud_sim::disk::UntrustedDisk;
+///
+/// let disk = UntrustedDisk::new();
+/// disk.put("blob", b"v1".to_vec());
+/// let snap = disk.snapshot();          // adversary saves old state
+/// disk.put("blob", b"v2".to_vec());
+/// disk.restore(&snap);                 // ... and rolls it back later
+/// assert_eq!(disk.get("blob").unwrap(), b"v1");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct UntrustedDisk {
+    entries: Arc<Mutex<HashMap<String, Vec<u8>>>>,
+}
+
+impl UntrustedDisk {
+    /// Creates an empty disk.
+    #[must_use]
+    pub fn new() -> Self {
+        UntrustedDisk::default()
+    }
+
+    /// Stores `value` under `key`, replacing any previous value.
+    pub fn put(&self, key: &str, value: Vec<u8>) {
+        self.entries.lock().insert(key.to_string(), value);
+    }
+
+    /// Reads the value under `key`.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<Vec<u8>> {
+        self.entries.lock().get(key).cloned()
+    }
+
+    /// Deletes the value under `key`, returning it if present.
+    pub fn delete(&self, key: &str) -> Option<Vec<u8>> {
+        self.entries.lock().remove(key)
+    }
+
+    /// Lists all keys (sorted, for determinism).
+    #[must_use]
+    pub fn keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self.entries.lock().keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+
+    /// Adversary capability: copies the entire disk state.
+    #[must_use]
+    pub fn snapshot(&self) -> DiskSnapshot {
+        DiskSnapshot {
+            entries: self.entries.lock().clone(),
+        }
+    }
+
+    /// Adversary capability: replaces the disk contents with a snapshot.
+    pub fn restore(&self, snapshot: &DiskSnapshot) {
+        *self.entries.lock() = snapshot.entries.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete() {
+        let disk = UntrustedDisk::new();
+        assert_eq!(disk.get("a"), None);
+        disk.put("a", vec![1, 2]);
+        assert_eq!(disk.get("a").unwrap(), vec![1, 2]);
+        assert_eq!(disk.delete("a").unwrap(), vec![1, 2]);
+        assert_eq!(disk.get("a"), None);
+        assert_eq!(disk.delete("a"), None);
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let disk = UntrustedDisk::new();
+        disk.put("k", b"old".to_vec());
+        disk.put("k", b"new".to_vec());
+        assert_eq!(disk.get("k").unwrap(), b"new");
+    }
+
+    #[test]
+    fn snapshot_and_rollback() {
+        let disk = UntrustedDisk::new();
+        disk.put("state", b"v1".to_vec());
+        disk.put("other", b"x".to_vec());
+        let snap = disk.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap.get("state").unwrap(), b"v1");
+
+        disk.put("state", b"v2".to_vec());
+        disk.delete("other");
+        disk.restore(&snap);
+        assert_eq!(disk.get("state").unwrap(), b"v1");
+        assert_eq!(disk.get("other").unwrap(), b"x");
+    }
+
+    #[test]
+    fn snapshot_is_immutable_copy() {
+        let disk = UntrustedDisk::new();
+        disk.put("k", b"v1".to_vec());
+        let snap = disk.snapshot();
+        disk.put("k", b"v2".to_vec());
+        // The snapshot still holds the old value.
+        assert_eq!(snap.get("k").unwrap(), b"v1");
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let disk = UntrustedDisk::new();
+        let alias = disk.clone();
+        disk.put("k", b"v".to_vec());
+        assert_eq!(alias.get("k").unwrap(), b"v");
+    }
+
+    #[test]
+    fn keys_are_sorted() {
+        let disk = UntrustedDisk::new();
+        disk.put("zeta", vec![]);
+        disk.put("alpha", vec![]);
+        disk.put("mid", vec![]);
+        assert_eq!(disk.keys(), vec!["alpha", "mid", "zeta"]);
+    }
+}

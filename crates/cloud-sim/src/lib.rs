@@ -1,0 +1,33 @@
+//! A deterministic discrete-event datacenter simulator for the
+//! `sgx-migrate` workspace.
+//!
+//! The migration paper's setting is a cloud: physical machines with SGX
+//! platforms, VMs that migrate between them, untrusted disks and networks
+//! fully under the adversary's control. This crate provides that substrate:
+//!
+//! * [`clock`] — shared virtual time;
+//! * [`disk`] — untrusted per-machine storage with adversary
+//!   snapshot/rollback (the §III attack capability);
+//! * [`network`] — timed message delivery with latency/bandwidth link
+//!   models and adversary taps (record / drop / rewrite / replay);
+//! * [`machine`] — physical machines (SGX platform + disk + labels);
+//! * [`vm`] — guest VMs and the live-migration timing model;
+//! * [`world`] — the event loop tying services, machines, and the network
+//!   together deterministically.
+//!
+//! Everything is deterministic given the world seed, so protocol tests and
+//! attack reproductions are exactly repeatable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod disk;
+pub mod machine;
+pub mod network;
+pub mod vm;
+pub mod world;
+
+pub use clock::{SimClock, SimTime};
+pub use network::{Endpoint, Envelope, Network};
+pub use world::{Service, World};

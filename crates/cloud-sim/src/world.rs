@@ -1,0 +1,429 @@
+//! The deterministic discrete-event world tying machines, VMs, the
+//! network, and services together.
+//!
+//! Protocol engines (the Migration Enclave host, application hosts)
+//! implement [`Service`] and are registered at an [`Endpoint`]. The world
+//! pumps the network queue: each delivery advances the virtual clock,
+//! passes through adversary taps, and invokes the destination service,
+//! which may send further messages. `run_until_idle` drives the whole
+//! exchange to quiescence — the simulator's equivalent of "wait for the
+//! protocol to finish".
+
+use crate::clock::{SimClock, SimTime};
+use crate::disk::UntrustedDisk;
+use crate::machine::{Machine, MachineLabels};
+use crate::network::{Endpoint, Envelope, Network};
+use crate::vm::{vm_migration_time, Vm, VmId};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgx_sim::cost::CostModel;
+use sgx_sim::ias::AttestationService;
+use sgx_sim::machine::{MachineId, SgxMachine};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A message-driven protocol engine (an untrusted host process).
+pub trait Service: Send {
+    /// Handles one delivered message. `net` allows sending replies and
+    /// reading the clock.
+    fn on_message(&mut self, net: &mut Network, from: &Endpoint, payload: &[u8]);
+}
+
+/// Safety valve: maximum deliveries per `run_until_idle` call.
+const MAX_STEPS: usize = 1_000_000;
+
+/// The simulated datacenter.
+///
+/// # Example
+///
+/// ```
+/// use cloud_sim::machine::MachineLabels;
+/// use cloud_sim::world::World;
+///
+/// let mut world = World::new(42);
+/// let m1 = world.add_machine(MachineLabels::new("dc-1", "eu"));
+/// let m2 = world.add_machine(MachineLabels::new("dc-1", "eu"));
+/// assert_ne!(m1, m2);
+/// assert_eq!(world.machine(m1).labels.datacenter, "dc-1");
+/// ```
+pub struct World {
+    clock: SimClock,
+    ias: AttestationService,
+    machines: BTreeMap<MachineId, Machine>,
+    vms: BTreeMap<VmId, Vm>,
+    services: HashMap<Endpoint, Arc<Mutex<dyn Service>>>,
+    network: Network,
+    rng: StdRng,
+    cost: Option<Arc<dyn CostModel>>,
+    next_machine: u64,
+    next_vm: u64,
+    dead_letters: Vec<Envelope>,
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("machines", &self.machines.len())
+            .field("vms", &self.vms.len())
+            .field("services", &self.services.len())
+            .field("now", &self.clock.now())
+            .finish_non_exhaustive()
+    }
+}
+
+impl World {
+    /// Creates a world with zero-latency platform firmware (tests).
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self::build(seed, None)
+    }
+
+    /// Creates a world whose machines use the given platform cost model.
+    #[must_use]
+    pub fn with_cost_model(seed: u64, cost: Arc<dyn CostModel>) -> Self {
+        Self::build(seed, Some(cost))
+    }
+
+    fn build(seed: u64, cost: Option<Arc<dyn CostModel>>) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let clock = SimClock::new();
+        let ias = AttestationService::new(&mut rng);
+        World {
+            network: Network::new(clock.clone()),
+            clock,
+            ias,
+            machines: BTreeMap::new(),
+            vms: BTreeMap::new(),
+            services: HashMap::new(),
+            rng,
+            cost,
+            next_machine: 1,
+            next_vm: 1,
+            dead_letters: Vec::new(),
+        }
+    }
+
+    /// The world's attestation service (shared by all machines).
+    #[must_use]
+    pub fn ias(&self) -> &AttestationService {
+        &self.ias
+    }
+
+    /// The shared virtual clock.
+    #[must_use]
+    pub fn clock(&self) -> SimClock {
+        self.clock.clone()
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Provisions a new physical machine.
+    pub fn add_machine(&mut self, labels: MachineLabels) -> MachineId {
+        let id = MachineId(self.next_machine);
+        self.next_machine += 1;
+        let sgx = match &self.cost {
+            Some(cost) => {
+                SgxMachine::with_cost_model(id, &self.ias, Arc::clone(cost), &mut self.rng)
+            }
+            None => SgxMachine::new(id, &self.ias, &mut self.rng),
+        };
+        self.machines.insert(
+            id,
+            Machine {
+                id,
+                sgx,
+                disk: UntrustedDisk::new(),
+                labels,
+            },
+        );
+        id
+    }
+
+    /// Looks up a machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not created by this world — that is a test bug,
+    /// not a runtime condition.
+    #[must_use]
+    pub fn machine(&self, id: MachineId) -> &Machine {
+        self.machines.get(&id).expect("unknown machine id")
+    }
+
+    /// Iterates over all machines in id order.
+    pub fn machines(&self) -> impl Iterator<Item = &Machine> {
+        self.machines.values()
+    }
+
+    /// Boots a VM with `memory_bytes` of guest memory on `host`.
+    pub fn create_vm(&mut self, host: MachineId, memory_bytes: u64) -> VmId {
+        assert!(self.machines.contains_key(&host), "unknown host machine");
+        let id = VmId(self.next_vm);
+        self.next_vm += 1;
+        self.vms.insert(
+            id,
+            Vm {
+                id,
+                host,
+                memory_bytes,
+            },
+        );
+        id
+    }
+
+    /// Looks up a VM.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown ids (test bug).
+    #[must_use]
+    pub fn vm(&self, id: VmId) -> &Vm {
+        self.vms.get(&id).expect("unknown vm id")
+    }
+
+    /// Migrates a VM to `dst`, advancing the clock by the modelled
+    /// transfer time and returning it.
+    ///
+    /// The EPC is *not* copied (SGX-unaware migration): any enclaves the
+    /// VM's applications were hosting on the source machine remain there,
+    /// dead. Callers (the migration coordinator in `mig-core`) are
+    /// responsible for re-creating enclaves on the destination.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown VM or machine ids (test bug).
+    pub fn migrate_vm(&mut self, vm_id: VmId, dst: MachineId) -> Duration {
+        assert!(self.machines.contains_key(&dst), "unknown destination");
+        let link = self.network.link();
+        let vm = self.vms.get_mut(&vm_id).expect("unknown vm id");
+        let duration = vm_migration_time(vm, &link);
+        vm.host = dst;
+        self.clock.advance(duration);
+        duration
+    }
+
+    /// Registers a service at `endpoint`. The same `Arc` can be retained
+    /// by the caller to drive the service directly (e.g. to initiate a
+    /// migration).
+    pub fn register_service(&mut self, endpoint: Endpoint, service: Arc<Mutex<dyn Service>>) {
+        self.services.insert(endpoint, service);
+    }
+
+    /// Moves a service to a new endpoint (used after VM migration).
+    ///
+    /// Returns `true` if a service was present at `from`.
+    pub fn move_service(&mut self, from: &Endpoint, to: Endpoint) -> bool {
+        match self.services.remove(from) {
+            Some(svc) => {
+                self.services.insert(to, svc);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes a service (e.g. the application process exited).
+    pub fn unregister_service(&mut self, endpoint: &Endpoint) {
+        self.services.remove(endpoint);
+    }
+
+    /// Sends a message into the world from an external party.
+    pub fn send(&mut self, from: &Endpoint, to: &Endpoint, payload: Vec<u8>) {
+        self.network.send(from, to, payload);
+    }
+
+    /// Mutable access to the network (taps, recording, link tuning).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.network
+    }
+
+    /// Messages that arrived for endpoints with no registered service.
+    #[must_use]
+    pub fn dead_letters(&self) -> &[Envelope] {
+        &self.dead_letters
+    }
+
+    /// Delivers a single message, if any is queued. Returns whether a
+    /// message was consumed from the queue.
+    pub fn step(&mut self) -> bool {
+        if self.network.pending() == 0 {
+            return false;
+        }
+        if let Some(envelope) = self.network.deliver_next() {
+            match self.services.get(&envelope.to).cloned() {
+                Some(service) => {
+                    service
+                        .lock()
+                        .on_message(&mut self.network, &envelope.from, &envelope.payload);
+                }
+                None => self.dead_letters.push(envelope),
+            }
+            // Attribute any platform firmware latency incurred while
+            // handling the message to the global clock.
+            for machine in self.machines.values() {
+                let t = machine.sgx.drain_virtual_time();
+                if !t.is_zero() {
+                    self.clock.advance(t);
+                }
+            }
+        }
+        true
+    }
+
+    /// Pumps the network until no messages remain, returning the number
+    /// of queue pops performed.
+    ///
+    /// # Panics
+    ///
+    /// Panics after 1,000,000 deliveries — a protocol loop is a bug.
+    pub fn run_until_idle(&mut self) -> usize {
+        let mut steps = 0;
+        while self.step() {
+            steps += 1;
+            assert!(steps < MAX_STEPS, "protocol livelock: {MAX_STEPS} deliveries");
+        }
+        steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echo service: replies to every message with "echo:" + payload.
+    struct Echo {
+        me: Endpoint,
+        received: Vec<Vec<u8>>,
+    }
+
+    impl Service for Echo {
+        fn on_message(&mut self, net: &mut Network, from: &Endpoint, payload: &[u8]) {
+            self.received.push(payload.to_vec());
+            if !payload.starts_with(b"echo:") {
+                let mut reply = b"echo:".to_vec();
+                reply.extend_from_slice(payload);
+                net.send(&self.me, from, reply);
+            }
+        }
+    }
+
+    #[test]
+    fn request_reply_round_trip() {
+        let mut world = World::new(1);
+        let m1 = world.add_machine(MachineLabels::default());
+        let m2 = world.add_machine(MachineLabels::default());
+        let a = Endpoint::new(m1, "a");
+        let b = Endpoint::new(m2, "b");
+
+        let svc_a = Arc::new(Mutex::new(Echo {
+            me: a.clone(),
+            received: vec![],
+        }));
+        let svc_b = Arc::new(Mutex::new(Echo {
+            me: b.clone(),
+            received: vec![],
+        }));
+        world.register_service(a.clone(), svc_a.clone());
+        world.register_service(b.clone(), svc_b.clone());
+
+        world.send(&a, &b, b"ping".to_vec());
+        let steps = world.run_until_idle();
+        assert_eq!(steps, 2, "request + reply");
+        assert_eq!(svc_b.lock().received, vec![b"ping".to_vec()]);
+        assert_eq!(svc_a.lock().received, vec![b"echo:ping".to_vec()]);
+        assert!(world.now() > SimTime::ZERO, "clock advanced");
+    }
+
+    #[test]
+    fn unrouted_messages_become_dead_letters() {
+        let mut world = World::new(1);
+        let m1 = world.add_machine(MachineLabels::default());
+        let from = Endpoint::new(m1, "x");
+        let to = Endpoint::new(m1, "nobody");
+        world.send(&from, &to, b"hello?".to_vec());
+        world.run_until_idle();
+        assert_eq!(world.dead_letters().len(), 1);
+        assert_eq!(world.dead_letters()[0].payload, b"hello?");
+    }
+
+    #[test]
+    fn vm_migration_moves_host_and_advances_clock() {
+        let mut world = World::new(1);
+        let m1 = world.add_machine(MachineLabels::default());
+        let m2 = world.add_machine(MachineLabels::default());
+        let vm = world.create_vm(m1, 1 << 30);
+        assert_eq!(world.vm(vm).host, m1);
+
+        let t0 = world.now();
+        let duration = world.migrate_vm(vm, m2);
+        assert_eq!(world.vm(vm).host, m2);
+        assert!(duration > Duration::from_millis(800), "1 GiB over 10 Gbit/s");
+        assert_eq!(world.now().since(t0), duration);
+    }
+
+    #[test]
+    fn move_service_relocates_endpoint() {
+        let mut world = World::new(1);
+        let m1 = world.add_machine(MachineLabels::default());
+        let m2 = world.add_machine(MachineLabels::default());
+        let old = Endpoint::new(m1, "app");
+        let new = Endpoint::new(m2, "app");
+        let svc = Arc::new(Mutex::new(Echo {
+            me: new.clone(),
+            received: vec![],
+        }));
+        world.register_service(old.clone(), svc.clone());
+        assert!(world.move_service(&old, new.clone()));
+        assert!(!world.move_service(&old, new.clone()), "already moved");
+
+        let from = Endpoint::new(m1, "client");
+        world.send(&from, &new, b"hi".to_vec());
+        world.run_until_idle();
+        assert_eq!(svc.lock().received.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_given_same_seed() {
+        let run = |seed: u64| -> Vec<Vec<u8>> {
+            let mut world = World::new(seed);
+            let m1 = world.add_machine(MachineLabels::default());
+            let a = Endpoint::new(m1, "a");
+            let b = Endpoint::new(m1, "b");
+            let svc = Arc::new(Mutex::new(Echo {
+                me: b.clone(),
+                received: vec![],
+            }));
+            world.register_service(b.clone(), svc.clone());
+            for i in 0..10u8 {
+                world.send(&a, &b, vec![i]);
+            }
+            world.run_until_idle();
+            let out = svc.lock().received.clone();
+            out
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn service_can_be_driven_externally_and_by_messages() {
+        // The same Arc is usable by test code (direct lock) and the world.
+        let mut world = World::new(1);
+        let m1 = world.add_machine(MachineLabels::default());
+        let ep = Endpoint::new(m1, "svc");
+        let svc = Arc::new(Mutex::new(Echo {
+            me: ep.clone(),
+            received: vec![],
+        }));
+        world.register_service(ep.clone(), svc.clone());
+        svc.lock().received.push(b"direct".to_vec());
+        world.send(&Endpoint::new(m1, "ext"), &ep, b"via net".to_vec());
+        world.run_until_idle();
+        assert_eq!(svc.lock().received.len(), 2);
+    }
+}

@@ -1,0 +1,523 @@
+//! Baselines the paper measures and attacks against.
+//!
+//! Two baselines live here:
+//!
+//! * [`native`] — a non-migratable enclave using the standard SGX
+//!   primitives directly (the "baseline implementation" of Figs. 3–4);
+//! * [`gu`] — a Gu-et-al-style *data-memory* migration \[2\]: enclave
+//!   memory is re-encrypted under a remote-attested key and shipped to an
+//!   identical enclave, with the worker-freezing flag in both the
+//!   non-persisted and persisted variants the paper analyses in §III-B.
+//!   Persistent state (sealed data, monotonic counters) is **not**
+//!   migrated — which is exactly the gap the attack tests exploit.
+
+pub mod native {
+    //! The non-migratable baseline enclave used by the Fig. 3/4 benches.
+
+    use sgx_sim::counters::CounterUuid;
+    use sgx_sim::cpu::KeyPolicy;
+    use sgx_sim::enclave::{EnclaveCode, EnclaveEnv};
+    use sgx_sim::SgxError;
+
+    /// ECALL opcodes of the native baseline enclave.
+    pub mod ops {
+        /// Create a monotonic counter → `counter index (u8)` + value.
+        pub const COUNTER_CREATE: u32 = 1;
+        /// Increment counter `[idx]` → new value (LE u32).
+        pub const COUNTER_INCREMENT: u32 = 2;
+        /// Read counter `[idx]` → value (LE u32).
+        pub const COUNTER_READ: u32 = 3;
+        /// Destroy counter `[idx]`.
+        pub const COUNTER_DESTROY: u32 = 4;
+        /// Seal input → blob (native `sgx_seal_data`).
+        pub const SEAL: u32 = 5;
+        /// Unseal blob → plaintext.
+        pub const UNSEAL: u32 = 6;
+    }
+
+    /// A plain enclave using native sealing and counters — the
+    /// "baseline implementation" the paper compares against.
+    ///
+    /// Counter slots are reused after destruction (256 slots, like the
+    /// platform quota), mirroring how the Migration Library reuses its
+    /// internal counter ids.
+    #[derive(Default)]
+    pub struct NativeEnclave {
+        counters: Vec<Option<CounterUuid>>,
+    }
+
+    impl NativeEnclave {
+        /// Creates an empty baseline enclave.
+        #[must_use]
+        pub fn new() -> Self {
+            NativeEnclave::default()
+        }
+
+        fn slot(&self, input: &[u8]) -> Result<CounterUuid, SgxError> {
+            let idx = *input.first().ok_or(SgxError::InvalidParameter("idx"))? as usize;
+            self.counters
+                .get(idx)
+                .copied()
+                .flatten()
+                .ok_or(SgxError::InvalidParameter("idx"))
+        }
+    }
+
+    impl EnclaveCode for NativeEnclave {
+        fn ecall(
+            &mut self,
+            env: &mut EnclaveEnv<'_>,
+            opcode: u32,
+            input: &[u8],
+        ) -> Result<Vec<u8>, SgxError> {
+            match opcode {
+                ops::COUNTER_CREATE => {
+                    let (uuid, value) = env.create_counter()?;
+                    let idx = match self.counters.iter().position(Option::is_none) {
+                        Some(free) => {
+                            self.counters[free] = Some(uuid);
+                            free
+                        }
+                        None => {
+                            if self.counters.len() >= 256 {
+                                return Err(SgxError::CounterQuotaExceeded);
+                            }
+                            self.counters.push(Some(uuid));
+                            self.counters.len() - 1
+                        }
+                    };
+                    let mut out = vec![idx as u8];
+                    out.extend_from_slice(&value.to_le_bytes());
+                    Ok(out)
+                }
+                ops::COUNTER_INCREMENT => {
+                    let uuid = self.slot(input)?;
+                    Ok(env.increment_counter(&uuid)?.to_le_bytes().to_vec())
+                }
+                ops::COUNTER_READ => {
+                    let uuid = self.slot(input)?;
+                    Ok(env.read_counter(&uuid)?.to_le_bytes().to_vec())
+                }
+                ops::COUNTER_DESTROY => {
+                    let uuid = self.slot(input)?;
+                    env.destroy_counter(&uuid)?;
+                    let idx = input[0] as usize;
+                    self.counters[idx] = None;
+                    Ok(vec![])
+                }
+                ops::SEAL => Ok(env.seal_data(KeyPolicy::MrEnclave, b"", input)),
+                ops::UNSEAL => Ok(env.unseal_data(input)?.0),
+                _ => Err(SgxError::InvalidParameter("opcode")),
+            }
+        }
+    }
+}
+
+pub mod gu {
+    //! Gu-et-al-style enclave *data-memory* migration (§IX-B, attack
+    //! target of §III-B).
+    //!
+    //! The source enclave freezes its workers (a `frozen` flag), exports
+    //! its memory re-encrypted under a key agreed with the destination
+    //! enclave via remote attestation, and the destination imports it.
+    //! Two variants of the freeze flag exist, matching the paper's case
+    //! analysis:
+    //!
+    //! * **not persisted** (the default reading of \[2\]) — restarting the
+    //!   source enclave clears the flag, so the §III-B fork attack
+    //!   succeeds;
+    //! * **persisted** — forking is prevented, but the enclave can never
+    //!   migrate *back* to the source machine, because a legitimate
+    //!   return is indistinguishable from a fork.
+    //!
+    //! Sealed data and monotonic counters are left behind in both
+    //! variants.
+
+    use crate::error::MigError;
+    use crate::remote_attest::{RaConfig, RaHello, RaInitiator, RaResponder, RaResponseQuote};
+    use crate::secure_channel::{ChannelRole, SecureChannel};
+    use sgx_sim::cpu::KeyPolicy;
+    use sgx_sim::enclave::EnclaveEnv;
+    use sgx_sim::ias::AttestationEvidence;
+
+    /// Freeze-flag handling variants (§III-B analysis).
+    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    pub enum FreezeFlag {
+        /// Flag lives only in enclave memory; lost on restart.
+        InMemory,
+        /// Flag is sealed to disk and re-checked on restart.
+        Persisted,
+    }
+
+    /// The in-enclave migration helper of the Gu-style baseline.
+    #[derive(Debug)]
+    pub struct GuLibrary {
+        variant: FreezeFlag,
+        frozen: bool,
+        initiator: Option<RaInitiator>,
+        responder: Option<RaResponder>,
+    }
+
+    /// Disk tag for the persisted freeze flag.
+    pub const FREEZE_AAD: &[u8] = b"gu-baseline.freeze-flag";
+
+    impl GuLibrary {
+        /// Creates the helper with the chosen freeze-flag variant.
+        #[must_use]
+        pub fn new(variant: FreezeFlag) -> Self {
+            GuLibrary {
+                variant,
+                frozen: false,
+                initiator: None,
+                responder: None,
+            }
+        }
+
+        /// Whether the enclave refuses to operate (workers spin-locked).
+        #[must_use]
+        pub fn is_frozen(&self) -> bool {
+            self.frozen
+        }
+
+        /// Restores the persisted freeze flag, if this variant persists
+        /// it and a sealed flag blob is supplied.
+        ///
+        /// # Errors
+        ///
+        /// Unsealing errors propagate (tampered blob).
+        pub fn restore_flag(
+            &mut self,
+            env: &mut EnclaveEnv<'_>,
+            sealed_flag: Option<&[u8]>,
+        ) -> Result<(), MigError> {
+            if self.variant == FreezeFlag::Persisted {
+                if let Some(blob) = sealed_flag {
+                    let (plaintext, aad) = env.unseal_data(blob)?;
+                    if aad == FREEZE_AAD && plaintext == [1] {
+                        self.frozen = true;
+                    }
+                }
+            }
+            Ok(())
+        }
+
+        /// Source side: begins remote attestation with the destination
+        /// enclave (same MRENCLAVE on another machine).
+        ///
+        /// # Errors
+        ///
+        /// Quote generation errors propagate.
+        pub fn begin_export(&mut self, env: &mut EnclaveEnv<'_>) -> Result<RaHello, MigError> {
+            let (session, hello) = RaInitiator::start(env)?;
+            self.initiator = Some(session);
+            Ok(hello)
+        }
+
+        /// Destination side: answers the source's hello.
+        ///
+        /// # Errors
+        ///
+        /// Attestation failures propagate.
+        pub fn begin_import(
+            &mut self,
+            env: &mut EnclaveEnv<'_>,
+            cfg: &RaConfig,
+            hello_g: mig_crypto::x25519::PublicKey,
+            evidence: &AttestationEvidence,
+        ) -> Result<RaResponseQuote, MigError> {
+            let (session, response) = RaResponder::respond(env, cfg, hello_g, evidence)?;
+            self.responder = Some(session);
+            Ok(response)
+        }
+
+        /// Source side: freezes the enclave and exports `memory`
+        /// re-encrypted for the destination. Returns the ciphertext and,
+        /// for the persisted variant, the sealed flag blob the host must
+        /// store.
+        ///
+        /// # Errors
+        ///
+        /// Attestation failures propagate.
+        pub fn export_memory(
+            &mut self,
+            env: &mut EnclaveEnv<'_>,
+            cfg: &RaConfig,
+            g_r: mig_crypto::x25519::PublicKey,
+            evidence: &AttestationEvidence,
+            memory: &[u8],
+        ) -> Result<(Vec<u8>, Option<Vec<u8>>), MigError> {
+            let session = self
+                .initiator
+                .take()
+                .ok_or(MigError::Protocol("no export in progress"))?;
+            let key = session.process_response(cfg, g_r, evidence)?;
+            self.frozen = true;
+            let sealed_flag = match self.variant {
+                FreezeFlag::Persisted => {
+                    Some(env.seal_data(KeyPolicy::MrEnclave, FREEZE_AAD, &[1]))
+                }
+                FreezeFlag::InMemory => None,
+            };
+            let mut channel = SecureChannel::new(key, ChannelRole::Initiator);
+            Ok((channel.seal(memory), sealed_flag))
+        }
+
+        /// Destination side: decrypts the imported memory.
+        ///
+        /// # Errors
+        ///
+        /// Channel errors propagate (tampered ciphertext).
+        pub fn import_memory(&mut self, ciphertext: &[u8]) -> Result<Vec<u8>, MigError> {
+            let session = self
+                .responder
+                .take()
+                .ok_or(MigError::Protocol("no import in progress"))?;
+            let mut channel = SecureChannel::new(session.session_key(), ChannelRole::Responder);
+            channel.open(ciphertext)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn freeze_flag_variants() {
+            let mut in_memory = GuLibrary::new(FreezeFlag::InMemory);
+            assert!(!in_memory.is_frozen());
+            let persisted = GuLibrary::new(FreezeFlag::Persisted);
+            assert!(!persisted.is_frozen());
+            in_memory.frozen = true;
+            assert!(in_memory.is_frozen());
+        }
+    }
+}
+
+pub mod victim {
+    //! The §III attack victim: an enclave that protects its persistent
+    //! state exactly as Teechan/TrInX do — encrypted under a portable
+    //! (KDC-provisioned) key with a hardware-monotonic-counter version —
+    //! but migrates via the Gu-style *memory-only* mechanism.
+    //!
+    //! The state encryption key comes from a Key Distribution Center
+    //! (the paper's §III-C AWS-KMS scenario), so the encrypted state is
+    //! readable on any machine; only the *counter* is machine-bound.
+    //! This is the configuration in which the paper's fork (§III-B) and
+    //! roll-back (§III-C) attacks succeed, as the attack test-suite
+    //! demonstrates.
+
+    use super::gu::{FreezeFlag, GuLibrary};
+    use crate::remote_attest::RaConfig;
+    use mig_crypto::ed25519::VerifyingKey;
+    use mig_crypto::gcm::AesGcm;
+    use mig_crypto::x25519::PublicKey;
+    use sgx_sim::counters::CounterUuid;
+    use sgx_sim::enclave::{EnclaveCode, EnclaveEnv};
+    use sgx_sim::ias::AttestationEvidence;
+    use sgx_sim::wire::{WireReader, WireWriter};
+    use sgx_sim::SgxError;
+
+    /// ECALL opcodes of the victim enclave.
+    pub mod ops {
+        /// Provision KDC key, IAS key, and freeze-flag variant.
+        pub const PROVISION: u32 = 1;
+        /// Set the in-memory application payload.
+        pub const SET_DATA: u32 = 2;
+        /// Read the in-memory application payload.
+        pub const GET_DATA: u32 = 3;
+        /// Persist: increment the counter, encrypt `{version, data}`.
+        pub const PERSIST: u32 = 4;
+        /// Restore from an encrypted state package (version-checked).
+        pub const RESTORE: u32 = 5;
+        /// Gu migration: source begins export (returns RA hello).
+        pub const GU_BEGIN_EXPORT: u32 = 6;
+        /// Gu migration: destination answers (returns RA response).
+        pub const GU_BEGIN_IMPORT: u32 = 7;
+        /// Gu migration: source exports memory (returns ciphertext).
+        pub const GU_EXPORT: u32 = 8;
+        /// Gu migration: destination imports memory.
+        pub const GU_IMPORT: u32 = 9;
+        /// Restore the persisted freeze flag (if that variant is used).
+        pub const GU_RESTORE_FLAG: u32 = 10;
+        /// Whether the enclave considers itself frozen.
+        pub const IS_FROZEN: u32 = 11;
+    }
+
+    const STATE_AAD: &[u8] = b"victim.kdc-state.v1";
+
+    /// The attack-victim enclave.
+    pub struct PortableVictim {
+        kdc_key: Option<[u8; 16]>,
+        ias_key: Option<VerifyingKey>,
+        counter: Option<CounterUuid>,
+        data: Vec<u8>,
+        gu: GuLibrary,
+    }
+
+    impl PortableVictim {
+        /// Creates an unprovisioned victim with the given freeze-flag
+        /// variant.
+        #[must_use]
+        pub fn new(variant: FreezeFlag) -> Self {
+            PortableVictim {
+                kdc_key: None,
+                ias_key: None,
+                counter: None,
+                data: Vec::new(),
+                gu: GuLibrary::new(variant),
+            }
+        }
+
+        fn kdc(&self) -> Result<AesGcm, SgxError> {
+            Ok(AesGcm::new(self.kdc_key.ok_or_else(|| {
+                SgxError::Enclave("victim not provisioned".into())
+            })?))
+        }
+
+        fn ra_config(&self, env: &EnclaveEnv<'_>) -> Result<RaConfig, SgxError> {
+            Ok(RaConfig {
+                ias_key: self
+                    .ias_key
+                    .ok_or_else(|| SgxError::Enclave("victim not provisioned".into()))?,
+                expected_mr_enclave: env.identity().mr_enclave,
+            })
+        }
+
+        fn memory_bytes(&self) -> Vec<u8> {
+            let mut w = WireWriter::new();
+            w.array(&self.kdc_key.unwrap_or([0; 16]));
+            w.bytes(&self.data);
+            w.finish()
+        }
+
+        fn install_memory(&mut self, bytes: &[u8]) -> Result<(), SgxError> {
+            let mut r = WireReader::new(bytes);
+            self.kdc_key = Some(r.array()?);
+            self.data = r.bytes_vec()?;
+            r.finish()?;
+            Ok(())
+        }
+    }
+
+    impl EnclaveCode for PortableVictim {
+        fn ecall(
+            &mut self,
+            env: &mut EnclaveEnv<'_>,
+            opcode: u32,
+            input: &[u8],
+        ) -> Result<Vec<u8>, SgxError> {
+            match opcode {
+                ops::PROVISION => {
+                    let mut r = WireReader::new(input);
+                    self.kdc_key = Some(r.array()?);
+                    self.ias_key = Some(VerifyingKey(r.array()?));
+                    r.finish()?;
+                    Ok(vec![])
+                }
+                ops::SET_DATA => {
+                    if self.gu.is_frozen() {
+                        return Err(SgxError::Enclave("enclave frozen".into()));
+                    }
+                    self.data = input.to_vec();
+                    Ok(vec![])
+                }
+                ops::GET_DATA => Ok(self.data.clone()),
+                ops::PERSIST => {
+                    if self.gu.is_frozen() {
+                        return Err(SgxError::Enclave("enclave frozen".into()));
+                    }
+                    // First persist on this machine creates the counter.
+                    let uuid = match self.counter {
+                        Some(uuid) => uuid,
+                        None => {
+                            let (uuid, _) = env.create_counter()?;
+                            self.counter = Some(uuid);
+                            uuid
+                        }
+                    };
+                    let version = env.increment_counter(&uuid)?;
+                    let mut body = WireWriter::new();
+                    body.u32(version).bytes(&self.data);
+                    let mut nonce = [0u8; 12];
+                    env.random_bytes(&mut nonce);
+                    let ct = self.kdc()?.seal(&nonce, STATE_AAD, &body.finish());
+                    let mut out = WireWriter::new();
+                    out.u32(version).array(&nonce).bytes(&ct);
+                    Ok(out.finish())
+                }
+                ops::RESTORE => {
+                    let mut r = WireReader::new(input);
+                    let _claimed_version = r.u32()?;
+                    let nonce: [u8; 12] = r.array()?;
+                    let ct = r.bytes_vec()?;
+                    r.finish()?;
+                    let body = self
+                        .kdc()?
+                        .open(&nonce, STATE_AAD, &ct)
+                        .map_err(|_| SgxError::MacMismatch)?;
+                    let mut r = WireReader::new(&body);
+                    let version = r.u32()?;
+                    let data = r.bytes_vec()?;
+                    r.finish()?;
+                    // The Teechan/TrInX freshness rule: accept only if the
+                    // embedded version equals the hardware counter.
+                    let uuid = self
+                        .counter
+                        .ok_or_else(|| SgxError::Enclave("no counter on this machine".into()))?;
+                    let current = env.read_counter(&uuid)?;
+                    if version != current {
+                        return Err(SgxError::Enclave(format!(
+                            "version mismatch: package {version} != counter {current}"
+                        )));
+                    }
+                    self.data = data;
+                    Ok(vec![])
+                }
+                ops::GU_BEGIN_EXPORT => {
+                    let hello = self.gu.begin_export(env).map_err(SgxError::from)?;
+                    Ok(hello.to_bytes())
+                }
+                ops::GU_BEGIN_IMPORT => {
+                    let mut r = WireReader::new(input);
+                    let g = PublicKey(r.array()?);
+                    let evidence = AttestationEvidence::from_bytes(r.bytes()?)?;
+                    r.finish()?;
+                    let cfg = self.ra_config(env)?;
+                    let response = self
+                        .gu
+                        .begin_import(env, &cfg, g, &evidence)
+                        .map_err(SgxError::from)?;
+                    Ok(response.to_bytes())
+                }
+                ops::GU_EXPORT => {
+                    let mut r = WireReader::new(input);
+                    let g_r = PublicKey(r.array()?);
+                    let evidence = AttestationEvidence::from_bytes(r.bytes()?)?;
+                    r.finish()?;
+                    let cfg = self.ra_config(env)?;
+                    let memory = self.memory_bytes();
+                    let (ct, sealed_flag) = self
+                        .gu
+                        .export_memory(env, &cfg, g_r, &evidence, &memory)
+                        .map_err(SgxError::from)?;
+                    let mut w = WireWriter::new();
+                    w.bytes(&ct);
+                    crate::me::write_opt(&mut w, sealed_flag.as_deref());
+                    Ok(w.finish())
+                }
+                ops::GU_IMPORT => {
+                    let memory = self.gu.import_memory(input).map_err(SgxError::from)?;
+                    self.install_memory(&memory)?;
+                    Ok(vec![])
+                }
+                ops::GU_RESTORE_FLAG => {
+                    let flag = if input.is_empty() { None } else { Some(input) };
+                    self.gu.restore_flag(env, flag).map_err(SgxError::from)?;
+                    Ok(vec![])
+                }
+                ops::IS_FROZEN => Ok(vec![u8::from(self.gu.is_frozen())]),
+                _ => Err(SgxError::InvalidParameter("opcode")),
+            }
+        }
+    }
+}

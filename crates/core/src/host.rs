@@ -1,0 +1,698 @@
+//! The untrusted host processes: [`MeHost`] (management VM) and
+//! [`AppHost`] (guest VM application).
+//!
+//! Hosts are exactly as trusted as the paper assumes — not at all. They
+//! relay opaque ciphertexts between enclaves, store sealed blobs on the
+//! untrusted disk, and talk to the (simulated) IAS. Everything they touch
+//! is adversary-visible; the protocol's security rests entirely on what
+//! the enclaves verify.
+
+use crate::harness::{encode_init, open_envelope, ops as lib_ops};
+use crate::library::InitRequest;
+use crate::me::{ops as me_ops, read_opt, MeAction, RaResponseAuth};
+use crate::remote_attest::RaHello;
+use cloud_sim::disk::UntrustedDisk;
+use cloud_sim::network::{Endpoint, Network};
+use cloud_sim::world::Service;
+use sgx_sim::enclave::EnclaveHandle;
+use sgx_sim::ias::AttestationService;
+use sgx_sim::machine::MachineId;
+use sgx_sim::measurement::MrEnclave;
+use sgx_sim::quote::Quote;
+use sgx_sim::wire::{WireReader, WireWriter};
+use sgx_sim::SgxError;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Parsed output of the ME's `LA_MSG2` ECALL: msg3, attested
+/// measurement, optional forward ciphertext.
+type LaMsg2Output = (Vec<u8>, MrEnclave, Option<Vec<u8>>);
+/// Parsed output of the ME's `TRANSFER` ECALL: kind, measurement,
+/// optional forward ciphertext, optional ack ciphertext.
+type TransferOutput = (u8, MrEnclave, Option<Vec<u8>>, Option<Vec<u8>>);
+/// Parsed output of the ME's `ACK` ECALL: kind, measurement, optional
+/// completion ciphertext.
+type AckOutput = (u8, MrEnclave, Option<Vec<u8>>);
+
+/// Modelled IAS HTTPS round-trip latency (intra-region).
+pub const IAS_ROUND_TRIP: Duration = Duration::from_millis(20);
+
+/// Service name of the Migration Enclave host on each machine.
+pub const ME_SERVICE: &str = "me";
+
+/// Untrusted wire tags for host↔host messages.
+pub mod tags {
+    /// App → ME: request a local-attestation session.
+    pub const LA_START: u8 = 1;
+    /// ME → app: DH Msg1.
+    pub const LA_MSG1: u8 = 2;
+    /// App → ME: DH Msg2.
+    pub const LA_MSG2: u8 = 3;
+    /// ME → app: DH Msg3.
+    pub const LA_MSG3: u8 = 4;
+    /// App → ME: encrypted library message.
+    pub const LIB_MSG: u8 = 5;
+    /// ME → app: encrypted ME message (incoming migration / completion).
+    pub const ME_FORWARD: u8 = 6;
+    /// ME ↔ ME: remote-attestation hello.
+    pub const RA_HELLO: u8 = 7;
+    /// ME ↔ ME: remote-attestation response.
+    pub const RA_RESPONSE: u8 = 8;
+    /// ME ↔ ME: remote-attestation finish.
+    pub const RA_FINISH: u8 = 9;
+    /// ME ↔ ME: encrypted migration transfer.
+    pub const RA_TRANSFER: u8 = 10;
+    /// ME ↔ ME: encrypted acknowledgement.
+    pub const RA_ACK: u8 = 11;
+}
+
+fn frame(tag: u8, payload: &[u8]) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.u8(tag).bytes(payload);
+    w.finish()
+}
+
+fn unframe(bytes: &[u8]) -> Result<(u8, Vec<u8>), SgxError> {
+    let mut r = WireReader::new(bytes);
+    let tag = r.u8()?;
+    let payload = r.bytes_vec()?;
+    r.finish()?;
+    Ok((tag, payload))
+}
+
+// ---------------------------------------------------------------------
+// MeHost
+// ---------------------------------------------------------------------
+
+/// The untrusted host of a machine's Migration Enclave, running in the
+/// management VM and registered as the machine's `"me"` service.
+pub struct MeHost {
+    endpoint: Endpoint,
+    enclave: EnclaveHandle,
+    ias: AttestationService,
+    /// App endpoint per attested enclave measurement (routing only).
+    app_by_mr: HashMap<MrEnclave, Endpoint>,
+    /// Reverse: attested measurement per app endpoint.
+    mr_by_app: HashMap<Endpoint, MrEnclave>,
+    /// Non-fatal protocol errors observed (visible to tests).
+    pub errors: Vec<String>,
+}
+
+impl std::fmt::Debug for MeHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MeHost")
+            .field("endpoint", &self.endpoint)
+            .field("apps", &self.app_by_mr.len())
+            .field("errors", &self.errors.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl MeHost {
+    /// Creates the host around a loaded, provisioned ME enclave.
+    #[must_use]
+    pub fn new(endpoint: Endpoint, enclave: EnclaveHandle, ias: AttestationService) -> Self {
+        MeHost {
+            endpoint,
+            enclave,
+            ias,
+            app_by_mr: HashMap::new(),
+            mr_by_app: HashMap::new(),
+            errors: Vec::new(),
+        }
+    }
+
+    /// The ME enclave handle (diagnostics).
+    #[must_use]
+    pub fn enclave(&self) -> &EnclaveHandle {
+        &self.enclave
+    }
+
+    fn fail(&mut self, context: &str, err: impl std::fmt::Display) {
+        self.errors.push(format!("{context}: {err}"));
+    }
+
+    /// Quote → IAS evidence, charging the modelled round trip.
+    fn ias_evidence(&mut self, net: &mut Network, quote_bytes: &[u8]) -> Option<Vec<u8>> {
+        net.consume(IAS_ROUND_TRIP);
+        let quote = match Quote::from_bytes(quote_bytes) {
+            Ok(q) => q,
+            Err(e) => {
+                self.fail("parse quote", e);
+                return None;
+            }
+        };
+        match self.ias.verify_quote(&quote) {
+            Ok(evidence) => Some(evidence.to_bytes()),
+            Err(e) => {
+                self.fail("ias verification", e);
+                None
+            }
+        }
+    }
+
+    fn token_for(endpoint: &Endpoint) -> Vec<u8> {
+        endpoint.to_string().into_bytes()
+    }
+
+    fn handle_action(&mut self, net: &mut Network, action_bytes: &[u8]) {
+        let action = match MeAction::from_bytes(action_bytes) {
+            Ok(a) => a,
+            Err(e) => return self.fail("decode me action", e),
+        };
+        match action {
+            MeAction::None => {}
+            MeAction::ConnectRemote { destination, hello } => {
+                let me = Endpoint::new(destination, ME_SERVICE);
+                net.send(&self.endpoint, &me, frame(tags::RA_HELLO, &hello));
+            }
+            MeAction::SendRemote {
+                destination,
+                transfer,
+            } => {
+                let me = Endpoint::new(destination, ME_SERVICE);
+                net.send(&self.endpoint, &me, frame(tags::RA_TRANSFER, &transfer));
+            }
+            MeAction::AckSource { source, ack } => {
+                let me = Endpoint::new(source, ME_SERVICE);
+                net.send(&self.endpoint, &me, frame(tags::RA_ACK, &ack));
+            }
+        }
+    }
+
+    /// Seals the ME's durable state for disk storage (host-driven
+    /// checkpointing; the sealed blob is machine-bound).
+    ///
+    /// # Errors
+    ///
+    /// Enclave errors propagate (e.g. unprovisioned ME).
+    pub fn persist_state(&mut self) -> Result<Vec<u8>, SgxError> {
+        self.enclave.ecall(me_ops::PERSIST, &[])
+    }
+
+    /// Replaces the ME enclave after a management-VM restart, restoring
+    /// durable state from `state` if provided. All attested sessions are
+    /// ephemeral, so routing tables are cleared; application enclaves and
+    /// peer MEs must re-attest.
+    ///
+    /// # Errors
+    ///
+    /// Restore failures propagate (tampered or foreign blob).
+    pub fn replace_enclave(
+        &mut self,
+        enclave: EnclaveHandle,
+        state: Option<&[u8]>,
+    ) -> Result<(), SgxError> {
+        if let Some(blob) = state {
+            enclave.ecall(me_ops::RESTORE, blob)?;
+        }
+        self.enclave = enclave;
+        self.app_by_mr.clear();
+        self.mr_by_app.clear();
+        Ok(())
+    }
+
+    /// Re-dispatches retained migration data for `mr` to `destination`
+    /// (operator-driven error recovery; Fig. 2).
+    pub fn retry_migration(
+        &mut self,
+        net: &mut Network,
+        mr: MrEnclave,
+        destination: MachineId,
+    ) -> Result<(), SgxError> {
+        let mut w = WireWriter::new();
+        w.array(&mr.0);
+        w.u64(destination.0);
+        let action = self.enclave.ecall(me_ops::RETRY, &w.finish())?;
+        self.handle_action(net, &action);
+        Ok(())
+    }
+
+    fn on_la_start(&mut self, net: &mut Network, from: &Endpoint) {
+        let mut w = WireWriter::new();
+        w.bytes(&Self::token_for(from));
+        match self.enclave.ecall(me_ops::LA_START, &w.finish()) {
+            Ok(msg1) => net.send(&self.endpoint, from, frame(tags::LA_MSG1, &msg1)),
+            Err(e) => self.fail("la start", e),
+        }
+    }
+
+    fn on_la_msg2(&mut self, net: &mut Network, from: &Endpoint, msg2: &[u8]) {
+        let mut w = WireWriter::new();
+        w.bytes(&Self::token_for(from));
+        w.bytes(msg2);
+        let out = match self.enclave.ecall(me_ops::LA_MSG2, &w.finish()) {
+            Ok(out) => out,
+            Err(e) => return self.fail("la msg2", e),
+        };
+        let parsed: Result<LaMsg2Output, SgxError> = (|| {
+            let mut r = WireReader::new(&out);
+            let msg3 = r.bytes_vec()?;
+            let mr = MrEnclave(r.array()?);
+            let forward = read_opt(&mut r)?;
+            r.finish()?;
+            Ok((msg3, mr, forward))
+        })();
+        match parsed {
+            Ok((msg3, mr, forward)) => {
+                self.app_by_mr.insert(mr, from.clone());
+                self.mr_by_app.insert(from.clone(), mr);
+                net.send(&self.endpoint, from, frame(tags::LA_MSG3, &msg3));
+                if let Some(ct) = forward {
+                    net.send(&self.endpoint, from, frame(tags::ME_FORWARD, &ct));
+                }
+            }
+            Err(e) => self.fail("parse la msg2 output", e),
+        }
+    }
+
+    fn on_lib_msg(&mut self, net: &mut Network, from: &Endpoint, ct: &[u8]) {
+        let Some(mr) = self.mr_by_app.get(from).copied() else {
+            return self.fail("lib msg", "no attested session for sender");
+        };
+        let mut w = WireWriter::new();
+        w.array(&mr.0);
+        w.bytes(ct);
+        match self.enclave.ecall(me_ops::LIB_MSG, &w.finish()) {
+            Ok(action) => self.handle_action(net, &action),
+            Err(e) => self.fail("lib msg", e),
+        }
+    }
+
+    fn on_ra_hello(&mut self, net: &mut Network, from: &Endpoint, payload: &[u8]) {
+        let hello = match RaHello::from_bytes(payload) {
+            Ok(h) => h,
+            Err(e) => return self.fail("parse ra hello", e),
+        };
+        let Some(evidence) = self.ias_evidence(net, &hello.quote.to_bytes()) else {
+            return;
+        };
+        let mut w = WireWriter::new();
+        w.u64(from.machine.0);
+        w.array(&hello.g_i.0);
+        w.bytes(&evidence);
+        match self.enclave.ecall(me_ops::RA_HELLO, &w.finish()) {
+            Ok(response) => net.send(&self.endpoint, from, frame(tags::RA_RESPONSE, &response)),
+            Err(e) => self.fail("ra hello", e),
+        }
+    }
+
+    fn on_ra_response(&mut self, net: &mut Network, from: &Endpoint, payload: &[u8]) {
+        let auth = match RaResponseAuth::from_bytes(payload) {
+            Ok(a) => a,
+            Err(e) => return self.fail("parse ra response", e),
+        };
+        let Some(evidence) = self.ias_evidence(net, &auth.response.quote.to_bytes()) else {
+            return;
+        };
+        let mut w = WireWriter::new();
+        w.u64(from.machine.0);
+        w.array(&auth.response.g_r.0);
+        w.bytes(&evidence);
+        w.bytes(&auth.credential.to_bytes());
+        w.array(&auth.signature.0);
+        let out = match self.enclave.ecall(me_ops::RA_RESPONSE, &w.finish()) {
+            Ok(out) => out,
+            Err(e) => return self.fail("ra response", e),
+        };
+        let parsed: Result<(Vec<u8>, Vec<Vec<u8>>), SgxError> = (|| {
+            let mut r = WireReader::new(&out);
+            let finish = r.bytes_vec()?;
+            let n = r.u32()? as usize;
+            let mut transfers = Vec::with_capacity(n);
+            for _ in 0..n {
+                transfers.push(r.bytes_vec()?);
+            }
+            r.finish()?;
+            Ok((finish, transfers))
+        })();
+        match parsed {
+            Ok((finish, transfers)) => {
+                net.send(&self.endpoint, from, frame(tags::RA_FINISH, &finish));
+                for transfer in transfers {
+                    net.send(&self.endpoint, from, frame(tags::RA_TRANSFER, &transfer));
+                }
+            }
+            Err(e) => self.fail("parse ra response output", e),
+        }
+    }
+
+    fn on_ra_finish(&mut self, from: &Endpoint, payload: &[u8]) {
+        let mut w = WireWriter::new();
+        w.u64(from.machine.0);
+        w.bytes(payload);
+        if let Err(e) = self.enclave.ecall(me_ops::RA_FINISH, &w.finish()) {
+            self.fail("ra finish", e);
+        }
+    }
+
+    fn on_ra_transfer(&mut self, net: &mut Network, from: &Endpoint, ct: &[u8]) {
+        let mut w = WireWriter::new();
+        w.u64(from.machine.0);
+        w.bytes(ct);
+        let out = match self.enclave.ecall(me_ops::TRANSFER, &w.finish()) {
+            Ok(out) => out,
+            Err(e) => return self.fail("ra transfer", e),
+        };
+        let parsed: Result<TransferOutput, SgxError> = (|| {
+            let mut r = WireReader::new(&out);
+            let kind = r.u8()?;
+            let mr = MrEnclave(r.array()?);
+            let forward = read_opt(&mut r)?;
+            let ack = read_opt(&mut r)?;
+            r.finish()?;
+            Ok((kind, mr, forward, ack))
+        })();
+        match parsed {
+            Ok((_kind, mr, forward, ack)) => {
+                if let Some(ct) = forward {
+                    if let Some(app) = self.app_by_mr.get(&mr).cloned() {
+                        net.send(&self.endpoint, &app, frame(tags::ME_FORWARD, &ct));
+                    } else {
+                        self.fail("ra transfer", "forward with no app endpoint");
+                    }
+                }
+                if let Some(ct) = ack {
+                    net.send(&self.endpoint, from, frame(tags::RA_ACK, &ct));
+                }
+            }
+            Err(e) => self.fail("parse transfer output", e),
+        }
+    }
+
+    fn on_ra_ack(&mut self, net: &mut Network, from: &Endpoint, ct: &[u8]) {
+        let mut w = WireWriter::new();
+        w.u64(from.machine.0);
+        w.bytes(ct);
+        let out = match self.enclave.ecall(me_ops::ACK, &w.finish()) {
+            Ok(out) => out,
+            Err(e) => return self.fail("ra ack", e),
+        };
+        let parsed: Result<AckOutput, SgxError> = (|| {
+            let mut r = WireReader::new(&out);
+            let kind = r.u8()?;
+            let mr = MrEnclave(r.array()?);
+            let complete = read_opt(&mut r)?;
+            r.finish()?;
+            Ok((kind, mr, complete))
+        })();
+        match parsed {
+            Ok((kind, mr, complete)) => {
+                if kind == 1 {
+                    // Delivered: notify the (frozen) source app if known.
+                    if let (Some(ct), Some(app)) = (complete, self.app_by_mr.get(&mr).cloned()) {
+                        net.send(&self.endpoint, &app, frame(tags::ME_FORWARD, &ct));
+                    }
+                }
+            }
+            Err(e) => self.fail("parse ack output", e),
+        }
+    }
+}
+
+impl Service for MeHost {
+    fn on_message(&mut self, net: &mut Network, from: &Endpoint, payload: &[u8]) {
+        let (tag, body) = match unframe(payload) {
+            Ok(x) => x,
+            Err(e) => return self.fail("unframe", e),
+        };
+        match tag {
+            tags::LA_START => self.on_la_start(net, from),
+            tags::LA_MSG2 => self.on_la_msg2(net, from, &body),
+            tags::LIB_MSG => self.on_lib_msg(net, from, &body),
+            tags::RA_HELLO => self.on_ra_hello(net, from, &body),
+            tags::RA_RESPONSE => self.on_ra_response(net, from, &body),
+            tags::RA_FINISH => self.on_ra_finish(from, &body),
+            tags::RA_TRANSFER => self.on_ra_transfer(net, from, &body),
+            tags::RA_ACK => self.on_ra_ack(net, from, &body),
+            other => self.fail("unknown tag", other),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// AppHost
+// ---------------------------------------------------------------------
+
+/// Lifecycle status of an application host.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AppStatus {
+    /// Enclave loaded, library initialized, ME attestation in flight.
+    AttestingMe,
+    /// Fully operational.
+    Ready,
+    /// `migration_start` issued; awaiting completion notification.
+    MigratingOut,
+    /// Migration confirmed complete; local enclave is frozen.
+    Migrated,
+    /// Awaiting incoming migration data.
+    AwaitingIncoming,
+    /// A host-level failure occurred (see `errors`).
+    Failed,
+}
+
+/// The untrusted application process hosting one migratable enclave.
+///
+/// Owns the enclave handle, persists the library's sealed blob to the
+/// machine's untrusted disk, and relays protocol ciphertexts between the
+/// enclave and the local ME host.
+pub struct AppHost {
+    name: String,
+    endpoint: Endpoint,
+    me_endpoint: Endpoint,
+    enclave: EnclaveHandle,
+    disk: UntrustedDisk,
+    status: AppStatus,
+    /// Non-fatal errors observed (visible to tests).
+    pub errors: Vec<String>,
+}
+
+impl std::fmt::Debug for AppHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppHost")
+            .field("name", &self.name)
+            .field("endpoint", &self.endpoint)
+            .field("status", &self.status)
+            .finish_non_exhaustive()
+    }
+}
+
+impl AppHost {
+    /// Creates a host for a loaded enclave and initializes its library.
+    ///
+    /// `init` selects the Fig. 1 start state; the sealed state blob, when
+    /// produced, is stored under `state_key` on `disk`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `MIG_INIT` failures (frozen blob, stale state, ...).
+    pub fn start(
+        name: &str,
+        endpoint: Endpoint,
+        enclave: EnclaveHandle,
+        disk: UntrustedDisk,
+        expected_me: MrEnclave,
+        init: InitRequest,
+    ) -> Result<Self, SgxError> {
+        let mut host = AppHost {
+            name: name.to_string(),
+            endpoint,
+            me_endpoint: Endpoint::new(MachineId(0), ME_SERVICE), // fixed below
+            enclave,
+            disk,
+            status: match init {
+                InitRequest::Migrate => AppStatus::AwaitingIncoming,
+                _ => AppStatus::AttestingMe,
+            },
+            errors: Vec::new(),
+        };
+        host.me_endpoint = Endpoint::new(host.endpoint.machine, ME_SERVICE);
+        let request = encode_init(&expected_me, &init);
+        let out = host.enclave.ecall(lib_ops::MIG_INIT, &request)?;
+        host.store_persist(&out)?;
+        Ok(host)
+    }
+
+    /// The disk key under which this app's library state blob lives.
+    #[must_use]
+    pub fn state_key(&self) -> String {
+        format!("mig-state:{}", self.name)
+    }
+
+    /// Current status.
+    #[must_use]
+    pub fn status(&self) -> AppStatus {
+        self.status
+    }
+
+    /// The app's network endpoint.
+    #[must_use]
+    pub fn endpoint(&self) -> Endpoint {
+        self.endpoint.clone()
+    }
+
+    /// The enclave handle (diagnostics / direct calls in tests).
+    #[must_use]
+    pub fn enclave(&self) -> &EnclaveHandle {
+        &self.enclave
+    }
+
+    fn store_persist(&mut self, envelope_bytes: &[u8]) -> Result<Vec<u8>, SgxError> {
+        let (payload, persist) = open_envelope(envelope_bytes)?;
+        if let Some(blob) = persist {
+            self.disk.put(&self.state_key(), blob);
+        }
+        Ok(payload)
+    }
+
+    /// Kicks off local attestation with the machine's ME.
+    pub fn attest_me(&mut self, net: &mut Network) {
+        net.send(&self.endpoint, &self.me_endpoint, frame(tags::LA_START, &[]));
+    }
+
+    /// Whether the attested ME session is up (status advanced past
+    /// attestation).
+    #[must_use]
+    pub fn is_ready(&self) -> bool {
+        self.status == AppStatus::Ready
+    }
+
+    /// Issues an application ECALL (opcode < `0x1000`), unwrapping the
+    /// persistence envelope.
+    ///
+    /// # Errors
+    ///
+    /// Propagates enclave errors.
+    pub fn call(&mut self, opcode: u32, input: &[u8]) -> Result<Vec<u8>, SgxError> {
+        let out = self.enclave.ecall(opcode, input)?;
+        self.store_persist(&out)
+    }
+
+    /// Starts a migration to `destination` (`migration_start`,
+    /// Listing 1).
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::Enclave`] host-state error if not ready; enclave
+    /// errors propagate.
+    pub fn migrate_to(
+        &mut self,
+        net: &mut Network,
+        destination: MachineId,
+    ) -> Result<(), SgxError> {
+        if self.status != AppStatus::Ready {
+            return Err(SgxError::Enclave("app host not ready to migrate".into()));
+        }
+        let mut w = WireWriter::new();
+        w.u64(destination.0);
+        let out = self.enclave.ecall(lib_ops::MIG_START, &w.finish())?;
+        // The frozen state blob must hit the disk before the request is
+        // relayed (crash consistency; §V-C ordering).
+        let ct = self.store_persist(&out)?;
+        net.send(&self.endpoint, &self.me_endpoint, frame(tags::LIB_MSG, &ct));
+        self.status = AppStatus::MigratingOut;
+        Ok(())
+    }
+
+    fn fail(&mut self, context: &str, err: impl std::fmt::Display) {
+        self.errors.push(format!("{context}: {err}"));
+        self.status = AppStatus::Failed;
+    }
+
+    fn on_me_forward(&mut self, net: &mut Network, ct: &[u8]) {
+        let out = match self.enclave.ecall(lib_ops::ME_CT, ct) {
+            Ok(out) => out,
+            Err(e) => return self.fail("me forward", e),
+        };
+        let payload = match self.store_persist(&out) {
+            Ok(p) => p,
+            Err(e) => return self.fail("me forward persist", e),
+        };
+        let reply: Result<Option<Vec<u8>>, SgxError> = (|| {
+            let mut r = WireReader::new(&payload);
+            let reply = read_opt(&mut r)?;
+            r.finish()?;
+            Ok(reply)
+        })();
+        match reply {
+            Ok(Some(done_ct)) => {
+                // Incoming migration installed: confirm with DONE.
+                net.send(
+                    &self.endpoint,
+                    &self.me_endpoint,
+                    frame(tags::LIB_MSG, &done_ct),
+                );
+                self.status = AppStatus::Ready;
+            }
+            Ok(None) => {
+                // MigrationComplete notification on the source side.
+                if self.status == AppStatus::MigratingOut {
+                    self.status = AppStatus::Migrated;
+                }
+            }
+            Err(e) => self.fail("parse me forward reply", e),
+        }
+    }
+}
+
+impl Service for AppHost {
+    fn on_message(&mut self, net: &mut Network, _from: &Endpoint, payload: &[u8]) {
+        let (tag, body) = match unframe(payload) {
+            Ok(x) => x,
+            Err(e) => return self.fail("unframe", e),
+        };
+        match tag {
+            tags::LA_MSG1 => match self.enclave.ecall(lib_ops::ME_MSG1, &body) {
+                Ok(out) => match self.store_persist(&out) {
+                    Ok(msg2) => net.send(
+                        &self.endpoint,
+                        &self.me_endpoint,
+                        frame(tags::LA_MSG2, &msg2),
+                    ),
+                    Err(e) => self.fail("la msg1 persist", e),
+                },
+                Err(e) => self.fail("la msg1", e),
+            },
+            tags::LA_MSG3 => match self.enclave.ecall(lib_ops::ME_MSG3, &body) {
+                Ok(out) => {
+                    if let Err(e) = self.store_persist(&out) {
+                        return self.fail("la msg3 persist", e);
+                    }
+                    if self.status == AppStatus::AttestingMe {
+                        self.status = AppStatus::Ready;
+                    }
+                }
+                Err(e) => self.fail("la msg3", e),
+            },
+            tags::ME_FORWARD => self.on_me_forward(net, &body),
+            other => self.fail("unexpected tag", other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::me::write_opt;
+
+    #[test]
+    fn frames_round_trip() {
+        let framed = frame(tags::LIB_MSG, b"ciphertext");
+        let (tag, body) = unframe(&framed).unwrap();
+        assert_eq!(tag, tags::LIB_MSG);
+        assert_eq!(body, b"ciphertext");
+        assert!(unframe(&framed[..2]).is_err());
+    }
+
+    #[test]
+    fn write_read_opt_round_trip() {
+        let mut w = WireWriter::new();
+        write_opt(&mut w, Some(b"x"));
+        write_opt(&mut w, None);
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(read_opt(&mut r).unwrap().unwrap(), b"x");
+        assert!(read_opt(&mut r).unwrap().is_none());
+        r.finish().unwrap();
+    }
+}

@@ -1,0 +1,384 @@
+//! The Migration Library's data structures — Tables I and II of the paper,
+//! reproduced field for field.
+//!
+//! [`MigrationData`] (Table I) is what travels to the destination: which
+//! counters are active, their *effective values* (used as the next
+//! offsets), and the Migration Sealing Key. [`LibraryState`] (Table II) is
+//! the library's local persistent blob: the freeze flag, the counter
+//! bookkeeping (including the machine-specific SGX counter UUIDs, which
+//! never migrate), the offsets, and the MSK. The blob is sealed with the
+//! *native* machine-bound sealing before it leaves the enclave.
+
+use crate::error::MigError;
+use sgx_sim::counters::CounterUuid;
+use sgx_sim::wire::{WireReader, WireWriter};
+use sgx_sim::SgxError;
+
+/// Number of counter slots (the SGX per-enclave limit the library wraps;
+/// §VI-B: "the Migration Library is still limited to the same 256
+/// monotonic counters").
+pub const COUNTER_SLOTS: usize = 256;
+
+/// Table I — the data transferred during migration.
+///
+/// | Name            | Type          | Description          |
+/// |-----------------|---------------|----------------------|
+/// | counters active | `bool[256]`   | Shows used counters  |
+/// | counter values  | `uint32[256]` | Used as next offset  |
+/// | MSK             | 128-bit key   | Used by migratable seal |
+#[derive(Clone, PartialEq, Eq)]
+pub struct MigrationData {
+    /// Which library counter ids are in use.
+    pub counters_active: [bool; COUNTER_SLOTS],
+    /// Effective counter values at migration time; the destination
+    /// installs them as its counter offsets.
+    pub counter_values: [u32; COUNTER_SLOTS],
+    /// The Migration Sealing Key.
+    pub msk: [u8; 16],
+}
+
+impl std::fmt::Debug for MigrationData {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print the MSK.
+        f.debug_struct("MigrationData")
+            .field(
+                "active",
+                &self.counters_active.iter().filter(|a| **a).count(),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+impl MigrationData {
+    /// Wire size in bytes: 256 activity flags + 256 × u32 values + MSK.
+    pub const WIRE_SIZE: usize = COUNTER_SLOTS + 4 * COUNTER_SLOTS + 16;
+
+    /// Serializes (fixed size, [`Self::WIRE_SIZE`] bytes).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        for active in &self.counters_active {
+            w.u8(u8::from(*active));
+        }
+        for value in &self.counter_values {
+            w.u32(*value);
+        }
+        w.array(&self.msk);
+        w.finish()
+    }
+
+    /// Parses migration data.
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::Decode`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SgxError> {
+        let mut r = WireReader::new(bytes);
+        let mut counters_active = [false; COUNTER_SLOTS];
+        for slot in &mut counters_active {
+            *slot = match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(SgxError::Decode),
+            };
+        }
+        let mut counter_values = [0u32; COUNTER_SLOTS];
+        for value in &mut counter_values {
+            *value = r.u32()?;
+        }
+        let msk: [u8; 16] = r.array()?;
+        r.finish()?;
+        Ok(MigrationData {
+            counters_active,
+            counter_values,
+            msk,
+        })
+    }
+}
+
+/// Table II — the library's local persistent data.
+///
+/// | Name            | Type               | Description              |
+/// |-----------------|--------------------|--------------------------|
+/// | frozen          | `uint8`            | Freeze flag for migration |
+/// | counters active | `bool[256]`        | Shows used counters      |
+/// | counter uuids   | `SGX counter[256]` | UUIDs of the SGX counters |
+/// | counter offsets | `uint32[256]`      | Offsets of the counters  |
+/// | MSK             | 128-bit key        | Used by migratable seal  |
+#[derive(Clone, PartialEq, Eq)]
+pub struct LibraryState {
+    /// Non-zero once the enclave's state has been migrated away; a blob
+    /// with this flag set must never be accepted for operation again.
+    pub frozen: u8,
+    /// Which library counter ids are in use.
+    pub counters_active: [bool; COUNTER_SLOTS],
+    /// Machine-specific SGX counter UUIDs (meaningless after migration).
+    pub counter_uuids: [CounterUuid; COUNTER_SLOTS],
+    /// Per-counter migration offsets (effective = hardware + offset).
+    pub counter_offsets: [u32; COUNTER_SLOTS],
+    /// The Migration Sealing Key.
+    pub msk: [u8; 16],
+}
+
+impl std::fmt::Debug for LibraryState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LibraryState")
+            .field("frozen", &self.frozen)
+            .field(
+                "active",
+                &self.counters_active.iter().filter(|a| **a).count(),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+const NULL_UUID: CounterUuid = CounterUuid {
+    slot: 0,
+    nonce: [0; 8],
+};
+
+impl LibraryState {
+    /// Wire size in bytes: frozen + flags + 9-byte UUIDs + offsets + MSK.
+    pub const WIRE_SIZE: usize = 1 + COUNTER_SLOTS + 9 * COUNTER_SLOTS + 4 * COUNTER_SLOTS + 16;
+
+    /// A fresh state: nothing active, not frozen, caller-provided MSK.
+    #[must_use]
+    pub fn fresh(msk: [u8; 16]) -> Self {
+        LibraryState {
+            frozen: 0,
+            counters_active: [false; COUNTER_SLOTS],
+            counter_uuids: [NULL_UUID; COUNTER_SLOTS],
+            counter_offsets: [0; COUNTER_SLOTS],
+            msk,
+        }
+    }
+
+    /// Builds the state a destination enclave installs from received
+    /// migration data: offsets take the transferred effective values;
+    /// UUIDs are cleared (fresh hardware counters are created next).
+    #[must_use]
+    pub fn from_migration_data(data: &MigrationData) -> Self {
+        LibraryState {
+            frozen: 0,
+            counters_active: data.counters_active,
+            counter_uuids: [NULL_UUID; COUNTER_SLOTS],
+            counter_offsets: data.counter_values,
+            msk: data.msk,
+        }
+    }
+
+    /// Extracts the Table I migration payload, given the current
+    /// *effective* values of all active counters.
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; returns `Result` for interface stability with
+    /// the overflow checks performed by the caller when computing
+    /// effective values.
+    pub fn to_migration_data(
+        &self,
+        effective_values: &[u32; COUNTER_SLOTS],
+    ) -> Result<MigrationData, MigError> {
+        Ok(MigrationData {
+            counters_active: self.counters_active,
+            counter_values: *effective_values,
+            msk: self.msk,
+        })
+    }
+
+    /// Serializes (fixed size, [`Self::WIRE_SIZE`] bytes).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u8(self.frozen);
+        for active in &self.counters_active {
+            w.u8(u8::from(*active));
+        }
+        for uuid in &self.counter_uuids {
+            uuid.encode(&mut w);
+        }
+        for offset in &self.counter_offsets {
+            w.u32(*offset);
+        }
+        w.array(&self.msk);
+        w.finish()
+    }
+
+    /// Parses a library state blob (after unsealing).
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::Decode`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SgxError> {
+        let mut r = WireReader::new(bytes);
+        let frozen = r.u8()?;
+        let mut counters_active = [false; COUNTER_SLOTS];
+        for slot in &mut counters_active {
+            *slot = match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(SgxError::Decode),
+            };
+        }
+        let mut counter_uuids = [NULL_UUID; COUNTER_SLOTS];
+        for uuid in &mut counter_uuids {
+            *uuid = CounterUuid::decode(&mut r)?;
+        }
+        let mut counter_offsets = [0u32; COUNTER_SLOTS];
+        for offset in &mut counter_offsets {
+            *offset = r.u32()?;
+        }
+        let msk: [u8; 16] = r.array()?;
+        r.finish()?;
+        Ok(LibraryState {
+            frozen,
+            counters_active,
+            counter_uuids,
+            counter_offsets,
+            msk,
+        })
+    }
+
+    /// Indices of all active counters.
+    pub fn active_ids(&self) -> impl Iterator<Item = usize> + '_ {
+        self.counters_active
+            .iter()
+            .enumerate()
+            .filter_map(|(i, active)| active.then_some(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_state() -> LibraryState {
+        let mut state = LibraryState::fresh([0xAA; 16]);
+        state.counters_active[3] = true;
+        state.counter_uuids[3] = CounterUuid {
+            slot: 7,
+            nonce: [1, 2, 3, 4, 5, 6, 7, 8],
+        };
+        state.counter_offsets[3] = 42;
+        state.counters_active[200] = true;
+        state.counter_uuids[200] = CounterUuid {
+            slot: 9,
+            nonce: [9; 8],
+        };
+        state.counter_offsets[200] = 7;
+        state
+    }
+
+    #[test]
+    fn migration_data_wire_size_matches_table_i() {
+        // Table I: bool[256] + uint32[256] + 128-bit key.
+        assert_eq!(MigrationData::WIRE_SIZE, 256 + 1024 + 16);
+        let data = MigrationData {
+            counters_active: [false; COUNTER_SLOTS],
+            counter_values: [0; COUNTER_SLOTS],
+            msk: [0; 16],
+        };
+        assert_eq!(data.to_bytes().len(), MigrationData::WIRE_SIZE);
+    }
+
+    #[test]
+    fn library_state_wire_size_matches_table_ii() {
+        // Table II: uint8 + bool[256] + uuid[256] (9B each) + uint32[256] + key.
+        assert_eq!(LibraryState::WIRE_SIZE, 1 + 256 + 2304 + 1024 + 16);
+        assert_eq!(sample_state().to_bytes().len(), LibraryState::WIRE_SIZE);
+    }
+
+    #[test]
+    fn migration_data_round_trip() {
+        let mut data = MigrationData {
+            counters_active: [false; COUNTER_SLOTS],
+            counter_values: [0; COUNTER_SLOTS],
+            msk: [0x77; 16],
+        };
+        data.counters_active[0] = true;
+        data.counter_values[0] = 123;
+        data.counters_active[255] = true;
+        data.counter_values[255] = u32::MAX;
+        let parsed = MigrationData::from_bytes(&data.to_bytes()).unwrap();
+        assert_eq!(parsed, data);
+    }
+
+    #[test]
+    fn library_state_round_trip() {
+        let state = sample_state();
+        let parsed = LibraryState::from_bytes(&state.to_bytes()).unwrap();
+        assert_eq!(parsed, state);
+    }
+
+    #[test]
+    fn malformed_bool_rejected() {
+        let mut bytes = sample_state().to_bytes();
+        bytes[1] = 2; // invalid bool for counters_active[0]
+        assert_eq!(LibraryState::from_bytes(&bytes).unwrap_err(), SgxError::Decode);
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = sample_state().to_bytes();
+        assert!(LibraryState::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let data = MigrationData {
+            counters_active: [false; COUNTER_SLOTS],
+            counter_values: [0; COUNTER_SLOTS],
+            msk: [0; 16],
+        };
+        let bytes = data.to_bytes();
+        assert!(MigrationData::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn from_migration_data_installs_offsets_and_clears_uuids() {
+        let mut data = MigrationData {
+            counters_active: [false; COUNTER_SLOTS],
+            counter_values: [0; COUNTER_SLOTS],
+            msk: [0xCC; 16],
+        };
+        data.counters_active[5] = true;
+        data.counter_values[5] = 77;
+
+        let state = LibraryState::from_migration_data(&data);
+        assert_eq!(state.frozen, 0);
+        assert!(state.counters_active[5]);
+        assert_eq!(state.counter_offsets[5], 77);
+        assert_eq!(state.counter_uuids[5], NULL_UUID);
+        assert_eq!(state.msk, [0xCC; 16]);
+    }
+
+    #[test]
+    fn to_migration_data_uses_effective_values() {
+        let state = sample_state();
+        let mut effective = [0u32; COUNTER_SLOTS];
+        effective[3] = 50; // offset 42 + hardware 8, say
+        effective[200] = 7;
+        let data = state.to_migration_data(&effective).unwrap();
+        assert_eq!(data.counter_values[3], 50);
+        assert_eq!(data.counter_values[200], 7);
+        assert_eq!(data.counters_active, state.counters_active);
+        assert_eq!(data.msk, state.msk);
+    }
+
+    #[test]
+    fn active_ids_enumerates_only_active() {
+        let state = sample_state();
+        let ids: Vec<usize> = state.active_ids().collect();
+        assert_eq!(ids, vec![3, 200]);
+    }
+
+    #[test]
+    fn debug_never_leaks_msk() {
+        let state = sample_state();
+        let dbg = format!("{state:?}");
+        assert!(!dbg.contains("aa"), "MSK bytes must not appear: {dbg}");
+        let data = MigrationData {
+            counters_active: [false; COUNTER_SLOTS],
+            counter_values: [0; COUNTER_SLOTS],
+            msk: [0xBB; 16],
+        };
+        let dbg = format!("{data:?}");
+        assert!(!dbg.contains("bb"), "MSK bytes must not appear: {dbg}");
+    }
+}

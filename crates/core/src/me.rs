@@ -1,0 +1,895 @@
+//! The **Migration Enclave** (ME) — the per-machine trusted migration
+//! manager (§V-B, §VI-A).
+//!
+//! One ME runs in each machine's management VM. It:
+//!
+//! * accepts local attestations from application enclaves and keeps one
+//!   attested channel per application MRENCLAVE;
+//! * on an outgoing `MigrateRequest`, mutually remote-attests the peer ME
+//!   (same MRENCLAVE required), authenticates it as belonging to the same
+//!   cloud operator via credential + transcript signatures, checks the
+//!   migration policy, and forwards the migration data over the resulting
+//!   secure channel;
+//! * on an incoming transfer, matches the migrating enclave's MRENCLAVE
+//!   to a locally attested enclave — forwarding immediately — or stores
+//!   the data until such an enclave attests (§VI-A);
+//! * retains outgoing migration data until the destination confirms
+//!   delivery (`DONE`), per Fig. 2's error-handling rule.
+//!
+//! The ME is driven through its ECALL ABI ([`ops`]) by the untrusted
+//! [`MeHost`](crate::host::MeHost); every input arrives over untrusted
+//! channels and every secret crosses only inside attested channels.
+
+use crate::error::MigError;
+use crate::library::state::MigrationData;
+use crate::msgs::{LibToMe, MeToLib, MeToMe};
+use crate::operator::MeCredential;
+use crate::policy::MigrationPolicy;
+use crate::remote_attest::{
+    transcript_bytes, RaConfig, RaInitiator, RaResponder, RaResponseQuote,
+};
+use crate::secure_channel::{ChannelRole, SecureChannel};
+use mig_crypto::ed25519::{Signature, SigningKey, VerifyingKey};
+use mig_crypto::x25519::PublicKey;
+use sgx_sim::dh::{DhMsg2, DhResponder};
+use sgx_sim::enclave::{EnclaveCode, EnclaveEnv};
+use sgx_sim::ias::AttestationEvidence;
+use sgx_sim::machine::MachineId;
+use sgx_sim::measurement::{EnclaveImage, EnclaveSigner, MrEnclave};
+use sgx_sim::wire::{WireReader, WireWriter};
+use sgx_sim::SgxError;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// ECALL opcodes of the Migration Enclave.
+pub mod ops {
+    /// Generate the ME's transcript-signing keypair; returns the public key.
+    pub const KEYGEN: u32 = 1;
+    /// Provision credential, operator root, IAS key, and policy.
+    pub const PROVISION: u32 = 2;
+    /// Begin a local-attestation session (returns DH Msg1).
+    pub const LA_START: u32 = 3;
+    /// Complete a local attestation (processes Msg2, returns Msg3 + info).
+    pub const LA_MSG2: u32 = 4;
+    /// Deliver an encrypted library→ME message.
+    pub const LIB_MSG: u32 = 5;
+    /// Remote attestation: incoming hello (destination side).
+    pub const RA_HELLO: u32 = 6;
+    /// Remote attestation: response received (source side).
+    pub const RA_RESPONSE: u32 = 7;
+    /// Remote attestation: finish received (destination side).
+    pub const RA_FINISH: u32 = 8;
+    /// Encrypted ME→ME transfer received (destination side).
+    pub const TRANSFER: u32 = 9;
+    /// Encrypted ME→ME acknowledgement received (source side).
+    pub const ACK: u32 = 10;
+    /// Re-dispatch retained migration data, optionally to a new
+    /// destination (Fig. 2's error rule: "the migration data remains in
+    /// the Migration Enclave on the source machine until the error is
+    /// resolved or another destination machine is selected").
+    pub const RETRY: u32 = 11;
+    /// Seal the ME's durable state (identity, credential, retained
+    /// migration data) for storage by the untrusted host, so retained
+    /// data survives management-VM restarts.
+    pub const PERSIST: u32 = 12;
+    /// Restore the ME's durable state after a restart. Attested sessions
+    /// and channels are ephemeral and must be re-established.
+    pub const RESTORE: u32 = 13;
+}
+
+/// The canonical Migration Enclave image. Identical on every machine, as
+/// required for the MRENCLAVE-equality check during ME↔ME attestation.
+#[must_use]
+pub fn me_image() -> EnclaveImage {
+    static IMAGE: OnceLock<EnclaveImage> = OnceLock::new();
+    IMAGE
+        .get_or_init(|| {
+            let signer = EnclaveSigner::from_seed(*b"sgx-migrate me reference signer!");
+            EnclaveImage::build(
+                "sgx-migrate.migration-enclave",
+                1,
+                b"migration enclave reference implementation",
+                &signer,
+            )
+        })
+        .clone()
+}
+
+/// Writes an optional byte string (flag + length-prefixed bytes).
+pub(crate) fn write_opt(w: &mut WireWriter, value: Option<&[u8]>) {
+    match value {
+        None => {
+            w.u8(0);
+        }
+        Some(bytes) => {
+            w.u8(1);
+            w.bytes(bytes);
+        }
+    }
+}
+
+/// Reads an optional byte string.
+pub(crate) fn read_opt(r: &mut WireReader<'_>) -> Result<Option<Vec<u8>>, SgxError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(r.bytes_vec()?)),
+        _ => Err(SgxError::Decode),
+    }
+}
+
+/// Action the untrusted host must take after a [`ops::LIB_MSG`] ECALL.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MeAction {
+    /// Nothing to do (e.g. handshake already in flight; data queued).
+    None,
+    /// Open a connection to the destination ME: send the RA hello.
+    ConnectRemote {
+        /// Destination machine.
+        destination: MachineId,
+        /// `RaHello` bytes to deliver to the destination's ME host.
+        hello: Vec<u8>,
+    },
+    /// A channel already exists: send this encrypted transfer.
+    SendRemote {
+        /// Destination machine.
+        destination: MachineId,
+        /// Channel-sealed [`MeToMe::Transfer`].
+        transfer: Vec<u8>,
+    },
+    /// (Destination side) relay this encrypted acknowledgement to the
+    /// source ME.
+    AckSource {
+        /// Source machine.
+        source: MachineId,
+        /// Channel-sealed [`MeToMe::Delivered`].
+        ack: Vec<u8>,
+    },
+}
+
+impl MeAction {
+    /// Serializes the action (ECALL output).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            MeAction::None => {
+                w.u8(0);
+            }
+            MeAction::ConnectRemote { destination, hello } => {
+                w.u8(1);
+                w.u64(destination.0);
+                w.bytes(hello);
+            }
+            MeAction::SendRemote {
+                destination,
+                transfer,
+            } => {
+                w.u8(2);
+                w.u64(destination.0);
+                w.bytes(transfer);
+            }
+            MeAction::AckSource { source, ack } => {
+                w.u8(3);
+                w.u64(source.0);
+                w.bytes(ack);
+            }
+        }
+        w.finish()
+    }
+
+    /// Parses an action.
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::Decode`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SgxError> {
+        let mut r = WireReader::new(bytes);
+        let action = match r.u8()? {
+            0 => MeAction::None,
+            1 => MeAction::ConnectRemote {
+                destination: MachineId(r.u64()?),
+                hello: r.bytes_vec()?,
+            },
+            2 => MeAction::SendRemote {
+                destination: MachineId(r.u64()?),
+                transfer: r.bytes_vec()?,
+            },
+            3 => MeAction::AckSource {
+                source: MachineId(r.u64()?),
+                ack: r.bytes_vec()?,
+            },
+            _ => return Err(SgxError::Decode),
+        };
+        r.finish()?;
+        Ok(action)
+    }
+}
+
+/// The authenticated RA response: responder's key+quote plus operator
+/// credential and transcript signature (§V-B's "exchange signatures on
+/// the transcript of the attestation protocol").
+#[derive(Clone, Debug)]
+pub struct RaResponseAuth {
+    /// Responder's ephemeral key and quote.
+    pub response: RaResponseQuote,
+    /// Responder's operator credential.
+    pub credential: MeCredential,
+    /// Signature over `transcript || "R"` under the credentialed key.
+    pub signature: Signature,
+}
+
+impl RaResponseAuth {
+    /// Serializes for transport.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.bytes(&self.response.to_bytes());
+        w.bytes(&self.credential.to_bytes());
+        w.array(&self.signature.0);
+        w.finish()
+    }
+
+    /// Parses from bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::Decode`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SgxError> {
+        let mut r = WireReader::new(bytes);
+        let response = RaResponseQuote::from_bytes(r.bytes()?)?;
+        let credential = MeCredential::from_bytes(r.bytes()?)?;
+        let signature = Signature(r.array::<64>()?);
+        r.finish()?;
+        Ok(RaResponseAuth {
+            response,
+            credential,
+            signature,
+        })
+    }
+}
+
+/// The initiator's closing authentication message.
+#[derive(Clone, Debug)]
+pub struct RaFinishAuth {
+    /// Initiator's operator credential.
+    pub credential: MeCredential,
+    /// Signature over `transcript || "I"` under the credentialed key.
+    pub signature: Signature,
+}
+
+impl RaFinishAuth {
+    /// Serializes for transport.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.bytes(&self.credential.to_bytes());
+        w.array(&self.signature.0);
+        w.finish()
+    }
+
+    /// Parses from bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::Decode`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SgxError> {
+        let mut r = WireReader::new(bytes);
+        let credential = MeCredential::from_bytes(r.bytes()?)?;
+        let signature = Signature(r.array::<64>()?);
+        r.finish()?;
+        Ok(RaFinishAuth {
+            credential,
+            signature,
+        })
+    }
+}
+
+struct MeConfig {
+    operator_root: VerifyingKey,
+    ias_key: VerifyingKey,
+    credential: MeCredential,
+    policy: MigrationPolicy,
+}
+
+struct OutgoingMigration {
+    destination: MachineId,
+    data: MigrationData,
+    sent: bool,
+}
+
+struct PendingInbound {
+    key: [u8; 16],
+    g_i: PublicKey,
+    g_r: PublicKey,
+}
+
+/// The Migration Enclave's trusted state and logic.
+///
+/// Construct with [`MigrationEnclave::new`], load with
+/// [`me_image`], then drive through [`ops`].
+#[derive(Default)]
+pub struct MigrationEnclave {
+    signing: Option<SigningKey>,
+    config: Option<MeConfig>,
+    /// In-progress local attestations, keyed by host-chosen token.
+    la_handshakes: HashMap<Vec<u8>, DhResponder>,
+    /// Attested channels to local application enclaves, by MRENCLAVE
+    /// (§VI-A: sessions are matched to enclaves by measurement).
+    local_sessions: HashMap<MrEnclave, SecureChannel>,
+    /// Outgoing migrations retained until the destination confirms.
+    outgoing: HashMap<MrEnclave, OutgoingMigration>,
+    /// In-progress outbound RA handshakes, keyed by requested destination.
+    ra_out_pending: HashMap<MachineId, RaInitiator>,
+    /// Inbound RA sessions awaiting the finish message.
+    ra_in_pending: HashMap<MachineId, PendingInbound>,
+    /// Established channels to destination MEs (this side initiated).
+    channels_out: HashMap<MachineId, SecureChannel>,
+    /// Established channels from source MEs (this side responded).
+    channels_in: HashMap<MachineId, SecureChannel>,
+    /// Incoming migration data stored until a matching enclave attests.
+    pending_incoming: HashMap<MrEnclave, (MigrationData, MachineId)>,
+    /// Delivered incoming data awaiting the library's DONE.
+    awaiting_done: HashMap<MrEnclave, MachineId>,
+}
+
+impl std::fmt::Debug for MigrationEnclave {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MigrationEnclave")
+            .field("provisioned", &self.config.is_some())
+            .field("local_sessions", &self.local_sessions.len())
+            .field("outgoing", &self.outgoing.len())
+            .field("pending_incoming", &self.pending_incoming.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl MigrationEnclave {
+    /// Creates an unprovisioned ME.
+    #[must_use]
+    pub fn new() -> Self {
+        MigrationEnclave::default()
+    }
+
+    fn config(&self) -> Result<&MeConfig, MigError> {
+        self.config.as_ref().ok_or(MigError::NotInitialized)
+    }
+
+    fn signing(&self) -> Result<&SigningKey, MigError> {
+        self.signing.as_ref().ok_or(MigError::NotInitialized)
+    }
+
+    fn ra_config(&self, env: &EnclaveEnv<'_>) -> Result<RaConfig, MigError> {
+        Ok(RaConfig {
+            ias_key: self.config()?.ias_key,
+            // Peer MEs must run the exact same ME build (§VI-A).
+            expected_mr_enclave: env.identity().mr_enclave,
+        })
+    }
+
+    /// Verifies a peer credential + transcript signature + policy.
+    fn authenticate_peer(
+        &self,
+        credential: &MeCredential,
+        claimed_machine: MachineId,
+        transcript: &[u8],
+        role_tag: &[u8],
+        signature: &Signature,
+    ) -> Result<(), MigError> {
+        let cfg = self.config()?;
+        credential.verify(&cfg.operator_root)?;
+        if credential.machine != claimed_machine {
+            return Err(MigError::PeerAuthenticationFailed(
+                "credential machine mismatch",
+            ));
+        }
+        let mut signed = transcript.to_vec();
+        signed.extend_from_slice(role_tag);
+        credential
+            .me_key
+            .verify(&signed, signature)
+            .map_err(|_| MigError::PeerAuthenticationFailed("transcript signature"))?;
+        cfg.policy.check(&cfg.credential, credential)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Opcode handlers
+    // ------------------------------------------------------------------
+
+    fn op_keygen(&mut self, env: &mut EnclaveEnv<'_>) -> Result<Vec<u8>, MigError> {
+        let mut seed = [0u8; 32];
+        env.random_bytes(&mut seed);
+        let key = SigningKey::from_seed(seed);
+        let public = key.verifying_key();
+        self.signing = Some(key);
+        Ok(public.0.to_vec())
+    }
+
+    fn op_provision(&mut self, input: &[u8]) -> Result<Vec<u8>, MigError> {
+        let mut r = WireReader::new(input);
+        let credential = MeCredential::from_bytes(r.bytes()?)?;
+        let operator_root = VerifyingKey(r.array()?);
+        let ias_key = VerifyingKey(r.array()?);
+        let policy = MigrationPolicy::from_bytes(r.bytes()?)?;
+        r.finish()?;
+
+        // The credential must certify *our* signing key under the root we
+        // are being provisioned with.
+        let signing = self.signing()?;
+        if credential.me_key != signing.verifying_key() {
+            return Err(MigError::PeerAuthenticationFailed(
+                "credential does not match our key",
+            ));
+        }
+        credential.verify(&operator_root)?;
+        self.config = Some(MeConfig {
+            operator_root,
+            ias_key,
+            credential,
+            policy,
+        });
+        Ok(vec![])
+    }
+
+    fn op_la_start(&mut self, env: &mut EnclaveEnv<'_>, input: &[u8]) -> Result<Vec<u8>, MigError> {
+        let mut r = WireReader::new(input);
+        let token = r.bytes_vec()?;
+        r.finish()?;
+        let (responder, msg1) = DhResponder::start(env);
+        self.la_handshakes.insert(token, responder);
+        Ok(msg1.to_bytes())
+    }
+
+    fn op_la_msg2(&mut self, env: &mut EnclaveEnv<'_>, input: &[u8]) -> Result<Vec<u8>, MigError> {
+        let mut r = WireReader::new(input);
+        let token = r.bytes_vec()?;
+        let msg2 = DhMsg2::from_bytes(r.bytes()?)?;
+        r.finish()?;
+
+        let responder = self
+            .la_handshakes
+            .remove(&token)
+            .ok_or(MigError::Protocol("unknown local-attestation token"))?;
+        let (msg3, key, peer) = responder.process_msg2(env, &msg2)?;
+        let mr = peer.mr_enclave;
+        let mut channel = SecureChannel::new(key, ChannelRole::Responder);
+
+        // If migration data for this measurement is parked, forward it now
+        // (§VI-A: "the migration data will be stored until an enclave with
+        // the matching MRENCLAVE value performs a local attestation"). The
+        // parked copy is retained until the library confirms with DONE, so
+        // an ME restart between forward and confirmation loses nothing.
+        let forward = if let Some((data, source)) = self.pending_incoming.get(&mr) {
+            let ct = channel.seal(
+                &MeToLib::IncomingMigration { data: data.clone() }.to_bytes(),
+            );
+            self.awaiting_done.insert(mr, *source);
+            Some(ct)
+        } else {
+            None
+        };
+        self.local_sessions.insert(mr, channel);
+
+        let mut w = WireWriter::new();
+        w.bytes(&msg3.to_bytes());
+        w.array(&mr.0);
+        write_opt(&mut w, forward.as_deref());
+        Ok(w.finish())
+    }
+
+    fn op_lib_msg(&mut self, env: &mut EnclaveEnv<'_>, input: &[u8]) -> Result<Vec<u8>, MigError> {
+        let mut r = WireReader::new(input);
+        let mr = MrEnclave(r.array()?);
+        let ciphertext = r.bytes_vec()?;
+        r.finish()?;
+
+        let channel = self
+            .local_sessions
+            .get_mut(&mr)
+            .ok_or(MigError::Protocol("no local session for enclave"))?;
+        let plaintext = channel.open(&ciphertext)?;
+        let action = match LibToMe::from_bytes(&plaintext)? {
+            LibToMe::MigrateRequest { destination, data } => {
+                self.outgoing.insert(
+                    mr,
+                    OutgoingMigration {
+                        destination,
+                        data,
+                        sent: false,
+                    },
+                );
+                self.dispatch_outgoing(env, destination)?
+            }
+            LibToMe::Done => {
+                // Destination side: the library confirmed installation; the
+                // parked copy can finally be dropped.
+                let source = self
+                    .awaiting_done
+                    .remove(&mr)
+                    .ok_or(MigError::Protocol("unexpected DONE"))?;
+                self.pending_incoming.remove(&mr);
+                let channel = self
+                    .channels_in
+                    .get_mut(&source)
+                    .ok_or(MigError::Protocol("no channel to source"))?;
+                let ack = channel.seal(&MeToMe::Delivered { mr_enclave: mr }.to_bytes());
+                MeAction::AckSource { source, ack }
+            }
+        };
+        Ok(action.to_bytes())
+    }
+
+    /// Sends or queues outgoing data for `destination`.
+    fn dispatch_outgoing(
+        &mut self,
+        env: &mut EnclaveEnv<'_>,
+        destination: MachineId,
+    ) -> Result<MeAction, MigError> {
+        if let Some(channel) = self.channels_out.get_mut(&destination) {
+            // Channel already open: send the (single) unsent transfer.
+            for (mr, mig) in self.outgoing.iter_mut() {
+                if mig.destination == destination && !mig.sent {
+                    mig.sent = true;
+                    let transfer = channel.seal(
+                        &MeToMe::Transfer {
+                            mr_enclave: *mr,
+                            data: mig.data.clone(),
+                        }
+                        .to_bytes(),
+                    );
+                    return Ok(MeAction::SendRemote {
+                        destination,
+                        transfer,
+                    });
+                }
+            }
+            return Ok(MeAction::None);
+        }
+        if self.ra_out_pending.contains_key(&destination) {
+            // Handshake already in flight; data stays queued.
+            return Ok(MeAction::None);
+        }
+        let (session, hello) = RaInitiator::start(env)?;
+        self.ra_out_pending.insert(destination, session);
+        Ok(MeAction::ConnectRemote {
+            destination,
+            hello: hello.to_bytes(),
+        })
+    }
+
+    fn op_ra_hello(&mut self, env: &mut EnclaveEnv<'_>, input: &[u8]) -> Result<Vec<u8>, MigError> {
+        let mut r = WireReader::new(input);
+        let source = MachineId(r.u64()?);
+        let g_i = PublicKey(r.array()?);
+        let evidence = AttestationEvidence::from_bytes(r.bytes()?)?;
+        r.finish()?;
+
+        let cfg = self.ra_config(env)?;
+        let (session, response) = RaResponder::respond(env, &cfg, g_i, &evidence)?;
+        let (g_i, g_r) = session.keys();
+        let transcript = transcript_bytes(&g_i, &g_r, &env.identity().mr_enclave);
+        let mut signed = transcript;
+        signed.extend_from_slice(b"R");
+        let signature = self.signing()?.sign(&signed);
+        let auth = RaResponseAuth {
+            response,
+            credential: self.config()?.credential.clone(),
+            signature,
+        };
+        self.ra_in_pending.insert(
+            source,
+            PendingInbound {
+                key: session.session_key(),
+                g_i,
+                g_r,
+            },
+        );
+        Ok(auth.to_bytes())
+    }
+
+    fn op_ra_response(
+        &mut self,
+        env: &mut EnclaveEnv<'_>,
+        input: &[u8],
+    ) -> Result<Vec<u8>, MigError> {
+        let mut r = WireReader::new(input);
+        let destination = MachineId(r.u64()?);
+        let g_r = PublicKey(r.array()?);
+        let evidence = AttestationEvidence::from_bytes(r.bytes()?)?;
+        let credential = MeCredential::from_bytes(r.bytes()?)?;
+        let signature = Signature(r.array::<64>()?);
+        r.finish()?;
+
+        let session = self
+            .ra_out_pending
+            .remove(&destination)
+            .ok_or(MigError::Protocol("no RA handshake for destination"))?;
+        let g_i = session.g_i();
+        let cfg = self.ra_config(env)?;
+        let key = session.process_response(&cfg, g_r, &evidence)?;
+
+        let transcript = transcript_bytes(&g_i, &g_r, &env.identity().mr_enclave);
+        self.authenticate_peer(&credential, destination, &transcript, b"R", &signature)?;
+
+        // Channel up: authenticate ourselves and flush queued transfers.
+        let mut signed = transcript;
+        signed.extend_from_slice(b"I");
+        let finish = RaFinishAuth {
+            credential: self.config()?.credential.clone(),
+            signature: self.signing()?.sign(&signed),
+        };
+        let mut channel = SecureChannel::new(key, ChannelRole::Initiator);
+        let mut transfers = Vec::new();
+        for (mr, mig) in self.outgoing.iter_mut() {
+            if mig.destination == destination && !mig.sent {
+                mig.sent = true;
+                transfers.push(channel.seal(
+                    &MeToMe::Transfer {
+                        mr_enclave: *mr,
+                        data: mig.data.clone(),
+                    }
+                    .to_bytes(),
+                ));
+            }
+        }
+        self.channels_out.insert(destination, channel);
+
+        let mut w = WireWriter::new();
+        w.bytes(&finish.to_bytes());
+        w.u32(transfers.len() as u32);
+        for transfer in &transfers {
+            w.bytes(transfer);
+        }
+        Ok(w.finish())
+    }
+
+    fn op_retry(&mut self, env: &mut EnclaveEnv<'_>, input: &[u8]) -> Result<Vec<u8>, MigError> {
+        let mut r = WireReader::new(input);
+        let mr = MrEnclave(r.array()?);
+        let destination = MachineId(r.u64()?);
+        r.finish()?;
+
+        let outgoing = self
+            .outgoing
+            .get_mut(&mr)
+            .ok_or(MigError::Protocol("no retained migration data"))?;
+        outgoing.destination = destination;
+        outgoing.sent = false;
+        // The failure being retried may be a dead peer channel (e.g. the
+        // destination's management VM restarted); drop any cached state
+        // towards the destination so a fresh mutual attestation runs.
+        self.channels_out.remove(&destination);
+        self.ra_out_pending.remove(&destination);
+        let action = self.dispatch_outgoing(env, destination)?;
+        Ok(action.to_bytes())
+    }
+
+    /// AAD tag binding sealed ME-state blobs.
+    const STATE_AAD: &'static [u8] = b"sgx-migrate.me-state.v1";
+
+    fn op_persist(&mut self, env: &mut EnclaveEnv<'_>) -> Result<Vec<u8>, MigError> {
+        let signing = self.signing()?;
+        let cfg = self.config()?;
+        let mut w = WireWriter::new();
+        w.array(signing.seed());
+        w.bytes(&cfg.credential.to_bytes());
+        w.array(&cfg.operator_root.0);
+        w.array(&cfg.ias_key.0);
+        w.bytes(&cfg.policy.to_bytes());
+        w.u32(self.outgoing.len() as u32);
+        for (mr, mig) in &self.outgoing {
+            w.array(&mr.0);
+            w.u64(mig.destination.0);
+            w.bytes(&mig.data.to_bytes());
+        }
+        w.u32(self.pending_incoming.len() as u32);
+        for (mr, (data, source)) in &self.pending_incoming {
+            w.array(&mr.0);
+            w.bytes(&data.to_bytes());
+            w.u64(source.0);
+        }
+        let plaintext = w.finish();
+        Ok(env.seal_data(
+            sgx_sim::cpu::KeyPolicy::MrEnclave,
+            Self::STATE_AAD,
+            &plaintext,
+        ))
+    }
+
+    fn op_restore(&mut self, env: &mut EnclaveEnv<'_>, input: &[u8]) -> Result<Vec<u8>, MigError> {
+        let (plaintext, aad) = env.unseal_data(input)?;
+        if aad != Self::STATE_AAD {
+            return Err(MigError::Sgx(SgxError::Decode));
+        }
+        let mut r = WireReader::new(&plaintext);
+        let seed: [u8; 32] = r.array()?;
+        let credential = MeCredential::from_bytes(r.bytes()?)?;
+        let operator_root = VerifyingKey(r.array()?);
+        let ias_key = VerifyingKey(r.array()?);
+        let policy = MigrationPolicy::from_bytes(r.bytes()?)?;
+        let n_outgoing = r.u32()? as usize;
+        let mut outgoing = HashMap::new();
+        for _ in 0..n_outgoing {
+            let mr = MrEnclave(r.array()?);
+            let destination = MachineId(r.u64()?);
+            let data = MigrationData::from_bytes(r.bytes()?)?;
+            // Not yet confirmed delivered: mark unsent so a retry
+            // re-dispatches it over a fresh channel.
+            outgoing.insert(
+                mr,
+                OutgoingMigration {
+                    destination,
+                    data,
+                    sent: false,
+                },
+            );
+        }
+        let n_pending = r.u32()? as usize;
+        let mut pending_incoming = HashMap::new();
+        for _ in 0..n_pending {
+            let mr = MrEnclave(r.array()?);
+            let data = MigrationData::from_bytes(r.bytes()?)?;
+            let source = MachineId(r.u64()?);
+            pending_incoming.insert(mr, (data, source));
+        }
+        r.finish()?;
+
+        let signing = SigningKey::from_seed(seed);
+        if credential.me_key != signing.verifying_key() {
+            return Err(MigError::PeerAuthenticationFailed(
+                "restored credential does not match key",
+            ));
+        }
+        credential.verify(&operator_root)?;
+        self.signing = Some(signing);
+        self.config = Some(MeConfig {
+            operator_root,
+            ias_key,
+            credential,
+            policy,
+        });
+        self.outgoing = outgoing;
+        self.pending_incoming = pending_incoming;
+        Ok(vec![])
+    }
+
+    fn op_transfer(&mut self, input: &[u8]) -> Result<Vec<u8>, MigError> {
+        let mut r = WireReader::new(input);
+        let source = MachineId(r.u64()?);
+        let ciphertext = r.bytes_vec()?;
+        r.finish()?;
+
+        let channel = self
+            .channels_in
+            .get_mut(&source)
+            .ok_or(MigError::Protocol("no channel from source"))?;
+        let plaintext = channel.open(&ciphertext)?;
+        match MeToMe::from_bytes(&plaintext)? {
+            MeToMe::Transfer { mr_enclave, data } => {
+                // Park the data regardless; it is only dropped once the
+                // destination library confirms with DONE (crash safety).
+                self.pending_incoming
+                    .insert(mr_enclave, (data.clone(), source));
+                if let Some(local) = self.local_sessions.get_mut(&mr_enclave) {
+                    let forward = local.seal(&MeToLib::IncomingMigration { data }.to_bytes());
+                    self.awaiting_done.insert(mr_enclave, source);
+                    let mut w = WireWriter::new();
+                    w.u8(1); // forwarded
+                    w.array(&mr_enclave.0);
+                    write_opt(&mut w, Some(&forward));
+                    write_opt(&mut w, None);
+                    Ok(w.finish())
+                } else {
+                    // No matching enclave yet; tell the source the data
+                    // is stored (it keeps its copy).
+                    let channel = self
+                        .channels_in
+                        .get_mut(&source)
+                        .expect("channel exists, checked above");
+                    let ack = channel.seal(&MeToMe::Stored { mr_enclave }.to_bytes());
+                    let mut w = WireWriter::new();
+                    w.u8(2); // stored
+                    w.array(&mr_enclave.0);
+                    write_opt(&mut w, None);
+                    write_opt(&mut w, Some(&ack));
+                    Ok(w.finish())
+                }
+            }
+            _ => Err(MigError::Protocol("unexpected ME-to-ME message")),
+        }
+    }
+
+    fn op_ack(&mut self, input: &[u8]) -> Result<Vec<u8>, MigError> {
+        let mut r = WireReader::new(input);
+        let destination = MachineId(r.u64()?);
+        let ciphertext = r.bytes_vec()?;
+        r.finish()?;
+
+        let channel = self
+            .channels_out
+            .get_mut(&destination)
+            .ok_or(MigError::Protocol("no channel to destination"))?;
+        let plaintext = channel.open(&ciphertext)?;
+        match MeToMe::from_bytes(&plaintext)? {
+            MeToMe::Delivered { mr_enclave } => {
+                // Safe to delete the retained migration data (Fig. 2).
+                self.outgoing.remove(&mr_enclave);
+                // Tell the (frozen) source library, if still attested.
+                let complete = self.local_sessions.get_mut(&mr_enclave).map(|local| {
+                    local.seal(&MeToLib::MigrationComplete.to_bytes())
+                });
+                let mut w = WireWriter::new();
+                w.u8(1); // delivered
+                w.array(&mr_enclave.0);
+                write_opt(&mut w, complete.as_deref());
+                Ok(w.finish())
+            }
+            MeToMe::Stored { mr_enclave } => {
+                // Destination parked the data; retain ours until DONE.
+                let mut w = WireWriter::new();
+                w.u8(2); // stored
+                w.array(&mr_enclave.0);
+                write_opt(&mut w, None);
+                Ok(w.finish())
+            }
+            MeToMe::Transfer { .. } => Err(MigError::Protocol("unexpected transfer on ack path")),
+        }
+    }
+}
+
+impl EnclaveCode for MigrationEnclave {
+    fn ecall(
+        &mut self,
+        env: &mut EnclaveEnv<'_>,
+        opcode: u32,
+        input: &[u8],
+    ) -> Result<Vec<u8>, SgxError> {
+        let result = match opcode {
+            ops::KEYGEN => self.op_keygen(env),
+            ops::PROVISION => self.op_provision(input),
+            ops::LA_START => self.op_la_start(env, input),
+            ops::LA_MSG2 => self.op_la_msg2(env, input),
+            ops::LIB_MSG => self.op_lib_msg(env, input),
+            ops::RA_HELLO => self.op_ra_hello(env, input),
+            ops::RA_RESPONSE => self.op_ra_response(env, input),
+            ops::RA_FINISH => self.op_ra_finish_env(env, input),
+            ops::TRANSFER => self.op_transfer(input),
+            ops::ACK => self.op_ack(input),
+            ops::RETRY => self.op_retry(env, input),
+            ops::PERSIST => self.op_persist(env),
+            ops::RESTORE => self.op_restore(env, input),
+            _ => Err(MigError::Protocol("unknown opcode")),
+        };
+        result.map_err(SgxError::from)
+    }
+}
+
+impl MigrationEnclave {
+    /// RA finish with access to the enclave's own identity.
+    fn op_ra_finish_env(
+        &mut self,
+        env: &mut EnclaveEnv<'_>,
+        input: &[u8],
+    ) -> Result<Vec<u8>, MigError> {
+        let mut r = WireReader::new(input);
+        let source = MachineId(r.u64()?);
+        let finish = RaFinishAuth::from_bytes(r.bytes()?)?;
+        r.finish()?;
+
+        let pending = self
+            .ra_in_pending
+            .remove(&source)
+            .ok_or(MigError::Protocol("no inbound RA session"))?;
+        let transcript = transcript_bytes(&pending.g_i, &pending.g_r, &env.identity().mr_enclave);
+        self.authenticate_peer(
+            &finish.credential,
+            source,
+            &transcript,
+            b"I",
+            &finish.signature,
+        )?;
+        self.channels_in
+            .insert(source, SecureChannel::new(pending.key, ChannelRole::Responder));
+        Ok(vec![])
+    }
+}

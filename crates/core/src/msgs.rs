@@ -1,0 +1,280 @@
+//! Protocol messages exchanged over the attested secure channels.
+//!
+//! Two message families exist, mirroring Fig. 2 of the paper:
+//!
+//! * [`LibToMe`] / [`MeToLib`] — between a Migration Library and its local
+//!   Migration Enclave, inside the local-attestation channel;
+//! * [`MeToMe`] — between the source and destination Migration Enclaves,
+//!   inside the remote-attestation channel.
+//!
+//! All of these travel *encrypted*; the enum encodings here are the
+//! channel plaintexts.
+
+use crate::library::state::MigrationData;
+use sgx_sim::machine::MachineId;
+use sgx_sim::measurement::MrEnclave;
+use sgx_sim::wire::{WireReader, WireWriter};
+use sgx_sim::SgxError;
+
+/// Library → Migration Enclave (local channel).
+// MigrationData carries the Table I fixed arrays inline (1.3 KiB); the
+// messages are built once and immediately serialized, so boxing would
+// only complicate the codec.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LibToMe {
+    /// Start an outgoing migration: transfer `data` to `destination`
+    /// (the `migrate` message of Fig. 2).
+    MigrateRequest {
+        /// The machine the enclave should migrate to.
+        destination: MachineId,
+        /// The Table I payload.
+        data: MigrationData,
+    },
+    /// Confirmation that incoming migration data was installed
+    /// (the `DONE` message of Fig. 2).
+    Done,
+}
+
+impl LibToMe {
+    /// Serializes the message (channel plaintext).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            LibToMe::MigrateRequest { destination, data } => {
+                w.u8(1);
+                w.u64(destination.0);
+                w.bytes(&data.to_bytes());
+            }
+            LibToMe::Done => {
+                w.u8(2);
+            }
+        }
+        w.finish()
+    }
+
+    /// Parses a message.
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::Decode`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SgxError> {
+        let mut r = WireReader::new(bytes);
+        let msg = match r.u8()? {
+            1 => LibToMe::MigrateRequest {
+                destination: MachineId(r.u64()?),
+                data: MigrationData::from_bytes(r.bytes()?)?,
+            },
+            2 => LibToMe::Done,
+            _ => return Err(SgxError::Decode),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+/// Migration Enclave → Library (local channel).
+// MigrationData carries the Table I fixed arrays inline (1.3 KiB); the
+// messages are built once and immediately serialized, so boxing would
+// only complicate the codec.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MeToLib {
+    /// Deliver incoming migration data (the `restore data` of Fig. 2).
+    IncomingMigration {
+        /// The Table I payload from the source enclave.
+        data: MigrationData,
+    },
+    /// The outgoing migration completed; the destination confirmed.
+    MigrationComplete,
+}
+
+impl MeToLib {
+    /// Serializes the message (channel plaintext).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            MeToLib::IncomingMigration { data } => {
+                w.u8(1);
+                w.bytes(&data.to_bytes());
+            }
+            MeToLib::MigrationComplete => {
+                w.u8(2);
+            }
+        }
+        w.finish()
+    }
+
+    /// Parses a message.
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::Decode`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SgxError> {
+        let mut r = WireReader::new(bytes);
+        let msg = match r.u8()? {
+            1 => MeToLib::IncomingMigration {
+                data: MigrationData::from_bytes(r.bytes()?)?,
+            },
+            2 => MeToLib::MigrationComplete,
+            _ => return Err(SgxError::Decode),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+/// Migration Enclave ↔ Migration Enclave (remote channel).
+// MigrationData carries the Table I fixed arrays inline (1.3 KiB); the
+// messages are built once and immediately serialized, so boxing would
+// only complicate the codec.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MeToMe {
+    /// Source → destination: the migrating enclave's identity and payload.
+    /// (§VI-A: "the MRENCLAVE value is appended to the migration data of
+    /// the enclave before sending it to the destination".)
+    Transfer {
+        /// MRENCLAVE of the migrating enclave.
+        mr_enclave: MrEnclave,
+        /// The Table I payload.
+        data: MigrationData,
+    },
+    /// Destination → source: the named enclave's data was delivered to a
+    /// matching local enclave and confirmed (`DONE` propagated).
+    Delivered {
+        /// MRENCLAVE of the migrated enclave.
+        mr_enclave: MrEnclave,
+    },
+    /// Destination → source: data accepted and stored; delivery pending
+    /// until a matching enclave attests.
+    Stored {
+        /// MRENCLAVE of the migrating enclave.
+        mr_enclave: MrEnclave,
+    },
+}
+
+impl MeToMe {
+    /// Serializes the message (channel plaintext).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            MeToMe::Transfer { mr_enclave, data } => {
+                w.u8(1);
+                w.array(&mr_enclave.0);
+                w.bytes(&data.to_bytes());
+            }
+            MeToMe::Delivered { mr_enclave } => {
+                w.u8(2);
+                w.array(&mr_enclave.0);
+            }
+            MeToMe::Stored { mr_enclave } => {
+                w.u8(3);
+                w.array(&mr_enclave.0);
+            }
+        }
+        w.finish()
+    }
+
+    /// Parses a message.
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::Decode`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SgxError> {
+        let mut r = WireReader::new(bytes);
+        let msg = match r.u8()? {
+            1 => MeToMe::Transfer {
+                mr_enclave: MrEnclave(r.array()?),
+                data: MigrationData::from_bytes(r.bytes()?)?,
+            },
+            2 => MeToMe::Delivered {
+                mr_enclave: MrEnclave(r.array()?),
+            },
+            3 => MeToMe::Stored {
+                mr_enclave: MrEnclave(r.array()?),
+            },
+            _ => return Err(SgxError::Decode),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::state::COUNTER_SLOTS;
+
+    fn data() -> MigrationData {
+        let mut d = MigrationData {
+            counters_active: [false; COUNTER_SLOTS],
+            counter_values: [0; COUNTER_SLOTS],
+            msk: [7; 16],
+        };
+        d.counters_active[1] = true;
+        d.counter_values[1] = 99;
+        d
+    }
+
+    #[test]
+    fn lib_to_me_round_trip() {
+        let msgs = [
+            LibToMe::MigrateRequest {
+                destination: MachineId(9),
+                data: data(),
+            },
+            LibToMe::Done,
+        ];
+        for msg in msgs {
+            assert_eq!(LibToMe::from_bytes(&msg.to_bytes()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn me_to_lib_round_trip() {
+        let msgs = [
+            MeToLib::IncomingMigration { data: data() },
+            MeToLib::MigrationComplete,
+        ];
+        for msg in msgs {
+            assert_eq!(MeToLib::from_bytes(&msg.to_bytes()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn me_to_me_round_trip() {
+        let msgs = [
+            MeToMe::Transfer {
+                mr_enclave: MrEnclave([5; 32]),
+                data: data(),
+            },
+            MeToMe::Delivered {
+                mr_enclave: MrEnclave([5; 32]),
+            },
+            MeToMe::Stored {
+                mr_enclave: MrEnclave([6; 32]),
+            },
+        ];
+        for msg in msgs {
+            assert_eq!(MeToMe::from_bytes(&msg.to_bytes()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn unknown_tags_rejected() {
+        assert!(LibToMe::from_bytes(&[9]).is_err());
+        assert!(MeToLib::from_bytes(&[9]).is_err());
+        assert!(MeToMe::from_bytes(&[9]).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = LibToMe::Done.to_bytes();
+        bytes.push(0);
+        assert!(LibToMe::from_bytes(&bytes).is_err());
+    }
+}

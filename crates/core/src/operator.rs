@@ -1,0 +1,244 @@
+//! The cloud operator's root of trust and Migration Enclave credentials.
+//!
+//! The paper's §V-B setup phase: *"the setup phase could provide the
+//! Migration Enclaves with a key or a certificate from an operator of the
+//! data center"*, so that enclaves are only migrated between machines of
+//! the same provider (Requirement R2). Here the operator holds an Ed25519
+//! root key and issues [`MeCredential`]s binding a Migration Enclave's
+//! public key to its machine and placement labels; MEs exchange transcript
+//! signatures under these credentials during remote attestation.
+
+use crate::error::MigError;
+use cloud_sim::machine::MachineLabels;
+use mig_crypto::ed25519::{Signature, SigningKey, VerifyingKey};
+use sgx_sim::machine::MachineId;
+use sgx_sim::wire::{WireReader, WireWriter};
+use sgx_sim::SgxError;
+
+/// The datacenter operator: issues and signs ME credentials.
+///
+/// # Example
+///
+/// ```
+/// use mig_core::operator::CloudOperator;
+/// use cloud_sim::machine::MachineLabels;
+/// use mig_crypto::ed25519::SigningKey;
+/// use rand::SeedableRng;
+/// use sgx_sim::machine::MachineId;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let operator = CloudOperator::new(&mut rng);
+/// let me_key = SigningKey::random(&mut rng);
+/// let cred = operator.issue_credential(
+///     me_key.verifying_key(),
+///     MachineId(1),
+///     &MachineLabels::new("dc-1", "eu"),
+/// );
+/// assert!(cred.verify(&operator.root_key()).is_ok());
+/// ```
+pub struct CloudOperator {
+    root: SigningKey,
+}
+
+impl std::fmt::Debug for CloudOperator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CloudOperator")
+            .field("root_key", &self.root.verifying_key())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CloudOperator {
+    /// Creates an operator with a fresh root key.
+    #[must_use]
+    pub fn new(rng: &mut impl rand::RngCore) -> Self {
+        CloudOperator {
+            root: SigningKey::random(rng),
+        }
+    }
+
+    /// The root verification key provisioned into every ME.
+    #[must_use]
+    pub fn root_key(&self) -> VerifyingKey {
+        self.root.verifying_key()
+    }
+
+    /// Issues a credential binding `me_key` to a machine and its labels.
+    #[must_use]
+    pub fn issue_credential(
+        &self,
+        me_key: VerifyingKey,
+        machine: MachineId,
+        labels: &MachineLabels,
+    ) -> MeCredential {
+        let unsigned = MeCredential {
+            me_key,
+            machine,
+            datacenter: labels.datacenter.clone(),
+            region: labels.region.clone(),
+            signature: Signature([0; 64]),
+        };
+        let signature = self.root.sign(&unsigned.signed_bytes());
+        MeCredential {
+            signature,
+            ..unsigned
+        }
+    }
+}
+
+/// A Migration Enclave's operator-issued credential.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MeCredential {
+    /// The ME's transcript-signing public key (generated inside the ME).
+    pub me_key: VerifyingKey,
+    /// The machine the ME serves.
+    pub machine: MachineId,
+    /// Datacenter label (policy input).
+    pub datacenter: String,
+    /// Region label (policy input).
+    pub region: String,
+    /// Operator root signature over all of the above.
+    pub signature: Signature,
+}
+
+impl MeCredential {
+    fn signed_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.array(b"sgx-migrate.cred");
+        w.array(&self.me_key.0);
+        w.u64(self.machine.0);
+        w.bytes(self.datacenter.as_bytes());
+        w.bytes(self.region.as_bytes());
+        w.finish()
+    }
+
+    /// Verifies the operator signature.
+    ///
+    /// # Errors
+    ///
+    /// [`MigError::PeerAuthenticationFailed`] if the signature does not
+    /// verify under `root`.
+    pub fn verify(&self, root: &VerifyingKey) -> Result<(), MigError> {
+        root.verify(&self.signed_bytes(), &self.signature)
+            .map_err(|_| MigError::PeerAuthenticationFailed("operator credential"))
+    }
+
+    /// The credential's placement labels.
+    #[must_use]
+    pub fn labels(&self) -> MachineLabels {
+        MachineLabels::new(&self.datacenter, &self.region)
+    }
+
+    /// Serializes the credential.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.array(&self.me_key.0);
+        w.u64(self.machine.0);
+        w.bytes(self.datacenter.as_bytes());
+        w.bytes(self.region.as_bytes());
+        w.array(&self.signature.0);
+        w.finish()
+    }
+
+    /// Parses a credential.
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::Decode`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SgxError> {
+        let mut r = WireReader::new(bytes);
+        let cred = Self::decode(&mut r)?;
+        r.finish()?;
+        Ok(cred)
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, SgxError> {
+        let me_key = VerifyingKey(r.array()?);
+        let machine = MachineId(r.u64()?);
+        let datacenter = String::from_utf8(r.bytes_vec()?).map_err(|_| SgxError::Decode)?;
+        let region = String::from_utf8(r.bytes_vec()?).map_err(|_| SgxError::Decode)?;
+        let signature = Signature(r.array::<64>()?);
+        Ok(MeCredential {
+            me_key,
+            machine,
+            datacenter,
+            region,
+            signature,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (CloudOperator, SigningKey, StdRng) {
+        let mut rng = StdRng::seed_from_u64(5);
+        let operator = CloudOperator::new(&mut rng);
+        let me_key = SigningKey::random(&mut rng);
+        (operator, me_key, rng)
+    }
+
+    #[test]
+    fn issued_credential_verifies() {
+        let (operator, me_key, _) = setup();
+        let cred = operator.issue_credential(
+            me_key.verifying_key(),
+            MachineId(3),
+            &MachineLabels::new("dc-1", "eu"),
+        );
+        cred.verify(&operator.root_key()).unwrap();
+        assert_eq!(cred.machine, MachineId(3));
+        assert_eq!(cred.labels(), MachineLabels::new("dc-1", "eu"));
+    }
+
+    #[test]
+    fn credential_from_other_operator_rejected() {
+        let (operator, me_key, mut rng) = setup();
+        let rogue = CloudOperator::new(&mut rng);
+        let cred = rogue.issue_credential(
+            me_key.verifying_key(),
+            MachineId(3),
+            &MachineLabels::default(),
+        );
+        assert!(cred.verify(&operator.root_key()).is_err());
+    }
+
+    #[test]
+    fn tampered_fields_rejected() {
+        let (operator, me_key, _) = setup();
+        let cred = operator.issue_credential(
+            me_key.verifying_key(),
+            MachineId(3),
+            &MachineLabels::new("dc-1", "eu"),
+        );
+        let mut bad = cred.clone();
+        bad.machine = MachineId(4);
+        assert!(bad.verify(&operator.root_key()).is_err());
+
+        let mut bad = cred.clone();
+        bad.datacenter = "dc-evil".into();
+        assert!(bad.verify(&operator.root_key()).is_err());
+
+        let mut bad = cred;
+        bad.region = "mars".into();
+        assert!(bad.verify(&operator.root_key()).is_err());
+    }
+
+    #[test]
+    fn credential_bytes_round_trip() {
+        let (operator, me_key, _) = setup();
+        let cred = operator.issue_credential(
+            me_key.verifying_key(),
+            MachineId(9),
+            &MachineLabels::new("dc-2", "us"),
+        );
+        let parsed = MeCredential::from_bytes(&cred.to_bytes()).unwrap();
+        assert_eq!(parsed, cred);
+        parsed.verify(&operator.root_key()).unwrap();
+        assert!(MeCredential::from_bytes(&cred.to_bytes()[..20]).is_err());
+    }
+}

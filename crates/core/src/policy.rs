@@ -1,0 +1,210 @@
+//! Migration policies enforced by the Migration Enclave.
+//!
+//! The paper proposes (§V-B, §VIII) that operator authentication "can also
+//! be used to limit the migration of enclaves to a certain subset of
+//! servers, for example to achieve regulatory compliance", and names
+//! per-enclave policies (geographic restriction) as future work. This
+//! module implements both: a [`MigrationPolicy`] is provisioned into each
+//! ME and checked against the *peer's authenticated credential* during
+//! remote attestation, after the operator signature has been verified.
+
+use crate::error::MigError;
+use crate::operator::MeCredential;
+use sgx_sim::wire::{WireReader, WireWriter};
+use sgx_sim::SgxError;
+
+/// Constraints on which machines an enclave may migrate between.
+///
+/// The default policy (`same_operator_only`) accepts any machine whose ME
+/// holds a valid operator credential — the paper's base requirement R2.
+///
+/// # Example
+///
+/// ```
+/// use mig_core::policy::MigrationPolicy;
+///
+/// let policy = MigrationPolicy::same_datacenter();
+/// assert!(policy.require_same_datacenter);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct MigrationPolicy {
+    /// Peer must be in the same datacenter as this ME.
+    pub require_same_datacenter: bool,
+    /// If non-empty, the peer's region must appear in this list.
+    pub allowed_regions: Vec<String>,
+}
+
+impl MigrationPolicy {
+    /// Accept any machine of the same operator (base R2 policy).
+    #[must_use]
+    pub fn same_operator_only() -> Self {
+        MigrationPolicy::default()
+    }
+
+    /// Restrict migration to the local datacenter.
+    #[must_use]
+    pub fn same_datacenter() -> Self {
+        MigrationPolicy {
+            require_same_datacenter: true,
+            allowed_regions: Vec::new(),
+        }
+    }
+
+    /// Restrict migration to an explicit region allow-list (e.g. for
+    /// regulatory compliance, the paper's §VIII example).
+    #[must_use]
+    pub fn regions(allowed: &[&str]) -> Self {
+        MigrationPolicy {
+            require_same_datacenter: false,
+            allowed_regions: allowed.iter().map(|s| (*s).to_string()).collect(),
+        }
+    }
+
+    /// Checks the *authenticated* peer credential against this policy.
+    ///
+    /// `own` is the local ME's credential (for same-datacenter checks).
+    /// Callers must have verified both credentials' operator signatures
+    /// first; this function only evaluates placement.
+    ///
+    /// # Errors
+    ///
+    /// [`MigError::PolicyViolation`] describing the failed constraint.
+    pub fn check(&self, own: &MeCredential, peer: &MeCredential) -> Result<(), MigError> {
+        if self.require_same_datacenter && own.datacenter != peer.datacenter {
+            return Err(MigError::PolicyViolation(format!(
+                "peer datacenter {:?} differs from local {:?}",
+                peer.datacenter, own.datacenter
+            )));
+        }
+        if !self.allowed_regions.is_empty()
+            && !self.allowed_regions.contains(&peer.region)
+        {
+            return Err(MigError::PolicyViolation(format!(
+                "peer region {:?} not in allow-list {:?}",
+                peer.region, self.allowed_regions
+            )));
+        }
+        Ok(())
+    }
+
+    /// Serializes the policy (provisioning input to the ME).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u8(u8::from(self.require_same_datacenter));
+        w.u32(self.allowed_regions.len() as u32);
+        for region in &self.allowed_regions {
+            w.bytes(region.as_bytes());
+        }
+        w.finish()
+    }
+
+    /// Parses a policy.
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::Decode`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SgxError> {
+        let mut r = WireReader::new(bytes);
+        let require_same_datacenter = r.u8()? != 0;
+        let n = r.u32()? as usize;
+        if n > 1024 {
+            return Err(SgxError::Decode);
+        }
+        let mut allowed_regions = Vec::with_capacity(n);
+        for _ in 0..n {
+            allowed_regions
+                .push(String::from_utf8(r.bytes_vec()?).map_err(|_| SgxError::Decode)?);
+        }
+        r.finish()?;
+        Ok(MigrationPolicy {
+            require_same_datacenter,
+            allowed_regions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::CloudOperator;
+    use cloud_sim::machine::MachineLabels;
+    use mig_crypto::ed25519::SigningKey;
+    use rand::SeedableRng;
+    use sgx_sim::machine::MachineId;
+
+    fn cred(operator: &CloudOperator, machine: u64, dc: &str, region: &str) -> MeCredential {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(machine);
+        let key = SigningKey::random(&mut rng);
+        operator.issue_credential(
+            key.verifying_key(),
+            MachineId(machine),
+            &MachineLabels::new(dc, region),
+        )
+    }
+
+    fn operator() -> CloudOperator {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        CloudOperator::new(&mut rng)
+    }
+
+    #[test]
+    fn base_policy_accepts_any_credentialed_peer() {
+        let op = operator();
+        let own = cred(&op, 1, "dc-1", "eu");
+        let peer = cred(&op, 2, "dc-9", "ap");
+        MigrationPolicy::same_operator_only()
+            .check(&own, &peer)
+            .unwrap();
+    }
+
+    #[test]
+    fn same_datacenter_enforced() {
+        let op = operator();
+        let own = cred(&op, 1, "dc-1", "eu");
+        let same = cred(&op, 2, "dc-1", "eu");
+        let other = cred(&op, 3, "dc-2", "eu");
+        let policy = MigrationPolicy::same_datacenter();
+        policy.check(&own, &same).unwrap();
+        let err = policy.check(&own, &other).unwrap_err();
+        assert!(matches!(err, MigError::PolicyViolation(_)));
+    }
+
+    #[test]
+    fn region_allow_list_enforced() {
+        let op = operator();
+        let own = cred(&op, 1, "dc-1", "eu");
+        let eu_peer = cred(&op, 2, "dc-2", "eu");
+        let us_peer = cred(&op, 3, "dc-3", "us");
+        let policy = MigrationPolicy::regions(&["eu", "uk"]);
+        policy.check(&own, &eu_peer).unwrap();
+        assert!(policy.check(&own, &us_peer).is_err());
+    }
+
+    #[test]
+    fn combined_constraints() {
+        let op = operator();
+        let own = cred(&op, 1, "dc-1", "eu");
+        let policy = MigrationPolicy {
+            require_same_datacenter: true,
+            allowed_regions: vec!["eu".into()],
+        };
+        let good = cred(&op, 2, "dc-1", "eu");
+        let wrong_dc = cred(&op, 3, "dc-2", "eu");
+        policy.check(&own, &good).unwrap();
+        assert!(policy.check(&own, &wrong_dc).is_err());
+    }
+
+    #[test]
+    fn policy_bytes_round_trip() {
+        for policy in [
+            MigrationPolicy::same_operator_only(),
+            MigrationPolicy::same_datacenter(),
+            MigrationPolicy::regions(&["eu", "us", "ap"]),
+        ] {
+            let parsed = MigrationPolicy::from_bytes(&policy.to_bytes()).unwrap();
+            assert_eq!(parsed, policy);
+        }
+        assert!(MigrationPolicy::from_bytes(&[1]).is_err());
+    }
+}

@@ -1,0 +1,482 @@
+//! Mutual remote attestation between enclaves on different machines.
+//!
+//! Used by the Migration Enclaves to establish their cross-machine channel
+//! (§V-B: "the Migration Enclave executes a mutual remote attestation with
+//! the corresponding Migration Enclave on the destination machine"). The
+//! quote/IAS mechanics follow the real flow: each side's enclave produces
+//! a *quote* binding its ephemeral X25519 key; the **untrusted host** on
+//! the receiving side submits the quote to the (simulated) Intel
+//! Attestation Service and passes the signed
+//! [`AttestationEvidence`] into its
+//! enclave, which verifies it offline against the pinned IAS key.
+//!
+//! Operator authentication (credentials + transcript signatures, §V-B) is
+//! layered on top by [`crate::me`]; this module provides the transcript
+//! bytes both layers agree on.
+
+use crate::error::MigError;
+use mig_crypto::ed25519::VerifyingKey;
+use mig_crypto::hkdf::hkdf;
+use mig_crypto::sha256::Sha256;
+use mig_crypto::x25519::{PublicKey, StaticSecret};
+use sgx_sim::enclave::EnclaveEnv;
+use sgx_sim::ias::AttestationEvidence;
+use sgx_sim::measurement::MrEnclave;
+use sgx_sim::quote::Quote;
+use sgx_sim::report::ReportData;
+use sgx_sim::wire::{WireReader, WireWriter};
+use sgx_sim::SgxError;
+
+/// Verification parameters pinned inside the enclave.
+#[derive(Clone, Debug)]
+pub struct RaConfig {
+    /// The IAS report-signing key to verify evidence against.
+    pub ias_key: VerifyingKey,
+    /// The measurement the peer must attest with (for MEs: their own,
+    /// §VI-A "aborts the attestation process if the peer enclave does not
+    /// have the same MRENCLAVE value as itself").
+    pub expected_mr_enclave: MrEnclave,
+}
+
+/// The initiator's first message: ephemeral key + quote binding it.
+///
+/// On the wire this carries the raw [`Quote`]; the receiving host swaps it
+/// for IAS evidence before the responder enclave sees it.
+#[derive(Clone, Debug)]
+pub struct RaHello {
+    /// Initiator's ephemeral public key.
+    pub g_i: PublicKey,
+    /// Quote with `report_data = H("ra-hello" || g_i)`.
+    pub quote: Quote,
+}
+
+impl RaHello {
+    /// Serializes for transport.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.array(&self.g_i.0).bytes(&self.quote.to_bytes());
+        w.finish()
+    }
+
+    /// Parses from bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::Decode`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SgxError> {
+        let mut r = WireReader::new(bytes);
+        let g_i = PublicKey(r.array()?);
+        let quote = Quote::from_bytes(r.bytes()?)?;
+        r.finish()?;
+        Ok(RaHello { g_i, quote })
+    }
+}
+
+/// The responder's reply: its ephemeral key + quote binding both keys.
+#[derive(Clone, Debug)]
+pub struct RaResponseQuote {
+    /// Responder's ephemeral public key.
+    pub g_r: PublicKey,
+    /// Quote with `report_data = H("ra-resp" || g_r || g_i)`.
+    pub quote: Quote,
+}
+
+impl RaResponseQuote {
+    /// Serializes for transport.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.array(&self.g_r.0).bytes(&self.quote.to_bytes());
+        w.finish()
+    }
+
+    /// Parses from bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::Decode`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SgxError> {
+        let mut r = WireReader::new(bytes);
+        let g_r = PublicKey(r.array()?);
+        let quote = Quote::from_bytes(r.bytes()?)?;
+        r.finish()?;
+        Ok(RaResponseQuote { g_r, quote })
+    }
+}
+
+/// The attested 128-bit session key.
+pub type RaSessionKey = [u8; 16];
+
+fn hello_binding(g_i: &PublicKey) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(b"sgx-migrate.ra-hello");
+    h.update(&g_i.0);
+    h.finalize()
+}
+
+fn response_binding(g_r: &PublicKey, g_i: &PublicKey) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(b"sgx-migrate.ra-resp");
+    h.update(&g_r.0);
+    h.update(&g_i.0);
+    h.finalize()
+}
+
+fn derive_key(shared: &[u8; 32], g_i: &PublicKey, g_r: &PublicKey) -> RaSessionKey {
+    let mut info = Vec::with_capacity(80);
+    info.extend_from_slice(b"sgx-migrate.ra.aek");
+    info.extend_from_slice(&g_i.0);
+    info.extend_from_slice(&g_r.0);
+    hkdf::<16>(b"", shared, &info)
+}
+
+/// The signed attestation transcript (operator-auth layer input).
+#[must_use]
+pub fn transcript_bytes(g_i: &PublicKey, g_r: &PublicKey, mr_enclave: &MrEnclave) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.array(b"sgx-migrate.ra.v1\0");
+    w.array(&g_i.0);
+    w.array(&g_r.0);
+    w.array(&mr_enclave.0);
+    w.finish()
+}
+
+/// Initiator side (the source ME).
+pub struct RaInitiator {
+    secret: StaticSecret,
+    g_i: PublicKey,
+}
+
+impl std::fmt::Debug for RaInitiator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RaInitiator").field("g_i", &self.g_i).finish_non_exhaustive()
+    }
+}
+
+impl RaInitiator {
+    /// Starts a session: draws an ephemeral key and quotes it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quote-generation failures.
+    pub fn start(env: &mut EnclaveEnv<'_>) -> Result<(Self, RaHello), MigError> {
+        let mut seed = [0u8; 32];
+        env.random_bytes(&mut seed);
+        let secret = StaticSecret::from_bytes(seed);
+        let g_i = secret.public_key();
+        let report = env.ereport(
+            &env.qe_target_info(),
+            &ReportData::from_hash(&hello_binding(&g_i)),
+        );
+        let quote = env.quote_report(&report)?;
+        Ok((RaInitiator { secret, g_i }, RaHello { g_i, quote }))
+    }
+
+    /// This side's ephemeral public key.
+    #[must_use]
+    pub fn g_i(&self) -> PublicKey {
+        self.g_i
+    }
+
+    /// Verifies the responder's evidence and derives the session key.
+    ///
+    /// # Errors
+    ///
+    /// [`MigError::PeerAuthenticationFailed`] on bad evidence, wrong
+    /// measurement, or wrong key binding.
+    pub fn process_response(
+        self,
+        cfg: &RaConfig,
+        g_r: PublicKey,
+        evidence: &AttestationEvidence,
+    ) -> Result<RaSessionKey, MigError> {
+        let body = evidence
+            .verify(&cfg.ias_key)
+            .map_err(|_| MigError::PeerAuthenticationFailed("ias evidence"))?;
+        if body.identity.mr_enclave != cfg.expected_mr_enclave {
+            return Err(MigError::PeerAuthenticationFailed("peer measurement"));
+        }
+        if body.report_data.hash_prefix() != response_binding(&g_r, &self.g_i) {
+            return Err(MigError::PeerAuthenticationFailed("key binding"));
+        }
+        let shared = self.secret.diffie_hellman(&g_r);
+        Ok(derive_key(&shared, &self.g_i, &g_r))
+    }
+}
+
+/// Responder side (the destination ME).
+pub struct RaResponder {
+    g_i: PublicKey,
+    g_r: PublicKey,
+    key: RaSessionKey,
+}
+
+impl std::fmt::Debug for RaResponder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RaResponder")
+            .field("g_i", &self.g_i)
+            .field("g_r", &self.g_r)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RaResponder {
+    /// Verifies the initiator's evidence, draws an ephemeral key, and
+    /// quotes it bound to both keys.
+    ///
+    /// # Errors
+    ///
+    /// [`MigError::PeerAuthenticationFailed`] on bad evidence, wrong
+    /// measurement, or wrong key binding.
+    pub fn respond(
+        env: &mut EnclaveEnv<'_>,
+        cfg: &RaConfig,
+        g_i: PublicKey,
+        evidence: &AttestationEvidence,
+    ) -> Result<(Self, RaResponseQuote), MigError> {
+        let body = evidence
+            .verify(&cfg.ias_key)
+            .map_err(|_| MigError::PeerAuthenticationFailed("ias evidence"))?;
+        if body.identity.mr_enclave != cfg.expected_mr_enclave {
+            return Err(MigError::PeerAuthenticationFailed("peer measurement"));
+        }
+        if body.report_data.hash_prefix() != hello_binding(&g_i) {
+            return Err(MigError::PeerAuthenticationFailed("key binding"));
+        }
+
+        let mut seed = [0u8; 32];
+        env.random_bytes(&mut seed);
+        let secret = StaticSecret::from_bytes(seed);
+        let g_r = secret.public_key();
+        let report = env.ereport(
+            &env.qe_target_info(),
+            &ReportData::from_hash(&response_binding(&g_r, &g_i)),
+        );
+        let quote = env.quote_report(&report)?;
+        let shared = secret.diffie_hellman(&g_i);
+        let key = derive_key(&shared, &g_i, &g_r);
+        Ok((
+            RaResponder { g_i, g_r, key },
+            RaResponseQuote { g_r, quote },
+        ))
+    }
+
+    /// The ephemeral keys of this session (for transcript computation).
+    #[must_use]
+    pub fn keys(&self) -> (PublicKey, PublicKey) {
+        (self.g_i, self.g_r)
+    }
+
+    /// Yields the session key (callers gate trust on the operator-auth
+    /// layer completing first).
+    #[must_use]
+    pub fn session_key(&self) -> RaSessionKey {
+        self.key
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sgx_sim::enclave::EnclaveCode;
+    use sgx_sim::ias::AttestationService;
+    use sgx_sim::machine::{MachineId, SgxMachine};
+    use sgx_sim::measurement::{EnclaveImage, EnclaveSigner};
+
+    /// Minimal enclave that drives RA via opcodes so tests can run the
+    /// full cross-machine flow through real ECALLs.
+    #[derive(Default)]
+    struct RaTestEnclave {
+        cfg: Option<RaConfig>,
+        initiator: Option<RaInitiator>,
+        responder: Option<RaResponder>,
+        key: Option<RaSessionKey>,
+    }
+
+    const OP_SET_CFG: u32 = 1; // wire{ias 32, expected 32}
+    const OP_START: u32 = 2; // -> hello bytes
+    const OP_RESPOND: u32 = 3; // wire{g 32, evidence} -> response bytes
+    const OP_FINISH: u32 = 4; // wire{g_r 32, evidence} -> key16 (test only!)
+    const OP_RESP_KEY: u32 = 5; // -> key16 (test only!)
+
+    impl EnclaveCode for RaTestEnclave {
+        fn ecall(
+            &mut self,
+            env: &mut EnclaveEnv<'_>,
+            opcode: u32,
+            input: &[u8],
+        ) -> Result<Vec<u8>, SgxError> {
+            match opcode {
+                OP_SET_CFG => {
+                    let mut r = WireReader::new(input);
+                    let ias_key = VerifyingKey(r.array()?);
+                    let expected_mr_enclave = MrEnclave(r.array()?);
+                    r.finish()?;
+                    self.cfg = Some(RaConfig {
+                        ias_key,
+                        expected_mr_enclave,
+                    });
+                    Ok(vec![])
+                }
+                OP_START => {
+                    let (session, hello) = RaInitiator::start(env).map_err(SgxError::from)?;
+                    self.initiator = Some(session);
+                    Ok(hello.to_bytes())
+                }
+                OP_RESPOND => {
+                    let mut r = WireReader::new(input);
+                    let g_i = PublicKey(r.array()?);
+                    let evidence = AttestationEvidence::from_bytes(r.bytes()?)?;
+                    r.finish()?;
+                    let cfg = self.cfg.as_ref().expect("configured");
+                    let (session, response) = RaResponder::respond(env, cfg, g_i, &evidence)
+                        .map_err(SgxError::from)?;
+                    self.responder = Some(session);
+                    Ok(response.to_bytes())
+                }
+                OP_FINISH => {
+                    let mut r = WireReader::new(input);
+                    let g_r = PublicKey(r.array()?);
+                    let evidence = AttestationEvidence::from_bytes(r.bytes()?)?;
+                    r.finish()?;
+                    let cfg = self.cfg.as_ref().expect("configured");
+                    let session = self.initiator.take().expect("started");
+                    let key = session
+                        .process_response(cfg, g_r, &evidence)
+                        .map_err(SgxError::from)?;
+                    self.key = Some(key);
+                    Ok(key.to_vec())
+                }
+                OP_RESP_KEY => Ok(self.responder.as_ref().expect("responded").session_key().to_vec()),
+                _ => Err(SgxError::InvalidParameter("opcode")),
+            }
+        }
+    }
+
+    struct Setup {
+        ias: AttestationService,
+        m1: SgxMachine,
+        m2: SgxMachine,
+        image: EnclaveImage,
+    }
+
+    fn setup() -> Setup {
+        let mut rng = StdRng::seed_from_u64(31);
+        let ias = AttestationService::new(&mut rng);
+        let m1 = SgxMachine::new(MachineId(1), &ias, &mut rng);
+        let m2 = SgxMachine::new(MachineId(2), &ias, &mut rng);
+        let signer = EnclaveSigner::from_seed([8; 32]);
+        let image = EnclaveImage::build("ra-test", 1, b"identical code", &signer);
+        Setup { ias, m1, m2, image }
+    }
+
+    fn cfg_bytes(ias: &AttestationService, expected: MrEnclave) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.array(&ias.verifying_key().0).array(&expected.0);
+        w.finish()
+    }
+
+    /// The untrusted host's job: quote → IAS → evidence.
+    fn to_evidence(ias: &AttestationService, quote: &Quote) -> Vec<u8> {
+        ias.verify_quote(quote).unwrap().to_bytes()
+    }
+
+    #[test]
+    fn full_cross_machine_handshake_agrees_on_key() {
+        let s = setup();
+        let init = s.m1.load_enclave(&s.image, Box::<RaTestEnclave>::default()).unwrap();
+        let resp = s.m2.load_enclave(&s.image, Box::<RaTestEnclave>::default()).unwrap();
+        init.ecall(OP_SET_CFG, &cfg_bytes(&s.ias, s.image.mr_enclave())).unwrap();
+        resp.ecall(OP_SET_CFG, &cfg_bytes(&s.ias, s.image.mr_enclave())).unwrap();
+
+        // Initiator starts; host converts the quote to evidence for dst.
+        let hello = RaHello::from_bytes(&init.ecall(OP_START, b"").unwrap()).unwrap();
+        let mut w = WireWriter::new();
+        w.array(&hello.g_i.0).bytes(&to_evidence(&s.ias, &hello.quote));
+        let response_bytes = resp.ecall(OP_RESPOND, &w.finish()).unwrap();
+
+        // Host converts the responder's quote for src.
+        let response = RaResponseQuote::from_bytes(&response_bytes).unwrap();
+        let mut w = WireWriter::new();
+        w.array(&response.g_r.0).bytes(&to_evidence(&s.ias, &response.quote));
+        let key_i = init.ecall(OP_FINISH, &w.finish()).unwrap();
+
+        let key_r = resp.ecall(OP_RESP_KEY, b"").unwrap();
+        assert_eq!(key_i, key_r, "both sides derive the same session key");
+        assert_eq!(key_i.len(), 16);
+    }
+
+    #[test]
+    fn wrong_measurement_rejected() {
+        let s = setup();
+        let signer = EnclaveSigner::from_seed([8; 32]);
+        let other_image = EnclaveImage::build("impostor", 1, b"different code", &signer);
+
+        let init = s.m1.load_enclave(&s.image, Box::<RaTestEnclave>::default()).unwrap();
+        // The impostor responds from m2 with a DIFFERENT measurement.
+        let resp = s
+            .m2
+            .load_enclave(&other_image, Box::<RaTestEnclave>::default())
+            .unwrap();
+        init.ecall(OP_SET_CFG, &cfg_bytes(&s.ias, s.image.mr_enclave())).unwrap();
+        // The impostor is willing to accept anyone (it's malicious).
+        resp.ecall(OP_SET_CFG, &cfg_bytes(&s.ias, s.image.mr_enclave())).unwrap();
+
+        let hello = RaHello::from_bytes(&init.ecall(OP_START, b"").unwrap()).unwrap();
+        let mut w = WireWriter::new();
+        w.array(&hello.g_i.0).bytes(&to_evidence(&s.ias, &hello.quote));
+        // Responder checks the *initiator's* measurement first and the
+        // initiator is genuine, so the responder may answer...
+        let response_bytes = resp.ecall(OP_RESPOND, &w.finish()).unwrap();
+        let response = RaResponseQuote::from_bytes(&response_bytes).unwrap();
+        // ...but the initiator must reject the impostor's evidence.
+        let mut w = WireWriter::new();
+        w.array(&response.g_r.0).bytes(&to_evidence(&s.ias, &response.quote));
+        let err = init.ecall(OP_FINISH, &w.finish()).unwrap_err();
+        assert!(matches!(err, SgxError::Enclave(msg) if msg.contains("peer measurement")));
+    }
+
+    #[test]
+    fn tampered_key_binding_rejected() {
+        let s = setup();
+        let init = s.m1.load_enclave(&s.image, Box::<RaTestEnclave>::default()).unwrap();
+        let resp = s.m2.load_enclave(&s.image, Box::<RaTestEnclave>::default()).unwrap();
+        init.ecall(OP_SET_CFG, &cfg_bytes(&s.ias, s.image.mr_enclave())).unwrap();
+        resp.ecall(OP_SET_CFG, &cfg_bytes(&s.ias, s.image.mr_enclave())).unwrap();
+
+        let hello = RaHello::from_bytes(&init.ecall(OP_START, b"").unwrap()).unwrap();
+        // MITM substitutes its own DH key but cannot fix the quote.
+        let mut evil_g = hello.g_i.0;
+        evil_g[0] ^= 1;
+        let mut w = WireWriter::new();
+        w.array(&evil_g).bytes(&to_evidence(&s.ias, &hello.quote));
+        let err = resp.ecall(OP_RESPOND, &w.finish()).unwrap_err();
+        assert!(matches!(err, SgxError::Enclave(msg) if msg.contains("key binding")));
+    }
+
+    #[test]
+    fn revoked_platform_cannot_attest() {
+        let s = setup();
+        let init = s.m1.load_enclave(&s.image, Box::<RaTestEnclave>::default()).unwrap();
+        init.ecall(OP_SET_CFG, &cfg_bytes(&s.ias, s.image.mr_enclave())).unwrap();
+        let hello = RaHello::from_bytes(&init.ecall(OP_START, b"").unwrap()).unwrap();
+        s.ias.revoke(s.m1.platform_id());
+        assert!(s.ias.verify_quote(&hello.quote).is_err());
+    }
+
+    #[test]
+    fn transcript_is_deterministic_and_binds_inputs() {
+        let g1 = PublicKey([1; 32]);
+        let g2 = PublicKey([2; 32]);
+        let mr = MrEnclave([3; 32]);
+        assert_eq!(transcript_bytes(&g1, &g2, &mr), transcript_bytes(&g1, &g2, &mr));
+        assert_ne!(transcript_bytes(&g1, &g2, &mr), transcript_bytes(&g2, &g1, &mr));
+        assert_ne!(
+            transcript_bytes(&g1, &g2, &mr),
+            transcript_bytes(&g1, &g2, &MrEnclave([4; 32]))
+        );
+    }
+}

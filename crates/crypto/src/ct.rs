@@ -1,0 +1,96 @@
+//! Constant-time comparison helpers.
+//!
+//! Authentication-tag and MAC comparisons must not leak, through timing, the
+//! position of the first mismatching byte. The helpers here accumulate the
+//! XOR of every byte pair before reducing to a boolean, so the running time
+//! depends only on the input length.
+
+/// Compares two byte slices in constant time (for equal-length inputs).
+///
+/// Returns `false` immediately if the lengths differ; the length of a MAC or
+/// tag is public information, so this early exit leaks nothing secret.
+///
+/// # Example
+///
+/// ```
+/// use mig_crypto::ct::ct_eq;
+/// assert!(ct_eq(b"abc", b"abc"));
+/// assert!(!ct_eq(b"abc", b"abd"));
+/// assert!(!ct_eq(b"abc", b"ab"));
+/// ```
+#[must_use]
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    // Map `diff == 0` to true without a data-dependent branch.
+    ct_is_zero(diff)
+}
+
+/// Returns `true` iff `v == 0`, computed without a data-dependent branch.
+#[must_use]
+pub fn ct_is_zero(v: u8) -> bool {
+    // (v | v.wrapping_neg()) has its MSB set iff v != 0.
+    let nonzero_mask = (v | v.wrapping_neg()) >> 7;
+    nonzero_mask == 0
+}
+
+/// Conditionally selects `b` (if `choice` is true) or `a` in constant time.
+///
+/// Used by the curve code for branch-free conditional swaps.
+#[must_use]
+pub fn ct_select_u64(a: u64, b: u64, choice: bool) -> u64 {
+    let mask = (choice as u64).wrapping_neg();
+    a ^ (mask & (a ^ b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_on_equal_slices() {
+        assert!(ct_eq(&[], &[]));
+        assert!(ct_eq(&[1, 2, 3], &[1, 2, 3]));
+        let long = vec![0xAB; 4096];
+        assert!(ct_eq(&long, &long.clone()));
+    }
+
+    #[test]
+    fn neq_on_any_single_bit_flip() {
+        let base = vec![0x5A; 64];
+        for i in 0..base.len() {
+            for bit in 0..8 {
+                let mut other = base.clone();
+                other[i] ^= 1 << bit;
+                assert!(!ct_eq(&base, &other), "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn neq_on_length_mismatch() {
+        assert!(!ct_eq(&[0], &[]));
+        assert!(!ct_eq(&[0, 0], &[0]));
+    }
+
+    #[test]
+    fn is_zero() {
+        assert!(ct_is_zero(0));
+        for v in 1..=255u8 {
+            assert!(!ct_is_zero(v));
+        }
+    }
+
+    #[test]
+    fn select() {
+        assert_eq!(ct_select_u64(1, 2, false), 1);
+        assert_eq!(ct_select_u64(1, 2, true), 2);
+        assert_eq!(ct_select_u64(u64::MAX, 0, true), 0);
+        assert_eq!(ct_select_u64(u64::MAX, 0, false), u64::MAX);
+    }
+}

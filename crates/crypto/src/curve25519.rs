@@ -1,0 +1,776 @@
+//! Shared Curve25519 arithmetic: the field GF(2^255 - 19), the edwards25519
+//! point group, and scalars modulo the group order L.
+//!
+//! Crate-internal; [`crate::x25519`] and [`crate::ed25519`] build the public
+//! APIs on top. Field elements use five 51-bit limbs with `u128`
+//! intermediates. Exponentiations (inversion, square roots) use a generic
+//! square-and-multiply, trading a few microseconds for transcription safety;
+//! the curve constants `d` and `sqrt(-1)` are *computed* from first
+//! principles at first use rather than hard-coded.
+
+use std::sync::OnceLock;
+
+const MASK51: u64 = (1 << 51) - 1;
+
+/// An element of GF(2^255 - 19) in five 51-bit limbs (weakly reduced:
+/// every limb is below 2^52).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Fe(pub(crate) [u64; 5]);
+
+impl Fe {
+    pub(crate) const ZERO: Fe = Fe([0; 5]);
+    pub(crate) const ONE: Fe = Fe([1, 0, 0, 0, 0]);
+
+    pub(crate) fn from_u64(v: u64) -> Fe {
+        // Split a small integer across the first two limbs.
+        Fe([v & MASK51, v >> 51, 0, 0, 0])
+    }
+
+    /// Parses 32 little-endian bytes, ignoring the top bit (bit 255),
+    /// as RFC 7748 / RFC 8032 specify.
+    pub(crate) fn from_bytes(bytes: &[u8; 32]) -> Fe {
+        let w = |i: usize| u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
+        let (w0, w1, w2, w3) = (w(0), w(1), w(2), w(3));
+        Fe([
+            w0 & MASK51,
+            ((w0 >> 51) | (w1 << 13)) & MASK51,
+            ((w1 >> 38) | (w2 << 26)) & MASK51,
+            ((w2 >> 25) | (w3 << 39)) & MASK51,
+            (w3 >> 12) & MASK51,
+        ])
+    }
+
+    /// Serializes to the unique canonical 32-byte little-endian encoding.
+    pub(crate) fn to_bytes(self) -> [u8; 32] {
+        // Fully carry so that limbs are below 2^51.
+        let mut l = reduce_wide([
+            self.0[0] as u128,
+            self.0[1] as u128,
+            self.0[2] as u128,
+            self.0[3] as u128,
+            self.0[4] as u128,
+        ])
+        .0;
+        // A second pass leaves limb 1 strictly below 2^51 as well.
+        let c = l[1] >> 51;
+        l[1] &= MASK51;
+        l[2] += c;
+        let c = l[2] >> 51;
+        l[2] &= MASK51;
+        l[3] += c;
+        let c = l[3] >> 51;
+        l[3] &= MASK51;
+        l[4] += c;
+        let c = l[4] >> 51;
+        l[4] &= MASK51;
+        l[0] += 19 * c;
+        let c = l[0] >> 51;
+        l[0] &= MASK51;
+        l[1] += c;
+
+        // Canonicalize: subtract p exactly when the value is >= p, detected
+        // by whether adding 19 carries all the way out of bit 255.
+        let mut q = (l[0] + 19) >> 51;
+        q = (l[1] + q) >> 51;
+        q = (l[2] + q) >> 51;
+        q = (l[3] + q) >> 51;
+        q = (l[4] + q) >> 51;
+        l[0] += 19 * q;
+        let c = l[0] >> 51;
+        l[0] &= MASK51;
+        l[1] += c;
+        let c = l[1] >> 51;
+        l[1] &= MASK51;
+        l[2] += c;
+        let c = l[2] >> 51;
+        l[2] &= MASK51;
+        l[3] += c;
+        let c = l[3] >> 51;
+        l[3] &= MASK51;
+        l[4] += c;
+        l[4] &= MASK51; // drop the 2^255 carry: value is now reduced mod p
+
+        let w0 = l[0] | (l[1] << 51);
+        let w1 = (l[1] >> 13) | (l[2] << 38);
+        let w2 = (l[2] >> 26) | (l[3] << 25);
+        let w3 = (l[3] >> 39) | (l[4] << 12);
+        let mut out = [0u8; 32];
+        out[0..8].copy_from_slice(&w0.to_le_bytes());
+        out[8..16].copy_from_slice(&w1.to_le_bytes());
+        out[16..24].copy_from_slice(&w2.to_le_bytes());
+        out[24..32].copy_from_slice(&w3.to_le_bytes());
+        out
+    }
+
+    pub(crate) fn add(self, rhs: Fe) -> Fe {
+        reduce_wide([
+            self.0[0] as u128 + rhs.0[0] as u128,
+            self.0[1] as u128 + rhs.0[1] as u128,
+            self.0[2] as u128 + rhs.0[2] as u128,
+            self.0[3] as u128 + rhs.0[3] as u128,
+            self.0[4] as u128 + rhs.0[4] as u128,
+        ])
+    }
+
+    pub(crate) fn sub(self, rhs: Fe) -> Fe {
+        // Add 4p before subtracting so that limbs never underflow
+        // (inputs are weakly reduced: every limb is below 2^52).
+        const FOUR_P: [u64; 5] = [
+            4 * ((1 << 51) - 19),
+            4 * MASK51,
+            4 * MASK51,
+            4 * MASK51,
+            4 * MASK51,
+        ];
+        reduce_wide([
+            (self.0[0] + FOUR_P[0] - rhs.0[0]) as u128,
+            (self.0[1] + FOUR_P[1] - rhs.0[1]) as u128,
+            (self.0[2] + FOUR_P[2] - rhs.0[2]) as u128,
+            (self.0[3] + FOUR_P[3] - rhs.0[3]) as u128,
+            (self.0[4] + FOUR_P[4] - rhs.0[4]) as u128,
+        ])
+    }
+
+    pub(crate) fn neg(self) -> Fe {
+        Fe::ZERO.sub(self)
+    }
+
+    pub(crate) fn mul(self, rhs: Fe) -> Fe {
+        let a = &self.0;
+        let b = &rhs.0;
+        let m = |x: u64, y: u64| x as u128 * y as u128;
+        let c0 = m(a[0], b[0])
+            + 19 * (m(a[1], b[4]) + m(a[2], b[3]) + m(a[3], b[2]) + m(a[4], b[1]));
+        let c1 = m(a[0], b[1])
+            + m(a[1], b[0])
+            + 19 * (m(a[2], b[4]) + m(a[3], b[3]) + m(a[4], b[2]));
+        let c2 = m(a[0], b[2])
+            + m(a[1], b[1])
+            + m(a[2], b[0])
+            + 19 * (m(a[3], b[4]) + m(a[4], b[3]));
+        let c3 = m(a[0], b[3])
+            + m(a[1], b[2])
+            + m(a[2], b[1])
+            + m(a[3], b[0])
+            + 19 * m(a[4], b[4]);
+        let c4 = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
+        reduce_wide([c0, c1, c2, c3, c4])
+    }
+
+    pub(crate) fn square(self) -> Fe {
+        self.mul(self)
+    }
+
+    /// Generic square-and-multiply exponentiation with a little-endian
+    /// 32-byte exponent. Variable-time; acceptable for this simulator
+    /// (see the crate-level security note).
+    pub(crate) fn pow(self, exp_le: &[u8; 32]) -> Fe {
+        let mut acc = Fe::ONE;
+        for i in (0..256).rev() {
+            acc = acc.square();
+            if (exp_le[i / 8] >> (i % 8)) & 1 == 1 {
+                acc = acc.mul(self);
+            }
+        }
+        acc
+    }
+
+    /// Multiplicative inverse via Fermat: self^(p-2). Inverse of zero is zero.
+    pub(crate) fn invert(self) -> Fe {
+        // p - 2 = 2^255 - 21
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xeb;
+        exp[31] = 0x7f;
+        self.pow(&exp)
+    }
+
+    /// self^((p-5)/8), the core of the square-root computation.
+    fn pow_p58(self) -> Fe {
+        // (p-5)/8 = 2^252 - 3
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xfd;
+        exp[31] = 0x0f;
+        self.pow(&exp)
+    }
+
+    pub(crate) fn is_zero(self) -> bool {
+        self.to_bytes() == [0u8; 32]
+    }
+
+    /// "Negative" per RFC 8032: the canonical encoding is odd.
+    pub(crate) fn is_negative(self) -> bool {
+        self.to_bytes()[0] & 1 == 1
+    }
+
+    pub(crate) fn ct_eq(self, rhs: Fe) -> bool {
+        crate::ct::ct_eq(&self.to_bytes(), &rhs.to_bytes())
+    }
+
+    /// Branch-free conditional swap, used by the Montgomery ladder.
+    pub(crate) fn cswap(swap: bool, a: &mut Fe, b: &mut Fe) {
+        let mask = (swap as u64).wrapping_neg();
+        for i in 0..5 {
+            let t = mask & (a.0[i] ^ b.0[i]);
+            a.0[i] ^= t;
+            b.0[i] ^= t;
+        }
+    }
+}
+
+/// Carries a wide (post-multiplication) limb vector back into weakly
+/// reduced form: every output limb below 2^52.
+fn reduce_wide(mut t: [u128; 5]) -> Fe {
+    const M: u128 = MASK51 as u128;
+    t[1] += t[0] >> 51;
+    t[0] &= M;
+    t[2] += t[1] >> 51;
+    t[1] &= M;
+    t[3] += t[2] >> 51;
+    t[2] &= M;
+    t[4] += t[3] >> 51;
+    t[3] &= M;
+    t[0] += 19 * (t[4] >> 51);
+    t[4] &= M;
+    t[1] += t[0] >> 51;
+    t[0] &= M;
+    Fe([
+        t[0] as u64,
+        t[1] as u64,
+        t[2] as u64,
+        t[3] as u64,
+        t[4] as u64,
+    ])
+}
+
+/// Computes `sqrt(u/v)` if it exists: returns `r` with `r^2 * v = u`.
+///
+/// Returns `None` when `u/v` is not a square.
+pub(crate) fn sqrt_ratio(u: Fe, v: Fe) -> Option<Fe> {
+    let v3 = v.square().mul(v);
+    let v7 = v3.square().mul(v);
+    let mut r = u.mul(v3).mul(u.mul(v7).pow_p58());
+    let check = v.mul(r.square());
+    if check.ct_eq(u) {
+        Some(r)
+    } else if check.ct_eq(u.neg()) {
+        r = r.mul(consts().sqrt_m1);
+        Some(r)
+    } else {
+        None
+    }
+}
+
+/// Lazily computed curve constants.
+pub(crate) struct Consts {
+    /// Edwards curve constant d = -121665/121666.
+    pub(crate) d: Fe,
+    /// 2d, used by the extended-coordinate addition formulas.
+    pub(crate) d2: Fe,
+    /// A square root of -1 (mod p).
+    pub(crate) sqrt_m1: Fe,
+    /// The edwards25519 base point B (y = 4/5, x positive... even).
+    pub(crate) base: EdwardsPoint,
+}
+
+pub(crate) fn consts() -> &'static Consts {
+    static CONSTS: OnceLock<Consts> = OnceLock::new();
+    CONSTS.get_or_init(|| {
+        let d = Fe::from_u64(121665).neg().mul(Fe::from_u64(121666).invert());
+        let d2 = d.add(d);
+        // sqrt(-1) = 2^((p-1)/4); (p-1)/4 = 2^253 - 5.
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xfb;
+        exp[31] = 0x1f;
+        let sqrt_m1 = Fe::from_u64(2).pow(&exp);
+        debug_assert!(sqrt_m1.square().ct_eq(Fe::ONE.neg()));
+
+        // Base point: y = 4/5, with the even (non-"negative") x.
+        let y = Fe::from_u64(4).mul(Fe::from_u64(5).invert());
+        let mut base_bytes = y.to_bytes();
+        base_bytes[31] &= 0x7f; // sign bit 0 selects the even x
+        let base = EdwardsPoint::decompress_with(&base_bytes, d, sqrt_m1)
+            .expect("base point must decompress");
+        Consts { d, d2, sqrt_m1, base }
+    })
+}
+
+/// A point on edwards25519 in extended homogeneous coordinates
+/// (X : Y : Z : T) with X*Y = Z*T.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct EdwardsPoint {
+    pub(crate) x: Fe,
+    pub(crate) y: Fe,
+    pub(crate) z: Fe,
+    pub(crate) t: Fe,
+}
+
+impl EdwardsPoint {
+    pub(crate) fn identity() -> EdwardsPoint {
+        EdwardsPoint {
+            x: Fe::ZERO,
+            y: Fe::ONE,
+            z: Fe::ONE,
+            t: Fe::ZERO,
+        }
+    }
+
+    pub(crate) fn base() -> EdwardsPoint {
+        consts().base
+    }
+
+    /// Complete point addition (extended coordinates, a = -1).
+    pub(crate) fn add(&self, other: &EdwardsPoint) -> EdwardsPoint {
+        let a = self.y.sub(self.x).mul(other.y.sub(other.x));
+        let b = self.y.add(self.x).mul(other.y.add(other.x));
+        let c = self.t.mul(consts().d2).mul(other.t);
+        let d = self.z.mul(other.z).add(self.z.mul(other.z));
+        let e = b.sub(a);
+        let f = d.sub(c);
+        let g = d.add(c);
+        let h = b.add(a);
+        EdwardsPoint {
+            x: e.mul(f),
+            y: g.mul(h),
+            z: f.mul(g),
+            t: e.mul(h),
+        }
+    }
+
+    pub(crate) fn double(&self) -> EdwardsPoint {
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = self.z.square().add(self.z.square());
+        let h = a.add(b);
+        let e = h.sub(self.x.add(self.y).square());
+        let g = a.sub(b);
+        let f = c.add(g);
+        EdwardsPoint {
+            x: e.mul(f),
+            y: g.mul(h),
+            z: f.mul(g),
+            t: e.mul(h),
+        }
+    }
+
+    pub(crate) fn neg(&self) -> EdwardsPoint {
+        EdwardsPoint {
+            x: self.x.neg(),
+            y: self.y,
+            z: self.z,
+            t: self.t.neg(),
+        }
+    }
+
+    /// Scalar multiplication by a 256-bit little-endian scalar,
+    /// plain double-and-add (variable-time; see crate security note).
+    pub(crate) fn scalar_mul(&self, scalar_le: &[u8; 32]) -> EdwardsPoint {
+        let mut acc = EdwardsPoint::identity();
+        for i in (0..256).rev() {
+            acc = acc.double();
+            if (scalar_le[i / 8] >> (i % 8)) & 1 == 1 {
+                acc = acc.add(self);
+            }
+        }
+        acc
+    }
+
+    /// Compresses to the 32-byte RFC 8032 encoding (y with x-sign bit).
+    pub(crate) fn compress(&self) -> [u8; 32] {
+        let zinv = self.z.invert();
+        let x = self.x.mul(zinv);
+        let y = self.y.mul(zinv);
+        let mut bytes = y.to_bytes();
+        bytes[31] |= (x.is_negative() as u8) << 7;
+        bytes
+    }
+
+    /// Decompresses an RFC 8032 point encoding.
+    pub(crate) fn decompress(bytes: &[u8; 32]) -> Option<EdwardsPoint> {
+        let c = consts();
+        Self::decompress_with(bytes, c.d, c.sqrt_m1)
+    }
+
+    // Split out so that `consts()` can decompress the base point while the
+    // constants are still being initialized.
+    fn decompress_with(bytes: &[u8; 32], d: Fe, _sqrt_m1: Fe) -> Option<EdwardsPoint> {
+        let sign = bytes[31] >> 7 == 1;
+        let y = Fe::from_bytes(bytes);
+        // Reject non-canonical y encodings to make point decoding injective.
+        let mut canonical = y.to_bytes();
+        canonical[31] |= (sign as u8) << 7;
+        if &canonical != bytes {
+            return None;
+        }
+        let y2 = y.square();
+        let u = y2.sub(Fe::ONE);
+        let v = d.mul(y2).add(Fe::ONE);
+        let mut x = sqrt_ratio(u, v)?;
+        if x.is_zero() && sign {
+            return None; // "negative zero" is invalid
+        }
+        if x.is_negative() != sign {
+            x = x.neg();
+        }
+        Some(EdwardsPoint {
+            x,
+            y,
+            z: Fe::ONE,
+            t: x.mul(y),
+        })
+    }
+
+    /// Projective equality: X1*Z2 == X2*Z1 and Y1*Z2 == Y2*Z1.
+    pub(crate) fn ct_eq(&self, other: &EdwardsPoint) -> bool {
+        let a = self.x.mul(other.z).ct_eq(other.x.mul(self.z));
+        let b = self.y.mul(other.z).ct_eq(other.y.mul(self.z));
+        a && b
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalars modulo the group order L = 2^252 + 27742317777372353535851937790883648493.
+// ---------------------------------------------------------------------------
+
+/// L as four little-endian u64 limbs.
+const L_LIMBS: [u64; 4] = [
+    0x5812631a5cf5d3ed,
+    0x14def9dea2f79cd6,
+    0x0000000000000000,
+    0x1000000000000000,
+];
+
+/// A scalar modulo L in canonical little-endian byte form.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Scalar(pub(crate) [u8; 32]);
+
+impl Scalar {
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) const ZERO: Scalar = Scalar([0u8; 32]);
+
+    /// Reduces a 512-bit little-endian value modulo L.
+    pub(crate) fn from_bytes_mod_order_wide(input: &[u8; 64]) -> Scalar {
+        let mut limbs = [0u64; 8];
+        for (i, chunk) in input.chunks_exact(8).enumerate() {
+            limbs[i] = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+        }
+        Scalar(limbs_to_bytes(&mod_l_wide(&limbs)))
+    }
+
+    /// Reduces a 256-bit little-endian value modulo L.
+    pub(crate) fn from_bytes_mod_order(input: &[u8; 32]) -> Scalar {
+        let mut wide = [0u8; 64];
+        wide[..32].copy_from_slice(input);
+        Scalar::from_bytes_mod_order_wide(&wide)
+    }
+
+    /// Returns `true` iff `input` is already the canonical encoding of a
+    /// scalar (i.e. strictly below L). RFC 8032 requires rejecting
+    /// non-canonical `s` values in signatures (malleability).
+    pub(crate) fn is_canonical(input: &[u8; 32]) -> bool {
+        let mut limbs = [0u64; 4];
+        for (i, chunk) in input.chunks_exact(8).enumerate() {
+            limbs[i] = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+        }
+        lt(&limbs, &L_LIMBS)
+    }
+
+    /// (a * b + c) mod L — the core of Ed25519 signing.
+    pub(crate) fn mul_add(a: &Scalar, b: &Scalar, c: &Scalar) -> Scalar {
+        let al = bytes_to_limbs(&a.0);
+        let bl = bytes_to_limbs(&b.0);
+        let cl = bytes_to_limbs(&c.0);
+
+        // Schoolbook 4x4 -> 8 limb multiply.
+        let mut prod = [0u64; 8];
+        for i in 0..4 {
+            let mut carry: u128 = 0;
+            for j in 0..4 {
+                let v = prod[i + j] as u128 + al[i] as u128 * bl[j] as u128 + carry;
+                prod[i + j] = v as u64;
+                carry = v >> 64;
+            }
+            prod[i + 4] = carry as u64;
+        }
+        // Add c (cannot overflow 512 bits: product < L^2 << 2^512).
+        let mut carry: u128 = 0;
+        for i in 0..8 {
+            let add = if i < 4 { cl[i] as u128 } else { 0 };
+            let v = prod[i] as u128 + add + carry;
+            prod[i] = v as u64;
+            carry = v >> 64;
+        }
+        Scalar(limbs_to_bytes(&mod_l_wide(&prod)))
+    }
+
+    pub(crate) fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+fn bytes_to_limbs(bytes: &[u8; 32]) -> [u64; 4] {
+    let mut limbs = [0u64; 4];
+    for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+        limbs[i] = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+    }
+    limbs
+}
+
+fn limbs_to_bytes(limbs: &[u64; 4]) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    for (i, l) in limbs.iter().enumerate() {
+        out[i * 8..i * 8 + 8].copy_from_slice(&l.to_le_bytes());
+    }
+    out
+}
+
+/// `a < b` over 4-limb little-endian values.
+fn lt(a: &[u64; 4], b: &[u64; 4]) -> bool {
+    for i in (0..4).rev() {
+        if a[i] != b[i] {
+            return a[i] < b[i];
+        }
+    }
+    false
+}
+
+/// Subtracts L in place (callers guarantee the value is >= L).
+fn sub_l(r: &mut [u64; 4]) {
+    let mut borrow: i128 = 0;
+    for i in 0..4 {
+        let v = r[i] as i128 - L_LIMBS[i] as i128 + borrow;
+        if v < 0 {
+            r[i] = (v + (1i128 << 64)) as u64;
+            borrow = -1;
+        } else {
+            r[i] = v as u64;
+            borrow = 0;
+        }
+    }
+    debug_assert_eq!(borrow, 0);
+}
+
+/// Reduces a 512-bit value modulo L by binary long division.
+///
+/// Runs 512 shift/compare/subtract steps; scalars are reduced only a handful
+/// of times per signature, so simplicity wins over speed here.
+fn mod_l_wide(x: &[u64; 8]) -> [u64; 4] {
+    let mut r = [0u64; 4];
+    for i in (0..512).rev() {
+        // r = (r << 1) | bit_i(x); r stays < 2L < 2^254 so no overflow.
+        let mut carry = (x[i / 64] >> (i % 64)) & 1;
+        for limb in r.iter_mut() {
+            let new_carry = *limb >> 63;
+            *limb = (*limb << 1) | carry;
+            carry = new_carry;
+        }
+        debug_assert_eq!(carry, 0);
+        if !lt(&r, &L_LIMBS) {
+            sub_l(&mut r);
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex_encode;
+
+    #[test]
+    fn field_one_plus_one_is_two() {
+        let two = Fe::ONE.add(Fe::ONE);
+        assert!(two.ct_eq(Fe::from_u64(2)));
+    }
+
+    #[test]
+    fn field_sub_wraps_correctly() {
+        // 0 - 1 == p - 1, whose canonical encoding is p-1 = 2^255 - 20.
+        let minus_one = Fe::ZERO.sub(Fe::ONE);
+        let bytes = minus_one.to_bytes();
+        assert_eq!(bytes[0], 0xec); // 2^255 - 20 ends in ...ec
+        assert_eq!(bytes[31], 0x7f);
+        // And -1 + 1 == 0.
+        assert!(minus_one.add(Fe::ONE).is_zero());
+    }
+
+    #[test]
+    fn field_mul_matches_known_small_values() {
+        let a = Fe::from_u64(1234567890123456789);
+        let b = Fe::from_u64(987654321);
+        let prod = a.mul(b);
+        // 1234567890123456789 * 987654321 < 2^120, verify via u128.
+        let expected = 1234567890123456789u128 * 987654321u128;
+        let mut expect_bytes = [0u8; 32];
+        expect_bytes[..16].copy_from_slice(&expected.to_le_bytes());
+        assert_eq!(prod.to_bytes(), expect_bytes);
+    }
+
+    #[test]
+    fn field_invert_round_trips() {
+        for v in [1u64, 2, 3, 19, 121665, u64::MAX] {
+            let x = Fe::from_u64(v);
+            assert!(x.mul(x.invert()).ct_eq(Fe::ONE), "v = {v}");
+        }
+    }
+
+    #[test]
+    fn field_canonical_encoding_reduces_p_to_zero() {
+        // p itself must encode as zero.
+        let p_limbs = Fe([(1 << 51) - 19, MASK51, MASK51, MASK51, MASK51]);
+        assert!(p_limbs.is_zero());
+        // p + 1 must encode as one.
+        assert!(p_limbs.add(Fe::ONE).ct_eq(Fe::ONE));
+    }
+
+    #[test]
+    fn field_from_bytes_ignores_high_bit() {
+        let mut bytes = [0u8; 32];
+        bytes[0] = 5;
+        bytes[31] = 0x80;
+        assert!(Fe::from_bytes(&bytes).ct_eq(Fe::from_u64(5)));
+    }
+
+    #[test]
+    fn sqrt_m1_squares_to_minus_one() {
+        let c = consts();
+        assert!(c.sqrt_m1.square().ct_eq(Fe::ONE.neg()));
+    }
+
+    #[test]
+    fn d_constant_matches_reference() {
+        // RFC 8032: d = 370957059346694393431380835087545651895421138798432190163887855330\
+        // 85940283555; its canonical little-endian hex is well known.
+        assert_eq!(
+            hex_encode(&consts().d.to_bytes()),
+            "a3785913ca4deb75abd841414d0a700098e879777940c78c73fe6f2bee6c0352"
+        );
+    }
+
+    #[test]
+    fn base_point_compresses_to_rfc_encoding() {
+        let expected = "5866666666666666666666666666666666666666666666666666666666666666";
+        assert_eq!(hex_encode(&EdwardsPoint::base().compress()), expected);
+    }
+
+    #[test]
+    fn base_point_has_order_dividing_l() {
+        // [L]B == identity.
+        let l_bytes = limbs_to_bytes(&L_LIMBS);
+        let lb = EdwardsPoint::base().scalar_mul(&l_bytes);
+        assert!(lb.ct_eq(&EdwardsPoint::identity()));
+    }
+
+    #[test]
+    fn point_add_is_consistent_with_double() {
+        let b = EdwardsPoint::base();
+        assert!(b.add(&b).ct_eq(&b.double()));
+        let b4a = b.double().double();
+        let b4b = b.add(&b).add(&b).add(&b);
+        assert!(b4a.ct_eq(&b4b));
+    }
+
+    #[test]
+    fn point_neg_cancels() {
+        let b = EdwardsPoint::base();
+        assert!(b.add(&b.neg()).ct_eq(&EdwardsPoint::identity()));
+    }
+
+    #[test]
+    fn compress_decompress_round_trip() {
+        let mut p = EdwardsPoint::base();
+        for _ in 0..16 {
+            let c = p.compress();
+            let q = EdwardsPoint::decompress(&c).expect("valid point");
+            assert!(p.ct_eq(&q));
+            p = p.add(&EdwardsPoint::base());
+        }
+    }
+
+    #[test]
+    fn decompress_rejects_invalid_points() {
+        // y = 2 gives a non-square x^2 on edwards25519.
+        let mut bytes = [0u8; 32];
+        bytes[0] = 2;
+        assert!(EdwardsPoint::decompress(&bytes).is_none());
+    }
+
+    #[test]
+    fn decompress_rejects_non_canonical_y() {
+        // Encode p + 1 (non-canonical form of 1).
+        let mut bytes = [0u8; 32];
+        bytes[0] = 0xee; // p + 1 = 2^255 - 18, little-endian starts 0xee
+        for b in bytes.iter_mut().take(31).skip(1) {
+            *b = 0xff;
+        }
+        bytes[31] = 0x7f;
+        assert!(EdwardsPoint::decompress(&bytes).is_none());
+    }
+
+    #[test]
+    fn scalar_mod_l_of_l_is_zero() {
+        let l_bytes = limbs_to_bytes(&L_LIMBS);
+        assert_eq!(Scalar::from_bytes_mod_order(&l_bytes), Scalar::ZERO);
+        assert!(!Scalar::is_canonical(&l_bytes));
+        let mut l_minus_1 = l_bytes;
+        l_minus_1[0] -= 1;
+        assert!(Scalar::is_canonical(&l_minus_1));
+    }
+
+    #[test]
+    fn scalar_mul_add_small_values() {
+        let two = Scalar::from_bytes_mod_order(&{
+            let mut b = [0u8; 32];
+            b[0] = 2;
+            b
+        });
+        let three = Scalar::from_bytes_mod_order(&{
+            let mut b = [0u8; 32];
+            b[0] = 3;
+            b
+        });
+        let seven = Scalar::from_bytes_mod_order(&{
+            let mut b = [0u8; 32];
+            b[0] = 7;
+            b
+        });
+        // 2*3 + 7 = 13
+        let r = Scalar::mul_add(&two, &three, &seven);
+        let mut expect = [0u8; 32];
+        expect[0] = 13;
+        assert_eq!(r.0, expect);
+    }
+
+    #[test]
+    fn scalar_wide_reduction_matches_iterated_reduction() {
+        // (2^256) mod L computed two ways.
+        let mut wide = [0u8; 64];
+        wide[32] = 1; // 2^256
+        let direct = Scalar::from_bytes_mod_order_wide(&wide);
+
+        // 2^256 mod L == (2^255 mod L) * 2 mod L. Compute via mul_add.
+        let mut half = [0u8; 32];
+        half[31] = 0x80; // 2^255
+        let half_reduced = Scalar::from_bytes_mod_order(&half);
+        let two = Scalar::from_bytes_mod_order(&{
+            let mut b = [0u8; 32];
+            b[0] = 2;
+            b
+        });
+        let indirect = Scalar::mul_add(&half_reduced, &two, &Scalar::ZERO);
+        assert_eq!(direct, indirect);
+    }
+
+    #[test]
+    fn scalar_mul_distributes_over_point_add() {
+        // [2]B + [3]B == [5]B
+        let b = EdwardsPoint::base();
+        let mut s2 = [0u8; 32];
+        s2[0] = 2;
+        let mut s3 = [0u8; 32];
+        s3[0] = 3;
+        let mut s5 = [0u8; 32];
+        s5[0] = 5;
+        let sum = b.scalar_mul(&s2).add(&b.scalar_mul(&s3));
+        assert!(sum.ct_eq(&b.scalar_mul(&s5)));
+    }
+}

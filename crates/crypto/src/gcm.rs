@@ -1,0 +1,296 @@
+//! AES-128-GCM authenticated encryption (NIST SP 800-38D).
+//!
+//! This is the workhorse AEAD of the workspace: the simulated
+//! `sgx_seal_data`, the migratable sealing of the Migration Library, and
+//! every attested secure channel all encrypt with AES-128-GCM, mirroring the
+//! SGX SDK (the paper, §II-A4, notes SGX sealing uses AES-GCM). GHASH is
+//! implemented in software over `u128`. Validated against the original
+//! McGrew–Viega GCM specification test cases.
+
+use crate::aes::{Aes128, BLOCK_LEN, KEY_LEN};
+use crate::ct::ct_eq;
+use crate::{CryptoError, Result};
+
+/// Nonce (IV) size: GCM's recommended 96-bit IV.
+pub const NONCE_LEN: usize = 12;
+/// Authentication-tag size: the full 128 bits.
+pub const TAG_LEN: usize = 16;
+
+/// An AES-128-GCM cipher instance with a fixed key.
+///
+/// `seal` produces `ciphertext || tag`; `open` verifies and strips the tag.
+///
+/// # Nonce discipline
+///
+/// A (key, nonce) pair must never be reused for different plaintexts.
+/// Callers in this workspace either use random nonces from a CSPRNG or
+/// strictly increasing counters per session key.
+///
+/// # Example
+///
+/// ```
+/// use mig_crypto::gcm::AesGcm;
+///
+/// # fn main() -> Result<(), mig_crypto::CryptoError> {
+/// let aead = AesGcm::new([0x42; 16]);
+/// let ct = aead.seal(&[1; 12], b"header", b"payload");
+/// assert_eq!(aead.open(&[1; 12], b"header", &ct)?, b"payload");
+/// assert!(aead.open(&[1; 12], b"tampered", &ct).is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct AesGcm {
+    cipher: Aes128,
+    /// GHASH key H = E(K, 0^128), as a big-endian u128.
+    h: u128,
+}
+
+impl std::fmt::Debug for AesGcm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AesGcm").finish_non_exhaustive()
+    }
+}
+
+impl AesGcm {
+    /// Creates a GCM instance for the given 128-bit key.
+    #[must_use]
+    pub fn new(key: [u8; KEY_LEN]) -> Self {
+        let cipher = Aes128::new(&key);
+        let h_block = cipher.encrypt(&[0u8; BLOCK_LEN]);
+        AesGcm {
+            cipher,
+            h: u128::from_be_bytes(h_block),
+        }
+    }
+
+    /// Encrypts `plaintext` bound to `aad`, returning `ciphertext || tag`.
+    #[must_use]
+    pub fn seal(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let j0 = self.j0(nonce);
+        let mut out = plaintext.to_vec();
+        self.ctr(inc32(j0), &mut out);
+        let tag = self.tag(j0, aad, &out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Decrypts `sealed` (= `ciphertext || tag`) bound to `aad`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidLength`] if `sealed` is shorter than a
+    /// tag, and [`CryptoError::AuthenticationFailed`] if the tag does not
+    /// verify (wrong key, nonce, AAD, or tampered ciphertext).
+    pub fn open(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], sealed: &[u8]) -> Result<Vec<u8>> {
+        if sealed.len() < TAG_LEN {
+            return Err(CryptoError::InvalidLength);
+        }
+        let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        let j0 = self.j0(nonce);
+        let expected = self.tag(j0, aad, ciphertext);
+        if !ct_eq(&expected, tag) {
+            return Err(CryptoError::AuthenticationFailed);
+        }
+        let mut out = ciphertext.to_vec();
+        self.ctr(inc32(j0), &mut out);
+        Ok(out)
+    }
+
+    /// Pre-counter block for a 96-bit IV: `IV || 0^31 || 1`.
+    fn j0(&self, nonce: &[u8; NONCE_LEN]) -> [u8; BLOCK_LEN] {
+        let mut j0 = [0u8; BLOCK_LEN];
+        j0[..NONCE_LEN].copy_from_slice(nonce);
+        j0[BLOCK_LEN - 1] = 1;
+        j0
+    }
+
+    /// CTR-mode keystream XOR starting from counter block `icb`.
+    fn ctr(&self, mut counter: [u8; BLOCK_LEN], data: &mut [u8]) {
+        for chunk in data.chunks_mut(BLOCK_LEN) {
+            let keystream = self.cipher.encrypt(&counter);
+            for (d, k) in chunk.iter_mut().zip(keystream.iter()) {
+                *d ^= k;
+            }
+            counter = inc32(counter);
+        }
+    }
+
+    /// GHASH over `aad` and `ciphertext`, then encrypted with `E(K, J0)`.
+    fn tag(&self, j0: [u8; BLOCK_LEN], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
+        let mut y = 0u128;
+        y = self.ghash_blocks(y, aad);
+        y = self.ghash_blocks(y, ciphertext);
+        let mut len_block = [0u8; BLOCK_LEN];
+        len_block[..8].copy_from_slice(&((aad.len() as u64) * 8).to_be_bytes());
+        len_block[8..].copy_from_slice(&((ciphertext.len() as u64) * 8).to_be_bytes());
+        y = gf_mul(y ^ u128::from_be_bytes(len_block), self.h);
+
+        let ekj0 = self.cipher.encrypt(&j0);
+        let mut tag = y.to_be_bytes();
+        for (t, k) in tag.iter_mut().zip(ekj0.iter()) {
+            *t ^= k;
+        }
+        tag
+    }
+
+    /// Absorbs `data` (zero-padded to full blocks) into the GHASH state.
+    fn ghash_blocks(&self, mut y: u128, data: &[u8]) -> u128 {
+        for chunk in data.chunks(BLOCK_LEN) {
+            let mut block = [0u8; BLOCK_LEN];
+            block[..chunk.len()].copy_from_slice(chunk);
+            y = gf_mul(y ^ u128::from_be_bytes(block), self.h);
+        }
+        y
+    }
+}
+
+/// Increments the last 32 bits of a counter block (mod 2^32).
+fn inc32(mut block: [u8; BLOCK_LEN]) -> [u8; BLOCK_LEN] {
+    let ctr = u32::from_be_bytes(block[12..16].try_into().expect("4 bytes"));
+    block[12..16].copy_from_slice(&ctr.wrapping_add(1).to_be_bytes());
+    block
+}
+
+/// Multiplication in GF(2^128) with the GCM polynomial, bit-serial.
+///
+/// Operands use GCM's reflected bit order: bit 0 of the block is the u128
+/// MSB, and the reduction polynomial appears as `0xe1 << 120`.
+fn gf_mul(x: u128, y: u128) -> u128 {
+    const R: u128 = 0xe1 << 120;
+    let mut z = 0u128;
+    let mut v = y;
+    for i in 0..128 {
+        if (x >> (127 - i)) & 1 == 1 {
+            z ^= v;
+        }
+        let lsb = v & 1;
+        v >>= 1;
+        if lsb == 1 {
+            v ^= R;
+        }
+    }
+    z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{hex_decode, hex_encode};
+
+    fn run_case(key: &str, iv: &str, pt: &str, aad: &str, expect_ct: &str, expect_tag: &str) {
+        let key: [u8; 16] = hex_decode(key).try_into().unwrap();
+        let iv: [u8; 12] = hex_decode(iv).try_into().unwrap();
+        let pt = hex_decode(pt);
+        let aad = hex_decode(aad);
+        let aead = AesGcm::new(key);
+        let sealed = aead.seal(&iv, &aad, &pt);
+        let (ct, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        assert_eq!(hex_encode(ct), expect_ct);
+        assert_eq!(hex_encode(tag), expect_tag);
+        assert_eq!(aead.open(&iv, &aad, &sealed).unwrap(), pt);
+    }
+
+    #[test]
+    fn gcm_spec_case1_empty() {
+        run_case(
+            "00000000000000000000000000000000",
+            "000000000000000000000000",
+            "",
+            "",
+            "",
+            "58e2fccefa7e3061367f1d57a4e7455a",
+        );
+    }
+
+    #[test]
+    fn gcm_spec_case2_single_zero_block() {
+        run_case(
+            "00000000000000000000000000000000",
+            "000000000000000000000000",
+            "00000000000000000000000000000000",
+            "",
+            "0388dace60b6a392f328c2b971b2fe78",
+            "ab6e47d42cec13bdf53a67b21257bddf",
+        );
+    }
+
+    #[test]
+    fn gcm_spec_case3_four_blocks() {
+        run_case(
+            "feffe9928665731c6d6a8f9467308308",
+            "cafebabefacedbaddecaf888",
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+            "",
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985",
+            "4d5c2af327cd64a62cf35abd2ba6fab4",
+        );
+    }
+
+    #[test]
+    fn gcm_spec_case4_with_aad_and_partial_block() {
+        run_case(
+            "feffe9928665731c6d6a8f9467308308",
+            "cafebabefacedbaddecaf888",
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+            "feedfacedeadbeeffeedfacedeadbeefabaddad2",
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091",
+            "5bc94fbc3221a5db94fae95ae7121a47",
+        );
+    }
+
+    #[test]
+    fn open_rejects_truncated_input() {
+        let aead = AesGcm::new([0; 16]);
+        assert_eq!(
+            aead.open(&[0; 12], b"", &[0u8; 15]).unwrap_err(),
+            CryptoError::InvalidLength
+        );
+    }
+
+    #[test]
+    fn open_rejects_every_single_bit_flip() {
+        let aead = AesGcm::new([7; 16]);
+        let nonce = [9; 12];
+        let sealed = aead.seal(&nonce, b"aad", b"some plaintext");
+        for i in 0..sealed.len() {
+            let mut bad = sealed.clone();
+            bad[i] ^= 1;
+            assert!(aead.open(&nonce, b"aad", &bad).is_err(), "byte {i}");
+        }
+    }
+
+    #[test]
+    fn open_rejects_wrong_nonce_aad_key() {
+        let aead = AesGcm::new([7; 16]);
+        let sealed = aead.seal(&[1; 12], b"aad", b"pt");
+        assert!(aead.open(&[2; 12], b"aad", &sealed).is_err());
+        assert!(aead.open(&[1; 12], b"aax", &sealed).is_err());
+        assert!(AesGcm::new([8; 16]).open(&[1; 12], b"aad", &sealed).is_err());
+    }
+
+    #[test]
+    fn round_trip_various_lengths() {
+        let aead = AesGcm::new([3; 16]);
+        for len in [0usize, 1, 15, 16, 17, 31, 32, 33, 100, 1000] {
+            let pt: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let nonce = [len as u8; 12];
+            let sealed = aead.seal(&nonce, b"", &pt);
+            assert_eq!(sealed.len(), len + TAG_LEN);
+            assert_eq!(aead.open(&nonce, b"", &sealed).unwrap(), pt, "len {len}");
+        }
+    }
+
+    #[test]
+    fn empty_plaintext_still_authenticates_aad() {
+        let aead = AesGcm::new([5; 16]);
+        let sealed = aead.seal(&[0; 12], b"important aad", b"");
+        assert_eq!(sealed.len(), TAG_LEN);
+        assert!(aead.open(&[0; 12], b"important aad", &sealed).is_ok());
+        assert!(aead.open(&[0; 12], b"other aad", &sealed).is_err());
+    }
+}

@@ -1,0 +1,165 @@
+//! HKDF (RFC 5869) with HMAC-SHA-256.
+//!
+//! All key derivation in the workspace flows through HKDF: the simulated
+//! `EGETKEY` instruction derives sealing/report keys from the CPU secret,
+//! and attested Diffie–Hellman sessions derive their AEK session keys from
+//! the X25519 shared secret. Validated against the RFC 5869 Appendix A
+//! test vectors.
+
+use crate::hmac::HmacSha256;
+use crate::sha256::DIGEST_LEN;
+
+/// Maximum output length: `255 * HashLen` per RFC 5869.
+pub const MAX_OUTPUT_LEN: usize = 255 * DIGEST_LEN;
+
+/// HKDF-Extract: derives a pseudorandom key from input keying material.
+///
+/// An empty `salt` is treated as `HashLen` zero bytes, as the RFC specifies.
+#[must_use]
+pub fn hkdf_extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
+    let zero_salt = [0u8; DIGEST_LEN];
+    let salt = if salt.is_empty() { &zero_salt[..] } else { salt };
+    HmacSha256::mac(salt, ikm)
+}
+
+/// HKDF-Expand: expands `prk` into `out.len()` bytes of output keying
+/// material bound to `info`.
+///
+/// # Panics
+///
+/// Panics if `out.len() > 255 * 32` (the RFC limit). All callers in this
+/// workspace request at most 64 bytes.
+pub fn hkdf_expand(prk: &[u8; DIGEST_LEN], info: &[u8], out: &mut [u8]) {
+    assert!(
+        out.len() <= MAX_OUTPUT_LEN,
+        "HKDF output length exceeds 255*HashLen"
+    );
+    let mut t: Vec<u8> = Vec::new();
+    let mut generated = 0usize;
+    let mut counter = 1u8;
+    while generated < out.len() {
+        let mut mac = HmacSha256::new(prk);
+        mac.update(&t);
+        mac.update(info);
+        mac.update(&[counter]);
+        let block = mac.finalize();
+        let take = (out.len() - generated).min(DIGEST_LEN);
+        out[generated..generated + take].copy_from_slice(&block[..take]);
+        generated += take;
+        t = block.to_vec();
+        counter = counter.wrapping_add(1);
+    }
+}
+
+/// One-shot HKDF (extract + expand) producing an `N`-byte key.
+///
+/// # Example
+///
+/// ```
+/// let key: [u8; 16] = mig_crypto::hkdf::hkdf(b"salt", b"input keying material", b"context");
+/// assert_ne!(key, [0u8; 16]);
+/// ```
+#[must_use]
+pub fn hkdf<const N: usize>(salt: &[u8], ikm: &[u8], info: &[u8]) -> [u8; N] {
+    let prk = hkdf_extract(salt, ikm);
+    let mut out = [0u8; N];
+    hkdf_expand(&prk, info, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{hex_decode, hex_encode};
+
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = [0x0b; 22];
+        let salt = hex_decode("000102030405060708090a0b0c");
+        let info = hex_decode("f0f1f2f3f4f5f6f7f8f9");
+
+        let prk = hkdf_extract(&salt, &ikm);
+        assert_eq!(
+            hex_encode(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+
+        let mut okm = [0u8; 42];
+        hkdf_expand(&prk, &info, &mut okm);
+        assert_eq!(
+            hex_encode(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf\
+34007208d5b887185865"
+        );
+    }
+
+    #[test]
+    fn rfc5869_case2_long_inputs() {
+        let ikm: Vec<u8> = (0x00..=0x4f).collect();
+        let salt: Vec<u8> = (0x60..=0xaf).collect();
+        let info: Vec<u8> = (0xb0..=0xff).collect();
+
+        let prk = hkdf_extract(&salt, &ikm);
+        assert_eq!(
+            hex_encode(&prk),
+            "06a6b88c5853361a06104c9ceb35b45cef760014904671014a193f40c15fc244"
+        );
+
+        let mut okm = [0u8; 82];
+        hkdf_expand(&prk, &info, &mut okm);
+        assert_eq!(
+            hex_encode(&okm),
+            "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c\
+59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71\
+cc30c58179ec3e87c14c01d5c1f3434f1d87"
+        );
+    }
+
+    #[test]
+    fn rfc5869_case3_empty_salt_and_info() {
+        let ikm = [0x0b; 22];
+
+        let prk = hkdf_extract(&[], &ikm);
+        assert_eq!(
+            hex_encode(&prk),
+            "19ef24a32c717b167f33a91d6f648bdf96596776afdb6377ac434c1c293ccb04"
+        );
+
+        let mut okm = [0u8; 42];
+        hkdf_expand(&prk, &[], &mut okm);
+        assert_eq!(
+            hex_encode(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d\
+9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn one_shot_matches_two_phase() {
+        let out: [u8; 48] = hkdf(b"salt", b"ikm", b"info");
+        let prk = hkdf_extract(b"salt", b"ikm");
+        let mut expected = [0u8; 48];
+        hkdf_expand(&prk, b"info", &mut expected);
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn distinct_info_gives_distinct_keys() {
+        let a: [u8; 32] = hkdf(b"s", b"ikm", b"context-a");
+        let b: [u8; 32] = hkdf(b"s", b"ikm", b"context-b");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn output_lengths_across_block_boundaries() {
+        // Prefix property: a longer output must start with the shorter one.
+        let prk = hkdf_extract(b"salt", b"ikm");
+        let mut long = [0u8; 100];
+        hkdf_expand(&prk, b"info", &mut long);
+        for len in [1usize, 31, 32, 33, 64, 65, 99] {
+            let mut short = vec![0u8; len];
+            hkdf_expand(&prk, b"info", &mut short);
+            assert_eq!(&long[..len], &short[..], "len {len}");
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! HMAC (RFC 2104 / FIPS 198-1) over SHA-256 and SHA-512.
+//!
+//! HMAC-SHA-256 keys the simulated SGX report MACs and the secure-channel
+//! key-confirmation messages; HMAC-SHA-512 is provided for completeness.
+//! Validated against the RFC 4231 test vectors.
+
+use crate::ct::ct_eq;
+use crate::sha256::{self, Sha256};
+use crate::sha512::{self, Sha512};
+
+/// Streaming HMAC-SHA-256.
+///
+/// # Example
+///
+/// ```
+/// use mig_crypto::hmac::HmacSha256;
+///
+/// let mut mac = HmacSha256::new(b"key");
+/// mac.update(b"message");
+/// let tag = mac.finalize();
+/// assert!(HmacSha256::verify(b"key", b"message", &tag));
+/// ```
+#[derive(Clone, Debug)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    outer: Sha256,
+}
+
+impl HmacSha256 {
+    /// Creates an HMAC instance keyed with `key` (any length).
+    #[must_use]
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = [0u8; sha256::BLOCK_LEN];
+        if key.len() > sha256::BLOCK_LEN {
+            key_block[..sha256::DIGEST_LEN].copy_from_slice(&sha256::sha256(key));
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+
+        let mut ipad = [0x36u8; sha256::BLOCK_LEN];
+        let mut opad = [0x5cu8; sha256::BLOCK_LEN];
+        for i in 0..sha256::BLOCK_LEN {
+            ipad[i] ^= key_block[i];
+            opad[i] ^= key_block[i];
+        }
+
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        let mut outer = Sha256::new();
+        outer.update(&opad);
+        HmacSha256 { inner, outer }
+    }
+
+    /// Absorbs message data.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Returns the 32-byte tag.
+    #[must_use]
+    pub fn finalize(mut self) -> [u8; sha256::DIGEST_LEN] {
+        let inner_digest = self.inner.finalize();
+        self.outer.update(&inner_digest);
+        self.outer.finalize()
+    }
+
+    /// One-shot MAC computation.
+    #[must_use]
+    pub fn mac(key: &[u8], data: &[u8]) -> [u8; sha256::DIGEST_LEN] {
+        let mut h = HmacSha256::new(key);
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Verifies `tag` over `data` in constant time.
+    #[must_use]
+    pub fn verify(key: &[u8], data: &[u8], tag: &[u8]) -> bool {
+        ct_eq(&Self::mac(key, data), tag)
+    }
+}
+
+/// Streaming HMAC-SHA-512.
+#[derive(Clone, Debug)]
+pub struct HmacSha512 {
+    inner: Sha512,
+    outer: Sha512,
+}
+
+impl HmacSha512 {
+    /// Creates an HMAC instance keyed with `key` (any length).
+    #[must_use]
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = [0u8; sha512::BLOCK_LEN];
+        if key.len() > sha512::BLOCK_LEN {
+            key_block[..sha512::DIGEST_LEN].copy_from_slice(&sha512::sha512(key));
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+
+        let mut ipad = [0x36u8; sha512::BLOCK_LEN];
+        let mut opad = [0x5cu8; sha512::BLOCK_LEN];
+        for i in 0..sha512::BLOCK_LEN {
+            ipad[i] ^= key_block[i];
+            opad[i] ^= key_block[i];
+        }
+
+        let mut inner = Sha512::new();
+        inner.update(&ipad);
+        let mut outer = Sha512::new();
+        outer.update(&opad);
+        HmacSha512 { inner, outer }
+    }
+
+    /// Absorbs message data.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Returns the 64-byte tag.
+    #[must_use]
+    pub fn finalize(mut self) -> [u8; sha512::DIGEST_LEN] {
+        let inner_digest = self.inner.finalize();
+        self.outer.update(&inner_digest);
+        self.outer.finalize()
+    }
+
+    /// One-shot MAC computation.
+    #[must_use]
+    pub fn mac(key: &[u8], data: &[u8]) -> [u8; sha512::DIGEST_LEN] {
+        let mut h = HmacSha512::new(key);
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Verifies `tag` over `data` in constant time.
+    #[must_use]
+    pub fn verify(key: &[u8], data: &[u8], tag: &[u8]) -> bool {
+        ct_eq(&Self::mac(key, data), tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{hex_decode, hex_encode};
+
+    // RFC 4231 test cases.
+
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0b; 20];
+        let data = b"Hi There";
+        assert_eq!(
+            hex_encode(&HmacSha256::mac(&key, data)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+        assert_eq!(
+            hex_encode(&HmacSha512::mac(&key, data)),
+            "87aa7cdea5ef619d4ff0b4241a1d6cb02379f4e2ce4ec2787ad0b30545e17cde\
+daa833b7d6b8a702038b274eaea3f4e4be9d914eeb61f1702e696c203a126854"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2_short_key() {
+        let key = b"Jefe";
+        let data = b"what do ya want for nothing?";
+        assert_eq!(
+            hex_encode(&HmacSha256::mac(key, data)),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+        assert_eq!(
+            hex_encode(&HmacSha512::mac(key, data)),
+            "164b7a7bfcf819e2e395fbe73b56e0a387bd64222e831fd610270cd7ea250554\
+9758bf75c05a994a6d034f65f8f0e6fdcaeab1a34d4a6b4b636e070a38bce737"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3_repeated_bytes() {
+        let key = [0xaa; 20];
+        let data = [0xdd; 50];
+        assert_eq!(
+            hex_encode(&HmacSha256::mac(&key, &data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case6_key_longer_than_block() {
+        let key = [0xaa; 131];
+        let data = b"Test Using Larger Than Block-Size Key - Hash Key First";
+        assert_eq!(
+            hex_encode(&HmacSha256::mac(&key, data)),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+        assert_eq!(
+            hex_encode(&HmacSha512::mac(&key, data)),
+            "80b24263c7c1a3ebb71493c1dd7be8b49b46d1f41b4aeec1121b013783f8f352\
+6b56d037e05f2598bd0fd2215d6a1e5295e64f73f63f0aec8b915a985d786598"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case7_key_and_data_longer_than_block() {
+        let key = [0xaa; 131];
+        let data = hex_decode(
+            "5468697320697320612074657374207573696e672061206c6172676572207468\
+616e20626c6f636b2d73697a65206b657920616e642061206c61726765722074\
+68616e20626c6f636b2d73697a6520646174612e20546865206b6579206e6565\
+647320746f20626520686173686564206265666f7265206265696e6720757365\
+642062792074686520484d414320616c676f726974686d2e",
+        );
+        assert_eq!(
+            hex_encode(&HmacSha256::mac(&key, &data)),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+        );
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let key = b"some key";
+        let data: Vec<u8> = (0..200u8).collect();
+        let one_shot = HmacSha256::mac(key, &data);
+        let mut mac = HmacSha256::new(key);
+        for chunk in data.chunks(13) {
+            mac.update(chunk);
+        }
+        assert_eq!(mac.finalize(), one_shot);
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = HmacSha256::mac(b"k", b"m");
+        assert!(HmacSha256::verify(b"k", b"m", &tag));
+        assert!(!HmacSha256::verify(b"k", b"m2", &tag));
+        assert!(!HmacSha256::verify(b"k2", b"m", &tag));
+        assert!(!HmacSha256::verify(b"k", b"m", &tag[..31]));
+        let tag512 = HmacSha512::mac(b"k", b"m");
+        assert!(HmacSha512::verify(b"k", b"m", &tag512));
+        assert!(!HmacSha512::verify(b"k", b"x", &tag512));
+    }
+
+    #[test]
+    fn different_keys_give_different_tags() {
+        // Sanity distinctness check over many single-byte key variations.
+        let base = HmacSha256::mac(&[0u8; 32], b"msg");
+        for i in 0..32 {
+            let mut key = [0u8; 32];
+            key[i] = 1;
+            assert_ne!(HmacSha256::mac(&key, b"msg"), base);
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! Platform Services monotonic counters.
+//!
+//! Models the Intel Platform Software counter facility the paper builds on
+//! (§II-A5): up to 256 counters per enclave identity, each identified by a
+//! *counter UUID* = (slot id, nonce). The nonce makes destroyed counters
+//! permanently inaccessible: a new counter in the same slot receives a
+//! fresh nonce, so *"it is not possible to destroy a counter and create a
+//! new one with the same identifier but lower value on the same physical
+//! machine"*. Counters live in per-machine NVRAM: they survive enclave
+//! restarts and power cycles but never move between machines — which is
+//! the root cause of the paper's fork/roll-back attacks.
+
+use crate::error::SgxError;
+use crate::measurement::MrEnclave;
+use crate::wire::{WireReader, WireWriter};
+use std::collections::HashMap;
+
+/// Maximum number of live counters per enclave identity (SGX limit).
+pub const COUNTER_QUOTA: usize = 256;
+
+/// A monotonic counter UUID: slot id plus an unforgeable access nonce.
+///
+/// The paper (§II-A5): "Intel Platform Software assigns it a counter UUID
+/// which consists of a counter ID and a nonce."
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CounterUuid {
+    /// Slot index (0..256).
+    pub slot: u8,
+    /// Random per-creation nonce; required for any subsequent access.
+    pub nonce: [u8; 8],
+}
+
+impl CounterUuid {
+    /// Encodes into a wire writer (9 bytes).
+    pub fn encode(&self, w: &mut WireWriter) {
+        w.u8(self.slot).array(&self.nonce);
+    }
+
+    /// Decodes from a wire reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError::Decode`] on underflow.
+    pub fn decode(r: &mut WireReader<'_>) -> Result<Self, SgxError> {
+        Ok(CounterUuid {
+            slot: r.u8()?,
+            nonce: r.array()?,
+        })
+    }
+}
+
+#[derive(Clone, Debug)]
+struct CounterRecord {
+    nonce: [u8; 8],
+    value: u32,
+}
+
+/// All counters of one enclave identity on one machine.
+#[derive(Clone, Debug, Default)]
+struct EnclaveCounters {
+    slots: HashMap<u8, CounterRecord>,
+}
+
+/// The per-machine NVRAM counter store.
+///
+/// Owned by the machine, keyed by enclave identity (MRENCLAVE): the nonce
+/// check enforces that only the creating enclave identity can access a
+/// counter, as the Platform Services guarantee.
+#[derive(Debug, Default)]
+pub struct CounterStore {
+    by_enclave: HashMap<MrEnclave, EnclaveCounters>,
+}
+
+impl CounterStore {
+    /// Creates an empty store (a machine with fresh NVRAM).
+    #[must_use]
+    pub fn new() -> Self {
+        CounterStore::default()
+    }
+
+    /// Creates a counter for `owner`, initialized to zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError::CounterQuotaExceeded`] if the identity already
+    /// has 256 live counters.
+    pub fn create(
+        &mut self,
+        owner: MrEnclave,
+        rng: &mut impl rand::RngCore,
+    ) -> Result<(CounterUuid, u32), SgxError> {
+        let counters = self.by_enclave.entry(owner).or_default();
+        if counters.slots.len() >= COUNTER_QUOTA {
+            return Err(SgxError::CounterQuotaExceeded);
+        }
+        let slot = (0..=u8::MAX)
+            .find(|s| !counters.slots.contains_key(s))
+            .expect("quota check guarantees a free slot");
+        let mut nonce = [0u8; 8];
+        rng.fill_bytes(&mut nonce);
+        counters.slots.insert(slot, CounterRecord { nonce, value: 0 });
+        Ok((CounterUuid { slot, nonce }, 0))
+    }
+
+    fn record(&self, owner: MrEnclave, uuid: &CounterUuid) -> Result<&CounterRecord, SgxError> {
+        let rec = self
+            .by_enclave
+            .get(&owner)
+            .and_then(|c| c.slots.get(&uuid.slot))
+            .ok_or(SgxError::CounterNotFound)?;
+        // Nonce mismatch means "this UUID was destroyed (or never existed)";
+        // the distinction must not be observable.
+        if rec.nonce != uuid.nonce {
+            return Err(SgxError::CounterNotFound);
+        }
+        Ok(rec)
+    }
+
+    /// Reads the current value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError::CounterNotFound`] if the UUID does not name a
+    /// live counter of `owner` (never created, destroyed, or wrong nonce).
+    pub fn read(&self, owner: MrEnclave, uuid: &CounterUuid) -> Result<u32, SgxError> {
+        Ok(self.record(owner, uuid)?.value)
+    }
+
+    /// Increments and returns the new value.
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::CounterNotFound`] as for [`CounterStore::read`];
+    /// [`SgxError::CounterOverflow`] at `u32::MAX`.
+    pub fn increment(&mut self, owner: MrEnclave, uuid: &CounterUuid) -> Result<u32, SgxError> {
+        self.record(owner, uuid)?; // validate nonce first
+        let rec = self
+            .by_enclave
+            .get_mut(&owner)
+            .and_then(|c| c.slots.get_mut(&uuid.slot))
+            .expect("validated above");
+        rec.value = rec.value.checked_add(1).ok_or(SgxError::CounterOverflow)?;
+        Ok(rec.value)
+    }
+
+    /// Destroys the counter. The UUID becomes permanently unusable; the
+    /// slot may be reused by a future creation under a fresh nonce.
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::CounterNotFound`] as for [`CounterStore::read`].
+    pub fn destroy(&mut self, owner: MrEnclave, uuid: &CounterUuid) -> Result<(), SgxError> {
+        self.record(owner, uuid)?;
+        self.by_enclave
+            .get_mut(&owner)
+            .expect("validated above")
+            .slots
+            .remove(&uuid.slot);
+        Ok(())
+    }
+
+    /// Number of live counters owned by `owner`.
+    #[must_use]
+    pub fn live_count(&self, owner: MrEnclave) -> usize {
+        self.by_enclave.get(&owner).map_or(0, |c| c.slots.len())
+    }
+
+    /// Forces a counter value, bypassing monotonicity — test-only hook for
+    /// exercising the overflow path.
+    #[cfg(test)]
+    fn force_value_for_test(&mut self, owner: MrEnclave, uuid: &CounterUuid, value: u32) {
+        self.by_enclave
+            .get_mut(&owner)
+            .and_then(|c| c.slots.get_mut(&uuid.slot))
+            .expect("counter exists")
+            .value = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn owner(tag: u8) -> MrEnclave {
+        MrEnclave([tag; 32])
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn create_read_increment_destroy_lifecycle() {
+        let mut store = CounterStore::new();
+        let mut rng = rng();
+        let (uuid, v) = store.create(owner(1), &mut rng).unwrap();
+        assert_eq!(v, 0);
+        assert_eq!(store.read(owner(1), &uuid).unwrap(), 0);
+        assert_eq!(store.increment(owner(1), &uuid).unwrap(), 1);
+        assert_eq!(store.increment(owner(1), &uuid).unwrap(), 2);
+        assert_eq!(store.read(owner(1), &uuid).unwrap(), 2);
+        store.destroy(owner(1), &uuid).unwrap();
+        assert_eq!(
+            store.read(owner(1), &uuid).unwrap_err(),
+            SgxError::CounterNotFound
+        );
+    }
+
+    #[test]
+    fn destroyed_uuid_is_permanently_dead_even_after_slot_reuse() {
+        let mut store = CounterStore::new();
+        let mut rng = rng();
+        let (uuid1, _) = store.create(owner(1), &mut rng).unwrap();
+        for _ in 0..5 {
+            store.increment(owner(1), &uuid1).unwrap();
+        }
+        store.destroy(owner(1), &uuid1).unwrap();
+
+        // The freed slot is reused, but under a fresh nonce.
+        let (uuid2, v) = store.create(owner(1), &mut rng).unwrap();
+        assert_eq!(uuid2.slot, uuid1.slot);
+        assert_ne!(uuid2.nonce, uuid1.nonce);
+        assert_eq!(v, 0);
+
+        // The old UUID must NOT alias onto the new counter.
+        assert_eq!(
+            store.read(owner(1), &uuid1).unwrap_err(),
+            SgxError::CounterNotFound
+        );
+        assert_eq!(
+            store.increment(owner(1), &uuid1).unwrap_err(),
+            SgxError::CounterNotFound
+        );
+    }
+
+    #[test]
+    fn counters_are_isolated_between_enclave_identities() {
+        let mut store = CounterStore::new();
+        let mut rng = rng();
+        let (uuid, _) = store.create(owner(1), &mut rng).unwrap();
+        // Another identity guessing the same UUID must fail.
+        assert_eq!(
+            store.read(owner(2), &uuid).unwrap_err(),
+            SgxError::CounterNotFound
+        );
+        assert_eq!(
+            store.increment(owner(2), &uuid).unwrap_err(),
+            SgxError::CounterNotFound
+        );
+        assert_eq!(
+            store.destroy(owner(2), &uuid).unwrap_err(),
+            SgxError::CounterNotFound
+        );
+    }
+
+    #[test]
+    fn wrong_nonce_is_rejected() {
+        let mut store = CounterStore::new();
+        let mut rng = rng();
+        let (mut uuid, _) = store.create(owner(1), &mut rng).unwrap();
+        uuid.nonce[0] ^= 1;
+        assert_eq!(
+            store.read(owner(1), &uuid).unwrap_err(),
+            SgxError::CounterNotFound
+        );
+    }
+
+    #[test]
+    fn quota_is_256_per_identity() {
+        let mut store = CounterStore::new();
+        let mut rng = rng();
+        let mut uuids = Vec::new();
+        for _ in 0..COUNTER_QUOTA {
+            uuids.push(store.create(owner(1), &mut rng).unwrap().0);
+        }
+        assert_eq!(store.live_count(owner(1)), 256);
+        assert_eq!(
+            store.create(owner(1), &mut rng).unwrap_err(),
+            SgxError::CounterQuotaExceeded
+        );
+        // Other identities are unaffected by a full neighbour.
+        assert!(store.create(owner(2), &mut rng).is_ok());
+        // Destroying one frees quota.
+        store.destroy(owner(1), &uuids[17]).unwrap();
+        assert!(store.create(owner(1), &mut rng).is_ok());
+    }
+
+    #[test]
+    fn overflow_is_detected() {
+        let mut store = CounterStore::new();
+        let mut rng = rng();
+        let (uuid, _) = store.create(owner(1), &mut rng).unwrap();
+        store.force_value_for_test(owner(1), &uuid, u32::MAX - 1);
+        assert_eq!(store.increment(owner(1), &uuid).unwrap(), u32::MAX);
+        assert_eq!(
+            store.increment(owner(1), &uuid).unwrap_err(),
+            SgxError::CounterOverflow
+        );
+        // The failed increment must not have changed the value.
+        assert_eq!(store.read(owner(1), &uuid).unwrap(), u32::MAX);
+    }
+
+    #[test]
+    fn uuid_wire_round_trip() {
+        let uuid = CounterUuid {
+            slot: 42,
+            nonce: [1, 2, 3, 4, 5, 6, 7, 8],
+        };
+        let mut w = WireWriter::new();
+        uuid.encode(&mut w);
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(CounterUuid::decode(&mut r).unwrap(), uuid);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn monotonicity_under_many_operations() {
+        let mut store = CounterStore::new();
+        let mut rng = rng();
+        let (uuid, _) = store.create(owner(1), &mut rng).unwrap();
+        let mut last = 0;
+        for _ in 0..1000 {
+            let v = store.increment(owner(1), &uuid).unwrap();
+            assert!(v > last);
+            last = v;
+        }
+        assert_eq!(last, 1000);
+    }
+}

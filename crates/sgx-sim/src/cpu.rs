@@ -1,0 +1,213 @@
+//! The simulated CPU root of trust: per-machine secrets and the `EGETKEY`
+//! key-derivation instruction.
+//!
+//! The property the migration paper depends on (§II-B): *"the sealing key is
+//! derived from the CPU secret, which is unique to each physical machine"*,
+//! so sealed data cannot move between machines. `egetkey` reproduces exactly
+//! that derivation structure with HKDF.
+
+use crate::error::SgxError;
+use crate::measurement::EnclaveIdentity;
+use mig_crypto::hkdf::hkdf;
+
+/// The per-machine CPU fuse secret that every derived key is rooted in.
+#[derive(Clone)]
+pub struct CpuSecret([u8; 32]);
+
+impl std::fmt::Debug for CpuSecret {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CpuSecret").finish_non_exhaustive()
+    }
+}
+
+impl CpuSecret {
+    /// Samples a fresh CPU secret (done once when a machine is "fused").
+    #[must_use]
+    pub fn random(rng: &mut impl rand::RngCore) -> Self {
+        let mut bytes = [0u8; 32];
+        rng.fill_bytes(&mut bytes);
+        CpuSecret(bytes)
+    }
+
+    /// Deterministic secret for tests.
+    #[must_use]
+    pub fn from_seed(seed: [u8; 32]) -> Self {
+        CpuSecret(seed)
+    }
+
+    pub(crate) fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+/// Which identity the derived key is bound to (SGX `key_policy`).
+///
+/// `MrEnclave`-bound keys are exclusive to one enclave build; `MrSigner`
+/// keys are shared by all enclaves from the same developer (the paper,
+/// §II-A4, notes this enables enclave upgrades).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum KeyPolicy {
+    /// Bind to the enclave measurement.
+    MrEnclave,
+    /// Bind to the signing identity.
+    MrSigner,
+}
+
+impl KeyPolicy {
+    pub(crate) fn as_u8(self) -> u8 {
+        match self {
+            KeyPolicy::MrEnclave => 0,
+            KeyPolicy::MrSigner => 1,
+        }
+    }
+
+    pub(crate) fn from_u8(v: u8) -> Result<Self, SgxError> {
+        match v {
+            0 => Ok(KeyPolicy::MrEnclave),
+            1 => Ok(KeyPolicy::MrSigner),
+            _ => Err(SgxError::Decode),
+        }
+    }
+}
+
+/// Which of the CPU's key families to derive (SGX `key_name`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum KeyName {
+    /// Sealing keys (`EGETKEY` with `SGX_KEYSELECT_SEAL`).
+    Seal,
+    /// Report keys used to MAC local-attestation reports.
+    Report,
+}
+
+impl KeyName {
+    fn label(self) -> &'static [u8] {
+        match self {
+            KeyName::Seal => b"seal",
+            KeyName::Report => b"report",
+        }
+    }
+}
+
+/// A key-derivation request (SGX `sgx_key_request_t`).
+#[derive(Clone, Copy, Debug)]
+pub struct KeyRequest {
+    /// Key family.
+    pub name: KeyName,
+    /// Identity binding policy.
+    pub policy: KeyPolicy,
+    /// Wear-out/diversification nonce; a fresh value per sealed blob.
+    pub key_id: [u8; 16],
+}
+
+/// Derives a 128-bit key for `identity` on the machine owning `secret`.
+///
+/// The derivation binds: machine (CPU secret), key family, policy, the
+/// policy-selected identity, and the caller-chosen `key_id`. Any change to
+/// any input yields an unrelated key — which is precisely why sealed data
+/// is neither portable across machines nor across enclave identities.
+#[must_use]
+pub fn egetkey(secret: &CpuSecret, identity: &EnclaveIdentity, req: &KeyRequest) -> [u8; 16] {
+    let bound_identity: &[u8; 32] = match req.policy {
+        KeyPolicy::MrEnclave => &identity.mr_enclave.0,
+        KeyPolicy::MrSigner => &identity.mr_signer.0,
+    };
+    let mut info = Vec::with_capacity(64);
+    info.extend_from_slice(b"sgx-sim.egetkey.v1|");
+    info.extend_from_slice(req.name.label());
+    info.push(b'|');
+    info.push(req.policy.as_u8());
+    info.extend_from_slice(bound_identity);
+    info.extend_from_slice(&req.key_id);
+    hkdf::<16>(b"sgx-sim.egetkey.salt", secret.as_bytes(), &info)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measurement::{MrEnclave, MrSigner};
+
+    fn identity(tag: u8) -> EnclaveIdentity {
+        EnclaveIdentity {
+            mr_enclave: MrEnclave([tag; 32]),
+            mr_signer: MrSigner([tag.wrapping_add(1); 32]),
+        }
+    }
+
+    fn req(name: KeyName, policy: KeyPolicy, key_id: u8) -> KeyRequest {
+        KeyRequest {
+            name,
+            policy,
+            key_id: [key_id; 16],
+        }
+    }
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let cpu = CpuSecret::from_seed([7; 32]);
+        let r = req(KeyName::Seal, KeyPolicy::MrEnclave, 0);
+        assert_eq!(
+            egetkey(&cpu, &identity(1), &r),
+            egetkey(&cpu, &identity(1), &r)
+        );
+    }
+
+    #[test]
+    fn different_machines_derive_different_keys() {
+        let r = req(KeyName::Seal, KeyPolicy::MrEnclave, 0);
+        let k1 = egetkey(&CpuSecret::from_seed([1; 32]), &identity(1), &r);
+        let k2 = egetkey(&CpuSecret::from_seed([2; 32]), &identity(1), &r);
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn mrenclave_policy_isolates_enclaves() {
+        let cpu = CpuSecret::from_seed([7; 32]);
+        let r = req(KeyName::Seal, KeyPolicy::MrEnclave, 0);
+        assert_ne!(
+            egetkey(&cpu, &identity(1), &r),
+            egetkey(&cpu, &identity(9), &r)
+        );
+    }
+
+    #[test]
+    fn mrsigner_policy_shares_across_enclaves_of_same_signer() {
+        let cpu = CpuSecret::from_seed([7; 32]);
+        let r = req(KeyName::Seal, KeyPolicy::MrSigner, 0);
+        let mut id_a = identity(1);
+        let mut id_b = identity(2);
+        // Same signer, different measurements.
+        id_a.mr_signer = MrSigner([9; 32]);
+        id_b.mr_signer = MrSigner([9; 32]);
+        assert_eq!(egetkey(&cpu, &id_a, &r), egetkey(&cpu, &id_b, &r));
+    }
+
+    #[test]
+    fn key_families_are_independent() {
+        let cpu = CpuSecret::from_seed([7; 32]);
+        let seal = req(KeyName::Seal, KeyPolicy::MrEnclave, 0);
+        let report = req(KeyName::Report, KeyPolicy::MrEnclave, 0);
+        assert_ne!(
+            egetkey(&cpu, &identity(1), &seal),
+            egetkey(&cpu, &identity(1), &report)
+        );
+    }
+
+    #[test]
+    fn key_id_diversifies() {
+        let cpu = CpuSecret::from_seed([7; 32]);
+        let r0 = req(KeyName::Seal, KeyPolicy::MrEnclave, 0);
+        let r1 = req(KeyName::Seal, KeyPolicy::MrEnclave, 1);
+        assert_ne!(
+            egetkey(&cpu, &identity(1), &r0),
+            egetkey(&cpu, &identity(1), &r1)
+        );
+    }
+
+    #[test]
+    fn policy_byte_round_trips() {
+        for p in [KeyPolicy::MrEnclave, KeyPolicy::MrSigner] {
+            assert_eq!(KeyPolicy::from_u8(p.as_u8()).unwrap(), p);
+        }
+        assert!(KeyPolicy::from_u8(9).is_err());
+    }
+}

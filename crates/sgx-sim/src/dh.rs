@@ -1,0 +1,469 @@
+//! Local-attestation Diffie–Hellman sessions (the SDK's `sgx_dh` API).
+//!
+//! Two enclaves **on the same machine** establish a mutually attested
+//! secure channel: X25519 public keys are exchanged inside reports whose
+//! MACs only verify on the local platform, so a successful handshake
+//! proves the peer is a genuine enclave on this machine with the identity
+//! carried in its report — the foundation of the Migration Library ↔
+//! Migration Enclave channel (paper §V-B/V-C).
+//!
+//! Message flow (as in the SDK):
+//!
+//! ```text
+//! initiator                         responder
+//!     |  <------- Msg1 (g_a, target)    |
+//!     |  Msg2 (g_b, report_i) ------->  |
+//!     |  <------- Msg3 (report_r)       |
+//! both derive AEK = KDF(shared, g_a, g_b)
+//! ```
+//!
+//! All messages travel over *untrusted* channels; the reports bind the DH
+//! public keys, so tampering is detected.
+
+use crate::enclave::EnclaveEnv;
+use crate::error::SgxError;
+use crate::measurement::{EnclaveIdentity, MrEnclave};
+use crate::report::{Report, ReportData, TargetInfo};
+use crate::wire::{WireReader, WireWriter};
+use mig_crypto::hkdf::hkdf;
+use mig_crypto::sha256::Sha256;
+use mig_crypto::x25519::{PublicKey, StaticSecret};
+
+/// The 128-bit attested session key both sides derive.
+pub type SessionKey = [u8; 16];
+
+/// Msg1: responder → initiator. Carries the responder's ephemeral public
+/// key and target info (so the initiator can report *to* the responder).
+#[derive(Clone, Debug)]
+pub struct DhMsg1 {
+    /// Responder's ephemeral X25519 public key.
+    pub g_a: PublicKey,
+    /// The responder's measurement, as report target info.
+    pub responder: TargetInfo,
+}
+
+impl DhMsg1 {
+    /// Serializes for untrusted transport.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.array(&self.g_a.0).array(&self.responder.mr_enclave.0);
+        w.finish()
+    }
+
+    /// Parses from bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::Decode`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SgxError> {
+        let mut r = WireReader::new(bytes);
+        let g_a = PublicKey(r.array()?);
+        let responder = TargetInfo {
+            mr_enclave: MrEnclave(r.array()?),
+        };
+        r.finish()?;
+        Ok(DhMsg1 { g_a, responder })
+    }
+}
+
+/// Msg2: initiator → responder. Carries the initiator's ephemeral key and
+/// a report (targeted at the responder) binding both keys.
+#[derive(Clone, Debug)]
+pub struct DhMsg2 {
+    /// Initiator's ephemeral X25519 public key.
+    pub g_b: PublicKey,
+    /// Initiator's report; `report_data = H("msg2", g_b, g_a)`.
+    pub report: Report,
+}
+
+impl DhMsg2 {
+    /// Serializes for untrusted transport.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.array(&self.g_b.0);
+        self.report.encode(&mut w);
+        w.finish()
+    }
+
+    /// Parses from bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::Decode`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SgxError> {
+        let mut r = WireReader::new(bytes);
+        let g_b = PublicKey(r.array()?);
+        let report = Report::decode(&mut r)?;
+        r.finish()?;
+        Ok(DhMsg2 { g_b, report })
+    }
+}
+
+/// Msg3: responder → initiator. The responder's report closing the mutual
+/// attestation; `report_data = H("msg3", g_a, g_b)`.
+#[derive(Clone, Debug)]
+pub struct DhMsg3 {
+    /// Responder's report, targeted at the initiator.
+    pub report: Report,
+}
+
+impl DhMsg3 {
+    /// Serializes for untrusted transport.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        self.report.encode(&mut w);
+        w.finish()
+    }
+
+    /// Parses from bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::Decode`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SgxError> {
+        let mut r = WireReader::new(bytes);
+        let report = Report::decode(&mut r)?;
+        r.finish()?;
+        Ok(DhMsg3 { report })
+    }
+}
+
+fn binding_hash(label: &[u8], first: &PublicKey, second: &PublicKey) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(b"sgx-sim.dh.");
+    h.update(label);
+    h.update(&first.0);
+    h.update(&second.0);
+    h.finalize()
+}
+
+fn derive_aek(shared: &[u8; 32], g_a: &PublicKey, g_b: &PublicKey) -> SessionKey {
+    let mut info = Vec::with_capacity(70);
+    info.extend_from_slice(b"sgx-sim.dh.aek");
+    info.extend_from_slice(&g_a.0);
+    info.extend_from_slice(&g_b.0);
+    hkdf::<16>(b"", shared, &info)
+}
+
+/// Responder side of a local-attestation DH session.
+#[derive(Debug)]
+pub struct DhResponder {
+    secret: StaticSecret,
+    g_a: PublicKey,
+}
+
+impl DhResponder {
+    /// Starts a session, producing Msg1.
+    pub fn start(env: &mut EnclaveEnv<'_>) -> (DhResponder, DhMsg1) {
+        let mut seed = [0u8; 32];
+        env.random_bytes(&mut seed);
+        let secret = StaticSecret::from_bytes(seed);
+        let g_a = secret.public_key();
+        let msg1 = DhMsg1 {
+            g_a,
+            responder: TargetInfo {
+                mr_enclave: env.identity().mr_enclave,
+            },
+        };
+        (DhResponder { secret, g_a }, msg1)
+    }
+
+    /// Processes Msg2, producing Msg3, the session key, and the
+    /// authenticated initiator identity.
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::ReportMacMismatch`] if the initiator's report does not
+    /// verify on this machine or does not bind the session keys.
+    pub fn process_msg2(
+        self,
+        env: &mut EnclaveEnv<'_>,
+        msg2: &DhMsg2,
+    ) -> Result<(DhMsg3, SessionKey, EnclaveIdentity), SgxError> {
+        let body = env.verify_report(&msg2.report)?;
+        let expected = binding_hash(b"msg2", &msg2.g_b, &self.g_a);
+        if body.report_data.hash_prefix() != expected {
+            return Err(SgxError::ReportMacMismatch);
+        }
+        let initiator_identity = body.identity;
+
+        let report = env.ereport(
+            &TargetInfo {
+                mr_enclave: initiator_identity.mr_enclave,
+            },
+            &ReportData::from_hash(&binding_hash(b"msg3", &self.g_a, &msg2.g_b)),
+        );
+        let shared = self.secret.diffie_hellman(&msg2.g_b);
+        let aek = derive_aek(&shared, &self.g_a, &msg2.g_b);
+        Ok((DhMsg3 { report }, aek, initiator_identity))
+    }
+}
+
+/// Initiator side of a local-attestation DH session.
+#[derive(Debug)]
+pub struct DhInitiator {
+    secret: StaticSecret,
+    g_a: PublicKey,
+    g_b: PublicKey,
+}
+
+impl DhInitiator {
+    /// Processes Msg1, producing Msg2.
+    pub fn start(env: &mut EnclaveEnv<'_>, msg1: &DhMsg1) -> (DhInitiator, DhMsg2) {
+        let mut seed = [0u8; 32];
+        env.random_bytes(&mut seed);
+        let secret = StaticSecret::from_bytes(seed);
+        let g_b = secret.public_key();
+        let report = env.ereport(
+            &msg1.responder,
+            &ReportData::from_hash(&binding_hash(b"msg2", &g_b, &msg1.g_a)),
+        );
+        (
+            DhInitiator {
+                secret,
+                g_a: msg1.g_a,
+                g_b,
+            },
+            DhMsg2 { g_b, report },
+        )
+    }
+
+    /// Processes Msg3, completing the handshake.
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::ReportMacMismatch`] if the responder's report does not
+    /// verify on this machine or does not bind the session keys.
+    pub fn process_msg3(
+        self,
+        env: &mut EnclaveEnv<'_>,
+        msg3: &DhMsg3,
+    ) -> Result<(SessionKey, EnclaveIdentity), SgxError> {
+        let body = env.verify_report(&msg3.report)?;
+        let expected = binding_hash(b"msg3", &self.g_a, &self.g_b);
+        if body.report_data.hash_prefix() != expected {
+            return Err(SgxError::ReportMacMismatch);
+        }
+        let shared = self.secret.diffie_hellman(&self.g_a);
+        let aek = derive_aek(&shared, &self.g_a, &self.g_b);
+        Ok((aek, body.identity))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enclave::EnclaveCode;
+    use crate::ias::AttestationService;
+    use crate::machine::{MachineId, SgxMachine};
+    use crate::measurement::{EnclaveImage, EnclaveSigner};
+    use parking_lot::Mutex;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    /// Test enclave that can play either DH role, driven by opcodes.
+    #[derive(Default)]
+    struct DhEnclave {
+        responder: Option<DhResponder>,
+        initiator: Option<DhInitiator>,
+        result: Arc<Mutex<Option<(SessionKey, EnclaveIdentity)>>>,
+    }
+
+    const OP_START_RESPONDER: u32 = 1;
+    const OP_START_INITIATOR: u32 = 2; // input: msg1
+    const OP_PROC_MSG2: u32 = 3; // input: msg2, output: msg3
+    const OP_PROC_MSG3: u32 = 4; // input: msg3
+
+    impl EnclaveCode for DhEnclave {
+        fn ecall(
+            &mut self,
+            env: &mut EnclaveEnv<'_>,
+            opcode: u32,
+            input: &[u8],
+        ) -> Result<Vec<u8>, SgxError> {
+            match opcode {
+                OP_START_RESPONDER => {
+                    let (responder, msg1) = DhResponder::start(env);
+                    self.responder = Some(responder);
+                    Ok(msg1.to_bytes())
+                }
+                OP_START_INITIATOR => {
+                    let msg1 = DhMsg1::from_bytes(input)?;
+                    let (initiator, msg2) = DhInitiator::start(env, &msg1);
+                    self.initiator = Some(initiator);
+                    Ok(msg2.to_bytes())
+                }
+                OP_PROC_MSG2 => {
+                    let msg2 = DhMsg2::from_bytes(input)?;
+                    let responder = self
+                        .responder
+                        .take()
+                        .ok_or(SgxError::SessionState("no responder"))?;
+                    let (msg3, key, peer) = responder.process_msg2(env, &msg2)?;
+                    *self.result.lock() = Some((key, peer));
+                    Ok(msg3.to_bytes())
+                }
+                OP_PROC_MSG3 => {
+                    let msg3 = DhMsg3::from_bytes(input)?;
+                    let initiator = self
+                        .initiator
+                        .take()
+                        .ok_or(SgxError::SessionState("no initiator"))?;
+                    let (key, peer) = initiator.process_msg3(env, &msg3)?;
+                    *self.result.lock() = Some((key, peer));
+                    Ok(vec![])
+                }
+                _ => Err(SgxError::InvalidParameter("opcode")),
+            }
+        }
+    }
+
+    struct World {
+        m1: SgxMachine,
+        m2: SgxMachine,
+        img_a: EnclaveImage,
+        img_b: EnclaveImage,
+    }
+
+    fn world() -> World {
+        let mut rng = StdRng::seed_from_u64(21);
+        let ias = AttestationService::new(&mut rng);
+        let m1 = SgxMachine::new(MachineId(1), &ias, &mut rng);
+        let m2 = SgxMachine::new(MachineId(2), &ias, &mut rng);
+        let signer = EnclaveSigner::from_seed([1; 32]);
+        let img_a = EnclaveImage::build("dh-a", 1, b"a", &signer);
+        let img_b = EnclaveImage::build("dh-b", 1, b"b", &signer);
+        World { m1, m2, img_a, img_b }
+    }
+
+    #[test]
+    fn handshake_on_same_machine_succeeds_and_agrees() {
+        let w = world();
+        let res_result = Arc::new(Mutex::new(None));
+        let init_result = Arc::new(Mutex::new(None));
+        let responder = w
+            .m1
+            .load_enclave(
+                &w.img_a,
+                Box::new(DhEnclave {
+                    result: Arc::clone(&res_result),
+                    ..Default::default()
+                }),
+            )
+            .unwrap();
+        let initiator = w
+            .m1
+            .load_enclave(
+                &w.img_b,
+                Box::new(DhEnclave {
+                    result: Arc::clone(&init_result),
+                    ..Default::default()
+                }),
+            )
+            .unwrap();
+
+        // Untrusted relay of the three messages.
+        let msg1 = responder.ecall(OP_START_RESPONDER, b"").unwrap();
+        let msg2 = initiator.ecall(OP_START_INITIATOR, &msg1).unwrap();
+        let msg3 = responder.ecall(OP_PROC_MSG2, &msg2).unwrap();
+        initiator.ecall(OP_PROC_MSG3, &msg3).unwrap();
+
+        let (key_r, peer_r) = res_result.lock().take().unwrap();
+        let (key_i, peer_i) = init_result.lock().take().unwrap();
+        assert_eq!(key_r, key_i, "both sides derive the same AEK");
+        assert_eq!(peer_r.mr_enclave, w.img_b.mr_enclave());
+        assert_eq!(peer_i.mr_enclave, w.img_a.mr_enclave());
+    }
+
+    #[test]
+    fn handshake_across_machines_fails() {
+        let w = world();
+        let responder = w
+            .m1
+            .load_enclave(&w.img_a, Box::<DhEnclave>::default())
+            .unwrap();
+        // Initiator on a DIFFERENT machine: its report can't verify on m1.
+        let initiator = w
+            .m2
+            .load_enclave(&w.img_b, Box::<DhEnclave>::default())
+            .unwrap();
+
+        let msg1 = responder.ecall(OP_START_RESPONDER, b"").unwrap();
+        let msg2 = initiator.ecall(OP_START_INITIATOR, &msg1).unwrap();
+        assert_eq!(
+            responder.ecall(OP_PROC_MSG2, &msg2).unwrap_err(),
+            SgxError::ReportMacMismatch
+        );
+    }
+
+    #[test]
+    fn tampered_dh_public_key_detected() {
+        let w = world();
+        let responder = w
+            .m1
+            .load_enclave(&w.img_a, Box::<DhEnclave>::default())
+            .unwrap();
+        let initiator = w
+            .m1
+            .load_enclave(&w.img_b, Box::<DhEnclave>::default())
+            .unwrap();
+
+        let msg1 = responder.ecall(OP_START_RESPONDER, b"").unwrap();
+        let mut msg2 = initiator.ecall(OP_START_INITIATOR, &msg1).unwrap();
+        msg2[0] ^= 1; // MITM swaps a key byte
+        assert_eq!(
+            responder.ecall(OP_PROC_MSG2, &msg2).unwrap_err(),
+            SgxError::ReportMacMismatch
+        );
+    }
+
+    #[test]
+    fn replayed_msg3_from_other_session_detected() {
+        let w = world();
+        // Session 1 between A and B, completed.
+        let resp1 = w
+            .m1
+            .load_enclave(&w.img_a, Box::<DhEnclave>::default())
+            .unwrap();
+        let init1 = w
+            .m1
+            .load_enclave(&w.img_b, Box::<DhEnclave>::default())
+            .unwrap();
+        let msg1 = resp1.ecall(OP_START_RESPONDER, b"").unwrap();
+        let msg2 = init1.ecall(OP_START_INITIATOR, &msg1).unwrap();
+        let msg3_session1 = resp1.ecall(OP_PROC_MSG2, &msg2).unwrap();
+
+        // Session 2: adversary replays session 1's msg3.
+        let resp2 = w
+            .m1
+            .load_enclave(&w.img_a, Box::<DhEnclave>::default())
+            .unwrap();
+        let init2 = w
+            .m1
+            .load_enclave(&w.img_b, Box::<DhEnclave>::default())
+            .unwrap();
+        let msg1b = resp2.ecall(OP_START_RESPONDER, b"").unwrap();
+        let _msg2b = init2.ecall(OP_START_INITIATOR, &msg1b).unwrap();
+        assert_eq!(
+            init2.ecall(OP_PROC_MSG3, &msg3_session1).unwrap_err(),
+            SgxError::ReportMacMismatch
+        );
+    }
+
+    #[test]
+    fn message_encodings_round_trip() {
+        let w = world();
+        let responder = w
+            .m1
+            .load_enclave(&w.img_a, Box::<DhEnclave>::default())
+            .unwrap();
+        let msg1_bytes = responder.ecall(OP_START_RESPONDER, b"").unwrap();
+        let msg1 = DhMsg1::from_bytes(&msg1_bytes).unwrap();
+        assert_eq!(msg1.to_bytes(), msg1_bytes);
+        assert!(DhMsg1::from_bytes(&msg1_bytes[..10]).is_err());
+    }
+}

@@ -1,0 +1,113 @@
+//! Error type shared by the simulated SGX platform.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the simulated SGX platform, mirroring the SGX SDK's
+/// `sgx_status_t` failure codes that the migration paper's protocol relies
+/// on (e.g. `SGX_ERROR_MC_NOT_FOUND` when a destroyed monotonic counter is
+/// accessed — the paper's §V-C fork-attack defence hinges on that error).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SgxError {
+    /// A parameter failed validation (SDK: `SGX_ERROR_INVALID_PARAMETER`).
+    InvalidParameter(&'static str),
+    /// MAC verification failed while unsealing (SDK: `SGX_ERROR_MAC_MISMATCH`).
+    MacMismatch,
+    /// A monotonic counter UUID does not exist — either never created or
+    /// already destroyed (SDK: `SGX_ERROR_MC_NOT_FOUND`).
+    CounterNotFound,
+    /// The per-enclave monotonic counter quota (256) is exhausted
+    /// (SDK: `SGX_ERROR_MC_OVER_QUOTA`).
+    CounterQuotaExceeded,
+    /// A counter would overflow `u32::MAX` if incremented.
+    CounterOverflow,
+    /// The enclave was destroyed (power event, VM migration, or explicit
+    /// close) and can no longer service ECALLs (SDK: `SGX_ERROR_ENCLAVE_LOST`).
+    EnclaveLost,
+    /// A local-attestation report MAC did not verify.
+    ReportMacMismatch,
+    /// A quote's EPID group signature did not verify, or the platform is
+    /// revoked.
+    QuoteVerificationFailed,
+    /// The launch-control signature over an enclave image did not verify.
+    LaunchControlFailed,
+    /// A byte buffer could not be decoded as the expected structure.
+    Decode,
+    /// An attestation session was driven out of order.
+    SessionState(&'static str),
+    /// Application-enclave-level failure propagated through the ECALL ABI.
+    Enclave(String),
+}
+
+impl fmt::Display for SgxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SgxError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            SgxError::MacMismatch => write!(f, "sealed data MAC mismatch"),
+            SgxError::CounterNotFound => write!(f, "monotonic counter not found"),
+            SgxError::CounterQuotaExceeded => {
+                write!(f, "monotonic counter quota (256) exceeded")
+            }
+            SgxError::CounterOverflow => write!(f, "monotonic counter would overflow"),
+            SgxError::EnclaveLost => write!(f, "enclave lost"),
+            SgxError::ReportMacMismatch => write!(f, "report MAC mismatch"),
+            SgxError::QuoteVerificationFailed => write!(f, "quote verification failed"),
+            SgxError::LaunchControlFailed => write!(f, "enclave launch control failed"),
+            SgxError::Decode => write!(f, "malformed encoded structure"),
+            SgxError::SessionState(what) => write!(f, "attestation session state: {what}"),
+            SgxError::Enclave(msg) => write!(f, "enclave error: {msg}"),
+        }
+    }
+}
+
+impl Error for SgxError {}
+
+impl From<mig_crypto::CryptoError> for SgxError {
+    fn from(e: mig_crypto::CryptoError) -> Self {
+        match e {
+            mig_crypto::CryptoError::AuthenticationFailed => SgxError::MacMismatch,
+            _ => SgxError::Decode,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_nonempty() {
+        let all = [
+            SgxError::InvalidParameter("x"),
+            SgxError::MacMismatch,
+            SgxError::CounterNotFound,
+            SgxError::CounterQuotaExceeded,
+            SgxError::CounterOverflow,
+            SgxError::EnclaveLost,
+            SgxError::ReportMacMismatch,
+            SgxError::QuoteVerificationFailed,
+            SgxError::LaunchControlFailed,
+            SgxError::Decode,
+            SgxError::SessionState("x"),
+            SgxError::Enclave("boom".into()),
+        ];
+        for e in all {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn crypto_auth_failure_maps_to_mac_mismatch() {
+        let e: SgxError = mig_crypto::CryptoError::AuthenticationFailed.into();
+        assert_eq!(e, SgxError::MacMismatch);
+        let e: SgxError = mig_crypto::CryptoError::InvalidLength.into();
+        assert_eq!(e, SgxError::Decode);
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SgxError>();
+    }
+}

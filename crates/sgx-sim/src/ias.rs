@@ -1,0 +1,304 @@
+//! The simulated Intel Attestation Service (IAS).
+//!
+//! Remote verifiers cannot check an EPID quote themselves; they submit it
+//! to IAS, which verifies the group credential and returns a *signed
+//! attestation verification report* the verifier checks against Intel's
+//! pinned report-signing key (§II-A6). This module reproduces that flow:
+//! machines enroll at construction (receiving the group credential for
+//! their Quoting Enclave), verifiers call [`AttestationService::verify_quote`],
+//! and anyone holding the service's verifying key can validate the returned
+//! [`AttestationEvidence`] offline. Platform revocation is supported, as in
+//! EPID.
+
+use crate::error::SgxError;
+use crate::quote::{self, Quote};
+use crate::report::ReportBody;
+use crate::wire::{WireReader, WireWriter};
+use mig_crypto::ed25519::{Signature, SigningKey, VerifyingKey};
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Credentials a machine receives when it enrolls its Quoting Enclave.
+#[derive(Clone)]
+pub struct PlatformEnrollment {
+    /// Pseudonymous platform identifier (revocation handle).
+    pub platform_id: [u8; 16],
+    pub(crate) group_secret: [u8; 32],
+}
+
+impl std::fmt::Debug for PlatformEnrollment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlatformEnrollment")
+            .field("platform_id", &mig_crypto::hex_encode(&self.platform_id))
+            .finish_non_exhaustive()
+    }
+}
+
+struct IasInner {
+    group_secret: [u8; 32],
+    signing: SigningKey,
+    enrolled: HashSet<[u8; 16]>,
+    revoked: HashSet<[u8; 16]>,
+}
+
+/// A handle to the (global, cloneable) attestation service.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let ias = sgx_sim::ias::AttestationService::new(&mut rng);
+/// let _vk = ias.verifying_key(); // pinned into verifiers
+/// ```
+#[derive(Clone)]
+pub struct AttestationService {
+    inner: Arc<Mutex<IasInner>>,
+    verifying_key: VerifyingKey,
+}
+
+impl std::fmt::Debug for AttestationService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AttestationService")
+            .field("verifying_key", &self.verifying_key)
+            .finish_non_exhaustive()
+    }
+}
+
+impl AttestationService {
+    /// Creates a fresh service with its own EPID group and report-signing
+    /// key.
+    #[must_use]
+    pub fn new(rng: &mut impl rand::RngCore) -> Self {
+        let mut group_secret = [0u8; 32];
+        rng.fill_bytes(&mut group_secret);
+        let signing = SigningKey::random(rng);
+        let verifying_key = signing.verifying_key();
+        AttestationService {
+            inner: Arc::new(Mutex::new(IasInner {
+                group_secret,
+                signing,
+                enrolled: HashSet::new(),
+                revoked: HashSet::new(),
+            })),
+            verifying_key,
+        }
+    }
+
+    /// The report-signing verification key remote parties pin.
+    #[must_use]
+    pub fn verifying_key(&self) -> VerifyingKey {
+        self.verifying_key
+    }
+
+    /// Enrolls a new platform, handing it the group credential.
+    pub fn enroll(&self, rng: &mut impl rand::RngCore) -> PlatformEnrollment {
+        let mut platform_id = [0u8; 16];
+        rng.fill_bytes(&mut platform_id);
+        let mut inner = self.inner.lock();
+        inner.enrolled.insert(platform_id);
+        PlatformEnrollment {
+            platform_id,
+            group_secret: inner.group_secret,
+        }
+    }
+
+    /// Revokes a platform; its future quotes will be rejected.
+    pub fn revoke(&self, platform_id: [u8; 16]) {
+        self.inner.lock().revoked.insert(platform_id);
+    }
+
+    /// Verifies a quote and returns signed evidence for the relying party.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError::QuoteVerificationFailed`] if the platform is
+    /// unknown or revoked, or the group MAC does not verify.
+    pub fn verify_quote(&self, q: &Quote) -> Result<AttestationEvidence, SgxError> {
+        let inner = self.inner.lock();
+        if !inner.enrolled.contains(&q.platform_id)
+            || inner.revoked.contains(&q.platform_id)
+            || !quote::verify_mac(&inner.group_secret, q)
+        {
+            return Err(SgxError::QuoteVerificationFailed);
+        }
+        let signed_bytes = AttestationEvidence::signed_bytes(&q.body, &q.platform_id);
+        let signature = inner.signing.sign(&signed_bytes);
+        Ok(AttestationEvidence {
+            body: q.body,
+            platform_id: q.platform_id,
+            signature,
+        })
+    }
+}
+
+/// An IAS-signed attestation verification report.
+///
+/// Verifiable offline against the pinned [`AttestationService::verifying_key`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AttestationEvidence {
+    /// The attested enclave's report body.
+    pub body: ReportBody,
+    /// The attested platform.
+    pub platform_id: [u8; 16],
+    /// IAS signature over body and platform id.
+    pub signature: Signature,
+}
+
+impl AttestationEvidence {
+    fn signed_bytes(body: &ReportBody, platform_id: &[u8; 16]) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.array(b"sgx-sim.avr.v1\0\0");
+        body.encode(&mut w);
+        w.array(platform_id);
+        w.finish()
+    }
+
+    /// Verifies the IAS signature and returns the attested body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError::QuoteVerificationFailed`] if the signature does
+    /// not verify under `ias_key`.
+    pub fn verify(&self, ias_key: &VerifyingKey) -> Result<&ReportBody, SgxError> {
+        ias_key
+            .verify(
+                &Self::signed_bytes(&self.body, &self.platform_id),
+                &self.signature,
+            )
+            .map_err(|_| SgxError::QuoteVerificationFailed)?;
+        Ok(&self.body)
+    }
+
+    /// Serializes the evidence for transport.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        self.body.encode(&mut w);
+        w.array(&self.platform_id).array(&self.signature.0);
+        w.finish()
+    }
+
+    /// Parses evidence from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError::Decode`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SgxError> {
+        let mut r = WireReader::new(bytes);
+        let body = ReportBody::decode(&mut r)?;
+        let platform_id: [u8; 16] = r.array()?;
+        let signature = Signature(r.array::<64>()?);
+        r.finish()?;
+        Ok(AttestationEvidence {
+            body,
+            platform_id,
+            signature,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measurement::{EnclaveIdentity, MrEnclave, MrSigner};
+    use crate::report::ReportData;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn body() -> ReportBody {
+        ReportBody {
+            identity: EnclaveIdentity {
+                mr_enclave: MrEnclave([1; 32]),
+                mr_signer: MrSigner([2; 32]),
+            },
+            report_data: ReportData::from_hash(&[3; 32]),
+        }
+    }
+
+    fn setup() -> (AttestationService, PlatformEnrollment, StdRng) {
+        let mut rng = StdRng::seed_from_u64(17);
+        let ias = AttestationService::new(&mut rng);
+        let platform = ias.enroll(&mut rng);
+        (ias, platform, rng)
+    }
+
+    #[test]
+    fn enrolled_platform_quote_verifies_end_to_end() {
+        let (ias, platform, _) = setup();
+        let q = quote::generate(&platform.group_secret, platform.platform_id, body());
+        let evidence = ias.verify_quote(&q).unwrap();
+        let verified = evidence.verify(&ias.verifying_key()).unwrap();
+        assert_eq!(*verified, body());
+    }
+
+    #[test]
+    fn unknown_platform_rejected() {
+        let (ias, platform, _) = setup();
+        let mut q = quote::generate(&platform.group_secret, platform.platform_id, body());
+        q.platform_id = [0xFF; 16]; // not enrolled (also breaks the MAC)
+        assert_eq!(
+            ias.verify_quote(&q).unwrap_err(),
+            SgxError::QuoteVerificationFailed
+        );
+    }
+
+    #[test]
+    fn revoked_platform_rejected() {
+        let (ias, platform, _) = setup();
+        let q = quote::generate(&platform.group_secret, platform.platform_id, body());
+        assert!(ias.verify_quote(&q).is_ok());
+        ias.revoke(platform.platform_id);
+        assert_eq!(
+            ias.verify_quote(&q).unwrap_err(),
+            SgxError::QuoteVerificationFailed
+        );
+    }
+
+    #[test]
+    fn forged_quote_rejected() {
+        let (ias, platform, _) = setup();
+        // Forged with a guessed group secret.
+        let q = quote::generate(&[0u8; 32], platform.platform_id, body());
+        assert_eq!(
+            ias.verify_quote(&q).unwrap_err(),
+            SgxError::QuoteVerificationFailed
+        );
+    }
+
+    #[test]
+    fn evidence_signature_is_checked() {
+        let (ias, platform, mut rng) = setup();
+        let q = quote::generate(&platform.group_secret, platform.platform_id, body());
+        let mut evidence = ias.verify_quote(&q).unwrap();
+        // Tampered body must fail offline verification.
+        evidence.body.report_data = ReportData::from_hash(&[0xAB; 32]);
+        assert!(evidence.verify(&ias.verifying_key()).is_err());
+        // A different IAS key must fail too.
+        let other = AttestationService::new(&mut rng);
+        let evidence = ias.verify_quote(&q).unwrap();
+        assert!(evidence.verify(&other.verifying_key()).is_err());
+    }
+
+    #[test]
+    fn evidence_bytes_round_trip() {
+        let (ias, platform, _) = setup();
+        let q = quote::generate(&platform.group_secret, platform.platform_id, body());
+        let evidence = ias.verify_quote(&q).unwrap();
+        let parsed = AttestationEvidence::from_bytes(&evidence.to_bytes()).unwrap();
+        assert_eq!(parsed, evidence);
+        parsed.verify(&ias.verifying_key()).unwrap();
+    }
+
+    #[test]
+    fn two_services_are_independent_groups() {
+        let mut rng = StdRng::seed_from_u64(18);
+        let ias1 = AttestationService::new(&mut rng);
+        let ias2 = AttestationService::new(&mut rng);
+        let p1 = ias1.enroll(&mut rng);
+        let q = quote::generate(&p1.group_secret, p1.platform_id, body());
+        assert!(ias1.verify_quote(&q).is_ok());
+        assert!(ias2.verify_quote(&q).is_err());
+    }
+}

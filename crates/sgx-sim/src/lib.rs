@@ -1,0 +1,89 @@
+//! A software simulator of Intel SGX, faithful to the properties that
+//! *Migrating SGX Enclaves with Persistent State* (Alder et al., DSN 2018)
+//! builds on.
+//!
+//! No SGX hardware, Intel Management Engine, or Intel Attestation Service
+//! is available in this environment, so this crate rebuilds the platform
+//! in software (DESIGN.md §2 documents each substitution):
+//!
+//! * [`measurement`] — enclave images, MRENCLAVE/MRSIGNER, launch control;
+//! * [`cpu`] — per-machine CPU secrets and `EGETKEY` key derivation;
+//! * [`enclave`] — the ECALL boundary, in-enclave platform view
+//!   ([`enclave::EnclaveEnv`]), and enclave lifecycle;
+//! * [`seal`] — machine-bound sealing (`sgx_seal_data`), AES-128-GCM;
+//! * [`report`] / [`dh`] — local attestation and attested DH channels;
+//! * [`counters`] — Platform Services monotonic counters with UUID nonces
+//!   and destroy-is-forever semantics;
+//! * [`quote`] / [`ias`] — the Quoting Enclave, EPID-modelled quotes, and
+//!   a simulated Intel Attestation Service with revocation;
+//! * [`machine`] — a physical machine tying the above together;
+//! * [`cost`] — latency models for the Intel firmware (used by benches);
+//! * [`wire`] — the explicit binary codec shared by all protocol structs.
+//!
+//! # The properties that matter
+//!
+//! The migration paper's attacks and defences rest on four platform facts,
+//! all reproduced here and locked in by tests:
+//!
+//! 1. sealing keys are machine- and identity-specific ([`cpu::egetkey`]);
+//! 2. monotonic counters are machine-local, monotonic, and a destroyed
+//!    counter UUID can never be revived ([`counters::CounterStore`]);
+//! 3. local attestation only verifies on the producing machine
+//!    ([`report`], [`dh`]);
+//! 4. remote attestation proves identity + genuineness to remote parties,
+//!    with revocation ([`quote`], [`ias`]).
+//!
+//! # Example: sealing is machine-bound
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use sgx_sim::enclave::{EnclaveCode, EnclaveEnv};
+//! use sgx_sim::cpu::KeyPolicy;
+//! use sgx_sim::error::SgxError;
+//! use sgx_sim::ias::AttestationService;
+//! use sgx_sim::machine::{MachineId, SgxMachine};
+//! use sgx_sim::measurement::{EnclaveImage, EnclaveSigner};
+//!
+//! struct Sealer;
+//! impl EnclaveCode for Sealer {
+//!     fn ecall(&mut self, env: &mut EnclaveEnv<'_>, op: u32, input: &[u8])
+//!         -> Result<Vec<u8>, SgxError>
+//!     {
+//!         match op {
+//!             0 => Ok(env.seal_data(KeyPolicy::MrEnclave, b"", input)),
+//!             _ => env.unseal_data(input).map(|(pt, _)| pt),
+//!         }
+//!     }
+//! }
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let ias = AttestationService::new(&mut rng);
+//! let m1 = SgxMachine::new(MachineId(1), &ias, &mut rng);
+//! let m2 = SgxMachine::new(MachineId(2), &ias, &mut rng);
+//! let image = EnclaveImage::build("sealer", 1, b"code", &EnclaveSigner::from_seed([7; 32]));
+//!
+//! let e1 = m1.load_enclave(&image, Box::new(Sealer)).unwrap();
+//! let e2 = m2.load_enclave(&image, Box::new(Sealer)).unwrap();
+//! let blob = e1.ecall(0, b"secret").unwrap();
+//! assert_eq!(e1.ecall(1, &blob).unwrap(), b"secret");      // same machine: ok
+//! assert!(e2.ecall(1, &blob).is_err());                    // other machine: fails
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod counters;
+pub mod cpu;
+pub mod dh;
+pub mod enclave;
+pub mod error;
+pub mod ias;
+pub mod machine;
+pub mod measurement;
+pub mod quote;
+pub mod report;
+pub mod seal;
+pub mod wire;
+
+pub use error::SgxError;

@@ -1,0 +1,307 @@
+//! Enclave identities: MRENCLAVE, MRSIGNER, and the enclave image whose
+//! measurement produces them.
+//!
+//! Loading an enclave hashes each page of its image (the simulator's
+//! analogue of `EADD`/`EEXTEND`), producing a **deterministic, machine
+//! independent** MRENCLAVE: the same image measures identically on every
+//! machine. That property is what the paper's Migration Enclave uses to
+//! guarantee that migration data is only delivered to "an enclave that
+//! attests with exactly the same version as the source enclave" (§VI-A).
+
+use crate::error::SgxError;
+use crate::wire::{WireReader, WireWriter};
+use mig_crypto::ed25519::{Signature, SigningKey, VerifyingKey};
+use mig_crypto::sha256::{sha256, Sha256};
+
+/// Page size used when measuring enclave images.
+pub const PAGE_SIZE: usize = 4096;
+
+/// The enclave identity: hash of the measured image (SGX `MRENCLAVE`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MrEnclave(pub [u8; 32]);
+
+impl std::fmt::Debug for MrEnclave {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MrEnclave({}..)", mig_crypto::hex_encode(&self.0[..6]))
+    }
+}
+
+impl std::fmt::Display for MrEnclave {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", mig_crypto::hex_encode(&self.0))
+    }
+}
+
+impl AsRef<[u8]> for MrEnclave {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// The signing identity: hash of the enclave developer's public key
+/// (SGX `MRSIGNER`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MrSigner(pub [u8; 32]);
+
+impl std::fmt::Debug for MrSigner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MrSigner({}..)", mig_crypto::hex_encode(&self.0[..6]))
+    }
+}
+
+impl AsRef<[u8]> for MrSigner {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// The pair of identities carried in reports and quotes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EnclaveIdentity {
+    /// Measurement of the enclave image.
+    pub mr_enclave: MrEnclave,
+    /// Hash of the developer's signing key.
+    pub mr_signer: MrSigner,
+}
+
+impl EnclaveIdentity {
+    pub(crate) fn encode(&self, w: &mut WireWriter) {
+        w.array(&self.mr_enclave.0).array(&self.mr_signer.0);
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>) -> Result<Self, SgxError> {
+        Ok(EnclaveIdentity {
+            mr_enclave: MrEnclave(r.array()?),
+            mr_signer: MrSigner(r.array()?),
+        })
+    }
+}
+
+/// An enclave developer's signing key (the key behind `MRSIGNER`).
+///
+/// # Example
+///
+/// ```
+/// use sgx_sim::measurement::{EnclaveImage, EnclaveSigner};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let signer = EnclaveSigner::random(&mut rng);
+/// let image = EnclaveImage::build("my-enclave", 1, b"code bytes", &signer);
+/// assert_eq!(image.mr_signer(), signer.mr_signer());
+/// ```
+#[derive(Clone)]
+pub struct EnclaveSigner {
+    key: SigningKey,
+}
+
+impl std::fmt::Debug for EnclaveSigner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EnclaveSigner")
+            .field("mr_signer", &self.mr_signer())
+            .finish_non_exhaustive()
+    }
+}
+
+impl EnclaveSigner {
+    /// Samples a fresh signing key.
+    #[must_use]
+    pub fn random(rng: &mut impl rand::RngCore) -> Self {
+        EnclaveSigner {
+            key: SigningKey::random(rng),
+        }
+    }
+
+    /// Deterministic signer from a seed (useful in tests).
+    #[must_use]
+    pub fn from_seed(seed: [u8; 32]) -> Self {
+        EnclaveSigner {
+            key: SigningKey::from_seed(seed),
+        }
+    }
+
+    /// The MRSIGNER value all images signed by this key will carry.
+    #[must_use]
+    pub fn mr_signer(&self) -> MrSigner {
+        MrSigner(sha256(&self.key.verifying_key().0))
+    }
+
+    fn sign_measurement(&self, mr_enclave: &MrEnclave) -> (VerifyingKey, Signature) {
+        (self.key.verifying_key(), self.key.sign(&mr_enclave.0))
+    }
+}
+
+/// A measurable enclave image: named code identity plus version and
+/// signer, with a SIGSTRUCT-style signature over the measurement.
+///
+/// The image is pure data; the same image loaded on any simulated machine
+/// yields the same MRENCLAVE.
+#[derive(Clone, Debug)]
+pub struct EnclaveImage {
+    name: String,
+    version: u32,
+    mr_enclave: MrEnclave,
+    signer_key: VerifyingKey,
+    signature: Signature,
+}
+
+impl EnclaveImage {
+    /// Measures `code` (split into [`PAGE_SIZE`] pages and extended page by
+    /// page, like `EADD`/`EEXTEND`) and signs the measurement.
+    #[must_use]
+    pub fn build(name: &str, version: u32, code: &[u8], signer: &EnclaveSigner) -> Self {
+        let mr_enclave = measure(name, version, code);
+        let (signer_key, signature) = signer.sign_measurement(&mr_enclave);
+        EnclaveImage {
+            name: name.to_string(),
+            version,
+            mr_enclave,
+            signer_key,
+            signature,
+        }
+    }
+
+    /// Human-readable image name; folded into the measurement (see
+    /// [`measure`]), so renaming an image changes its MRENCLAVE.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Image version, also folded into the measurement.
+    #[must_use]
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// The image's MRENCLAVE.
+    #[must_use]
+    pub fn mr_enclave(&self) -> MrEnclave {
+        self.mr_enclave
+    }
+
+    /// The image's MRSIGNER (hash of the signer public key).
+    #[must_use]
+    pub fn mr_signer(&self) -> MrSigner {
+        MrSigner(sha256(&self.signer_key.0))
+    }
+
+    /// Both identities as carried in reports.
+    #[must_use]
+    pub fn identity(&self) -> EnclaveIdentity {
+        EnclaveIdentity {
+            mr_enclave: self.mr_enclave(),
+            mr_signer: self.mr_signer(),
+        }
+    }
+
+    /// Verifies the SIGSTRUCT-style launch signature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError::LaunchControlFailed`] if the signature over the
+    /// measurement does not verify under the embedded signer key.
+    pub fn verify_launch_signature(&self) -> Result<(), SgxError> {
+        self.signer_key
+            .verify(&self.mr_enclave.0, &self.signature)
+            .map_err(|_| SgxError::LaunchControlFailed)
+    }
+}
+
+/// Computes the MRENCLAVE of a (name, version, code) triple.
+///
+/// The code bytes are split into 4 KiB pages; each page contributes
+/// `sha256(page_index || page)` to a running extend hash, mimicking the
+/// `EEXTEND` measurement discipline. Name and version participate so that
+/// different builds measure differently, as in real SIGSTRUCT metadata.
+#[must_use]
+pub fn measure(name: &str, version: u32, code: &[u8]) -> MrEnclave {
+    let mut h = Sha256::new();
+    h.update(b"sgx-sim.ecreate.v1");
+    h.update(&(name.len() as u64).to_le_bytes());
+    h.update(name.as_bytes());
+    h.update(&version.to_le_bytes());
+    for (index, page) in code.chunks(PAGE_SIZE).enumerate() {
+        let mut padded = [0u8; PAGE_SIZE];
+        padded[..page.len()].copy_from_slice(page);
+        let mut page_hash = Sha256::new();
+        page_hash.update(&(index as u64).to_le_bytes());
+        page_hash.update(&padded);
+        h.update(&page_hash.finalize());
+    }
+    MrEnclave(h.finalize())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn signer() -> EnclaveSigner {
+        EnclaveSigner::from_seed([1u8; 32])
+    }
+
+    #[test]
+    fn measurement_is_deterministic() {
+        let a = measure("enclave", 1, b"code");
+        let b = measure("enclave", 1, b"code");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn measurement_depends_on_every_input() {
+        let base = measure("enclave", 1, b"code");
+        assert_ne!(base, measure("enclave2", 1, b"code"));
+        assert_ne!(base, measure("enclave", 2, b"code"));
+        assert_ne!(base, measure("enclave", 1, b"code!"));
+    }
+
+    #[test]
+    fn measurement_distinguishes_page_boundaries() {
+        // Same bytes, shifted across a page boundary, must differ.
+        let mut a = vec![0u8; PAGE_SIZE];
+        a.push(1);
+        let mut b = vec![0u8; PAGE_SIZE - 1];
+        b.push(1);
+        b.push(0);
+        assert_ne!(measure("e", 1, &a), measure("e", 1, &b));
+    }
+
+    #[test]
+    fn image_identity_is_machine_independent() {
+        let s = signer();
+        let img1 = EnclaveImage::build("enclave", 3, b"the same code", &s);
+        let img2 = EnclaveImage::build("enclave", 3, b"the same code", &s);
+        assert_eq!(img1.mr_enclave(), img2.mr_enclave());
+        assert_eq!(img1.mr_signer(), img2.mr_signer());
+    }
+
+    #[test]
+    fn different_signers_same_mrenclave_different_mrsigner() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let s1 = EnclaveSigner::random(&mut rng);
+        let s2 = EnclaveSigner::random(&mut rng);
+        let img1 = EnclaveImage::build("enclave", 1, b"code", &s1);
+        let img2 = EnclaveImage::build("enclave", 1, b"code", &s2);
+        assert_eq!(img1.mr_enclave(), img2.mr_enclave());
+        assert_ne!(img1.mr_signer().0, img2.mr_signer().0);
+    }
+
+    #[test]
+    fn launch_signature_verifies() {
+        let img = EnclaveImage::build("enclave", 1, b"code", &signer());
+        img.verify_launch_signature().unwrap();
+    }
+
+    #[test]
+    fn identity_encode_decode_round_trip() {
+        let img = EnclaveImage::build("enclave", 1, b"code", &signer());
+        let mut w = WireWriter::new();
+        img.identity().encode(&mut w);
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        let id = EnclaveIdentity::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(id, img.identity());
+    }
+}

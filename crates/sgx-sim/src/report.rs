@@ -1,0 +1,200 @@
+//! Local attestation reports (`EREPORT`).
+//!
+//! A report proves, to a *target* enclave **on the same machine**, which
+//! enclave produced it. The CPU MACs the report body with a report key
+//! derived from the CPU secret and the target's MRENCLAVE, so only the
+//! target enclave on the same machine can verify it — the paper's §II-A6:
+//! "local attestation inherently guarantees that the prover is a genuine
+//! SGX enclave running on the same machine as the verifier".
+
+use crate::error::SgxError;
+use crate::measurement::{EnclaveIdentity, MrEnclave};
+use crate::wire::{WireReader, WireWriter};
+
+/// Length of the free-form data field a report can carry.
+pub const REPORT_DATA_LEN: usize = 64;
+
+/// Identifies the enclave a report is destined for.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TargetInfo {
+    /// Measurement of the verifying enclave.
+    pub mr_enclave: MrEnclave,
+}
+
+/// The 64-byte application data field of a report.
+///
+/// Attestation-based protocols put channel-binding hashes here (e.g. the
+/// hash of Diffie–Hellman public keys).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct ReportData(pub [u8; REPORT_DATA_LEN]);
+
+impl std::fmt::Debug for ReportData {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ReportData({}..)",
+            mig_crypto::hex_encode(&self.0[..8])
+        )
+    }
+}
+
+impl Default for ReportData {
+    fn default() -> Self {
+        ReportData([0; REPORT_DATA_LEN])
+    }
+}
+
+impl ReportData {
+    /// Embeds a 32-byte hash in the first half, zero-padding the rest.
+    #[must_use]
+    pub fn from_hash(hash: &[u8; 32]) -> Self {
+        let mut data = [0u8; REPORT_DATA_LEN];
+        data[..32].copy_from_slice(hash);
+        ReportData(data)
+    }
+
+    /// Returns the embedded 32-byte prefix.
+    #[must_use]
+    pub fn hash_prefix(&self) -> [u8; 32] {
+        self.0[..32].try_into().expect("64 >= 32")
+    }
+}
+
+/// The MAC-covered portion of a report.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ReportBody {
+    /// Identity of the *producing* enclave.
+    pub identity: EnclaveIdentity,
+    /// Application-chosen binding data.
+    pub report_data: ReportData,
+}
+
+impl ReportBody {
+    /// Canonical byte encoding (MAC/signature input).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        self.encode(&mut w);
+        w.finish()
+    }
+
+    pub(crate) fn encode(&self, w: &mut WireWriter) {
+        self.identity.encode(w);
+        w.array(&self.report_data.0);
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>) -> Result<Self, SgxError> {
+        Ok(ReportBody {
+            identity: EnclaveIdentity::decode(r)?,
+            report_data: ReportData(r.array()?),
+        })
+    }
+}
+
+/// A local attestation report: body plus CPU-computed MAC.
+///
+/// Produced by [`crate::enclave::EnclaveEnv::ereport`]; verified by the
+/// target via [`crate::enclave::EnclaveEnv::verify_report`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Report {
+    /// The MAC-covered body.
+    pub body: ReportBody,
+    /// MRENCLAVE of the target (determines the verification key).
+    pub target: MrEnclave,
+    /// HMAC-SHA-256 tag under the target's report key.
+    pub mac: [u8; 32],
+}
+
+impl Report {
+    /// Serializes for transport through untrusted channels.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        self.encode(&mut w);
+        w.finish()
+    }
+
+    pub(crate) fn encode(&self, w: &mut WireWriter) {
+        self.body.encode(w);
+        w.array(&self.target.0);
+        w.array(&self.mac);
+    }
+
+    /// Parses a report from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError::Decode`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SgxError> {
+        let mut r = WireReader::new(bytes);
+        let report = Self::decode(&mut r)?;
+        r.finish()?;
+        Ok(report)
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>) -> Result<Self, SgxError> {
+        Ok(Report {
+            body: ReportBody::decode(r)?,
+            target: MrEnclave(r.array()?),
+            mac: r.array()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measurement::MrSigner;
+
+    fn body() -> ReportBody {
+        ReportBody {
+            identity: EnclaveIdentity {
+                mr_enclave: MrEnclave([1; 32]),
+                mr_signer: MrSigner([2; 32]),
+            },
+            report_data: ReportData::from_hash(&[3; 32]),
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_bytes() {
+        let report = Report {
+            body: body(),
+            target: MrEnclave([9; 32]),
+            mac: [7; 32],
+        };
+        let parsed = Report::from_bytes(&report.to_bytes()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn report_data_hash_embedding() {
+        let d = ReportData::from_hash(&[0xAA; 32]);
+        assert_eq!(d.hash_prefix(), [0xAA; 32]);
+        assert_eq!(&d.0[32..], &[0u8; 32]);
+    }
+
+    #[test]
+    fn body_bytes_differ_when_any_field_differs() {
+        let a = body();
+        let mut b = a;
+        b.report_data = ReportData::from_hash(&[4; 32]);
+        assert_ne!(a.to_bytes(), b.to_bytes());
+        let mut c = a;
+        c.identity.mr_enclave = MrEnclave([5; 32]);
+        assert_ne!(a.to_bytes(), c.to_bytes());
+    }
+
+    #[test]
+    fn malformed_report_bytes_rejected() {
+        assert!(Report::from_bytes(&[1, 2, 3]).is_err());
+        let report = Report {
+            body: body(),
+            target: MrEnclave([9; 32]),
+            mac: [7; 32],
+        };
+        let mut bytes = report.to_bytes();
+        bytes.push(0); // trailing garbage
+        assert!(Report::from_bytes(&bytes).is_err());
+    }
+}

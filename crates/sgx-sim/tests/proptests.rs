@@ -1,0 +1,134 @@
+//! Property-based tests for the simulated SGX platform.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgx_sim::counters::CounterStore;
+use sgx_sim::cpu::{egetkey, CpuSecret, KeyName, KeyPolicy, KeyRequest};
+use sgx_sim::measurement::{measure, EnclaveIdentity, MrEnclave, MrSigner};
+use sgx_sim::SgxError;
+
+fn identity(mr: [u8; 32]) -> EnclaveIdentity {
+    EnclaveIdentity {
+        mr_enclave: MrEnclave(mr),
+        mr_signer: MrSigner([1; 32]),
+    }
+}
+
+/// Operations an adversarial/chaotic host can drive against the counter
+/// store.
+#[derive(Clone, Debug)]
+enum CounterOp {
+    Create,
+    Increment(u8),
+    Read(u8),
+    Destroy(u8),
+}
+
+fn counter_op() -> impl Strategy<Value = CounterOp> {
+    prop_oneof![
+        2 => Just(CounterOp::Create),
+        4 => (0u8..8).prop_map(CounterOp::Increment),
+        2 => (0u8..8).prop_map(CounterOp::Read),
+        1 => (0u8..8).prop_map(CounterOp::Destroy),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The counter store never violates monotonicity, never resurrects a
+    /// destroyed UUID, and read always reflects the increments applied —
+    /// under arbitrary op interleavings.
+    #[test]
+    fn counter_store_invariants(seed in any::<u64>(),
+                                ops in proptest::collection::vec(counter_op(), 1..120)) {
+        let owner = MrEnclave([7; 32]);
+        let mut store = CounterStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Shadow model: live counters with expected values, dead UUIDs.
+        let mut live: Vec<(sgx_sim::counters::CounterUuid, u32)> = Vec::new();
+        let mut dead: Vec<sgx_sim::counters::CounterUuid> = Vec::new();
+
+        for op in ops {
+            match op {
+                CounterOp::Create => {
+                    if live.len() < 256 {
+                        let (uuid, v) = store.create(owner, &mut rng).unwrap();
+                        prop_assert_eq!(v, 0);
+                        live.push((uuid, 0));
+                    }
+                }
+                CounterOp::Increment(i) => {
+                    let len = live.len().max(1);
+                    if let Some((uuid, value)) = live.get_mut(i as usize % len) {
+                        let v = store.increment(owner, uuid).unwrap();
+                        *value += 1;
+                        prop_assert_eq!(v, *value);
+                    }
+                }
+                CounterOp::Read(i) => {
+                    if let Some((uuid, value)) = live.get(i as usize % live.len().max(1)) {
+                        prop_assert_eq!(store.read(owner, uuid).unwrap(), *value);
+                    }
+                }
+                CounterOp::Destroy(i) => {
+                    if !live.is_empty() {
+                        let (uuid, _) = live.remove(i as usize % live.len());
+                        store.destroy(owner, &uuid).unwrap();
+                        dead.push(uuid);
+                    }
+                }
+            }
+            // Dead UUIDs stay dead forever.
+            for uuid in &dead {
+                prop_assert_eq!(store.read(owner, uuid).unwrap_err(), SgxError::CounterNotFound);
+            }
+            prop_assert_eq!(store.live_count(owner), live.len());
+        }
+    }
+
+    /// EGETKEY is a pure function of (secret, identity, request) and any
+    /// single-field change yields a different key.
+    #[test]
+    fn egetkey_is_deterministic_and_separating(
+        secret_a in any::<[u8; 32]>(),
+        secret_b in any::<[u8; 32]>(),
+        mr_a in any::<[u8; 32]>(),
+        mr_b in any::<[u8; 32]>(),
+        key_id in any::<[u8; 16]>(),
+    ) {
+        prop_assume!(secret_a != secret_b);
+        prop_assume!(mr_a != mr_b);
+        let req = KeyRequest { name: KeyName::Seal, policy: KeyPolicy::MrEnclave, key_id };
+        let cpu_a = CpuSecret::from_seed(secret_a);
+        let cpu_b = CpuSecret::from_seed(secret_b);
+
+        let k = egetkey(&cpu_a, &identity(mr_a), &req);
+        prop_assert_eq!(k, egetkey(&cpu_a, &identity(mr_a), &req));
+        prop_assert_ne!(k, egetkey(&cpu_b, &identity(mr_a), &req));
+        prop_assert_ne!(k, egetkey(&cpu_a, &identity(mr_b), &req));
+        let report_req = KeyRequest { name: KeyName::Report, policy: KeyPolicy::MrEnclave, key_id };
+        prop_assert_ne!(k, egetkey(&cpu_a, &identity(mr_a), &report_req));
+    }
+
+    /// Measurement is injective over (name, version, code) for the
+    /// sampled space, and deterministic.
+    #[test]
+    fn measurement_determinism_and_sensitivity(
+        name in "[a-z]{1,12}",
+        version in any::<u32>(),
+        code in proptest::collection::vec(any::<u8>(), 0..6000),
+        flip in any::<usize>(),
+    ) {
+        let m = measure(&name, version, &code);
+        prop_assert_eq!(m, measure(&name, version, &code));
+        prop_assert_ne!(m, measure(&name, version.wrapping_add(1), &code));
+        if !code.is_empty() {
+            let mut tampered = code.clone();
+            let i = flip % tampered.len();
+            tampered[i] ^= 1;
+            prop_assert_ne!(m, measure(&name, version, &tampered));
+        }
+    }
+}

@@ -1,0 +1,413 @@
+//! **mig-stats** — the statistics used by the paper's evaluation (§VII-B).
+//!
+//! The paper reports, for every measurement: the mean of 1000 repetitions,
+//! error bars showing a **99 % mean confidence interval**, and a
+//! **one-tailed t-test** for the significance of overhead differences
+//! ("the increment operation incurs an average overhead of 12.3 %
+//! (statistically significant, p ≈ 0) ... whereas the read operation has
+//! no statistically significant overhead (p ≈ 0.12)").
+//!
+//! This crate implements exactly those tools from first principles:
+//! Student-t quantiles via the regularized incomplete beta function, and
+//! Welch's unequal-variance one-tailed t-test.
+//!
+//! # Example
+//!
+//! ```
+//! use mig_stats::{summarize, welch_one_tailed_p};
+//!
+//! let fast: Vec<f64> = (0..100).map(|i| 10.0 + (i % 7) as f64 * 0.01).collect();
+//! let slow: Vec<f64> = (0..100).map(|i| 11.0 + (i % 5) as f64 * 0.01).collect();
+//! let s = summarize(&slow, 0.99);
+//! assert!(s.ci_half_width > 0.0);
+//! // H1: mean(slow) > mean(fast) — overwhelmingly significant.
+//! assert!(welch_one_tailed_p(&slow, &fast) < 1e-6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Summary statistics of a sample, in the paper's reporting format.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator).
+    pub std_dev: f64,
+    /// Half-width of the mean confidence interval at the requested level
+    /// (the paper's error bars: mean ± half-width).
+    pub ci_half_width: f64,
+    /// The confidence level used (e.g. 0.99).
+    pub confidence: f64,
+}
+
+/// Sample mean.
+///
+/// # Panics
+///
+/// Panics on an empty sample.
+#[must_use]
+pub fn mean(samples: &[f64]) -> f64 {
+    assert!(!samples.is_empty(), "mean of empty sample");
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+/// Sample variance (unbiased, n−1 denominator).
+///
+/// # Panics
+///
+/// Panics on samples with fewer than two observations.
+#[must_use]
+pub fn variance(samples: &[f64]) -> f64 {
+    assert!(samples.len() >= 2, "variance needs at least 2 samples");
+    let m = mean(samples);
+    samples.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (samples.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+///
+/// # Panics
+///
+/// Panics on samples with fewer than two observations.
+#[must_use]
+pub fn std_dev(samples: &[f64]) -> f64 {
+    variance(samples).sqrt()
+}
+
+/// Summarizes a sample with a mean confidence interval at `confidence`
+/// (e.g. `0.99` for the paper's 99 % error bars).
+///
+/// # Panics
+///
+/// Panics on samples with fewer than two observations or a confidence
+/// outside (0, 1).
+#[must_use]
+pub fn summarize(samples: &[f64], confidence: f64) -> Summary {
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1)"
+    );
+    let n = samples.len();
+    let m = mean(samples);
+    let sd = std_dev(samples);
+    let df = (n - 1) as f64;
+    // Two-sided quantile: P(|T| <= t) = confidence.
+    let t = student_t_quantile(0.5 + confidence / 2.0, df);
+    Summary {
+        n,
+        mean: m,
+        std_dev: sd,
+        ci_half_width: t * sd / (n as f64).sqrt(),
+        confidence,
+    }
+}
+
+/// One-tailed Welch t-test p-value for H1: `mean(a) > mean(b)`.
+///
+/// Uses the Welch–Satterthwaite degrees of freedom. A p-value near 0
+/// means `a` is significantly larger; near 1 means significantly
+/// smaller; near 0.5 means indistinguishable.
+///
+/// # Panics
+///
+/// Panics if either sample has fewer than two observations.
+#[must_use]
+pub fn welch_one_tailed_p(a: &[f64], b: &[f64]) -> f64 {
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let (va, vb) = (variance(a), variance(b));
+    let se2 = va / na + vb / nb;
+    if se2 == 0.0 {
+        // Identical constant samples: no evidence either way.
+        return if mean(a) > mean(b) {
+            0.0
+        } else if mean(a) < mean(b) {
+            1.0
+        } else {
+            0.5
+        };
+    }
+    let t = (mean(a) - mean(b)) / se2.sqrt();
+    let df = se2.powi(2)
+        / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0));
+    // p = P(T_df > t) = 1 - CDF(t)
+    1.0 - student_t_cdf(t, df)
+}
+
+/// Student-t cumulative distribution function with `df` degrees of
+/// freedom.
+///
+/// Computed via the regularized incomplete beta function:
+/// for `t >= 0`, `P(T <= t) = 1 - I_x(df/2, 1/2) / 2` with
+/// `x = df / (df + t^2)`.
+#[must_use]
+pub fn student_t_cdf(t: f64, df: f64) -> f64 {
+    let x = df / (df + t * t);
+    let p = 0.5 * regularized_incomplete_beta(df / 2.0, 0.5, x);
+    if t >= 0.0 {
+        1.0 - p
+    } else {
+        p
+    }
+}
+
+/// Student-t quantile (inverse CDF) via bisection on [`student_t_cdf`].
+///
+/// # Panics
+///
+/// Panics for probabilities outside (0, 1).
+#[must_use]
+pub fn student_t_quantile(p: f64, df: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "probability must be in (0, 1)");
+    if (p - 0.5).abs() < f64::EPSILON {
+        return 0.0;
+    }
+    // The t quantile is symmetric; search the positive half.
+    let target = if p > 0.5 { p } else { 1.0 - p };
+    let mut lo = 0.0f64;
+    let mut hi = 1e3f64;
+    // Expand until the bracket contains the target (heavy tails at low df).
+    while student_t_cdf(hi, df) < target {
+        hi *= 2.0;
+        assert!(hi < 1e12, "t quantile bracket expansion diverged");
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if student_t_cdf(mid, df) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let q = 0.5 * (lo + hi);
+    if p > 0.5 {
+        q
+    } else {
+        -q
+    }
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+#[must_use]
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEFFS[0];
+    let t = x + 7.5;
+    for (i, c) in COEFFS.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via the continued
+/// fraction expansion (Lentz's algorithm).
+#[must_use]
+pub fn regularized_incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // Use the symmetry relation for faster convergence. `<=` keeps the
+    // boundary point (e.g. a = b, x = 0.5) in the direct branch, so the
+    // mutual recursion always terminates.
+    if x <= (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - regularized_incomplete_beta(b, a, 1.0 - x)
+    }
+}
+
+/// Continued fraction for the incomplete beta (Numerical-Recipes form).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-15;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(actual: f64, expected: f64, tol: f64) {
+        assert!(
+            (actual - expected).abs() < tol,
+            "expected {expected}, got {actual} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn mean_and_std_of_known_sample() {
+        let samples = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_close(mean(&samples), 5.0, 1e-12);
+        // Unbiased std of this classic sample is sqrt(32/7).
+        assert_close(std_dev(&samples), (32.0f64 / 7.0).sqrt(), 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        assert_close(ln_gamma(1.0), 0.0, 1e-10);
+        assert_close(ln_gamma(2.0), 0.0, 1e-10);
+        assert_close(ln_gamma(5.0), (24.0f64).ln(), 1e-10); // Γ(5)=24
+        assert_close(ln_gamma(0.5), (std::f64::consts::PI).sqrt().ln(), 1e-10);
+    }
+
+    #[test]
+    fn incomplete_beta_boundary_and_symmetry() {
+        assert_eq!(regularized_incomplete_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(regularized_incomplete_beta(2.0, 3.0, 1.0), 1.0);
+        // I_x(a,b) = 1 - I_{1-x}(b,a)
+        let v = regularized_incomplete_beta(2.5, 1.5, 0.3);
+        let w = 1.0 - regularized_incomplete_beta(1.5, 2.5, 0.7);
+        assert_close(v, w, 1e-12);
+        // I_x(1,1) = x (uniform distribution).
+        assert_close(regularized_incomplete_beta(1.0, 1.0, 0.42), 0.42, 1e-12);
+    }
+
+    #[test]
+    fn t_cdf_matches_reference_values() {
+        // Standard references: P(T_1 <= 1) = 0.75; P(T_2 <= 0) = 0.5.
+        assert_close(student_t_cdf(1.0, 1.0), 0.75, 1e-9);
+        assert_close(student_t_cdf(0.0, 5.0), 0.5, 1e-12);
+        // Large df approaches the normal: P(Z <= 1.96) ≈ 0.975.
+        assert_close(student_t_cdf(1.96, 100_000.0), 0.975, 1e-3);
+        // Symmetry.
+        assert_close(
+            student_t_cdf(-1.3, 7.0),
+            1.0 - student_t_cdf(1.3, 7.0),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn t_quantiles_match_tables() {
+        // Two-sided 99% critical values (0.995 quantile) from t tables.
+        assert_close(student_t_quantile(0.995, 1.0), 63.657, 0.01);
+        assert_close(student_t_quantile(0.995, 10.0), 3.169, 0.001);
+        assert_close(student_t_quantile(0.995, 30.0), 2.750, 0.001);
+        assert_close(student_t_quantile(0.995, 999.0), 2.5808, 0.001);
+        // 95% one-sided (0.95 quantile), df=10 → 1.812.
+        assert_close(student_t_quantile(0.95, 10.0), 1.812, 0.001);
+        // Negative side.
+        assert_close(student_t_quantile(0.005, 10.0), -3.169, 0.001);
+        assert_eq!(student_t_quantile(0.5, 10.0), 0.0);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for df in [1.0, 5.0, 50.0, 999.0] {
+            for p in [0.01, 0.25, 0.6, 0.9, 0.999] {
+                let t = student_t_quantile(p, df);
+                assert_close(student_t_cdf(t, df), p, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn summary_of_thousand_samples_has_tight_ci() {
+        // A deterministic sample with known mean 100 and tiny spread.
+        let samples: Vec<f64> = (0..1000).map(|i| 100.0 + ((i % 10) as f64 - 4.5) * 0.1).collect();
+        let s = summarize(&samples, 0.99);
+        assert_eq!(s.n, 1000);
+        assert_close(s.mean, 100.0, 1e-9);
+        assert!(s.ci_half_width < 0.03, "ci = {}", s.ci_half_width);
+        assert_eq!(s.confidence, 0.99);
+    }
+
+    #[test]
+    fn welch_test_discriminates() {
+        let a: Vec<f64> = (0..200).map(|i| 10.0 + (i % 9) as f64 * 0.01).collect();
+        let b: Vec<f64> = (0..200).map(|i| 10.5 + (i % 11) as f64 * 0.01).collect();
+        // b clearly larger: H1 "a > b" should be near 1, "b > a" near 0.
+        assert!(welch_one_tailed_p(&a, &b) > 0.999);
+        assert!(welch_one_tailed_p(&b, &a) < 1e-6);
+        // Same distribution: inconclusive (≈ 0.5).
+        let p = welch_one_tailed_p(&a, &a.clone());
+        assert!((p - 0.5).abs() < 0.05, "p = {p}");
+    }
+
+    #[test]
+    fn welch_handles_constant_samples() {
+        let a = vec![5.0; 10];
+        let b = vec![4.0; 10];
+        assert_eq!(welch_one_tailed_p(&a, &b), 0.0);
+        assert_eq!(welch_one_tailed_p(&b, &a), 1.0);
+        assert_eq!(welch_one_tailed_p(&a, &a.clone()), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn mean_of_empty_panics() {
+        let _ = mean(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn variance_of_singleton_panics() {
+        let _ = variance(&[1.0]);
+    }
+}

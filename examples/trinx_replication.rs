@@ -1,0 +1,122 @@
+//! TrInX-style certified counters ordering a replicated log, with the
+//! certifying enclave migrating mid-protocol.
+//!
+//! ```sh
+//! cargo run --example trinx_replication
+//! ```
+//!
+//! Reproduces the paper's second motivating workload (§III-B, Hybster):
+//! replicas accept operations in the order certified by a trusted
+//! counter service. The service migrates between machines without ever
+//! issuing two certificates for the same counter value — the property a
+//! fork or roll-back would break.
+
+use cloud_sim::machine::MachineLabels;
+use mig_apps::trinx::{self, Certificate, TrinxService};
+use mig_apps::trinx_image;
+use mig_core::datacenter::Datacenter;
+use mig_core::library::InitRequest;
+use mig_core::policy::MigrationPolicy;
+use sgx_sim::wire::WireReader;
+
+const SERVICE_KEY: [u8; 16] = [0x33; 16];
+
+/// An (untrusted) replica that accepts operations in certified order.
+struct Replica {
+    name: &'static str,
+    log: Vec<(u64, String)>,
+    next_expected: u64,
+}
+
+impl Replica {
+    fn new(name: &'static str) -> Self {
+        Replica {
+            name,
+            log: Vec::new(),
+            next_expected: 1,
+        }
+    }
+
+    fn deliver(&mut self, cert: &Certificate, op: &str) {
+        assert!(
+            cert.verify(&SERVICE_KEY, op.as_bytes()),
+            "replica {} rejects a bad certificate",
+            self.name
+        );
+        assert_eq!(
+            cert.value, self.next_expected,
+            "replica {} detected an ordering gap",
+            self.name
+        );
+        self.log.push((cert.value, op.to_string()));
+        self.next_expected += 1;
+    }
+}
+
+fn certify(dc: &mut Datacenter, instance: &str, op: &str) -> Certificate {
+    let out = dc
+        .call_app(instance, trinx::ops::CERTIFY, &trinx::encode_certify(1, op.as_bytes()))
+        .expect("certify");
+    Certificate::from_bytes(&out).expect("certificate")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== TrInX certified counters ordering a replicated log ==\n");
+
+    let mut dc = Datacenter::new(4);
+    let policy = MigrationPolicy::same_operator_only();
+    let m1 = dc.add_machine(MachineLabels::new("dc-1", "eu"), &policy);
+    let m2 = dc.add_machine(MachineLabels::new("dc-1", "eu"), &policy);
+
+    dc.deploy_app("trinx", m1, &trinx_image(), TrinxService::new(), InitRequest::New)?;
+    dc.call_app("trinx", trinx::ops::INIT, &SERVICE_KEY)?;
+    dc.call_app("trinx", trinx::ops::CREATE, &trinx::encode_create(1))?;
+    println!("trinx service on {m1}; replicas r1, r2, r3 trust its key\n");
+
+    let mut replicas = [Replica::new("r1"), Replica::new("r2"), Replica::new("r3")];
+    let mut all_certs: Vec<Certificate> = Vec::new();
+
+    // Phase 1: certify three operations on m1.
+    for op in ["put x=1", "put y=2", "del x"] {
+        let cert = certify(&mut dc, "trinx", op);
+        println!("certified #{}: {op}", cert.value);
+        for replica in &mut replicas {
+            replica.deliver(&cert, op);
+        }
+        all_certs.push(cert);
+    }
+
+    // Persist + migrate the service to m2.
+    let resp = dc.call_app("trinx", trinx::ops::PERSIST, &[])?;
+    let mut r = WireReader::new(&resp);
+    let version = r.u32()?;
+    let blob = r.bytes_vec()?;
+    println!("\nservice persisted at version {version}; migrating {m1} -> {m2} ...");
+
+    dc.deploy_app("trinx-m2", m2, &trinx_image(), TrinxService::new(), InitRequest::Migrate)?;
+    let took = dc.migrate_app("trinx", "trinx-m2")?;
+    dc.call_app("trinx-m2", trinx::ops::RESTORE, &blob)?;
+    println!("migrated in {:.3} ms; counter state intact\n", took.as_secs_f64() * 1e3);
+
+    // Phase 2: certification continues seamlessly on m2.
+    for op in ["put z=9", "put x=7"] {
+        let cert = certify(&mut dc, "trinx-m2", op);
+        println!("certified #{}: {op}", cert.value);
+        for replica in &mut replicas {
+            replica.deliver(&cert, op);
+        }
+        all_certs.push(cert);
+    }
+
+    // The Hybster safety property: no equivocation anywhere in history.
+    assert!(!trinx::detect_equivocation(&all_certs));
+    let values: Vec<u64> = all_certs.iter().map(|c| c.value).collect();
+    assert_eq!(values, vec![1, 2, 3, 4, 5]);
+
+    println!("\nall replicas agree; counter values strictly increasing: {values:?}");
+    println!("no equivocation across the migration — the §III-B attack surface is closed.");
+    for replica in &replicas {
+        assert_eq!(replica.log.len(), 5);
+    }
+    Ok(())
+}

@@ -1,0 +1,31 @@
+//! **sgx-migrate** — a full-system reproduction of *Migrating SGX
+//! Enclaves with Persistent State* (Alder, Kurnikov, Paverd, Asokan;
+//! DSN 2018) on a simulated SGX datacenter.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`crypto`] — from-scratch primitives (SHA-2, HMAC, HKDF,
+//!   AES-128-GCM, X25519, Ed25519);
+//! * [`sgx`] — the simulated SGX platform (measurement, sealing,
+//!   reports, monotonic counters, quoting, attestation service);
+//! * [`cloud`] — the discrete-event datacenter (machines, VMs, network
+//!   with adversary taps, untrusted disks);
+//! * [`core`] — the paper's contribution: Migration Library, Migration
+//!   Enclave, protocol, policies, baselines;
+//! * [`apps`] — Teechan-style payment channels, TrInX-style certified
+//!   counters, and a sealed KV store built on the public API;
+//! * [`stats`] — the evaluation statistics (99 % CIs, Welch t-tests).
+//!
+//! See `README.md` for a guided tour, `DESIGN.md` for the system
+//! inventory, and `examples/` for runnable end-to-end scenarios
+//! (`cargo run --example quickstart`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cloud_sim as cloud;
+pub use mig_apps as apps;
+pub use mig_core as core;
+pub use mig_crypto as crypto;
+pub use mig_stats as stats;
+pub use sgx_sim as sgx;

@@ -1,0 +1,598 @@
+//! Reproduction of the paper's §III attacks.
+//!
+//! Each attack runs twice:
+//!
+//! 1. against the **baseline** — persistent state protected à la
+//!    Teechan/TrInX (portable KDC key + hardware monotonic counter) but
+//!    migrated with a mechanism that ignores persistent state (the
+//!    Gu-et-al-style memory migration of `mig_core::baseline`) — where it
+//!    **succeeds**, confirming the vulnerability;
+//! 2. against **this paper's framework**, where it is **blocked**, and
+//!    the blocking mechanism is asserted precisely (frozen flag, stale
+//!    counter detection, version mismatch).
+//!
+//! The §III-B Gu freeze-flag dichotomy is also reproduced: the
+//! non-persisted flag admits the fork; the persisted flag prevents it but
+//! forecloses ever migrating back.
+
+use cloud_sim::machine::MachineLabels;
+use mig_core::baseline::gu::FreezeFlag;
+use mig_core::baseline::victim::{ops as vops, PortableVictim};
+use mig_core::datacenter::Datacenter;
+use mig_core::harness::{AppCtx, AppLogic};
+use mig_core::library::InitRequest;
+use mig_core::policy::MigrationPolicy;
+use mig_core::remote_attest::{RaHello, RaResponseQuote};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgx_sim::enclave::EnclaveHandle;
+use sgx_sim::ias::AttestationService;
+use sgx_sim::machine::{MachineId, SgxMachine};
+use sgx_sim::measurement::{EnclaveImage, EnclaveSigner};
+use sgx_sim::wire::{WireReader, WireWriter};
+use sgx_sim::SgxError;
+
+fn victim_image() -> EnclaveImage {
+    EnclaveImage::build(
+        "attack-victim",
+        1,
+        b"teechan-style victim",
+        &EnclaveSigner::from_seed([21; 32]),
+    )
+}
+
+/// Baseline world: two bare machines + IAS, no migration framework.
+struct BaselineWorld {
+    ias: AttestationService,
+    m1: SgxMachine,
+    m2: SgxMachine,
+    kdc_key: [u8; 16],
+}
+
+fn baseline_world(seed: u64) -> BaselineWorld {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ias = AttestationService::new(&mut rng);
+    let m1 = SgxMachine::new(MachineId(1), &ias, &mut rng);
+    let m2 = SgxMachine::new(MachineId(2), &ias, &mut rng);
+    BaselineWorld {
+        ias,
+        m1,
+        m2,
+        kdc_key: [0xD1; 16],
+    }
+}
+
+fn load_victim(w: &BaselineWorld, machine: &SgxMachine, variant: FreezeFlag) -> EnclaveHandle {
+    let enclave = machine
+        .load_enclave(&victim_image(), Box::new(PortableVictim::new(variant)))
+        .unwrap();
+    let mut req = WireWriter::new();
+    req.array(&w.kdc_key).array(&w.ias.verifying_key().0);
+    enclave.ecall(vops::PROVISION, &req.finish()).unwrap();
+    enclave
+}
+
+/// Runs the Gu-style memory migration from `src` to `dst` (the untrusted
+/// relay does the IAS conversions). Returns the sealed freeze flag if the
+/// source uses the persisted variant.
+fn gu_migrate(w: &BaselineWorld, src: &EnclaveHandle, dst: &EnclaveHandle) -> Option<Vec<u8>> {
+    let hello_bytes = src.ecall(vops::GU_BEGIN_EXPORT, &[]).unwrap();
+    let hello = RaHello::from_bytes(&hello_bytes).unwrap();
+    let evidence_i = w.ias.verify_quote(&hello.quote).unwrap().to_bytes();
+
+    let mut req = WireWriter::new();
+    req.array(&hello.g_i.0).bytes(&evidence_i);
+    let response_bytes = dst.ecall(vops::GU_BEGIN_IMPORT, &req.finish()).unwrap();
+    let response = RaResponseQuote::from_bytes(&response_bytes).unwrap();
+    let evidence_r = w.ias.verify_quote(&response.quote).unwrap().to_bytes();
+
+    let mut req = WireWriter::new();
+    req.array(&response.g_r.0).bytes(&evidence_r);
+    let out = src.ecall(vops::GU_EXPORT, &req.finish()).unwrap();
+    let mut r = WireReader::new(&out);
+    let memory_ct = r.bytes_vec().unwrap();
+    let sealed_flag = match r.u8().unwrap() {
+        1 => Some(r.bytes_vec().unwrap()),
+        _ => None,
+    };
+    r.finish().unwrap();
+
+    dst.ecall(vops::GU_IMPORT, &memory_ct).unwrap();
+    sealed_flag
+}
+
+// =======================================================================
+// §III-B — Fork attack
+// =======================================================================
+
+#[test]
+fn fork_attack_succeeds_against_baseline_migration() {
+    let w = baseline_world(101);
+
+    // Step 1 (start-stop-restart): the enclave persists its state with a
+    // fresh counter (c = v = 1) and restarts from it on m1.
+    let src = load_victim(&w, &w.m1, FreezeFlag::InMemory);
+    src.ecall(vops::SET_DATA, b"channel-state-genesis").unwrap();
+    let package_v1 = src.ecall(vops::PERSIST, &[]).unwrap();
+    src.ecall(vops::RESTORE, &package_v1).unwrap(); // accepted: c == v == 1
+
+    // Step 2 (migrate): memory moves to m2; persistent state does not.
+    let dst = load_victim(&w, &w.m2, FreezeFlag::InMemory);
+    gu_migrate(&w, &src, &dst);
+    assert_eq!(dst.ecall(vops::GET_DATA, &[]).unwrap(), b"channel-state-genesis");
+    // The copy on m2 operates and persists with its own fresh counter c'.
+    dst.ecall(vops::SET_DATA, b"channel-state-after-payments").unwrap();
+    dst.ecall(vops::PERSIST, &[]).unwrap();
+
+    // Step 3 (terminate-restart on the SOURCE): the in-memory freeze flag
+    // dies with the process...
+    src.destroy();
+    let resurrected = load_victim(&w, &w.m1, FreezeFlag::InMemory);
+    assert_eq!(resurrected.ecall(vops::IS_FROZEN, &[]).unwrap(), vec![0]);
+    // ...its counter (c = 1) still exists on m1; a first persist binds a
+    // fresh instance... the adversary instead replays the old package.
+    // Recreate the counter state by persisting once (c continues at 1
+    // only for the original instance; the resurrected instance creates
+    // its own) — the key point: the OLD package still validates against
+    // a counter with value 1.
+    resurrected.ecall(vops::SET_DATA, b"x").unwrap();
+    let _ = resurrected.ecall(vops::PERSIST, &[]).unwrap(); // its c = 1
+    resurrected.ecall(vops::RESTORE, &package_v1).unwrap(); // v = 1 == c = 1 ✓
+
+    // FORK: two live enclaves with inconsistent state.
+    assert_eq!(
+        resurrected.ecall(vops::GET_DATA, &[]).unwrap(),
+        b"channel-state-genesis"
+    );
+    assert_eq!(
+        dst.ecall(vops::GET_DATA, &[]).unwrap(),
+        b"channel-state-after-payments"
+    );
+}
+
+#[test]
+fn fork_attack_blocked_by_migration_framework() {
+    // The same workflow over this paper's framework: after migration the
+    // source's counters are destroyed and its blob is frozen, so any
+    // resurrection attempt fails loudly.
+    struct Victim;
+    impl AppLogic for Victim {
+        fn handle(
+            &mut self,
+            ctx: &mut AppCtx<'_, '_>,
+            opcode: u32,
+            input: &[u8],
+        ) -> Result<Vec<u8>, SgxError> {
+            match opcode {
+                1 => {
+                    let (id, _) = ctx.lib.create_migratable_counter(ctx.env)?;
+                    Ok(vec![id])
+                }
+                2 => Ok(ctx
+                    .lib
+                    .increment_migratable_counter(ctx.env, input[0])?
+                    .to_le_bytes()
+                    .to_vec()),
+                3 => Ok(ctx.lib.seal_migratable_data(ctx.env, b"", input)?),
+                _ => Err(SgxError::InvalidParameter("opcode")),
+            }
+        }
+    }
+    let image = EnclaveImage::build("fw-victim", 1, b"code", &EnclaveSigner::from_seed([22; 32]));
+
+    let mut dc = Datacenter::new(102);
+    let policy = MigrationPolicy::same_operator_only();
+    let m1 = dc.add_machine(MachineLabels::default(), &policy);
+    let m2 = dc.add_machine(MachineLabels::default(), &policy);
+
+    dc.deploy_app("src", m1, &image, Victim, InitRequest::New).unwrap();
+    let id = dc.call_app("src", 1, &[]).unwrap()[0];
+    dc.call_app("src", 2, &[id]).unwrap();
+
+    // Adversary snapshots the disk (pre-migration blob, frozen = 0).
+    let pre_migration_disk = dc.world().machine(m1).disk.snapshot();
+
+    dc.deploy_app("dst", m2, &image, Victim, InitRequest::Migrate).unwrap();
+    dc.migrate_app("src", "dst").unwrap();
+    dc.call_app("dst", 2, &[id]).unwrap(); // destination operates
+
+    // Attack 3a: restart the source from the POST-migration blob.
+    let err = dc.restart_app("src", m1, &image, Victim).unwrap_err();
+    assert!(
+        matches!(err, SgxError::Enclave(ref m) if m.contains("frozen")),
+        "post-migration blob must be frozen: {err:?}"
+    );
+
+    // Attack 3b: restart from the PRE-migration blob (frozen = 0). The
+    // hardware counters were destroyed before the data left the machine
+    // (§V-C), so the library detects stale state.
+    dc.world().machine(m1).disk.restore(&pre_migration_disk);
+    let err = dc.restart_app("src", m1, &image, Victim).unwrap_err();
+    assert!(
+        matches!(err, SgxError::Enclave(ref m) if m.contains("stale")),
+        "pre-migration blob must be stale: {err:?}"
+    );
+}
+
+// =======================================================================
+// §III-B — Gu freeze-flag dichotomy
+// =======================================================================
+
+#[test]
+fn gu_persisted_flag_prevents_fork_but_forecloses_migrate_back() {
+    let w = baseline_world(103);
+
+    // Persisted-flag variant: export seals the flag to disk.
+    let src = load_victim(&w, &w.m1, FreezeFlag::Persisted);
+    src.ecall(vops::SET_DATA, b"state").unwrap();
+    let dst = load_victim(&w, &w.m2, FreezeFlag::Persisted);
+    let sealed_flag = gu_migrate(&w, &src, &dst).expect("persisted variant seals the flag");
+
+    // Fork attempt: restart the source and hand it the sealed flag (an
+    // honest host does; the flag is on its disk).
+    src.destroy();
+    let resurrected = load_victim(&w, &w.m1, FreezeFlag::Persisted);
+    resurrected.ecall(vops::GU_RESTORE_FLAG, &sealed_flag).unwrap();
+    assert_eq!(resurrected.ecall(vops::IS_FROZEN, &[]).unwrap(), vec![1]);
+    let err = resurrected.ecall(vops::SET_DATA, b"fork").unwrap_err();
+    assert!(matches!(err, SgxError::Enclave(ref m) if m.contains("frozen")));
+
+    // Migrate-back attempt: m2 → m1. The returning instance on m1 is the
+    // same enclave identity, so the honest host must feed it the sealed
+    // flag — and it freezes. A legitimate return is indistinguishable
+    // from a fork: "this would prevent the same enclave from ever being
+    // migrated back to the source machine" (§III-B).
+    let returning = load_victim(&w, &w.m1, FreezeFlag::Persisted);
+    returning.ecall(vops::GU_RESTORE_FLAG, &sealed_flag).unwrap();
+    let response = returning.ecall(vops::GU_BEGIN_EXPORT, &[]);
+    // The returning instance CAN handshake, but it is frozen for all
+    // operational purposes:
+    let _ = response;
+    assert_eq!(returning.ecall(vops::IS_FROZEN, &[]).unwrap(), vec![1]);
+    assert!(returning.ecall(vops::SET_DATA, b"resume").is_err());
+}
+
+#[test]
+fn gu_in_memory_flag_is_cleared_by_restart() {
+    let w = baseline_world(104);
+    let src = load_victim(&w, &w.m1, FreezeFlag::InMemory);
+    src.ecall(vops::SET_DATA, b"state").unwrap();
+    let dst = load_victim(&w, &w.m2, FreezeFlag::InMemory);
+    assert!(gu_migrate(&w, &src, &dst).is_none(), "no sealed flag");
+
+    // The live source instance is frozen...
+    assert_eq!(src.ecall(vops::IS_FROZEN, &[]).unwrap(), vec![1]);
+    assert!(src.ecall(vops::SET_DATA, b"x").is_err());
+
+    // ...but a restart clears the flag entirely: the fork door is open.
+    src.destroy();
+    let resurrected = load_victim(&w, &w.m1, FreezeFlag::InMemory);
+    assert_eq!(resurrected.ecall(vops::IS_FROZEN, &[]).unwrap(), vec![0]);
+    resurrected.ecall(vops::SET_DATA, b"forked").unwrap();
+}
+
+// =======================================================================
+// §III-C — Roll-back attack
+// =======================================================================
+
+#[test]
+fn rollback_attack_succeeds_against_baseline_migration() {
+    let w = baseline_world(105);
+
+    // Step 1 (start-stop-restart): persist v = 1 on m1.
+    let src = load_victim(&w, &w.m1, FreezeFlag::InMemory);
+    src.ecall(vops::SET_DATA, b"balance=1000").unwrap();
+    let package_v1 = src.ecall(vops::PERSIST, &[]).unwrap();
+
+    // Step 2 (continue): more activity on m1 (v = 2, 3).
+    src.ecall(vops::SET_DATA, b"balance=500").unwrap();
+    src.ecall(vops::PERSIST, &[]).unwrap();
+    src.ecall(vops::SET_DATA, b"balance=0").unwrap();
+    let package_v3 = src.ecall(vops::PERSIST, &[]).unwrap();
+
+    // Step 3 (migrate): memory moves to m2.
+    let dst = load_victim(&w, &w.m2, FreezeFlag::InMemory);
+    gu_migrate(&w, &src, &dst);
+
+    // Step 4 (terminate): the enclave persists once on m2; since no
+    // counter exists there yet, a fresh one is created (c' = 1).
+    dst.ecall(vops::PERSIST, &[]).unwrap();
+
+    // Step 5 (restart with the v = 1 package): ACCEPTED, because
+    // c' = v = 1. The enclave's state is rolled back three versions.
+    dst.ecall(vops::RESTORE, &package_v1).unwrap();
+    assert_eq!(dst.ecall(vops::GET_DATA, &[]).unwrap(), b"balance=1000");
+
+    // Control: the *current* package v = 3 is now REJECTED on m2 — the
+    // adversary has inverted freshness.
+    let err = dst.ecall(vops::RESTORE, &package_v3).unwrap_err();
+    assert!(matches!(err, SgxError::Enclave(ref m) if m.contains("version mismatch")));
+}
+
+#[test]
+fn rollback_attack_blocked_by_migration_framework() {
+    // Same discipline over migratable counters: the counter's effective
+    // value travels with the enclave, so old packages stay old.
+    struct Vault;
+    impl AppLogic for Vault {
+        fn handle(
+            &mut self,
+            ctx: &mut AppCtx<'_, '_>,
+            opcode: u32,
+            input: &[u8],
+        ) -> Result<Vec<u8>, SgxError> {
+            match opcode {
+                1 => {
+                    let (id, _) = ctx.lib.create_migratable_counter(ctx.env)?;
+                    Ok(vec![id])
+                }
+                // persist: increment counter, seal {version, data}
+                2 => {
+                    let id = input[0];
+                    let data = &input[1..];
+                    let version = ctx.lib.increment_migratable_counter(ctx.env, id)?;
+                    let mut body = WireWriter::new();
+                    body.u32(version).bytes(data);
+                    Ok(ctx.lib.seal_migratable_data(ctx.env, b"vault", &body.finish())?)
+                }
+                // restore: unseal, check version
+                3 => {
+                    let id = input[0];
+                    let blob = &input[1..];
+                    let (body, aad) = ctx.lib.unseal_migratable_data(ctx.env, blob)?;
+                    if aad != b"vault" {
+                        return Err(SgxError::Decode);
+                    }
+                    let mut r = WireReader::new(&body);
+                    let version = r.u32()?;
+                    let data = r.bytes_vec()?;
+                    r.finish()?;
+                    let current = ctx.lib.read_migratable_counter(ctx.env, id)?;
+                    if version != current {
+                        return Err(SgxError::Enclave(format!(
+                            "rollback detected: {version} != {current}"
+                        )));
+                    }
+                    Ok(data)
+                }
+                _ => Err(SgxError::InvalidParameter("opcode")),
+            }
+        }
+    }
+    let image = EnclaveImage::build("vault", 1, b"vault", &EnclaveSigner::from_seed([23; 32]));
+
+    let mut dc = Datacenter::new(106);
+    let policy = MigrationPolicy::same_operator_only();
+    let m1 = dc.add_machine(MachineLabels::default(), &policy);
+    let m2 = dc.add_machine(MachineLabels::default(), &policy);
+
+    dc.deploy_app("src", m1, &image, Vault, InitRequest::New).unwrap();
+    let id = dc.call_app("src", 1, &[]).unwrap()[0];
+
+    let persist = |dc: &mut Datacenter, instance: &str, data: &[u8]| {
+        let mut input = vec![id];
+        input.extend_from_slice(data);
+        dc.call_app(instance, 2, &input).unwrap()
+    };
+
+    let package_v1 = persist(&mut dc, "src", b"balance=1000");
+    let _v2 = persist(&mut dc, "src", b"balance=500");
+    let package_v3 = persist(&mut dc, "src", b"balance=0");
+
+    dc.deploy_app("dst", m2, &image, Vault, InitRequest::Migrate).unwrap();
+    dc.migrate_app("src", "dst").unwrap();
+
+    // The migrated counter's effective value is 3: the stale v = 1
+    // package is rejected on the destination...
+    let mut input = vec![id];
+    input.extend_from_slice(&package_v1);
+    let err = dc.call_app("dst", 3, &input).unwrap_err();
+    assert!(
+        matches!(err, SgxError::Enclave(ref m) if m.contains("rollback detected")),
+        "{err:?}"
+    );
+
+    // ...while the fresh v = 3 package is accepted.
+    let mut input = vec![id];
+    input.extend_from_slice(&package_v3);
+    assert_eq!(dc.call_app("dst", 3, &input).unwrap(), b"balance=0");
+}
+
+// =======================================================================
+// Controlled migration (R2): rogue operators
+// =======================================================================
+
+#[test]
+fn migration_to_foreign_operator_machine_rejected() {
+    // A machine whose ME is credentialed by a DIFFERENT operator (e.g.
+    // the adversary's own datacenter) must be rejected during the
+    // operator-authentication step, even though its ME runs the genuine
+    // ME image on genuine hardware.
+    use mig_core::host::{MeHost, ME_SERVICE};
+    use mig_core::me::{me_image, ops as me_ops, MigrationEnclave};
+    use mig_core::operator::CloudOperator;
+    use mig_crypto::ed25519::VerifyingKey;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    struct Dummy;
+    impl AppLogic for Dummy {
+        fn handle(
+            &mut self,
+            ctx: &mut AppCtx<'_, '_>,
+            _opcode: u32,
+            input: &[u8],
+        ) -> Result<Vec<u8>, SgxError> {
+            Ok(ctx.lib.seal_migratable_data(ctx.env, b"", input)?)
+        }
+    }
+    let image = EnclaveImage::build("r2-app", 1, b"code", &EnclaveSigner::from_seed([24; 32]));
+
+    let mut dc = Datacenter::new(107);
+    let policy = MigrationPolicy::same_operator_only();
+    let m1 = dc.add_machine(MachineLabels::default(), &policy);
+    // m2 is physically in the same world, but its ME is provisioned by a
+    // rogue operator.
+    let m2 = dc.world_mut().add_machine(MachineLabels::default());
+    {
+        let machine = dc.world().machine(m2).clone();
+        let enclave = machine
+            .sgx
+            .load_enclave(&me_image(), Box::new(MigrationEnclave::new()))
+            .unwrap();
+        let pubkey = enclave.ecall(me_ops::KEYGEN, &[]).unwrap();
+        let mut rng = StdRng::seed_from_u64(666);
+        let rogue = CloudOperator::new(&mut rng);
+        let cred = rogue.issue_credential(
+            VerifyingKey(pubkey.try_into().unwrap()),
+            m2,
+            &MachineLabels::default(),
+        );
+        let mut w = WireWriter::new();
+        w.bytes(&cred.to_bytes());
+        w.array(&rogue.root_key().0);
+        let ias_vk = dc.world().ias().verifying_key();
+        w.array(&ias_vk.0);
+        w.bytes(&MigrationPolicy::same_operator_only().to_bytes());
+        enclave.ecall(me_ops::PROVISION, &w.finish()).unwrap();
+
+        let endpoint = cloud_sim::network::Endpoint::new(m2, ME_SERVICE);
+        let host = Arc::new(Mutex::new(MeHost::new(
+            endpoint.clone(),
+            enclave,
+            dc.world().ias().clone(),
+        )));
+        dc.world_mut().register_service(endpoint, host);
+    }
+
+    dc.deploy_app("src", m1, &image, Dummy, InitRequest::New).unwrap();
+    {
+        let src = dc.app("src");
+        let mut src = src.lock();
+        src.migrate_to(dc.world_mut().network_mut(), m2).unwrap();
+    }
+    dc.run();
+
+    // The source ME must have rejected the rogue credential; the app
+    // never completes its migration.
+    let me_errors = dc.me_host(m1).lock().errors.clone();
+    assert!(
+        me_errors
+            .iter()
+            .any(|e| e.contains("operator credential") || e.contains("peer authentication")),
+        "expected credential rejection, got {me_errors:?}"
+    );
+    use mig_core::host::AppStatus;
+    assert_eq!(dc.app("src").lock().status(), AppStatus::MigratingOut);
+}
+
+// =======================================================================
+// MITM on the migration path
+// =======================================================================
+
+#[test]
+fn tampered_transfer_is_detected_and_replay_rejected() {
+    use cloud_sim::network::{Envelope, TapAction};
+
+    struct Dummy;
+    impl AppLogic for Dummy {
+        fn handle(
+            &mut self,
+            ctx: &mut AppCtx<'_, '_>,
+            _opcode: u32,
+            input: &[u8],
+        ) -> Result<Vec<u8>, SgxError> {
+            Ok(ctx.lib.seal_migratable_data(ctx.env, b"", input)?)
+        }
+    }
+    let image = EnclaveImage::build("mitm-app", 1, b"code", &EnclaveSigner::from_seed([25; 32]));
+
+    let mut dc = Datacenter::new(108);
+    let policy = MigrationPolicy::same_operator_only();
+    let m1 = dc.add_machine(MachineLabels::default(), &policy);
+    let m2 = dc.add_machine(MachineLabels::default(), &policy);
+
+    dc.deploy_app("src", m1, &image, Dummy, InitRequest::New).unwrap();
+    dc.deploy_app("dst", m2, &image, Dummy, InitRequest::Migrate).unwrap();
+
+    // The adversary flips one byte of every cross-machine message body.
+    dc.world_mut().network_mut().add_tap(Box::new(|e: &Envelope| {
+        if e.from.machine != e.to.machine && !e.payload.is_empty() {
+            let mut p = e.payload.clone();
+            let last = p.len() - 1;
+            p[last] ^= 0x01;
+            TapAction::Replace(p)
+        } else {
+            TapAction::Deliver
+        }
+    }));
+
+    let result = dc.migrate_app("src", "dst");
+    assert!(result.is_err(), "tampered migration must not complete");
+    // Errors were detected by MAC checks somewhere along the path.
+    let src_errors = dc.me_host(m1).lock().errors.clone();
+    let dst_errors = dc.me_host(m2).lock().errors.clone();
+    assert!(
+        !src_errors.is_empty() || !dst_errors.is_empty(),
+        "some ME must report a failure"
+    );
+    // The destination never became ready.
+    use mig_core::host::AppStatus;
+    assert_eq!(dc.app("dst").lock().status(), AppStatus::AwaitingIncoming);
+}
+
+#[test]
+fn recorded_protocol_messages_cannot_be_replayed() {
+    use cloud_sim::network::Envelope;
+
+    struct Dummy;
+    impl AppLogic for Dummy {
+        fn handle(
+            &mut self,
+            ctx: &mut AppCtx<'_, '_>,
+            _opcode: u32,
+            input: &[u8],
+        ) -> Result<Vec<u8>, SgxError> {
+            Ok(ctx.lib.seal_migratable_data(ctx.env, b"", input)?)
+        }
+    }
+    let image = EnclaveImage::build("replay-app", 1, b"code", &EnclaveSigner::from_seed([26; 32]));
+
+    let mut dc = Datacenter::new(109);
+    let policy = MigrationPolicy::same_operator_only();
+    let m1 = dc.add_machine(MachineLabels::default(), &policy);
+    let m2 = dc.add_machine(MachineLabels::default(), &policy);
+
+    dc.deploy_app("src", m1, &image, Dummy, InitRequest::New).unwrap();
+    dc.deploy_app("dst", m2, &image, Dummy, InitRequest::Migrate).unwrap();
+
+    // Record everything during a legitimate migration.
+    dc.world_mut().network_mut().start_recording();
+    dc.migrate_app("src", "dst").unwrap();
+    let log = dc.world_mut().network_mut().stop_recording();
+    assert!(!log.is_empty());
+
+    let dst_errors_before = dc.me_host(m2).lock().errors.len();
+    // Replay every cross-machine message at the destination ME.
+    let replays: Vec<Envelope> = log
+        .iter()
+        .filter(|e| e.from.machine != e.to.machine)
+        .cloned()
+        .collect();
+    assert!(!replays.is_empty());
+    for envelope in replays {
+        dc.world_mut().network_mut().inject(envelope);
+    }
+    dc.run();
+
+    // Every replay must have failed (channel sequence numbers) — and the
+    // destination's state must be unaffected (still exactly one app,
+    // Ready, with its data intact).
+    let dst_errors_after = dc.me_host(m2).lock().errors.len();
+    assert!(
+        dst_errors_after > dst_errors_before,
+        "replays must surface as errors"
+    );
+    use mig_core::host::AppStatus;
+    assert_eq!(dc.app("dst").lock().status(), AppStatus::Ready);
+}

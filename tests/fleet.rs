@@ -1,0 +1,204 @@
+//! Fleet-scale exercises: many machines, many enclaves, long randomized
+//! migration chains, and the full 256-counter quota crossing a machine
+//! boundary — the scale a cloud operator would actually run.
+
+use cloud_sim::machine::MachineLabels;
+use mig_core::datacenter::Datacenter;
+use mig_core::harness::{AppCtx, AppLogic};
+use mig_core::library::InitRequest;
+use mig_core::policy::MigrationPolicy;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sgx_sim::machine::MachineId;
+use sgx_sim::measurement::{EnclaveImage, EnclaveSigner};
+use sgx_sim::SgxError;
+
+struct App;
+
+mod ops {
+    pub const CREATE: u32 = 1;
+    pub const INC: u32 = 2;
+    pub const READ: u32 = 3;
+    pub const SEAL: u32 = 4;
+    pub const UNSEAL: u32 = 5;
+}
+
+impl AppLogic for App {
+    fn handle(
+        &mut self,
+        ctx: &mut AppCtx<'_, '_>,
+        opcode: u32,
+        input: &[u8],
+    ) -> Result<Vec<u8>, SgxError> {
+        match opcode {
+            ops::CREATE => {
+                let (id, _) = ctx.lib.create_migratable_counter(ctx.env)?;
+                Ok(vec![id])
+            }
+            ops::INC => Ok(ctx
+                .lib
+                .increment_migratable_counter(ctx.env, input[0])?
+                .to_le_bytes()
+                .to_vec()),
+            ops::READ => Ok(ctx
+                .lib
+                .read_migratable_counter(ctx.env, input[0])?
+                .to_le_bytes()
+                .to_vec()),
+            ops::SEAL => Ok(ctx.lib.seal_migratable_data(ctx.env, b"fleet", input)?),
+            ops::UNSEAL => Ok(ctx.lib.unseal_migratable_data(ctx.env, input)?.0),
+            _ => Err(SgxError::InvalidParameter("opcode")),
+        }
+    }
+}
+
+fn tenant_image(tenant: usize) -> EnclaveImage {
+    EnclaveImage::build(
+        "fleet-tenant",
+        tenant as u32,
+        b"tenant code",
+        &EnclaveSigner::from_seed([71; 32]),
+    )
+}
+
+#[test]
+fn twelve_tenants_roam_a_six_machine_fleet() {
+    let mut dc = Datacenter::new(501);
+    let policy = MigrationPolicy::same_operator_only();
+    let machines: Vec<MachineId> = (0..6)
+        .map(|i| {
+            dc.add_machine(
+                MachineLabels::new(&format!("dc-{}", i % 2 + 1), "eu"),
+                &policy,
+            )
+        })
+        .collect();
+
+    // Deploy 12 tenants round-robin; each creates a counter and seals a
+    // token.
+    let n_tenants = 12usize;
+    struct Tenant {
+        instance: String,
+        generation: usize,
+        machine_idx: usize,
+        counter: u8,
+        expected: u32,
+        sealed: Vec<u8>,
+    }
+    let mut tenants = Vec::new();
+    for t in 0..n_tenants {
+        let machine_idx = t % machines.len();
+        let instance = format!("t{t}-g0");
+        dc.deploy_app(&instance, machines[machine_idx], &tenant_image(t), App, InitRequest::New)
+            .unwrap();
+        let counter = dc.call_app(&instance, ops::CREATE, &[]).unwrap()[0];
+        let sealed = dc
+            .call_app(&instance, ops::SEAL, format!("token-{t}").as_bytes())
+            .unwrap();
+        tenants.push(Tenant {
+            instance,
+            generation: 0,
+            machine_idx,
+            counter,
+            expected: 0,
+            sealed,
+        });
+    }
+
+    // 60 randomized events: increments and migrations, deterministic.
+    let mut rng = StdRng::seed_from_u64(777);
+    for _ in 0..60 {
+        let t = rng.gen_range(0..n_tenants);
+        let tenant = &mut tenants[t];
+        if rng.gen_bool(0.6) {
+            tenant.expected += 1;
+            let v = u32::from_le_bytes(
+                dc.call_app(&tenant.instance, ops::INC, &[tenant.counter]).unwrap()[..4]
+                    .try_into()
+                    .unwrap(),
+            );
+            assert_eq!(v, tenant.expected, "tenant {t}");
+        } else {
+            // Migrate to a different machine.
+            let mut target_idx = rng.gen_range(0..machines.len());
+            if target_idx == tenant.machine_idx {
+                target_idx = (target_idx + 1) % machines.len();
+            }
+            tenant.generation += 1;
+            let next = format!("t{t}-g{}", tenant.generation);
+            dc.deploy_app(
+                &next,
+                machines[target_idx],
+                &tenant_image(t),
+                App,
+                InitRequest::Migrate,
+            )
+            .unwrap();
+            dc.migrate_app(&tenant.instance, &next).unwrap();
+            tenant.instance = next;
+            tenant.machine_idx = target_idx;
+        }
+    }
+
+    // Every tenant's counter and sealed token survived its journey.
+    for (t, tenant) in tenants.iter().enumerate() {
+        let v = u32::from_le_bytes(
+            dc.call_app(&tenant.instance, ops::READ, &[tenant.counter]).unwrap()[..4]
+                .try_into()
+                .unwrap(),
+        );
+        assert_eq!(v, tenant.expected, "tenant {t} counter");
+        let token = dc.call_app(&tenant.instance, ops::UNSEAL, &tenant.sealed).unwrap();
+        assert_eq!(token, format!("token-{t}").as_bytes(), "tenant {t} token");
+    }
+
+    // No ME observed a protocol error anywhere in the fleet.
+    for machine in &machines {
+        let errors = dc.me_host(*machine).lock().errors.clone();
+        assert!(errors.is_empty(), "{machine}: {errors:?}");
+    }
+}
+
+#[test]
+fn full_counter_quota_migrates_with_distinct_values() {
+    // All 256 counters active, each with a distinct value: the complete
+    // Table I payload crosses the machine boundary intact.
+    let mut dc = Datacenter::new(502);
+    let policy = MigrationPolicy::same_operator_only();
+    let m1 = dc.add_machine(MachineLabels::default(), &policy);
+    let m2 = dc.add_machine(MachineLabels::default(), &policy);
+
+    dc.deploy_app("src", m1, &tenant_image(99), App, InitRequest::New).unwrap();
+    let mut ids = Vec::new();
+    for _ in 0..256 {
+        ids.push(dc.call_app("src", ops::CREATE, &[]).unwrap()[0]);
+    }
+    // Give the first 32 counters distinct values i+1 (incrementing all
+    // 256 would be slow and adds nothing).
+    for (i, id) in ids.iter().take(32).enumerate() {
+        for _ in 0..=i {
+            dc.call_app("src", ops::INC, &[*id]).unwrap();
+        }
+    }
+
+    dc.deploy_app("dst", m2, &tenant_image(99), App, InitRequest::Migrate).unwrap();
+    dc.migrate_app("src", "dst").unwrap();
+
+    for (i, id) in ids.iter().take(32).enumerate() {
+        let v = u32::from_le_bytes(
+            dc.call_app("dst", ops::READ, &[*id]).unwrap()[..4].try_into().unwrap(),
+        );
+        assert_eq!(v, i as u32 + 1, "counter {i}");
+    }
+    // The untouched tail is present with value 0.
+    for id in ids.iter().skip(32) {
+        let v = u32::from_le_bytes(
+            dc.call_app("dst", ops::READ, &[*id]).unwrap()[..4].try_into().unwrap(),
+        );
+        assert_eq!(v, 0);
+    }
+    // And the destination can still create nothing (quota full) until it
+    // destroys one — checked indirectly: creating must fail.
+    let err = dc.call_app("dst", ops::CREATE, &[]).unwrap_err();
+    assert_eq!(err, SgxError::CounterQuotaExceeded);
+}

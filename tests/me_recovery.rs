@@ -1,0 +1,197 @@
+//! Migration Enclave crash recovery: the Fig. 2 retention rule ("the
+//! migration data remains in the Migration Enclave ... until the error is
+//! resolved") must survive management-VM restarts, and duplicated
+//! deliveries after a crash must be idempotent.
+
+use cloud_sim::machine::MachineLabels;
+use cloud_sim::network::{Envelope, TapAction};
+use mig_core::datacenter::Datacenter;
+use mig_core::harness::{AppCtx, AppLogic};
+use mig_core::host::AppStatus;
+use mig_core::library::InitRequest;
+use mig_core::policy::MigrationPolicy;
+use sgx_sim::measurement::{EnclaveImage, EnclaveSigner};
+use sgx_sim::SgxError;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct App;
+
+impl AppLogic for App {
+    fn handle(
+        &mut self,
+        ctx: &mut AppCtx<'_, '_>,
+        opcode: u32,
+        input: &[u8],
+    ) -> Result<Vec<u8>, SgxError> {
+        match opcode {
+            1 => {
+                let (id, _) = ctx.lib.create_migratable_counter(ctx.env)?;
+                Ok(vec![id])
+            }
+            2 => Ok(ctx
+                .lib
+                .increment_migratable_counter(ctx.env, input[0])?
+                .to_le_bytes()
+                .to_vec()),
+            3 => Ok(ctx
+                .lib
+                .read_migratable_counter(ctx.env, input[0])?
+                .to_le_bytes()
+                .to_vec()),
+            _ => Err(SgxError::InvalidParameter("opcode")),
+        }
+    }
+}
+
+fn image() -> EnclaveImage {
+    EnclaveImage::build("recovery-app", 1, b"code", &EnclaveSigner::from_seed([61; 32]))
+}
+
+fn dc2(seed: u64) -> (Datacenter, sgx_sim::machine::MachineId, sgx_sim::machine::MachineId) {
+    let mut dc = Datacenter::new(seed);
+    let policy = MigrationPolicy::same_operator_only();
+    let m1 = dc.add_machine(MachineLabels::default(), &policy);
+    let m2 = dc.add_machine(MachineLabels::default(), &policy);
+    (dc, m1, m2)
+}
+
+#[test]
+fn stored_migration_data_survives_me_restart() {
+    // Transfer arrives with no matching enclave; the destination ME
+    // parks it, checkpoints, and reboots. The enclave deployed afterwards
+    // still receives the data.
+    let (mut dc, m1, m2) = dc2(401);
+    dc.deploy_app("src", m1, &image(), App, InitRequest::New).unwrap();
+    let id = dc.call_app("src", 1, &[]).unwrap()[0];
+    dc.call_app("src", 2, &[id]).unwrap();
+
+    {
+        let src = dc.app("src");
+        let mut src = src.lock();
+        src.migrate_to(dc.world_mut().network_mut(), m2).unwrap();
+    }
+    dc.run();
+    assert_eq!(dc.app("src").lock().status(), AppStatus::MigratingOut);
+
+    // Checkpoint + reboot the destination's management VM.
+    dc.persist_me(m2).unwrap();
+    dc.restart_me(m2).unwrap();
+
+    // The matching enclave arrives after the reboot: the parked data is
+    // delivered from the restored checkpoint and installed...
+    dc.deploy_app("dst", m2, &image(), App, InitRequest::Migrate).unwrap();
+    dc.run();
+    assert_eq!(dc.app("dst").lock().status(), AppStatus::Ready);
+    let v = u32::from_le_bytes(dc.call_app("dst", 3, &[id]).unwrap()[..4].try_into().unwrap());
+    assert_eq!(v, 1);
+
+    // ...but the DONE acknowledgement cannot reach the source over the
+    // pre-restart channel (attested channels are ephemeral). The Fig. 2
+    // error rule applies: the source retained its copy; an operator
+    // retry re-attests and completes (idempotently on the destination).
+    assert_eq!(dc.app("src").lock().status(), AppStatus::MigratingOut);
+    dc.retry_migration("src", "dst").unwrap();
+    assert_eq!(dc.app("src").lock().status(), AppStatus::Migrated);
+    let v = u32::from_le_bytes(dc.call_app("dst", 3, &[id]).unwrap()[..4].try_into().unwrap());
+    assert_eq!(v, 1, "idempotent re-delivery left state untouched");
+}
+
+#[test]
+fn me_restart_without_checkpoint_loses_parked_data() {
+    // Control: without the checkpoint, the §V design still fails safe —
+    // the destination never becomes ready, the source retains its copy.
+    let (mut dc, m1, m2) = dc2(402);
+    dc.deploy_app("src", m1, &image(), App, InitRequest::New).unwrap();
+    {
+        let src = dc.app("src");
+        let mut src = src.lock();
+        src.migrate_to(dc.world_mut().network_mut(), m2).unwrap();
+    }
+    dc.run();
+
+    // Reboot WITHOUT persisting.
+    dc.restart_me(m2).unwrap();
+    dc.deploy_app("dst", m2, &image(), App, InitRequest::Migrate).unwrap();
+    dc.run();
+
+    assert_eq!(dc.app("dst").lock().status(), AppStatus::AwaitingIncoming);
+    assert_eq!(dc.app("src").lock().status(), AppStatus::MigratingOut);
+    // The source ME still holds the data: a retry delivers it.
+    dc.retry_migration("src", "dst").unwrap();
+    assert_eq!(dc.app("dst").lock().status(), AppStatus::Ready);
+}
+
+#[test]
+fn duplicate_delivery_after_crash_is_idempotent() {
+    // The library installs the data, but its DONE is lost; the ME
+    // restarts from a checkpoint taken before delivery and re-forwards
+    // when the enclave re-attests. The library acknowledges without
+    // reinstalling; the source completes.
+    let (mut dc, m1, m2) = dc2(403);
+    dc.deploy_app("src", m1, &image(), App, InitRequest::New).unwrap();
+    let id = dc.call_app("src", 1, &[]).unwrap()[0];
+    dc.call_app("src", 2, &[id]).unwrap();
+    dc.deploy_app("dst", m2, &image(), App, InitRequest::Migrate).unwrap();
+
+    // Drop the first destination-side DONE (app→ME LIB_MSG after the
+    // attestation handshake completes; tag 5 = LIB_MSG).
+    let drops = Arc::new(AtomicUsize::new(0));
+    let drops_tap = Arc::clone(&drops);
+    dc.world_mut().network_mut().add_tap(Box::new(move |e: &Envelope| {
+        if e.to.machine == sgx_sim::machine::MachineId(2)
+            && e.to.service == "me"
+            && e.from.service.starts_with("app:dst")
+            && !e.payload.is_empty()
+            && e.payload[0] == mig_core::host::tags::LIB_MSG
+            && drops_tap.load(Ordering::SeqCst) == 0
+        {
+            drops_tap.fetch_add(1, Ordering::SeqCst);
+            TapAction::Drop
+        } else {
+            TapAction::Deliver
+        }
+    }));
+
+    let result = dc.migrate_app("src", "dst");
+    assert!(result.is_err(), "DONE was dropped; source cannot complete yet");
+    assert_eq!(drops.load(Ordering::SeqCst), 1);
+    // The destination *did* install the data.
+    assert_eq!(dc.app("dst").lock().status(), AppStatus::Ready);
+    assert_eq!(dc.app("src").lock().status(), AppStatus::MigratingOut);
+
+    // Destination management VM reboots; parked data was checkpointed
+    // earlier (the ME retains it until DONE).
+    dc.persist_me(m2).unwrap();
+    dc.restart_me(m2).unwrap();
+
+    // The destination app re-attests (its old channel died with the ME);
+    // the restored ME re-forwards the parked data, and the library
+    // acknowledges idempotently without reinstalling.
+    {
+        let dst = dc.app("dst");
+        let mut dst = dst.lock();
+        dst.attest_me(dc.world_mut().network_mut());
+    }
+    dc.run();
+
+    // The ack still cannot reach the source (its channel predates the
+    // reboot); the operator-driven retry re-attests and completes.
+    dc.retry_migration("src", "dst").unwrap();
+    assert_eq!(dc.app("src").lock().status(), AppStatus::Migrated);
+    // And the destination state is exactly what it was (no reinstall).
+    let v = u32::from_le_bytes(dc.call_app("dst", 3, &[id]).unwrap()[..4].try_into().unwrap());
+    assert_eq!(v, 1);
+}
+
+#[test]
+fn restored_me_state_is_machine_bound() {
+    // A checkpoint from machine A cannot be restored into machine B's ME
+    // (native sealing): stolen ME state cannot seed a rogue machine.
+    let (mut dc, m1, m2) = dc2(404);
+    dc.persist_me(m1).unwrap();
+    let blob = dc.world().machine(m1).disk.get("me-state").unwrap();
+    dc.world().machine(m2).disk.put("me-state", blob);
+    let err = dc.restart_me(m2).unwrap_err();
+    assert_eq!(err, SgxError::MacMismatch);
+}

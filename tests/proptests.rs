@@ -1,0 +1,246 @@
+//! Property-based tests over the full migration stack.
+//!
+//! These drive randomized operation sequences (increments, restarts,
+//! migrations, seal/unseal cycles) through the simulated datacenter and
+//! check the paper's core invariants: effective counter continuity,
+//! sealed-data portability, and wire-format round-trips.
+
+use cloud_sim::machine::MachineLabels;
+use mig_core::datacenter::Datacenter;
+use mig_core::harness::{AppCtx, AppLogic};
+use mig_core::library::state::{LibraryState, MigrationData, COUNTER_SLOTS};
+use mig_core::library::InitRequest;
+use mig_core::policy::MigrationPolicy;
+use proptest::prelude::*;
+use sgx_sim::counters::CounterUuid;
+use sgx_sim::measurement::{EnclaveImage, EnclaveSigner};
+use sgx_sim::SgxError;
+
+struct PropApp;
+
+mod ops {
+    pub const CREATE: u32 = 1;
+    pub const INC: u32 = 2;
+    pub const READ: u32 = 3;
+    pub const SEAL: u32 = 4;
+    pub const UNSEAL: u32 = 5;
+}
+
+impl AppLogic for PropApp {
+    fn handle(
+        &mut self,
+        ctx: &mut AppCtx<'_, '_>,
+        opcode: u32,
+        input: &[u8],
+    ) -> Result<Vec<u8>, SgxError> {
+        match opcode {
+            ops::CREATE => {
+                let (id, _) = ctx.lib.create_migratable_counter(ctx.env)?;
+                Ok(vec![id])
+            }
+            ops::INC => Ok(ctx
+                .lib
+                .increment_migratable_counter(ctx.env, input[0])?
+                .to_le_bytes()
+                .to_vec()),
+            ops::READ => Ok(ctx
+                .lib
+                .read_migratable_counter(ctx.env, input[0])?
+                .to_le_bytes()
+                .to_vec()),
+            ops::SEAL => Ok(ctx.lib.seal_migratable_data(ctx.env, b"p", input)?),
+            ops::UNSEAL => Ok(ctx.lib.unseal_migratable_data(ctx.env, input)?.0),
+            _ => Err(SgxError::InvalidParameter("opcode")),
+        }
+    }
+}
+
+fn image() -> EnclaveImage {
+    EnclaveImage::build("prop-app", 1, b"code", &EnclaveSigner::from_seed([31; 32]))
+}
+
+/// A lifecycle event the adversary-controlled host can trigger.
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    Increment,
+    Restart,
+    Migrate,
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        4 => Just(Event::Increment),
+        1 => Just(Event::Restart),
+        1 => Just(Event::Migrate),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The effective counter value equals the number of increments, no
+    /// matter how restarts and migrations interleave.
+    #[test]
+    fn counter_continuity_under_lifecycle_events(
+        seed in 0u64..10_000,
+        events in proptest::collection::vec(event_strategy(), 1..14),
+    ) {
+        let mut dc = Datacenter::new(seed);
+        let policy = MigrationPolicy::same_operator_only();
+        let machines = [
+            dc.add_machine(MachineLabels::default(), &policy),
+            dc.add_machine(MachineLabels::default(), &policy),
+        ];
+        let mut current_machine = 0usize;
+        let mut generation = 0usize;
+        let mut instance = format!("gen{generation}");
+        dc.deploy_app(&instance, machines[0], &image(), PropApp, InitRequest::New)
+            .unwrap();
+        let id = dc.call_app(&instance, ops::CREATE, &[]).unwrap()[0];
+
+        let mut expected = 0u32;
+        for event in events {
+            match event {
+                Event::Increment => {
+                    expected += 1;
+                    let v = u32::from_le_bytes(
+                        dc.call_app(&instance, ops::INC, &[id]).unwrap()[..4]
+                            .try_into()
+                            .unwrap(),
+                    );
+                    prop_assert_eq!(v, expected);
+                }
+                Event::Restart => {
+                    dc.restart_app(&instance, machines[current_machine], &image(), PropApp)
+                        .unwrap();
+                }
+                Event::Migrate => {
+                    let target = 1 - current_machine;
+                    generation += 1;
+                    let next = format!("gen{generation}");
+                    dc.deploy_app(
+                        &next,
+                        machines[target],
+                        &image(),
+                        PropApp,
+                        InitRequest::Migrate,
+                    )
+                    .unwrap();
+                    dc.migrate_app(&instance, &next).unwrap();
+                    instance = next;
+                    current_machine = target;
+                }
+            }
+            // Invariant: a read always returns the exact increment count.
+            let v = u32::from_le_bytes(
+                dc.call_app(&instance, ops::READ, &[id]).unwrap()[..4]
+                    .try_into()
+                    .unwrap(),
+            );
+            prop_assert_eq!(v, expected);
+        }
+    }
+
+    /// Migratable-sealed blobs of arbitrary content unseal identically
+    /// after a migration.
+    #[test]
+    fn sealed_blobs_portable_across_migration(
+        seed in 0u64..10_000,
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..200), 1..5),
+    ) {
+        let mut dc = Datacenter::new(seed);
+        let policy = MigrationPolicy::same_operator_only();
+        let m1 = dc.add_machine(MachineLabels::default(), &policy);
+        let m2 = dc.add_machine(MachineLabels::default(), &policy);
+        dc.deploy_app("src", m1, &image(), PropApp, InitRequest::New).unwrap();
+
+        let blobs: Vec<Vec<u8>> = payloads
+            .iter()
+            .map(|p| dc.call_app("src", ops::SEAL, p).unwrap())
+            .collect();
+
+        dc.deploy_app("dst", m2, &image(), PropApp, InitRequest::Migrate).unwrap();
+        dc.migrate_app("src", "dst").unwrap();
+
+        for (payload, blob) in payloads.iter().zip(&blobs) {
+            let pt = dc.call_app("dst", ops::UNSEAL, blob).unwrap();
+            prop_assert_eq!(&pt, payload);
+        }
+    }
+
+    /// Table I wire format round-trips arbitrary contents.
+    #[test]
+    fn migration_data_round_trips(
+        active_ids in proptest::collection::btree_set(0usize..COUNTER_SLOTS, 0..20),
+        values in proptest::collection::vec(any::<u32>(), COUNTER_SLOTS),
+        msk in any::<[u8; 16]>(),
+    ) {
+        let mut data = MigrationData {
+            counters_active: [false; COUNTER_SLOTS],
+            counter_values: values.try_into().unwrap(),
+            msk,
+        };
+        for id in active_ids {
+            data.counters_active[id] = true;
+        }
+        let parsed = MigrationData::from_bytes(&data.to_bytes()).unwrap();
+        prop_assert_eq!(parsed, data);
+    }
+
+    /// Table II wire format round-trips arbitrary contents, and every
+    /// truncation is rejected.
+    #[test]
+    fn library_state_round_trips_and_rejects_truncation(
+        frozen in any::<bool>(),
+        active_ids in proptest::collection::btree_set(0usize..COUNTER_SLOTS, 0..10),
+        offsets in proptest::collection::vec(any::<u32>(), COUNTER_SLOTS),
+        msk in any::<[u8; 16]>(),
+        nonce_seed in any::<u8>(),
+        cut in 1usize..100,
+    ) {
+        let mut state = LibraryState::fresh(msk);
+        state.frozen = u8::from(frozen);
+        state.counter_offsets = offsets.try_into().unwrap();
+        for id in &active_ids {
+            state.counters_active[*id] = true;
+            state.counter_uuids[*id] = CounterUuid {
+                slot: *id as u8,
+                nonce: [nonce_seed; 8],
+            };
+        }
+        let bytes = state.to_bytes();
+        let parsed = LibraryState::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(parsed, state);
+        let cut = cut.min(bytes.len());
+        prop_assert!(LibraryState::from_bytes(&bytes[..bytes.len() - cut]).is_err());
+    }
+
+    /// The Fig. 4 "init restore" path is idempotent: restarting any
+    /// number of times preserves counters and sealed data.
+    #[test]
+    fn repeated_restarts_are_lossless(
+        seed in 0u64..10_000,
+        restarts in 1usize..5,
+        increments in 1u32..6,
+    ) {
+        let mut dc = Datacenter::new(seed);
+        let policy = MigrationPolicy::same_operator_only();
+        let m1 = dc.add_machine(MachineLabels::default(), &policy);
+        dc.deploy_app("app", m1, &image(), PropApp, InitRequest::New).unwrap();
+        let id = dc.call_app("app", ops::CREATE, &[]).unwrap()[0];
+        for _ in 0..increments {
+            dc.call_app("app", ops::INC, &[id]).unwrap();
+        }
+        let blob = dc.call_app("app", ops::SEAL, b"durable").unwrap();
+
+        for _ in 0..restarts {
+            dc.restart_app("app", m1, &image(), PropApp).unwrap();
+        }
+        let v = u32::from_le_bytes(
+            dc.call_app("app", ops::READ, &[id]).unwrap()[..4].try_into().unwrap(),
+        );
+        prop_assert_eq!(v, increments);
+        prop_assert_eq!(dc.call_app("app", ops::UNSEAL, &blob).unwrap(), b"durable");
+    }
+}

@@ -1,0 +1,405 @@
+//! The paper's four security requirements (§IV-A), verified one by one
+//! as the security evaluation (§VII-A) argues them.
+//!
+//! * **R1 — SGX guarantees**: migratable primitives are as strong as the
+//!   native ones (confidentiality, integrity, monotonicity).
+//! * **R2 — Controlled migration**: only operator-authorized machines,
+//!   and only the correct destination enclave, receive migration data.
+//! * **R3 — Fork prevention**: no reachable interleaving leaves two
+//!   operable copies of one enclave's state.
+//! * **R4 — Roll-back prevention**: persistent state cannot be reverted
+//!   to an earlier version, before, during, or after migration.
+
+use cloud_sim::machine::MachineLabels;
+use mig_core::datacenter::Datacenter;
+use mig_core::harness::{AppCtx, AppLogic};
+use mig_core::library::InitRequest;
+use mig_core::policy::MigrationPolicy;
+use sgx_sim::measurement::{EnclaveImage, EnclaveSigner};
+use sgx_sim::wire::{WireReader, WireWriter};
+use sgx_sim::SgxError;
+
+/// Generic test app exposing the library surface.
+struct TestApp;
+
+mod t {
+    pub const COUNTER_CREATE: u32 = 1;
+    pub const COUNTER_INC: u32 = 2;
+    pub const COUNTER_READ: u32 = 3;
+    pub const SEAL: u32 = 4; // input: aad_len u32 | aad | pt
+    pub const UNSEAL: u32 = 5;
+}
+
+impl AppLogic for TestApp {
+    fn handle(
+        &mut self,
+        ctx: &mut AppCtx<'_, '_>,
+        opcode: u32,
+        input: &[u8],
+    ) -> Result<Vec<u8>, SgxError> {
+        match opcode {
+            t::COUNTER_CREATE => {
+                let (id, _) = ctx.lib.create_migratable_counter(ctx.env)?;
+                Ok(vec![id])
+            }
+            t::COUNTER_INC => Ok(ctx
+                .lib
+                .increment_migratable_counter(ctx.env, input[0])?
+                .to_le_bytes()
+                .to_vec()),
+            t::COUNTER_READ => Ok(ctx
+                .lib
+                .read_migratable_counter(ctx.env, input[0])?
+                .to_le_bytes()
+                .to_vec()),
+            t::SEAL => {
+                let mut r = WireReader::new(input);
+                let aad = r.bytes_vec()?;
+                let pt = r.bytes_vec()?;
+                r.finish()?;
+                Ok(ctx.lib.seal_migratable_data(ctx.env, &aad, &pt)?)
+            }
+            t::UNSEAL => {
+                let (pt, aad) = ctx.lib.unseal_migratable_data(ctx.env, input)?;
+                let mut w = WireWriter::new();
+                w.bytes(&aad).bytes(&pt);
+                Ok(w.finish())
+            }
+            _ => Err(SgxError::InvalidParameter("opcode")),
+        }
+    }
+}
+
+fn image(tag: u8) -> EnclaveImage {
+    // The tag feeds the *code*, so distinct tags give distinct MRENCLAVEs
+    // (the ME keys sessions and migrations by measurement).
+    EnclaveImage::build(
+        "sec-req-app",
+        1,
+        &[b"code ".as_slice(), &[tag]].concat(),
+        &EnclaveSigner::from_seed([7; 32]),
+    )
+}
+
+fn seal_req(aad: &[u8], pt: &[u8]) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.bytes(aad).bytes(pt);
+    w.finish()
+}
+
+fn dc_with_two_machines(seed: u64) -> (Datacenter, sgx_sim::machine::MachineId, sgx_sim::machine::MachineId) {
+    let mut dc = Datacenter::new(seed);
+    let policy = MigrationPolicy::same_operator_only();
+    let m1 = dc.add_machine(MachineLabels::default(), &policy);
+    let m2 = dc.add_machine(MachineLabels::default(), &policy);
+    (dc, m1, m2)
+}
+
+// =======================================================================
+// R1 — SGX guarantees
+// =======================================================================
+
+#[test]
+fn r1_migratable_sealing_confidentiality_and_integrity() {
+    let (mut dc, m1, _) = dc_with_two_machines(201);
+    dc.deploy_app("app", m1, &image(1), TestApp, InitRequest::New).unwrap();
+
+    let blob = dc
+        .call_app("app", t::SEAL, &seal_req(b"context", b"plaintext secret"))
+        .unwrap();
+
+    // Confidentiality: the ciphertext leaks nothing of the plaintext.
+    assert!(!blob.windows(16).any(|w| w == b"plaintext secret"));
+
+    // Integrity: every single-byte corruption is rejected.
+    for i in 0..blob.len() {
+        let mut bad = blob.clone();
+        bad[i] ^= 0x01;
+        assert!(dc.call_app("app", t::UNSEAL, &bad).is_err(), "byte {i}");
+    }
+
+    // Round trip returns both plaintext and AAD.
+    let out = dc.call_app("app", t::UNSEAL, &blob).unwrap();
+    let mut r = WireReader::new(&out);
+    assert_eq!(r.bytes().unwrap(), b"context");
+    assert_eq!(r.bytes().unwrap(), b"plaintext secret");
+}
+
+#[test]
+fn r1_migratable_seal_isolated_between_enclaves() {
+    // Blobs sealed by one enclave's MSK are unreadable by another
+    // enclave, exactly like MRENCLAVE-policy native sealing.
+    let (mut dc, m1, _) = dc_with_two_machines(202);
+    dc.deploy_app("a", m1, &image(1), TestApp, InitRequest::New).unwrap();
+    dc.deploy_app("b", m1, &image(2), TestApp, InitRequest::New).unwrap();
+
+    let blob = dc.call_app("a", t::SEAL, &seal_req(b"", b"a's secret")).unwrap();
+    assert!(dc.call_app("b", t::UNSEAL, &blob).is_err());
+}
+
+#[test]
+fn r1_migratable_counters_strictly_monotonic() {
+    let (mut dc, m1, _) = dc_with_two_machines(203);
+    dc.deploy_app("app", m1, &image(1), TestApp, InitRequest::New).unwrap();
+    let id = dc.call_app("app", t::COUNTER_CREATE, &[]).unwrap()[0];
+
+    let mut last = 0u32;
+    for _ in 0..100 {
+        let v = u32::from_le_bytes(
+            dc.call_app("app", t::COUNTER_INC, &[id]).unwrap()[..4]
+                .try_into()
+                .unwrap(),
+        );
+        assert!(v > last, "monotonicity violated: {v} after {last}");
+        last = v;
+    }
+    // Reads never decrease it.
+    let read = u32::from_le_bytes(
+        dc.call_app("app", t::COUNTER_READ, &[id]).unwrap()[..4]
+            .try_into()
+            .unwrap(),
+    );
+    assert_eq!(read, last);
+}
+
+#[test]
+fn r1_monotonicity_spans_migration() {
+    // The effective counter never decreases across an arbitrary mix of
+    // increments and migrations.
+    let (mut dc, m1, m2) = dc_with_two_machines(204);
+    dc.deploy_app("gen1", m1, &image(1), TestApp, InitRequest::New).unwrap();
+    let id = dc.call_app("gen1", t::COUNTER_CREATE, &[]).unwrap()[0];
+
+    let mut last = 0u32;
+    let inc = |dc: &mut Datacenter, inst: &str, last: &mut u32| {
+        let v = u32::from_le_bytes(
+            dc.call_app(inst, t::COUNTER_INC, &[id]).unwrap()[..4]
+                .try_into()
+                .unwrap(),
+        );
+        assert!(v > *last);
+        *last = v;
+    };
+
+    inc(&mut dc, "gen1", &mut last);
+    inc(&mut dc, "gen1", &mut last);
+
+    dc.deploy_app("gen2", m2, &image(1), TestApp, InitRequest::Migrate).unwrap();
+    dc.migrate_app("gen1", "gen2").unwrap();
+    inc(&mut dc, "gen2", &mut last);
+
+    dc.deploy_app("gen3", m1, &image(1), TestApp, InitRequest::Migrate).unwrap();
+    dc.migrate_app("gen2", "gen3").unwrap();
+    inc(&mut dc, "gen3", &mut last);
+    assert_eq!(last, 4);
+}
+
+// =======================================================================
+// R2 — Controlled migration
+// =======================================================================
+
+#[test]
+fn r2_policy_restricts_destination_regions() {
+    let mut dc = Datacenter::new(205);
+    let eu_policy = MigrationPolicy::regions(&["eu"]);
+    let m1 = dc.add_machine(MachineLabels::new("dc-1", "eu"), &eu_policy);
+    let m2 = dc.add_machine(MachineLabels::new("dc-2", "us"), &eu_policy);
+
+    dc.deploy_app("src", m1, &image(1), TestApp, InitRequest::New).unwrap();
+    dc.deploy_app("dst", m2, &image(1), TestApp, InitRequest::Migrate).unwrap();
+
+    assert!(dc.migrate_app("src", "dst").is_err());
+    let errors = dc.me_host(m1).lock().errors.clone();
+    assert!(
+        errors.iter().any(|e| e.contains("policy violation")),
+        "{errors:?}"
+    );
+}
+
+#[test]
+fn r2_destination_must_match_credential_machine() {
+    // The credential binds the ME key to a machine id; a host that lies
+    // about which machine it speaks for cannot redirect a migration.
+    // (Covered structurally: the source ME verifies cred.machine equals
+    // the library-requested destination. Here we verify the plumbing by
+    // migrating to the correct machine and checking the credential path
+    // ran — the negative case is exercised in attacks.rs with the rogue
+    // operator.)
+    let (mut dc, m1, m2) = dc_with_two_machines(206);
+    dc.deploy_app("src", m1, &image(1), TestApp, InitRequest::New).unwrap();
+    dc.deploy_app("dst", m2, &image(1), TestApp, InitRequest::Migrate).unwrap();
+    dc.migrate_app("src", "dst").unwrap();
+    assert!(dc.me_host(m1).lock().errors.is_empty());
+    assert!(dc.me_host(m2).lock().errors.is_empty());
+}
+
+#[test]
+fn r2_data_only_reaches_same_mrenclave() {
+    // A different enclave (even same signer, same machine) never sees
+    // the migration data; it stays parked for the right measurement.
+    let (mut dc, m1, m2) = dc_with_two_machines(207);
+    dc.deploy_app("src", m1, &image(1), TestApp, InitRequest::New).unwrap();
+
+    let other = EnclaveImage::build(
+        "sec-req-app",
+        2, // different version ⇒ different MRENCLAVE
+        b"code",
+        &EnclaveSigner::from_seed([1; 32]),
+    );
+    dc.deploy_app("other", m2, &other, TestApp, InitRequest::Migrate).unwrap();
+
+    {
+        let src = dc.app("src");
+        let mut src = src.lock();
+        src.migrate_to(dc.world_mut().network_mut(), m2).unwrap();
+    }
+    dc.run();
+
+    use mig_core::host::AppStatus;
+    assert_eq!(dc.app("other").lock().status(), AppStatus::AwaitingIncoming);
+}
+
+// =======================================================================
+// R3 — Fork prevention
+// =======================================================================
+
+#[test]
+fn r3_no_two_operable_copies_after_migration() {
+    let (mut dc, m1, m2) = dc_with_two_machines(208);
+    dc.deploy_app("src", m1, &image(1), TestApp, InitRequest::New).unwrap();
+    let id = dc.call_app("src", t::COUNTER_CREATE, &[]).unwrap()[0];
+    dc.call_app("src", t::COUNTER_INC, &[id]).unwrap();
+
+    dc.deploy_app("dst", m2, &image(1), TestApp, InitRequest::Migrate).unwrap();
+    dc.migrate_app("src", "dst").unwrap();
+
+    // Destination operates.
+    dc.call_app("dst", t::COUNTER_INC, &[id]).unwrap();
+    // Source refuses every migratable operation.
+    assert!(dc.call_app("src", t::COUNTER_INC, &[id]).is_err());
+    assert!(dc.call_app("src", t::COUNTER_READ, &[id]).is_err());
+    assert!(dc
+        .call_app("src", t::SEAL, &seal_req(b"", b"x"))
+        .is_err());
+    // And restarting the source from disk fails (frozen blob).
+    assert!(dc.restart_app("src", m1, &image(1), TestApp).is_err());
+}
+
+#[test]
+fn r3_freeze_happens_even_if_transfer_stalls() {
+    // The freeze + counter destruction happen BEFORE the data leaves the
+    // machine, so even a migration that never completes cannot fork.
+    let (mut dc, m1, m2) = dc_with_two_machines(209);
+    dc.deploy_app("src", m1, &image(1), TestApp, InitRequest::New).unwrap();
+    let id = dc.call_app("src", t::COUNTER_CREATE, &[]).unwrap()[0];
+
+    // Drop every cross-machine message: the transfer will stall forever.
+    dc.world_mut().network_mut().add_tap(Box::new(
+        |e: &cloud_sim::network::Envelope| {
+            if e.from.machine != e.to.machine {
+                cloud_sim::network::TapAction::Drop
+            } else {
+                cloud_sim::network::TapAction::Deliver
+            }
+        },
+    ));
+
+    {
+        let src = dc.app("src");
+        let mut src = src.lock();
+        src.migrate_to(dc.world_mut().network_mut(), m2).unwrap();
+    }
+    dc.run();
+
+    // The source is already frozen and its counters destroyed.
+    assert!(dc.call_app("src", t::COUNTER_INC, &[id]).is_err());
+    assert!(dc.restart_app("src", m1, &image(1), TestApp).is_err());
+}
+
+// =======================================================================
+// R4 — Roll-back prevention
+// =======================================================================
+
+#[test]
+fn r4_library_state_blob_cannot_be_rolled_back() {
+    // The adversary snapshots the Table II blob after counter creation,
+    // lets the enclave advance, then rolls the disk back and restarts.
+    // The restored blob references the same counters with the same
+    // offsets — and the hardware counter has moved on, so effective
+    // values are unaffected; the enclave simply continues at the true
+    // count. No stale value is ever observable.
+    let (mut dc, m1, _) = dc_with_two_machines(210);
+    dc.deploy_app("app", m1, &image(1), TestApp, InitRequest::New).unwrap();
+    let id = dc.call_app("app", t::COUNTER_CREATE, &[]).unwrap()[0];
+    dc.call_app("app", t::COUNTER_INC, &[id]).unwrap();
+
+    let old_disk = dc.world().machine(m1).disk.snapshot();
+
+    for _ in 0..4 {
+        dc.call_app("app", t::COUNTER_INC, &[id]).unwrap();
+    }
+
+    // Roll the disk back and restart the enclave from the stale blob.
+    dc.world().machine(m1).disk.restore(&old_disk);
+    dc.restart_app("app", m1, &image(1), TestApp).unwrap();
+
+    // The hardware counter is the source of truth: still 5, not 1.
+    let v = u32::from_le_bytes(
+        dc.call_app("app", t::COUNTER_READ, &[id]).unwrap()[..4]
+            .try_into()
+            .unwrap(),
+    );
+    assert_eq!(v, 5, "hardware counter defeats the disk rollback");
+}
+
+#[test]
+fn r4_stale_offsets_cannot_survive_migration_boundary() {
+    // Variant of the §III-C defence: an old Table II blob (with smaller
+    // offsets) re-fed during a later incarnation is either frozen or
+    // references destroyed counters — it can never load.
+    let (mut dc, m1, m2) = dc_with_two_machines(211);
+    dc.deploy_app("gen1", m1, &image(1), TestApp, InitRequest::New).unwrap();
+    let id = dc.call_app("gen1", t::COUNTER_CREATE, &[]).unwrap()[0];
+    dc.call_app("gen1", t::COUNTER_INC, &[id]).unwrap();
+
+    // Adversary snapshots m1's disk before migration.
+    let pre_migration = dc.world().machine(m1).disk.snapshot();
+
+    dc.deploy_app("gen2", m2, &image(1), TestApp, InitRequest::Migrate).unwrap();
+    dc.migrate_app("gen1", "gen2").unwrap();
+    dc.call_app("gen2", t::COUNTER_INC, &[id]).unwrap(); // effective 2
+
+    // Migrate BACK to m1 (fresh incarnation, fresh hardware counters).
+    dc.deploy_app("gen3", m1, &image(1), TestApp, InitRequest::Migrate).unwrap();
+    dc.migrate_app("gen2", "gen3").unwrap();
+
+    // Now roll m1's disk back to the pre-migration snapshot and restart
+    // the ORIGINAL incarnation from it: that blob's counters were
+    // destroyed in the first migration, even though a fresh incarnation
+    // (gen3) of the same MRENCLAVE now legitimately runs on m1.
+    dc.world().machine(m1).disk.restore(&pre_migration);
+    let err = dc.restart_app("gen1", m1, &image(1), TestApp).unwrap_err();
+    assert!(
+        matches!(err, SgxError::Enclave(ref m) if m.contains("stale") || m.contains("frozen")),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn r4_unseal_rejects_cross_incarnation_blob_forgery() {
+    // Sealed snapshots from a *different* enclave's MSK cannot be passed
+    // off after migration (the MSK travels, so legitimate blobs work —
+    // foreign ones never do).
+    let (mut dc, m1, m2) = dc_with_two_machines(212);
+    dc.deploy_app("src", m1, &image(1), TestApp, InitRequest::New).unwrap();
+    dc.deploy_app("evil", m1, &image(2), TestApp, InitRequest::New).unwrap();
+
+    let legit = dc.call_app("src", t::SEAL, &seal_req(b"", b"real")).unwrap();
+    let forged = dc.call_app("evil", t::SEAL, &seal_req(b"", b"fake")).unwrap();
+
+    dc.deploy_app("dst", m2, &image(1), TestApp, InitRequest::Migrate).unwrap();
+    dc.migrate_app("src", "dst").unwrap();
+
+    assert!(dc.call_app("dst", t::UNSEAL, &legit).is_ok());
+    assert!(dc.call_app("dst", t::UNSEAL, &forged).is_err());
+}

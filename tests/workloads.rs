@@ -1,0 +1,361 @@
+//! The paper's motivating workloads (§III-B) running over the migration
+//! framework: a Teechan-style payment channel and a TrInX-style certified
+//! counter service, both surviving machine migration with their security
+//! guarantees intact.
+
+use cloud_sim::machine::MachineLabels;
+use mig_apps::teechan::{self, TeechanNode};
+use mig_apps::trinx::{self, Certificate, TrinxService};
+use mig_apps::{teechan_image, trinx_image};
+use mig_core::datacenter::Datacenter;
+use mig_core::library::InitRequest;
+use mig_core::policy::MigrationPolicy;
+use sgx_sim::machine::MachineId;
+
+fn dc3(seed: u64) -> (Datacenter, MachineId, MachineId, MachineId) {
+    let mut dc = Datacenter::new(seed);
+    let policy = MigrationPolicy::same_operator_only();
+    let m1 = dc.add_machine(MachineLabels::new("dc-1", "eu"), &policy);
+    let m2 = dc.add_machine(MachineLabels::new("dc-1", "eu"), &policy);
+    let m3 = dc.add_machine(MachineLabels::new("dc-1", "eu"), &policy);
+    (dc, m1, m2, m3)
+}
+
+// =======================================================================
+// Teechan
+// =======================================================================
+
+const CHANNEL_ID: [u8; 16] = [0xC4; 16];
+const CHANNEL_KEY: [u8; 16] = [0x8E; 16];
+
+fn open_channel(dc: &mut Datacenter, alice: &str, bob: &str) {
+    dc.call_app(
+        alice,
+        teechan::ops::SETUP,
+        &teechan::encode_setup(0, &CHANNEL_ID, &CHANNEL_KEY, 1_000, 1_000),
+    )
+    .unwrap();
+    dc.call_app(
+        bob,
+        teechan::ops::SETUP,
+        &teechan::encode_setup(1, &CHANNEL_ID, &CHANNEL_KEY, 1_000, 1_000),
+    )
+    .unwrap();
+}
+
+fn pay(dc: &mut Datacenter, from: &str, to: &str, amount: u64) {
+    let payment = dc
+        .call_app(from, teechan::ops::PAY, amount.to_le_bytes().as_ref())
+        .unwrap();
+    dc.call_app(to, teechan::ops::RECEIVE, &payment).unwrap();
+}
+
+fn balances(dc: &mut Datacenter, who: &str) -> (u64, u64) {
+    let out = dc.call_app(who, teechan::ops::BALANCES, &[]).unwrap();
+    teechan::decode_balances(&out).unwrap()
+}
+
+#[test]
+fn payment_channel_works_and_conserves_funds() {
+    let (mut dc, m1, m2, _) = dc3(301);
+    dc.deploy_app("alice", m1, &teechan_image(), TeechanNode::new(), InitRequest::New)
+        .unwrap();
+    dc.deploy_app("bob", m2, &teechan_image(), TeechanNode::new(), InitRequest::New)
+        .unwrap();
+    open_channel(&mut dc, "alice", "bob");
+
+    pay(&mut dc, "alice", "bob", 250);
+    pay(&mut dc, "bob", "alice", 100);
+    pay(&mut dc, "alice", "bob", 50);
+
+    let (a_mine, a_peer) = balances(&mut dc, "alice");
+    let (b_mine, b_peer) = balances(&mut dc, "bob");
+    assert_eq!(a_mine, 800);
+    assert_eq!(b_mine, 1200);
+    assert_eq!(a_mine, b_peer);
+    assert_eq!(b_mine, a_peer);
+    assert_eq!(a_mine + b_mine, 2_000, "channel conserves funds");
+}
+
+#[test]
+fn payment_channel_rejects_tampered_and_replayed_payments() {
+    let (mut dc, m1, m2, _) = dc3(302);
+    dc.deploy_app("alice", m1, &teechan_image(), TeechanNode::new(), InitRequest::New)
+        .unwrap();
+    dc.deploy_app("bob", m2, &teechan_image(), TeechanNode::new(), InitRequest::New)
+        .unwrap();
+    open_channel(&mut dc, "alice", "bob");
+
+    let payment = dc
+        .call_app("alice", teechan::ops::PAY, 100u64.to_le_bytes().as_ref())
+        .unwrap();
+    // Tampered amount.
+    let mut bad = payment.clone();
+    bad[20] ^= 1;
+    assert!(dc.call_app("bob", teechan::ops::RECEIVE, &bad).is_err());
+    // Legitimate delivery.
+    dc.call_app("bob", teechan::ops::RECEIVE, &payment).unwrap();
+    // Replay.
+    assert!(dc.call_app("bob", teechan::ops::RECEIVE, &payment).is_err());
+    // Reflection back at the sender.
+    assert!(dc.call_app("alice", teechan::ops::RECEIVE, &payment).is_err());
+}
+
+#[test]
+fn channel_endpoint_migrates_with_balances_intact() {
+    let (mut dc, m1, m2, m3) = dc3(303);
+    dc.deploy_app("alice", m1, &teechan_image(), TeechanNode::new(), InitRequest::New)
+        .unwrap();
+    dc.deploy_app("bob", m2, &teechan_image(), TeechanNode::new(), InitRequest::New)
+        .unwrap();
+    open_channel(&mut dc, "alice", "bob");
+    pay(&mut dc, "alice", "bob", 300);
+
+    // Persist Bob's endpoint, migrate it to m3, and restore.
+    let resp = dc.call_app("bob", teechan::ops::PERSIST, &[]).unwrap();
+    let (_version, blob) = teechan::decode_persist_response(&resp).unwrap();
+
+    dc.deploy_app("bob2", m3, &teechan_image(), TeechanNode::new(), InitRequest::Migrate)
+        .unwrap();
+    dc.migrate_app("bob", "bob2").unwrap();
+    dc.call_app("bob2", teechan::ops::RESTORE, &blob).unwrap();
+
+    let (mine, peer) = balances(&mut dc, "bob2");
+    assert_eq!(mine, 1300);
+    assert_eq!(peer, 700);
+
+    // The channel continues: payments flow to/from the migrated endpoint.
+    pay(&mut dc, "bob2", "alice", 50);
+    let (a_mine, _) = balances(&mut dc, "alice");
+    assert_eq!(a_mine, 750);
+}
+
+#[test]
+fn stale_channel_state_rejected_after_migration() {
+    // A Teechan endpoint cannot be rolled back across a migration: the
+    // §III-C scenario applied to the channel workload.
+    let (mut dc, m1, _, m3) = dc3(304);
+    dc.deploy_app("alice", m1, &teechan_image(), TeechanNode::new(), InitRequest::New)
+        .unwrap();
+    dc.deploy_app("bob", m1, &teechan_image(), TeechanNode::new(), InitRequest::New)
+        .unwrap();
+    open_channel(&mut dc, "alice", "bob");
+
+    // Bob persists at a rich state (v1)...
+    pay(&mut dc, "alice", "bob", 500);
+    let resp = dc.call_app("bob", teechan::ops::PERSIST, &[]).unwrap();
+    let (_v1, rich_blob) = teechan::decode_persist_response(&resp).unwrap();
+
+    // ...then pays most of it away and persists again (v2).
+    pay(&mut dc, "bob", "alice", 1_400);
+    let resp = dc.call_app("bob", teechan::ops::PERSIST, &[]).unwrap();
+    let (_v2, poor_blob) = teechan::decode_persist_response(&resp).unwrap();
+
+    // Bob migrates to m3.
+    dc.deploy_app("bob2", m3, &teechan_image(), TeechanNode::new(), InitRequest::Migrate)
+        .unwrap();
+    dc.migrate_app("bob", "bob2").unwrap();
+
+    // The adversary serves the rich v1 snapshot: rejected.
+    let err = dc.call_app("bob2", teechan::ops::RESTORE, &rich_blob).unwrap_err();
+    assert!(
+        matches!(err, sgx_sim::SgxError::Enclave(ref m) if m.contains("rollback")),
+        "{err:?}"
+    );
+    // The fresh snapshot restores fine.
+    dc.call_app("bob2", teechan::ops::RESTORE, &poor_blob).unwrap();
+    let (mine, _) = balances(&mut dc, "bob2");
+    assert_eq!(mine, 100);
+}
+
+// =======================================================================
+// TrInX
+// =======================================================================
+
+const TRINX_KEY: [u8; 16] = [0x77; 16];
+
+fn certify(dc: &mut Datacenter, instance: &str, counter: u32, msg: &[u8]) -> Certificate {
+    let out = dc
+        .call_app(instance, trinx::ops::CERTIFY, &trinx::encode_certify(counter, msg))
+        .unwrap();
+    Certificate::from_bytes(&out).unwrap()
+}
+
+#[test]
+fn trinx_certificates_are_verifiable_and_ordered() {
+    let (mut dc, m1, _, _) = dc3(305);
+    dc.deploy_app("trinx", m1, &trinx_image(), TrinxService::new(), InitRequest::New)
+        .unwrap();
+    dc.call_app("trinx", trinx::ops::INIT, &TRINX_KEY).unwrap();
+    dc.call_app("trinx", trinx::ops::CREATE, &trinx::encode_create(1))
+        .unwrap();
+
+    let c1 = certify(&mut dc, "trinx", 1, b"request A");
+    let c2 = certify(&mut dc, "trinx", 1, b"request B");
+    let c3 = certify(&mut dc, "trinx", 1, b"request C");
+
+    assert!(c1.verify(&TRINX_KEY, b"request A"));
+    assert!(!c1.verify(&TRINX_KEY, b"request B"));
+    assert_eq!((c1.value, c2.value, c3.value), (1, 2, 3));
+    assert!(!trinx::detect_equivocation(&[c1, c2, c3]));
+}
+
+#[test]
+fn trinx_counter_values_never_repeat_across_migration() {
+    // The Hybster guarantee: an adversary must not obtain two different
+    // messages certified at the same counter value — even by migrating
+    // the service between machines.
+    let (mut dc, m1, m2, _) = dc3(306);
+    dc.deploy_app("t1", m1, &trinx_image(), TrinxService::new(), InitRequest::New)
+        .unwrap();
+    dc.call_app("t1", trinx::ops::INIT, &TRINX_KEY).unwrap();
+    dc.call_app("t1", trinx::ops::CREATE, &trinx::encode_create(1))
+        .unwrap();
+
+    let mut certs = Vec::new();
+    certs.push(certify(&mut dc, "t1", 1, b"op-1"));
+    certs.push(certify(&mut dc, "t1", 1, b"op-2"));
+
+    // Persist, migrate, restore — then continue certifying.
+    let resp = dc.call_app("t1", trinx::ops::PERSIST, &[]).unwrap();
+    let mut r = sgx_sim::wire::WireReader::new(&resp);
+    let _version = r.u32().unwrap();
+    let blob = r.bytes_vec().unwrap();
+
+    dc.deploy_app("t2", m2, &trinx_image(), TrinxService::new(), InitRequest::Migrate)
+        .unwrap();
+    dc.migrate_app("t1", "t2").unwrap();
+    dc.call_app("t2", trinx::ops::RESTORE, &blob).unwrap();
+
+    certs.push(certify(&mut dc, "t2", 1, b"op-3"));
+    certs.push(certify(&mut dc, "t2", 1, b"op-4"));
+
+    // Strictly increasing values 1..=4, no equivocation.
+    let values: Vec<u64> = certs.iter().map(|c| c.value).collect();
+    assert_eq!(values, vec![1, 2, 3, 4]);
+    assert!(!trinx::detect_equivocation(&certs));
+    for (cert, msg) in certs.iter().zip([b"op-1".as_slice(), b"op-2", b"op-3", b"op-4"]) {
+        assert!(cert.verify(&TRINX_KEY, msg));
+    }
+}
+
+#[test]
+fn trinx_rollback_would_enable_equivocation_and_is_blocked() {
+    let (mut dc, m1, m2, _) = dc3(307);
+    dc.deploy_app("t1", m1, &trinx_image(), TrinxService::new(), InitRequest::New)
+        .unwrap();
+    dc.call_app("t1", trinx::ops::INIT, &TRINX_KEY).unwrap();
+    dc.call_app("t1", trinx::ops::CREATE, &trinx::encode_create(1))
+        .unwrap();
+
+    // Snapshot at counter value 1.
+    let c1 = certify(&mut dc, "t1", 1, b"commit X");
+    let resp = dc.call_app("t1", trinx::ops::PERSIST, &[]).unwrap();
+    let mut r = sgx_sim::wire::WireReader::new(&resp);
+    let _ = r.u32().unwrap();
+    let old_blob = r.bytes_vec().unwrap();
+
+    // Advance and persist again.
+    let _c2 = certify(&mut dc, "t1", 1, b"commit Y");
+    let resp = dc.call_app("t1", trinx::ops::PERSIST, &[]).unwrap();
+    let mut r = sgx_sim::wire::WireReader::new(&resp);
+    let _ = r.u32().unwrap();
+    let new_blob = r.bytes_vec().unwrap();
+
+    // Migrate.
+    dc.deploy_app("t2", m2, &trinx_image(), TrinxService::new(), InitRequest::Migrate)
+        .unwrap();
+    dc.migrate_app("t1", "t2").unwrap();
+
+    // Restoring the OLD state (which would let the service re-certify
+    // value 2 for a different message → equivocation) must fail.
+    let err = dc.call_app("t2", trinx::ops::RESTORE, &old_blob).unwrap_err();
+    assert!(
+        matches!(err, sgx_sim::SgxError::Enclave(ref m) if m.contains("rollback")),
+        "{err:?}"
+    );
+
+    // The fresh state restores, and certification continues safely.
+    dc.call_app("t2", trinx::ops::RESTORE, &new_blob).unwrap();
+    let c3 = certify(&mut dc, "t2", 1, b"commit Z");
+    assert_eq!(c3.value, 3);
+    assert!(!trinx::detect_equivocation(&[c1, c3]));
+}
+
+// =======================================================================
+// ROTE (§IX): distributed counters + migratable identity key
+// =======================================================================
+
+#[test]
+fn rote_identity_key_migrates_counters_stay_distributed() {
+    // The paper's §IX observation: with ROTE-style virtual counters, the
+    // *counters* need no migration — only the client's identity key does.
+    // The key travels as migratable-sealed data; the quorum group keeps
+    // enforcing monotonicity across the move.
+    use mig_apps::rote::{quorum_increment, verify_quorum, RoteIdentityKey, RoteReplica};
+    use mig_core::harness::AppCtx;
+    use sgx_sim::SgxError;
+
+    struct RoteUser;
+    impl mig_core::harness::AppLogic for RoteUser {
+        fn handle(
+            &mut self,
+            ctx: &mut AppCtx<'_, '_>,
+            opcode: u32,
+            input: &[u8],
+        ) -> Result<Vec<u8>, SgxError> {
+            match opcode {
+                // Seal the ROTE identity key under the MSK.
+                1 => Ok(ctx.lib.seal_migratable_data(ctx.env, b"rote-id", input)?),
+                // Recover it (post-migration).
+                2 => {
+                    let (key, aad) = ctx.lib.unseal_migratable_data(ctx.env, input)?;
+                    if aad != b"rote-id" {
+                        return Err(SgxError::Decode);
+                    }
+                    Ok(key)
+                }
+                _ => Err(SgxError::InvalidParameter("opcode")),
+            }
+        }
+    }
+
+    let image = sgx_sim::measurement::EnclaveImage::build(
+        "rote-user",
+        1,
+        b"code",
+        &sgx_sim::measurement::EnclaveSigner::from_seed([81; 32]),
+    );
+    let (mut dc, m1, m2, _) = dc3(308);
+
+    // The ROTE group: three replicas on machines that never migrate.
+    const GROUP_KEY: [u8; 16] = [0x55; 16];
+    let mut replicas: Vec<RoteReplica> =
+        (0..3).map(|i| RoteReplica::new(i, GROUP_KEY)).collect();
+
+    // The client enclave seals its identity key with the migratable seal.
+    dc.deploy_app("rote-src", m1, &image, RoteUser, InitRequest::New).unwrap();
+    let identity_key = RoteIdentityKey([0xA7; 32]);
+    let sealed_key = dc.call_app("rote-src", 1, &identity_key.0).unwrap();
+
+    // Counter activity before migration.
+    let acks = quorum_increment(&mut replicas, &identity_key, 1, 2).unwrap();
+    assert!(verify_quorum(&acks, &GROUP_KEY, &identity_key.identity(), 1, 2));
+    quorum_increment(&mut replicas, &identity_key, 2, 2).unwrap();
+
+    // Migrate the client; the replicas are untouched.
+    dc.deploy_app("rote-dst", m2, &image, RoteUser, InitRequest::Migrate).unwrap();
+    dc.migrate_app("rote-src", "rote-dst").unwrap();
+
+    // The destination recovers the identity key from the sealed blob...
+    let recovered = dc.call_app("rote-dst", 2, &sealed_key).unwrap();
+    assert_eq!(recovered, identity_key.0);
+    let recovered_key = RoteIdentityKey(recovered.try_into().unwrap());
+
+    // ...and continues counting where it left off; the group rejects any
+    // attempt to reuse an old value (rollback protection without any
+    // hardware-counter migration).
+    let acks = quorum_increment(&mut replicas, &recovered_key, 3, 2).unwrap();
+    assert!(verify_quorum(&acks, &GROUP_KEY, &recovered_key.identity(), 3, 2));
+    assert!(quorum_increment(&mut replicas, &recovered_key, 2, 2).is_err());
+}
