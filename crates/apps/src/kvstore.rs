@@ -27,6 +27,10 @@ pub mod ops {
     pub const VERSION: u32 = 5;
     /// Number of entries.
     pub const LEN: u32 = 6;
+    /// Bulk-load deterministic entries (count, value size, fill seed):
+    /// one counter bump, one sealed snapshot — the multi-megabyte-state
+    /// generator for the streaming-migration path.
+    pub const BULK_PUT: u32 = 7;
 }
 
 /// AAD tag for KV snapshots.
@@ -66,9 +70,7 @@ impl KvStore {
         w.finish()
     }
 
-    fn parse_snapshot(
-        bytes: &[u8],
-    ) -> Result<Snapshot, SgxError> {
+    fn parse_snapshot(bytes: &[u8]) -> Result<Snapshot, SgxError> {
         let mut r = WireReader::new(bytes);
         let counter_id = r.u8()?;
         let version = r.u32()?;
@@ -114,8 +116,41 @@ impl AppLogic for KvStore {
                     SNAPSHOT_AAD,
                     &self.snapshot_bytes(version),
                 )?;
+                // Stage the snapshot so a migration always carries the
+                // current store. This doubles the O(store) sealing work
+                // per PUT (snapshot + checkpoint reseal) — the price of
+                // crash-durable, migration-fresh state; delta
+                // checkpoints are the planned fix (ROADMAP).
+                ctx.lib.stage_bulk_state(ctx.env, &blob)?;
                 let mut w = WireWriter::new();
                 w.u32(version).bytes(&blob);
+                Ok(w.finish())
+            }
+            ops::BULK_PUT => {
+                let counter = self.counter()?;
+                let mut r = WireReader::new(input);
+                let count = r.u32()?;
+                let value_len = r.u32()? as usize;
+                let fill = r.u8()?;
+                r.finish()?;
+                for i in 0..count {
+                    let key = format!("bulk-{i:08}").into_bytes();
+                    let value: Vec<u8> = (0..value_len)
+                        .map(|j| fill.wrapping_add((i as usize + j) as u8))
+                        .collect();
+                    self.entries.insert(key, value);
+                }
+                // One version bump and one sealed snapshot for the whole
+                // batch.
+                let version = ctx.lib.increment_migratable_counter(ctx.env, counter)?;
+                let blob = ctx.lib.seal_migratable_data(
+                    ctx.env,
+                    SNAPSHOT_AAD,
+                    &self.snapshot_bytes(version),
+                )?;
+                ctx.lib.stage_bulk_state(ctx.env, &blob)?;
+                let mut w = WireWriter::new();
+                w.u32(version).u64(blob.len() as u64);
                 Ok(w.finish())
             }
             ops::GET => self
@@ -137,6 +172,10 @@ impl AppLogic for KvStore {
                 }
                 self.version_counter = Some(counter_id);
                 self.entries = entries;
+                // Keep the staged migration payload in sync with the
+                // restored store (no-op when re-loading the snapshot
+                // that just migrated in).
+                ctx.lib.stage_bulk_state(ctx.env, input)?;
                 Ok(vec![])
             }
             ops::VERSION => {
@@ -180,6 +219,28 @@ pub fn decode_put_response(bytes: &[u8]) -> Result<(u32, Vec<u8>), SgxError> {
     let blob = r.bytes_vec()?;
     r.finish()?;
     Ok((version, blob))
+}
+
+/// Encodes a BULK_PUT request: `count` entries of `value_len` bytes
+/// generated deterministically from `fill`.
+#[must_use]
+pub fn encode_bulk_put(count: u32, value_len: u32, fill: u8) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.u32(count).u32(value_len).u8(fill);
+    w.finish()
+}
+
+/// Decodes a BULK_PUT response into `(version, sealed snapshot length)`.
+///
+/// # Errors
+///
+/// [`SgxError::Decode`] on malformed input.
+pub fn decode_bulk_put_response(bytes: &[u8]) -> Result<(u32, u64), SgxError> {
+    let mut r = WireReader::new(bytes);
+    let version = r.u32()?;
+    let len = r.u64()?;
+    r.finish()?;
+    Ok((version, len))
 }
 
 #[cfg(test)]

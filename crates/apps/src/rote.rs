@@ -247,7 +247,9 @@ mod tests {
     const GROUP_KEY: [u8; 16] = [0x42; 16];
 
     fn group(n: usize) -> Vec<RoteReplica> {
-        (0..n).map(|i| RoteReplica::new(i as u32, GROUP_KEY)).collect()
+        (0..n)
+            .map(|i| RoteReplica::new(i as u32, GROUP_KEY))
+            .collect()
     }
 
     #[test]

@@ -207,7 +207,13 @@ impl AppLogic for TeechanNode {
                 ch.next_seq += 1;
                 let mac = HmacSha256::mac(
                     &ch.key,
-                    &Payment::mac_input(&ch.channel_id, ch.role, seq, ch.my_balance, ch.peer_balance),
+                    &Payment::mac_input(
+                        &ch.channel_id,
+                        ch.role,
+                        seq,
+                        ch.my_balance,
+                        ch.peer_balance,
+                    ),
                 );
                 let payment = Payment {
                     channel_id: ch.channel_id,
@@ -255,7 +261,9 @@ impl AppLogic for TeechanNode {
                     .ok_or_else(|| SgxError::Enclave("channel not open".into()))?;
                 let version = ctx.lib.increment_migratable_counter(ctx.env, counter)?;
                 let state = self.state_bytes(version)?;
-                let blob = ctx.lib.seal_migratable_data(ctx.env, SNAPSHOT_AAD, &state)?;
+                let blob = ctx
+                    .lib
+                    .seal_migratable_data(ctx.env, SNAPSHOT_AAD, &state)?;
                 let mut w = WireWriter::new();
                 w.u32(version).bytes(&blob);
                 Ok(w.finish())

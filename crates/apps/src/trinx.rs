@@ -178,10 +178,7 @@ impl AppLogic for TrinxService {
                     .ok_or_else(|| SgxError::Enclave("unknown trinx counter".into()))?;
                 *value += 1;
                 let message_hash = sha256(&message);
-                let mac = HmacSha256::mac(
-                    &key,
-                    &Certificate::mac_input(id, *value, &message_hash),
-                );
+                let mac = HmacSha256::mac(&key, &Certificate::mac_input(id, *value, &message_hash));
                 let cert = Certificate {
                     counter_id: id,
                     value: *value,
@@ -205,9 +202,11 @@ impl AppLogic for TrinxService {
                     .version_counter
                     .ok_or_else(|| SgxError::Enclave("trinx not initialized".into()))?;
                 let version = ctx.lib.increment_migratable_counter(ctx.env, counter)?;
-                let blob =
-                    ctx.lib
-                        .seal_migratable_data(ctx.env, SNAPSHOT_AAD, &self.state_bytes(version))?;
+                let blob = ctx.lib.seal_migratable_data(
+                    ctx.env,
+                    SNAPSHOT_AAD,
+                    &self.state_bytes(version),
+                )?;
                 let mut w = WireWriter::new();
                 w.u32(version).bytes(&blob);
                 Ok(w.finish())

@@ -22,7 +22,9 @@ fn prepared_datacenter(seed: u64) -> Datacenter {
     let (mut dc, m1, m2) = migration_fixture(seed);
     dc.deploy_app("src", m1, &bench_image(), BenchApp, InitRequest::New)
         .expect("deploy src");
-    let id = dc.call_app("src", mig_bench::ops::COUNTER_CREATE, &[]).expect("create")[0];
+    let id = dc
+        .call_app("src", mig_bench::ops::COUNTER_CREATE, &[])
+        .expect("create")[0];
     dc.call_app("src", mig_bench::ops::COUNTER_INCREMENT, &[id])
         .expect("inc");
     dc.deploy_app("dst", m2, &bench_image(), BenchApp, InitRequest::Migrate)
@@ -51,5 +53,35 @@ fn bench_migration(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_migration);
+/// The E4 state-size sweep: one kvstore migration per iteration, state
+/// from 4 KiB to 16 MiB, single-shot blob vs chunked streaming.
+fn bench_state_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("migration_state_sweep");
+    group
+        .sample_size(3)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_secs(2));
+
+    let mut seed = 1000u64;
+    for &(label, entries, value_len) in mig_bench::STATE_SWEEP {
+        for (mode, config) in [
+            ("blob", mig_bench::sweep_blob_config()),
+            ("streamed", mig_bench::sweep_stream_config()),
+        ] {
+            group.bench_function(format!("{mode}/{label}"), |b| {
+                b.iter_batched(
+                    || {
+                        seed += 1;
+                        mig_bench::prepared_kv_datacenter(seed, config, entries, value_len)
+                    },
+                    |mut dc| dc.migrate_app("src", "dst").expect("migrate"),
+                    BatchSize::PerIteration,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_migration, bench_state_sweep);
 criterion_main!(benches);

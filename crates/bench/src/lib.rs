@@ -149,7 +149,10 @@ impl BenchSetup {
             .expect("init library");
 
         let baseline = machine
-            .load_enclave(&bench_image(), Box::new(EnvelopedNative(NativeEnclave::new())))
+            .load_enclave(
+                &bench_image(),
+                Box::new(EnvelopedNative(NativeEnclave::new())),
+            )
             .expect("load baseline");
         BenchSetup {
             machine,
@@ -262,12 +265,7 @@ impl FigureRow {
         };
         format!(
             "{:<22} {} {:>10.1} ± {:>5.1} {} {:>6}",
-            self.label,
-            base,
-            self.migratable.mean,
-            self.migratable.ci_half_width,
-            overhead,
-            p
+            self.label, base, self.migratable.mean, self.migratable.ci_half_width, overhead, p
         )
     }
 }
@@ -298,6 +296,82 @@ pub fn migration_fixture(seed: u64) -> (Datacenter, MachineId, MachineId) {
     (dc, m1, m2)
 }
 
+/// The kvstore image used by the state-size sweep (E4).
+#[must_use]
+pub fn kv_image() -> sgx_sim::measurement::EnclaveImage {
+    EnclaveImage::build(
+        "mig-bench.kvstore",
+        1,
+        b"benchmark kvstore enclave",
+        &EnclaveSigner::from_seed([43; 32]),
+    )
+}
+
+/// Builds a two-machine datacenter (per-ME streaming config `transfer`)
+/// with a kvstore holding `entries` × `value_len` bytes deployed as
+/// `"src"` and an awaiting `"dst"` — ready for the `migrate_app` call to
+/// be measured.
+///
+/// # Panics
+///
+/// Panics on deployment failures (bench fixture invariants).
+#[must_use]
+pub fn prepared_kv_datacenter(
+    seed: u64,
+    transfer: mig_core::transfer::TransferConfig,
+    entries: u32,
+    value_len: u32,
+) -> Datacenter {
+    use mig_apps::kvstore::{self, ops as kv_ops, KvStore};
+
+    let mut dc = Datacenter::new(seed);
+    let policy = MigrationPolicy::same_operator_only();
+    let m1 = dc.add_machine_with_transfer(MachineLabels::new("dc-1", "eu"), &policy, transfer);
+    let m2 = dc.add_machine_with_transfer(MachineLabels::new("dc-1", "eu"), &policy, transfer);
+    dc.deploy_app("src", m1, &kv_image(), KvStore::new(), InitRequest::New)
+        .expect("deploy src");
+    dc.call_app("src", kv_ops::INIT, &[]).expect("init kv");
+    dc.call_app(
+        "src",
+        kv_ops::BULK_PUT,
+        &kvstore::encode_bulk_put(entries, value_len, 0xB7),
+    )
+    .expect("bulk load");
+    dc.deploy_app("dst", m2, &kv_image(), KvStore::new(), InitRequest::Migrate)
+        .expect("deploy dst");
+    dc
+}
+
+/// The state sizes of the E4 sweep: label plus kvstore geometry
+/// (entries × value bytes ≈ sealed-state size).
+pub const STATE_SWEEP: &[(&str, u32, u32)] = &[
+    ("4KiB", 16, 256),
+    ("64KiB", 64, 1024),
+    ("1MiB", 256, 4096),
+    ("16MiB", 4096, 4096),
+];
+
+/// Streaming-transfer configuration used by the sweep's streamed arm.
+#[must_use]
+pub fn sweep_stream_config() -> mig_core::transfer::TransferConfig {
+    mig_core::transfer::TransferConfig {
+        stream_threshold: 4096,
+        chunk_size: 256 * 1024,
+        window: 8,
+    }
+}
+
+/// Blob (single-shot) configuration: the threshold is unreachable, so
+/// every transfer takes the paper's original path.
+#[must_use]
+pub fn sweep_blob_config() -> mig_core::transfer::TransferConfig {
+    mig_core::transfer::TransferConfig {
+        stream_threshold: u32::MAX,
+        chunk_size: 256 * 1024,
+        window: 8,
+    }
+}
+
 /// Runs one full enclave migration in a fresh datacenter, returning
 /// `(virtual_duration, wall_duration)`.
 ///
@@ -315,13 +389,14 @@ pub fn run_one_migration(seed: u64) -> (Duration, Duration) {
         .expect("deploy src");
     // A representative working set: one counter + some sealed data.
     let id = {
-        let out = dc.call_app("src", ops::COUNTER_CREATE, &[]).expect("create");
+        let out = dc
+            .call_app("src", ops::COUNTER_CREATE, &[])
+            .expect("create");
         out[0]
     };
-    dc.call_app("src", ops::COUNTER_INCREMENT, &[id]).expect("inc");
-    let _sealed = dc
-        .call_app("src", ops::SEAL, &[7u8; 100])
-        .expect("seal");
+    dc.call_app("src", ops::COUNTER_INCREMENT, &[id])
+        .expect("inc");
+    let _sealed = dc.call_app("src", ops::SEAL, &[7u8; 100]).expect("seal");
 
     dc.deploy_app("dst", m2, &bench_image(), BenchApp, InitRequest::Migrate)
         .expect("deploy dst");
@@ -384,7 +459,10 @@ mod tests {
         let setup = BenchSetup::new(false);
         let (mig, base) = setup.create_counters();
 
-        assert_eq!(setup.call_migratable(ops::COUNTER_INCREMENT, &[mig]).len(), 4);
+        assert_eq!(
+            setup.call_migratable(ops::COUNTER_INCREMENT, &[mig]).len(),
+            4
+        );
         assert_eq!(
             setup
                 .call_baseline(native_ops::COUNTER_INCREMENT, &[base])
@@ -392,7 +470,10 @@ mod tests {
             4
         );
         assert_eq!(setup.call_migratable(ops::COUNTER_READ, &[mig]).len(), 4);
-        assert_eq!(setup.call_baseline(native_ops::COUNTER_READ, &[base]).len(), 4);
+        assert_eq!(
+            setup.call_baseline(native_ops::COUNTER_READ, &[base]).len(),
+            4
+        );
 
         let blob = setup.call_migratable(ops::SEAL, b"x");
         assert_eq!(setup.call_migratable(ops::UNSEAL, &blob), b"x");

@@ -20,7 +20,10 @@ impl SimTime {
     /// Adds a duration, saturating at the maximum representable time.
     #[must_use]
     pub fn after(self, d: Duration) -> SimTime {
-        SimTime(self.0.saturating_add(d.as_nanos().min(u128::from(u64::MAX)) as u64))
+        SimTime(
+            self.0
+                .saturating_add(d.as_nanos().min(u128::from(u64::MAX)) as u64),
+        )
     }
 
     /// The duration elapsed since `earlier` (zero if `earlier` is later).

@@ -343,7 +343,9 @@ mod tests {
     #[test]
     fn tap_can_rewrite_payloads() {
         let mut net = Network::new(SimClock::new());
-        net.add_tap(Box::new(|_: &Envelope| TapAction::Replace(b"evil".to_vec())));
+        net.add_tap(Box::new(|_: &Envelope| {
+            TapAction::Replace(b"evil".to_vec())
+        }));
         net.send(&ep(1, "a"), &ep(2, "b"), b"good".to_vec());
         assert_eq!(net.deliver_next().unwrap().payload, b"evil");
     }

@@ -286,7 +286,10 @@ impl World {
         let mut steps = 0;
         while self.step() {
             steps += 1;
-            assert!(steps < MAX_STEPS, "protocol livelock: {MAX_STEPS} deliveries");
+            assert!(
+                steps < MAX_STEPS,
+                "protocol livelock: {MAX_STEPS} deliveries"
+            );
         }
         steps
     }
@@ -363,7 +366,10 @@ mod tests {
         let t0 = world.now();
         let duration = world.migrate_vm(vm, m2);
         assert_eq!(world.vm(vm).host, m2);
-        assert!(duration > Duration::from_millis(800), "1 GiB over 10 Gbit/s");
+        assert!(
+            duration > Duration::from_millis(800),
+            "1 GiB over 10 Gbit/s"
+        );
         assert_eq!(world.now().since(t0), duration);
     }
 

@@ -9,12 +9,13 @@
 //! via the accessors.
 
 use crate::error::MigError;
-use crate::harness::{AppLogic, MigratableEnclave};
+use crate::harness::{ops as lib_ops, AppLogic, MigratableEnclave};
 use crate::host::{AppHost, AppStatus, MeHost, ME_SERVICE};
 use crate::library::InitRequest;
-use crate::me::{me_image, ops as me_ops, MigrationEnclave};
+use crate::me::{me_image, ops as me_ops, read_opt, MigrationEnclave};
 use crate::operator::CloudOperator;
 use crate::policy::MigrationPolicy;
+use crate::transfer::TransferConfig;
 use cloud_sim::machine::MachineLabels;
 use cloud_sim::network::Endpoint;
 use cloud_sim::world::World;
@@ -41,8 +42,25 @@ pub struct Datacenter {
     operator: CloudOperator,
     me_hosts: HashMap<MachineId, Arc<Mutex<MeHost>>>,
     me_policies: HashMap<MachineId, MigrationPolicy>,
+    me_transfer_configs: HashMap<MachineId, TransferConfig>,
     app_hosts: HashMap<String, Arc<Mutex<AppHost>>>,
     app_machines: HashMap<String, MachineId>,
+}
+
+/// Result of a [`Datacenter::migrate_app_resumable`] attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResumableOutcome {
+    /// The migration ran to completion in the given virtual time.
+    Completed(Duration),
+    /// The transfer stalled mid-stream (e.g. a machine failure). The
+    /// source ME state was checkpointed to disk; after recovery,
+    /// [`Datacenter::resume_migration`] continues from the last
+    /// acknowledged chunk.
+    Stalled {
+        /// `(acked_chunks, total_chunks)` of the streamed transfer, when
+        /// it got far enough to stream.
+        progress: Option<(u32, u32)>,
+    },
 }
 
 impl std::fmt::Debug for Datacenter {
@@ -75,6 +93,7 @@ impl Datacenter {
             operator: CloudOperator::new(&mut rng),
             me_hosts: HashMap::new(),
             me_policies: HashMap::new(),
+            me_transfer_configs: HashMap::new(),
             app_hosts: HashMap::new(),
             app_machines: HashMap::new(),
         }
@@ -111,7 +130,24 @@ impl Datacenter {
     /// Panics if ME provisioning fails — that is a harness bug, not a
     /// runtime condition.
     pub fn add_machine(&mut self, labels: MachineLabels, policy: &MigrationPolicy) -> MachineId {
+        self.add_machine_with_transfer(labels, policy, TransferConfig::default())
+    }
+
+    /// [`Datacenter::add_machine`] with explicit streaming-transfer
+    /// tuning (chunk size, threshold, send window) for the machine's ME.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ME provisioning fails — that is a harness bug, not a
+    /// runtime condition.
+    pub fn add_machine_with_transfer(
+        &mut self,
+        labels: MachineLabels,
+        policy: &MigrationPolicy,
+        transfer: TransferConfig,
+    ) -> MachineId {
         let machine_id = self.world.add_machine(labels.clone());
+        self.me_transfer_configs.insert(machine_id, transfer);
         let enclave = self.provision_me(machine_id, policy);
 
         let endpoint = Endpoint::new(machine_id, ME_SERVICE);
@@ -154,6 +190,11 @@ impl Datacenter {
         w.array(&self.operator.root_key().0);
         w.array(&self.world.ias().verifying_key().0);
         w.bytes(&policy.to_bytes());
+        self.me_transfer_configs
+            .get(&machine_id)
+            .copied()
+            .unwrap_or_default()
+            .encode(&mut w);
         enclave
             .ecall(me_ops::PROVISION, &w.finish())
             .expect("ME provisioning must succeed");
@@ -207,7 +248,8 @@ impl Datacenter {
         self.world.register_service(endpoint, host.clone());
         host.lock().attest_me(self.world.network_mut());
         self.world.run_until_idle();
-        self.app_hosts.insert(instance.to_string(), Arc::clone(&host));
+        self.app_hosts
+            .insert(instance.to_string(), Arc::clone(&host));
         self.app_machines.insert(instance.to_string(), machine);
         Ok(host)
     }
@@ -289,6 +331,128 @@ impl Datacenter {
         Ok(finished.since(started))
     }
 
+    /// Crash-resilient migration of `src_instance`'s persistent state to
+    /// `dst_instance` (deployed, awaiting, on another machine).
+    ///
+    /// Like [`Datacenter::migrate_app`], but built for large streamed
+    /// state: if the transfer stalls mid-stream (an injected machine
+    /// failure, a partitioned link), it does **not** error out — it
+    /// checkpoints the source ME's durable state (retained payload plus
+    /// per-chunk progress) to disk and reports
+    /// [`ResumableOutcome::Stalled`]. After the failure is repaired
+    /// (e.g. [`Datacenter::restart_me`]), [`Datacenter::resume_migration`]
+    /// continues from the last acknowledged chunk.
+    ///
+    /// # Errors
+    ///
+    /// Enclave errors from starting the migration propagate; a stalled
+    /// transfer is an `Ok` outcome, not an error.
+    pub fn migrate_app_resumable(
+        &mut self,
+        src_instance: &str,
+        dst_instance: &str,
+    ) -> Result<ResumableOutcome, MigError> {
+        let src_machine = self.app_machine(src_instance);
+        let dst_machine = self.app_machine(dst_instance);
+        let src = self.app(src_instance);
+        let dst = self.app(dst_instance);
+        let mr = src.lock().enclave().identity().mr_enclave;
+
+        let started = self.world.now();
+        src.lock()
+            .migrate_to(self.world.network_mut(), dst_machine)
+            .map_err(MigError::Sgx)?;
+        self.world.run_until_idle();
+        let finished = self.world.now();
+
+        if src.lock().status() == AppStatus::Migrated && dst.lock().status() == AppStatus::Ready {
+            return Ok(ResumableOutcome::Completed(finished.since(started)));
+        }
+        // Stalled: checkpoint the source ME (retained data + chunk
+        // progress) so recovery resumes instead of restarting.
+        let progress = self
+            .me_host(src_machine)
+            .lock()
+            .stream_progress(mr)
+            .map_err(MigError::Sgx)?
+            .map(|(acked, total, _len)| (acked, total));
+        self.persist_me(src_machine).map_err(MigError::Sgx)?;
+        Ok(ResumableOutcome::Stalled { progress })
+    }
+
+    /// Resumes a stalled migration of `src_instance` towards
+    /// `dst_instance` from the last acknowledged chunk.
+    ///
+    /// Re-attests the (frozen) source enclave with its ME when needed —
+    /// after an ME restart all attested sessions are gone — then
+    /// re-dispatches the retained transfer: the source ME renegotiates
+    /// the resume point with the destination (`ResumeRequest` /
+    /// `Resume`) and streams only the chunks the destination is missing.
+    ///
+    /// # Errors
+    ///
+    /// [`MigError`] variants surface from the source ME (no retained
+    /// data) or from the completion check.
+    pub fn resume_migration(
+        &mut self,
+        src_instance: &str,
+        dst_instance: &str,
+    ) -> Result<Duration, MigError> {
+        let src_machine = self.app_machine(src_instance);
+        let dst_machine = self.app_machine(dst_instance);
+        let mr = self
+            .app(src_instance)
+            .lock()
+            .enclave()
+            .identity()
+            .mr_enclave;
+
+        // Re-attest the source app so the completion notification can
+        // reach it over a fresh channel (harmless if already attested).
+        {
+            let src = self.app(src_instance);
+            let mut src = src.lock();
+            src.attest_me(self.world.network_mut());
+        }
+        self.world.run_until_idle();
+
+        let started = self.world.now();
+        let me = self.me_host(src_machine);
+        me.lock()
+            .retry_migration(self.world.network_mut(), mr, dst_machine)
+            .map_err(MigError::Sgx)?;
+        self.world.run_until_idle();
+        let finished = self.world.now();
+
+        let src = self.app(src_instance);
+        let dst = self.app(dst_instance);
+        if src.lock().status() != AppStatus::MigratingOut
+            && src.lock().status() != AppStatus::Migrated
+        {
+            return Err(MigError::HostState("source in unexpected status"));
+        }
+        if dst.lock().status() != AppStatus::Ready {
+            return Err(MigError::HostState("destination did not become ready"));
+        }
+        Ok(finished.since(started))
+    }
+
+    /// The bulk state currently staged in `instance`'s Migration Library
+    /// — on a freshly migrated destination, the transferred state blob.
+    ///
+    /// # Errors
+    ///
+    /// Enclave errors propagate; a malformed reply surfaces as
+    /// [`SgxError::Decode`].
+    pub fn app_bulk_state(&mut self, instance: &str) -> Result<Option<Vec<u8>>, SgxError> {
+        let host = self.app(instance);
+        let payload = host.lock().call(lib_ops::BULK_STATE, &[])?;
+        let mut r = sgx_sim::wire::WireReader::new(&payload);
+        let bulk = read_opt(&mut r)?;
+        r.finish()?;
+        Ok(bulk)
+    }
+
     /// Checkpoints a machine's ME state to its untrusted disk (under
     /// `"me-state"`), so retained migration data survives a management-VM
     /// restart.
@@ -321,11 +485,7 @@ impl Datacenter {
                 .sgx
                 .load_enclave(&me_image(), Box::new(MigrationEnclave::new()))?,
             None => {
-                let policy = self
-                    .me_policies
-                    .get(&machine)
-                    .cloned()
-                    .unwrap_or_default();
+                let policy = self.me_policies.get(&machine).cloned().unwrap_or_default();
                 self.provision_me(machine, &policy)
             }
         };
@@ -383,7 +543,12 @@ impl Datacenter {
     ) -> Result<Duration, MigError> {
         let src_machine = self.app_machine(src_instance);
         let dst_machine = self.app_machine(dst_instance);
-        let mr = self.app(src_instance).lock().enclave().identity().mr_enclave;
+        let mr = self
+            .app(src_instance)
+            .lock()
+            .enclave()
+            .identity()
+            .mr_enclave;
 
         let started = self.world.now();
         let me = self.me_host(src_machine);

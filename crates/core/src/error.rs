@@ -43,6 +43,10 @@ pub enum MigError {
     PolicyViolation(String),
     /// A protocol message arrived out of order or for an unknown session.
     Protocol(&'static str),
+    /// A streamed state transfer violated the chunk protocol: wrong
+    /// chunk index, broken HMAC chain, digest mismatch, or inconsistent
+    /// stream geometry.
+    Transfer(&'static str),
     /// The untrusted host was asked to do something its status forbids.
     HostState(&'static str),
 }
@@ -53,7 +57,10 @@ impl fmt::Display for MigError {
             MigError::Sgx(e) => write!(f, "sgx: {e}"),
             MigError::Frozen => write!(f, "library state is frozen (already migrated)"),
             MigError::StaleState => {
-                write!(f, "stale persistent state: referenced counters no longer exist")
+                write!(
+                    f,
+                    "stale persistent state: referenced counters no longer exist"
+                )
             }
             MigError::NotInitialized => write!(f, "migration library not initialized"),
             MigError::AwaitingMigration => {
@@ -73,6 +80,7 @@ impl fmt::Display for MigError {
             }
             MigError::PolicyViolation(why) => write!(f, "migration policy violation: {why}"),
             MigError::Protocol(what) => write!(f, "protocol error: {what}"),
+            MigError::Transfer(what) => write!(f, "state-transfer error: {what}"),
             MigError::HostState(what) => write!(f, "host state error: {what}"),
         }
     }
@@ -131,6 +139,7 @@ mod tests {
             MigError::PeerAuthenticationFailed("sig"),
             MigError::PolicyViolation("other dc".into()),
             MigError::Protocol("bad msg"),
+            MigError::Transfer("chain broken"),
             MigError::HostState("not ready"),
         ];
         for e in all {

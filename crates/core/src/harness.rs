@@ -37,6 +37,9 @@ pub mod ops {
     pub const ME_CT: u32 = 0x1004;
     /// Library phase query (diagnostics).
     pub const PHASE: u32 = 0x1005;
+    /// Staged bulk state query: returns the optional bulk payload (on a
+    /// migration target, the state that arrived with the migration).
+    pub const BULK_STATE: u32 = 0x1006;
 }
 
 /// First application-reserved opcode.
@@ -171,7 +174,9 @@ impl<A: AppLogic> EnclaveCode for MigratableEnclave<A> {
                 self.lib = Some(lib);
                 Ok(Vec::new())
             }
-            ops::ME_MSG1 => self.lib_mut().and_then(|lib| lib.me_attest_msg1(env, input)),
+            ops::ME_MSG1 => self
+                .lib_mut()
+                .and_then(|lib| lib.me_attest_msg1(env, input)),
             ops::ME_MSG3 => self
                 .lib_mut()
                 .and_then(|lib| lib.me_attest_msg3(env, input).map(|()| Vec::new())),
@@ -181,10 +186,8 @@ impl<A: AppLogic> EnclaveCode for MigratableEnclave<A> {
                     .u64()
                     .and_then(|d| r.finish().map(|()| MachineId(d)))
                     .map_err(MigError::Sgx);
-                destination.and_then(|dst| {
-                    self.lib_mut()
-                        .and_then(|lib| lib.start_migration(env, dst))
-                })
+                destination
+                    .and_then(|dst| self.lib_mut().and_then(|lib| lib.start_migration(env, dst)))
             }
             ops::ME_CT => self.lib_mut().and_then(|lib| {
                 lib.receive_me_message(env, input).map(|reply| {
@@ -203,6 +206,12 @@ impl<A: AppLogic> EnclaveCode for MigratableEnclave<A> {
                     },
                 };
                 Ok(vec![phase])
+            }
+            ops::BULK_STATE => {
+                let lib = self.lib.as_ref().ok_or(MigError::NotInitialized)?;
+                let mut w = WireWriter::new();
+                crate::me::write_opt(&mut w, lib.bulk_state());
+                Ok(w.finish())
             }
             app_opcode if app_opcode < APP_OPCODE_LIMIT => {
                 let lib = self.lib.as_mut().ok_or(MigError::NotInitialized)?;
@@ -241,7 +250,9 @@ mod tests {
         let mr = MrEnclave([9; 32]);
         for request in [
             InitRequest::New,
-            InitRequest::Restore { blob: vec![1, 2, 3] },
+            InitRequest::Restore {
+                blob: vec![1, 2, 3],
+            },
             InitRequest::Migrate,
         ] {
             let bytes = encode_init(&mr, &request);

@@ -11,6 +11,7 @@ use crate::harness::{encode_init, open_envelope, ops as lib_ops};
 use crate::library::InitRequest;
 use crate::me::{ops as me_ops, read_opt, MeAction, RaResponseAuth};
 use crate::remote_attest::RaHello;
+use crate::transfer::checkpoint::CheckpointStore;
 use cloud_sim::disk::UntrustedDisk;
 use cloud_sim::network::{Endpoint, Network};
 use cloud_sim::world::Service;
@@ -31,8 +32,12 @@ type LaMsg2Output = (Vec<u8>, MrEnclave, Option<Vec<u8>>);
 /// optional forward ciphertext, optional ack ciphertext.
 type TransferOutput = (u8, MrEnclave, Option<Vec<u8>>, Option<Vec<u8>>);
 /// Parsed output of the ME's `ACK` ECALL: kind, measurement, optional
-/// completion ciphertext.
-type AckOutput = (u8, MrEnclave, Option<Vec<u8>>);
+/// completion ciphertext, and follow-on stream frames for the peer.
+type AckOutput = (u8, MrEnclave, Option<Vec<u8>>, Vec<Vec<u8>>);
+
+/// How many library persists elapse between durable checkpoint-store
+/// generations written by an [`AppHost`].
+pub const CHECKPOINT_INTERVAL: usize = 4;
 
 /// Modelled IAS HTTPS round-trip latency (intra-region).
 pub const IAS_ROUND_TRIP: Duration = Duration::from_millis(20);
@@ -172,6 +177,15 @@ impl MeHost {
             } => {
                 let me = Endpoint::new(destination, ME_SERVICE);
                 net.send(&self.endpoint, &me, frame(tags::RA_TRANSFER, &transfer));
+            }
+            MeAction::StreamRemote {
+                destination,
+                frames,
+            } => {
+                let me = Endpoint::new(destination, ME_SERVICE);
+                for ct in frames {
+                    net.send(&self.endpoint, &me, frame(tags::RA_TRANSFER, &ct));
+                }
             }
             MeAction::AckSource { source, ack } => {
                 let me = Endpoint::new(source, ME_SERVICE);
@@ -393,20 +407,59 @@ impl MeHost {
             let kind = r.u8()?;
             let mr = MrEnclave(r.array()?);
             let complete = read_opt(&mut r)?;
+            let n = r.u32()? as usize;
+            let mut frames = Vec::with_capacity(n);
+            for _ in 0..n {
+                frames.push(r.bytes_vec()?);
+            }
             r.finish()?;
-            Ok((kind, mr, complete))
+            Ok((kind, mr, complete, frames))
         })();
         match parsed {
-            Ok((kind, mr, complete)) => {
+            Ok((kind, mr, complete, frames)) => {
                 if kind == 1 {
                     // Delivered: notify the (frozen) source app if known.
                     if let (Some(ct), Some(app)) = (complete, self.app_by_mr.get(&mr).cloned()) {
                         net.send(&self.endpoint, &app, frame(tags::ME_FORWARD, &ct));
                     }
                 }
+                // Follow-on stream frames (window slide / resume) go back
+                // to the destination that acked.
+                for ct in frames {
+                    net.send(&self.endpoint, from, frame(tags::RA_TRANSFER, &ct));
+                }
             }
             Err(e) => self.fail("parse ack output", e),
         }
+    }
+
+    /// Streaming progress of the retained outgoing migration for `mr`:
+    /// `Some((acked_chunks, total_chunks, state_len))` when it went down
+    /// the streamed path, `None` otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Enclave errors propagate.
+    #[allow(clippy::type_complexity)]
+    pub fn stream_progress(&mut self, mr: MrEnclave) -> Result<Option<(u32, u32, u64)>, SgxError> {
+        let mut w = WireWriter::new();
+        w.array(&mr.0);
+        let out = self.enclave.ecall(me_ops::STREAM_STAT, &w.finish())?;
+        let mut r = WireReader::new(&out);
+        let result = match r.u8()? {
+            1 => {
+                let acked = r.u32()?;
+                let total = r.u32()?;
+                let len = r.u64()?;
+                Some((acked, total, len))
+            }
+            2 => {
+                let _len = r.u64()?;
+                None
+            }
+            _ => None,
+        };
+        Ok(result)
     }
 }
 
@@ -463,6 +516,10 @@ pub struct AppHost {
     enclave: EnclaveHandle,
     disk: UntrustedDisk,
     status: AppStatus,
+    /// Durable generation-numbered checkpoints of the sealed library
+    /// state (periodic; see [`CHECKPOINT_INTERVAL`]).
+    checkpoints: CheckpointStore,
+    persists_since_checkpoint: usize,
     /// Non-fatal errors observed (visible to tests).
     pub errors: Vec<String>,
 }
@@ -494,6 +551,7 @@ impl AppHost {
         expected_me: MrEnclave,
         init: InitRequest,
     ) -> Result<Self, SgxError> {
+        let checkpoints = CheckpointStore::new(disk.clone(), &format!("mig-state:{name}"));
         let mut host = AppHost {
             name: name.to_string(),
             endpoint,
@@ -504,6 +562,8 @@ impl AppHost {
                 InitRequest::Migrate => AppStatus::AwaitingIncoming,
                 _ => AppStatus::AttestingMe,
             },
+            checkpoints,
+            persists_since_checkpoint: 0,
             errors: Vec::new(),
         };
         host.me_endpoint = Endpoint::new(host.endpoint.machine, ME_SERVICE);
@@ -537,17 +597,37 @@ impl AppHost {
         &self.enclave
     }
 
+    /// The host's checkpoint series (durable sealed-state generations).
+    #[must_use]
+    pub fn checkpoints(&self) -> &CheckpointStore {
+        &self.checkpoints
+    }
+
     fn store_persist(&mut self, envelope_bytes: &[u8]) -> Result<Vec<u8>, SgxError> {
         let (payload, persist) = open_envelope(envelope_bytes)?;
         if let Some(blob) = persist {
-            self.disk.put(&self.state_key(), blob);
+            self.disk.put(&self.state_key(), blob.clone());
+            // Periodic durable checkpoint generation (the "C" of CTR):
+            // the latest-but-one generation survives even a crash
+            // mid-write of the newest.
+            self.persists_since_checkpoint += 1;
+            if self.persists_since_checkpoint >= CHECKPOINT_INTERVAL
+                || self.checkpoints.latest_generation().is_none()
+            {
+                self.persists_since_checkpoint = 0;
+                self.checkpoints.put(blob);
+            }
         }
         Ok(payload)
     }
 
     /// Kicks off local attestation with the machine's ME.
     pub fn attest_me(&mut self, net: &mut Network) {
-        net.send(&self.endpoint, &self.me_endpoint, frame(tags::LA_START, &[]));
+        net.send(
+            &self.endpoint,
+            &self.me_endpoint,
+            frame(tags::LA_START, &[]),
+        );
     }
 
     /// Whether the attested ME session is up (status advanced past

@@ -31,6 +31,18 @@
 //! * [`baseline`] — the native (non-migratable) enclave baseline of
 //!   Figs. 3–4 and the Gu-et-al-style memory-migration baseline attacked
 //!   in §III.
+//! * [`transfer`] — the CTR-style extension beyond the paper: a durable
+//!   [`transfer::checkpoint::CheckpointStore`] on the untrusted disk and
+//!   a chunked, resumable, HMAC-chained streaming engine
+//!   ([`transfer::chunker`]) that replaces the single-shot transfer for
+//!   state above [`transfer::TransferConfig::stream_threshold`]. Apps
+//!   stage bulk state via
+//!   [`library::MigrationLibrary::stage_bulk_state`]; the Migration
+//!   Enclaves pipeline it as windowed `Chunk` messages over the attested
+//!   channel, persist per-chunk progress, and — driven by
+//!   [`datacenter::Datacenter::migrate_app_resumable`] /
+//!   [`datacenter::Datacenter::resume_migration`] — recover a
+//!   mid-transfer machine crash from the last acknowledged chunk.
 //!
 //! # Quick start
 //!
@@ -92,5 +104,6 @@ pub mod operator;
 pub mod policy;
 pub mod remote_attest;
 pub mod secure_channel;
+pub mod transfer;
 
 pub use error::MigError;

@@ -68,9 +68,7 @@ pub enum LibPhase {
 enum MeSession {
     None,
     Handshaking(DhInitiator),
-    Established {
-        channel: SecureChannel,
-    },
+    Established { channel: SecureChannel },
 }
 
 /// The Migration Library instance embedded in a migratable enclave.
@@ -83,13 +81,20 @@ pub struct MigrationLibrary {
     phase: LibPhase,
     me_session: MeSession,
     pending_persist: Option<Vec<u8>>,
+    /// Staged bulk state (the app's migratable-sealed working set),
+    /// included in persistent checkpoints and shipped on migration via
+    /// the streaming transfer engine when large.
+    bulk_state: Option<Vec<u8>>,
 }
 
 impl std::fmt::Debug for MigrationLibrary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MigrationLibrary")
             .field("phase", &self.phase)
-            .field("has_me_session", &matches!(self.me_session, MeSession::Established { .. }))
+            .field(
+                "has_me_session",
+                &matches!(self.me_session, MeSession::Established { .. }),
+            )
             .finish_non_exhaustive()
     }
 }
@@ -129,6 +134,7 @@ impl MigrationLibrary {
                     phase: LibPhase::Operational,
                     me_session: MeSession::None,
                     pending_persist: None,
+                    bulk_state: None,
                 };
                 lib.persist(env);
                 Ok(lib)
@@ -138,7 +144,12 @@ impl MigrationLibrary {
                 if aad != STATE_AAD {
                     return Err(MigError::Sgx(SgxError::Decode));
                 }
-                let state = LibraryState::from_bytes(&plaintext)?;
+                // The checkpoint carries Table II plus any staged bulk
+                // state (see `persist`).
+                let mut r = WireReader::new(&plaintext);
+                let state = LibraryState::from_bytes(r.bytes()?)?;
+                let bulk_state = crate::me::read_opt(&mut r)?;
+                r.finish()?;
                 if state.frozen != 0 {
                     return Err(MigError::Frozen);
                 }
@@ -158,6 +169,7 @@ impl MigrationLibrary {
                     phase: LibPhase::Operational,
                     me_session: MeSession::None,
                     pending_persist: None,
+                    bulk_state,
                 })
             }
             InitRequest::Migrate => Ok(MigrationLibrary {
@@ -166,6 +178,7 @@ impl MigrationLibrary {
                 phase: LibPhase::AwaitingMigration,
                 me_session: MeSession::None,
                 pending_persist: None,
+                bulk_state: None,
             }),
         }
     }
@@ -185,9 +198,7 @@ impl MigrationLibrary {
     /// Number of active migratable counters.
     #[must_use]
     pub fn active_counters(&self) -> usize {
-        self.state
-            .as_ref()
-            .map_or(0, |s| s.active_ids().count())
+        self.state.as_ref().map_or(0, |s| s.active_ids().count())
     }
 
     /// Takes the freshly sealed Table II blob produced by the last
@@ -199,9 +210,55 @@ impl MigrationLibrary {
 
     fn persist(&mut self, env: &mut EnclaveEnv<'_>) {
         if let Some(state) = &self.state {
-            let blob = env.seal_data(KeyPolicy::MrEnclave, STATE_AAD, &state.to_bytes());
+            let mut w = WireWriter::new();
+            w.bytes(&state.to_bytes());
+            crate::me::write_opt(&mut w, self.bulk_state.as_deref());
+            let blob = env.seal_data(KeyPolicy::MrEnclave, STATE_AAD, &w.finish());
             self.pending_persist = Some(blob);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Bulk state (the streaming-transfer payload)
+    // ------------------------------------------------------------------
+
+    /// Stages the app's bulk state (its migratable-sealed working set)
+    /// for checkpointing and migration. Replaces any previous staging and
+    /// reseals the persistent checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Phase errors outside normal operation;
+    /// [`MigError::Transfer`] for payloads beyond the streaming engine's
+    /// [`crate::transfer::chunker::MAX_STREAM_LEN`].
+    pub fn stage_bulk_state(
+        &mut self,
+        env: &mut EnclaveEnv<'_>,
+        bytes: &[u8],
+    ) -> Result<(), MigError> {
+        let _ = self.operational_state()?;
+        if bytes.len() as u64 > crate::transfer::chunker::MAX_STREAM_LEN {
+            return Err(MigError::Transfer("bulk state exceeds stream limit"));
+        }
+        // Idempotent re-staging (e.g. restoring the very snapshot that
+        // just migrated in) skips the O(state) reseal.
+        if self.bulk_state.as_deref() == Some(bytes) {
+            return Ok(());
+        }
+        self.bulk_state = if bytes.is_empty() {
+            None
+        } else {
+            Some(bytes.to_vec())
+        };
+        self.persist(env);
+        Ok(())
+    }
+
+    /// The currently staged bulk state, if any (on a migration target,
+    /// the bulk state that arrived with the migration).
+    #[must_use]
+    pub fn bulk_state(&self) -> Option<&[u8]> {
+        self.bulk_state.as_deref()
     }
 
     fn state(&self) -> Result<&LibraryState, MigError> {
@@ -532,10 +589,17 @@ impl MigrationLibrary {
             env.destroy_counter(&uuids[id])?;
         }
 
-        // (4) Build and encrypt the Table I payload.
+        // (4) Build and encrypt the Table I payload plus the staged bulk
+        // state; above the ME's streaming threshold the bulk bytes will
+        // be chunked over the remote channel rather than sent in one
+        // message.
         let state = self.state.as_ref().expect("operational implies state");
         let data = state.to_migration_data(&effective)?;
-        let msg = LibToMe::MigrateRequest { destination, data };
+        let msg = LibToMe::MigrateRequest {
+            destination,
+            data,
+            state: self.bulk_state.clone().unwrap_or_default(),
+        };
         let plaintext = msg.to_bytes();
         let channel = self.channel()?;
         Ok(channel.seal(&plaintext))
@@ -562,14 +626,15 @@ impl MigrationLibrary {
     ) -> Result<Option<Vec<u8>>, MigError> {
         let plaintext = self.channel()?.open(ciphertext)?;
         match MeToLib::from_bytes(&plaintext)? {
-            MeToLib::IncomingMigration { data } => {
+            MeToLib::IncomingMigration { data, state } => {
                 // Idempotent re-delivery: if the ME restarted after we
                 // installed but before our DONE arrived, the same payload
                 // is delivered again — acknowledge without reinstalling.
                 if self.phase == LibPhase::Operational {
-                    let state = self.state.as_ref().ok_or(MigError::Protocol(
-                        "operational phase without state",
-                    ))?;
+                    let state = self
+                        .state
+                        .as_ref()
+                        .ok_or(MigError::Protocol("operational phase without state"))?;
                     let same = mig_crypto::ct::ct_eq(&state.msk, &data.msk)
                         && state.counters_active == data.counters_active
                         && state.counter_offsets == data.counter_values;
@@ -586,17 +651,21 @@ impl MigrationLibrary {
                         "incoming migration while not awaiting one",
                     ));
                 }
-                let mut state = LibraryState::from_migration_data(&data);
+                let mut lib_state = LibraryState::from_migration_data(&data);
                 // Fresh hardware counters start at 0; the transferred
                 // effective values live on as offsets.
                 for id in 0..COUNTER_SLOTS {
-                    if state.counters_active[id] {
+                    if lib_state.counters_active[id] {
                         let (uuid, _zero) = env.create_counter()?;
-                        state.counter_uuids[id] = uuid;
+                        lib_state.counter_uuids[id] = uuid;
                     }
                 }
-                self.state = Some(state);
+                self.state = Some(lib_state);
                 self.phase = LibPhase::Operational;
+                // The migrated bulk state becomes this incarnation's
+                // staged state: the app retrieves it to restore its
+                // working set, and a further migration re-ships it.
+                self.bulk_state = if state.is_empty() { None } else { Some(state) };
                 self.persist(env);
                 let done = LibToMe::Done.to_bytes();
                 Ok(Some(self.channel()?.seal(&done)))

@@ -314,7 +314,10 @@ mod tests {
     fn malformed_bool_rejected() {
         let mut bytes = sample_state().to_bytes();
         bytes[1] = 2; // invalid bool for counters_active[0]
-        assert_eq!(LibraryState::from_bytes(&bytes).unwrap_err(), SgxError::Decode);
+        assert_eq!(
+            LibraryState::from_bytes(&bytes).unwrap_err(),
+            SgxError::Decode
+        );
     }
 
     #[test]

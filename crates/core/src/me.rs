@@ -25,10 +25,10 @@ use crate::library::state::MigrationData;
 use crate::msgs::{LibToMe, MeToLib, MeToMe};
 use crate::operator::MeCredential;
 use crate::policy::MigrationPolicy;
-use crate::remote_attest::{
-    transcript_bytes, RaConfig, RaInitiator, RaResponder, RaResponseQuote,
-};
+use crate::remote_attest::{transcript_bytes, RaConfig, RaInitiator, RaResponder, RaResponseQuote};
 use crate::secure_channel::{ChannelRole, SecureChannel};
+use crate::transfer::chunker::{chunk_count, ChunkAssembler, ChunkStream, TransferNonce};
+use crate::transfer::TransferConfig;
 use mig_crypto::ed25519::{Signature, SigningKey, VerifyingKey};
 use mig_crypto::x25519::PublicKey;
 use sgx_sim::dh::{DhMsg2, DhResponder};
@@ -75,6 +75,9 @@ pub mod ops {
     /// Restore the ME's durable state after a restart. Attested sessions
     /// and channels are ephemeral and must be re-established.
     pub const RESTORE: u32 = 13;
+    /// Streaming-transfer progress query for a retained outgoing
+    /// migration (diagnostics / resumable-migration orchestration).
+    pub const STREAM_STAT: u32 = 14;
 }
 
 /// The canonical Migration Enclave image. Identical on every machine, as
@@ -117,6 +120,31 @@ pub(crate) fn read_opt(r: &mut WireReader<'_>) -> Result<Option<Vec<u8>>, SgxErr
     }
 }
 
+/// Seals the chunk messages `from..upto` of `stream` on `channel`.
+fn chunk_frames(
+    stream: &ChunkStream,
+    channel: &mut SecureChannel,
+    from: u32,
+    upto: u32,
+) -> Vec<Vec<u8>> {
+    (from..upto)
+        .map(|idx| {
+            let (payload, mac) = stream.chunk(idx);
+            let pad = stream.chunk_size() - payload.len() as u32;
+            channel.seal(
+                &MeToMe::Chunk {
+                    nonce: stream.nonce(),
+                    idx,
+                    payload: payload.to_vec(),
+                    mac,
+                    pad,
+                }
+                .to_bytes(),
+            )
+        })
+        .collect()
+}
+
 /// Action the untrusted host must take after a [`ops::LIB_MSG`] ECALL.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum MeAction {
@@ -135,6 +163,15 @@ pub enum MeAction {
         destination: MachineId,
         /// Channel-sealed [`MeToMe::Transfer`].
         transfer: Vec<u8>,
+    },
+    /// A channel exists and a streamed transfer is starting or resuming:
+    /// send these encrypted frames in order.
+    StreamRemote {
+        /// Destination machine.
+        destination: MachineId,
+        /// Channel-sealed [`MeToMe`] stream frames (`ChunkStart` /
+        /// `Chunk` / `ResumeRequest`).
+        frames: Vec<Vec<u8>>,
     },
     /// (Destination side) relay this encrypted acknowledgement to the
     /// source ME.
@@ -173,6 +210,17 @@ impl MeAction {
                 w.u64(source.0);
                 w.bytes(ack);
             }
+            MeAction::StreamRemote {
+                destination,
+                frames,
+            } => {
+                w.u8(4);
+                w.u64(destination.0);
+                w.u32(frames.len() as u32);
+                for frame in frames {
+                    w.bytes(frame);
+                }
+            }
         }
         w.finish()
     }
@@ -198,6 +246,18 @@ impl MeAction {
                 source: MachineId(r.u64()?),
                 ack: r.bytes_vec()?,
             },
+            4 => {
+                let destination = MachineId(r.u64()?);
+                let n = r.u32()? as usize;
+                let mut frames = Vec::with_capacity(n);
+                for _ in 0..n {
+                    frames.push(r.bytes_vec()?);
+                }
+                MeAction::StreamRemote {
+                    destination,
+                    frames,
+                }
+            }
             _ => return Err(SgxError::Decode),
         };
         r.finish()?;
@@ -289,12 +349,49 @@ struct MeConfig {
     ias_key: VerifyingKey,
     credential: MeCredential,
     policy: MigrationPolicy,
+    transfer: TransferConfig,
+}
+
+/// Progress of a chunked outgoing transfer (persisted so a restarted ME
+/// resumes from the last acknowledged chunk).
+struct OutgoingStream {
+    nonce: TransferNonce,
+    /// Chunk size the stream was started with (survives re-provisioning
+    /// with a different [`TransferConfig`]).
+    chunk_size: u32,
+    /// Cumulative acknowledgement: chunks `< acked` are at the
+    /// destination.
+    acked: u32,
+    /// Next chunk index to put on the wire (not persisted; reset to
+    /// `acked` on restore).
+    next_to_send: u32,
 }
 
 struct OutgoingMigration {
     destination: MachineId,
     data: MigrationData,
+    /// Bulk state accompanying the Table I payload (possibly empty).
+    state: Vec<u8>,
     sent: bool,
+    /// Present once the transfer went (or is going) down the streamed
+    /// path.
+    stream: Option<OutgoingStream>,
+}
+
+impl OutgoingMigration {
+    fn n_chunks(&self) -> u32 {
+        self.stream
+            .as_ref()
+            .map_or(0, |s| chunk_count(self.state.len() as u64, s.chunk_size))
+    }
+}
+
+/// A chunked transfer being received (destination side).
+struct InboundStream {
+    source: MachineId,
+    mr_enclave: MrEnclave,
+    data: MigrationData,
+    assembler: ChunkAssembler,
 }
 
 struct PendingInbound {
@@ -326,10 +423,16 @@ pub struct MigrationEnclave {
     channels_out: HashMap<MachineId, SecureChannel>,
     /// Established channels from source MEs (this side responded).
     channels_in: HashMap<MachineId, SecureChannel>,
-    /// Incoming migration data stored until a matching enclave attests.
-    pending_incoming: HashMap<MrEnclave, (MigrationData, MachineId)>,
+    /// Incoming migration data (Table I payload + bulk state) stored
+    /// until a matching enclave attests.
+    pending_incoming: HashMap<MrEnclave, (MigrationData, Vec<u8>, MachineId)>,
     /// Delivered incoming data awaiting the library's DONE.
     awaiting_done: HashMap<MrEnclave, MachineId>,
+    /// Chunked transfers in reception, keyed by transfer nonce.
+    inbound_streams: HashMap<TransferNonce, InboundStream>,
+    /// Transient source-side chunk caches (chain MACs precomputed);
+    /// rebuilt on demand after a restore.
+    out_streams: HashMap<MrEnclave, ChunkStream>,
 }
 
 impl std::fmt::Debug for MigrationEnclave {
@@ -411,6 +514,13 @@ impl MigrationEnclave {
         let operator_root = VerifyingKey(r.array()?);
         let ias_key = VerifyingKey(r.array()?);
         let policy = MigrationPolicy::from_bytes(r.bytes()?)?;
+        // Optional trailing transfer tuning (older provisioning payloads
+        // omit it).
+        let transfer = if r.remaining() > 0 {
+            TransferConfig::decode(&mut r)?
+        } else {
+            TransferConfig::default()
+        };
         r.finish()?;
 
         // The credential must certify *our* signing key under the root we
@@ -427,6 +537,7 @@ impl MigrationEnclave {
             ias_key,
             credential,
             policy,
+            transfer,
         });
         Ok(vec![])
     }
@@ -459,9 +570,13 @@ impl MigrationEnclave {
         // the matching MRENCLAVE value performs a local attestation"). The
         // parked copy is retained until the library confirms with DONE, so
         // an ME restart between forward and confirmation loses nothing.
-        let forward = if let Some((data, source)) = self.pending_incoming.get(&mr) {
+        let forward = if let Some((data, state, source)) = self.pending_incoming.get(&mr) {
             let ct = channel.seal(
-                &MeToLib::IncomingMigration { data: data.clone() }.to_bytes(),
+                &MeToLib::IncomingMigration {
+                    data: data.clone(),
+                    state: state.clone(),
+                }
+                .to_bytes(),
             );
             self.awaiting_done.insert(mr, *source);
             Some(ct)
@@ -489,13 +604,20 @@ impl MigrationEnclave {
             .ok_or(MigError::Protocol("no local session for enclave"))?;
         let plaintext = channel.open(&ciphertext)?;
         let action = match LibToMe::from_bytes(&plaintext)? {
-            LibToMe::MigrateRequest { destination, data } => {
+            LibToMe::MigrateRequest {
+                destination,
+                data,
+                state,
+            } => {
+                self.out_streams.remove(&mr);
                 self.outgoing.insert(
                     mr,
                     OutgoingMigration {
                         destination,
                         data,
+                        state,
                         sent: false,
+                        stream: None,
                     },
                 );
                 self.dispatch_outgoing(env, destination)?
@@ -520,41 +642,149 @@ impl MigrationEnclave {
     }
 
     /// Sends or queues outgoing data for `destination`.
+    ///
+    /// With an open channel, the next unsent migration goes out either
+    /// as a single-shot [`MeToMe::Transfer`] (state at or below the
+    /// streaming threshold), as a fresh chunk stream (`ChunkStart` plus
+    /// the first send-window of chunks, pipelined), or — when a
+    /// partially acknowledged stream survives from before a crash — as a
+    /// [`MeToMe::ResumeRequest`] renegotiating the resume point. Chunked
+    /// transfers serialize per destination: while one is mid-stream,
+    /// later migrations stay queued.
     fn dispatch_outgoing(
         &mut self,
         env: &mut EnclaveEnv<'_>,
         destination: MachineId,
     ) -> Result<MeAction, MigError> {
-        if let Some(channel) = self.channels_out.get_mut(&destination) {
-            // Channel already open: send the (single) unsent transfer.
-            for (mr, mig) in self.outgoing.iter_mut() {
-                if mig.destination == destination && !mig.sent {
-                    mig.sent = true;
-                    let transfer = channel.seal(
-                        &MeToMe::Transfer {
-                            mr_enclave: *mr,
-                            data: mig.data.clone(),
-                        }
-                        .to_bytes(),
-                    );
-                    return Ok(MeAction::SendRemote {
-                        destination,
-                        transfer,
-                    });
-                }
+        if !self.channels_out.contains_key(&destination) {
+            if self.ra_out_pending.contains_key(&destination) {
+                // Handshake already in flight; data stays queued.
+                return Ok(MeAction::None);
             }
+            let (session, hello) = RaInitiator::start(env)?;
+            self.ra_out_pending.insert(destination, session);
+            return Ok(MeAction::ConnectRemote {
+                destination,
+                hello: hello.to_bytes(),
+            });
+        }
+
+        // One chunked transfer at a time per destination.
+        let mid_stream = self.outgoing.values().any(|mig| {
+            mig.destination == destination
+                && mig.sent
+                && mig
+                    .stream
+                    .as_ref()
+                    .is_some_and(|s| s.acked < mig.n_chunks())
+        });
+        if mid_stream {
             return Ok(MeAction::None);
         }
-        if self.ra_out_pending.contains_key(&destination) {
-            // Handshake already in flight; data stays queued.
+
+        // Deterministic pick: smallest unsent MRENCLAVE for this
+        // destination.
+        let Some(mr) = self
+            .outgoing
+            .iter()
+            .filter(|(_, mig)| mig.destination == destination && !mig.sent)
+            .map(|(mr, _)| *mr)
+            .min_by_key(|mr| mr.0)
+        else {
             return Ok(MeAction::None);
+        };
+
+        let transfer_cfg = self.config()?.transfer;
+        let mig = self.outgoing.get_mut(&mr).expect("picked above");
+        let channel = self
+            .channels_out
+            .get_mut(&destination)
+            .expect("checked above");
+
+        if let Some(stream) = &mig.stream {
+            // A stream predates this (re)connection: ask the destination
+            // where to resume rather than restarting blindly.
+            mig.sent = true;
+            let frame = channel.seal(
+                &MeToMe::ResumeRequest {
+                    mr_enclave: mr,
+                    nonce: stream.nonce,
+                }
+                .to_bytes(),
+            );
+            return Ok(MeAction::SendRemote {
+                destination,
+                transfer: frame,
+            });
         }
-        let (session, hello) = RaInitiator::start(env)?;
-        self.ra_out_pending.insert(destination, session);
-        Ok(MeAction::ConnectRemote {
+
+        if mig.state.len() <= transfer_cfg.stream_threshold as usize {
+            // Small-state fast path: the paper's single-shot transfer.
+            mig.sent = true;
+            let transfer = channel.seal(
+                &MeToMe::Transfer {
+                    mr_enclave: mr,
+                    data: mig.data.clone(),
+                    state: mig.state.clone(),
+                }
+                .to_bytes(),
+            );
+            return Ok(MeAction::SendRemote {
+                destination,
+                transfer,
+            });
+        }
+
+        // Start a chunk stream: announce, then pipeline the first window.
+        let mut nonce: TransferNonce = [0; 16];
+        env.random_bytes(&mut nonce);
+        let stream = ChunkStream::new(nonce, transfer_cfg.chunk_size, mig.state.clone());
+        let n_chunks = stream.n_chunks();
+        let initial = n_chunks.min(transfer_cfg.window);
+        let mut frames = vec![channel.seal(
+            &MeToMe::ChunkStart {
+                mr_enclave: mr,
+                nonce,
+                total_len: stream.total_len(),
+                chunk_size: transfer_cfg.chunk_size,
+                state_digest: stream.digest(),
+                data: mig.data.clone(),
+            }
+            .to_bytes(),
+        )];
+        frames.extend(chunk_frames(&stream, channel, 0, initial));
+        mig.sent = true;
+        mig.stream = Some(OutgoingStream {
+            nonce,
+            chunk_size: transfer_cfg.chunk_size,
+            acked: 0,
+            next_to_send: initial,
+        });
+        self.out_streams.insert(mr, stream);
+        Ok(MeAction::StreamRemote {
             destination,
-            hello: hello.to_bytes(),
+            frames,
         })
+    }
+
+    /// Rebuilds the transient chunk cache for `mr` after a restore.
+    fn ensure_out_stream(&mut self, mr: MrEnclave) -> Result<(), MigError> {
+        if self.out_streams.contains_key(&mr) {
+            return Ok(());
+        }
+        let mig = self
+            .outgoing
+            .get(&mr)
+            .ok_or(MigError::Protocol("no retained migration data"))?;
+        let stream = mig
+            .stream
+            .as_ref()
+            .ok_or(MigError::Protocol("no stream for migration"))?;
+        self.out_streams.insert(
+            mr,
+            ChunkStream::new(stream.nonce, stream.chunk_size, mig.state.clone()),
+        );
+        Ok(())
     }
 
     fn op_ra_hello(&mut self, env: &mut EnclaveEnv<'_>, input: &[u8]) -> Result<Vec<u8>, MigError> {
@@ -611,28 +841,24 @@ impl MigrationEnclave {
         let transcript = transcript_bytes(&g_i, &g_r, &env.identity().mr_enclave);
         self.authenticate_peer(&credential, destination, &transcript, b"R", &signature)?;
 
-        // Channel up: authenticate ourselves and flush queued transfers.
+        // Channel up: authenticate ourselves and dispatch the first
+        // queued migration (chunked transfers serialize per destination;
+        // the rest of the queue drains as Delivered/Stored acks free the
+        // channel — see `op_ack`).
         let mut signed = transcript;
         signed.extend_from_slice(b"I");
         let finish = RaFinishAuth {
             credential: self.config()?.credential.clone(),
             signature: self.signing()?.sign(&signed),
         };
-        let mut channel = SecureChannel::new(key, ChannelRole::Initiator);
-        let mut transfers = Vec::new();
-        for (mr, mig) in self.outgoing.iter_mut() {
-            if mig.destination == destination && !mig.sent {
-                mig.sent = true;
-                transfers.push(channel.seal(
-                    &MeToMe::Transfer {
-                        mr_enclave: *mr,
-                        data: mig.data.clone(),
-                    }
-                    .to_bytes(),
-                ));
-            }
-        }
-        self.channels_out.insert(destination, channel);
+        self.channels_out
+            .insert(destination, SecureChannel::new(key, ChannelRole::Initiator));
+        let transfers = match self.dispatch_outgoing(env, destination)? {
+            MeAction::None => Vec::new(),
+            MeAction::SendRemote { transfer, .. } => vec![transfer],
+            MeAction::StreamRemote { frames, .. } => frames,
+            _ => return Err(MigError::Protocol("unexpected dispatch action")),
+        };
 
         let mut w = WireWriter::new();
         w.bytes(&finish.to_bytes());
@@ -676,17 +902,39 @@ impl MigrationEnclave {
         w.array(&cfg.operator_root.0);
         w.array(&cfg.ias_key.0);
         w.bytes(&cfg.policy.to_bytes());
+        cfg.transfer.encode(&mut w);
         w.u32(self.outgoing.len() as u32);
         for (mr, mig) in &self.outgoing {
             w.array(&mr.0);
             w.u64(mig.destination.0);
             w.bytes(&mig.data.to_bytes());
+            w.bytes(&mig.state);
+            match &mig.stream {
+                None => {
+                    w.u8(0);
+                }
+                Some(stream) => {
+                    w.u8(1);
+                    w.array(&stream.nonce);
+                    w.u32(stream.chunk_size);
+                    w.u32(stream.acked);
+                }
+            }
         }
         w.u32(self.pending_incoming.len() as u32);
-        for (mr, (data, source)) in &self.pending_incoming {
+        for (mr, (data, state, source)) in &self.pending_incoming {
             w.array(&mr.0);
             w.bytes(&data.to_bytes());
+            w.bytes(state);
             w.u64(source.0);
+        }
+        w.u32(self.inbound_streams.len() as u32);
+        for (nonce, inbound) in &self.inbound_streams {
+            w.array(nonce);
+            w.u64(inbound.source.0);
+            w.array(&inbound.mr_enclave.0);
+            w.bytes(&inbound.data.to_bytes());
+            w.bytes(&inbound.assembler.to_bytes());
         }
         let plaintext = w.finish();
         Ok(env.seal_data(
@@ -707,20 +955,42 @@ impl MigrationEnclave {
         let operator_root = VerifyingKey(r.array()?);
         let ias_key = VerifyingKey(r.array()?);
         let policy = MigrationPolicy::from_bytes(r.bytes()?)?;
+        let transfer = TransferConfig::decode(&mut r)?;
         let n_outgoing = r.u32()? as usize;
         let mut outgoing = HashMap::new();
         for _ in 0..n_outgoing {
             let mr = MrEnclave(r.array()?);
             let destination = MachineId(r.u64()?);
             let data = MigrationData::from_bytes(r.bytes()?)?;
+            let state = r.bytes_vec()?;
+            let stream = match r.u8()? {
+                0 => None,
+                1 => {
+                    let nonce: TransferNonce = r.array()?;
+                    let chunk_size = r.u32()?;
+                    let acked = r.u32()?;
+                    Some(OutgoingStream {
+                        nonce,
+                        chunk_size,
+                        acked,
+                        // Anything past the last ack may be lost in
+                        // flight; resend from there.
+                        next_to_send: acked,
+                    })
+                }
+                _ => return Err(MigError::Sgx(SgxError::Decode)),
+            };
             // Not yet confirmed delivered: mark unsent so a retry
-            // re-dispatches it over a fresh channel.
+            // re-dispatches it (resuming the stream) over a fresh
+            // channel.
             outgoing.insert(
                 mr,
                 OutgoingMigration {
                     destination,
                     data,
+                    state,
                     sent: false,
+                    stream,
                 },
             );
         }
@@ -729,8 +999,27 @@ impl MigrationEnclave {
         for _ in 0..n_pending {
             let mr = MrEnclave(r.array()?);
             let data = MigrationData::from_bytes(r.bytes()?)?;
+            let state = r.bytes_vec()?;
             let source = MachineId(r.u64()?);
-            pending_incoming.insert(mr, (data, source));
+            pending_incoming.insert(mr, (data, state, source));
+        }
+        let n_inbound = r.u32()? as usize;
+        let mut inbound_streams = HashMap::new();
+        for _ in 0..n_inbound {
+            let nonce: TransferNonce = r.array()?;
+            let source = MachineId(r.u64()?);
+            let mr_enclave = MrEnclave(r.array()?);
+            let data = MigrationData::from_bytes(r.bytes()?)?;
+            let assembler = ChunkAssembler::from_bytes(r.bytes()?)?;
+            inbound_streams.insert(
+                nonce,
+                InboundStream {
+                    source,
+                    mr_enclave,
+                    data,
+                    assembler,
+                },
+            );
         }
         r.finish()?;
 
@@ -747,10 +1036,57 @@ impl MigrationEnclave {
             ias_key,
             credential,
             policy,
+            transfer,
         });
         self.outgoing = outgoing;
         self.pending_incoming = pending_incoming;
+        self.inbound_streams = inbound_streams;
+        self.out_streams.clear();
         Ok(vec![])
+    }
+
+    /// Accepts complete incoming migration data: parks it, forwards to a
+    /// matching attested enclave if present, or tells the source it is
+    /// stored. Returns the encoded `TRANSFER` output.
+    fn accept_incoming(
+        &mut self,
+        source: MachineId,
+        mr_enclave: MrEnclave,
+        data: MigrationData,
+        state: Vec<u8>,
+        final_ack: Option<Vec<u8>>,
+    ) -> Vec<u8> {
+        // Park the data regardless; it is only dropped once the
+        // destination library confirms with DONE (crash safety).
+        self.pending_incoming
+            .insert(mr_enclave, (data.clone(), state.clone(), source));
+        if let Some(local) = self.local_sessions.get_mut(&mr_enclave) {
+            let forward = local.seal(&MeToLib::IncomingMigration { data, state }.to_bytes());
+            self.awaiting_done.insert(mr_enclave, source);
+            let mut w = WireWriter::new();
+            w.u8(1); // forwarded
+            w.array(&mr_enclave.0);
+            write_opt(&mut w, Some(&forward));
+            write_opt(&mut w, final_ack.as_deref());
+            w.finish()
+        } else {
+            // No matching enclave yet; tell the source the data is
+            // stored (it keeps its copy). A chunked transfer's final
+            // cumulative ack already means "stored"; reuse it.
+            let ack = final_ack.unwrap_or_else(|| {
+                let channel = self
+                    .channels_in
+                    .get_mut(&source)
+                    .expect("caller verified the channel");
+                channel.seal(&MeToMe::Stored { mr_enclave }.to_bytes())
+            });
+            let mut w = WireWriter::new();
+            w.u8(2); // stored
+            w.array(&mr_enclave.0);
+            write_opt(&mut w, None);
+            write_opt(&mut w, Some(&ack));
+            w.finish()
+        }
     }
 
     fn op_transfer(&mut self, input: &[u8]) -> Result<Vec<u8>, MigError> {
@@ -765,41 +1101,206 @@ impl MigrationEnclave {
             .ok_or(MigError::Protocol("no channel from source"))?;
         let plaintext = channel.open(&ciphertext)?;
         match MeToMe::from_bytes(&plaintext)? {
-            MeToMe::Transfer { mr_enclave, data } => {
-                // Park the data regardless; it is only dropped once the
-                // destination library confirms with DONE (crash safety).
-                self.pending_incoming
-                    .insert(mr_enclave, (data.clone(), source));
-                if let Some(local) = self.local_sessions.get_mut(&mr_enclave) {
-                    let forward = local.seal(&MeToLib::IncomingMigration { data }.to_bytes());
-                    self.awaiting_done.insert(mr_enclave, source);
-                    let mut w = WireWriter::new();
-                    w.u8(1); // forwarded
-                    w.array(&mr_enclave.0);
-                    write_opt(&mut w, Some(&forward));
-                    write_opt(&mut w, None);
-                    Ok(w.finish())
+            MeToMe::Transfer {
+                mr_enclave,
+                data,
+                state,
+            } => Ok(self.accept_incoming(source, mr_enclave, data, state, None)),
+            MeToMe::ChunkStart {
+                mr_enclave,
+                nonce,
+                total_len,
+                chunk_size,
+                state_digest,
+                data,
+            } => {
+                // A repeated announcement (stream restarted from 0)
+                // replaces any stale partial state for this nonce.
+                let assembler = ChunkAssembler::new(nonce, chunk_size, total_len, state_digest)?;
+                self.inbound_streams.insert(
+                    nonce,
+                    InboundStream {
+                        source,
+                        mr_enclave,
+                        data,
+                        assembler,
+                    },
+                );
+                let mut w = WireWriter::new();
+                w.u8(3); // stream progress
+                w.array(&mr_enclave.0);
+                write_opt(&mut w, None);
+                write_opt(&mut w, None);
+                Ok(w.finish())
+            }
+            MeToMe::Chunk {
+                nonce,
+                idx,
+                payload,
+                mac,
+                pad: _,
+            } => {
+                let inbound = self
+                    .inbound_streams
+                    .get_mut(&nonce)
+                    .ok_or(MigError::Protocol("chunk for unknown stream"))?;
+                if inbound.source != source {
+                    return Err(MigError::Protocol("chunk from wrong source"));
+                }
+                inbound.assembler.accept(idx, &payload, &mac)?;
+                let upto = inbound.assembler.next_idx();
+                let mr_enclave = inbound.mr_enclave;
+                let ack_msg = MeToMe::ChunkAck { nonce, upto }.to_bytes();
+                let complete = inbound.assembler.is_complete();
+                let ack = self
+                    .channels_in
+                    .get_mut(&source)
+                    .expect("checked above")
+                    .seal(&ack_msg);
+                if complete {
+                    let inbound = self.inbound_streams.remove(&nonce).expect("present above");
+                    let state = inbound.assembler.finish()?;
+                    Ok(self.accept_incoming(source, mr_enclave, inbound.data, state, Some(ack)))
                 } else {
-                    // No matching enclave yet; tell the source the data
-                    // is stored (it keeps its copy).
-                    let channel = self
-                        .channels_in
-                        .get_mut(&source)
-                        .expect("channel exists, checked above");
-                    let ack = channel.seal(&MeToMe::Stored { mr_enclave }.to_bytes());
                     let mut w = WireWriter::new();
-                    w.u8(2); // stored
+                    w.u8(3); // stream progress
                     w.array(&mr_enclave.0);
                     write_opt(&mut w, None);
                     write_opt(&mut w, Some(&ack));
                     Ok(w.finish())
                 }
             }
+            MeToMe::ResumeRequest { mr_enclave, nonce } => {
+                // Three cases: mid-stream partial (resume from next
+                // index), already fully received (Stored — the normal
+                // retention flow finishes delivery), or nothing known
+                // (restart from 0).
+                let reply = if let Some(inbound) = self.inbound_streams.get(&nonce) {
+                    MeToMe::Resume {
+                        nonce,
+                        from_idx: inbound.assembler.next_idx(),
+                    }
+                } else if self.pending_incoming.contains_key(&mr_enclave) {
+                    MeToMe::Stored { mr_enclave }
+                } else {
+                    MeToMe::Resume { nonce, from_idx: 0 }
+                };
+                let ack = self
+                    .channels_in
+                    .get_mut(&source)
+                    .expect("checked above")
+                    .seal(&reply.to_bytes());
+                let mut w = WireWriter::new();
+                w.u8(3); // stream progress
+                w.array(&mr_enclave.0);
+                write_opt(&mut w, None);
+                write_opt(&mut w, Some(&ack));
+                Ok(w.finish())
+            }
             _ => Err(MigError::Protocol("unexpected ME-to-ME message")),
         }
     }
 
-    fn op_ack(&mut self, input: &[u8]) -> Result<Vec<u8>, MigError> {
+    /// Encodes the `ACK` ECALL output: kind, MRENCLAVE, optional
+    /// completion ciphertext for the local library, and follow-on stream
+    /// frames to send back to the destination.
+    fn ack_output(kind: u8, mr: MrEnclave, complete: Option<&[u8]>, frames: &[Vec<u8>]) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u8(kind);
+        w.array(&mr.0);
+        write_opt(&mut w, complete);
+        w.u32(frames.len() as u32);
+        for frame in frames {
+            w.bytes(frame);
+        }
+        w.finish()
+    }
+
+    /// Looks up the outgoing migration owning stream `nonce`.
+    fn outgoing_by_nonce(&self, nonce: &TransferNonce) -> Result<MrEnclave, MigError> {
+        self.outgoing
+            .iter()
+            .find(|(_, mig)| {
+                mig.stream
+                    .as_ref()
+                    .is_some_and(|s| mig.sent && s.nonce == *nonce)
+            })
+            .map(|(mr, _)| *mr)
+            .ok_or(MigError::Protocol("ack for unknown stream"))
+    }
+
+    /// Advances the outgoing stream `nonce` after a cumulative ack
+    /// (`resume_from: None`) or a negotiated resume point
+    /// (`resume_from: Some(idx)`; `0` restarts the stream, fresh
+    /// `ChunkStart` included), returning the owning MRENCLAVE and the
+    /// next window of frames to send.
+    fn advance_stream(
+        &mut self,
+        destination: MachineId,
+        nonce: TransferNonce,
+        upto: u32,
+        resume: bool,
+    ) -> Result<(MrEnclave, Vec<Vec<u8>>), MigError> {
+        let mr = self.outgoing_by_nonce(&nonce)?;
+        self.ensure_out_stream(mr)?;
+        let window = self.config()?.transfer.window;
+        let mig = self.outgoing.get_mut(&mr).expect("found above");
+        let n_chunks = mig.n_chunks();
+        if upto > n_chunks {
+            return Err(MigError::Protocol("ack/resume beyond stream end"));
+        }
+        let data = mig.data.clone();
+        let stream = mig.stream.as_mut().expect("stream checked above");
+        if resume {
+            // Anything past the negotiated point may be lost; rewind.
+            stream.acked = upto;
+            stream.next_to_send = upto;
+        } else {
+            stream.acked = stream.acked.max(upto);
+            stream.next_to_send = stream.next_to_send.max(stream.acked);
+        }
+        // Slide the window: keep `window` chunks in flight.
+        let from = stream.next_to_send;
+        let upto_send = n_chunks.min(stream.acked + window).max(from);
+        stream.next_to_send = upto_send;
+
+        let cache = self.out_streams.get(&mr).expect("ensured above");
+        let channel = self
+            .channels_out
+            .get_mut(&destination)
+            .ok_or(MigError::Protocol("no channel to destination"))?;
+        let mut frames = Vec::new();
+        if resume && upto == 0 {
+            frames.push(
+                channel.seal(
+                    &MeToMe::ChunkStart {
+                        mr_enclave: mr,
+                        nonce,
+                        total_len: cache.total_len(),
+                        chunk_size: cache.chunk_size(),
+                        state_digest: cache.digest(),
+                        data,
+                    }
+                    .to_bytes(),
+                ),
+            );
+        }
+        frames.extend(chunk_frames(cache, channel, from, upto_send));
+        Ok((mr, frames))
+    }
+
+    /// Converts a [`MeAction`] produced by `dispatch_outgoing` into raw
+    /// frames for `destination` (used where the output encoding carries
+    /// frames instead of an action).
+    fn action_frames(action: MeAction) -> Vec<Vec<u8>> {
+        match action {
+            MeAction::SendRemote { transfer, .. } => vec![transfer],
+            MeAction::StreamRemote { frames, .. } => frames,
+            _ => Vec::new(),
+        }
+    }
+
+    fn op_ack(&mut self, env: &mut EnclaveEnv<'_>, input: &[u8]) -> Result<Vec<u8>, MigError> {
         let mut r = WireReader::new(input);
         let destination = MachineId(r.u64()?);
         let ciphertext = r.bytes_vec()?;
@@ -814,26 +1315,73 @@ impl MigrationEnclave {
             MeToMe::Delivered { mr_enclave } => {
                 // Safe to delete the retained migration data (Fig. 2).
                 self.outgoing.remove(&mr_enclave);
+                self.out_streams.remove(&mr_enclave);
                 // Tell the (frozen) source library, if still attested.
-                let complete = self.local_sessions.get_mut(&mr_enclave).map(|local| {
-                    local.seal(&MeToLib::MigrationComplete.to_bytes())
-                });
-                let mut w = WireWriter::new();
-                w.u8(1); // delivered
-                w.array(&mr_enclave.0);
-                write_opt(&mut w, complete.as_deref());
-                Ok(w.finish())
+                let complete = self
+                    .local_sessions
+                    .get_mut(&mr_enclave)
+                    .map(|local| local.seal(&MeToLib::MigrationComplete.to_bytes()));
+                // The channel is free again: dispatch the next queued
+                // migration for this destination, if any.
+                let next = Self::action_frames(self.dispatch_outgoing(env, destination)?);
+                Ok(Self::ack_output(1, mr_enclave, complete.as_deref(), &next))
             }
             MeToMe::Stored { mr_enclave } => {
-                // Destination parked the data; retain ours until DONE.
-                let mut w = WireWriter::new();
-                w.u8(2); // stored
-                w.array(&mr_enclave.0);
-                write_opt(&mut w, None);
-                Ok(w.finish())
+                // Destination parked the data; retain ours until DONE —
+                // but the channel is free for further queued migrations.
+                let next = Self::action_frames(self.dispatch_outgoing(env, destination)?);
+                Ok(Self::ack_output(2, mr_enclave, None, &next))
             }
-            MeToMe::Transfer { .. } => Err(MigError::Protocol("unexpected transfer on ack path")),
+            MeToMe::ChunkAck { nonce, upto } => {
+                let (mr, mut frames) = self.advance_stream(destination, nonce, upto, false)?;
+                if upto
+                    == self
+                        .outgoing
+                        .get(&mr)
+                        .map_or(0, OutgoingMigration::n_chunks)
+                {
+                    // Final cumulative ack: the stream is fully at the
+                    // destination (retained until Delivered); the channel
+                    // can start the next queued migration.
+                    frames.extend(Self::action_frames(
+                        self.dispatch_outgoing(env, destination)?,
+                    ));
+                }
+                Ok(Self::ack_output(3, mr, None, &frames))
+            }
+            MeToMe::Resume { nonce, from_idx } => {
+                // The destination told us where to pick the stream back
+                // up after a crash (0 restarts, announcement included).
+                let (mr, frames) = self.advance_stream(destination, nonce, from_idx, true)?;
+                Ok(Self::ack_output(3, mr, None, &frames))
+            }
+            _ => Err(MigError::Protocol("unexpected message on ack path")),
         }
+    }
+
+    fn op_stream_stat(&self, input: &[u8]) -> Result<Vec<u8>, MigError> {
+        let mut r = WireReader::new(input);
+        let mr = MrEnclave(r.array()?);
+        r.finish()?;
+        let mut w = WireWriter::new();
+        match self.outgoing.get(&mr) {
+            Some(mig) => match &mig.stream {
+                Some(stream) => {
+                    w.u8(1);
+                    w.u32(stream.acked);
+                    w.u32(mig.n_chunks());
+                    w.u64(mig.state.len() as u64);
+                }
+                None => {
+                    w.u8(2); // retained, not streamed
+                    w.u64(mig.state.len() as u64);
+                }
+            },
+            None => {
+                w.u8(0); // nothing retained
+            }
+        }
+        Ok(w.finish())
     }
 }
 
@@ -854,10 +1402,11 @@ impl EnclaveCode for MigrationEnclave {
             ops::RA_RESPONSE => self.op_ra_response(env, input),
             ops::RA_FINISH => self.op_ra_finish_env(env, input),
             ops::TRANSFER => self.op_transfer(input),
-            ops::ACK => self.op_ack(input),
+            ops::ACK => self.op_ack(env, input),
             ops::RETRY => self.op_retry(env, input),
             ops::PERSIST => self.op_persist(env),
             ops::RESTORE => self.op_restore(env, input),
+            ops::STREAM_STAT => self.op_stream_stat(input),
             _ => Err(MigError::Protocol("unknown opcode")),
         };
         result.map_err(SgxError::from)
@@ -888,8 +1437,10 @@ impl MigrationEnclave {
             b"I",
             &finish.signature,
         )?;
-        self.channels_in
-            .insert(source, SecureChannel::new(pending.key, ChannelRole::Responder));
+        self.channels_in.insert(
+            source,
+            SecureChannel::new(pending.key, ChannelRole::Responder),
+        );
         Ok(vec![])
     }
 }

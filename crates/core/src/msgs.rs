@@ -9,8 +9,24 @@
 //!
 //! All of these travel *encrypted*; the enum encodings here are the
 //! channel plaintexts.
+//!
+//! Beyond the paper's single-shot `Transfer`, the ME↔ME family carries
+//! the streaming state-transfer protocol of [`crate::transfer`]:
+//! [`MeToMe::ChunkStart`] announces a chunked transfer (geometry, whole-
+//! payload digest, and the Table I control data), [`MeToMe::Chunk`]
+//! carries one HMAC-chained chunk, [`MeToMe::ChunkAck`] cumulatively
+//! acknowledges received chunks (driving the source's send window), and
+//! [`MeToMe::ResumeRequest`] / [`MeToMe::Resume`] renegotiate the resume
+//! point after a crash. `Chunk` messages are padded to a uniform wire
+//! size so equal-length ciphertexts keep FIFO ordering on the simulated
+//! network.
 
 use crate::library::state::MigrationData;
+use crate::transfer::chunker::{ChunkMac, TransferNonce};
+
+/// Zero padding appended to `ResumeRequest` so its ciphertext is larger
+/// than any `RA_FINISH` frame (see encode comment).
+const RESUME_REQUEST_PAD: usize = 4096;
 use sgx_sim::machine::MachineId;
 use sgx_sim::measurement::MrEnclave;
 use sgx_sim::wire::{WireReader, WireWriter};
@@ -23,13 +39,17 @@ use sgx_sim::SgxError;
 #[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum LibToMe {
-    /// Start an outgoing migration: transfer `data` to `destination`
-    /// (the `migrate` message of Fig. 2).
+    /// Start an outgoing migration: transfer `data` (and the staged bulk
+    /// `state`, possibly empty) to `destination` (the `migrate` message
+    /// of Fig. 2).
     MigrateRequest {
         /// The machine the enclave should migrate to.
         destination: MachineId,
         /// The Table I payload.
         data: MigrationData,
+        /// The staged bulk state (migratable-sealed app payload); may be
+        /// empty.
+        state: Vec<u8>,
     },
     /// Confirmation that incoming migration data was installed
     /// (the `DONE` message of Fig. 2).
@@ -42,10 +62,15 @@ impl LibToMe {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = WireWriter::new();
         match self {
-            LibToMe::MigrateRequest { destination, data } => {
+            LibToMe::MigrateRequest {
+                destination,
+                data,
+                state,
+            } => {
                 w.u8(1);
                 w.u64(destination.0);
                 w.bytes(&data.to_bytes());
+                w.bytes(state);
             }
             LibToMe::Done => {
                 w.u8(2);
@@ -65,6 +90,7 @@ impl LibToMe {
             1 => LibToMe::MigrateRequest {
                 destination: MachineId(r.u64()?),
                 data: MigrationData::from_bytes(r.bytes()?)?,
+                state: r.bytes_vec()?,
             },
             2 => LibToMe::Done,
             _ => return Err(SgxError::Decode),
@@ -85,6 +111,8 @@ pub enum MeToLib {
     IncomingMigration {
         /// The Table I payload from the source enclave.
         data: MigrationData,
+        /// The bulk state that accompanied it (possibly empty).
+        state: Vec<u8>,
     },
     /// The outgoing migration completed; the destination confirmed.
     MigrationComplete,
@@ -96,9 +124,10 @@ impl MeToLib {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = WireWriter::new();
         match self {
-            MeToLib::IncomingMigration { data } => {
+            MeToLib::IncomingMigration { data, state } => {
                 w.u8(1);
                 w.bytes(&data.to_bytes());
+                w.bytes(state);
             }
             MeToLib::MigrationComplete => {
                 w.u8(2);
@@ -117,6 +146,7 @@ impl MeToLib {
         let msg = match r.u8()? {
             1 => MeToLib::IncomingMigration {
                 data: MigrationData::from_bytes(r.bytes()?)?,
+                state: r.bytes_vec()?,
             },
             2 => MeToLib::MigrationComplete,
             _ => return Err(SgxError::Decode),
@@ -133,7 +163,8 @@ impl MeToLib {
 #[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum MeToMe {
-    /// Source → destination: the migrating enclave's identity and payload.
+    /// Source → destination: the migrating enclave's identity and payload
+    /// — the single-shot fast path for small state.
     /// (§VI-A: "the MRENCLAVE value is appended to the migration data of
     /// the enclave before sending it to the destination".)
     Transfer {
@@ -141,6 +172,8 @@ pub enum MeToMe {
         mr_enclave: MrEnclave,
         /// The Table I payload.
         data: MigrationData,
+        /// Accompanying bulk state (possibly empty).
+        state: Vec<u8>,
     },
     /// Destination → source: the named enclave's data was delivered to a
     /// matching local enclave and confirmed (`DONE` propagated).
@@ -154,6 +187,60 @@ pub enum MeToMe {
         /// MRENCLAVE of the migrating enclave.
         mr_enclave: MrEnclave,
     },
+    /// Source → destination: announces a chunked state transfer.
+    ChunkStart {
+        /// MRENCLAVE of the migrating enclave.
+        mr_enclave: MrEnclave,
+        /// Per-transfer nonce (keys the chunk HMAC chain).
+        nonce: TransferNonce,
+        /// Total bulk-state length in bytes.
+        total_len: u64,
+        /// Chunk size used by the sender.
+        chunk_size: u32,
+        /// SHA-256 digest of the whole bulk state.
+        state_digest: [u8; 32],
+        /// The Table I control payload (travels with the announcement).
+        data: MigrationData,
+    },
+    /// Source → destination: one chunk of the announced transfer.
+    Chunk {
+        /// The transfer this chunk belongs to.
+        nonce: TransferNonce,
+        /// Chunk index (strictly in-order delivery).
+        idx: u32,
+        /// Chunk payload (exactly `chunk_size` bytes except the final
+        /// chunk).
+        payload: Vec<u8>,
+        /// HMAC-chain MAC binding the chunk to its transfer and position.
+        mac: ChunkMac,
+        /// Zero-padding length equalizing the wire size of all chunks of
+        /// a transfer (keeps equal-size ciphertexts FIFO on the network).
+        pad: u32,
+    },
+    /// Destination → source: cumulative acknowledgement — every chunk
+    /// with `idx < upto` has been verified and stored.
+    ChunkAck {
+        /// The transfer being acknowledged.
+        nonce: TransferNonce,
+        /// One past the highest in-order verified chunk index.
+        upto: u32,
+    },
+    /// Source → destination (after a crash/reconnect): where should the
+    /// stream identified by `nonce` resume?
+    ResumeRequest {
+        /// MRENCLAVE of the migrating enclave.
+        mr_enclave: MrEnclave,
+        /// The interrupted transfer.
+        nonce: TransferNonce,
+    },
+    /// Destination → source: resume the stream from `from_idx`
+    /// (`0` restarts the stream, including a fresh `ChunkStart`).
+    Resume {
+        /// The transfer to resume.
+        nonce: TransferNonce,
+        /// First chunk index the destination still needs.
+        from_idx: u32,
+    },
 }
 
 impl MeToMe {
@@ -162,10 +249,15 @@ impl MeToMe {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = WireWriter::new();
         match self {
-            MeToMe::Transfer { mr_enclave, data } => {
+            MeToMe::Transfer {
+                mr_enclave,
+                data,
+                state,
+            } => {
                 w.u8(1);
                 w.array(&mr_enclave.0);
                 w.bytes(&data.to_bytes());
+                w.bytes(state);
             }
             MeToMe::Delivered { mr_enclave } => {
                 w.u8(2);
@@ -174,6 +266,56 @@ impl MeToMe {
             MeToMe::Stored { mr_enclave } => {
                 w.u8(3);
                 w.array(&mr_enclave.0);
+            }
+            MeToMe::ChunkStart {
+                mr_enclave,
+                nonce,
+                total_len,
+                chunk_size,
+                state_digest,
+                data,
+            } => {
+                w.u8(4);
+                w.array(&mr_enclave.0);
+                w.array(nonce);
+                w.u64(*total_len);
+                w.u32(*chunk_size);
+                w.array(state_digest);
+                w.bytes(&data.to_bytes());
+            }
+            MeToMe::Chunk {
+                nonce,
+                idx,
+                payload,
+                mac,
+                pad,
+            } => {
+                w.u8(5);
+                w.array(nonce);
+                w.u32(*idx);
+                w.bytes(payload);
+                w.array(mac);
+                w.bytes(&vec![0u8; *pad as usize]);
+            }
+            MeToMe::ChunkAck { nonce, upto } => {
+                w.u8(6);
+                w.array(nonce);
+                w.u32(*upto);
+            }
+            MeToMe::ResumeRequest { mr_enclave, nonce } => {
+                w.u8(7);
+                w.array(&mr_enclave.0);
+                w.array(nonce);
+                // Padded above the RA_FINISH frame size: the first
+                // post-handshake data frame must not overtake the
+                // handshake finish on the size-ordered simulated network
+                // (smaller messages arrive earlier within one step).
+                w.bytes(&[0u8; RESUME_REQUEST_PAD]);
+            }
+            MeToMe::Resume { nonce, from_idx } => {
+                w.u8(8);
+                w.array(nonce);
+                w.u32(*from_idx);
             }
         }
         w.finish()
@@ -190,12 +332,44 @@ impl MeToMe {
             1 => MeToMe::Transfer {
                 mr_enclave: MrEnclave(r.array()?),
                 data: MigrationData::from_bytes(r.bytes()?)?,
+                state: r.bytes_vec()?,
             },
             2 => MeToMe::Delivered {
                 mr_enclave: MrEnclave(r.array()?),
             },
             3 => MeToMe::Stored {
                 mr_enclave: MrEnclave(r.array()?),
+            },
+            4 => MeToMe::ChunkStart {
+                mr_enclave: MrEnclave(r.array()?),
+                nonce: r.array()?,
+                total_len: r.u64()?,
+                chunk_size: r.u32()?,
+                state_digest: r.array()?,
+                data: MigrationData::from_bytes(r.bytes()?)?,
+            },
+            5 => MeToMe::Chunk {
+                nonce: r.array()?,
+                idx: r.u32()?,
+                payload: r.bytes_vec()?,
+                mac: r.array()?,
+                pad: u32::try_from(r.bytes()?.len()).map_err(|_| SgxError::Decode)?,
+            },
+            6 => MeToMe::ChunkAck {
+                nonce: r.array()?,
+                upto: r.u32()?,
+            },
+            7 => {
+                let msg = MeToMe::ResumeRequest {
+                    mr_enclave: MrEnclave(r.array()?),
+                    nonce: r.array()?,
+                };
+                let _pad = r.bytes()?;
+                msg
+            }
+            8 => MeToMe::Resume {
+                nonce: r.array()?,
+                from_idx: r.u32()?,
             },
             _ => return Err(SgxError::Decode),
         };
@@ -226,6 +400,12 @@ mod tests {
             LibToMe::MigrateRequest {
                 destination: MachineId(9),
                 data: data(),
+                state: b"bulk".to_vec(),
+            },
+            LibToMe::MigrateRequest {
+                destination: MachineId(9),
+                data: data(),
+                state: Vec::new(),
             },
             LibToMe::Done,
         ];
@@ -237,7 +417,10 @@ mod tests {
     #[test]
     fn me_to_lib_round_trip() {
         let msgs = [
-            MeToLib::IncomingMigration { data: data() },
+            MeToLib::IncomingMigration {
+                data: data(),
+                state: b"bulk".to_vec(),
+            },
             MeToLib::MigrationComplete,
         ];
         for msg in msgs {
@@ -251,6 +434,7 @@ mod tests {
             MeToMe::Transfer {
                 mr_enclave: MrEnclave([5; 32]),
                 data: data(),
+                state: b"sealed state".to_vec(),
             },
             MeToMe::Delivered {
                 mr_enclave: MrEnclave([5; 32]),
@@ -258,10 +442,58 @@ mod tests {
             MeToMe::Stored {
                 mr_enclave: MrEnclave([6; 32]),
             },
+            MeToMe::ChunkStart {
+                mr_enclave: MrEnclave([5; 32]),
+                nonce: [8; 16],
+                total_len: 1_000_000,
+                chunk_size: 4096,
+                state_digest: [9; 32],
+                data: data(),
+            },
+            MeToMe::Chunk {
+                nonce: [8; 16],
+                idx: 7,
+                payload: vec![1, 2, 3],
+                mac: [4; 32],
+                pad: 5,
+            },
+            MeToMe::ChunkAck {
+                nonce: [8; 16],
+                upto: 8,
+            },
+            MeToMe::ResumeRequest {
+                mr_enclave: MrEnclave([5; 32]),
+                nonce: [8; 16],
+            },
+            MeToMe::Resume {
+                nonce: [8; 16],
+                from_idx: 3,
+            },
         ];
         for msg in msgs {
             assert_eq!(MeToMe::from_bytes(&msg.to_bytes()).unwrap(), msg);
         }
+    }
+
+    #[test]
+    fn chunk_padding_equalizes_wire_size() {
+        // A full chunk with no padding and a short final chunk padded up
+        // must serialize to the same number of bytes.
+        let full = MeToMe::Chunk {
+            nonce: [1; 16],
+            idx: 0,
+            payload: vec![7; 100],
+            mac: [2; 32],
+            pad: 0,
+        };
+        let tail = MeToMe::Chunk {
+            nonce: [1; 16],
+            idx: 1,
+            payload: vec![7; 33],
+            mac: [2; 32],
+            pad: 67,
+        };
+        assert_eq!(full.to_bytes().len(), tail.to_bytes().len());
     }
 
     #[test]

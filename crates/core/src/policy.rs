@@ -76,9 +76,7 @@ impl MigrationPolicy {
                 peer.datacenter, own.datacenter
             )));
         }
-        if !self.allowed_regions.is_empty()
-            && !self.allowed_regions.contains(&peer.region)
-        {
+        if !self.allowed_regions.is_empty() && !self.allowed_regions.contains(&peer.region) {
             return Err(MigError::PolicyViolation(format!(
                 "peer region {:?} not in allow-list {:?}",
                 peer.region, self.allowed_regions
@@ -113,8 +111,7 @@ impl MigrationPolicy {
         }
         let mut allowed_regions = Vec::with_capacity(n);
         for _ in 0..n {
-            allowed_regions
-                .push(String::from_utf8(r.bytes_vec()?).map_err(|_| SgxError::Decode)?);
+            allowed_regions.push(String::from_utf8(r.bytes_vec()?).map_err(|_| SgxError::Decode)?);
         }
         r.finish()?;
         Ok(MigrationPolicy {

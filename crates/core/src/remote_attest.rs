@@ -150,7 +150,9 @@ pub struct RaInitiator {
 
 impl std::fmt::Debug for RaInitiator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RaInitiator").field("g_i", &self.g_i).finish_non_exhaustive()
+        f.debug_struct("RaInitiator")
+            .field("g_i", &self.g_i)
+            .finish_non_exhaustive()
     }
 }
 
@@ -332,8 +334,8 @@ mod tests {
                     let evidence = AttestationEvidence::from_bytes(r.bytes()?)?;
                     r.finish()?;
                     let cfg = self.cfg.as_ref().expect("configured");
-                    let (session, response) = RaResponder::respond(env, cfg, g_i, &evidence)
-                        .map_err(SgxError::from)?;
+                    let (session, response) =
+                        RaResponder::respond(env, cfg, g_i, &evidence).map_err(SgxError::from)?;
                     self.responder = Some(session);
                     Ok(response.to_bytes())
                 }
@@ -350,7 +352,12 @@ mod tests {
                     self.key = Some(key);
                     Ok(key.to_vec())
                 }
-                OP_RESP_KEY => Ok(self.responder.as_ref().expect("responded").session_key().to_vec()),
+                OP_RESP_KEY => Ok(self
+                    .responder
+                    .as_ref()
+                    .expect("responded")
+                    .session_key()
+                    .to_vec()),
                 _ => Err(SgxError::InvalidParameter("opcode")),
             }
         }
@@ -387,21 +394,29 @@ mod tests {
     #[test]
     fn full_cross_machine_handshake_agrees_on_key() {
         let s = setup();
-        let init = s.m1.load_enclave(&s.image, Box::<RaTestEnclave>::default()).unwrap();
-        let resp = s.m2.load_enclave(&s.image, Box::<RaTestEnclave>::default()).unwrap();
-        init.ecall(OP_SET_CFG, &cfg_bytes(&s.ias, s.image.mr_enclave())).unwrap();
-        resp.ecall(OP_SET_CFG, &cfg_bytes(&s.ias, s.image.mr_enclave())).unwrap();
+        let init =
+            s.m1.load_enclave(&s.image, Box::<RaTestEnclave>::default())
+                .unwrap();
+        let resp =
+            s.m2.load_enclave(&s.image, Box::<RaTestEnclave>::default())
+                .unwrap();
+        init.ecall(OP_SET_CFG, &cfg_bytes(&s.ias, s.image.mr_enclave()))
+            .unwrap();
+        resp.ecall(OP_SET_CFG, &cfg_bytes(&s.ias, s.image.mr_enclave()))
+            .unwrap();
 
         // Initiator starts; host converts the quote to evidence for dst.
         let hello = RaHello::from_bytes(&init.ecall(OP_START, b"").unwrap()).unwrap();
         let mut w = WireWriter::new();
-        w.array(&hello.g_i.0).bytes(&to_evidence(&s.ias, &hello.quote));
+        w.array(&hello.g_i.0)
+            .bytes(&to_evidence(&s.ias, &hello.quote));
         let response_bytes = resp.ecall(OP_RESPOND, &w.finish()).unwrap();
 
         // Host converts the responder's quote for src.
         let response = RaResponseQuote::from_bytes(&response_bytes).unwrap();
         let mut w = WireWriter::new();
-        w.array(&response.g_r.0).bytes(&to_evidence(&s.ias, &response.quote));
+        w.array(&response.g_r.0)
+            .bytes(&to_evidence(&s.ias, &response.quote));
         let key_i = init.ecall(OP_FINISH, &w.finish()).unwrap();
 
         let key_r = resp.ecall(OP_RESP_KEY, b"").unwrap();
@@ -415,26 +430,31 @@ mod tests {
         let signer = EnclaveSigner::from_seed([8; 32]);
         let other_image = EnclaveImage::build("impostor", 1, b"different code", &signer);
 
-        let init = s.m1.load_enclave(&s.image, Box::<RaTestEnclave>::default()).unwrap();
+        let init =
+            s.m1.load_enclave(&s.image, Box::<RaTestEnclave>::default())
+                .unwrap();
         // The impostor responds from m2 with a DIFFERENT measurement.
-        let resp = s
-            .m2
-            .load_enclave(&other_image, Box::<RaTestEnclave>::default())
+        let resp =
+            s.m2.load_enclave(&other_image, Box::<RaTestEnclave>::default())
+                .unwrap();
+        init.ecall(OP_SET_CFG, &cfg_bytes(&s.ias, s.image.mr_enclave()))
             .unwrap();
-        init.ecall(OP_SET_CFG, &cfg_bytes(&s.ias, s.image.mr_enclave())).unwrap();
         // The impostor is willing to accept anyone (it's malicious).
-        resp.ecall(OP_SET_CFG, &cfg_bytes(&s.ias, s.image.mr_enclave())).unwrap();
+        resp.ecall(OP_SET_CFG, &cfg_bytes(&s.ias, s.image.mr_enclave()))
+            .unwrap();
 
         let hello = RaHello::from_bytes(&init.ecall(OP_START, b"").unwrap()).unwrap();
         let mut w = WireWriter::new();
-        w.array(&hello.g_i.0).bytes(&to_evidence(&s.ias, &hello.quote));
+        w.array(&hello.g_i.0)
+            .bytes(&to_evidence(&s.ias, &hello.quote));
         // Responder checks the *initiator's* measurement first and the
         // initiator is genuine, so the responder may answer...
         let response_bytes = resp.ecall(OP_RESPOND, &w.finish()).unwrap();
         let response = RaResponseQuote::from_bytes(&response_bytes).unwrap();
         // ...but the initiator must reject the impostor's evidence.
         let mut w = WireWriter::new();
-        w.array(&response.g_r.0).bytes(&to_evidence(&s.ias, &response.quote));
+        w.array(&response.g_r.0)
+            .bytes(&to_evidence(&s.ias, &response.quote));
         let err = init.ecall(OP_FINISH, &w.finish()).unwrap_err();
         assert!(matches!(err, SgxError::Enclave(msg) if msg.contains("peer measurement")));
     }
@@ -442,10 +462,16 @@ mod tests {
     #[test]
     fn tampered_key_binding_rejected() {
         let s = setup();
-        let init = s.m1.load_enclave(&s.image, Box::<RaTestEnclave>::default()).unwrap();
-        let resp = s.m2.load_enclave(&s.image, Box::<RaTestEnclave>::default()).unwrap();
-        init.ecall(OP_SET_CFG, &cfg_bytes(&s.ias, s.image.mr_enclave())).unwrap();
-        resp.ecall(OP_SET_CFG, &cfg_bytes(&s.ias, s.image.mr_enclave())).unwrap();
+        let init =
+            s.m1.load_enclave(&s.image, Box::<RaTestEnclave>::default())
+                .unwrap();
+        let resp =
+            s.m2.load_enclave(&s.image, Box::<RaTestEnclave>::default())
+                .unwrap();
+        init.ecall(OP_SET_CFG, &cfg_bytes(&s.ias, s.image.mr_enclave()))
+            .unwrap();
+        resp.ecall(OP_SET_CFG, &cfg_bytes(&s.ias, s.image.mr_enclave()))
+            .unwrap();
 
         let hello = RaHello::from_bytes(&init.ecall(OP_START, b"").unwrap()).unwrap();
         // MITM substitutes its own DH key but cannot fix the quote.
@@ -460,8 +486,11 @@ mod tests {
     #[test]
     fn revoked_platform_cannot_attest() {
         let s = setup();
-        let init = s.m1.load_enclave(&s.image, Box::<RaTestEnclave>::default()).unwrap();
-        init.ecall(OP_SET_CFG, &cfg_bytes(&s.ias, s.image.mr_enclave())).unwrap();
+        let init =
+            s.m1.load_enclave(&s.image, Box::<RaTestEnclave>::default())
+                .unwrap();
+        init.ecall(OP_SET_CFG, &cfg_bytes(&s.ias, s.image.mr_enclave()))
+            .unwrap();
         let hello = RaHello::from_bytes(&init.ecall(OP_START, b"").unwrap()).unwrap();
         s.ias.revoke(s.m1.platform_id());
         assert!(s.ias.verify_quote(&hello.quote).is_err());
@@ -472,8 +501,14 @@ mod tests {
         let g1 = PublicKey([1; 32]);
         let g2 = PublicKey([2; 32]);
         let mr = MrEnclave([3; 32]);
-        assert_eq!(transcript_bytes(&g1, &g2, &mr), transcript_bytes(&g1, &g2, &mr));
-        assert_ne!(transcript_bytes(&g1, &g2, &mr), transcript_bytes(&g2, &g1, &mr));
+        assert_eq!(
+            transcript_bytes(&g1, &g2, &mr),
+            transcript_bytes(&g1, &g2, &mr)
+        );
+        assert_ne!(
+            transcript_bytes(&g1, &g2, &mr),
+            transcript_bytes(&g2, &g1, &mr)
+        );
         assert_ne!(
             transcript_bytes(&g1, &g2, &mr),
             transcript_bytes(&g1, &g2, &MrEnclave([4; 32]))

@@ -1,0 +1,140 @@
+//! A durable, generation-numbered checkpoint store on the untrusted
+//! per-machine disk.
+//!
+//! Checkpoints are opaque *sealed* blobs — the store adds durability and
+//! ordering, never confidentiality or integrity (the disk is
+//! adversary-controlled; sealing provides those). Each `put` assigns the
+//! next generation number, updates the `latest` pointer, and prunes old
+//! generations beyond the retention count, so a crashed host always
+//! finds a recent complete checkpoint even if it died mid-write of a
+//! newer one.
+
+use cloud_sim::disk::UntrustedDisk;
+
+/// Default number of retained checkpoint generations.
+pub const DEFAULT_KEEP: usize = 4;
+
+/// A namespaced checkpoint series on one machine's untrusted disk.
+#[derive(Clone)]
+pub struct CheckpointStore {
+    disk: UntrustedDisk,
+    namespace: String,
+    keep: usize,
+}
+
+impl std::fmt::Debug for CheckpointStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckpointStore")
+            .field("namespace", &self.namespace)
+            .field("keep", &self.keep)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CheckpointStore {
+    /// Opens the series `namespace` on `disk` with default retention.
+    #[must_use]
+    pub fn new(disk: UntrustedDisk, namespace: &str) -> Self {
+        Self::with_keep(disk, namespace, DEFAULT_KEEP)
+    }
+
+    /// Opens the series with an explicit retention count (min 1).
+    #[must_use]
+    pub fn with_keep(disk: UntrustedDisk, namespace: &str, keep: usize) -> Self {
+        CheckpointStore {
+            disk,
+            namespace: namespace.to_string(),
+            keep: keep.max(1),
+        }
+    }
+
+    fn blob_key(&self, generation: u64) -> String {
+        format!("{}/ckpt/{generation:020}", self.namespace)
+    }
+
+    fn latest_key(&self) -> String {
+        format!("{}/ckpt-latest", self.namespace)
+    }
+
+    /// The most recent generation number, if any checkpoint exists.
+    #[must_use]
+    pub fn latest_generation(&self) -> Option<u64> {
+        let raw = self.disk.get(&self.latest_key())?;
+        Some(u64::from_le_bytes(raw.try_into().ok()?))
+    }
+
+    /// Stores a checkpoint, returning its generation number.
+    pub fn put(&self, blob: Vec<u8>) -> u64 {
+        let generation = self.latest_generation().map_or(0, |g| g + 1);
+        self.disk.put(&self.blob_key(generation), blob);
+        self.disk
+            .put(&self.latest_key(), generation.to_le_bytes().to_vec());
+        // Prune beyond the retention window.
+        if let Some(expired) = generation.checked_sub(self.keep as u64) {
+            self.disk.delete(&self.blob_key(expired));
+        }
+        generation
+    }
+
+    /// Reads a specific generation.
+    #[must_use]
+    pub fn get(&self, generation: u64) -> Option<Vec<u8>> {
+        self.disk.get(&self.blob_key(generation))
+    }
+
+    /// Reads the most recent checkpoint.
+    #[must_use]
+    pub fn latest(&self) -> Option<(u64, Vec<u8>)> {
+        let generation = self.latest_generation()?;
+        Some((generation, self.get(generation)?))
+    }
+
+    /// Generations currently on disk (ascending).
+    #[must_use]
+    pub fn generations(&self) -> Vec<u64> {
+        let prefix = format!("{}/ckpt/", self.namespace);
+        self.disk
+            .keys()
+            .into_iter()
+            .filter_map(|k| k.strip_prefix(&prefix).and_then(|g| g.parse().ok()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_latest_get_round_trip() {
+        let store = CheckpointStore::new(UntrustedDisk::new(), "app:a");
+        assert!(store.latest().is_none());
+        assert_eq!(store.put(b"v0".to_vec()), 0);
+        assert_eq!(store.put(b"v1".to_vec()), 1);
+        assert_eq!(store.latest().unwrap(), (1, b"v1".to_vec()));
+        assert_eq!(store.get(0).unwrap(), b"v0");
+    }
+
+    #[test]
+    fn prunes_beyond_retention() {
+        let store = CheckpointStore::with_keep(UntrustedDisk::new(), "app:b", 2);
+        for i in 0..5u8 {
+            store.put(vec![i]);
+        }
+        assert_eq!(store.generations(), vec![3, 4]);
+        assert_eq!(store.latest().unwrap(), (4, vec![4]));
+        assert!(store.get(2).is_none());
+    }
+
+    #[test]
+    fn namespaces_are_independent() {
+        let disk = UntrustedDisk::new();
+        let a = CheckpointStore::new(disk.clone(), "a");
+        let b = CheckpointStore::new(disk, "b");
+        a.put(b"for a".to_vec());
+        assert!(b.latest().is_none());
+        b.put(b"for b".to_vec());
+        assert_eq!(a.latest().unwrap().1, b"for a");
+        assert_eq!(b.latest().unwrap().1, b"for b");
+    }
+}

@@ -1,0 +1,458 @@
+//! The chunking/streaming engine: split a state payload into fixed-size
+//! chunks bound by an HMAC chain, reassemble and verify them in order,
+//! and resume from an arbitrary chunk boundary after a crash.
+//!
+//! Every chunk `i` carries `mac_i = HMAC(K, mac_{i-1} || i || payload_i)`
+//! with `mac_{-1} = HMAC(K, "seed")` and `K` derived from a secret
+//! per-transfer nonce that travels only inside the attested ME↔ME
+//! channel. The chain means a chunk is only accepted in its unique
+//! position within its own transfer: a replayed, reordered, or
+//! cross-transfer-spliced chunk fails verification even when it is
+//! re-injected across a *resumed* session (where the secure channel's
+//! per-session sequence numbers restart). The full-payload SHA-256
+//! digest announced in `ChunkStart` is checked once more on completion.
+
+use crate::error::MigError;
+use mig_crypto::ct::ct_eq;
+use mig_crypto::hmac::HmacSha256;
+use mig_crypto::sha256::sha256;
+use sgx_sim::wire::{WireReader, WireWriter};
+
+/// A per-transfer nonce (secret inside the attested channel).
+pub type TransferNonce = [u8; 16];
+/// A chunk-chain MAC.
+pub type ChunkMac = [u8; 32];
+
+/// Upper bound on a streamed payload (adversarial-allocation guard).
+pub const MAX_STREAM_LEN: u64 = 1 << 30;
+
+/// Domain-separation label for the chain key derivation.
+const CHAIN_KEY_LABEL: &[u8] = b"sgx-migrate.transfer.chain-key.v1";
+/// Label for the chain seed MAC.
+const CHAIN_SEED_LABEL: &[u8] = b"sgx-migrate.transfer.chain-seed.v1";
+
+/// Number of chunks a payload of `total_len` splits into.
+#[must_use]
+pub fn chunk_count(total_len: u64, chunk_size: u32) -> u32 {
+    debug_assert!(chunk_size > 0);
+    u32::try_from(total_len.div_ceil(u64::from(chunk_size))).expect("bounded by MAX_STREAM_LEN")
+}
+
+fn chain_key(nonce: &TransferNonce) -> [u8; 32] {
+    HmacSha256::mac(CHAIN_KEY_LABEL, nonce)
+}
+
+fn chain_seed(key: &[u8; 32]) -> ChunkMac {
+    HmacSha256::mac(key, CHAIN_SEED_LABEL)
+}
+
+fn chunk_mac(key: &[u8; 32], prev: &ChunkMac, idx: u32, payload: &[u8]) -> ChunkMac {
+    let mut mac = HmacSha256::new(key);
+    mac.update(prev);
+    mac.update(&idx.to_le_bytes());
+    mac.update(payload);
+    mac.finalize()
+}
+
+/// Source side: a payload split into chunks with precomputed chain MACs.
+pub struct ChunkStream {
+    nonce: TransferNonce,
+    chunk_size: u32,
+    payload: Vec<u8>,
+    macs: Vec<ChunkMac>,
+    digest: [u8; 32],
+}
+
+impl std::fmt::Debug for ChunkStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkStream")
+            .field("total_len", &self.payload.len())
+            .field("chunk_size", &self.chunk_size)
+            .field("n_chunks", &self.n_chunks())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ChunkStream {
+    /// Prepares `payload` for streaming under `nonce` with the given
+    /// chunk size (one pass to MAC-chain, one to digest).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero chunk size or a payload over [`MAX_STREAM_LEN`]
+    /// — caller invariants, enforced by [`super::TransferConfig`]
+    /// validation and the Migration Library.
+    #[must_use]
+    pub fn new(nonce: TransferNonce, chunk_size: u32, payload: Vec<u8>) -> Self {
+        assert!(chunk_size > 0, "zero chunk size");
+        assert!(
+            payload.len() as u64 <= MAX_STREAM_LEN,
+            "payload exceeds MAX_STREAM_LEN"
+        );
+        let key = chain_key(&nonce);
+        let n = chunk_count(payload.len() as u64, chunk_size);
+        let mut macs = Vec::with_capacity(n as usize);
+        let mut prev = chain_seed(&key);
+        for idx in 0..n {
+            let mac = chunk_mac(&key, &prev, idx, Self::slice(&payload, chunk_size, idx));
+            macs.push(mac);
+            prev = mac;
+        }
+        let digest = sha256(&payload);
+        ChunkStream {
+            nonce,
+            chunk_size,
+            payload,
+            macs,
+            digest,
+        }
+    }
+
+    fn slice(payload: &[u8], chunk_size: u32, idx: u32) -> &[u8] {
+        let start = idx as usize * chunk_size as usize;
+        let end = (start + chunk_size as usize).min(payload.len());
+        &payload[start..end]
+    }
+
+    /// The transfer nonce.
+    #[must_use]
+    pub fn nonce(&self) -> TransferNonce {
+        self.nonce
+    }
+
+    /// Total payload length in bytes.
+    #[must_use]
+    pub fn total_len(&self) -> u64 {
+        self.payload.len() as u64
+    }
+
+    /// Number of chunks.
+    #[must_use]
+    pub fn n_chunks(&self) -> u32 {
+        self.macs.len() as u32
+    }
+
+    /// The configured chunk size.
+    #[must_use]
+    pub fn chunk_size(&self) -> u32 {
+        self.chunk_size
+    }
+
+    /// SHA-256 digest of the whole payload.
+    #[must_use]
+    pub fn digest(&self) -> [u8; 32] {
+        self.digest
+    }
+
+    /// Payload and chain MAC of chunk `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range index (caller bug).
+    #[must_use]
+    pub fn chunk(&self, idx: u32) -> (&[u8], ChunkMac) {
+        (
+            Self::slice(&self.payload, self.chunk_size, idx),
+            self.macs[idx as usize],
+        )
+    }
+}
+
+/// Destination side: in-order reassembly with chain verification,
+/// serializable for crash-safe persistence.
+pub struct ChunkAssembler {
+    nonce: TransferNonce,
+    chunk_size: u32,
+    n_chunks: u32,
+    total_len: u64,
+    digest: [u8; 32],
+    key: [u8; 32],
+    buf: Vec<u8>,
+    next_idx: u32,
+    prev_mac: ChunkMac,
+}
+
+impl std::fmt::Debug for ChunkAssembler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkAssembler")
+            .field("next_idx", &self.next_idx)
+            .field("n_chunks", &self.n_chunks)
+            .field("total_len", &self.total_len)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ChunkAssembler {
+    /// Opens an assembler for an announced transfer.
+    ///
+    /// # Errors
+    ///
+    /// [`MigError::Transfer`] when the announced geometry is
+    /// inconsistent (chunk count vs. length) or exceeds
+    /// [`MAX_STREAM_LEN`].
+    pub fn new(
+        nonce: TransferNonce,
+        chunk_size: u32,
+        total_len: u64,
+        digest: [u8; 32],
+    ) -> Result<Self, MigError> {
+        if chunk_size == 0 {
+            return Err(MigError::Transfer("zero chunk size"));
+        }
+        if total_len == 0 || total_len > MAX_STREAM_LEN {
+            return Err(MigError::Transfer("stream length out of bounds"));
+        }
+        let key = chain_key(&nonce);
+        Ok(ChunkAssembler {
+            nonce,
+            chunk_size,
+            n_chunks: chunk_count(total_len, chunk_size),
+            total_len,
+            digest,
+            prev_mac: chain_seed(&key),
+            key,
+            buf: Vec::new(),
+            next_idx: 0,
+        })
+    }
+
+    /// The transfer nonce.
+    #[must_use]
+    pub fn nonce(&self) -> TransferNonce {
+        self.nonce
+    }
+
+    /// Index of the next chunk the assembler will accept — equivalently,
+    /// the cumulative acknowledgement (`idx < next_idx` are received).
+    #[must_use]
+    pub fn next_idx(&self) -> u32 {
+        self.next_idx
+    }
+
+    /// Total chunk count of the transfer.
+    #[must_use]
+    pub fn n_chunks(&self) -> u32 {
+        self.n_chunks
+    }
+
+    /// Whether every chunk has been accepted.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.next_idx == self.n_chunks
+    }
+
+    fn expected_len(&self, idx: u32) -> u64 {
+        if idx + 1 == self.n_chunks {
+            self.total_len - u64::from(idx) * u64::from(self.chunk_size)
+        } else {
+            u64::from(self.chunk_size)
+        }
+    }
+
+    /// Verifies and appends chunk `idx`.
+    ///
+    /// # Errors
+    ///
+    /// [`MigError::Transfer`] on an out-of-order index, a wrong payload
+    /// length, or a chain-MAC mismatch (replay / reorder / splice).
+    pub fn accept(&mut self, idx: u32, payload: &[u8], mac: &ChunkMac) -> Result<(), MigError> {
+        if idx != self.next_idx {
+            return Err(MigError::Transfer("chunk index out of order"));
+        }
+        if payload.len() as u64 != self.expected_len(idx) {
+            return Err(MigError::Transfer("chunk length mismatch"));
+        }
+        let expected = chunk_mac(&self.key, &self.prev_mac, idx, payload);
+        if !ct_eq(&expected, mac) {
+            return Err(MigError::Transfer("chunk chain MAC mismatch"));
+        }
+        self.buf.extend_from_slice(payload);
+        self.prev_mac = expected;
+        self.next_idx += 1;
+        Ok(())
+    }
+
+    /// Consumes the assembler, returning the verified payload.
+    ///
+    /// # Errors
+    ///
+    /// [`MigError::Transfer`] when chunks are missing or the final
+    /// SHA-256 digest does not match the announcement.
+    pub fn finish(self) -> Result<Vec<u8>, MigError> {
+        if !self.is_complete() {
+            return Err(MigError::Transfer("stream incomplete"));
+        }
+        if !ct_eq(&sha256(&self.buf), &self.digest) {
+            return Err(MigError::Transfer("state digest mismatch"));
+        }
+        Ok(self.buf)
+    }
+
+    /// Serializes the assembler (ME durable-state persistence).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.array(&self.nonce);
+        w.u32(self.chunk_size);
+        w.u64(self.total_len);
+        w.array(&self.digest);
+        w.u32(self.next_idx);
+        w.array(&self.prev_mac);
+        w.bytes(&self.buf);
+        w.finish()
+    }
+
+    /// Restores a persisted assembler.
+    ///
+    /// # Errors
+    ///
+    /// [`MigError::Transfer`] / [`MigError::Sgx`] on malformed or
+    /// internally inconsistent input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, MigError> {
+        let mut r = WireReader::new(bytes);
+        let nonce: TransferNonce = r.array()?;
+        let chunk_size = r.u32()?;
+        let total_len = r.u64()?;
+        let digest: [u8; 32] = r.array()?;
+        let next_idx = r.u32()?;
+        let prev_mac: ChunkMac = r.array()?;
+        let buf = r.bytes_vec()?;
+        r.finish()?;
+
+        let mut assembler = Self::new(nonce, chunk_size, total_len, digest)?;
+        if next_idx > assembler.n_chunks {
+            return Err(MigError::Transfer("restored index out of range"));
+        }
+        let expected_buf: u64 = (0..next_idx).map(|i| assembler.expected_len(i)).sum();
+        if buf.len() as u64 != expected_buf {
+            return Err(MigError::Transfer("restored buffer length mismatch"));
+        }
+        assembler.next_idx = next_idx;
+        assembler.prev_mac = prev_mac;
+        assembler.buf = buf;
+        Ok(assembler)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i % 251) as u8).collect()
+    }
+
+    fn stream_through(
+        stream: &ChunkStream,
+        assembler: &mut ChunkAssembler,
+        from: u32,
+    ) -> Result<(), MigError> {
+        for idx in from..stream.n_chunks() {
+            let (chunk, mac) = stream.chunk(idx);
+            assembler.accept(idx, chunk, &mac)?;
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn round_trip_various_sizes() {
+        for len in [1usize, 7, 256, 257, 1024, 5000] {
+            let data = payload(len);
+            let stream = ChunkStream::new([7; 16], 256, data.clone());
+            let mut asm =
+                ChunkAssembler::new([7; 16], 256, stream.total_len(), stream.digest()).unwrap();
+            assert_eq!(asm.n_chunks(), stream.n_chunks());
+            stream_through(&stream, &mut asm, 0).unwrap();
+            assert_eq!(asm.finish().unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn out_of_order_and_replay_rejected() {
+        let stream = ChunkStream::new([1; 16], 16, payload(64));
+        let mut asm = ChunkAssembler::new([1; 16], 16, 64, stream.digest()).unwrap();
+        let (c0, m0) = stream.chunk(0);
+        let (c1, m1) = stream.chunk(1);
+        // Skipping ahead fails.
+        assert!(matches!(asm.accept(1, c1, &m1), Err(MigError::Transfer(_))));
+        asm.accept(0, c0, &m0).unwrap();
+        // Replay of an accepted chunk fails.
+        assert!(matches!(asm.accept(0, c0, &m0), Err(MigError::Transfer(_))));
+        // A chunk presented at the wrong position fails the chain even if
+        // the index field is rewritten to match.
+        assert!(matches!(asm.accept(1, c0, &m0), Err(MigError::Transfer(_))));
+    }
+
+    #[test]
+    fn cross_transfer_splice_rejected() {
+        let a = ChunkStream::new([1; 16], 16, payload(64));
+        let b = ChunkStream::new([2; 16], 16, payload(64));
+        let mut asm = ChunkAssembler::new([1; 16], 16, 64, a.digest()).unwrap();
+        let (c0, m0) = b.chunk(0);
+        assert!(matches!(asm.accept(0, c0, &m0), Err(MigError::Transfer(_))));
+    }
+
+    #[test]
+    fn tampered_payload_rejected() {
+        let stream = ChunkStream::new([3; 16], 32, payload(100));
+        let mut asm = ChunkAssembler::new([3; 16], 32, 100, stream.digest()).unwrap();
+        let (c0, m0) = stream.chunk(0);
+        let mut evil = c0.to_vec();
+        evil[0] ^= 1;
+        assert!(matches!(
+            asm.accept(0, &evil, &m0),
+            Err(MigError::Transfer(_))
+        ));
+    }
+
+    #[test]
+    fn resume_from_serialized_state() {
+        let data = payload(1000);
+        let stream = ChunkStream::new([9; 16], 128, data.clone());
+        let mut asm = ChunkAssembler::new([9; 16], 128, 1000, stream.digest()).unwrap();
+        for idx in 0..3 {
+            let (c, m) = stream.chunk(idx);
+            asm.accept(idx, c, &m).unwrap();
+        }
+        // Crash: persist, restore, resume from next_idx.
+        let blob = asm.to_bytes();
+        let mut restored = ChunkAssembler::from_bytes(&blob).unwrap();
+        assert_eq!(restored.next_idx(), 3);
+        stream_through(&stream, &mut restored, 3).unwrap();
+        assert_eq!(restored.finish().unwrap(), data);
+    }
+
+    #[test]
+    fn incomplete_or_wrong_digest_rejected() {
+        let stream = ChunkStream::new([4; 16], 64, payload(200));
+        let asm = ChunkAssembler::new([4; 16], 64, 200, stream.digest()).unwrap();
+        assert!(matches!(asm.finish(), Err(MigError::Transfer(_))));
+
+        let mut asm = ChunkAssembler::new([4; 16], 64, 200, [0; 32]).unwrap();
+        stream_through(&stream, &mut asm, 0).unwrap();
+        assert!(matches!(asm.finish(), Err(MigError::Transfer(_))));
+    }
+
+    #[test]
+    fn geometry_validation() {
+        assert!(ChunkAssembler::new([0; 16], 0, 10, [0; 32]).is_err());
+        assert!(ChunkAssembler::new([0; 16], 16, 0, [0; 32]).is_err());
+        assert!(ChunkAssembler::new([0; 16], 16, MAX_STREAM_LEN + 1, [0; 32]).is_err());
+        assert_eq!(chunk_count(0, 16), 0);
+        assert_eq!(chunk_count(16, 16), 1);
+        assert_eq!(chunk_count(17, 16), 2);
+    }
+
+    #[test]
+    fn tampered_persisted_state_rejected() {
+        let stream = ChunkStream::new([5; 16], 32, payload(100));
+        let mut asm = ChunkAssembler::new([5; 16], 32, 100, stream.digest()).unwrap();
+        let (c, m) = stream.chunk(0);
+        asm.accept(0, c, &m).unwrap();
+        let blob = asm.to_bytes();
+        // Truncations never panic.
+        for cut in 1..blob.len().min(64) {
+            assert!(ChunkAssembler::from_bytes(&blob[..blob.len() - cut]).is_err());
+        }
+    }
+}

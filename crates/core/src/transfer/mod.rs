@@ -1,0 +1,137 @@
+//! The **state-transfer subsystem**: checkpointing and chunked,
+//! resumable, integrity-chained streaming of large persistent state
+//! between Migration Enclaves (the CTR-style extension of the paper's
+//! single-message transfer).
+//!
+//! The DSN'18 protocol hands the destination one `transfer data` message
+//! (Fig. 2) — fine for the 1.3 KiB Table I payload, hopeless for an
+//! enclave whose migratable-sealed working set is megabytes. Following
+//! *CTR: Checkpoint, Transfer, and Restore for Secure Enclaves*
+//! (Nakatsuka et al.) this module adds:
+//!
+//! * [`checkpoint`] — a durable, generation-numbered checkpoint store on
+//!   the untrusted per-machine disk ([`cloud_sim::disk::UntrustedDisk`]).
+//!   Application hosts write the library's sealed Table II blob (plus
+//!   any staged bulk state) there periodically; Migration Enclave hosts
+//!   checkpoint transfer progress so a management-VM crash mid-migration
+//!   resumes instead of restarting.
+//! * [`chunker`] — the chunking/streaming engine: a source-side
+//!   [`chunker::ChunkStream`] that splits the payload into fixed-size
+//!   chunks bound together by an HMAC chain keyed from a secret
+//!   per-transfer nonce, and a destination-side
+//!   [`chunker::ChunkAssembler`] that verifies the chain chunk by chunk,
+//!   survives serialization across enclave restarts, and reports the
+//!   next index it needs so a resumed sender can continue from the last
+//!   acknowledged chunk.
+//!
+//! The wire messages (`ChunkStart` / `Chunk` / `ChunkAck` / `Resume` /
+//! `ResumeRequest`) live in [`crate::msgs::MeToMe`]; the Migration
+//! Enclave ([`crate::me`]) drives the engine with windowed, pipelined
+//! sends over the existing attested [`crate::secure_channel`]. State at
+//! or below [`TransferConfig::stream_threshold`] still travels in the
+//! original single-shot `Transfer` message (the small-state fast path).
+
+pub mod checkpoint;
+pub mod chunker;
+
+use sgx_sim::wire::{WireReader, WireWriter};
+use sgx_sim::SgxError;
+
+/// Default streaming threshold: state strictly larger than this streams.
+pub const DEFAULT_STREAM_THRESHOLD: u32 = 64 * 1024;
+/// Default chunk size of the streaming engine.
+pub const DEFAULT_CHUNK_SIZE: u32 = 256 * 1024;
+/// Default send window (chunks in flight before the first ack).
+pub const DEFAULT_WINDOW: u32 = 8;
+/// Minimum accepted chunk size. Keeps every chunk ciphertext larger
+/// than the RA handshake-finish frame, so chunks sent in the same step
+/// as the finish cannot overtake it on the size-ordered simulated
+/// network.
+pub const MIN_CHUNK_SIZE: u32 = 4096;
+
+/// Tuning knobs of the streaming state transfer, provisioned into each
+/// Migration Enclave alongside the migration policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TransferConfig {
+    /// State payloads strictly larger than this (bytes) use the
+    /// chunked streaming path; smaller ones ride the single-shot
+    /// `Transfer` message.
+    pub stream_threshold: u32,
+    /// Bytes per chunk.
+    pub chunk_size: u32,
+    /// Maximum unacknowledged chunks in flight (pipelined sending).
+    pub window: u32,
+}
+
+impl Default for TransferConfig {
+    fn default() -> Self {
+        TransferConfig {
+            stream_threshold: DEFAULT_STREAM_THRESHOLD,
+            chunk_size: DEFAULT_CHUNK_SIZE,
+            window: DEFAULT_WINDOW,
+        }
+    }
+}
+
+impl TransferConfig {
+    /// Serializes the config (PROVISION payload suffix).
+    pub fn encode(&self, w: &mut WireWriter) {
+        w.u32(self.stream_threshold);
+        w.u32(self.chunk_size);
+        w.u32(self.window);
+    }
+
+    /// Parses a config, rejecting degenerate geometry.
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::Decode`] on malformed input, a chunk size below
+    /// [`MIN_CHUNK_SIZE`], or a zero window.
+    pub fn decode(r: &mut WireReader<'_>) -> Result<Self, SgxError> {
+        let config = TransferConfig {
+            stream_threshold: r.u32()?,
+            chunk_size: r.u32()?,
+            window: r.u32()?,
+        };
+        if config.chunk_size < MIN_CHUNK_SIZE || config.window == 0 {
+            return Err(SgxError::Decode);
+        }
+        Ok(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_round_trip() {
+        let config = TransferConfig {
+            stream_threshold: 1024,
+            chunk_size: MIN_CHUNK_SIZE,
+            window: 3,
+        };
+        let mut w = WireWriter::new();
+        config.encode(&mut w);
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(TransferConfig::decode(&mut r).unwrap(), config);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn degenerate_config_rejected() {
+        for (chunk_size, window) in [(0u32, 1u32), (MIN_CHUNK_SIZE - 1, 1), (MIN_CHUNK_SIZE, 0)] {
+            let mut w = WireWriter::new();
+            TransferConfig {
+                stream_threshold: 0,
+                chunk_size,
+                window,
+            }
+            .encode(&mut w);
+            let buf = w.finish();
+            let mut r = WireReader::new(&buf);
+            assert!(TransferConfig::decode(&mut r).is_err());
+        }
+    }
+}

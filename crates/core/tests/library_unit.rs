@@ -3,8 +3,9 @@
 //! need the ME session: initialization, migratable sealing, and counter
 //! bookkeeping, including all error paths.
 
-use mig_core::harness::{encode_init, open_envelope, ops as lib_ops, AppCtx, AppLogic,
-    MigratableEnclave};
+use mig_core::harness::{
+    encode_init, open_envelope, ops as lib_ops, AppCtx, AppLogic, MigratableEnclave,
+};
 use mig_core::library::InitRequest;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -126,7 +127,11 @@ fn counter_ids_are_reused_after_destroy() {
     let c = call(&enclave, ops::CREATE, &[]).unwrap()[0];
     assert_eq!(c, a);
     // And it starts at effective 0 again.
-    let v = u32::from_le_bytes(call(&enclave, ops::READ, &[c]).unwrap()[..4].try_into().unwrap());
+    let v = u32::from_le_bytes(
+        call(&enclave, ops::READ, &[c]).unwrap()[..4]
+            .try_into()
+            .unwrap(),
+    );
     assert_eq!(v, 0);
 }
 
@@ -153,8 +158,11 @@ fn quota_of_256_counters_enforced() {
     for _ in 0..256 {
         call(&enclave, ops::CREATE, &[]).unwrap();
     }
-    let active =
-        u32::from_le_bytes(call(&enclave, ops::ACTIVE, &[]).unwrap()[..4].try_into().unwrap());
+    let active = u32::from_le_bytes(
+        call(&enclave, ops::ACTIVE, &[]).unwrap()[..4]
+            .try_into()
+            .unwrap(),
+    );
     assert_eq!(active, 256);
     let err = call(&enclave, ops::CREATE, &[]).unwrap_err();
     assert_eq!(err, SgxError::CounterQuotaExceeded);
@@ -221,7 +229,11 @@ fn restore_round_trips_counters_and_msk() {
     )
     .unwrap();
     // Counter state and MSK both restored.
-    let v = u32::from_le_bytes(call(&e2, ops::READ, &[id]).unwrap()[..4].try_into().unwrap());
+    let v = u32::from_le_bytes(
+        call(&e2, ops::READ, &[id]).unwrap()[..4]
+            .try_into()
+            .unwrap(),
+    );
     assert_eq!(v, 2);
     assert_eq!(call(&e2, ops::UNSEAL, &sealed).unwrap(), b"kept");
 }
@@ -229,8 +241,12 @@ fn restore_round_trips_counters_and_msk() {
 #[test]
 fn restore_rejects_blob_from_other_enclave() {
     let m = machine();
-    let other_image =
-        EnclaveImage::build("other", 1, b"other code", &EnclaveSigner::from_seed([6; 32]));
+    let other_image = EnclaveImage::build(
+        "other",
+        1,
+        b"other code",
+        &EnclaveSigner::from_seed([6; 32]),
+    );
     let other = m
         .load_enclave(&other_image, Box::new(MigratableEnclave::new(LibApp)))
         .unwrap();
@@ -262,7 +278,12 @@ fn restore_rejects_garbage_blob() {
     let err = enclave
         .ecall(
             lib_ops::MIG_INIT,
-            &encode_init(&me_mr(), &InitRequest::Restore { blob: vec![1, 2, 3] }),
+            &encode_init(
+                &me_mr(),
+                &InitRequest::Restore {
+                    blob: vec![1, 2, 3],
+                },
+            ),
         )
         .unwrap_err();
     assert!(matches!(err, SgxError::Decode | SgxError::MacMismatch));
@@ -275,7 +296,10 @@ fn await_migration_phase_refuses_operations() {
         .load_enclave(&image(), Box::new(MigratableEnclave::new(LibApp)))
         .unwrap();
     enclave
-        .ecall(lib_ops::MIG_INIT, &encode_init(&me_mr(), &InitRequest::Migrate))
+        .ecall(
+            lib_ops::MIG_INIT,
+            &encode_init(&me_mr(), &InitRequest::Migrate),
+        )
         .unwrap();
     for (op, input) in [
         (ops::CREATE, vec![]),
@@ -319,7 +343,9 @@ fn me_msg1_rejects_wrong_me_measurement() {
             mr_enclave: MrEnclave([0xEE; 32]), // not the ME image
         },
     };
-    let err = enclave.ecall(lib_ops::ME_MSG1, &msg1.to_bytes()).unwrap_err();
+    let err = enclave
+        .ecall(lib_ops::ME_MSG1, &msg1.to_bytes())
+        .unwrap_err();
     assert!(
         matches!(err, SgxError::Enclave(ref msg) if msg.contains("measurement")),
         "{err:?}"
@@ -340,7 +366,9 @@ fn me_msg3_without_handshake_errors() {
             mac: [0; 32],
         },
     };
-    let err = enclave.ecall(lib_ops::ME_MSG3, &msg3.to_bytes()).unwrap_err();
+    let err = enclave
+        .ecall(lib_ops::ME_MSG3, &msg3.to_bytes())
+        .unwrap_err();
     assert!(
         matches!(err, SgxError::Enclave(ref msg) if msg.contains("no ME handshake")),
         "{err:?}"
@@ -371,8 +399,7 @@ fn effective_value_spans_restart_lineage() {
     )
     .unwrap();
     for expected in [4u32, 5] {
-        let v =
-            u32::from_le_bytes(call(&e2, ops::INC, &[id]).unwrap()[..4].try_into().unwrap());
+        let v = u32::from_le_bytes(call(&e2, ops::INC, &[id]).unwrap()[..4].try_into().unwrap());
         assert_eq!(v, expected);
     }
 }

@@ -170,11 +170,9 @@ fn ra_response_without_handshake_fails() {
     // A syntactically valid (but unsolicited) RA response input.
     let mut rng = StdRng::seed_from_u64(99);
     let key = mig_crypto::ed25519::SigningKey::random(&mut rng);
-    let cred = f.operator.issue_credential(
-        key.verifying_key(),
-        MachineId(2),
-        &MachineLabels::default(),
-    );
+    let cred =
+        f.operator
+            .issue_credential(key.verifying_key(), MachineId(2), &MachineLabels::default());
     // Build minimal evidence bytes via a genuine quote from this machine.
     // (Evidence content is irrelevant: the session lookup fails first.)
     let mut w = WireWriter::new();

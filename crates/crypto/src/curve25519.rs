@@ -139,20 +139,13 @@ impl Fe {
         let a = &self.0;
         let b = &rhs.0;
         let m = |x: u64, y: u64| x as u128 * y as u128;
-        let c0 = m(a[0], b[0])
-            + 19 * (m(a[1], b[4]) + m(a[2], b[3]) + m(a[3], b[2]) + m(a[4], b[1]));
-        let c1 = m(a[0], b[1])
-            + m(a[1], b[0])
-            + 19 * (m(a[2], b[4]) + m(a[3], b[3]) + m(a[4], b[2]));
-        let c2 = m(a[0], b[2])
-            + m(a[1], b[1])
-            + m(a[2], b[0])
-            + 19 * (m(a[3], b[4]) + m(a[4], b[3]));
-        let c3 = m(a[0], b[3])
-            + m(a[1], b[2])
-            + m(a[2], b[1])
-            + m(a[3], b[0])
-            + 19 * m(a[4], b[4]);
+        let c0 =
+            m(a[0], b[0]) + 19 * (m(a[1], b[4]) + m(a[2], b[3]) + m(a[3], b[2]) + m(a[4], b[1]));
+        let c1 =
+            m(a[0], b[1]) + m(a[1], b[0]) + 19 * (m(a[2], b[4]) + m(a[3], b[3]) + m(a[4], b[2]));
+        let c2 =
+            m(a[0], b[2]) + m(a[1], b[1]) + m(a[2], b[0]) + 19 * (m(a[3], b[4]) + m(a[4], b[3]));
+        let c3 = m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0]) + 19 * m(a[4], b[4]);
         let c4 = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
         reduce_wide([c0, c1, c2, c3, c4])
     }
@@ -275,7 +268,9 @@ pub(crate) struct Consts {
 pub(crate) fn consts() -> &'static Consts {
     static CONSTS: OnceLock<Consts> = OnceLock::new();
     CONSTS.get_or_init(|| {
-        let d = Fe::from_u64(121665).neg().mul(Fe::from_u64(121666).invert());
+        let d = Fe::from_u64(121665)
+            .neg()
+            .mul(Fe::from_u64(121666).invert());
         let d2 = d.add(d);
         // sqrt(-1) = 2^((p-1)/4); (p-1)/4 = 2^253 - 5.
         let mut exp = [0xffu8; 32];
@@ -290,7 +285,12 @@ pub(crate) fn consts() -> &'static Consts {
         base_bytes[31] &= 0x7f; // sign bit 0 selects the even x
         let base = EdwardsPoint::decompress_with(&base_bytes, d, sqrt_m1)
             .expect("base point must decompress");
-        Consts { d, d2, sqrt_m1, base }
+        Consts {
+            d,
+            d2,
+            sqrt_m1,
+            base,
+        }
     })
 }
 

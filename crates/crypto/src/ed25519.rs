@@ -201,8 +201,7 @@ impl Signature {
     ///
     /// Returns [`CryptoError::InvalidLength`] if `bytes` is not 64 bytes.
     pub fn from_slice(bytes: &[u8]) -> Result<Self> {
-        let arr: [u8; SIGNATURE_LEN] =
-            bytes.try_into().map_err(|_| CryptoError::InvalidLength)?;
+        let arr: [u8; SIGNATURE_LEN] = bytes.try_into().map_err(|_| CryptoError::InvalidLength)?;
         Ok(Signature(arr))
     }
 }
@@ -293,7 +292,10 @@ mod tests {
         for i in [0usize, 31, 32, 63] {
             let mut bad = sig;
             bad.0[i] ^= 1;
-            assert!(key.verifying_key().verify(b"hello", &bad).is_err(), "byte {i}");
+            assert!(
+                key.verifying_key().verify(b"hello", &bad).is_err(),
+                "byte {i}"
+            );
         }
     }
 

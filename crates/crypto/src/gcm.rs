@@ -270,7 +270,9 @@ mod tests {
         let sealed = aead.seal(&[1; 12], b"aad", b"pt");
         assert!(aead.open(&[2; 12], b"aad", &sealed).is_err());
         assert!(aead.open(&[1; 12], b"aax", &sealed).is_err());
-        assert!(AesGcm::new([8; 16]).open(&[1; 12], b"aad", &sealed).is_err());
+        assert!(AesGcm::new([8; 16])
+            .open(&[1; 12], b"aad", &sealed)
+            .is_err());
     }
 
     #[test]

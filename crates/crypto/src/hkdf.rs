@@ -18,7 +18,11 @@ pub const MAX_OUTPUT_LEN: usize = 255 * DIGEST_LEN;
 #[must_use]
 pub fn hkdf_extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
     let zero_salt = [0u8; DIGEST_LEN];
-    let salt = if salt.is_empty() { &zero_salt[..] } else { salt };
+    let salt = if salt.is_empty() {
+        &zero_salt[..]
+    } else {
+        salt
+    };
     HmacSha256::mac(salt, ikm)
 }
 

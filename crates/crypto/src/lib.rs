@@ -107,7 +107,10 @@ pub type Result<T> = std::result::Result<T, CryptoError>;
 /// assert_eq!(mig_crypto::hex_decode("00ff"), vec![0x00, 0xff]);
 /// ```
 pub fn hex_decode(s: &str) -> Vec<u8> {
-    assert!(s.len().is_multiple_of(2), "hex string must have even length");
+    assert!(
+        s.len().is_multiple_of(2),
+        "hex string must have even length"
+    );
     (0..s.len())
         .step_by(2)
         .map(|i| u8::from_str_radix(&s[i..i + 2], 16).expect("invalid hex digit"))

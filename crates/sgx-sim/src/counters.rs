@@ -98,7 +98,9 @@ impl CounterStore {
             .expect("quota check guarantees a free slot");
         let mut nonce = [0u8; 8];
         rng.fill_bytes(&mut nonce);
-        counters.slots.insert(slot, CounterRecord { nonce, value: 0 });
+        counters
+            .slots
+            .insert(slot, CounterRecord { nonce, value: 0 });
         Ok((CounterUuid { slot, nonce }, 0))
     }
 

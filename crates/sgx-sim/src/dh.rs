@@ -337,7 +337,12 @@ mod tests {
         let signer = EnclaveSigner::from_seed([1; 32]);
         let img_a = EnclaveImage::build("dh-a", 1, b"a", &signer);
         let img_b = EnclaveImage::build("dh-b", 1, b"b", &signer);
-        World { m1, m2, img_a, img_b }
+        World {
+            m1,
+            m2,
+            img_a,
+            img_b,
+        }
     }
 
     #[test]
@@ -345,9 +350,8 @@ mod tests {
         let w = world();
         let res_result = Arc::new(Mutex::new(None));
         let init_result = Arc::new(Mutex::new(None));
-        let responder = w
-            .m1
-            .load_enclave(
+        let responder =
+            w.m1.load_enclave(
                 &w.img_a,
                 Box::new(DhEnclave {
                     result: Arc::clone(&res_result),
@@ -355,9 +359,8 @@ mod tests {
                 }),
             )
             .unwrap();
-        let initiator = w
-            .m1
-            .load_enclave(
+        let initiator =
+            w.m1.load_enclave(
                 &w.img_b,
                 Box::new(DhEnclave {
                     result: Arc::clone(&init_result),
@@ -382,15 +385,13 @@ mod tests {
     #[test]
     fn handshake_across_machines_fails() {
         let w = world();
-        let responder = w
-            .m1
-            .load_enclave(&w.img_a, Box::<DhEnclave>::default())
-            .unwrap();
+        let responder =
+            w.m1.load_enclave(&w.img_a, Box::<DhEnclave>::default())
+                .unwrap();
         // Initiator on a DIFFERENT machine: its report can't verify on m1.
-        let initiator = w
-            .m2
-            .load_enclave(&w.img_b, Box::<DhEnclave>::default())
-            .unwrap();
+        let initiator =
+            w.m2.load_enclave(&w.img_b, Box::<DhEnclave>::default())
+                .unwrap();
 
         let msg1 = responder.ecall(OP_START_RESPONDER, b"").unwrap();
         let msg2 = initiator.ecall(OP_START_INITIATOR, &msg1).unwrap();
@@ -403,14 +404,12 @@ mod tests {
     #[test]
     fn tampered_dh_public_key_detected() {
         let w = world();
-        let responder = w
-            .m1
-            .load_enclave(&w.img_a, Box::<DhEnclave>::default())
-            .unwrap();
-        let initiator = w
-            .m1
-            .load_enclave(&w.img_b, Box::<DhEnclave>::default())
-            .unwrap();
+        let responder =
+            w.m1.load_enclave(&w.img_a, Box::<DhEnclave>::default())
+                .unwrap();
+        let initiator =
+            w.m1.load_enclave(&w.img_b, Box::<DhEnclave>::default())
+                .unwrap();
 
         let msg1 = responder.ecall(OP_START_RESPONDER, b"").unwrap();
         let mut msg2 = initiator.ecall(OP_START_INITIATOR, &msg1).unwrap();
@@ -425,27 +424,23 @@ mod tests {
     fn replayed_msg3_from_other_session_detected() {
         let w = world();
         // Session 1 between A and B, completed.
-        let resp1 = w
-            .m1
-            .load_enclave(&w.img_a, Box::<DhEnclave>::default())
-            .unwrap();
-        let init1 = w
-            .m1
-            .load_enclave(&w.img_b, Box::<DhEnclave>::default())
-            .unwrap();
+        let resp1 =
+            w.m1.load_enclave(&w.img_a, Box::<DhEnclave>::default())
+                .unwrap();
+        let init1 =
+            w.m1.load_enclave(&w.img_b, Box::<DhEnclave>::default())
+                .unwrap();
         let msg1 = resp1.ecall(OP_START_RESPONDER, b"").unwrap();
         let msg2 = init1.ecall(OP_START_INITIATOR, &msg1).unwrap();
         let msg3_session1 = resp1.ecall(OP_PROC_MSG2, &msg2).unwrap();
 
         // Session 2: adversary replays session 1's msg3.
-        let resp2 = w
-            .m1
-            .load_enclave(&w.img_a, Box::<DhEnclave>::default())
-            .unwrap();
-        let init2 = w
-            .m1
-            .load_enclave(&w.img_b, Box::<DhEnclave>::default())
-            .unwrap();
+        let resp2 =
+            w.m1.load_enclave(&w.img_a, Box::<DhEnclave>::default())
+                .unwrap();
+        let init2 =
+            w.m1.load_enclave(&w.img_b, Box::<DhEnclave>::default())
+                .unwrap();
         let msg1b = resp2.ecall(OP_START_RESPONDER, b"").unwrap();
         let _msg2b = init2.ecall(OP_START_INITIATOR, &msg1b).unwrap();
         assert_eq!(
@@ -457,10 +452,9 @@ mod tests {
     #[test]
     fn message_encodings_round_trip() {
         let w = world();
-        let responder = w
-            .m1
-            .load_enclave(&w.img_a, Box::<DhEnclave>::default())
-            .unwrap();
+        let responder =
+            w.m1.load_enclave(&w.img_a, Box::<DhEnclave>::default())
+                .unwrap();
         let msg1_bytes = responder.ecall(OP_START_RESPONDER, b"").unwrap();
         let msg1 = DhMsg1::from_bytes(&msg1_bytes).unwrap();
         assert_eq!(msg1.to_bytes(), msg1_bytes);

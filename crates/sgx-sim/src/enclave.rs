@@ -10,9 +10,9 @@
 //! event, VM migration) irrecoverably drops that state, exactly the
 //! lifecycle the paper's §I enumerates.
 
-use crate::cpu::{egetkey, KeyName, KeyPolicy, KeyRequest};
 use crate::cost::PlatformOp;
 use crate::counters::CounterUuid;
+use crate::cpu::{egetkey, KeyName, KeyPolicy, KeyRequest};
 use crate::error::SgxError;
 use crate::machine::MachineCore;
 use crate::measurement::{EnclaveIdentity, MrEnclave};
@@ -80,7 +80,8 @@ impl EnclaveHandle {
     /// Whether the enclave can still service ECALLs.
     #[must_use]
     pub fn is_alive(&self) -> bool {
-        self.instance.alive.load(Ordering::SeqCst) && self.core.current_epoch() == self.instance.epoch
+        self.instance.alive.load(Ordering::SeqCst)
+            && self.core.current_epoch() == self.instance.epoch
     }
 
     /// Destroys the enclave; its in-memory state is irrecoverably lost.

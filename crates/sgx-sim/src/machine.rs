@@ -300,7 +300,10 @@ mod tests {
         let e2 = load(&m2, &image);
         let blob = e1.ecall(OP_SEAL, b"machine-bound").unwrap();
         // Same enclave identity, different machine: unsealing must fail.
-        assert_eq!(e2.ecall(OP_UNSEAL, &blob).unwrap_err(), SgxError::MacMismatch);
+        assert_eq!(
+            e2.ecall(OP_UNSEAL, &blob).unwrap_err(),
+            SgxError::MacMismatch
+        );
     }
 
     #[test]
@@ -402,8 +405,12 @@ mod tests {
         }
 
         let prover = m1.load_enclave(&image, Box::new(Prover)).unwrap();
-        let verifier1 = m1.load_enclave(&verifier_image, Box::new(Verifier)).unwrap();
-        let verifier2 = m2.load_enclave(&verifier_image, Box::new(Verifier)).unwrap();
+        let verifier1 = m1
+            .load_enclave(&verifier_image, Box::new(Verifier))
+            .unwrap();
+        let verifier2 = m2
+            .load_enclave(&verifier_image, Box::new(Verifier))
+            .unwrap();
 
         let report_bytes = prover.ecall(0, &verifier_image.mr_enclave().0).unwrap();
         // Same machine: verifies, and reports the prover's identity.

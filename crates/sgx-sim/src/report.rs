@@ -30,11 +30,7 @@ pub struct ReportData(pub [u8; REPORT_DATA_LEN]);
 
 impl std::fmt::Debug for ReportData {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "ReportData({}..)",
-            mig_crypto::hex_encode(&self.0[..8])
-        )
+        write!(f, "ReportData({}..)", mig_crypto::hex_encode(&self.0[..8]))
     }
 }
 

@@ -125,7 +125,9 @@ impl<'a> WireReader<'a> {
     ///
     /// Returns [`SgxError::Decode`] on underflow.
     pub fn u32(&mut self) -> Result<u32, SgxError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     /// Reads a little-endian u64.
@@ -134,7 +136,9 @@ impl<'a> WireReader<'a> {
     ///
     /// Returns [`SgxError::Decode`] on underflow.
     pub fn u64(&mut self) -> Result<u64, SgxError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Reads a length-prefixed byte string.

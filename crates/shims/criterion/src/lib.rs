@@ -1,0 +1,225 @@
+//! Offline shim for `criterion` covering the API surface this workspace
+//! uses: `criterion_group!` / `criterion_main!`, benchmark groups with
+//! `sample_size` / `warm_up_time` / `measurement_time` / `throughput`,
+//! and `Bencher::iter` / `iter_batched`.
+//!
+//! Statistics are deliberately simple — mean / min / max over
+//! `sample_size` timed iterations after one warm-up iteration — printed
+//! as one line per benchmark. No HTML reports, no regression analysis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimizing a value away.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Fresh setup before every routine invocation.
+    PerIteration,
+    /// Setup shared across a small batch (treated as per-iteration here).
+    SmallInput,
+    /// Setup shared across a large batch (treated as per-iteration here).
+    LargeInput,
+}
+
+/// Throughput annotation (recorded, printed alongside results).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Per-benchmark timing driver.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` for the configured number of samples.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let _ = black_box(routine()); // warm-up
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            let _ = black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` with a fresh `setup` input per invocation; only
+    /// the routine is timed.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let _ = black_box(routine(setup())); // warm-up
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            let _ = black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(group: &str, name: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{group}/{name}: no samples");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().expect("non-empty");
+    let max = samples.iter().max().expect("non-empty");
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) if !mean.is_zero() => {
+            let mbps = b as f64 / mean.as_secs_f64() / 1e6;
+            format!("  {mbps:>10.1} MB/s")
+        }
+        Some(Throughput::Elements(e)) if !mean.is_zero() => {
+            let eps = e as f64 / mean.as_secs_f64();
+            format!("  {eps:>10.0} elem/s")
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{group}/{name}: mean {mean:>12.3?}  min {min:>12.3?}  max {max:>12.3?}  ({} samples){rate}",
+        samples.len()
+    );
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores warm-up budgets.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim times exactly
+    /// `sample_size` iterations instead of a wall-clock budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<S: Into<String>>(
+        &mut self,
+        name: S,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        report(&self.name, &name.into(), &bencher.samples, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: 10,
+        };
+        f(&mut bencher);
+        report("bench", &name.into(), &bencher.samples, None);
+        self
+    }
+}
+
+/// Declares a group-runner function calling each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_functions() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        let mut runs = 0;
+        group
+            .sample_size(3)
+            .throughput(Throughput::Bytes(128))
+            .bench_function("iter", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 4, "1 warm-up + 3 samples");
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 2u32, |x| x * 2, BatchSize::PerIteration)
+        });
+        group.finish();
+    }
+}

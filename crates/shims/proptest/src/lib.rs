@@ -1,0 +1,242 @@
+//! Offline shim for `proptest` covering the API surface this workspace
+//! uses: the [`proptest!`] macro, [`Strategy`] with ranges / [`Just`] /
+//! `prop_map` / [`prop_oneof!`] / collections / simple `[a-z]{m,n}`
+//! regex strategies, and the `prop_assert*!` / `prop_assume!` macros.
+//!
+//! Differences from real proptest: no shrinking (a failing case panics
+//! with the deterministic per-test seed and case number so it can be
+//! replayed by rerunning the test) and a smaller default case count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`vec`, `btree_set`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+
+    /// A size specification: an exact length or a half-open range.
+    pub trait SizeRange {
+        /// Samples a concrete size.
+        fn sample(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            rng.below(self.end.saturating_sub(self.start).max(1)) + self.start
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with a sampled length.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// Builds a [`VecStrategy`].
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy producing `BTreeSet`s of `element` with a target size
+    /// (best-effort: duplicates may make the set smaller).
+    pub struct BTreeSetStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// Builds a [`BTreeSetStrategy`].
+    pub fn btree_set<S, L>(element: S, len: L) -> BTreeSetStrategy<S, L>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        L: SizeRange,
+    {
+        BTreeSetStrategy { element, len }
+    }
+
+    impl<S, L> Strategy for BTreeSetStrategy<S, L>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        L: SizeRange,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.len.sample(rng);
+            let mut set = BTreeSet::new();
+            // Bounded attempts: a small element domain may not be able to
+            // yield `target` distinct values.
+            for _ in 0..target.saturating_mul(4).max(8) {
+                if set.len() >= target {
+                    break;
+                }
+                set.insert(self.element.generate(rng));
+            }
+            set
+        }
+    }
+
+    /// Arbitrary values (re-export point mirroring proptest's layout).
+    pub use crate::strategy::any;
+}
+
+/// Everything a test file needs.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Asserts a condition inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// Asserts inequality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Rejects the current case (resampled without counting towards the
+/// case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Weighted (or unweighted) union of strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Declares property-based tests.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            let mut case: u32 = 0;
+            let mut rejects: u32 = 0;
+            while case < cfg.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => case += 1,
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject,
+                    ) => {
+                        rejects += 1;
+                        assert!(
+                            rejects < 10_000,
+                            "{}: too many prop_assume rejections",
+                            stringify!($name)
+                        );
+                    }
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(msg),
+                    ) => {
+                        panic!(
+                            "proptest {} failed at case {}: {}",
+                            stringify!($name),
+                            case,
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}

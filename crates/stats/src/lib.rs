@@ -129,8 +129,7 @@ pub fn welch_one_tailed_p(a: &[f64], b: &[f64]) -> f64 {
         };
     }
     let t = (mean(a) - mean(b)) / se2.sqrt();
-    let df = se2.powi(2)
-        / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0));
+    let df = se2.powi(2) / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0));
     // p = P(T_df > t) = 1 - CDF(t)
     1.0 - student_t_cdf(t, df)
 }
@@ -370,7 +369,9 @@ mod tests {
     #[test]
     fn summary_of_thousand_samples_has_tight_ci() {
         // A deterministic sample with known mean 100 and tiny spread.
-        let samples: Vec<f64> = (0..1000).map(|i| 100.0 + ((i % 10) as f64 - 4.5) * 0.1).collect();
+        let samples: Vec<f64> = (0..1000)
+            .map(|i| 100.0 + ((i % 10) as f64 - 4.5) * 0.1)
+            .collect();
         let s = summarize(&samples, 0.99);
         assert_eq!(s.n, 1000);
         assert_close(s.mean, 100.0, 1e-9);

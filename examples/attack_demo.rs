@@ -143,7 +143,9 @@ impl AppLogic for Vault {
                 let version = ctx.lib.increment_migratable_counter(ctx.env, id)?;
                 let mut body = WireWriter::new();
                 body.u32(version).bytes(data);
-                Ok(ctx.lib.seal_migratable_data(ctx.env, b"vault", &body.finish())?)
+                Ok(ctx
+                    .lib
+                    .seal_migratable_data(ctx.env, b"vault", &body.finish())?)
             }
             3 => {
                 let id = input[0];
@@ -172,7 +174,8 @@ fn part2_framework() {
     let m1 = dc.add_machine(MachineLabels::default(), &policy);
     let m2 = dc.add_machine(MachineLabels::default(), &policy);
 
-    dc.deploy_app("src", m1, &image, Vault, InitRequest::New).unwrap();
+    dc.deploy_app("src", m1, &image, Vault, InitRequest::New)
+        .unwrap();
     let id = dc.call_app("src", 1, &[]).unwrap()[0];
     let mut input = vec![id];
     input.extend_from_slice(b"balance=1000");
@@ -182,9 +185,12 @@ fn part2_framework() {
     let mut input = vec![id];
     input.extend_from_slice(b"balance=0");
     let _package_v2 = dc.call_app("src", 2, &input).unwrap();
-    println!("[fork attempt] v=1 (rich) persisted and superseded by v=2; adversary snapshots the disk");
+    println!(
+        "[fork attempt] v=1 (rich) persisted and superseded by v=2; adversary snapshots the disk"
+    );
 
-    dc.deploy_app("dst", m2, &image, Vault, InitRequest::Migrate).unwrap();
+    dc.deploy_app("dst", m2, &image, Vault, InitRequest::Migrate)
+        .unwrap();
     dc.migrate_app("src", "dst").unwrap();
     println!("  migrated to machine-2 (counters destroyed at source, blob frozen)");
 

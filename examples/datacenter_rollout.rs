@@ -41,7 +41,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "mig-apps.kvstore",
                 i as u32 + 1, // per-tenant build ⇒ distinct MRENCLAVE
                 b"sealed kv store enclave",
-                &sgx_sim::measurement::EnclaveSigner::from_seed(*b"rollout example tenant signer!!!"),
+                &sgx_sim::measurement::EnclaveSigner::from_seed(
+                    *b"rollout example tenant signer!!!",
+                ),
             )
         })
         .collect();
@@ -61,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         snapshots.push(last_snapshot);
     }
-    println!("deployed {} tenants on {m1}, each with versioned sealed state", tenants.len());
+    println!(
+        "deployed {} tenants on {m1}, each with versioned sealed state",
+        tenants.len()
+    );
 
     // Their VMs (4 GiB each) migrate with plain live migration.
     let vms: Vec<_> = tenants
@@ -119,8 +124,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Policy check still holds: a non-EU machine cannot receive them.
     let m4 = dc.add_machine(MachineLabels::new("dc-9", "us"), &policy);
-    dc.deploy_app("tenant-a@us", m4, &images[0], KvStore::new(), InitRequest::Migrate)?;
-    let err = dc.migrate_app(&format!("tenant-a@{m2}"), "tenant-a@us").unwrap_err();
+    dc.deploy_app(
+        "tenant-a@us",
+        m4,
+        &images[0],
+        KvStore::new(),
+        InitRequest::Migrate,
+    )?;
+    let err = dc
+        .migrate_app(&format!("tenant-a@{m2}"), "tenant-a@us")
+        .unwrap_err();
     println!("attempt to move tenant-a to {m4} (region us): refused ({err})");
     Ok(())
 }

@@ -42,7 +42,9 @@ impl AppLogic for Vault {
                 .increment_migratable_counter(ctx.env, input[0])?
                 .to_le_bytes()
                 .to_vec()),
-            OP_SEAL => Ok(ctx.lib.seal_migratable_data(ctx.env, b"quickstart", input)?),
+            OP_SEAL => Ok(ctx
+                .lib
+                .seal_migratable_data(ctx.env, b"quickstart", input)?),
             OP_UNSEAL => Ok(ctx.lib.unseal_migratable_data(ctx.env, input)?.0),
             _ => Err(SgxError::InvalidParameter("opcode")),
         }
@@ -75,17 +77,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Deploy the destination (awaiting migration) and migrate.
     dc.deploy_app("vault@m2", m2, &image, Vault, InitRequest::Migrate)?;
     let took = dc.migrate_app("vault@m1", "vault@m2")?;
-    println!("\nmigrated {m1} -> {m2} in {:.3} ms (simulated)", took.as_secs_f64() * 1e3);
+    println!(
+        "\nmigrated {m1} -> {m2} in {:.3} ms (simulated)",
+        took.as_secs_f64() * 1e3
+    );
 
     // Both the counter and the sealed data survived.
     let v = u32::from_le_bytes(dc.call_app("vault@m2", OP_INCREMENT, &[counter])?[..4].try_into()?);
     let secret = dc.call_app("vault@m2", OP_UNSEAL, &sealed)?;
-    println!("destination: counter continues at {v}; unsealed {:?}", String::from_utf8_lossy(&secret));
+    println!(
+        "destination: counter continues at {v}; unsealed {:?}",
+        String::from_utf8_lossy(&secret)
+    );
     assert_eq!(v, 4);
     assert_eq!(secret, b"the launch codes");
 
     // The source is frozen forever.
-    let err = dc.call_app("vault@m1", OP_INCREMENT, &[counter]).unwrap_err();
+    let err = dc
+        .call_app("vault@m1", OP_INCREMENT, &[counter])
+        .unwrap_err();
     println!("source:      refused further operation ({err})");
 
     println!("\nquickstart complete: persistent state migrated, fork door closed.");

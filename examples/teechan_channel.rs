@@ -23,12 +23,15 @@ fn pay(dc: &mut Datacenter, from: &str, to: &str, amount: u64) {
     let payment = dc
         .call_app(from, teechan::ops::PAY, &amount.to_le_bytes())
         .expect("pay");
-    dc.call_app(to, teechan::ops::RECEIVE, &payment).expect("receive");
+    dc.call_app(to, teechan::ops::RECEIVE, &payment)
+        .expect("receive");
     println!("  {from} -> {to}: {amount} (single message, MAC-authenticated)");
 }
 
 fn show_balances(dc: &mut Datacenter, who: &str) {
-    let out = dc.call_app(who, teechan::ops::BALANCES, &[]).expect("balances");
+    let out = dc
+        .call_app(who, teechan::ops::BALANCES, &[])
+        .expect("balances");
     let (mine, peer) = teechan::decode_balances(&out).expect("decode");
     println!("  {who}: own {mine}, peer {peer}");
 }
@@ -43,8 +46,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let m3 = dc.add_machine(MachineLabels::new("dc-1", "eu"), &policy);
 
     // Channel endpoints on two machines, 1000 units deposited each.
-    dc.deploy_app("alice", m1, &teechan_image(), TeechanNode::new(), InitRequest::New)?;
-    dc.deploy_app("bob", m2, &teechan_image(), TeechanNode::new(), InitRequest::New)?;
+    dc.deploy_app(
+        "alice",
+        m1,
+        &teechan_image(),
+        TeechanNode::new(),
+        InitRequest::New,
+    )?;
+    dc.deploy_app(
+        "bob",
+        m2,
+        &teechan_image(),
+        TeechanNode::new(),
+        InitRequest::New,
+    )?;
     dc.call_app(
         "alice",
         teechan::ops::SETUP,
@@ -66,12 +81,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Bob persists his channel state (version-countered), then migrates.
     let resp = dc.call_app("bob", teechan::ops::PERSIST, &[])?;
     let (version, blob) = teechan::decode_persist_response(&resp)?;
-    println!("\nbob persists channel state at version {version} ({} bytes)", blob.len());
+    println!(
+        "\nbob persists channel state at version {version} ({} bytes)",
+        blob.len()
+    );
 
-    dc.deploy_app("bob-m3", m3, &teechan_image(), TeechanNode::new(), InitRequest::Migrate)?;
+    dc.deploy_app(
+        "bob-m3",
+        m3,
+        &teechan_image(),
+        TeechanNode::new(),
+        InitRequest::Migrate,
+    )?;
     let took = dc.migrate_app("bob", "bob-m3")?;
     dc.call_app("bob-m3", teechan::ops::RESTORE, &blob)?;
-    println!("bob migrated {m2} -> {m3} in {:.3} ms and restored his state\n", took.as_secs_f64() * 1e3);
+    println!(
+        "bob migrated {m2} -> {m3} in {:.3} ms and restored his state\n",
+        took.as_secs_f64() * 1e3
+    );
 
     println!("payments after migration (channel uninterrupted):");
     pay(&mut dc, "bob-m3", "alice", 500);
@@ -91,9 +118,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The abandoned endpoint cannot double-spend. Its *persistent-state*
     // operations are frozen by the library...
-    let err = dc
-        .call_app("bob", teechan::ops::PERSIST, &[])
-        .unwrap_err();
+    let err = dc.call_app("bob", teechan::ops::PERSIST, &[]).unwrap_err();
     println!("abandoned bob@{m2} cannot persist: {err}");
     // ...and any payment it emits from stale in-memory state reuses a
     // sequence number the migrated endpoint already consumed, so the

@@ -55,7 +55,11 @@ impl Replica {
 
 fn certify(dc: &mut Datacenter, instance: &str, op: &str) -> Certificate {
     let out = dc
-        .call_app(instance, trinx::ops::CERTIFY, &trinx::encode_certify(1, op.as_bytes()))
+        .call_app(
+            instance,
+            trinx::ops::CERTIFY,
+            &trinx::encode_certify(1, op.as_bytes()),
+        )
         .expect("certify");
     Certificate::from_bytes(&out).expect("certificate")
 }
@@ -68,7 +72,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let m1 = dc.add_machine(MachineLabels::new("dc-1", "eu"), &policy);
     let m2 = dc.add_machine(MachineLabels::new("dc-1", "eu"), &policy);
 
-    dc.deploy_app("trinx", m1, &trinx_image(), TrinxService::new(), InitRequest::New)?;
+    dc.deploy_app(
+        "trinx",
+        m1,
+        &trinx_image(),
+        TrinxService::new(),
+        InitRequest::New,
+    )?;
     dc.call_app("trinx", trinx::ops::INIT, &SERVICE_KEY)?;
     dc.call_app("trinx", trinx::ops::CREATE, &trinx::encode_create(1))?;
     println!("trinx service on {m1}; replicas r1, r2, r3 trust its key\n");
@@ -93,10 +103,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let blob = r.bytes_vec()?;
     println!("\nservice persisted at version {version}; migrating {m1} -> {m2} ...");
 
-    dc.deploy_app("trinx-m2", m2, &trinx_image(), TrinxService::new(), InitRequest::Migrate)?;
+    dc.deploy_app(
+        "trinx-m2",
+        m2,
+        &trinx_image(),
+        TrinxService::new(),
+        InitRequest::Migrate,
+    )?;
     let took = dc.migrate_app("trinx", "trinx-m2")?;
     dc.call_app("trinx-m2", trinx::ops::RESTORE, &blob)?;
-    println!("migrated in {:.3} ms; counter state intact\n", took.as_secs_f64() * 1e3);
+    println!(
+        "migrated in {:.3} ms; counter state intact\n",
+        took.as_secs_f64() * 1e3
+    );
 
     // Phase 2: certification continues seamlessly on m2.
     for op in ["put z=9", "put x=7"] {

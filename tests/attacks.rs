@@ -119,9 +119,13 @@ fn fork_attack_succeeds_against_baseline_migration() {
     // Step 2 (migrate): memory moves to m2; persistent state does not.
     let dst = load_victim(&w, &w.m2, FreezeFlag::InMemory);
     gu_migrate(&w, &src, &dst);
-    assert_eq!(dst.ecall(vops::GET_DATA, &[]).unwrap(), b"channel-state-genesis");
+    assert_eq!(
+        dst.ecall(vops::GET_DATA, &[]).unwrap(),
+        b"channel-state-genesis"
+    );
     // The copy on m2 operates and persists with its own fresh counter c'.
-    dst.ecall(vops::SET_DATA, b"channel-state-after-payments").unwrap();
+    dst.ecall(vops::SET_DATA, b"channel-state-after-payments")
+        .unwrap();
     dst.ecall(vops::PERSIST, &[]).unwrap();
 
     // Step 3 (terminate-restart on the SOURCE): the in-memory freeze flag
@@ -185,14 +189,16 @@ fn fork_attack_blocked_by_migration_framework() {
     let m1 = dc.add_machine(MachineLabels::default(), &policy);
     let m2 = dc.add_machine(MachineLabels::default(), &policy);
 
-    dc.deploy_app("src", m1, &image, Victim, InitRequest::New).unwrap();
+    dc.deploy_app("src", m1, &image, Victim, InitRequest::New)
+        .unwrap();
     let id = dc.call_app("src", 1, &[]).unwrap()[0];
     dc.call_app("src", 2, &[id]).unwrap();
 
     // Adversary snapshots the disk (pre-migration blob, frozen = 0).
     let pre_migration_disk = dc.world().machine(m1).disk.snapshot();
 
-    dc.deploy_app("dst", m2, &image, Victim, InitRequest::Migrate).unwrap();
+    dc.deploy_app("dst", m2, &image, Victim, InitRequest::Migrate)
+        .unwrap();
     dc.migrate_app("src", "dst").unwrap();
     dc.call_app("dst", 2, &[id]).unwrap(); // destination operates
 
@@ -232,7 +238,9 @@ fn gu_persisted_flag_prevents_fork_but_forecloses_migrate_back() {
     // honest host does; the flag is on its disk).
     src.destroy();
     let resurrected = load_victim(&w, &w.m1, FreezeFlag::Persisted);
-    resurrected.ecall(vops::GU_RESTORE_FLAG, &sealed_flag).unwrap();
+    resurrected
+        .ecall(vops::GU_RESTORE_FLAG, &sealed_flag)
+        .unwrap();
     assert_eq!(resurrected.ecall(vops::IS_FROZEN, &[]).unwrap(), vec![1]);
     let err = resurrected.ecall(vops::SET_DATA, b"fork").unwrap_err();
     assert!(matches!(err, SgxError::Enclave(ref m) if m.contains("frozen")));
@@ -243,7 +251,9 @@ fn gu_persisted_flag_prevents_fork_but_forecloses_migrate_back() {
     // from a fork: "this would prevent the same enclave from ever being
     // migrated back to the source machine" (§III-B).
     let returning = load_victim(&w, &w.m1, FreezeFlag::Persisted);
-    returning.ecall(vops::GU_RESTORE_FLAG, &sealed_flag).unwrap();
+    returning
+        .ecall(vops::GU_RESTORE_FLAG, &sealed_flag)
+        .unwrap();
     let response = returning.ecall(vops::GU_BEGIN_EXPORT, &[]);
     // The returning instance CAN handshake, but it is frozen for all
     // operational purposes:
@@ -333,7 +343,9 @@ fn rollback_attack_blocked_by_migration_framework() {
                     let version = ctx.lib.increment_migratable_counter(ctx.env, id)?;
                     let mut body = WireWriter::new();
                     body.u32(version).bytes(data);
-                    Ok(ctx.lib.seal_migratable_data(ctx.env, b"vault", &body.finish())?)
+                    Ok(ctx
+                        .lib
+                        .seal_migratable_data(ctx.env, b"vault", &body.finish())?)
                 }
                 // restore: unseal, check version
                 3 => {
@@ -366,7 +378,8 @@ fn rollback_attack_blocked_by_migration_framework() {
     let m1 = dc.add_machine(MachineLabels::default(), &policy);
     let m2 = dc.add_machine(MachineLabels::default(), &policy);
 
-    dc.deploy_app("src", m1, &image, Vault, InitRequest::New).unwrap();
+    dc.deploy_app("src", m1, &image, Vault, InitRequest::New)
+        .unwrap();
     let id = dc.call_app("src", 1, &[]).unwrap()[0];
 
     let persist = |dc: &mut Datacenter, instance: &str, data: &[u8]| {
@@ -379,7 +392,8 @@ fn rollback_attack_blocked_by_migration_framework() {
     let _v2 = persist(&mut dc, "src", b"balance=500");
     let package_v3 = persist(&mut dc, "src", b"balance=0");
 
-    dc.deploy_app("dst", m2, &image, Vault, InitRequest::Migrate).unwrap();
+    dc.deploy_app("dst", m2, &image, Vault, InitRequest::Migrate)
+        .unwrap();
     dc.migrate_app("src", "dst").unwrap();
 
     // The migrated counter's effective value is 3: the stale v = 1
@@ -465,7 +479,8 @@ fn migration_to_foreign_operator_machine_rejected() {
         dc.world_mut().register_service(endpoint, host);
     }
 
-    dc.deploy_app("src", m1, &image, Dummy, InitRequest::New).unwrap();
+    dc.deploy_app("src", m1, &image, Dummy, InitRequest::New)
+        .unwrap();
     {
         let src = dc.app("src");
         let mut src = src.lock();
@@ -512,20 +527,24 @@ fn tampered_transfer_is_detected_and_replay_rejected() {
     let m1 = dc.add_machine(MachineLabels::default(), &policy);
     let m2 = dc.add_machine(MachineLabels::default(), &policy);
 
-    dc.deploy_app("src", m1, &image, Dummy, InitRequest::New).unwrap();
-    dc.deploy_app("dst", m2, &image, Dummy, InitRequest::Migrate).unwrap();
+    dc.deploy_app("src", m1, &image, Dummy, InitRequest::New)
+        .unwrap();
+    dc.deploy_app("dst", m2, &image, Dummy, InitRequest::Migrate)
+        .unwrap();
 
     // The adversary flips one byte of every cross-machine message body.
-    dc.world_mut().network_mut().add_tap(Box::new(|e: &Envelope| {
-        if e.from.machine != e.to.machine && !e.payload.is_empty() {
-            let mut p = e.payload.clone();
-            let last = p.len() - 1;
-            p[last] ^= 0x01;
-            TapAction::Replace(p)
-        } else {
-            TapAction::Deliver
-        }
-    }));
+    dc.world_mut()
+        .network_mut()
+        .add_tap(Box::new(|e: &Envelope| {
+            if e.from.machine != e.to.machine && !e.payload.is_empty() {
+                let mut p = e.payload.clone();
+                let last = p.len() - 1;
+                p[last] ^= 0x01;
+                TapAction::Replace(p)
+            } else {
+                TapAction::Deliver
+            }
+        }));
 
     let result = dc.migrate_app("src", "dst");
     assert!(result.is_err(), "tampered migration must not complete");
@@ -556,15 +575,22 @@ fn recorded_protocol_messages_cannot_be_replayed() {
             Ok(ctx.lib.seal_migratable_data(ctx.env, b"", input)?)
         }
     }
-    let image = EnclaveImage::build("replay-app", 1, b"code", &EnclaveSigner::from_seed([26; 32]));
+    let image = EnclaveImage::build(
+        "replay-app",
+        1,
+        b"code",
+        &EnclaveSigner::from_seed([26; 32]),
+    );
 
     let mut dc = Datacenter::new(109);
     let policy = MigrationPolicy::same_operator_only();
     let m1 = dc.add_machine(MachineLabels::default(), &policy);
     let m2 = dc.add_machine(MachineLabels::default(), &policy);
 
-    dc.deploy_app("src", m1, &image, Dummy, InitRequest::New).unwrap();
-    dc.deploy_app("dst", m2, &image, Dummy, InitRequest::Migrate).unwrap();
+    dc.deploy_app("src", m1, &image, Dummy, InitRequest::New)
+        .unwrap();
+    dc.deploy_app("dst", m2, &image, Dummy, InitRequest::Migrate)
+        .unwrap();
 
     // Record everything during a legitimate migration.
     dc.world_mut().network_mut().start_recording();
@@ -595,4 +621,148 @@ fn recorded_protocol_messages_cannot_be_replayed() {
     );
     use mig_core::host::AppStatus;
     assert_eq!(dc.app("dst").lock().status(), AppStatus::Ready);
+}
+
+// ---------------------------------------------------------------------
+// Streaming state transfer: chunk replay / reorder / splice attacks
+// ---------------------------------------------------------------------
+
+/// A recorded chunk of a streamed state transfer cannot be replayed into
+/// the destination (per-session channel sequencing), a delivery gap the
+/// adversary forces is detected and survived via resume, and the chunk
+/// HMAC chain + per-transfer nonce reject reordering and cross-transfer
+/// splicing even below the channel layer.
+#[test]
+fn chunk_replay_and_reorder_attacks_blocked() {
+    use cloud_sim::network::{Envelope, TapAction};
+    use mig_apps::kvstore::{self, ops as kv_ops, KvStore};
+    use mig_core::datacenter::ResumableOutcome;
+    use mig_core::host::AppStatus;
+    use mig_core::transfer::TransferConfig;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    let image = EnclaveImage::build("chunk-kv", 1, b"kv", &EnclaveSigner::from_seed([27; 32]));
+    let config = TransferConfig {
+        stream_threshold: 4096,
+        chunk_size: 64 * 1024,
+        window: 4,
+    };
+    let mut dc = Datacenter::new(110);
+    let policy = MigrationPolicy::same_operator_only();
+    let m1 = dc.add_machine_with_transfer(MachineLabels::default(), &policy, config);
+    let m2 = dc.add_machine_with_transfer(MachineLabels::default(), &policy, config);
+
+    // Adversary capability: drop a mid-stream chunk on demand, forcing
+    // the remaining in-flight chunks to arrive out of order.
+    let dropping = Arc::new(AtomicBool::new(false));
+    let seen = Arc::new(AtomicUsize::new(0));
+    let tap_dropping = Arc::clone(&dropping);
+    let tap_seen = Arc::clone(&seen);
+    dc.world_mut()
+        .network_mut()
+        .add_tap(Box::new(move |e: &Envelope| {
+            if e.from.machine == MachineId(1)
+                && e.to.machine == MachineId(2)
+                && e.from.service == "me"
+                && !e.payload.is_empty()
+                && e.payload[0] == mig_core::host::tags::RA_TRANSFER
+            {
+                let n = tap_seen.fetch_add(1, Ordering::SeqCst);
+                // Swallow exactly one mid-stream frame (the 4th).
+                if tap_dropping.load(Ordering::SeqCst) && n == 3 {
+                    tap_dropping.store(false, Ordering::SeqCst);
+                    return TapAction::Drop;
+                }
+            }
+            TapAction::Deliver
+        }));
+
+    // A ~1 MiB store → 17 chunks at 64 KiB.
+    dc.deploy_app("src", m1, &image, KvStore::new(), InitRequest::New)
+        .unwrap();
+    dc.call_app("src", kv_ops::INIT, &[]).unwrap();
+    dc.call_app(
+        "src",
+        kv_ops::BULK_PUT,
+        &kvstore::encode_bulk_put(256, 4096, 0x33),
+    )
+    .unwrap();
+    dc.deploy_app("dst", m2, &image, KvStore::new(), InitRequest::Migrate)
+        .unwrap();
+
+    // (1) Reorder-by-loss: one chunk vanishes mid-window, so the chunks
+    // behind it arrive out of order. The channel sequencing rejects
+    // them all (fail-safe: nothing out-of-order is ever installed), the
+    // transfer stalls, and the operator-driven resume repairs it from
+    // the last acknowledged chunk.
+    dropping.store(true, Ordering::SeqCst);
+    dc.world_mut().network_mut().start_recording();
+    let outcome = dc.migrate_app_resumable("src", "dst").unwrap();
+    let log = dc.world_mut().network_mut().stop_recording();
+    assert!(
+        matches!(outcome, ResumableOutcome::Stalled { .. }),
+        "forced gap must stall, not corrupt: {outcome:?}"
+    );
+    let gap_errors = dc.me_host(m2).lock().errors.len();
+    assert!(
+        gap_errors > 0,
+        "out-of-order chunks surface as channel errors"
+    );
+
+    dc.resume_migration("src", "dst").unwrap();
+    assert_eq!(dc.app("dst").lock().status(), AppStatus::Ready);
+
+    // (2) Replay: re-inject every recorded source→destination transfer
+    // frame (ChunkStart + chunks). Every single one must be rejected —
+    // the channel nonces moved on — and the migrated store must remain
+    // exactly as delivered.
+    let errors_before = dc.me_host(m2).lock().errors.len();
+    let replays: Vec<Envelope> = log
+        .iter()
+        .filter(|e| {
+            e.from.machine == m1
+                && e.to.machine == m2
+                && e.payload.first() == Some(&mig_core::host::tags::RA_TRANSFER)
+        })
+        .cloned()
+        .collect();
+    assert!(replays.len() >= 4, "captured stream frames to replay");
+    let n_replays = replays.len();
+    for envelope in replays {
+        dc.world_mut().network_mut().inject(envelope);
+    }
+    dc.run();
+    let errors_after = dc.me_host(m2).lock().errors.len();
+    assert_eq!(
+        errors_after - errors_before,
+        n_replays,
+        "every replayed stream frame must be rejected"
+    );
+
+    // Destination state is untouched by the attack traffic.
+    let state = dc.app_bulk_state("dst").unwrap().expect("migrated state");
+    dc.call_app("dst", kv_ops::LOAD, &state).unwrap();
+    let len = dc.call_app("dst", kv_ops::LEN, &[]).unwrap();
+    assert_eq!(u32::from_le_bytes(len[..4].try_into().unwrap()), 256);
+
+    // (3) Defense in depth, below the channel: the HMAC chain itself
+    // rejects reordering and the per-transfer nonce rejects splicing a
+    // chunk from one transfer into another at the same index.
+    use mig_core::transfer::chunker::{ChunkAssembler, ChunkStream};
+    let payload: Vec<u8> = (0..100_000u32).map(|i| i as u8).collect();
+    let xfer_a = ChunkStream::new([0xA1; 16], 4096, payload.clone());
+    let xfer_b = ChunkStream::new([0xB2; 16], 4096, payload);
+    let mut asm =
+        ChunkAssembler::new([0xA1; 16], 4096, xfer_a.total_len(), xfer_a.digest()).unwrap();
+    let (a0, a0_mac) = xfer_a.chunk(0);
+    let (a1, a1_mac) = xfer_a.chunk(1);
+    let (b0, b0_mac) = xfer_b.chunk(0);
+    // Reorder: chunk 1 ahead of chunk 0.
+    assert!(asm.accept(1, a1, &a1_mac).is_err());
+    // Splice: transfer B's chunk at transfer A's position 0.
+    assert!(asm.accept(0, b0, &b0_mac).is_err());
+    // The genuine sequence still verifies afterwards.
+    asm.accept(0, a0, &a0_mac).unwrap();
+    asm.accept(1, a1, &a1_mac).unwrap();
 }

@@ -89,8 +89,14 @@ fn twelve_tenants_roam_a_six_machine_fleet() {
     for t in 0..n_tenants {
         let machine_idx = t % machines.len();
         let instance = format!("t{t}-g0");
-        dc.deploy_app(&instance, machines[machine_idx], &tenant_image(t), App, InitRequest::New)
-            .unwrap();
+        dc.deploy_app(
+            &instance,
+            machines[machine_idx],
+            &tenant_image(t),
+            App,
+            InitRequest::New,
+        )
+        .unwrap();
         let counter = dc.call_app(&instance, ops::CREATE, &[]).unwrap()[0];
         let sealed = dc
             .call_app(&instance, ops::SEAL, format!("token-{t}").as_bytes())
@@ -113,7 +119,8 @@ fn twelve_tenants_roam_a_six_machine_fleet() {
         if rng.gen_bool(0.6) {
             tenant.expected += 1;
             let v = u32::from_le_bytes(
-                dc.call_app(&tenant.instance, ops::INC, &[tenant.counter]).unwrap()[..4]
+                dc.call_app(&tenant.instance, ops::INC, &[tenant.counter])
+                    .unwrap()[..4]
                     .try_into()
                     .unwrap(),
             );
@@ -143,12 +150,15 @@ fn twelve_tenants_roam_a_six_machine_fleet() {
     // Every tenant's counter and sealed token survived its journey.
     for (t, tenant) in tenants.iter().enumerate() {
         let v = u32::from_le_bytes(
-            dc.call_app(&tenant.instance, ops::READ, &[tenant.counter]).unwrap()[..4]
+            dc.call_app(&tenant.instance, ops::READ, &[tenant.counter])
+                .unwrap()[..4]
                 .try_into()
                 .unwrap(),
         );
         assert_eq!(v, tenant.expected, "tenant {t} counter");
-        let token = dc.call_app(&tenant.instance, ops::UNSEAL, &tenant.sealed).unwrap();
+        let token = dc
+            .call_app(&tenant.instance, ops::UNSEAL, &tenant.sealed)
+            .unwrap();
         assert_eq!(token, format!("token-{t}").as_bytes(), "tenant {t} token");
     }
 
@@ -168,7 +178,8 @@ fn full_counter_quota_migrates_with_distinct_values() {
     let m1 = dc.add_machine(MachineLabels::default(), &policy);
     let m2 = dc.add_machine(MachineLabels::default(), &policy);
 
-    dc.deploy_app("src", m1, &tenant_image(99), App, InitRequest::New).unwrap();
+    dc.deploy_app("src", m1, &tenant_image(99), App, InitRequest::New)
+        .unwrap();
     let mut ids = Vec::new();
     for _ in 0..256 {
         ids.push(dc.call_app("src", ops::CREATE, &[]).unwrap()[0]);
@@ -181,19 +192,24 @@ fn full_counter_quota_migrates_with_distinct_values() {
         }
     }
 
-    dc.deploy_app("dst", m2, &tenant_image(99), App, InitRequest::Migrate).unwrap();
+    dc.deploy_app("dst", m2, &tenant_image(99), App, InitRequest::Migrate)
+        .unwrap();
     dc.migrate_app("src", "dst").unwrap();
 
     for (i, id) in ids.iter().take(32).enumerate() {
         let v = u32::from_le_bytes(
-            dc.call_app("dst", ops::READ, &[*id]).unwrap()[..4].try_into().unwrap(),
+            dc.call_app("dst", ops::READ, &[*id]).unwrap()[..4]
+                .try_into()
+                .unwrap(),
         );
         assert_eq!(v, i as u32 + 1, "counter {i}");
     }
     // The untouched tail is present with value 0.
     for id in ids.iter().skip(32) {
         let v = u32::from_le_bytes(
-            dc.call_app("dst", ops::READ, &[*id]).unwrap()[..4].try_into().unwrap(),
+            dc.call_app("dst", ops::READ, &[*id]).unwrap()[..4]
+                .try_into()
+                .unwrap(),
         );
         assert_eq!(v, 0);
     }

@@ -45,10 +45,21 @@ impl AppLogic for App {
 }
 
 fn image() -> EnclaveImage {
-    EnclaveImage::build("recovery-app", 1, b"code", &EnclaveSigner::from_seed([61; 32]))
+    EnclaveImage::build(
+        "recovery-app",
+        1,
+        b"code",
+        &EnclaveSigner::from_seed([61; 32]),
+    )
 }
 
-fn dc2(seed: u64) -> (Datacenter, sgx_sim::machine::MachineId, sgx_sim::machine::MachineId) {
+fn dc2(
+    seed: u64,
+) -> (
+    Datacenter,
+    sgx_sim::machine::MachineId,
+    sgx_sim::machine::MachineId,
+) {
     let mut dc = Datacenter::new(seed);
     let policy = MigrationPolicy::same_operator_only();
     let m1 = dc.add_machine(MachineLabels::default(), &policy);
@@ -62,7 +73,8 @@ fn stored_migration_data_survives_me_restart() {
     // parks it, checkpoints, and reboots. The enclave deployed afterwards
     // still receives the data.
     let (mut dc, m1, m2) = dc2(401);
-    dc.deploy_app("src", m1, &image(), App, InitRequest::New).unwrap();
+    dc.deploy_app("src", m1, &image(), App, InitRequest::New)
+        .unwrap();
     let id = dc.call_app("src", 1, &[]).unwrap()[0];
     dc.call_app("src", 2, &[id]).unwrap();
 
@@ -80,10 +92,15 @@ fn stored_migration_data_survives_me_restart() {
 
     // The matching enclave arrives after the reboot: the parked data is
     // delivered from the restored checkpoint and installed...
-    dc.deploy_app("dst", m2, &image(), App, InitRequest::Migrate).unwrap();
+    dc.deploy_app("dst", m2, &image(), App, InitRequest::Migrate)
+        .unwrap();
     dc.run();
     assert_eq!(dc.app("dst").lock().status(), AppStatus::Ready);
-    let v = u32::from_le_bytes(dc.call_app("dst", 3, &[id]).unwrap()[..4].try_into().unwrap());
+    let v = u32::from_le_bytes(
+        dc.call_app("dst", 3, &[id]).unwrap()[..4]
+            .try_into()
+            .unwrap(),
+    );
     assert_eq!(v, 1);
 
     // ...but the DONE acknowledgement cannot reach the source over the
@@ -93,7 +110,11 @@ fn stored_migration_data_survives_me_restart() {
     assert_eq!(dc.app("src").lock().status(), AppStatus::MigratingOut);
     dc.retry_migration("src", "dst").unwrap();
     assert_eq!(dc.app("src").lock().status(), AppStatus::Migrated);
-    let v = u32::from_le_bytes(dc.call_app("dst", 3, &[id]).unwrap()[..4].try_into().unwrap());
+    let v = u32::from_le_bytes(
+        dc.call_app("dst", 3, &[id]).unwrap()[..4]
+            .try_into()
+            .unwrap(),
+    );
     assert_eq!(v, 1, "idempotent re-delivery left state untouched");
 }
 
@@ -102,7 +123,8 @@ fn me_restart_without_checkpoint_loses_parked_data() {
     // Control: without the checkpoint, the §V design still fails safe —
     // the destination never becomes ready, the source retains its copy.
     let (mut dc, m1, m2) = dc2(402);
-    dc.deploy_app("src", m1, &image(), App, InitRequest::New).unwrap();
+    dc.deploy_app("src", m1, &image(), App, InitRequest::New)
+        .unwrap();
     {
         let src = dc.app("src");
         let mut src = src.lock();
@@ -112,7 +134,8 @@ fn me_restart_without_checkpoint_loses_parked_data() {
 
     // Reboot WITHOUT persisting.
     dc.restart_me(m2).unwrap();
-    dc.deploy_app("dst", m2, &image(), App, InitRequest::Migrate).unwrap();
+    dc.deploy_app("dst", m2, &image(), App, InitRequest::Migrate)
+        .unwrap();
     dc.run();
 
     assert_eq!(dc.app("dst").lock().status(), AppStatus::AwaitingIncoming);
@@ -129,32 +152,39 @@ fn duplicate_delivery_after_crash_is_idempotent() {
     // when the enclave re-attests. The library acknowledges without
     // reinstalling; the source completes.
     let (mut dc, m1, m2) = dc2(403);
-    dc.deploy_app("src", m1, &image(), App, InitRequest::New).unwrap();
+    dc.deploy_app("src", m1, &image(), App, InitRequest::New)
+        .unwrap();
     let id = dc.call_app("src", 1, &[]).unwrap()[0];
     dc.call_app("src", 2, &[id]).unwrap();
-    dc.deploy_app("dst", m2, &image(), App, InitRequest::Migrate).unwrap();
+    dc.deploy_app("dst", m2, &image(), App, InitRequest::Migrate)
+        .unwrap();
 
     // Drop the first destination-side DONE (app→ME LIB_MSG after the
     // attestation handshake completes; tag 5 = LIB_MSG).
     let drops = Arc::new(AtomicUsize::new(0));
     let drops_tap = Arc::clone(&drops);
-    dc.world_mut().network_mut().add_tap(Box::new(move |e: &Envelope| {
-        if e.to.machine == sgx_sim::machine::MachineId(2)
-            && e.to.service == "me"
-            && e.from.service.starts_with("app:dst")
-            && !e.payload.is_empty()
-            && e.payload[0] == mig_core::host::tags::LIB_MSG
-            && drops_tap.load(Ordering::SeqCst) == 0
-        {
-            drops_tap.fetch_add(1, Ordering::SeqCst);
-            TapAction::Drop
-        } else {
-            TapAction::Deliver
-        }
-    }));
+    dc.world_mut()
+        .network_mut()
+        .add_tap(Box::new(move |e: &Envelope| {
+            if e.to.machine == sgx_sim::machine::MachineId(2)
+                && e.to.service == "me"
+                && e.from.service.starts_with("app:dst")
+                && !e.payload.is_empty()
+                && e.payload[0] == mig_core::host::tags::LIB_MSG
+                && drops_tap.load(Ordering::SeqCst) == 0
+            {
+                drops_tap.fetch_add(1, Ordering::SeqCst);
+                TapAction::Drop
+            } else {
+                TapAction::Deliver
+            }
+        }));
 
     let result = dc.migrate_app("src", "dst");
-    assert!(result.is_err(), "DONE was dropped; source cannot complete yet");
+    assert!(
+        result.is_err(),
+        "DONE was dropped; source cannot complete yet"
+    );
     assert_eq!(drops.load(Ordering::SeqCst), 1);
     // The destination *did* install the data.
     assert_eq!(dc.app("dst").lock().status(), AppStatus::Ready);
@@ -180,7 +210,11 @@ fn duplicate_delivery_after_crash_is_idempotent() {
     dc.retry_migration("src", "dst").unwrap();
     assert_eq!(dc.app("src").lock().status(), AppStatus::Migrated);
     // And the destination state is exactly what it was (no reinstall).
-    let v = u32::from_le_bytes(dc.call_app("dst", 3, &[id]).unwrap()[..4].try_into().unwrap());
+    let v = u32::from_le_bytes(
+        dc.call_app("dst", 3, &[id]).unwrap()[..4]
+            .try_into()
+            .unwrap(),
+    );
     assert_eq!(v, 1);
 }
 

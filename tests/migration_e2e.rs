@@ -85,7 +85,13 @@ fn app_image() -> EnclaveImage {
     )
 }
 
-fn two_machine_dc(seed: u64) -> (Datacenter, sgx_sim::machine::MachineId, sgx_sim::machine::MachineId) {
+fn two_machine_dc(
+    seed: u64,
+) -> (
+    Datacenter,
+    sgx_sim::machine::MachineId,
+    sgx_sim::machine::MachineId,
+) {
     let mut dc = Datacenter::new(seed);
     let policy = MigrationPolicy::same_operator_only();
     let m1 = dc.add_machine(MachineLabels::new("dc-1", "eu"), &policy);
@@ -109,7 +115,10 @@ fn counters_continue_across_migration() {
     for _ in 0..5 {
         dc.call_app("src", counter_ops::INCREMENT, &[id]).unwrap();
     }
-    assert_eq!(read_u32(&dc.call_app("src", counter_ops::READ, &[id]).unwrap()), 5);
+    assert_eq!(
+        read_u32(&dc.call_app("src", counter_ops::READ, &[id]).unwrap()),
+        5
+    );
 
     // Migrate.
     dc.deploy_app("dst", m2, &app_image(), CounterApp, InitRequest::Migrate)
@@ -117,7 +126,10 @@ fn counters_continue_across_migration() {
     dc.migrate_app("src", "dst").unwrap();
 
     // The effective value survives; increments continue from it.
-    assert_eq!(read_u32(&dc.call_app("dst", counter_ops::READ, &[id]).unwrap()), 5);
+    assert_eq!(
+        read_u32(&dc.call_app("dst", counter_ops::READ, &[id]).unwrap()),
+        5
+    );
     assert_eq!(
         read_u32(&dc.call_app("dst", counter_ops::INCREMENT, &[id]).unwrap()),
         6
@@ -125,7 +137,10 @@ fn counters_continue_across_migration() {
 
     // The source is frozen: migratable operations are refused.
     let err = dc.call_app("src", counter_ops::READ, &[id]).unwrap_err();
-    assert!(matches!(err, SgxError::Enclave(ref m) if m.contains("frozen")), "{err:?}");
+    assert!(
+        matches!(err, SgxError::Enclave(ref m) if m.contains("frozen")),
+        "{err:?}"
+    );
 }
 
 #[test]
@@ -159,7 +174,9 @@ fn native_sealed_data_does_not_migrate() {
             input: &[u8],
         ) -> Result<Vec<u8>, SgxError> {
             match opcode {
-                1 => Ok(ctx.env.seal_data(sgx_sim::cpu::KeyPolicy::MrEnclave, b"", input)),
+                1 => Ok(ctx
+                    .env
+                    .seal_data(sgx_sim::cpu::KeyPolicy::MrEnclave, b"", input)),
                 2 => Ok(ctx.env.unseal_data(input)?.0),
                 _ => Err(SgxError::InvalidParameter("opcode")),
             }
@@ -181,7 +198,10 @@ fn native_sealed_data_does_not_migrate() {
     dc.migrate_app("src", "dst").unwrap();
 
     // The destination cannot unseal: different CPU secret.
-    assert_eq!(dc.call_app("dst", 2, &blob).unwrap_err(), SgxError::MacMismatch);
+    assert_eq!(
+        dc.call_app("dst", 2, &blob).unwrap_err(),
+        SgxError::MacMismatch
+    );
 }
 
 #[test]
@@ -204,7 +224,10 @@ fn migrate_back_to_source_machine_works() {
     dc.deploy_app("gen3", m1, &app_image(), CounterApp, InitRequest::Migrate)
         .unwrap();
     dc.migrate_app("gen2", "gen3").unwrap();
-    assert_eq!(read_u32(&dc.call_app("gen3", counter_ops::READ, &[id]).unwrap()), 2);
+    assert_eq!(
+        read_u32(&dc.call_app("gen3", counter_ops::READ, &[id]).unwrap()),
+        2
+    );
     assert_eq!(
         read_u32(&dc.call_app("gen3", counter_ops::INCREMENT, &[id]).unwrap()),
         3
@@ -240,7 +263,10 @@ fn store_and_forward_when_destination_not_yet_deployed() {
     dc.run();
     assert_eq!(dc.app("dst").lock().status(), AppStatus::Ready);
     assert_eq!(dc.app("src").lock().status(), AppStatus::Migrated);
-    assert_eq!(read_u32(&dc.call_app("dst", counter_ops::READ, &[id]).unwrap()), 1);
+    assert_eq!(
+        read_u32(&dc.call_app("dst", counter_ops::READ, &[id]).unwrap()),
+        1
+    );
 }
 
 #[test]
@@ -257,8 +283,14 @@ fn migration_data_not_delivered_to_different_enclave() {
         b"different code",
         &EnclaveSigner::from_seed([13; 32]),
     );
-    dc.deploy_app("imposter", m2, &other_image, CounterApp, InitRequest::Migrate)
-        .unwrap();
+    dc.deploy_app(
+        "imposter",
+        m2,
+        &other_image,
+        CounterApp,
+        InitRequest::Migrate,
+    )
+    .unwrap();
 
     {
         let src = dc.app("src");
@@ -269,7 +301,10 @@ fn migration_data_not_delivered_to_different_enclave() {
 
     // The imposter never receives anything; data is parked for the real
     // measurement.
-    assert_eq!(dc.app("imposter").lock().status(), AppStatus::AwaitingIncoming);
+    assert_eq!(
+        dc.app("imposter").lock().status(),
+        AppStatus::AwaitingIncoming
+    );
     assert_eq!(dc.app("src").lock().status(), AppStatus::MigratingOut);
 
     // The genuine enclave arriving later gets the data.
@@ -290,8 +325,14 @@ fn policy_violation_blocks_and_retry_succeeds() {
 
     dc.deploy_app("src", m1, &app_image(), CounterApp, InitRequest::New)
         .unwrap();
-    dc.deploy_app("bad-dst", m2, &app_image(), CounterApp, InitRequest::Migrate)
-        .unwrap();
+    dc.deploy_app(
+        "bad-dst",
+        m2,
+        &app_image(),
+        CounterApp,
+        InitRequest::Migrate,
+    )
+    .unwrap();
 
     // Attempt to migrate across datacenters: the source ME must refuse.
     let err = dc.migrate_app("src", "bad-dst").unwrap_err();
@@ -302,11 +343,20 @@ fn policy_violation_blocks_and_retry_succeeds() {
         "expected a policy violation, got {me_errors:?}"
     );
     // The destination never became ready.
-    assert_eq!(dc.app("bad-dst").lock().status(), AppStatus::AwaitingIncoming);
+    assert_eq!(
+        dc.app("bad-dst").lock().status(),
+        AppStatus::AwaitingIncoming
+    );
 
     // Fig. 2 error rule: data is retained; select a compliant destination.
-    dc.deploy_app("good-dst", m3, &app_image(), CounterApp, InitRequest::Migrate)
-        .unwrap();
+    dc.deploy_app(
+        "good-dst",
+        m3,
+        &app_image(),
+        CounterApp,
+        InitRequest::Migrate,
+    )
+    .unwrap();
     dc.retry_migration("src", "good-dst").unwrap();
     assert_eq!(dc.app("good-dst").lock().status(), AppStatus::Ready);
 }
@@ -316,27 +366,32 @@ fn two_apps_on_one_machine_migrate_independently() {
     let (mut dc, m1, m2) = two_machine_dc(8);
     dc.deploy_app("a-src", m1, &app_image(), CounterApp, InitRequest::New)
         .unwrap();
-    dc.deploy_app("b-src", m1, &kvstore_image(), KvStore::new(), InitRequest::New)
-        .unwrap();
+    dc.deploy_app(
+        "b-src",
+        m1,
+        &kvstore_image(),
+        KvStore::new(),
+        InitRequest::New,
+    )
+    .unwrap();
 
     let out = dc.call_app("a-src", counter_ops::CREATE, &[]).unwrap();
     let id = out[0];
     dc.call_app("a-src", counter_ops::INCREMENT, &[id]).unwrap();
 
     dc.call_app("b-src", kvstore::ops::INIT, &[]).unwrap();
-    dc.call_app(
-        "b-src",
-        kvstore::ops::PUT,
-        &kvstore::encode_put(b"k", b"v"),
-    )
-    .unwrap();
+    dc.call_app("b-src", kvstore::ops::PUT, &kvstore::encode_put(b"k", b"v"))
+        .unwrap();
 
     // Migrate only app A; app B stays operational on m1.
     dc.deploy_app("a-dst", m2, &app_image(), CounterApp, InitRequest::Migrate)
         .unwrap();
     dc.migrate_app("a-src", "a-dst").unwrap();
 
-    assert_eq!(read_u32(&dc.call_app("a-dst", counter_ops::READ, &[id]).unwrap()), 1);
+    assert_eq!(
+        read_u32(&dc.call_app("a-dst", counter_ops::READ, &[id]).unwrap()),
+        1
+    );
     let v = dc.call_app("b-src", kvstore::ops::GET, b"k").unwrap();
     assert_eq!(v, b"v");
 }
@@ -361,7 +416,10 @@ fn restart_on_destination_after_migration() {
 
     // Stop and restore on the destination machine.
     dc.restart_app("dst", m2, &app_image(), CounterApp).unwrap();
-    assert_eq!(read_u32(&dc.call_app("dst", counter_ops::READ, &[id]).unwrap()), 4);
+    assert_eq!(
+        read_u32(&dc.call_app("dst", counter_ops::READ, &[id]).unwrap()),
+        4
+    );
     assert_eq!(
         read_u32(&dc.call_app("dst", counter_ops::INCREMENT, &[id]).unwrap()),
         5
@@ -381,9 +439,15 @@ fn restart_on_same_machine_without_migration() {
     let blob = dc.call_app("app", counter_ops::SEAL, b"keepme").unwrap();
 
     dc.restart_app("app", m1, &app_image(), CounterApp).unwrap();
-    assert_eq!(read_u32(&dc.call_app("app", counter_ops::READ, &[id]).unwrap()), 1);
+    assert_eq!(
+        read_u32(&dc.call_app("app", counter_ops::READ, &[id]).unwrap()),
+        1
+    );
     // MSK also survived the restart.
-    assert_eq!(dc.call_app("app", counter_ops::UNSEAL, &blob).unwrap(), b"keepme");
+    assert_eq!(
+        dc.call_app("app", counter_ops::UNSEAL, &blob).unwrap(),
+        b"keepme"
+    );
 }
 
 #[test]
@@ -401,7 +465,9 @@ fn migration_requires_me_session() {
         )
         .unwrap();
     let init = mig_core::harness::encode_init(&dc.me_mr_enclave(), &InitRequest::New);
-    enclave.ecall(mig_core::harness::ops::MIG_INIT, &init).unwrap();
+    enclave
+        .ecall(mig_core::harness::ops::MIG_INIT, &init)
+        .unwrap();
 
     let mut w = WireWriter::new();
     w.u64(m2.0);
@@ -431,9 +497,15 @@ fn destroyed_counters_do_not_migrate() {
     dc.migrate_app("src", "dst").unwrap();
 
     // Counter b survived with its value; counter a is gone.
-    assert_eq!(read_u32(&dc.call_app("dst", counter_ops::READ, &[b]).unwrap()), 1);
+    assert_eq!(
+        read_u32(&dc.call_app("dst", counter_ops::READ, &[b]).unwrap()),
+        1
+    );
     let err = dc.call_app("dst", counter_ops::READ, &[a]).unwrap_err();
-    assert!(matches!(err, SgxError::Enclave(ref m) if m.contains("unknown")), "{err:?}");
+    assert!(
+        matches!(err, SgxError::Enclave(ref m) if m.contains("unknown")),
+        "{err:?}"
+    );
 }
 
 #[test]
@@ -451,8 +523,14 @@ fn library_phase_is_observable() {
 #[test]
 fn kvstore_full_workflow_across_migration() {
     let (mut dc, m1, m2) = two_machine_dc(14);
-    dc.deploy_app("kv-src", m1, &kvstore_image(), KvStore::new(), InitRequest::New)
-        .unwrap();
+    dc.deploy_app(
+        "kv-src",
+        m1,
+        &kvstore_image(),
+        KvStore::new(),
+        InitRequest::New,
+    )
+    .unwrap();
     dc.call_app("kv-src", kvstore::ops::INIT, &[]).unwrap();
 
     let mut last_blob = Vec::new();
@@ -469,12 +547,19 @@ fn kvstore_full_workflow_across_migration() {
         last_blob = blob;
     }
 
-    dc.deploy_app("kv-dst", m2, &kvstore_image(), KvStore::new(), InitRequest::Migrate)
-        .unwrap();
+    dc.deploy_app(
+        "kv-dst",
+        m2,
+        &kvstore_image(),
+        KvStore::new(),
+        InitRequest::Migrate,
+    )
+    .unwrap();
     dc.migrate_app("kv-src", "kv-dst").unwrap();
 
     // Load the latest snapshot on the destination: version check passes.
-    dc.call_app("kv-dst", kvstore::ops::LOAD, &last_blob).unwrap();
+    dc.call_app("kv-dst", kvstore::ops::LOAD, &last_blob)
+        .unwrap();
     assert_eq!(
         dc.call_app("kv-dst", kvstore::ops::GET, b"key-3").unwrap(),
         3u32.to_le_bytes().to_vec()
@@ -515,7 +600,10 @@ fn semi_transparent_vm_migration_moves_enclaves_and_vm() {
         .unwrap();
     assert!(enclave_time < vm_time, "enclave state is the cheap part");
     assert_eq!(dc.world().vm(vm).host, m2);
-    assert_eq!(read_u32(&dc.call_app("app-a'", counter_ops::READ, &[id]).unwrap()), 1);
+    assert_eq!(
+        read_u32(&dc.call_app("app-a'", counter_ops::READ, &[id]).unwrap()),
+        1
+    );
 
     // Destination placement is validated.
     let vm2 = dc.world_mut().create_vm(m2, 1 << 30);

@@ -11,6 +11,7 @@ use mig_core::harness::{AppCtx, AppLogic};
 use mig_core::library::state::{LibraryState, MigrationData, COUNTER_SLOTS};
 use mig_core::library::InitRequest;
 use mig_core::policy::MigrationPolicy;
+use mig_core::transfer::chunker::{chunk_count, ChunkAssembler, ChunkStream};
 use proptest::prelude::*;
 use sgx_sim::counters::CounterUuid;
 use sgx_sim::measurement::{EnclaveImage, EnclaveSigner};
@@ -242,5 +243,90 @@ proptest! {
         );
         prop_assert_eq!(v, increments);
         prop_assert_eq!(dc.call_app("app", ops::UNSEAL, &blob).unwrap(), b"durable");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The streaming chunker round-trips arbitrary payloads across
+    /// arbitrary chunk geometries, including a crash/persist/resume at
+    /// an arbitrary chunk boundary.
+    #[test]
+    fn chunker_round_trips_arbitrary_sizes_and_boundaries(
+        payload in proptest::collection::vec(any::<u8>(), 1..20_000),
+        chunk_size in 1u32..700,
+        nonce in any::<[u8; 16]>(),
+        resume_frac in 0u32..=100,
+    ) {
+        let stream = ChunkStream::new(nonce, chunk_size, payload.clone());
+        let n = stream.n_chunks();
+        prop_assert_eq!(n, chunk_count(payload.len() as u64, chunk_size));
+        let mut asm = ChunkAssembler::new(
+            nonce,
+            chunk_size,
+            stream.total_len(),
+            stream.digest(),
+        ).unwrap();
+
+        // Feed chunks up to an arbitrary boundary, persist, resume.
+        let crash_at = n * resume_frac / 100;
+        for idx in 0..crash_at {
+            let (chunk, mac) = stream.chunk(idx);
+            asm.accept(idx, chunk, &mac).unwrap();
+        }
+        let mut asm = ChunkAssembler::from_bytes(&asm.to_bytes()).unwrap();
+        prop_assert_eq!(asm.next_idx(), crash_at);
+        for idx in crash_at..n {
+            let (chunk, mac) = stream.chunk(idx);
+            asm.accept(idx, chunk, &mac).unwrap();
+        }
+        prop_assert!(asm.is_complete());
+        prop_assert_eq!(asm.finish().unwrap(), payload);
+    }
+
+    /// Any single bit flip in any chunk payload, any index rewrite, and
+    /// any cross-nonce splice breaks the digest chain.
+    #[test]
+    fn chunker_chain_detects_any_tamper(
+        payload in proptest::collection::vec(any::<u8>(), 2..5_000),
+        chunk_size in 1u32..300,
+        nonce in any::<[u8; 16]>(),
+        other_nonce in any::<[u8; 16]>(),
+        flip_byte in any::<usize>(),
+        flip_bit in 0u8..8,
+    ) {
+        prop_assume!(nonce != other_nonce);
+        let stream = ChunkStream::new(nonce, chunk_size, payload.clone());
+        let mut asm = ChunkAssembler::new(
+            nonce,
+            chunk_size,
+            stream.total_len(),
+            stream.digest(),
+        ).unwrap();
+
+        // Tampered payload at chunk 0 is rejected.
+        let (chunk0, mac0) = stream.chunk(0);
+        let mut evil = chunk0.to_vec();
+        let i = flip_byte % evil.len();
+        evil[i] ^= 1 << flip_bit;
+        prop_assert!(asm.accept(0, &evil, &mac0).is_err());
+
+        // A chunk from a different transfer nonce is rejected (splice).
+        let foreign = ChunkStream::new(other_nonce, chunk_size, payload.clone());
+        let (f0, fmac0) = foreign.chunk(0);
+        prop_assert!(asm.accept(0, f0, &fmac0).is_err());
+
+        // The genuine chunk still goes through afterwards: failed
+        // attempts do not poison the assembler.
+        asm.accept(0, chunk0, &mac0).unwrap();
+
+        // Replay of chunk 0 (right position, already consumed) and a
+        // skip ahead are both rejected.
+        prop_assert!(asm.accept(0, chunk0, &mac0).is_err());
+        if stream.n_chunks() > 2 {
+            let (c2, m2) = stream.chunk(2);
+            prop_assert!(asm.accept(2, c2, &m2).is_err());
+        }
     }
 }

@@ -87,7 +87,13 @@ fn seal_req(aad: &[u8], pt: &[u8]) -> Vec<u8> {
     w.finish()
 }
 
-fn dc_with_two_machines(seed: u64) -> (Datacenter, sgx_sim::machine::MachineId, sgx_sim::machine::MachineId) {
+fn dc_with_two_machines(
+    seed: u64,
+) -> (
+    Datacenter,
+    sgx_sim::machine::MachineId,
+    sgx_sim::machine::MachineId,
+) {
     let mut dc = Datacenter::new(seed);
     let policy = MigrationPolicy::same_operator_only();
     let m1 = dc.add_machine(MachineLabels::default(), &policy);
@@ -102,7 +108,8 @@ fn dc_with_two_machines(seed: u64) -> (Datacenter, sgx_sim::machine::MachineId, 
 #[test]
 fn r1_migratable_sealing_confidentiality_and_integrity() {
     let (mut dc, m1, _) = dc_with_two_machines(201);
-    dc.deploy_app("app", m1, &image(1), TestApp, InitRequest::New).unwrap();
+    dc.deploy_app("app", m1, &image(1), TestApp, InitRequest::New)
+        .unwrap();
 
     let blob = dc
         .call_app("app", t::SEAL, &seal_req(b"context", b"plaintext secret"))
@@ -130,17 +137,22 @@ fn r1_migratable_seal_isolated_between_enclaves() {
     // Blobs sealed by one enclave's MSK are unreadable by another
     // enclave, exactly like MRENCLAVE-policy native sealing.
     let (mut dc, m1, _) = dc_with_two_machines(202);
-    dc.deploy_app("a", m1, &image(1), TestApp, InitRequest::New).unwrap();
-    dc.deploy_app("b", m1, &image(2), TestApp, InitRequest::New).unwrap();
+    dc.deploy_app("a", m1, &image(1), TestApp, InitRequest::New)
+        .unwrap();
+    dc.deploy_app("b", m1, &image(2), TestApp, InitRequest::New)
+        .unwrap();
 
-    let blob = dc.call_app("a", t::SEAL, &seal_req(b"", b"a's secret")).unwrap();
+    let blob = dc
+        .call_app("a", t::SEAL, &seal_req(b"", b"a's secret"))
+        .unwrap();
     assert!(dc.call_app("b", t::UNSEAL, &blob).is_err());
 }
 
 #[test]
 fn r1_migratable_counters_strictly_monotonic() {
     let (mut dc, m1, _) = dc_with_two_machines(203);
-    dc.deploy_app("app", m1, &image(1), TestApp, InitRequest::New).unwrap();
+    dc.deploy_app("app", m1, &image(1), TestApp, InitRequest::New)
+        .unwrap();
     let id = dc.call_app("app", t::COUNTER_CREATE, &[]).unwrap()[0];
 
     let mut last = 0u32;
@@ -167,7 +179,8 @@ fn r1_monotonicity_spans_migration() {
     // The effective counter never decreases across an arbitrary mix of
     // increments and migrations.
     let (mut dc, m1, m2) = dc_with_two_machines(204);
-    dc.deploy_app("gen1", m1, &image(1), TestApp, InitRequest::New).unwrap();
+    dc.deploy_app("gen1", m1, &image(1), TestApp, InitRequest::New)
+        .unwrap();
     let id = dc.call_app("gen1", t::COUNTER_CREATE, &[]).unwrap()[0];
 
     let mut last = 0u32;
@@ -184,11 +197,13 @@ fn r1_monotonicity_spans_migration() {
     inc(&mut dc, "gen1", &mut last);
     inc(&mut dc, "gen1", &mut last);
 
-    dc.deploy_app("gen2", m2, &image(1), TestApp, InitRequest::Migrate).unwrap();
+    dc.deploy_app("gen2", m2, &image(1), TestApp, InitRequest::Migrate)
+        .unwrap();
     dc.migrate_app("gen1", "gen2").unwrap();
     inc(&mut dc, "gen2", &mut last);
 
-    dc.deploy_app("gen3", m1, &image(1), TestApp, InitRequest::Migrate).unwrap();
+    dc.deploy_app("gen3", m1, &image(1), TestApp, InitRequest::Migrate)
+        .unwrap();
     dc.migrate_app("gen2", "gen3").unwrap();
     inc(&mut dc, "gen3", &mut last);
     assert_eq!(last, 4);
@@ -205,8 +220,10 @@ fn r2_policy_restricts_destination_regions() {
     let m1 = dc.add_machine(MachineLabels::new("dc-1", "eu"), &eu_policy);
     let m2 = dc.add_machine(MachineLabels::new("dc-2", "us"), &eu_policy);
 
-    dc.deploy_app("src", m1, &image(1), TestApp, InitRequest::New).unwrap();
-    dc.deploy_app("dst", m2, &image(1), TestApp, InitRequest::Migrate).unwrap();
+    dc.deploy_app("src", m1, &image(1), TestApp, InitRequest::New)
+        .unwrap();
+    dc.deploy_app("dst", m2, &image(1), TestApp, InitRequest::Migrate)
+        .unwrap();
 
     assert!(dc.migrate_app("src", "dst").is_err());
     let errors = dc.me_host(m1).lock().errors.clone();
@@ -226,8 +243,10 @@ fn r2_destination_must_match_credential_machine() {
     // ran — the negative case is exercised in attacks.rs with the rogue
     // operator.)
     let (mut dc, m1, m2) = dc_with_two_machines(206);
-    dc.deploy_app("src", m1, &image(1), TestApp, InitRequest::New).unwrap();
-    dc.deploy_app("dst", m2, &image(1), TestApp, InitRequest::Migrate).unwrap();
+    dc.deploy_app("src", m1, &image(1), TestApp, InitRequest::New)
+        .unwrap();
+    dc.deploy_app("dst", m2, &image(1), TestApp, InitRequest::Migrate)
+        .unwrap();
     dc.migrate_app("src", "dst").unwrap();
     assert!(dc.me_host(m1).lock().errors.is_empty());
     assert!(dc.me_host(m2).lock().errors.is_empty());
@@ -238,7 +257,8 @@ fn r2_data_only_reaches_same_mrenclave() {
     // A different enclave (even same signer, same machine) never sees
     // the migration data; it stays parked for the right measurement.
     let (mut dc, m1, m2) = dc_with_two_machines(207);
-    dc.deploy_app("src", m1, &image(1), TestApp, InitRequest::New).unwrap();
+    dc.deploy_app("src", m1, &image(1), TestApp, InitRequest::New)
+        .unwrap();
 
     let other = EnclaveImage::build(
         "sec-req-app",
@@ -246,7 +266,8 @@ fn r2_data_only_reaches_same_mrenclave() {
         b"code",
         &EnclaveSigner::from_seed([1; 32]),
     );
-    dc.deploy_app("other", m2, &other, TestApp, InitRequest::Migrate).unwrap();
+    dc.deploy_app("other", m2, &other, TestApp, InitRequest::Migrate)
+        .unwrap();
 
     {
         let src = dc.app("src");
@@ -266,11 +287,13 @@ fn r2_data_only_reaches_same_mrenclave() {
 #[test]
 fn r3_no_two_operable_copies_after_migration() {
     let (mut dc, m1, m2) = dc_with_two_machines(208);
-    dc.deploy_app("src", m1, &image(1), TestApp, InitRequest::New).unwrap();
+    dc.deploy_app("src", m1, &image(1), TestApp, InitRequest::New)
+        .unwrap();
     let id = dc.call_app("src", t::COUNTER_CREATE, &[]).unwrap()[0];
     dc.call_app("src", t::COUNTER_INC, &[id]).unwrap();
 
-    dc.deploy_app("dst", m2, &image(1), TestApp, InitRequest::Migrate).unwrap();
+    dc.deploy_app("dst", m2, &image(1), TestApp, InitRequest::Migrate)
+        .unwrap();
     dc.migrate_app("src", "dst").unwrap();
 
     // Destination operates.
@@ -278,9 +301,7 @@ fn r3_no_two_operable_copies_after_migration() {
     // Source refuses every migratable operation.
     assert!(dc.call_app("src", t::COUNTER_INC, &[id]).is_err());
     assert!(dc.call_app("src", t::COUNTER_READ, &[id]).is_err());
-    assert!(dc
-        .call_app("src", t::SEAL, &seal_req(b"", b"x"))
-        .is_err());
+    assert!(dc.call_app("src", t::SEAL, &seal_req(b"", b"x")).is_err());
     // And restarting the source from disk fails (frozen blob).
     assert!(dc.restart_app("src", m1, &image(1), TestApp).is_err());
 }
@@ -290,19 +311,20 @@ fn r3_freeze_happens_even_if_transfer_stalls() {
     // The freeze + counter destruction happen BEFORE the data leaves the
     // machine, so even a migration that never completes cannot fork.
     let (mut dc, m1, m2) = dc_with_two_machines(209);
-    dc.deploy_app("src", m1, &image(1), TestApp, InitRequest::New).unwrap();
+    dc.deploy_app("src", m1, &image(1), TestApp, InitRequest::New)
+        .unwrap();
     let id = dc.call_app("src", t::COUNTER_CREATE, &[]).unwrap()[0];
 
     // Drop every cross-machine message: the transfer will stall forever.
-    dc.world_mut().network_mut().add_tap(Box::new(
-        |e: &cloud_sim::network::Envelope| {
+    dc.world_mut()
+        .network_mut()
+        .add_tap(Box::new(|e: &cloud_sim::network::Envelope| {
             if e.from.machine != e.to.machine {
                 cloud_sim::network::TapAction::Drop
             } else {
                 cloud_sim::network::TapAction::Deliver
             }
-        },
-    ));
+        }));
 
     {
         let src = dc.app("src");
@@ -329,7 +351,8 @@ fn r4_library_state_blob_cannot_be_rolled_back() {
     // values are unaffected; the enclave simply continues at the true
     // count. No stale value is ever observable.
     let (mut dc, m1, _) = dc_with_two_machines(210);
-    dc.deploy_app("app", m1, &image(1), TestApp, InitRequest::New).unwrap();
+    dc.deploy_app("app", m1, &image(1), TestApp, InitRequest::New)
+        .unwrap();
     let id = dc.call_app("app", t::COUNTER_CREATE, &[]).unwrap()[0];
     dc.call_app("app", t::COUNTER_INC, &[id]).unwrap();
 
@@ -358,19 +381,22 @@ fn r4_stale_offsets_cannot_survive_migration_boundary() {
     // offsets) re-fed during a later incarnation is either frozen or
     // references destroyed counters — it can never load.
     let (mut dc, m1, m2) = dc_with_two_machines(211);
-    dc.deploy_app("gen1", m1, &image(1), TestApp, InitRequest::New).unwrap();
+    dc.deploy_app("gen1", m1, &image(1), TestApp, InitRequest::New)
+        .unwrap();
     let id = dc.call_app("gen1", t::COUNTER_CREATE, &[]).unwrap()[0];
     dc.call_app("gen1", t::COUNTER_INC, &[id]).unwrap();
 
     // Adversary snapshots m1's disk before migration.
     let pre_migration = dc.world().machine(m1).disk.snapshot();
 
-    dc.deploy_app("gen2", m2, &image(1), TestApp, InitRequest::Migrate).unwrap();
+    dc.deploy_app("gen2", m2, &image(1), TestApp, InitRequest::Migrate)
+        .unwrap();
     dc.migrate_app("gen1", "gen2").unwrap();
     dc.call_app("gen2", t::COUNTER_INC, &[id]).unwrap(); // effective 2
 
     // Migrate BACK to m1 (fresh incarnation, fresh hardware counters).
-    dc.deploy_app("gen3", m1, &image(1), TestApp, InitRequest::Migrate).unwrap();
+    dc.deploy_app("gen3", m1, &image(1), TestApp, InitRequest::Migrate)
+        .unwrap();
     dc.migrate_app("gen2", "gen3").unwrap();
 
     // Now roll m1's disk back to the pre-migration snapshot and restart
@@ -391,13 +417,20 @@ fn r4_unseal_rejects_cross_incarnation_blob_forgery() {
     // off after migration (the MSK travels, so legitimate blobs work —
     // foreign ones never do).
     let (mut dc, m1, m2) = dc_with_two_machines(212);
-    dc.deploy_app("src", m1, &image(1), TestApp, InitRequest::New).unwrap();
-    dc.deploy_app("evil", m1, &image(2), TestApp, InitRequest::New).unwrap();
+    dc.deploy_app("src", m1, &image(1), TestApp, InitRequest::New)
+        .unwrap();
+    dc.deploy_app("evil", m1, &image(2), TestApp, InitRequest::New)
+        .unwrap();
 
-    let legit = dc.call_app("src", t::SEAL, &seal_req(b"", b"real")).unwrap();
-    let forged = dc.call_app("evil", t::SEAL, &seal_req(b"", b"fake")).unwrap();
+    let legit = dc
+        .call_app("src", t::SEAL, &seal_req(b"", b"real"))
+        .unwrap();
+    let forged = dc
+        .call_app("evil", t::SEAL, &seal_req(b"", b"fake"))
+        .unwrap();
 
-    dc.deploy_app("dst", m2, &image(1), TestApp, InitRequest::Migrate).unwrap();
+    dc.deploy_app("dst", m2, &image(1), TestApp, InitRequest::Migrate)
+        .unwrap();
     dc.migrate_app("src", "dst").unwrap();
 
     assert!(dc.call_app("dst", t::UNSEAL, &legit).is_ok());

@@ -1,0 +1,372 @@
+//! End-to-end tests of the CTR-style streaming state-transfer subsystem:
+//! a kvstore with multi-megabyte sealed state migrates via the chunked
+//! path, survives a mid-transfer source-machine crash, resumes from the
+//! last acknowledged chunk, and the destination unseals identical state.
+
+use cloud_sim::machine::MachineLabels;
+use cloud_sim::network::{Envelope, TapAction};
+use mig_apps::kvstore::{self, ops as kv_ops, KvStore};
+use mig_core::datacenter::{Datacenter, ResumableOutcome};
+use mig_core::host::AppStatus;
+use mig_core::library::InitRequest;
+use mig_core::policy::MigrationPolicy;
+use mig_core::transfer::TransferConfig;
+use sgx_sim::machine::MachineId;
+use sgx_sim::measurement::{EnclaveImage, EnclaveSigner};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn image() -> EnclaveImage {
+    EnclaveImage::build(
+        "stream-kv",
+        1,
+        b"kvstore",
+        &EnclaveSigner::from_seed([71; 32]),
+    )
+}
+
+fn small_image() -> EnclaveImage {
+    EnclaveImage::build(
+        "stream-kv-2",
+        1,
+        b"kvstore 2",
+        &EnclaveSigner::from_seed([72; 32]),
+    )
+}
+
+/// 4096 × 4 KiB values ≈ 16 MiB of sealed state.
+const BULK_COUNT: u32 = 4096;
+const BULK_VALUE_LEN: u32 = 4096;
+const BULK_FILL: u8 = 0x5A;
+
+fn streaming_config() -> TransferConfig {
+    TransferConfig {
+        stream_threshold: 64 * 1024,
+        chunk_size: 1024 * 1024,
+        window: 4,
+    }
+}
+
+fn dc_with_config(seed: u64, config: TransferConfig) -> (Datacenter, MachineId, MachineId) {
+    let mut dc = Datacenter::new(seed);
+    let policy = MigrationPolicy::same_operator_only();
+    let m1 = dc.add_machine_with_transfer(MachineLabels::default(), &policy, config);
+    let m2 = dc.add_machine_with_transfer(MachineLabels::default(), &policy, config);
+    (dc, m1, m2)
+}
+
+/// Deploys the source kvstore on `m1` with the bulk working set loaded.
+fn deploy_loaded_src(dc: &mut Datacenter, m1: MachineId) -> u32 {
+    dc.deploy_app("src", m1, &image(), KvStore::new(), InitRequest::New)
+        .unwrap();
+    dc.call_app("src", kv_ops::INIT, &[]).unwrap();
+    let out = dc
+        .call_app(
+            "src",
+            kv_ops::BULK_PUT,
+            &kvstore::encode_bulk_put(BULK_COUNT, BULK_VALUE_LEN, BULK_FILL),
+        )
+        .unwrap();
+    let (version, state_len) = kvstore::decode_bulk_put_response(&out).unwrap();
+    assert_eq!(version, 1);
+    assert!(
+        state_len > 16 * 1024 * 1024,
+        "bulk snapshot should exceed 16 MiB, got {state_len}"
+    );
+    version
+}
+
+fn expected_value(i: u32) -> Vec<u8> {
+    (0..BULK_VALUE_LEN as usize)
+        .map(|j| BULK_FILL.wrapping_add((i as usize + j) as u8))
+        .collect()
+}
+
+/// Restores the transferred snapshot into the destination store and
+/// checks it is bit-identical to the source's working set.
+fn verify_destination(dc: &mut Datacenter) {
+    let state = dc
+        .app_bulk_state("dst")
+        .unwrap()
+        .expect("migrated bulk state present");
+    dc.call_app("dst", kv_ops::LOAD, &state).unwrap();
+    let len = dc.call_app("dst", kv_ops::LEN, &[]).unwrap();
+    assert_eq!(u32::from_le_bytes(len[..4].try_into().unwrap()), BULK_COUNT);
+    for i in [0u32, 1, 17, BULK_COUNT / 2, BULK_COUNT - 1] {
+        let key = format!("bulk-{i:08}");
+        let value = dc.call_app("dst", kv_ops::GET, key.as_bytes()).unwrap();
+        assert_eq!(value, expected_value(i), "entry {key} corrupted in transit");
+    }
+    // Counter continuity: the version counter survived the migration.
+    let version = dc.call_app("dst", kv_ops::VERSION, &[]).unwrap();
+    assert_eq!(u32::from_le_bytes(version[..4].try_into().unwrap()), 1);
+}
+
+/// Counts (and optionally drops) source→destination stream frames.
+struct StreamTap {
+    /// RA_TRANSFER frames src→dst observed.
+    seen: Arc<AtomicUsize>,
+    /// When `true`, frames beyond the tap's `allow` budget are dropped.
+    dropping: Arc<AtomicBool>,
+}
+
+fn install_stream_tap(
+    dc: &mut Datacenter,
+    src: MachineId,
+    dst: MachineId,
+    allow: usize,
+) -> StreamTap {
+    let seen = Arc::new(AtomicUsize::new(0));
+    let dropping = Arc::new(AtomicBool::new(false));
+    let tap_seen = Arc::clone(&seen);
+    let tap_dropping = Arc::clone(&dropping);
+    dc.world_mut()
+        .network_mut()
+        .add_tap(Box::new(move |e: &Envelope| {
+            if e.from.machine == src
+                && e.to.machine == dst
+                && e.from.service == "me"
+                && e.to.service == "me"
+                && !e.payload.is_empty()
+                && e.payload[0] == mig_core::host::tags::RA_TRANSFER
+            {
+                let n = tap_seen.fetch_add(1, Ordering::SeqCst);
+                if tap_dropping.load(Ordering::SeqCst) && n >= allow {
+                    return TapAction::Drop;
+                }
+            }
+            TapAction::Deliver
+        }));
+    StreamTap { seen, dropping }
+}
+
+#[test]
+fn sixteen_mib_state_migrates_via_streamed_path() {
+    let (mut dc, m1, m2) = dc_with_config(1601, streaming_config());
+    let tap = install_stream_tap(&mut dc, m1, m2, usize::MAX);
+    deploy_loaded_src(&mut dc, m1);
+    dc.deploy_app("dst", m2, &image(), KvStore::new(), InitRequest::Migrate)
+        .unwrap();
+
+    let duration = dc.migrate_app("src", "dst").unwrap();
+    assert!(duration.as_micros() > 0);
+
+    // The state went down the chunked path: 17 chunks (16.8 MiB at
+    // 1 MiB/chunk) + the ChunkStart announcement.
+    let frames = tap.seen.load(Ordering::SeqCst);
+    assert!(
+        frames >= 18,
+        "expected a chunked transfer, saw {frames} frames"
+    );
+
+    verify_destination(&mut dc);
+    // The source froze and can no longer serve.
+    assert_eq!(dc.app("src").lock().status(), AppStatus::Migrated);
+    assert!(dc.call_app("src", kv_ops::VERSION, &[]).is_err());
+}
+
+#[test]
+fn small_state_keeps_single_shot_fast_path() {
+    let (mut dc, m1, m2) = dc_with_config(1602, TransferConfig::default());
+    let tap = install_stream_tap(&mut dc, m1, m2, usize::MAX);
+    dc.deploy_app("src", m1, &image(), KvStore::new(), InitRequest::New)
+        .unwrap();
+    dc.call_app("src", kv_ops::INIT, &[]).unwrap();
+    dc.call_app("src", kv_ops::PUT, &kvstore::encode_put(b"k", b"v"))
+        .unwrap();
+    dc.deploy_app("dst", m2, &image(), KvStore::new(), InitRequest::Migrate)
+        .unwrap();
+    dc.migrate_app("src", "dst").unwrap();
+
+    // One RA_TRANSFER frame: the paper's single-shot Transfer message.
+    assert_eq!(tap.seen.load(Ordering::SeqCst), 1);
+
+    let state = dc.app_bulk_state("dst").unwrap().expect("staged snapshot");
+    dc.call_app("dst", kv_ops::LOAD, &state).unwrap();
+    assert_eq!(dc.call_app("dst", kv_ops::GET, b"k").unwrap(), b"v");
+}
+
+#[test]
+fn source_crash_mid_stream_resumes_from_last_acked_chunk() {
+    let (mut dc, m1, m2) = dc_with_config(1603, streaming_config());
+    // Let the announcement plus 5 chunks through, then "cut the cable".
+    let tap = install_stream_tap(&mut dc, m1, m2, 6);
+    deploy_loaded_src(&mut dc, m1);
+    dc.deploy_app("dst", m2, &image(), KvStore::new(), InitRequest::Migrate)
+        .unwrap();
+
+    tap.dropping.store(true, Ordering::SeqCst);
+    let outcome = dc.migrate_app_resumable("src", "dst").unwrap();
+    let ResumableOutcome::Stalled { progress } = outcome else {
+        panic!("expected a stalled transfer, got {outcome:?}");
+    };
+    let (acked, total) = progress.expect("stream progress available");
+    assert_eq!(acked, 5, "five chunks were delivered and acknowledged");
+    assert_eq!(total, 17, "16.8 MiB at 1 MiB per chunk");
+    assert_eq!(dc.app("dst").lock().status(), AppStatus::AwaitingIncoming);
+
+    // Source machine "crashes": its management VM restarts and the ME
+    // comes back from the disk checkpoint `migrate_app_resumable` wrote.
+    dc.restart_me(m1).unwrap();
+    tap.dropping.store(false, Ordering::SeqCst);
+    let frames_before_resume = tap.seen.load(Ordering::SeqCst);
+
+    dc.resume_migration("src", "dst").unwrap();
+    assert_eq!(dc.app("src").lock().status(), AppStatus::Migrated);
+    assert_eq!(dc.app("dst").lock().status(), AppStatus::Ready);
+
+    // Only the missing chunks travelled after the resume: the
+    // ResumeRequest plus chunks 5..17, nowhere near a full restart.
+    let resumed_frames = tap.seen.load(Ordering::SeqCst) - frames_before_resume;
+    assert!(
+        (13..=14).contains(&resumed_frames),
+        "expected ~13 resume frames (1 request + 12 chunks), saw {resumed_frames}"
+    );
+
+    verify_destination(&mut dc);
+}
+
+#[test]
+fn destination_crash_mid_stream_resumes_from_persisted_partial() {
+    let (mut dc, m1, m2) = dc_with_config(1604, streaming_config());
+    let tap = install_stream_tap(&mut dc, m1, m2, 6);
+    deploy_loaded_src(&mut dc, m1);
+    dc.deploy_app("dst", m2, &image(), KvStore::new(), InitRequest::Migrate)
+        .unwrap();
+
+    tap.dropping.store(true, Ordering::SeqCst);
+    let outcome = dc.migrate_app_resumable("src", "dst").unwrap();
+    assert!(matches!(outcome, ResumableOutcome::Stalled { .. }));
+
+    // Destination management VM reboots; its partially reassembled
+    // stream was checkpointed and comes back with the ME.
+    dc.persist_me(m2).unwrap();
+    dc.restart_me(m2).unwrap();
+    {
+        let dst = dc.app("dst");
+        let mut dst = dst.lock();
+        dst.attest_me(dc.world_mut().network_mut());
+    }
+    dc.run();
+
+    tap.dropping.store(false, Ordering::SeqCst);
+    dc.resume_migration("src", "dst").unwrap();
+    assert_eq!(dc.app("dst").lock().status(), AppStatus::Ready);
+    verify_destination(&mut dc);
+}
+
+#[test]
+fn app_host_writes_periodic_durable_checkpoints() {
+    let (mut dc, m1, _m2) = dc_with_config(1605, TransferConfig::default());
+    dc.deploy_app("app", m1, &image(), KvStore::new(), InitRequest::New)
+        .unwrap();
+    dc.call_app("app", kv_ops::INIT, &[]).unwrap();
+    for i in 0..10u8 {
+        dc.call_app("app", kv_ops::PUT, &kvstore::encode_put(&[i], b"v"))
+            .unwrap();
+    }
+    let host = dc.app("app");
+    let (generation, blob) = host
+        .lock()
+        .checkpoints()
+        .latest()
+        .expect("checkpoints exist");
+    assert!(generation >= 1, "several generations accumulated");
+    drop(host);
+
+    // A checkpoint blob is a complete sealed library state (Table II
+    // plus the staged snapshot): an enclave restarted from it comes up
+    // operational with its bulk state intact.
+    dc.stop_app("app");
+    dc.deploy_app(
+        "app",
+        m1,
+        &image(),
+        KvStore::new(),
+        InitRequest::Restore { blob },
+    )
+    .unwrap();
+    let phase = dc
+        .call_app("app", mig_core::harness::ops::PHASE, &[])
+        .unwrap();
+    assert_eq!(phase, vec![1], "restored library is operational");
+    let staged = dc.app_bulk_state("app").unwrap();
+    assert!(staged.is_some(), "checkpoint carried the staged snapshot");
+}
+
+#[test]
+fn queued_migrations_to_same_destination_all_complete() {
+    // Two enclaves request migration to the same machine before any
+    // ME↔ME channel exists: the first (large state) streams, and the
+    // second drains from the queue once the channel frees up — the ME
+    // must re-dispatch after Delivered instead of parking it forever.
+    let (mut dc, m1, m2) = dc_with_config(1606, streaming_config());
+    dc.deploy_app("src-big", m1, &image(), KvStore::new(), InitRequest::New)
+        .unwrap();
+    dc.call_app("src-big", kv_ops::INIT, &[]).unwrap();
+    dc.call_app(
+        "src-big",
+        kv_ops::BULK_PUT,
+        &kvstore::encode_bulk_put(512, 4096, 0x21),
+    )
+    .unwrap();
+    dc.deploy_app(
+        "src-small",
+        m1,
+        &small_image(),
+        KvStore::new(),
+        InitRequest::New,
+    )
+    .unwrap();
+    dc.call_app("src-small", kv_ops::INIT, &[]).unwrap();
+    dc.call_app("src-small", kv_ops::PUT, &kvstore::encode_put(b"x", b"y"))
+        .unwrap();
+
+    dc.deploy_app(
+        "dst-big",
+        m2,
+        &image(),
+        KvStore::new(),
+        InitRequest::Migrate,
+    )
+    .unwrap();
+    dc.deploy_app(
+        "dst-small",
+        m2,
+        &small_image(),
+        KvStore::new(),
+        InitRequest::Migrate,
+    )
+    .unwrap();
+
+    // Queue both requests back to back, before pumping the world.
+    {
+        let a = dc.app("src-big");
+        let mut a = a.lock();
+        a.migrate_to(dc.world_mut().network_mut(), m2).unwrap();
+    }
+    {
+        let b = dc.app("src-small");
+        let mut b = b.lock();
+        b.migrate_to(dc.world_mut().network_mut(), m2).unwrap();
+    }
+    dc.run();
+
+    for (src, dst) in [("src-big", "dst-big"), ("src-small", "dst-small")] {
+        assert_eq!(dc.app(src).lock().status(), AppStatus::Migrated, "{src}");
+        assert_eq!(dc.app(dst).lock().status(), AppStatus::Ready, "{dst}");
+    }
+    let state = dc
+        .app_bulk_state("dst-big")
+        .unwrap()
+        .expect("streamed state");
+    dc.call_app("dst-big", kv_ops::LOAD, &state).unwrap();
+    let len = dc.call_app("dst-big", kv_ops::LEN, &[]).unwrap();
+    assert_eq!(u32::from_le_bytes(len[..4].try_into().unwrap()), 512);
+    let state = dc
+        .app_bulk_state("dst-small")
+        .unwrap()
+        .expect("small state");
+    dc.call_app("dst-small", kv_ops::LOAD, &state).unwrap();
+    assert_eq!(dc.call_app("dst-small", kv_ops::GET, b"x").unwrap(), b"y");
+}

@@ -58,10 +58,22 @@ fn balances(dc: &mut Datacenter, who: &str) -> (u64, u64) {
 #[test]
 fn payment_channel_works_and_conserves_funds() {
     let (mut dc, m1, m2, _) = dc3(301);
-    dc.deploy_app("alice", m1, &teechan_image(), TeechanNode::new(), InitRequest::New)
-        .unwrap();
-    dc.deploy_app("bob", m2, &teechan_image(), TeechanNode::new(), InitRequest::New)
-        .unwrap();
+    dc.deploy_app(
+        "alice",
+        m1,
+        &teechan_image(),
+        TeechanNode::new(),
+        InitRequest::New,
+    )
+    .unwrap();
+    dc.deploy_app(
+        "bob",
+        m2,
+        &teechan_image(),
+        TeechanNode::new(),
+        InitRequest::New,
+    )
+    .unwrap();
     open_channel(&mut dc, "alice", "bob");
 
     pay(&mut dc, "alice", "bob", 250);
@@ -80,10 +92,22 @@ fn payment_channel_works_and_conserves_funds() {
 #[test]
 fn payment_channel_rejects_tampered_and_replayed_payments() {
     let (mut dc, m1, m2, _) = dc3(302);
-    dc.deploy_app("alice", m1, &teechan_image(), TeechanNode::new(), InitRequest::New)
-        .unwrap();
-    dc.deploy_app("bob", m2, &teechan_image(), TeechanNode::new(), InitRequest::New)
-        .unwrap();
+    dc.deploy_app(
+        "alice",
+        m1,
+        &teechan_image(),
+        TeechanNode::new(),
+        InitRequest::New,
+    )
+    .unwrap();
+    dc.deploy_app(
+        "bob",
+        m2,
+        &teechan_image(),
+        TeechanNode::new(),
+        InitRequest::New,
+    )
+    .unwrap();
     open_channel(&mut dc, "alice", "bob");
 
     let payment = dc
@@ -98,16 +122,30 @@ fn payment_channel_rejects_tampered_and_replayed_payments() {
     // Replay.
     assert!(dc.call_app("bob", teechan::ops::RECEIVE, &payment).is_err());
     // Reflection back at the sender.
-    assert!(dc.call_app("alice", teechan::ops::RECEIVE, &payment).is_err());
+    assert!(dc
+        .call_app("alice", teechan::ops::RECEIVE, &payment)
+        .is_err());
 }
 
 #[test]
 fn channel_endpoint_migrates_with_balances_intact() {
     let (mut dc, m1, m2, m3) = dc3(303);
-    dc.deploy_app("alice", m1, &teechan_image(), TeechanNode::new(), InitRequest::New)
-        .unwrap();
-    dc.deploy_app("bob", m2, &teechan_image(), TeechanNode::new(), InitRequest::New)
-        .unwrap();
+    dc.deploy_app(
+        "alice",
+        m1,
+        &teechan_image(),
+        TeechanNode::new(),
+        InitRequest::New,
+    )
+    .unwrap();
+    dc.deploy_app(
+        "bob",
+        m2,
+        &teechan_image(),
+        TeechanNode::new(),
+        InitRequest::New,
+    )
+    .unwrap();
     open_channel(&mut dc, "alice", "bob");
     pay(&mut dc, "alice", "bob", 300);
 
@@ -115,8 +153,14 @@ fn channel_endpoint_migrates_with_balances_intact() {
     let resp = dc.call_app("bob", teechan::ops::PERSIST, &[]).unwrap();
     let (_version, blob) = teechan::decode_persist_response(&resp).unwrap();
 
-    dc.deploy_app("bob2", m3, &teechan_image(), TeechanNode::new(), InitRequest::Migrate)
-        .unwrap();
+    dc.deploy_app(
+        "bob2",
+        m3,
+        &teechan_image(),
+        TeechanNode::new(),
+        InitRequest::Migrate,
+    )
+    .unwrap();
     dc.migrate_app("bob", "bob2").unwrap();
     dc.call_app("bob2", teechan::ops::RESTORE, &blob).unwrap();
 
@@ -135,10 +179,22 @@ fn stale_channel_state_rejected_after_migration() {
     // A Teechan endpoint cannot be rolled back across a migration: the
     // §III-C scenario applied to the channel workload.
     let (mut dc, m1, _, m3) = dc3(304);
-    dc.deploy_app("alice", m1, &teechan_image(), TeechanNode::new(), InitRequest::New)
-        .unwrap();
-    dc.deploy_app("bob", m1, &teechan_image(), TeechanNode::new(), InitRequest::New)
-        .unwrap();
+    dc.deploy_app(
+        "alice",
+        m1,
+        &teechan_image(),
+        TeechanNode::new(),
+        InitRequest::New,
+    )
+    .unwrap();
+    dc.deploy_app(
+        "bob",
+        m1,
+        &teechan_image(),
+        TeechanNode::new(),
+        InitRequest::New,
+    )
+    .unwrap();
     open_channel(&mut dc, "alice", "bob");
 
     // Bob persists at a rich state (v1)...
@@ -152,18 +208,27 @@ fn stale_channel_state_rejected_after_migration() {
     let (_v2, poor_blob) = teechan::decode_persist_response(&resp).unwrap();
 
     // Bob migrates to m3.
-    dc.deploy_app("bob2", m3, &teechan_image(), TeechanNode::new(), InitRequest::Migrate)
-        .unwrap();
+    dc.deploy_app(
+        "bob2",
+        m3,
+        &teechan_image(),
+        TeechanNode::new(),
+        InitRequest::Migrate,
+    )
+    .unwrap();
     dc.migrate_app("bob", "bob2").unwrap();
 
     // The adversary serves the rich v1 snapshot: rejected.
-    let err = dc.call_app("bob2", teechan::ops::RESTORE, &rich_blob).unwrap_err();
+    let err = dc
+        .call_app("bob2", teechan::ops::RESTORE, &rich_blob)
+        .unwrap_err();
     assert!(
         matches!(err, sgx_sim::SgxError::Enclave(ref m) if m.contains("rollback")),
         "{err:?}"
     );
     // The fresh snapshot restores fine.
-    dc.call_app("bob2", teechan::ops::RESTORE, &poor_blob).unwrap();
+    dc.call_app("bob2", teechan::ops::RESTORE, &poor_blob)
+        .unwrap();
     let (mine, _) = balances(&mut dc, "bob2");
     assert_eq!(mine, 100);
 }
@@ -176,7 +241,11 @@ const TRINX_KEY: [u8; 16] = [0x77; 16];
 
 fn certify(dc: &mut Datacenter, instance: &str, counter: u32, msg: &[u8]) -> Certificate {
     let out = dc
-        .call_app(instance, trinx::ops::CERTIFY, &trinx::encode_certify(counter, msg))
+        .call_app(
+            instance,
+            trinx::ops::CERTIFY,
+            &trinx::encode_certify(counter, msg),
+        )
         .unwrap();
     Certificate::from_bytes(&out).unwrap()
 }
@@ -184,8 +253,14 @@ fn certify(dc: &mut Datacenter, instance: &str, counter: u32, msg: &[u8]) -> Cer
 #[test]
 fn trinx_certificates_are_verifiable_and_ordered() {
     let (mut dc, m1, _, _) = dc3(305);
-    dc.deploy_app("trinx", m1, &trinx_image(), TrinxService::new(), InitRequest::New)
-        .unwrap();
+    dc.deploy_app(
+        "trinx",
+        m1,
+        &trinx_image(),
+        TrinxService::new(),
+        InitRequest::New,
+    )
+    .unwrap();
     dc.call_app("trinx", trinx::ops::INIT, &TRINX_KEY).unwrap();
     dc.call_app("trinx", trinx::ops::CREATE, &trinx::encode_create(1))
         .unwrap();
@@ -206,8 +281,14 @@ fn trinx_counter_values_never_repeat_across_migration() {
     // messages certified at the same counter value — even by migrating
     // the service between machines.
     let (mut dc, m1, m2, _) = dc3(306);
-    dc.deploy_app("t1", m1, &trinx_image(), TrinxService::new(), InitRequest::New)
-        .unwrap();
+    dc.deploy_app(
+        "t1",
+        m1,
+        &trinx_image(),
+        TrinxService::new(),
+        InitRequest::New,
+    )
+    .unwrap();
     dc.call_app("t1", trinx::ops::INIT, &TRINX_KEY).unwrap();
     dc.call_app("t1", trinx::ops::CREATE, &trinx::encode_create(1))
         .unwrap();
@@ -222,8 +303,14 @@ fn trinx_counter_values_never_repeat_across_migration() {
     let _version = r.u32().unwrap();
     let blob = r.bytes_vec().unwrap();
 
-    dc.deploy_app("t2", m2, &trinx_image(), TrinxService::new(), InitRequest::Migrate)
-        .unwrap();
+    dc.deploy_app(
+        "t2",
+        m2,
+        &trinx_image(),
+        TrinxService::new(),
+        InitRequest::Migrate,
+    )
+    .unwrap();
     dc.migrate_app("t1", "t2").unwrap();
     dc.call_app("t2", trinx::ops::RESTORE, &blob).unwrap();
 
@@ -234,7 +321,10 @@ fn trinx_counter_values_never_repeat_across_migration() {
     let values: Vec<u64> = certs.iter().map(|c| c.value).collect();
     assert_eq!(values, vec![1, 2, 3, 4]);
     assert!(!trinx::detect_equivocation(&certs));
-    for (cert, msg) in certs.iter().zip([b"op-1".as_slice(), b"op-2", b"op-3", b"op-4"]) {
+    for (cert, msg) in certs
+        .iter()
+        .zip([b"op-1".as_slice(), b"op-2", b"op-3", b"op-4"])
+    {
         assert!(cert.verify(&TRINX_KEY, msg));
     }
 }
@@ -242,8 +332,14 @@ fn trinx_counter_values_never_repeat_across_migration() {
 #[test]
 fn trinx_rollback_would_enable_equivocation_and_is_blocked() {
     let (mut dc, m1, m2, _) = dc3(307);
-    dc.deploy_app("t1", m1, &trinx_image(), TrinxService::new(), InitRequest::New)
-        .unwrap();
+    dc.deploy_app(
+        "t1",
+        m1,
+        &trinx_image(),
+        TrinxService::new(),
+        InitRequest::New,
+    )
+    .unwrap();
     dc.call_app("t1", trinx::ops::INIT, &TRINX_KEY).unwrap();
     dc.call_app("t1", trinx::ops::CREATE, &trinx::encode_create(1))
         .unwrap();
@@ -263,13 +359,21 @@ fn trinx_rollback_would_enable_equivocation_and_is_blocked() {
     let new_blob = r.bytes_vec().unwrap();
 
     // Migrate.
-    dc.deploy_app("t2", m2, &trinx_image(), TrinxService::new(), InitRequest::Migrate)
-        .unwrap();
+    dc.deploy_app(
+        "t2",
+        m2,
+        &trinx_image(),
+        TrinxService::new(),
+        InitRequest::Migrate,
+    )
+    .unwrap();
     dc.migrate_app("t1", "t2").unwrap();
 
     // Restoring the OLD state (which would let the service re-certify
     // value 2 for a different message → equivocation) must fail.
-    let err = dc.call_app("t2", trinx::ops::RESTORE, &old_blob).unwrap_err();
+    let err = dc
+        .call_app("t2", trinx::ops::RESTORE, &old_blob)
+        .unwrap_err();
     assert!(
         matches!(err, sgx_sim::SgxError::Enclave(ref m) if m.contains("rollback")),
         "{err:?}"
@@ -330,21 +434,28 @@ fn rote_identity_key_migrates_counters_stay_distributed() {
 
     // The ROTE group: three replicas on machines that never migrate.
     const GROUP_KEY: [u8; 16] = [0x55; 16];
-    let mut replicas: Vec<RoteReplica> =
-        (0..3).map(|i| RoteReplica::new(i, GROUP_KEY)).collect();
+    let mut replicas: Vec<RoteReplica> = (0..3).map(|i| RoteReplica::new(i, GROUP_KEY)).collect();
 
     // The client enclave seals its identity key with the migratable seal.
-    dc.deploy_app("rote-src", m1, &image, RoteUser, InitRequest::New).unwrap();
+    dc.deploy_app("rote-src", m1, &image, RoteUser, InitRequest::New)
+        .unwrap();
     let identity_key = RoteIdentityKey([0xA7; 32]);
     let sealed_key = dc.call_app("rote-src", 1, &identity_key.0).unwrap();
 
     // Counter activity before migration.
     let acks = quorum_increment(&mut replicas, &identity_key, 1, 2).unwrap();
-    assert!(verify_quorum(&acks, &GROUP_KEY, &identity_key.identity(), 1, 2));
+    assert!(verify_quorum(
+        &acks,
+        &GROUP_KEY,
+        &identity_key.identity(),
+        1,
+        2
+    ));
     quorum_increment(&mut replicas, &identity_key, 2, 2).unwrap();
 
     // Migrate the client; the replicas are untouched.
-    dc.deploy_app("rote-dst", m2, &image, RoteUser, InitRequest::Migrate).unwrap();
+    dc.deploy_app("rote-dst", m2, &image, RoteUser, InitRequest::Migrate)
+        .unwrap();
     dc.migrate_app("rote-src", "rote-dst").unwrap();
 
     // The destination recovers the identity key from the sealed blob...
@@ -356,6 +467,12 @@ fn rote_identity_key_migrates_counters_stay_distributed() {
     // attempt to reuse an old value (rollback protection without any
     // hardware-counter migration).
     let acks = quorum_increment(&mut replicas, &recovered_key, 3, 2).unwrap();
-    assert!(verify_quorum(&acks, &GROUP_KEY, &recovered_key.identity(), 3, 2));
+    assert!(verify_quorum(
+        &acks,
+        &GROUP_KEY,
+        &recovered_key.identity(),
+        3,
+        2
+    ));
     assert!(quorum_increment(&mut replicas, &recovered_key, 2, 2).is_err());
 }
