@@ -7,8 +7,22 @@
 //! *migratable* primitives, the whole store survives machine migration —
 //! and the attack test-suite uses it as the victim workload for the §III
 //! fork and roll-back attacks.
+//!
+//! **Segment-sealed staging.** The migration payload staged with the
+//! library is not one monolithic sealed blob (whose ciphertext changes
+//! completely on every reseal) but a *container*: the snapshot plaintext
+//! split into [`SEGMENT_LEN`]-byte segments, each migratable-sealed
+//! separately, preceded by a sealed index binding the exact ciphertext
+//! set. A PUT reseals only the segments whose plaintext changed (plus
+//! the small index), so the staged bytes stay mostly identical across
+//! updates — which is what lets the ME's dirty-page delta transfer ship
+//! a repeat migration as a few pages instead of the whole store.
+//! Splicing segments from an older container is caught by the index
+//! (ciphertext hashes); replaying a whole older container is the classic
+//! rollback, caught by the version-vs-counter check on load.
 
 use mig_core::harness::{AppCtx, AppLogic};
+use mig_crypto::sha256::sha256;
 use sgx_sim::wire::{WireReader, WireWriter};
 use sgx_sim::SgxError;
 use std::collections::BTreeMap;
@@ -35,15 +49,35 @@ pub mod ops {
 
 /// AAD tag for KV snapshots.
 const SNAPSHOT_AAD: &[u8] = b"mig-apps.kvstore.snapshot.v1";
+/// AAD tag for the staged container's sealed segment index.
+const INDEX_AAD: &[u8] = b"mig-apps.kvstore.seg-index.v1";
+/// Plaintext bytes per sealed staging segment.
+pub const SEGMENT_LEN: usize = 4096;
+/// Leading byte of a staged container (a plain migratable-sealed blob
+/// starts with its format version, 1).
+const CONTAINER_MAGIC: u8 = 2;
+
+/// Per-segment AAD: prefix plus the segment index, so a segment sealed
+/// at one position cannot be presented at another.
+fn segment_aad(idx: u32) -> Vec<u8> {
+    let mut aad = b"mig-apps.kvstore.seg.v1:".to_vec();
+    aad.extend_from_slice(&idx.to_le_bytes());
+    aad
+}
 
 /// A parsed snapshot: version-counter id, version, entries.
 type Snapshot = (u8, u32, BTreeMap<Vec<u8>, Vec<u8>>);
+/// One cached staging segment: plaintext hash + sealed ciphertext.
+type Segment = ([u8; 32], Vec<u8>);
 
 /// The in-enclave state of the KV store.
 #[derive(Default)]
 pub struct KvStore {
     entries: BTreeMap<Vec<u8>, Vec<u8>>,
     version_counter: Option<u8>,
+    /// Staging segment cache — lets an update reseal only the segments
+    /// whose plaintext changed.
+    segments: Vec<Segment>,
 }
 
 impl KvStore {
@@ -84,6 +118,90 @@ impl KvStore {
         r.finish()?;
         Ok((counter_id, version, entries))
     }
+
+    /// Rebuilds the segment-sealed staging container for `snapshot`
+    /// (the serialized store) and stages it with the library. Only
+    /// segments whose plaintext changed since the cache was built are
+    /// resealed.
+    fn restage(&mut self, ctx: &mut AppCtx<'_, '_>, snapshot: &[u8]) -> Result<Vec<u8>, SgxError> {
+        let mut segments = Vec::with_capacity(snapshot.len().div_ceil(SEGMENT_LEN));
+        for (i, plain) in snapshot.chunks(SEGMENT_LEN).enumerate() {
+            let hash = sha256(plain);
+            let sealed = match self.segments.get(i) {
+                Some((cached_hash, sealed)) if *cached_hash == hash => sealed.clone(),
+                _ => ctx
+                    .lib
+                    .seal_migratable_data(ctx.env, &segment_aad(i as u32), plain)?,
+            };
+            segments.push((hash, sealed));
+        }
+        self.segments = segments;
+
+        let mut index = WireWriter::new();
+        index.u32(self.segments.len() as u32);
+        for (_, sealed) in &self.segments {
+            index.array(&sha256(sealed));
+        }
+        let sealed_index = ctx
+            .lib
+            .seal_migratable_data(ctx.env, INDEX_AAD, &index.finish())?;
+
+        let mut w = WireWriter::new();
+        w.u8(CONTAINER_MAGIC);
+        w.bytes(&sealed_index);
+        w.u32(self.segments.len() as u32);
+        for (_, sealed) in &self.segments {
+            w.bytes(sealed);
+        }
+        let container = w.finish();
+        ctx.lib.stage_bulk_state(ctx.env, &container)?;
+        Ok(container)
+    }
+
+    /// Opens a staged container: verifies the sealed index, every
+    /// segment's ciphertext hash and positional AAD, and returns the
+    /// reassembled snapshot plaintext plus the segment cache.
+    fn open_container(
+        ctx: &mut AppCtx<'_, '_>,
+        bytes: &[u8],
+    ) -> Result<(Vec<u8>, Vec<Segment>), SgxError> {
+        let mut r = WireReader::new(bytes);
+        if r.u8()? != CONTAINER_MAGIC {
+            return Err(SgxError::Decode);
+        }
+        let sealed_index = r.bytes_vec()?;
+        let (index_plain, aad) = ctx.lib.unseal_migratable_data(ctx.env, &sealed_index)?;
+        if aad != INDEX_AAD {
+            return Err(SgxError::Decode);
+        }
+        let mut ir = WireReader::new(&index_plain);
+        let n = ir.u32()? as usize;
+        let mut expected = Vec::with_capacity(n);
+        for _ in 0..n {
+            expected.push(ir.array::<32>()?);
+        }
+        ir.finish()?;
+        if r.u32()? as usize != n {
+            return Err(SgxError::Decode);
+        }
+        let mut plain = Vec::new();
+        let mut segments = Vec::with_capacity(n);
+        for (i, hash) in expected.iter().enumerate() {
+            let sealed = r.bytes_vec()?;
+            if sha256(&sealed) != *hash {
+                // A segment spliced in from another container version.
+                return Err(SgxError::MacMismatch);
+            }
+            let (seg, aad) = ctx.lib.unseal_migratable_data(ctx.env, &sealed)?;
+            if aad != segment_aad(i as u32) {
+                return Err(SgxError::Decode);
+            }
+            segments.push((sha256(&seg), sealed));
+            plain.extend_from_slice(&seg);
+        }
+        r.finish()?;
+        Ok((plain, segments))
+    }
 }
 
 impl AppLogic for KvStore {
@@ -111,17 +229,15 @@ impl AppLogic for KvStore {
                 // Version discipline: bump the counter, seal the new
                 // version into the snapshot (paper §II-A4).
                 let version = ctx.lib.increment_migratable_counter(ctx.env, counter)?;
-                let blob = ctx.lib.seal_migratable_data(
-                    ctx.env,
-                    SNAPSHOT_AAD,
-                    &self.snapshot_bytes(version),
-                )?;
-                // Stage the snapshot so a migration always carries the
-                // current store. This doubles the O(store) sealing work
-                // per PUT (snapshot + checkpoint reseal) — the price of
-                // crash-durable, migration-fresh state; delta
-                // checkpoints are the planned fix (ROADMAP).
-                ctx.lib.stage_bulk_state(ctx.env, &blob)?;
+                let snapshot = self.snapshot_bytes(version);
+                let blob = ctx
+                    .lib
+                    .seal_migratable_data(ctx.env, SNAPSHOT_AAD, &snapshot)?;
+                // Stage the segment-sealed container so a migration
+                // always carries the current store; only the segments
+                // this PUT dirtied are resealed, keeping the staged
+                // bytes delta-friendly across updates.
+                self.restage(ctx, &snapshot)?;
                 let mut w = WireWriter::new();
                 w.u32(version).bytes(&blob);
                 Ok(w.finish())
@@ -140,17 +256,13 @@ impl AppLogic for KvStore {
                         .collect();
                     self.entries.insert(key, value);
                 }
-                // One version bump and one sealed snapshot for the whole
-                // batch.
+                // One version bump and one restaged container for the
+                // whole batch.
                 let version = ctx.lib.increment_migratable_counter(ctx.env, counter)?;
-                let blob = ctx.lib.seal_migratable_data(
-                    ctx.env,
-                    SNAPSHOT_AAD,
-                    &self.snapshot_bytes(version),
-                )?;
-                ctx.lib.stage_bulk_state(ctx.env, &blob)?;
+                let snapshot = self.snapshot_bytes(version);
+                let container = self.restage(ctx, &snapshot)?;
                 let mut w = WireWriter::new();
-                w.u32(version).u64(blob.len() as u64);
+                w.u32(version).u64(container.len() as u64);
                 Ok(w.finish())
             }
             ops::GET => self
@@ -159,10 +271,20 @@ impl AppLogic for KvStore {
                 .cloned()
                 .ok_or_else(|| SgxError::Enclave("key not found".into())),
             ops::LOAD => {
-                let (plaintext, aad) = ctx.lib.unseal_migratable_data(ctx.env, input)?;
-                if aad != SNAPSHOT_AAD {
-                    return Err(SgxError::Decode);
-                }
+                // Two on-disk formats: the segment-sealed container
+                // (staged / migrated state) and the plain sealed
+                // snapshot a PUT returns.
+                let container = input.first() == Some(&CONTAINER_MAGIC);
+                let (plaintext, segments) = if container {
+                    let (plain, segments) = Self::open_container(ctx, input)?;
+                    (plain, Some(segments))
+                } else {
+                    let (plain, aad) = ctx.lib.unseal_migratable_data(ctx.env, input)?;
+                    if aad != SNAPSHOT_AAD {
+                        return Err(SgxError::Decode);
+                    }
+                    (plain, None)
+                };
                 let (counter_id, version, entries) = Self::parse_snapshot(&plaintext)?;
                 let current = ctx.lib.read_migratable_counter(ctx.env, counter_id)?;
                 if version != current {
@@ -173,9 +295,20 @@ impl AppLogic for KvStore {
                 self.version_counter = Some(counter_id);
                 self.entries = entries;
                 // Keep the staged migration payload in sync with the
-                // restored store (no-op when re-loading the snapshot
-                // that just migrated in).
-                ctx.lib.stage_bulk_state(ctx.env, input)?;
+                // restored store. Re-loading the container that just
+                // migrated in adopts its sealed segments verbatim (and
+                // the restage is a byte-identical no-op), so the next
+                // outgoing delta is computed against unchanged bytes.
+                match segments {
+                    Some(segments) => {
+                        self.segments = segments;
+                        ctx.lib.stage_bulk_state(ctx.env, input)?;
+                    }
+                    None => {
+                        self.segments.clear();
+                        self.restage(ctx, &plaintext)?;
+                    }
+                }
                 Ok(vec![])
             }
             ops::VERSION => {
@@ -230,7 +363,7 @@ pub fn encode_bulk_put(count: u32, value_len: u32, fill: u8) -> Vec<u8> {
     w.finish()
 }
 
-/// Decodes a BULK_PUT response into `(version, sealed snapshot length)`.
+/// Decodes a BULK_PUT response into `(version, staged container length)`.
 ///
 /// # Errors
 ///

@@ -231,9 +231,25 @@ fn e3(n: usize) {
     println!("       'an order of magnitude lower' than VM migration — same shape here.");
 }
 
+/// The E4 sweep entries up to (and including) the `E4_SWEEP_MAX` label
+/// (default: all — 4 KiB through 64 MiB; CI smoke caps it at 1 MiB).
+fn e4_sweep() -> &'static [(&'static str, u32, u32)] {
+    match std::env::var("E4_SWEEP_MAX") {
+        Ok(max) => {
+            let cut = mig_bench::STATE_SWEEP
+                .iter()
+                .position(|(label, _, _)| *label == max)
+                .map_or(mig_bench::STATE_SWEEP.len(), |i| i + 1);
+            &mig_bench::STATE_SWEEP[..cut]
+        }
+        Err(_) => mig_bench::STATE_SWEEP,
+    }
+}
+
 fn e4(n: usize) {
+    let sweep = e4_sweep();
     println!("\n=== E4 — persistent-state size sweep: blob vs streamed transfer ===");
-    println!("(kvstore sealed state 4 KiB → 16 MiB; streamed = 256 KiB chunks,");
+    println!("(kvstore sealed state 4 KiB → 64 MiB; streamed = 256 KiB chunks,");
     println!(" window 8, HMAC-chained, resumable; {n} migrations per cell)\n");
     println!(
         "{:<8} {:>22} {:>22} {:>22}",
@@ -241,8 +257,9 @@ fn e4(n: usize) {
     );
     println!("{}", "-".repeat(78));
 
+    let mut json_sweep = Vec::new();
     let mut seed = 0xE4_00u64;
-    for &(label, entries, value_len) in mig_bench::STATE_SWEEP {
+    for &(label, entries, value_len) in sweep {
         let mut cells: Vec<Vec<f64>> = vec![Vec::new(); 3];
         for _ in 0..n {
             for (i, config) in [
@@ -274,10 +291,74 @@ fn e4(n: usize) {
             fmt(&cells[1]),
             fmt(&cells[2])
         );
+        let mean = |samples: &[f64]| mig_stats::summarize(samples, 0.99).mean;
+        json_sweep.push(format!(
+            "    {{\"label\": \"{label}\", \"blob_virt_ms\": {:.4}, \"stream_virt_ms\": {:.4}, \"stream_wall_ms\": {:.4}}}",
+            mean(&cells[0]),
+            mean(&cells[1]),
+            mean(&cells[2])
+        ));
     }
+
+    // Delta-vs-full series on the largest swept geometry: dirty 1 %,
+    // 10 %, and 50 % of the entries at the destination, then migrate
+    // back. Transfer time should scale with the dirty size, not the
+    // total state size.
+    let &(label, entries, value_len) = sweep.last().expect("sweep is non-empty");
+    println!("\n--- delta repeat migration ({label} state, {n} cycles per row) ---");
+    println!(
+        "{:<8} {:>18} {:>18} {:>14} {:>14}",
+        "dirty", "full virt (ms)", "delta virt (ms)", "full MiB", "delta MiB"
+    );
+    println!("{}", "-".repeat(78));
+    let mut json_delta = Vec::new();
+    for dirty_percent in [1u32, 10, 50] {
+        let dirty_entries = (entries * dirty_percent / 100).max(1);
+        let mut full_ms = Vec::new();
+        let mut delta_ms = Vec::new();
+        let mut full_bytes = 0u64;
+        let mut delta_bytes = 0u64;
+        for _ in 0..n {
+            seed += 1;
+            let cell = mig_bench::delta_migration_cycle(seed, entries, value_len, dirty_entries);
+            full_ms.push(cell.full_virt_ms);
+            delta_ms.push(cell.delta_virt_ms);
+            full_bytes = cell.full_bytes;
+            delta_bytes = cell.delta_bytes;
+        }
+        let full = mig_stats::summarize(&full_ms, 0.99);
+        let delta = mig_stats::summarize(&delta_ms, 0.99);
+        println!(
+            "{:<8} {:>10.3} ± {:>4.3} {:>10.3} ± {:>4.3} {:>14.2} {:>14.2}",
+            format!("{dirty_percent}%"),
+            full.mean,
+            full.ci_half_width,
+            delta.mean,
+            delta.ci_half_width,
+            full_bytes as f64 / (1024.0 * 1024.0),
+            delta_bytes as f64 / (1024.0 * 1024.0),
+        );
+        json_delta.push(format!(
+            "    {{\"dirty_percent\": {dirty_percent}, \"full_virt_ms\": {:.4}, \"delta_virt_ms\": {:.4}, \"full_bytes\": {full_bytes}, \"delta_bytes\": {delta_bytes}}}",
+            full.mean, delta.mean
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"sweep\": [\n{}\n  ],\n  \"delta\": [\n{}\n  ]\n}}\n",
+        json_sweep.join(",\n"),
+        json_delta.join(",\n")
+    );
+    let path = std::env::var("E4_JSON_PATH").unwrap_or_else(|_| "BENCH_e4.json".to_string());
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\nmachine-readable results written to {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
+
     println!("\nThe streamed path pipelines chunks through the attested channel, so its");
-    println!("simulated time tracks the blob path while surviving mid-transfer crashes");
-    println!("(see tests/streaming_migration.rs) instead of restarting from scratch.");
+    println!("simulated time tracks the blob path while surviving mid-transfer crashes;");
+    println!("the delta rows show repeat-migration cost scaling with the dirty size,");
+    println!("not the total state size (tests/streaming_migration.rs asserts the same).");
 }
 
 fn ablation() {

@@ -349,7 +349,121 @@ pub const STATE_SWEEP: &[(&str, u32, u32)] = &[
     ("64KiB", 64, 1024),
     ("1MiB", 256, 4096),
     ("16MiB", 4096, 4096),
+    ("64MiB", 16384, 4096),
 ];
+
+/// One cell of the E4 delta-vs-full series: a full first migration, a
+/// dirtying pass at the destination, and the repeat (delta) migration
+/// back — virtual times plus the RA-transfer wire bytes each direction.
+#[derive(Clone, Copy, Debug)]
+pub struct DeltaCell {
+    /// Virtual time of the first (full) migration in ms.
+    pub full_virt_ms: f64,
+    /// Virtual time of the repeat (delta) migration in ms.
+    pub delta_virt_ms: f64,
+    /// Wire bytes of the first migration's stream frames.
+    pub full_bytes: u64,
+    /// Wire bytes of the repeat migration's stream frames.
+    pub delta_bytes: u64,
+}
+
+/// Installs a tap summing RA-transfer wire bytes `from` → `to`.
+fn transfer_byte_tap(
+    dc: &mut Datacenter,
+    from: MachineId,
+    to: MachineId,
+) -> Arc<std::sync::atomic::AtomicU64> {
+    use cloud_sim::network::{Envelope, TapAction};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let bytes = Arc::new(AtomicU64::new(0));
+    let tap_bytes = Arc::clone(&bytes);
+    dc.world_mut()
+        .network_mut()
+        .add_tap(Box::new(move |e: &Envelope| {
+            if e.from.machine == from
+                && e.to.machine == to
+                && e.from.service == "me"
+                && e.to.service == "me"
+                && e.payload.first() == Some(&mig_core::host::tags::RA_TRANSFER)
+            {
+                tap_bytes.fetch_add(e.payload.len() as u64, Ordering::SeqCst);
+            }
+            TapAction::Deliver
+        }));
+    bytes
+}
+
+/// Runs one full+delta migration cycle: `entries` × `value_len` bytes
+/// migrate m1→m2 in full, `dirty_entries` entries are rewritten at the
+/// destination, and the repeat migration m2→m1 ships the dirty-page
+/// delta (or falls back to full when the delta is too large a fraction).
+///
+/// # Panics
+///
+/// Panics on fixture failures (bench invariants).
+#[must_use]
+pub fn delta_migration_cycle(
+    seed: u64,
+    entries: u32,
+    value_len: u32,
+    dirty_entries: u32,
+) -> DeltaCell {
+    use mig_apps::kvstore::{self, ops as kv_ops, KvStore};
+    use std::sync::atomic::Ordering;
+
+    let transfer = sweep_stream_config();
+    let mut dc = Datacenter::new(seed);
+    let policy = MigrationPolicy::same_operator_only();
+    let m1 = dc.add_machine_with_transfer(MachineLabels::new("dc-1", "eu"), &policy, transfer);
+    let m2 = dc.add_machine_with_transfer(MachineLabels::new("dc-1", "eu"), &policy, transfer);
+    let fwd_bytes = transfer_byte_tap(&mut dc, m1, m2);
+    let back_bytes = transfer_byte_tap(&mut dc, m2, m1);
+
+    dc.deploy_app("src", m1, &kv_image(), KvStore::new(), InitRequest::New)
+        .expect("deploy src");
+    dc.call_app("src", kv_ops::INIT, &[]).expect("init kv");
+    dc.call_app(
+        "src",
+        kv_ops::BULK_PUT,
+        &kvstore::encode_bulk_put(entries, value_len, 0xB7),
+    )
+    .expect("bulk load");
+    dc.deploy_app("dst", m2, &kv_image(), KvStore::new(), InitRequest::Migrate)
+        .expect("deploy dst");
+    let full_virt = dc.migrate_app("src", "dst").expect("full migration");
+
+    // Restore the working set at the destination and dirty a slice of it.
+    let state = dc
+        .app_bulk_state("dst")
+        .expect("bulk state")
+        .expect("migrated state present");
+    dc.call_app("dst", kv_ops::LOAD, &state).expect("load");
+    dc.call_app(
+        "dst",
+        kv_ops::BULK_PUT,
+        &kvstore::encode_bulk_put(dirty_entries, value_len, 0xC3),
+    )
+    .expect("dirty pass");
+
+    dc.deploy_app(
+        "back",
+        m1,
+        &kv_image(),
+        KvStore::new(),
+        InitRequest::Migrate,
+    )
+    .expect("deploy back");
+    back_bytes.store(0, Ordering::SeqCst);
+    let delta_virt = dc.migrate_app("dst", "back").expect("delta migration");
+
+    DeltaCell {
+        full_virt_ms: full_virt.as_secs_f64() * 1e3,
+        delta_virt_ms: delta_virt.as_secs_f64() * 1e3,
+        full_bytes: fwd_bytes.load(Ordering::SeqCst),
+        delta_bytes: back_bytes.load(Ordering::SeqCst),
+    }
+}
 
 /// Streaming-transfer configuration used by the sweep's streamed arm.
 #[must_use]
@@ -358,6 +472,7 @@ pub fn sweep_stream_config() -> mig_core::transfer::TransferConfig {
         stream_threshold: 4096,
         chunk_size: 256 * 1024,
         window: 8,
+        ..mig_core::transfer::TransferConfig::default()
     }
 }
 
@@ -369,6 +484,7 @@ pub fn sweep_blob_config() -> mig_core::transfer::TransferConfig {
         stream_threshold: u32::MAX,
         chunk_size: 256 * 1024,
         window: 8,
+        ..mig_core::transfer::TransferConfig::default()
     }
 }
 

@@ -74,6 +74,13 @@ impl UntrustedDisk {
         self.entries.lock().get(key).cloned()
     }
 
+    /// Length in bytes of the value under `key`, without copying it
+    /// (metadata-only lookup).
+    #[must_use]
+    pub fn len(&self, key: &str) -> Option<usize> {
+        self.entries.lock().get(key).map(Vec::len)
+    }
+
     /// Deletes the value under `key`, returning it if present.
     pub fn delete(&self, key: &str) -> Option<Vec<u8>> {
         self.entries.lock().remove(key)

@@ -15,6 +15,7 @@ use crate::library::InitRequest;
 use crate::me::{me_image, ops as me_ops, read_opt, MigrationEnclave};
 use crate::operator::CloudOperator;
 use crate::policy::MigrationPolicy;
+use crate::transfer::checkpoint::CheckpointStore;
 use crate::transfer::TransferConfig;
 use cloud_sim::machine::MachineLabels;
 use cloud_sim::network::Endpoint;
@@ -375,7 +376,7 @@ impl Datacenter {
             .lock()
             .stream_progress(mr)
             .map_err(MigError::Sgx)?
-            .map(|(acked, total, _len)| (acked, total));
+            .map(|p| (p.acked, p.total_chunks));
         self.persist_me(src_machine).map_err(MigError::Sgx)?;
         Ok(ResumableOutcome::Stalled { progress })
     }
@@ -453,16 +454,27 @@ impl Datacenter {
         Ok(bulk)
     }
 
-    /// Checkpoints a machine's ME state to its untrusted disk (under
-    /// `"me-state"`), so retained migration data survives a management-VM
-    /// restart.
+    /// The generation-numbered checkpoint series holding a machine's
+    /// sealed ME state (namespace `"me-state"` on its untrusted disk).
+    #[must_use]
+    pub fn me_checkpoints(&self, machine: MachineId) -> CheckpointStore {
+        // Sealed ME state re-encrypts wholesale every generation, so
+        // page-digest sidecars would never yield a useful delta.
+        CheckpointStore::with_keep(self.world.machine(machine).disk.clone(), "me-state", 2)
+            .without_page_digests()
+    }
+
+    /// Checkpoints a machine's ME state to its untrusted disk (the
+    /// `"me-state"` checkpoint series), so retained migration data
+    /// survives a management-VM restart — and, with two retained
+    /// generations, even a crash mid-write of the newest checkpoint.
     ///
     /// # Errors
     ///
     /// Enclave errors propagate.
     pub fn persist_me(&mut self, machine: MachineId) -> Result<(), SgxError> {
         let blob = self.me_host(machine).lock().persist_state()?;
-        self.world.machine(machine).disk.put("me-state", blob);
+        self.me_checkpoints(machine).put(blob);
         Ok(())
     }
 
@@ -473,20 +485,28 @@ impl Datacenter {
     /// lost, which is exactly what checkpointing prevents). Application
     /// enclaves must re-attest before further migration traffic.
     ///
+    /// The existence probe is metadata-only ([`CheckpointStore::latest_meta`]);
+    /// the multi-megabyte checkpoint blob is loaded only on the restore
+    /// branch.
+    ///
     /// # Errors
     ///
     /// Launch or restore failures propagate.
     pub fn restart_me(&mut self, machine: MachineId) -> Result<(), SgxError> {
         let machine_ref = self.world.machine(machine).clone();
-        let state = machine_ref.disk.get("me-state");
+        let checkpoints = self.me_checkpoints(machine);
         self.me_host(machine).lock().enclave().destroy();
-        let enclave = match &state {
-            Some(_) => machine_ref
-                .sgx
-                .load_enclave(&me_image(), Box::new(MigrationEnclave::new()))?,
+        let (enclave, state) = match checkpoints.latest_meta() {
+            Some(_) => {
+                let enclave = machine_ref
+                    .sgx
+                    .load_enclave(&me_image(), Box::new(MigrationEnclave::new()))?;
+                let state = checkpoints.latest().map(|(_, blob)| blob);
+                (enclave, state)
+            }
             None => {
                 let policy = self.me_policies.get(&machine).cloned().unwrap_or_default();
-                self.provision_me(machine, &policy)
+                (self.provision_me(machine, &policy), None)
             }
         };
         self.me_host(machine)

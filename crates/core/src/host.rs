@@ -434,14 +434,13 @@ impl MeHost {
     }
 
     /// Streaming progress of the retained outgoing migration for `mr`:
-    /// `Some((acked_chunks, total_chunks, state_len))` when it went down
-    /// the streamed path, `None` otherwise.
+    /// `Some(progress)` when it went down the streamed path, `None`
+    /// otherwise.
     ///
     /// # Errors
     ///
     /// Enclave errors propagate.
-    #[allow(clippy::type_complexity)]
-    pub fn stream_progress(&mut self, mr: MrEnclave) -> Result<Option<(u32, u32, u64)>, SgxError> {
+    pub fn stream_progress(&mut self, mr: MrEnclave) -> Result<Option<StreamProgress>, SgxError> {
         let mut w = WireWriter::new();
         w.array(&mr.0);
         let out = self.enclave.ecall(me_ops::STREAM_STAT, &w.finish())?;
@@ -449,9 +448,19 @@ impl MeHost {
         let result = match r.u8()? {
             1 => {
                 let acked = r.u32()?;
-                let total = r.u32()?;
-                let len = r.u64()?;
-                Some((acked, total, len))
+                let total_chunks = r.u32()?;
+                let state_len = r.u64()?;
+                let payload_len = r.u64()?;
+                let delta = r.u8()? != 0;
+                let chunk_size = r.u32()?;
+                Some(StreamProgress {
+                    acked,
+                    total_chunks,
+                    state_len,
+                    payload_len,
+                    delta,
+                    chunk_size,
+                })
             }
             2 => {
                 let _len = r.u64()?;
@@ -461,6 +470,44 @@ impl MeHost {
         };
         Ok(result)
     }
+
+    /// Current adaptive-controller state of the link towards
+    /// `destination`: `Some((chunk_size, window))` once any stream has
+    /// run there, `None` before.
+    ///
+    /// # Errors
+    ///
+    /// Enclave errors propagate.
+    pub fn link_state(&mut self, destination: MachineId) -> Result<Option<(u32, u32)>, SgxError> {
+        let mut w = WireWriter::new();
+        w.u64(destination.0);
+        let out = self.enclave.ecall(me_ops::LINK_STAT, &w.finish())?;
+        let mut r = WireReader::new(&out);
+        let result = match r.u8()? {
+            1 => Some((r.u32()?, r.u32()?)),
+            _ => None,
+        };
+        Ok(result)
+    }
+}
+
+/// Telemetry of one retained outgoing chunk stream (see
+/// [`MeHost::stream_progress`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamProgress {
+    /// Cumulatively acknowledged chunks.
+    pub acked: u32,
+    /// Total chunks of the stream.
+    pub total_chunks: u32,
+    /// Full state length in bytes.
+    pub state_len: u64,
+    /// Streamed payload length (equals `state_len` for a full stream;
+    /// the packed dirty pages for a delta stream).
+    pub payload_len: u64,
+    /// Whether the stream ships a dirty-page delta.
+    pub delta: bool,
+    /// Chunk size the stream was announced with.
+    pub chunk_size: u32,
 }
 
 impl Service for MeHost {

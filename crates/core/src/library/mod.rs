@@ -33,6 +33,7 @@ use sgx_sim::measurement::MrEnclave;
 use sgx_sim::wire::{WireReader, WireWriter};
 use sgx_sim::SgxError;
 use state::{LibraryState, COUNTER_SLOTS};
+use std::sync::Arc;
 
 /// AAD tag binding sealed blobs to their role as library state.
 const STATE_AAD: &[u8] = b"sgx-migrate.library-state.v1";
@@ -83,8 +84,9 @@ pub struct MigrationLibrary {
     pending_persist: Option<Vec<u8>>,
     /// Staged bulk state (the app's migratable-sealed working set),
     /// included in persistent checkpoints and shipped on migration via
-    /// the streaming transfer engine when large.
-    bulk_state: Option<Vec<u8>>,
+    /// the streaming transfer engine when large. `Arc`-backed so the
+    /// snapshot is shared, not copied, across the staging/persist paths.
+    bulk_state: Option<Arc<[u8]>>,
 }
 
 impl std::fmt::Debug for MigrationLibrary {
@@ -148,7 +150,7 @@ impl MigrationLibrary {
                 // state (see `persist`).
                 let mut r = WireReader::new(&plaintext);
                 let state = LibraryState::from_bytes(r.bytes()?)?;
-                let bulk_state = crate::me::read_opt(&mut r)?;
+                let bulk_state = crate::me::read_opt(&mut r)?.map(Arc::from);
                 r.finish()?;
                 if state.frozen != 0 {
                     return Err(MigError::Frozen);
@@ -248,7 +250,7 @@ impl MigrationLibrary {
         self.bulk_state = if bytes.is_empty() {
             None
         } else {
-            Some(bytes.to_vec())
+            Some(Arc::from(bytes))
         };
         self.persist(env);
         Ok(())
@@ -598,7 +600,7 @@ impl MigrationLibrary {
         let msg = LibToMe::MigrateRequest {
             destination,
             data,
-            state: self.bulk_state.clone().unwrap_or_default(),
+            state: self.bulk_state.as_deref().unwrap_or_default().to_vec(),
         };
         let plaintext = msg.to_bytes();
         let channel = self.channel()?;
@@ -665,7 +667,11 @@ impl MigrationLibrary {
                 // The migrated bulk state becomes this incarnation's
                 // staged state: the app retrieves it to restore its
                 // working set, and a further migration re-ships it.
-                self.bulk_state = if state.is_empty() { None } else { Some(state) };
+                self.bulk_state = if state.is_empty() {
+                    None
+                } else {
+                    Some(state.into())
+                };
                 self.persist(env);
                 let done = LibToMe::Done.to_bytes();
                 Ok(Some(self.channel()?.seal(&done)))

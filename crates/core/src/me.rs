@@ -28,7 +28,8 @@ use crate::policy::MigrationPolicy;
 use crate::remote_attest::{transcript_bytes, RaConfig, RaInitiator, RaResponder, RaResponseQuote};
 use crate::secure_channel::{ChannelRole, SecureChannel};
 use crate::transfer::chunker::{chunk_count, ChunkAssembler, ChunkStream, TransferNonce};
-use crate::transfer::TransferConfig;
+use crate::transfer::delta::{self, DeltaManifest, PageDigests};
+use crate::transfer::{AdaptiveLink, TransferConfig};
 use mig_crypto::ed25519::{Signature, SigningKey, VerifyingKey};
 use mig_crypto::x25519::PublicKey;
 use sgx_sim::dh::{DhMsg2, DhResponder};
@@ -39,7 +40,7 @@ use sgx_sim::measurement::{EnclaveImage, EnclaveSigner, MrEnclave};
 use sgx_sim::wire::{WireReader, WireWriter};
 use sgx_sim::SgxError;
 use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// ECALL opcodes of the Migration Enclave.
 pub mod ops {
@@ -78,6 +79,9 @@ pub mod ops {
     /// Streaming-transfer progress query for a retained outgoing
     /// migration (diagnostics / resumable-migration orchestration).
     pub const STREAM_STAT: u32 = 14;
+    /// Adaptive-controller state query for a destination link
+    /// (diagnostics: current chunk size and send window).
+    pub const LINK_STAT: u32 = 15;
 }
 
 /// The canonical Migration Enclave image. Identical on every machine, as
@@ -121,6 +125,17 @@ pub(crate) fn read_opt(r: &mut WireReader<'_>) -> Result<Option<Vec<u8>>, SgxErr
 }
 
 /// Seals the chunk messages `from..upto` of `stream` on `channel`.
+/// Chunk payloads are encoded straight from the stream's shared buffer
+/// ([`MeToMe::encode_chunk`]) — no per-chunk clone.
+///
+/// Multi-chunk streams pad every chunk to the full chunk wire size so
+/// equal-length ciphertexts stay FIFO on the size-ordered simulated
+/// network. A single-chunk stream (small full states, most deltas) has
+/// no sibling chunks to race, but it still must not undercut its own
+/// `ChunkStart`/`DeltaStart` announcement (which would overtake it on
+/// the size-ordered network and desync the channel sequence), so it
+/// pads only up to [`MIN_CHUNK_SIZE`] — which exceeds every start
+/// frame's wire size.
 fn chunk_frames(
     stream: &ChunkStream,
     channel: &mut SecureChannel,
@@ -130,17 +145,18 @@ fn chunk_frames(
     (from..upto)
         .map(|idx| {
             let (payload, mac) = stream.chunk(idx);
-            let pad = stream.chunk_size() - payload.len() as u32;
-            channel.seal(
-                &MeToMe::Chunk {
-                    nonce: stream.nonce(),
-                    idx,
-                    payload: payload.to_vec(),
-                    mac,
-                    pad,
-                }
-                .to_bytes(),
-            )
+            let pad = if stream.n_chunks() == 1 {
+                crate::transfer::MIN_CHUNK_SIZE.saturating_sub(payload.len() as u32)
+            } else {
+                stream.chunk_size() - payload.len() as u32
+            };
+            channel.seal(&MeToMe::encode_chunk(
+                &stream.nonce(),
+                idx,
+                payload,
+                &mac,
+                pad,
+            ))
         })
         .collect()
 }
@@ -357,8 +373,16 @@ struct MeConfig {
 struct OutgoingStream {
     nonce: TransferNonce,
     /// Chunk size the stream was started with (survives re-provisioning
-    /// with a different [`TransferConfig`]).
+    /// with a different [`TransferConfig`] and adaptive drift).
     chunk_size: u32,
+    /// Length of the streamed payload: the full state for a full stream,
+    /// the packed dirty pages for a delta stream.
+    payload_len: u64,
+    /// State generation this stream installs at the destination.
+    generation: u64,
+    /// `Some(base)` when the stream ships a dirty-page delta against the
+    /// destination's retained generation `base`.
+    delta_base: Option<u64>,
     /// Cumulative acknowledgement: chunks `< acked` are at the
     /// destination.
     acked: u32,
@@ -371,7 +395,9 @@ struct OutgoingMigration {
     destination: MachineId,
     data: MigrationData,
     /// Bulk state accompanying the Table I payload (possibly empty).
-    state: Vec<u8>,
+    /// Shared with the chunk stream and the generation cache — never
+    /// cloned on the streaming path.
+    state: Arc<[u8]>,
     sent: bool,
     /// Present once the transfer went (or is going) down the streamed
     /// path.
@@ -382,7 +408,7 @@ impl OutgoingMigration {
     fn n_chunks(&self) -> u32 {
         self.stream
             .as_ref()
-            .map_or(0, |s| chunk_count(self.state.len() as u64, s.chunk_size))
+            .map_or(0, |s| chunk_count(s.payload_len, s.chunk_size))
     }
 }
 
@@ -392,6 +418,19 @@ struct InboundStream {
     mr_enclave: MrEnclave,
     data: MigrationData,
     assembler: ChunkAssembler,
+    /// State generation the stream installs.
+    generation: u64,
+    /// Present for a delta stream: the dirty-page manifest to apply onto
+    /// the retained base generation once the payload completes.
+    delta: Option<DeltaManifest>,
+}
+
+/// The last state generation an ME holds for an enclave measurement —
+/// recorded on both ends of every completed streamed transfer so repeat
+/// migrations can ship dirty-page deltas against it.
+struct CachedGeneration {
+    generation: u64,
+    state: Arc<[u8]>,
 }
 
 struct PendingInbound {
@@ -425,7 +464,7 @@ pub struct MigrationEnclave {
     channels_in: HashMap<MachineId, SecureChannel>,
     /// Incoming migration data (Table I payload + bulk state) stored
     /// until a matching enclave attests.
-    pending_incoming: HashMap<MrEnclave, (MigrationData, Vec<u8>, MachineId)>,
+    pending_incoming: HashMap<MrEnclave, (MigrationData, Arc<[u8]>, MachineId)>,
     /// Delivered incoming data awaiting the library's DONE.
     awaiting_done: HashMap<MrEnclave, MachineId>,
     /// Chunked transfers in reception, keyed by transfer nonce.
@@ -433,6 +472,17 @@ pub struct MigrationEnclave {
     /// Transient source-side chunk caches (chain MACs precomputed);
     /// rebuilt on demand after a restore.
     out_streams: HashMap<MrEnclave, ChunkStream>,
+    /// Transient manifests of outgoing delta streams (kept in lockstep
+    /// with `out_streams`, rebuilt by the same O(state) diff — so a
+    /// resume-to-zero re-announcement does not diff twice).
+    out_manifests: HashMap<MrEnclave, DeltaManifest>,
+    /// Last state generation held per enclave measurement (both roles:
+    /// what we last shipped out and what we last received). Persisted;
+    /// the delta base for repeat migrations.
+    state_cache: HashMap<MrEnclave, CachedGeneration>,
+    /// Per-destination adaptive chunk/window controllers. Ephemeral —
+    /// a restarted ME re-seeds them from the provisioned config.
+    links: HashMap<MachineId, AdaptiveLink>,
 }
 
 impl std::fmt::Debug for MigrationEnclave {
@@ -571,13 +621,7 @@ impl MigrationEnclave {
         // parked copy is retained until the library confirms with DONE, so
         // an ME restart between forward and confirmation loses nothing.
         let forward = if let Some((data, state, source)) = self.pending_incoming.get(&mr) {
-            let ct = channel.seal(
-                &MeToLib::IncomingMigration {
-                    data: data.clone(),
-                    state: state.clone(),
-                }
-                .to_bytes(),
-            );
+            let ct = channel.seal(&MeToLib::encode_incoming_migration(data, state));
             self.awaiting_done.insert(mr, *source);
             Some(ct)
         } else {
@@ -610,12 +654,13 @@ impl MigrationEnclave {
                 state,
             } => {
                 self.out_streams.remove(&mr);
+                self.out_manifests.remove(&mr);
                 self.outgoing.insert(
                     mr,
                     OutgoingMigration {
                         destination,
                         data,
-                        state,
+                        state: state.into(),
                         sent: false,
                         stream: None,
                     },
@@ -695,6 +740,19 @@ impl MigrationEnclave {
         };
 
         let transfer_cfg = self.config()?.transfer;
+        // Chunk size and window come from the destination link's
+        // adaptive controller (seeded from the provisioned config).
+        let (chunk_size, window) = {
+            let link = self
+                .links
+                .entry(destination)
+                .or_insert_with(|| AdaptiveLink::new(&transfer_cfg));
+            (link.chunk_size(), link.window())
+        };
+        let cached = self
+            .state_cache
+            .get(&mr)
+            .map(|c| (c.generation, Arc::clone(&c.state)));
         let mig = self.outgoing.get_mut(&mr).expect("picked above");
         let channel = self
             .channels_out
@@ -725,7 +783,7 @@ impl MigrationEnclave {
                 &MeToMe::Transfer {
                     mr_enclave: mr,
                     data: mig.data.clone(),
-                    state: mig.state.clone(),
+                    state: mig.state.to_vec(),
                 }
                 .to_bytes(),
             );
@@ -736,27 +794,63 @@ impl MigrationEnclave {
         }
 
         // Start a chunk stream: announce, then pipeline the first window.
+        // When a previous generation of this enclave's state is cached (a
+        // repeat migration), diff against it and ship only the dirty
+        // pages — unless the delta exceeds the provisioned fraction of
+        // the full state, in which case the full stream is cheaper than
+        // a delta that rewrites most pages anyway.
         let mut nonce: TransferNonce = [0; 16];
         env.random_bytes(&mut nonce);
-        let stream = ChunkStream::new(nonce, transfer_cfg.chunk_size, mig.state.clone());
-        let n_chunks = stream.n_chunks();
-        let initial = n_chunks.min(transfer_cfg.window);
-        let mut frames = vec![channel.seal(
-            &MeToMe::ChunkStart {
-                mr_enclave: mr,
-                nonce,
-                total_len: stream.total_len(),
-                chunk_size: transfer_cfg.chunk_size,
-                state_digest: stream.digest(),
-                data: mig.data.clone(),
+        let generation = cached.as_ref().map_or(0, |(g, _)| g + 1);
+        let delta = cached.and_then(|(base_generation, base_state)| {
+            let digests = PageDigests::compute(&base_state, delta::PAGE_SIZE);
+            let (manifest, payload) =
+                delta::diff(&digests, base_generation, generation, &mig.state);
+            let within_budget = manifest.payload_len().saturating_mul(100)
+                <= (mig.state.len() as u64)
+                    .saturating_mul(u64::from(transfer_cfg.max_delta_percent));
+            within_budget.then_some((manifest, payload))
+        });
+        let (stream, delta_base, start_msg) = match delta {
+            Some((manifest, payload)) => {
+                let stream = ChunkStream::new(nonce, chunk_size, payload);
+                let delta_base = manifest.base_generation;
+                let start = MeToMe::DeltaStart {
+                    mr_enclave: mr,
+                    nonce,
+                    chunk_size,
+                    payload_digest: stream.digest(),
+                    manifest: manifest.clone(),
+                    data: mig.data.clone(),
+                };
+                self.out_manifests.insert(mr, manifest);
+                (stream, Some(delta_base), start)
             }
-            .to_bytes(),
-        )];
+            None => {
+                let stream = ChunkStream::new(nonce, chunk_size, Arc::clone(&mig.state));
+                let start = MeToMe::ChunkStart {
+                    mr_enclave: mr,
+                    nonce,
+                    generation,
+                    total_len: stream.total_len(),
+                    chunk_size,
+                    state_digest: stream.digest(),
+                    data: mig.data.clone(),
+                };
+                (stream, None, start)
+            }
+        };
+        let n_chunks = stream.n_chunks();
+        let initial = n_chunks.min(window);
+        let mut frames = vec![channel.seal(&start_msg.to_bytes())];
         frames.extend(chunk_frames(&stream, channel, 0, initial));
         mig.sent = true;
         mig.stream = Some(OutgoingStream {
             nonce,
-            chunk_size: transfer_cfg.chunk_size,
+            chunk_size,
+            payload_len: stream.total_len(),
+            generation,
+            delta_base,
             acked: 0,
             next_to_send: initial,
         });
@@ -765,6 +859,37 @@ impl MigrationEnclave {
             destination,
             frames,
         })
+    }
+
+    /// Recomputes the delta payload of an outgoing delta stream from the
+    /// cached base generation (deterministic: the same diff that was
+    /// announced).
+    fn delta_payload(&self, mr: MrEnclave) -> Result<(DeltaManifest, Vec<u8>), MigError> {
+        let mig = self
+            .outgoing
+            .get(&mr)
+            .ok_or(MigError::Protocol("no retained migration data"))?;
+        let stream = mig
+            .stream
+            .as_ref()
+            .ok_or(MigError::Protocol("no stream for migration"))?;
+        let base_generation = stream
+            .delta_base
+            .ok_or(MigError::Protocol("stream is not a delta"))?;
+        let cached = self
+            .state_cache
+            .get(&mr)
+            .filter(|c| c.generation == base_generation)
+            .ok_or(MigError::Protocol("delta base generation not cached"))?;
+        let digests = PageDigests::compute(&cached.state, delta::PAGE_SIZE);
+        let (manifest, payload) =
+            delta::diff(&digests, base_generation, stream.generation, &mig.state);
+        if payload.len() as u64 != stream.payload_len {
+            return Err(MigError::Protocol(
+                "delta payload drifted from announcement",
+            ));
+        }
+        Ok((manifest, payload))
     }
 
     /// Rebuilds the transient chunk cache for `mr` after a restore.
@@ -780,11 +905,58 @@ impl MigrationEnclave {
             .stream
             .as_ref()
             .ok_or(MigError::Protocol("no stream for migration"))?;
-        self.out_streams.insert(
-            mr,
-            ChunkStream::new(stream.nonce, stream.chunk_size, mig.state.clone()),
-        );
+        let (nonce, chunk_size) = (stream.nonce, stream.chunk_size);
+        let payload: Arc<[u8]> = if stream.delta_base.is_some() {
+            let (manifest, payload) = self.delta_payload(mr)?;
+            self.out_manifests.insert(mr, manifest);
+            payload.into()
+        } else {
+            Arc::clone(&mig.state)
+        };
+        self.out_streams
+            .insert(mr, ChunkStream::new(nonce, chunk_size, payload));
         Ok(())
+    }
+
+    /// Rebuilds the announcement frame (`ChunkStart` / `DeltaStart`) of
+    /// the retained stream for `mr` — used when a resume renegotiation
+    /// rewinds to chunk 0.
+    fn rebuild_start_msg(&self, mr: MrEnclave) -> Result<MeToMe, MigError> {
+        let mig = self
+            .outgoing
+            .get(&mr)
+            .ok_or(MigError::Protocol("no retained migration data"))?;
+        let stream = mig
+            .stream
+            .as_ref()
+            .ok_or(MigError::Protocol("no stream for migration"))?;
+        let cache = self
+            .out_streams
+            .get(&mr)
+            .ok_or(MigError::Protocol("chunk cache not rebuilt"))?;
+        Ok(match stream.delta_base {
+            None => MeToMe::ChunkStart {
+                mr_enclave: mr,
+                nonce: stream.nonce,
+                generation: stream.generation,
+                total_len: cache.total_len(),
+                chunk_size: cache.chunk_size(),
+                state_digest: cache.digest(),
+                data: mig.data.clone(),
+            },
+            Some(_) => MeToMe::DeltaStart {
+                mr_enclave: mr,
+                nonce: stream.nonce,
+                chunk_size: cache.chunk_size(),
+                payload_digest: cache.digest(),
+                manifest: self
+                    .out_manifests
+                    .get(&mr)
+                    .cloned()
+                    .map_or_else(|| self.delta_payload(mr).map(|(m, _)| m), Ok)?,
+                data: mig.data.clone(),
+            },
+        })
     }
 
     fn op_ra_hello(&mut self, env: &mut EnclaveEnv<'_>, input: &[u8]) -> Result<Vec<u8>, MigError> {
@@ -917,6 +1089,17 @@ impl MigrationEnclave {
                     w.u8(1);
                     w.array(&stream.nonce);
                     w.u32(stream.chunk_size);
+                    w.u64(stream.payload_len);
+                    w.u64(stream.generation);
+                    match stream.delta_base {
+                        None => {
+                            w.u8(0);
+                        }
+                        Some(base) => {
+                            w.u8(1);
+                            w.u64(base);
+                        }
+                    }
                     w.u32(stream.acked);
                 }
             }
@@ -935,6 +1118,21 @@ impl MigrationEnclave {
             w.array(&inbound.mr_enclave.0);
             w.bytes(&inbound.data.to_bytes());
             w.bytes(&inbound.assembler.to_bytes());
+            w.u64(inbound.generation);
+            write_opt(
+                &mut w,
+                inbound
+                    .delta
+                    .as_ref()
+                    .map(DeltaManifest::to_bytes)
+                    .as_deref(),
+            );
+        }
+        w.u32(self.state_cache.len() as u32);
+        for (mr, cached) in &self.state_cache {
+            w.array(&mr.0);
+            w.u64(cached.generation);
+            w.bytes(&cached.state);
         }
         let plaintext = w.finish();
         Ok(env.seal_data(
@@ -968,10 +1166,20 @@ impl MigrationEnclave {
                 1 => {
                     let nonce: TransferNonce = r.array()?;
                     let chunk_size = r.u32()?;
+                    let payload_len = r.u64()?;
+                    let generation = r.u64()?;
+                    let delta_base = match r.u8()? {
+                        0 => None,
+                        1 => Some(r.u64()?),
+                        _ => return Err(MigError::Sgx(SgxError::Decode)),
+                    };
                     let acked = r.u32()?;
                     Some(OutgoingStream {
                         nonce,
                         chunk_size,
+                        payload_len,
+                        generation,
+                        delta_base,
                         acked,
                         // Anything past the last ack may be lost in
                         // flight; resend from there.
@@ -988,7 +1196,7 @@ impl MigrationEnclave {
                 OutgoingMigration {
                     destination,
                     data,
-                    state,
+                    state: state.into(),
                     sent: false,
                     stream,
                 },
@@ -999,7 +1207,7 @@ impl MigrationEnclave {
         for _ in 0..n_pending {
             let mr = MrEnclave(r.array()?);
             let data = MigrationData::from_bytes(r.bytes()?)?;
-            let state = r.bytes_vec()?;
+            let state: Arc<[u8]> = r.bytes_vec()?.into();
             let source = MachineId(r.u64()?);
             pending_incoming.insert(mr, (data, state, source));
         }
@@ -1011,6 +1219,11 @@ impl MigrationEnclave {
             let mr_enclave = MrEnclave(r.array()?);
             let data = MigrationData::from_bytes(r.bytes()?)?;
             let assembler = ChunkAssembler::from_bytes(r.bytes()?)?;
+            let generation = r.u64()?;
+            let delta = match read_opt(&mut r)? {
+                None => None,
+                Some(bytes) => Some(DeltaManifest::from_bytes(&bytes)?),
+            };
             inbound_streams.insert(
                 nonce,
                 InboundStream {
@@ -1018,8 +1231,18 @@ impl MigrationEnclave {
                     mr_enclave,
                     data,
                     assembler,
+                    generation,
+                    delta,
                 },
             );
+        }
+        let n_cached = r.u32()? as usize;
+        let mut state_cache = HashMap::new();
+        for _ in 0..n_cached {
+            let mr = MrEnclave(r.array()?);
+            let generation = r.u64()?;
+            let state: Arc<[u8]> = r.bytes_vec()?.into();
+            state_cache.insert(mr, CachedGeneration { generation, state });
         }
         r.finish()?;
 
@@ -1041,7 +1264,12 @@ impl MigrationEnclave {
         self.outgoing = outgoing;
         self.pending_incoming = pending_incoming;
         self.inbound_streams = inbound_streams;
+        self.state_cache = state_cache;
         self.out_streams.clear();
+        self.out_manifests.clear();
+        // Adaptive link state is ephemeral: re-seed from the provisioned
+        // config on the next stream.
+        self.links.clear();
         Ok(vec![])
     }
 
@@ -1053,15 +1281,16 @@ impl MigrationEnclave {
         source: MachineId,
         mr_enclave: MrEnclave,
         data: MigrationData,
-        state: Vec<u8>,
+        state: Arc<[u8]>,
         final_ack: Option<Vec<u8>>,
     ) -> Vec<u8> {
         // Park the data regardless; it is only dropped once the
-        // destination library confirms with DONE (crash safety).
+        // destination library confirms with DONE (crash safety). The
+        // Arc is shared with the caller and the generation cache.
         self.pending_incoming
-            .insert(mr_enclave, (data.clone(), state.clone(), source));
+            .insert(mr_enclave, (data.clone(), Arc::clone(&state), source));
         if let Some(local) = self.local_sessions.get_mut(&mr_enclave) {
-            let forward = local.seal(&MeToLib::IncomingMigration { data, state }.to_bytes());
+            let forward = local.seal(&MeToLib::encode_incoming_migration(&data, &state));
             self.awaiting_done.insert(mr_enclave, source);
             let mut w = WireWriter::new();
             w.u8(1); // forwarded
@@ -1105,10 +1334,11 @@ impl MigrationEnclave {
                 mr_enclave,
                 data,
                 state,
-            } => Ok(self.accept_incoming(source, mr_enclave, data, state, None)),
+            } => Ok(self.accept_incoming(source, mr_enclave, data, state.into(), None)),
             MeToMe::ChunkStart {
                 mr_enclave,
                 nonce,
+                generation,
                 total_len,
                 chunk_size,
                 state_digest,
@@ -1124,6 +1354,44 @@ impl MigrationEnclave {
                         mr_enclave,
                         data,
                         assembler,
+                        generation,
+                        delta: None,
+                    },
+                );
+                let mut w = WireWriter::new();
+                w.u8(3); // stream progress
+                w.array(&mr_enclave.0);
+                write_opt(&mut w, None);
+                write_opt(&mut w, None);
+                Ok(w.finish())
+            }
+            MeToMe::DeltaStart {
+                mr_enclave,
+                nonce,
+                chunk_size,
+                payload_digest,
+                manifest,
+                data,
+            } => {
+                // Accept the delta stream even when we do not hold its
+                // base generation: the payload is small by construction
+                // (the source capped it at a fraction of the full state)
+                // and NACKing *after* the last chunk keeps the channel
+                // strictly FIFO — a NACK racing in-flight chunks would
+                // let the restarted announcement overtake them on the
+                // size-ordered network and desync the channel sequence.
+                let assembler =
+                    ChunkAssembler::new(nonce, chunk_size, manifest.payload_len(), payload_digest)?;
+                let generation = manifest.new_generation;
+                self.inbound_streams.insert(
+                    nonce,
+                    InboundStream {
+                        source,
+                        mr_enclave,
+                        data,
+                        assembler,
+                        generation,
+                        delta: Some(manifest),
                     },
                 );
                 let mut w = WireWriter::new();
@@ -1150,25 +1418,74 @@ impl MigrationEnclave {
                 inbound.assembler.accept(idx, &payload, &mac)?;
                 let upto = inbound.assembler.next_idx();
                 let mr_enclave = inbound.mr_enclave;
-                let ack_msg = MeToMe::ChunkAck { nonce, upto }.to_bytes();
-                let complete = inbound.assembler.is_complete();
-                let ack = self
-                    .channels_in
-                    .get_mut(&source)
-                    .expect("checked above")
-                    .seal(&ack_msg);
-                if complete {
-                    let inbound = self.inbound_streams.remove(&nonce).expect("present above");
-                    let state = inbound.assembler.finish()?;
-                    Ok(self.accept_incoming(source, mr_enclave, inbound.data, state, Some(ack)))
-                } else {
+                if !inbound.assembler.is_complete() {
+                    let ack = self
+                        .channels_in
+                        .get_mut(&source)
+                        .expect("checked above")
+                        .seal(&MeToMe::ChunkAck { nonce, upto }.to_bytes());
                     let mut w = WireWriter::new();
                     w.u8(3); // stream progress
                     w.array(&mr_enclave.0);
                     write_opt(&mut w, None);
                     write_opt(&mut w, Some(&ack));
-                    Ok(w.finish())
+                    return Ok(w.finish());
                 }
+                let inbound = self.inbound_streams.remove(&nonce).expect("present above");
+                let payload = inbound.assembler.finish()?;
+                // A delta payload is applied onto the retained base
+                // generation (digest-verified before release); a full
+                // payload *is* the state. A delta whose base we do not
+                // hold (never seen, pruned, or a different generation)
+                // is NACKed *in place of* the final ack — the source
+                // restarts as a full stream with no frames left in
+                // flight to race the restarted announcement.
+                let state: Arc<[u8]> = match &inbound.delta {
+                    Some(manifest) => {
+                        // The base is content-addressed: generation
+                        // number AND whole-state digest must match our
+                        // retained copy (generations renumber after a
+                        // fallback reset, so the number alone is not
+                        // identity).
+                        let base = self.state_cache.get(&mr_enclave).filter(|c| {
+                            c.generation == manifest.base_generation
+                                && c.state.len() as u64 == manifest.base_len
+                                && mig_crypto::sha256::sha256(&c.state) == manifest.base_digest
+                        });
+                        match base {
+                            Some(base) => delta::apply(&base.state, manifest, &payload)?.into(),
+                            None => {
+                                let nack = self
+                                    .channels_in
+                                    .get_mut(&source)
+                                    .expect("checked above")
+                                    .seal(&MeToMe::DeltaNack { mr_enclave, nonce }.to_bytes());
+                                let mut w = WireWriter::new();
+                                w.u8(3); // stream progress
+                                w.array(&mr_enclave.0);
+                                write_opt(&mut w, None);
+                                write_opt(&mut w, Some(&nack));
+                                return Ok(w.finish());
+                            }
+                        }
+                    }
+                    None => payload.into(),
+                };
+                // Both ends retain the installed generation as the next
+                // repeat migration's delta base.
+                self.state_cache.insert(
+                    mr_enclave,
+                    CachedGeneration {
+                        generation: inbound.generation,
+                        state: Arc::clone(&state),
+                    },
+                );
+                let ack = self
+                    .channels_in
+                    .get_mut(&source)
+                    .expect("checked above")
+                    .seal(&MeToMe::ChunkAck { nonce, upto }.to_bytes());
+                Ok(self.accept_incoming(source, mr_enclave, inbound.data, state, Some(ack)))
             }
             MeToMe::ResumeRequest { mr_enclave, nonce } => {
                 // Three cases: mid-stream partial (resume from next
@@ -1243,13 +1560,28 @@ impl MigrationEnclave {
     ) -> Result<(MrEnclave, Vec<Vec<u8>>), MigError> {
         let mr = self.outgoing_by_nonce(&nonce)?;
         self.ensure_out_stream(mr)?;
-        let window = self.config()?.transfer.window;
+        // Feed the adaptive controller: a cumulative ack is the healthy
+        // signal that grows the window; a resume renegotiation is the
+        // disruption that shrinks chunk size for *future* streams (the
+        // current stream keeps its announced geometry).
+        let transfer_cfg = self.config()?.transfer;
+        let window = {
+            let link = self
+                .links
+                .entry(destination)
+                .or_insert_with(|| AdaptiveLink::new(&transfer_cfg));
+            if resume {
+                link.on_disruption();
+            } else {
+                link.on_clean_ack();
+            }
+            link.window()
+        };
         let mig = self.outgoing.get_mut(&mr).expect("found above");
         let n_chunks = mig.n_chunks();
         if upto > n_chunks {
             return Err(MigError::Protocol("ack/resume beyond stream end"));
         }
-        let data = mig.data.clone();
         let stream = mig.stream.as_mut().expect("stream checked above");
         if resume {
             // Anything past the negotiated point may be lost; rewind.
@@ -1264,26 +1596,21 @@ impl MigrationEnclave {
         let upto_send = n_chunks.min(stream.acked + window).max(from);
         stream.next_to_send = upto_send;
 
+        let start_msg = if resume && upto == 0 {
+            // Rewind to the very beginning: re-announce the stream
+            // (ChunkStart or DeltaStart, whichever it was).
+            Some(self.rebuild_start_msg(mr)?)
+        } else {
+            None
+        };
         let cache = self.out_streams.get(&mr).expect("ensured above");
         let channel = self
             .channels_out
             .get_mut(&destination)
             .ok_or(MigError::Protocol("no channel to destination"))?;
         let mut frames = Vec::new();
-        if resume && upto == 0 {
-            frames.push(
-                channel.seal(
-                    &MeToMe::ChunkStart {
-                        mr_enclave: mr,
-                        nonce,
-                        total_len: cache.total_len(),
-                        chunk_size: cache.chunk_size(),
-                        state_digest: cache.digest(),
-                        data,
-                    }
-                    .to_bytes(),
-                ),
-            );
+        if let Some(msg) = start_msg {
+            frames.push(channel.seal(&msg.to_bytes()));
         }
         frames.extend(chunk_frames(cache, channel, from, upto_send));
         Ok((mr, frames))
@@ -1316,6 +1643,7 @@ impl MigrationEnclave {
                 // Safe to delete the retained migration data (Fig. 2).
                 self.outgoing.remove(&mr_enclave);
                 self.out_streams.remove(&mr_enclave);
+                self.out_manifests.remove(&mr_enclave);
                 // Tell the (frozen) source library, if still attested.
                 let complete = self
                     .local_sessions
@@ -1341,8 +1669,21 @@ impl MigrationEnclave {
                         .map_or(0, OutgoingMigration::n_chunks)
                 {
                     // Final cumulative ack: the stream is fully at the
-                    // destination (retained until Delivered); the channel
-                    // can start the next queued migration.
+                    // destination (retained until Delivered). Record the
+                    // shipped generation as the delta base for the next
+                    // repeat migration, then let the channel start the
+                    // next queued migration.
+                    if let Some(mig) = self.outgoing.get(&mr) {
+                        if let Some(stream) = &mig.stream {
+                            self.state_cache.insert(
+                                mr,
+                                CachedGeneration {
+                                    generation: stream.generation,
+                                    state: Arc::clone(&mig.state),
+                                },
+                            );
+                        }
+                    }
                     frames.extend(Self::action_frames(
                         self.dispatch_outgoing(env, destination)?,
                     ));
@@ -1353,6 +1694,26 @@ impl MigrationEnclave {
                 // The destination told us where to pick the stream back
                 // up after a crash (0 restarts, announcement included).
                 let (mr, frames) = self.advance_stream(destination, nonce, from_idx, true)?;
+                Ok(Self::ack_output(3, mr, None, &frames))
+            }
+            MeToMe::DeltaNack { mr_enclave, nonce } => {
+                // The destination does not hold our delta base: drop the
+                // stale cache entry and the delta stream, then restart
+                // the transfer as a full stream over the same channel.
+                let mr = self.outgoing_by_nonce(&nonce)?;
+                if mr != mr_enclave {
+                    return Err(MigError::Protocol("delta nack for wrong enclave"));
+                }
+                self.state_cache.remove(&mr);
+                self.out_streams.remove(&mr);
+                self.out_manifests.remove(&mr);
+                let mig = self
+                    .outgoing
+                    .get_mut(&mr)
+                    .ok_or(MigError::Protocol("no retained migration data"))?;
+                mig.sent = false;
+                mig.stream = None;
+                let frames = Self::action_frames(self.dispatch_outgoing(env, destination)?);
                 Ok(Self::ack_output(3, mr, None, &frames))
             }
             _ => Err(MigError::Protocol("unexpected message on ack path")),
@@ -1371,6 +1732,9 @@ impl MigrationEnclave {
                     w.u32(stream.acked);
                     w.u32(mig.n_chunks());
                     w.u64(mig.state.len() as u64);
+                    w.u64(stream.payload_len);
+                    w.u8(u8::from(stream.delta_base.is_some()));
+                    w.u32(stream.chunk_size);
                 }
                 None => {
                     w.u8(2); // retained, not streamed
@@ -1379,6 +1743,24 @@ impl MigrationEnclave {
             },
             None => {
                 w.u8(0); // nothing retained
+            }
+        }
+        Ok(w.finish())
+    }
+
+    fn op_link_stat(&self, input: &[u8]) -> Result<Vec<u8>, MigError> {
+        let mut r = WireReader::new(input);
+        let destination = MachineId(r.u64()?);
+        r.finish()?;
+        let mut w = WireWriter::new();
+        match self.links.get(&destination) {
+            Some(link) => {
+                w.u8(1);
+                w.u32(link.chunk_size());
+                w.u32(link.window());
+            }
+            None => {
+                w.u8(0);
             }
         }
         Ok(w.finish())
@@ -1407,6 +1789,7 @@ impl EnclaveCode for MigrationEnclave {
             ops::PERSIST => self.op_persist(env),
             ops::RESTORE => self.op_restore(env, input),
             ops::STREAM_STAT => self.op_stream_stat(input),
+            ops::LINK_STAT => self.op_link_stat(input),
             _ => Err(MigError::Protocol("unknown opcode")),
         };
         result.map_err(SgxError::from)

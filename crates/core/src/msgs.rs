@@ -12,17 +12,22 @@
 //!
 //! Beyond the paper's single-shot `Transfer`, the ME↔ME family carries
 //! the streaming state-transfer protocol of [`crate::transfer`]:
-//! [`MeToMe::ChunkStart`] announces a chunked transfer (geometry, whole-
-//! payload digest, and the Table I control data), [`MeToMe::Chunk`]
-//! carries one HMAC-chained chunk, [`MeToMe::ChunkAck`] cumulatively
-//! acknowledges received chunks (driving the source's send window), and
-//! [`MeToMe::ResumeRequest`] / [`MeToMe::Resume`] renegotiate the resume
-//! point after a crash. `Chunk` messages are padded to a uniform wire
-//! size so equal-length ciphertexts keep FIFO ordering on the simulated
-//! network.
+//! [`MeToMe::ChunkStart`] announces a full chunked transfer (geometry,
+//! whole-payload digest, generation number, and the Table I control
+//! data), [`MeToMe::DeltaStart`] announces a dirty-page *delta* stream
+//! (chunk geometry plus the [`DeltaManifest`] naming the base generation
+//! and changed pages), [`MeToMe::Chunk`] carries one HMAC-chained chunk,
+//! [`MeToMe::ChunkAck`] cumulatively acknowledges received chunks
+//! (driving the source's send window), [`MeToMe::ResumeRequest`] /
+//! [`MeToMe::Resume`] renegotiate the resume point after a crash, and
+//! [`MeToMe::DeltaNack`] tells a source whose delta base the destination
+//! does not hold to fall back to a full stream. `Chunk` messages are
+//! padded to a uniform wire size so equal-length ciphertexts keep FIFO
+//! ordering on the simulated network.
 
 use crate::library::state::MigrationData;
 use crate::transfer::chunker::{ChunkMac, TransferNonce};
+use crate::transfer::delta::DeltaManifest;
 
 /// Zero padding appended to `ResumeRequest` so its ciphertext is larger
 /// than any `RA_FINISH` frame (see encode comment).
@@ -119,6 +124,19 @@ pub enum MeToLib {
 }
 
 impl MeToLib {
+    /// Serializes a [`MeToLib::IncomingMigration`] directly from a
+    /// borrowed state slice (zero-copy forwarding of multi-megabyte bulk
+    /// state out of the ME's retained `Arc`). Byte-identical to encoding
+    /// the enum variant.
+    #[must_use]
+    pub fn encode_incoming_migration(data: &MigrationData, state: &[u8]) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u8(1);
+        w.bytes(&data.to_bytes());
+        w.bytes(state);
+        w.finish()
+    }
+
     /// Serializes the message (channel plaintext).
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
@@ -187,12 +205,15 @@ pub enum MeToMe {
         /// MRENCLAVE of the migrating enclave.
         mr_enclave: MrEnclave,
     },
-    /// Source → destination: announces a chunked state transfer.
+    /// Source → destination: announces a chunked full-state transfer.
     ChunkStart {
         /// MRENCLAVE of the migrating enclave.
         mr_enclave: MrEnclave,
         /// Per-transfer nonce (keys the chunk HMAC chain).
         nonce: TransferNonce,
+        /// State generation this stream installs (the delta base for a
+        /// later repeat migration).
+        generation: u64,
         /// Total bulk-state length in bytes.
         total_len: u64,
         /// Chunk size used by the sender.
@@ -201,6 +222,33 @@ pub enum MeToMe {
         state_digest: [u8; 32],
         /// The Table I control payload (travels with the announcement).
         data: MigrationData,
+    },
+    /// Source → destination: announces a chunked dirty-page **delta**
+    /// stream. The chunked payload is the packed dirty pages described by
+    /// `manifest`; the destination applies them onto its retained copy of
+    /// `manifest.base_generation` and verifies `manifest.new_digest`.
+    DeltaStart {
+        /// MRENCLAVE of the migrating enclave.
+        mr_enclave: MrEnclave,
+        /// Per-transfer nonce (keys the chunk HMAC chain).
+        nonce: TransferNonce,
+        /// Chunk size used by the sender.
+        chunk_size: u32,
+        /// SHA-256 digest of the packed delta payload (what the chunk
+        /// assembler checks on completion).
+        payload_digest: [u8; 32],
+        /// Which pages changed, against which base generation.
+        manifest: DeltaManifest,
+        /// The Table I control payload (travels with the announcement).
+        data: MigrationData,
+    },
+    /// Destination → source: the delta base named by a `DeltaStart` is
+    /// not held here — restart the transfer as a full stream.
+    DeltaNack {
+        /// MRENCLAVE of the migrating enclave.
+        mr_enclave: MrEnclave,
+        /// The rejected delta transfer.
+        nonce: TransferNonce,
     },
     /// Source → destination: one chunk of the announced transfer.
     Chunk {
@@ -244,6 +292,28 @@ pub enum MeToMe {
 }
 
 impl MeToMe {
+    /// Serializes a [`MeToMe::Chunk`] directly from a borrowed payload
+    /// slice — the streaming hot path, avoiding the intermediate
+    /// per-chunk `Vec` a message-struct round trip would allocate. The
+    /// output is byte-identical to encoding the enum variant.
+    #[must_use]
+    pub fn encode_chunk(
+        nonce: &TransferNonce,
+        idx: u32,
+        payload: &[u8],
+        mac: &ChunkMac,
+        pad: u32,
+    ) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u8(5);
+        w.array(nonce);
+        w.u32(idx);
+        w.bytes(payload);
+        w.array(mac);
+        w.bytes(&vec![0u8; pad as usize]);
+        w.finish()
+    }
+
     /// Serializes the message (channel plaintext).
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
@@ -270,6 +340,7 @@ impl MeToMe {
             MeToMe::ChunkStart {
                 mr_enclave,
                 nonce,
+                generation,
                 total_len,
                 chunk_size,
                 state_digest,
@@ -278,6 +349,7 @@ impl MeToMe {
                 w.u8(4);
                 w.array(&mr_enclave.0);
                 w.array(nonce);
+                w.u64(*generation);
                 w.u64(*total_len);
                 w.u32(*chunk_size);
                 w.array(state_digest);
@@ -290,12 +362,28 @@ impl MeToMe {
                 mac,
                 pad,
             } => {
-                w.u8(5);
+                return Self::encode_chunk(nonce, *idx, payload, mac, *pad);
+            }
+            MeToMe::DeltaStart {
+                mr_enclave,
+                nonce,
+                chunk_size,
+                payload_digest,
+                manifest,
+                data,
+            } => {
+                w.u8(9);
+                w.array(&mr_enclave.0);
                 w.array(nonce);
-                w.u32(*idx);
-                w.bytes(payload);
-                w.array(mac);
-                w.bytes(&vec![0u8; *pad as usize]);
+                w.u32(*chunk_size);
+                w.array(payload_digest);
+                w.bytes(&manifest.to_bytes());
+                w.bytes(&data.to_bytes());
+            }
+            MeToMe::DeltaNack { mr_enclave, nonce } => {
+                w.u8(10);
+                w.array(&mr_enclave.0);
+                w.array(nonce);
             }
             MeToMe::ChunkAck { nonce, upto } => {
                 w.u8(6);
@@ -343,6 +431,7 @@ impl MeToMe {
             4 => MeToMe::ChunkStart {
                 mr_enclave: MrEnclave(r.array()?),
                 nonce: r.array()?,
+                generation: r.u64()?,
                 total_len: r.u64()?,
                 chunk_size: r.u32()?,
                 state_digest: r.array()?,
@@ -370,6 +459,18 @@ impl MeToMe {
             8 => MeToMe::Resume {
                 nonce: r.array()?,
                 from_idx: r.u32()?,
+            },
+            9 => MeToMe::DeltaStart {
+                mr_enclave: MrEnclave(r.array()?),
+                nonce: r.array()?,
+                chunk_size: r.u32()?,
+                payload_digest: r.array()?,
+                manifest: DeltaManifest::from_bytes(r.bytes()?)?,
+                data: MigrationData::from_bytes(r.bytes()?)?,
+            },
+            10 => MeToMe::DeltaNack {
+                mr_enclave: MrEnclave(r.array()?),
+                nonce: r.array()?,
             },
             _ => return Err(SgxError::Decode),
         };
@@ -445,10 +546,32 @@ mod tests {
             MeToMe::ChunkStart {
                 mr_enclave: MrEnclave([5; 32]),
                 nonce: [8; 16],
+                generation: 3,
                 total_len: 1_000_000,
                 chunk_size: 4096,
                 state_digest: [9; 32],
                 data: data(),
+            },
+            MeToMe::DeltaStart {
+                mr_enclave: MrEnclave([5; 32]),
+                nonce: [8; 16],
+                chunk_size: 4096,
+                payload_digest: [7; 32],
+                manifest: crate::transfer::delta::DeltaManifest {
+                    base_generation: 3,
+                    new_generation: 4,
+                    page_size: 4096,
+                    base_len: 1_000_000,
+                    new_len: 1_000_000,
+                    base_digest: [5; 32],
+                    new_digest: [6; 32],
+                    dirty: vec![0, 5, 9],
+                },
+                data: data(),
+            },
+            MeToMe::DeltaNack {
+                mr_enclave: MrEnclave([5; 32]),
+                nonce: [8; 16],
             },
             MeToMe::Chunk {
                 nonce: [8; 16],
@@ -494,6 +617,29 @@ mod tests {
             pad: 67,
         };
         assert_eq!(full.to_bytes().len(), tail.to_bytes().len());
+    }
+
+    #[test]
+    fn borrowed_encoders_match_variant_encoding() {
+        let chunk = MeToMe::Chunk {
+            nonce: [1; 16],
+            idx: 3,
+            payload: vec![9; 50],
+            mac: [2; 32],
+            pad: 14,
+        };
+        assert_eq!(
+            chunk.to_bytes(),
+            MeToMe::encode_chunk(&[1; 16], 3, &[9; 50], &[2; 32], 14)
+        );
+        let incoming = MeToLib::IncomingMigration {
+            data: data(),
+            state: b"bulk".to_vec(),
+        };
+        assert_eq!(
+            incoming.to_bytes(),
+            MeToLib::encode_incoming_migration(&data(), b"bulk")
+        );
     }
 
     #[test]

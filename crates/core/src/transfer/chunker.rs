@@ -17,6 +17,7 @@ use mig_crypto::ct::ct_eq;
 use mig_crypto::hmac::HmacSha256;
 use mig_crypto::sha256::sha256;
 use sgx_sim::wire::{WireReader, WireWriter};
+use std::sync::Arc;
 
 /// A per-transfer nonce (secret inside the attested channel).
 pub type TransferNonce = [u8; 16];
@@ -55,10 +56,15 @@ fn chunk_mac(key: &[u8; 32], prev: &ChunkMac, idx: u32, payload: &[u8]) -> Chunk
 }
 
 /// Source side: a payload split into chunks with precomputed chain MACs.
+///
+/// The payload is held behind an `Arc<[u8]>` so callers (the Migration
+/// Enclave's retained state, delta payloads) share one allocation with
+/// the stream instead of cloning megabytes; [`ChunkStream::chunk`] hands
+/// out borrowed slices.
 pub struct ChunkStream {
     nonce: TransferNonce,
     chunk_size: u32,
-    payload: Vec<u8>,
+    payload: Arc<[u8]>,
     macs: Vec<ChunkMac>,
     digest: [u8; 32],
 }
@@ -75,7 +81,9 @@ impl std::fmt::Debug for ChunkStream {
 
 impl ChunkStream {
     /// Prepares `payload` for streaming under `nonce` with the given
-    /// chunk size (one pass to MAC-chain, one to digest).
+    /// chunk size (one pass to MAC-chain, one to digest). Accepts any
+    /// `Arc<[u8]>`-convertible payload; passing an existing `Arc` is
+    /// zero-copy.
     ///
     /// # Panics
     ///
@@ -83,7 +91,8 @@ impl ChunkStream {
     /// — caller invariants, enforced by [`super::TransferConfig`]
     /// validation and the Migration Library.
     #[must_use]
-    pub fn new(nonce: TransferNonce, chunk_size: u32, payload: Vec<u8>) -> Self {
+    pub fn new(nonce: TransferNonce, chunk_size: u32, payload: impl Into<Arc<[u8]>>) -> Self {
+        let payload: Arc<[u8]> = payload.into();
         assert!(chunk_size > 0, "zero chunk size");
         assert!(
             payload.len() as u64 <= MAX_STREAM_LEN,

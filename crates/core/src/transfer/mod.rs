@@ -24,16 +24,27 @@
 //!   next index it needs so a resumed sender can continue from the last
 //!   acknowledged chunk.
 //!
-//! The wire messages (`ChunkStart` / `Chunk` / `ChunkAck` / `Resume` /
-//! `ResumeRequest`) live in [`crate::msgs::MeToMe`]; the Migration
-//! Enclave ([`crate::me`]) drives the engine with windowed, pipelined
-//! sends over the existing attested [`crate::secure_channel`]. State at
-//! or below [`TransferConfig::stream_threshold`] still travels in the
-//! original single-shot `Transfer` message (the small-state fast path).
+//! * [`delta`] — dirty-page delta checkpoints: per-page digest tables,
+//!   a compact [`delta::DeltaManifest`], and `diff`/`apply` so a repeat
+//!   migration ships only the pages that changed since the generation
+//!   the destination already holds, falling back to a full stream when
+//!   the base is missing or the delta is too large a fraction of the
+//!   state ([`TransferConfig::max_delta_percent`]).
+//!
+//! The wire messages (`ChunkStart` / `DeltaStart` / `Chunk` / `ChunkAck`
+//! / `Resume` / `ResumeRequest` / `DeltaNack`) live in
+//! [`crate::msgs::MeToMe`]; the Migration Enclave ([`crate::me`]) drives
+//! the engine with windowed, pipelined sends over the existing attested
+//! [`crate::secure_channel`], sizing chunks and windows through the
+//! per-destination [`AdaptiveLink`] controller. State at or below
+//! [`TransferConfig::stream_threshold`] still travels in the original
+//! single-shot `Transfer` message (the small-state fast path).
 
 pub mod checkpoint;
 pub mod chunker;
+pub mod delta;
 
+use cloud_sim::network::LinkProfile;
 use sgx_sim::wire::{WireReader, WireWriter};
 use sgx_sim::SgxError;
 
@@ -43,24 +54,40 @@ pub const DEFAULT_STREAM_THRESHOLD: u32 = 64 * 1024;
 pub const DEFAULT_CHUNK_SIZE: u32 = 256 * 1024;
 /// Default send window (chunks in flight before the first ack).
 pub const DEFAULT_WINDOW: u32 = 8;
+/// Default ceiling the adaptive controller may grow the window to.
+pub const DEFAULT_MAX_WINDOW: u32 = 32;
+/// Default largest delta payload, in percent of the full state, still
+/// shipped as a delta (larger deltas fall back to a full stream).
+pub const DEFAULT_MAX_DELTA_PERCENT: u32 = 50;
 /// Minimum accepted chunk size. Keeps every chunk ciphertext larger
 /// than the RA handshake-finish frame, so chunks sent in the same step
 /// as the finish cannot overtake it on the size-ordered simulated
-/// network.
+/// network. Also the floor the adaptive controller shrinks to.
 pub const MIN_CHUNK_SIZE: u32 = 4096;
+/// Largest chunk size [`TransferConfig::for_link`] will derive.
+pub const MAX_CHUNK_SIZE: u32 = 4 * 1024 * 1024;
 
 /// Tuning knobs of the streaming state transfer, provisioned into each
-/// Migration Enclave alongside the migration policy.
+/// Migration Enclave alongside the migration policy. `chunk_size` and
+/// `window` seed the per-destination [`AdaptiveLink`] controller; the
+/// live values drift from there with the observed link behaviour.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TransferConfig {
     /// State payloads strictly larger than this (bytes) use the
     /// chunked streaming path; smaller ones ride the single-shot
     /// `Transfer` message.
     pub stream_threshold: u32,
-    /// Bytes per chunk.
+    /// Bytes per chunk (initial; adapts downward on disruptions).
     pub chunk_size: u32,
-    /// Maximum unacknowledged chunks in flight (pipelined sending).
+    /// Maximum unacknowledged chunks in flight (initial; adapts upward
+    /// on clean acks).
     pub window: u32,
+    /// Ceiling for the adaptive window growth.
+    pub max_window: u32,
+    /// Largest delta payload, in percent of the full state size, still
+    /// worth shipping as a dirty-page delta; anything larger streams the
+    /// full state.
+    pub max_delta_percent: u32,
 }
 
 impl Default for TransferConfig {
@@ -69,16 +96,42 @@ impl Default for TransferConfig {
             stream_threshold: DEFAULT_STREAM_THRESHOLD,
             chunk_size: DEFAULT_CHUNK_SIZE,
             window: DEFAULT_WINDOW,
+            max_window: DEFAULT_MAX_WINDOW,
+            max_delta_percent: DEFAULT_MAX_DELTA_PERCENT,
         }
     }
 }
 
 impl TransferConfig {
+    /// Derives a config from an observed link profile: the chunk size
+    /// approximates the link's bandwidth-delay product (rounded to a
+    /// power of two within `[MIN_CHUNK_SIZE, MAX_CHUNK_SIZE]`) and the
+    /// initial window keeps roughly four BDPs in flight.
+    #[must_use]
+    pub fn for_link(link: &LinkProfile) -> Self {
+        let bdp = (u128::from(link.bandwidth_bytes_per_sec) * 2 * link.latency.as_micros()
+            / 1_000_000)
+            .max(1) as u64;
+        let chunk_size =
+            bdp.next_power_of_two()
+                .clamp(u64::from(MIN_CHUNK_SIZE), u64::from(MAX_CHUNK_SIZE)) as u32;
+        let window = ((4 * bdp).div_ceil(u64::from(chunk_size)))
+            .clamp(2, u64::from(DEFAULT_MAX_WINDOW)) as u32;
+        TransferConfig {
+            chunk_size,
+            window,
+            max_window: DEFAULT_MAX_WINDOW.max(window),
+            ..TransferConfig::default()
+        }
+    }
+
     /// Serializes the config (PROVISION payload suffix).
     pub fn encode(&self, w: &mut WireWriter) {
         w.u32(self.stream_threshold);
         w.u32(self.chunk_size);
         w.u32(self.window);
+        w.u32(self.max_window);
+        w.u32(self.max_delta_percent);
     }
 
     /// Parses a config, rejecting degenerate geometry.
@@ -86,17 +139,80 @@ impl TransferConfig {
     /// # Errors
     ///
     /// [`SgxError::Decode`] on malformed input, a chunk size below
-    /// [`MIN_CHUNK_SIZE`], or a zero window.
+    /// [`MIN_CHUNK_SIZE`], a zero window, a window ceiling below the
+    /// initial window, or a delta fraction above 100 %.
     pub fn decode(r: &mut WireReader<'_>) -> Result<Self, SgxError> {
         let config = TransferConfig {
             stream_threshold: r.u32()?,
             chunk_size: r.u32()?,
             window: r.u32()?,
+            max_window: r.u32()?,
+            max_delta_percent: r.u32()?,
         };
-        if config.chunk_size < MIN_CHUNK_SIZE || config.window == 0 {
+        if config.chunk_size < MIN_CHUNK_SIZE
+            || config.window == 0
+            || config.max_window < config.window
+            || config.max_delta_percent > 100
+        {
             return Err(SgxError::Decode);
         }
         Ok(config)
+    }
+}
+
+/// Per-destination adaptive chunk/window controller.
+///
+/// Seeded from the provisioned [`TransferConfig`], then driven by the
+/// observed link behaviour: every clean cumulative ack grows the send
+/// window by one (up to [`TransferConfig::max_window`]) — additive
+/// increase keeps the pipe filling on a healthy link — and every
+/// disruption (a `Resume` renegotiation after a crash or loss) halves
+/// the chunk size (floor [`MIN_CHUNK_SIZE`]) and resets the window to
+/// the provisioned base, so a flaky link retransmits less per loss.
+/// New streams pick up the controller's current values; a mid-flight
+/// stream keeps the geometry it was announced with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdaptiveLink {
+    base_window: u32,
+    max_window: u32,
+    chunk_size: u32,
+    window: u32,
+}
+
+impl AdaptiveLink {
+    /// Seeds a controller from the provisioned config.
+    #[must_use]
+    pub fn new(config: &TransferConfig) -> Self {
+        AdaptiveLink {
+            base_window: config.window,
+            max_window: config.max_window.max(config.window),
+            chunk_size: config.chunk_size.max(MIN_CHUNK_SIZE),
+            window: config.window,
+        }
+    }
+
+    /// Chunk size the next stream to this destination will use.
+    #[must_use]
+    pub fn chunk_size(&self) -> u32 {
+        self.chunk_size
+    }
+
+    /// Current send window (chunks in flight).
+    #[must_use]
+    pub fn window(&self) -> u32 {
+        self.window
+    }
+
+    /// A cumulative ack arrived in order: grow the window additively.
+    pub fn on_clean_ack(&mut self) {
+        self.window = (self.window + 1).min(self.max_window);
+    }
+
+    /// The stream was disrupted (resume renegotiation): shrink the chunk
+    /// size and fall back to the provisioned window.
+    pub fn on_disruption(&mut self) {
+        self.chunk_size = (self.chunk_size / 2).max(MIN_CHUNK_SIZE);
+        self.window = self.base_window;
     }
 }
 
@@ -110,6 +226,8 @@ mod tests {
             stream_threshold: 1024,
             chunk_size: MIN_CHUNK_SIZE,
             window: 3,
+            max_window: 24,
+            max_delta_percent: 10,
         };
         let mut w = WireWriter::new();
         config.encode(&mut w);
@@ -121,17 +239,64 @@ mod tests {
 
     #[test]
     fn degenerate_config_rejected() {
-        for (chunk_size, window) in [(0u32, 1u32), (MIN_CHUNK_SIZE - 1, 1), (MIN_CHUNK_SIZE, 0)] {
+        let cases = [
+            (0u32, 1u32, 8u32, 50u32),
+            (MIN_CHUNK_SIZE - 1, 1, 8, 50),
+            (MIN_CHUNK_SIZE, 0, 8, 50),
+            (MIN_CHUNK_SIZE, 4, 3, 50),  // ceiling below initial window
+            (MIN_CHUNK_SIZE, 4, 8, 101), // delta fraction above 100 %
+        ];
+        for (chunk_size, window, max_window, max_delta_percent) in cases {
             let mut w = WireWriter::new();
             TransferConfig {
                 stream_threshold: 0,
                 chunk_size,
                 window,
+                max_window,
+                max_delta_percent,
             }
             .encode(&mut w);
             let buf = w.finish();
             let mut r = WireReader::new(&buf);
             assert!(TransferConfig::decode(&mut r).is_err());
         }
+    }
+
+    #[test]
+    fn link_profile_derivation_is_sane() {
+        let dc = TransferConfig::for_link(&LinkProfile::datacenter());
+        assert!(dc.chunk_size >= MIN_CHUNK_SIZE && dc.chunk_size <= MAX_CHUNK_SIZE);
+        assert!(dc.chunk_size.is_power_of_two());
+        assert!(dc.window >= 2 && dc.window <= dc.max_window);
+        // A faster link gets at least as large a chunk size.
+        let local = TransferConfig::for_link(&LinkProfile::local());
+        assert!(local.chunk_size >= MIN_CHUNK_SIZE);
+    }
+
+    #[test]
+    fn adaptive_link_grows_on_acks_and_shrinks_on_disruption() {
+        let config = TransferConfig {
+            chunk_size: 64 * 1024,
+            window: 2,
+            max_window: 5,
+            ..TransferConfig::default()
+        };
+        let mut link = AdaptiveLink::new(&config);
+        assert_eq!((link.chunk_size(), link.window()), (64 * 1024, 2));
+        for _ in 0..10 {
+            link.on_clean_ack();
+        }
+        assert_eq!(link.window(), 5, "window capped at max_window");
+        link.on_disruption();
+        assert_eq!(link.chunk_size(), 32 * 1024, "chunk size halves");
+        assert_eq!(link.window(), 2, "window resets to provisioned base");
+        for _ in 0..20 {
+            link.on_disruption();
+        }
+        assert_eq!(
+            link.chunk_size(),
+            MIN_CHUNK_SIZE,
+            "floored at MIN_CHUNK_SIZE"
+        );
     }
 }

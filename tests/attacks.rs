@@ -647,6 +647,7 @@ fn chunk_replay_and_reorder_attacks_blocked() {
         stream_threshold: 4096,
         chunk_size: 64 * 1024,
         window: 4,
+        ..TransferConfig::default()
     };
     let mut dc = Datacenter::new(110);
     let policy = MigrationPolicy::same_operator_only();
@@ -765,4 +766,101 @@ fn chunk_replay_and_reorder_attacks_blocked() {
     // The genuine sequence still verifies afterwards.
     asm.accept(0, a0, &a0_mac).unwrap();
     asm.accept(1, a1, &a1_mac).unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Delta transfer: tampered-manifest attacks
+// ---------------------------------------------------------------------
+
+/// A tampered dirty-page delta manifest is rejected *before any page is
+/// applied*: out-of-range indices, reordered/duplicated indices, payload
+/// truncation, a wrong base, and a flipped whole-state digest all fail
+/// `delta::apply`, and a malformed wire encoding never parses (or
+/// panics). The destination never installs a state reconstructed from a
+/// manipulated manifest.
+#[test]
+fn tampered_delta_manifest_rejected_before_any_page_applied() {
+    use mig_core::error::MigError;
+    use mig_core::transfer::delta::{self, DeltaManifest, PageDigests};
+
+    let base: Vec<u8> = (0..64 * 1024).map(|i| (i % 251) as u8).collect();
+    let mut new = base.clone();
+    new[4096 * 3] ^= 0x5A; // page 3
+    new[4096 * 9 + 17] ^= 0x11; // page 9
+    let digests = PageDigests::compute(&base, delta::PAGE_SIZE);
+    let (manifest, payload) = delta::diff(&digests, 0, 1, &new);
+    assert_eq!(manifest.dirty, vec![3, 9]);
+    // The genuine delta applies.
+    assert_eq!(delta::apply(&base, &manifest, &payload).unwrap(), new);
+
+    let expect_rejected = |m: &DeltaManifest, payload: &[u8]| {
+        assert!(
+            matches!(delta::apply(&base, m, payload), Err(MigError::Transfer(_))),
+            "tampered manifest must be rejected"
+        );
+    };
+
+    // Redirect a dirty page out of range.
+    let mut m = manifest.clone();
+    m.dirty = vec![3, 4096];
+    expect_rejected(&m, &payload);
+    // Reorder the dirty list (apply would misplace pages).
+    let mut m = manifest.clone();
+    m.dirty = vec![9, 3];
+    expect_rejected(&m, &payload);
+    // Duplicate an index (double-consume the payload).
+    let mut m = manifest.clone();
+    m.dirty = vec![3, 3];
+    expect_rejected(&m, &payload);
+    // Drop a page from the manifest (payload length mismatch).
+    let mut m = manifest.clone();
+    m.dirty = vec![3];
+    expect_rejected(&m, &payload);
+    // Truncate the payload itself.
+    expect_rejected(&manifest, &payload[..payload.len() - 1]);
+    // Claim a different base length (apply onto the wrong snapshot).
+    let mut m = manifest.clone();
+    m.base_len -= 1;
+    expect_rejected(&m, &payload);
+    // Redirect the delta onto a different base (content mismatch).
+    let mut m = manifest.clone();
+    m.base_digest[0] ^= 1;
+    expect_rejected(&m, &payload);
+    // Flip the whole-state digest: reconstruction happens but the result
+    // is discarded, never installed.
+    let mut m = manifest.clone();
+    m.new_digest[0] ^= 1;
+    expect_rejected(&m, &payload);
+    // Claim page 9 is clean while keeping its payload length: the digest
+    // over the reconstruction catches the page-content swap.
+    let mut m = manifest.clone();
+    m.dirty = vec![3, 10];
+    expect_rejected(&m, &payload);
+
+    // Wire level: truncations never parse (or panic), and any bit-flipped
+    // encoding that still parses and applies can only ever produce a
+    // state hashing to the digest the manifest itself commits to — so
+    // with the genuine digest, only the genuine state installs. (Flips
+    // in the generation fields are caught one layer up, where the ME
+    // matches them against its retained cache.)
+    let bytes = manifest.to_bytes();
+    for cut in 1..bytes.len() {
+        assert!(DeltaManifest::from_bytes(&bytes[..bytes.len() - cut]).is_err());
+    }
+    for i in 0..bytes.len() {
+        let mut evil = bytes.clone();
+        evil[i] ^= 1;
+        if let Ok(parsed) = DeltaManifest::from_bytes(&evil) {
+            if let Ok(out) = delta::apply(&base, &parsed, &payload) {
+                assert_eq!(
+                    mig_crypto::sha256::sha256(&out),
+                    parsed.new_digest,
+                    "applied state must match the committed digest"
+                );
+                if parsed.new_digest == manifest.new_digest {
+                    assert_eq!(out, new, "genuine digest admits only the genuine state");
+                }
+            }
+        }
+    }
 }

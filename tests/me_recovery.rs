@@ -224,8 +224,8 @@ fn restored_me_state_is_machine_bound() {
     // (native sealing): stolen ME state cannot seed a rogue machine.
     let (mut dc, m1, m2) = dc2(404);
     dc.persist_me(m1).unwrap();
-    let blob = dc.world().machine(m1).disk.get("me-state").unwrap();
-    dc.world().machine(m2).disk.put("me-state", blob);
+    let (_, blob) = dc.me_checkpoints(m1).latest().unwrap();
+    dc.me_checkpoints(m2).put(blob);
     let err = dc.restart_me(m2).unwrap_err();
     assert_eq!(err, SgxError::MacMismatch);
 }

@@ -44,6 +44,7 @@ fn streaming_config() -> TransferConfig {
         stream_threshold: 64 * 1024,
         chunk_size: 1024 * 1024,
         window: 4,
+        ..TransferConfig::default()
     }
 }
 
@@ -138,6 +139,48 @@ fn install_stream_tap(
             TapAction::Deliver
         }));
     StreamTap { seen, dropping }
+}
+
+/// Sums the wire bytes (and frames) of src→dst ME stream traffic.
+struct ByteTap {
+    frames: Arc<AtomicUsize>,
+    bytes: Arc<AtomicUsize>,
+}
+
+impl ByteTap {
+    fn reset(&self) {
+        self.frames.store(0, Ordering::SeqCst);
+        self.bytes.store(0, Ordering::SeqCst);
+    }
+
+    fn snapshot(&self) -> (usize, usize) {
+        (
+            self.frames.load(Ordering::SeqCst),
+            self.bytes.load(Ordering::SeqCst),
+        )
+    }
+}
+
+fn install_byte_tap(dc: &mut Datacenter, src: MachineId, dst: MachineId) -> ByteTap {
+    let frames = Arc::new(AtomicUsize::new(0));
+    let bytes = Arc::new(AtomicUsize::new(0));
+    let tap_frames = Arc::clone(&frames);
+    let tap_bytes = Arc::clone(&bytes);
+    dc.world_mut()
+        .network_mut()
+        .add_tap(Box::new(move |e: &Envelope| {
+            if e.from.machine == src
+                && e.to.machine == dst
+                && e.from.service == "me"
+                && e.to.service == "me"
+                && e.payload.first() == Some(&mig_core::host::tags::RA_TRANSFER)
+            {
+                tap_frames.fetch_add(1, Ordering::SeqCst);
+                tap_bytes.fetch_add(e.payload.len(), Ordering::SeqCst);
+            }
+            TapAction::Deliver
+        }));
+    ByteTap { frames, bytes }
 }
 
 #[test]
@@ -292,6 +335,258 @@ fn app_host_writes_periodic_durable_checkpoints() {
     assert_eq!(phase, vec![1], "restored library is operational");
     let staged = dc.app_bulk_state("app").unwrap();
     assert!(staged.is_some(), "checkpoint carried the staged snapshot");
+}
+
+/// The acceptance scenario for delta-aware streaming: a 16 MiB store
+/// migrates m1→m2 in full, ~1 % of its entries are dirtied at the
+/// destination, and the repeat migration m2→m1 ships a dirty-page delta
+/// that is a small fraction of the full transfer — asserted on wire
+/// frame/byte telemetry.
+#[test]
+fn repeat_migration_ships_dirty_page_delta() {
+    let (mut dc, m1, m2) = dc_with_config(1607, streaming_config());
+    let fwd = install_byte_tap(&mut dc, m1, m2);
+    let back_tap = install_byte_tap(&mut dc, m2, m1);
+    deploy_loaded_src(&mut dc, m1);
+    dc.deploy_app("dst", m2, &image(), KvStore::new(), InitRequest::Migrate)
+        .unwrap();
+    dc.migrate_app("src", "dst").unwrap();
+    let (full_frames, full_bytes) = fwd.snapshot();
+    assert!(full_frames >= 18, "first migration streams in full");
+
+    // The destination restores its working set (adopting the migrated
+    // container's sealed segments verbatim) and dirties ~1 % of the
+    // entries: 40 of 4096, one counter bump.
+    let state = dc.app_bulk_state("dst").unwrap().expect("migrated state");
+    dc.call_app("dst", kv_ops::LOAD, &state).unwrap();
+    dc.call_app(
+        "dst",
+        kv_ops::BULK_PUT,
+        &kvstore::encode_bulk_put(40, BULK_VALUE_LEN, 0x77),
+    )
+    .unwrap();
+
+    // Repeat migration back to m1: the source ME (m2) diffs against the
+    // generation both MEs retained from the first transfer.
+    dc.deploy_app("back", m1, &image(), KvStore::new(), InitRequest::Migrate)
+        .unwrap();
+    back_tap.reset();
+    dc.migrate_app("dst", "back").unwrap();
+    let (delta_frames, delta_bytes) = back_tap.snapshot();
+
+    assert!(
+        delta_frames <= 4,
+        "~1% dirty at 1 MiB chunks is a handful of frames, saw {delta_frames}"
+    );
+    assert!(
+        delta_bytes * 10 < full_bytes,
+        "delta transfer must be under 10% of the full one: {delta_bytes} vs {full_bytes}"
+    );
+
+    // The reconstructed state is exact: dirtied entries carry the new
+    // fill, untouched entries the original, and the version counter
+    // continued (two updates so far).
+    let state = dc.app_bulk_state("back").unwrap().expect("delta state");
+    dc.call_app("back", kv_ops::LOAD, &state).unwrap();
+    let len = dc.call_app("back", kv_ops::LEN, &[]).unwrap();
+    assert_eq!(u32::from_le_bytes(len[..4].try_into().unwrap()), BULK_COUNT);
+    let dirtied = dc.call_app("back", kv_ops::GET, b"bulk-00000007").unwrap();
+    let expected_dirty: Vec<u8> = (0..BULK_VALUE_LEN as usize)
+        .map(|j| 0x77u8.wrapping_add((7 + j) as u8))
+        .collect();
+    assert_eq!(
+        dirtied, expected_dirty,
+        "dirtied entry must be the new value"
+    );
+    let clean = dc.call_app("back", kv_ops::GET, b"bulk-00003000").unwrap();
+    assert_eq!(
+        clean,
+        expected_value(3000),
+        "clean entry survives the delta"
+    );
+    let version = dc.call_app("back", kv_ops::VERSION, &[]).unwrap();
+    assert_eq!(u32::from_le_bytes(version[..4].try_into().unwrap()), 2);
+}
+
+/// A delta against a base the destination does not hold is NACKed and
+/// the source falls back to a full stream — the migration still
+/// completes, just without the savings.
+#[test]
+fn delta_to_unknown_base_falls_back_to_full_stream() {
+    let config = streaming_config();
+    let mut dc = Datacenter::new(1608);
+    let policy = MigrationPolicy::same_operator_only();
+    let m1 = dc.add_machine_with_transfer(MachineLabels::default(), &policy, config);
+    let m2 = dc.add_machine_with_transfer(MachineLabels::default(), &policy, config);
+    let m3 = dc.add_machine_with_transfer(MachineLabels::default(), &policy, config);
+    let tap = install_byte_tap(&mut dc, m2, m3);
+
+    // ~2 MiB store migrates m1→m2 in full; both MEs cache generation 0.
+    dc.deploy_app("src", m1, &image(), KvStore::new(), InitRequest::New)
+        .unwrap();
+    dc.call_app("src", kv_ops::INIT, &[]).unwrap();
+    dc.call_app(
+        "src",
+        kv_ops::BULK_PUT,
+        &kvstore::encode_bulk_put(512, 4096, 0x21),
+    )
+    .unwrap();
+    dc.deploy_app("dst", m2, &image(), KvStore::new(), InitRequest::Migrate)
+        .unwrap();
+    dc.migrate_app("src", "dst").unwrap();
+
+    // Dirty a little, then migrate onward to m3 — whose ME has never
+    // seen this enclave's state. The m2 ME optimistically announces a
+    // delta against its cached base; m3 NACKs; the transfer restarts as
+    // a full stream on the same channel.
+    let state = dc.app_bulk_state("dst").unwrap().expect("migrated state");
+    dc.call_app("dst", kv_ops::LOAD, &state).unwrap();
+    dc.call_app(
+        "dst",
+        kv_ops::BULK_PUT,
+        &kvstore::encode_bulk_put(4, 4096, 0x44),
+    )
+    .unwrap();
+    dc.deploy_app("third", m3, &image(), KvStore::new(), InitRequest::Migrate)
+        .unwrap();
+    dc.migrate_app("dst", "third").unwrap();
+
+    let (frames, bytes) = tap.snapshot();
+    let state_len = dc
+        .app_bulk_state("third")
+        .unwrap()
+        .expect("full state arrived")
+        .len();
+    assert!(
+        bytes >= state_len,
+        "fallback must ship the full state: {bytes} wire bytes for {state_len} state"
+    );
+    assert!(
+        frames >= 4,
+        "DeltaStart + full restart is several frames, saw {frames}"
+    );
+
+    // And the state is intact.
+    let state = dc.app_bulk_state("third").unwrap().unwrap();
+    dc.call_app("third", kv_ops::LOAD, &state).unwrap();
+    let len = dc.call_app("third", kv_ops::LEN, &[]).unwrap();
+    assert_eq!(u32::from_le_bytes(len[..4].try_into().unwrap()), 512);
+}
+
+/// The delta base (the ME's per-measurement generation cache) is part of
+/// the persisted ME state: both MEs restart between the two migrations
+/// and the repeat migration still ships a delta.
+#[test]
+fn delta_base_survives_me_restart() {
+    let (mut dc, m1, m2) = dc_with_config(1609, streaming_config());
+    let back_tap = install_byte_tap(&mut dc, m2, m1);
+    let fwd = install_byte_tap(&mut dc, m1, m2);
+    dc.deploy_app("src", m1, &image(), KvStore::new(), InitRequest::New)
+        .unwrap();
+    dc.call_app("src", kv_ops::INIT, &[]).unwrap();
+    dc.call_app(
+        "src",
+        kv_ops::BULK_PUT,
+        &kvstore::encode_bulk_put(512, 4096, 0x21),
+    )
+    .unwrap();
+    dc.deploy_app("dst", m2, &image(), KvStore::new(), InitRequest::Migrate)
+        .unwrap();
+    dc.migrate_app("src", "dst").unwrap();
+    let (_, full_bytes) = fwd.snapshot();
+
+    dc.app_bulk_state("dst")
+        .map(|s| dc.call_app("dst", kv_ops::LOAD, &s.unwrap()))
+        .unwrap()
+        .unwrap();
+    dc.call_app(
+        "dst",
+        kv_ops::BULK_PUT,
+        &kvstore::encode_bulk_put(4, 4096, 0x44),
+    )
+    .unwrap();
+
+    // Management-VM reboots on both machines; the generation caches come
+    // back from the sealed ME checkpoints.
+    dc.persist_me(m1).unwrap();
+    dc.persist_me(m2).unwrap();
+    dc.restart_me(m1).unwrap();
+    dc.restart_me(m2).unwrap();
+    {
+        let dst = dc.app("dst");
+        let mut dst = dst.lock();
+        dst.attest_me(dc.world_mut().network_mut());
+    }
+    dc.run();
+
+    dc.deploy_app("back", m1, &image(), KvStore::new(), InitRequest::Migrate)
+        .unwrap();
+    back_tap.reset();
+    dc.migrate_app("dst", "back").unwrap();
+    let (_, delta_bytes) = back_tap.snapshot();
+    assert!(
+        delta_bytes * 5 < full_bytes,
+        "restarted MEs still delta: {delta_bytes} vs {full_bytes}"
+    );
+    let state = dc.app_bulk_state("back").unwrap().expect("delta state");
+    dc.call_app("back", kv_ops::LOAD, &state).unwrap();
+    let len = dc.call_app("back", kv_ops::LEN, &[]).unwrap();
+    assert_eq!(u32::from_le_bytes(len[..4].try_into().unwrap()), 512);
+}
+
+/// The adaptive controller: clean acks grow the send window to its
+/// ceiling; a mid-stream disruption (resume renegotiation) halves the
+/// chunk size for future streams and resets the window.
+#[test]
+fn adaptive_link_reacts_to_acks_and_disruptions() {
+    let config = TransferConfig {
+        stream_threshold: 64 * 1024,
+        chunk_size: 1024 * 1024,
+        window: 2,
+        max_window: 6,
+        ..TransferConfig::default()
+    };
+
+    // Clean 16 MiB migration: 17 cumulative acks push the window from 2
+    // to the ceiling; the chunk size is untouched.
+    let (mut dc, m1, m2) = dc_with_config(1610, config);
+    deploy_loaded_src(&mut dc, m1);
+    dc.deploy_app("dst", m2, &image(), KvStore::new(), InitRequest::Migrate)
+        .unwrap();
+    dc.migrate_app("src", "dst").unwrap();
+    let link = dc
+        .me_host(m1)
+        .lock()
+        .link_state(m2)
+        .unwrap()
+        .expect("link seen traffic");
+    assert_eq!(link, (1024 * 1024, 6), "window grew to max, chunks intact");
+
+    // Disrupted migration: drop frames mid-stream, resume, complete.
+    // The resume renegotiation halves the chunk size and resets the
+    // window before the remaining acks grow it again.
+    let (mut dc, m1, m2) = dc_with_config(1611, config);
+    let tap = install_stream_tap(&mut dc, m1, m2, 6);
+    deploy_loaded_src(&mut dc, m1);
+    dc.deploy_app("dst", m2, &image(), KvStore::new(), InitRequest::Migrate)
+        .unwrap();
+    tap.dropping.store(true, Ordering::SeqCst);
+    let outcome = dc.migrate_app_resumable("src", "dst").unwrap();
+    assert!(matches!(outcome, ResumableOutcome::Stalled { .. }));
+    tap.dropping.store(false, Ordering::SeqCst);
+    dc.resume_migration("src", "dst").unwrap();
+    assert_eq!(dc.app("dst").lock().status(), AppStatus::Ready);
+    let (chunk_size, _window) = dc
+        .me_host(m1)
+        .lock()
+        .link_state(m2)
+        .unwrap()
+        .expect("link seen traffic");
+    assert_eq!(
+        chunk_size,
+        512 * 1024,
+        "one disruption halves the chunk size for future streams"
+    );
 }
 
 #[test]
