@@ -344,10 +344,61 @@ fn e4(n: usize) {
         ));
     }
 
+    // Concurrency series: k enclaves of the largest swept geometry
+    // migrating to one destination at once. The per-nonce multiplexed
+    // streams share the link under deficit round-robin, so the total
+    // time should grow roughly linearly with k while the completion
+    // spread stays a small fraction of the total (no stream starves).
+    let conc_max: u32 = std::env::var("E4_CONC_MAX")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    println!("\n--- concurrent multi-enclave migration ({label} state each, {n} runs per row) ---");
+    println!(
+        "{:<4} {:>18} {:>18} {:>14}",
+        "k", "total virt (ms)", "spread (ms)", "wire MiB"
+    );
+    println!("{}", "-".repeat(60));
+    let mut json_conc = Vec::new();
+    for k in [1u32, 2, 4, 8] {
+        if k > conc_max {
+            break;
+        }
+        let mut total_ms = Vec::new();
+        let mut spread_ms = Vec::new();
+        let mut wire_bytes_sum = 0u64;
+        for _ in 0..n {
+            seed += 1;
+            let cell = mig_bench::concurrent_migration_cell(seed, k, entries, value_len);
+            total_ms.push(cell.total_virt_ms);
+            spread_ms.push(cell.spread_ms);
+            wire_bytes_sum += cell.wire_bytes;
+        }
+        // Mean over the runs, like the latency columns (per-run byte
+        // counts vary with the adaptive link's settled geometry).
+        let wire_bytes = wire_bytes_sum / n as u64;
+        let total = mig_stats::summarize(&total_ms, 0.99);
+        let spread = mig_stats::summarize(&spread_ms, 0.99);
+        println!(
+            "{:<4} {:>10.3} ± {:>4.3} {:>10.3} ± {:>4.3} {:>14.2}",
+            k,
+            total.mean,
+            total.ci_half_width,
+            spread.mean,
+            spread.ci_half_width,
+            wire_bytes as f64 / (1024.0 * 1024.0),
+        );
+        json_conc.push(format!(
+            "    {{\"k\": {k}, \"total_virt_ms\": {:.4}, \"spread_ms\": {:.4}, \"wire_bytes\": {wire_bytes}}}",
+            total.mean, spread.mean
+        ));
+    }
+
     let json = format!(
-        "{{\n  \"sweep\": [\n{}\n  ],\n  \"delta\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"sweep\": [\n{}\n  ],\n  \"delta\": [\n{}\n  ],\n  \"concurrency\": [\n{}\n  ]\n}}\n",
         json_sweep.join(",\n"),
-        json_delta.join(",\n")
+        json_delta.join(",\n"),
+        json_conc.join(",\n")
     );
     let path = std::env::var("E4_JSON_PATH").unwrap_or_else(|_| "BENCH_e4.json".to_string());
     match std::fs::write(&path, &json) {

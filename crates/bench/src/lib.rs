@@ -465,6 +465,125 @@ pub fn delta_migration_cycle(
     }
 }
 
+/// One cell of the E4 concurrency series: `k` enclaves of equal state
+/// size migrating to one destination machine at once, their chunk
+/// streams multiplexed (per-nonce, deficit-round-robin) on the shared
+/// ME↔ME channel.
+#[derive(Clone, Copy, Debug)]
+pub struct ConcurrencyCell {
+    /// Number of concurrent migrations.
+    pub k: u32,
+    /// Virtual time until the **last** migration completed, in ms.
+    pub total_virt_ms: f64,
+    /// Spread between the first and last completion, in ms (fairness:
+    /// a small spread means no stream was starved to the end).
+    pub spread_ms: f64,
+    /// Total RA-transfer wire bytes of the run.
+    pub wire_bytes: u64,
+}
+
+/// Runs one E4 concurrency cell: `k` kvstores of `entries` ×
+/// `value_len` bytes each on one machine, `k` awaiting destinations on
+/// another, all `migration_start`s fired before the world is pumped.
+///
+/// # Panics
+///
+/// Panics on fixture failures (bench invariants).
+#[must_use]
+pub fn concurrent_migration_cell(
+    seed: u64,
+    k: u32,
+    entries: u32,
+    value_len: u32,
+) -> ConcurrencyCell {
+    use cloud_sim::network::{Envelope, TapAction};
+    use mig_apps::kvstore::{self, ops as kv_ops, KvStore};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let transfer = sweep_stream_config();
+    let mut dc = Datacenter::new(seed);
+    let policy = MigrationPolicy::same_operator_only();
+    let m1 = dc.add_machine_with_transfer(MachineLabels::new("dc-1", "eu"), &policy, transfer);
+    let m2 = dc.add_machine_with_transfer(MachineLabels::new("dc-1", "eu"), &policy, transfer);
+    let wire_bytes = {
+        let bytes = Arc::new(AtomicU64::new(0));
+        let tap_bytes = Arc::clone(&bytes);
+        dc.world_mut()
+            .network_mut()
+            .add_tap(Box::new(move |e: &Envelope| {
+                if e.from.machine == m1
+                    && e.to.machine == m2
+                    && e.from.service == "me"
+                    && e.payload.first() == Some(&mig_core::host::tags::RA_TRANSFER)
+                {
+                    tap_bytes.fetch_add(e.payload.len() as u64, Ordering::SeqCst);
+                }
+                TapAction::Deliver
+            }));
+        bytes
+    };
+    // Completion times per destination app (virtual nanos of the
+    // incoming-migration delivery).
+    let completions = Arc::new(parking_lot::Mutex::new(Vec::<u64>::new()));
+    {
+        let completions = Arc::clone(&completions);
+        dc.world_mut()
+            .network_mut()
+            .add_tap(Box::new(move |e: &Envelope| {
+                if e.to.machine == m2
+                    && e.to.service.starts_with("app:dst-")
+                    && e.payload.first() == Some(&mig_core::host::tags::ME_FORWARD)
+                {
+                    completions.lock().push(e.deliver_at.0);
+                }
+                TapAction::Deliver
+            }));
+    }
+
+    let mut pairs = Vec::new();
+    for i in 0..k {
+        let image = EnclaveImage::build(
+            &format!("mig-bench.kv-conc-{i}"),
+            1,
+            b"benchmark kvstore enclave",
+            &EnclaveSigner::from_seed([44 + i as u8; 32]),
+        );
+        let src = format!("src-{i}");
+        let dst = format!("dst-{i}");
+        dc.deploy_app(&src, m1, &image, KvStore::new(), InitRequest::New)
+            .expect("deploy src");
+        dc.call_app(&src, kv_ops::INIT, &[]).expect("init kv");
+        dc.call_app(
+            &src,
+            kv_ops::BULK_PUT,
+            &kvstore::encode_bulk_put(entries, value_len, 0xB7),
+        )
+        .expect("bulk load");
+        dc.deploy_app(&dst, m2, &image, KvStore::new(), InitRequest::Migrate)
+            .expect("deploy dst");
+        pairs.push((src, dst));
+    }
+    let pair_refs: Vec<(&str, &str)> = pairs
+        .iter()
+        .map(|(s, d)| (s.as_str(), d.as_str()))
+        .collect();
+    let total = dc
+        .migrate_apps_concurrent(&pair_refs)
+        .expect("concurrent migration");
+
+    let done = completions.lock();
+    let spread_ms = match (done.iter().min(), done.iter().max()) {
+        (Some(first), Some(last)) => (last - first) as f64 / 1e6,
+        _ => 0.0,
+    };
+    ConcurrencyCell {
+        k,
+        total_virt_ms: total.as_secs_f64() * 1e3,
+        spread_ms,
+        wire_bytes: wire_bytes.load(std::sync::atomic::Ordering::SeqCst),
+    }
+}
+
 /// Streaming-transfer configuration used by the sweep's streamed arm.
 #[must_use]
 pub fn sweep_stream_config() -> mig_core::transfer::TransferConfig {

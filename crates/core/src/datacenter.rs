@@ -332,6 +332,43 @@ impl Datacenter {
         Ok(finished.since(started))
     }
 
+    /// Migrates several enclaves **concurrently**: every
+    /// `(source, destination)` pair's `migration_start` fires before the
+    /// world is pumped, so their chunk streams multiplex on the shared
+    /// ME↔ME channels (per-nonce streams, deficit-round-robin fairness —
+    /// a large-state migration cannot head-of-line-block a small one).
+    /// Returns the virtual time until the **last** migration completed.
+    ///
+    /// # Errors
+    ///
+    /// [`MigError::HostState`] if any pair ends in an unexpected status;
+    /// enclave errors propagate.
+    pub fn migrate_apps_concurrent(
+        &mut self,
+        pairs: &[(&str, &str)],
+    ) -> Result<Duration, MigError> {
+        let started = self.world.now();
+        for (src_instance, dst_instance) in pairs {
+            let dst_machine = self.app_machine(dst_instance);
+            let src = self.app(src_instance);
+            src.lock()
+                .migrate_to(self.world.network_mut(), dst_machine)
+                .map_err(MigError::Sgx)?;
+        }
+        self.world.run_until_idle();
+        let finished = self.world.now();
+
+        for (src_instance, dst_instance) in pairs {
+            if self.app(src_instance).lock().status() != AppStatus::Migrated {
+                return Err(MigError::HostState("a source did not complete migration"));
+            }
+            if self.app(dst_instance).lock().status() != AppStatus::Ready {
+                return Err(MigError::HostState("a destination did not become ready"));
+            }
+        }
+        Ok(finished.since(started))
+    }
+
     /// Crash-resilient migration of `src_instance`'s persistent state to
     /// `dst_instance` (deployed, awaiting, on another machine).
     ///

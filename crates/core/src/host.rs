@@ -489,6 +489,62 @@ impl MeHost {
         };
         Ok(result)
     }
+
+    /// Per-stream state of the multiplexed link towards `destination`:
+    /// one entry per announced outgoing stream (sorted by MRENCLAVE)
+    /// with its per-nonce cumulative progress, plus the link's current
+    /// wire-cell size.
+    ///
+    /// # Errors
+    ///
+    /// Enclave errors propagate; malformed output surfaces as
+    /// [`SgxError::Decode`].
+    pub fn link_streams(
+        &mut self,
+        destination: MachineId,
+    ) -> Result<(Vec<LinkStreamStat>, u32), SgxError> {
+        let mut w = WireWriter::new();
+        w.u64(destination.0);
+        let out = self.enclave.ecall(me_ops::LINK_STAT, &w.finish())?;
+        let mut r = WireReader::new(&out);
+        if r.u8()? == 1 {
+            let _chunk_size = r.u32()?;
+            let _window = r.u32()?;
+        }
+        let n = r.u32()? as usize;
+        let mut streams = Vec::with_capacity(n);
+        for _ in 0..n {
+            streams.push(LinkStreamStat {
+                mr_enclave: MrEnclave(r.array()?),
+                acked: r.u32()?,
+                total_chunks: r.u32()?,
+                in_flight: r.u32()?,
+                delta: r.u8()? != 0,
+                awaiting_resume: r.u8()? != 0,
+            });
+        }
+        let cell = r.u32()?;
+        r.finish()?;
+        Ok((streams, cell))
+    }
+}
+
+/// One multiplexed stream's state on a destination link (see
+/// [`MeHost::link_streams`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkStreamStat {
+    /// The migrating enclave the stream belongs to.
+    pub mr_enclave: MrEnclave,
+    /// Cumulatively acknowledged chunks.
+    pub acked: u32,
+    /// Total chunks of the stream.
+    pub total_chunks: u32,
+    /// Chunks sent but not yet acknowledged.
+    pub in_flight: u32,
+    /// Whether the stream ships a dirty-page delta.
+    pub delta: bool,
+    /// Whether a resume renegotiation is outstanding.
+    pub awaiting_resume: bool,
 }
 
 /// Telemetry of one retained outgoing chunk stream (see

@@ -29,7 +29,7 @@ use crate::remote_attest::{transcript_bytes, RaConfig, RaInitiator, RaResponder,
 use crate::secure_channel::{ChannelRole, SecureChannel};
 use crate::transfer::chunker::{chunk_count, ChunkAssembler, ChunkStream, TransferNonce};
 use crate::transfer::delta::{self, DeltaManifest, PageDigests};
-use crate::transfer::{AdaptiveLink, TransferConfig};
+use crate::transfer::{AdaptiveLink, DrrScheduler, StreamDemand, TransferConfig, MIN_CHUNK_SIZE};
 use mig_crypto::ed25519::{Signature, SigningKey, VerifyingKey};
 use mig_crypto::x25519::PublicKey;
 use sgx_sim::dh::{DhMsg2, DhResponder};
@@ -124,41 +124,25 @@ pub(crate) fn read_opt(r: &mut WireReader<'_>) -> Result<Option<Vec<u8>>, SgxErr
     }
 }
 
-/// Seals the chunk messages `from..upto` of `stream` on `channel`.
-/// Chunk payloads are encoded straight from the stream's shared buffer
-/// ([`MeToMe::encode_chunk`]) — no per-chunk clone.
+/// Seals chunk `idx` of `stream` on `channel`, padded to the
+/// destination's wire `cell`. Chunk payloads are encoded straight from
+/// the stream's shared buffer ([`MeToMe::encode_chunk`]) — no per-chunk
+/// clone.
 ///
-/// Multi-chunk streams pad every chunk to the full chunk wire size so
-/// equal-length ciphertexts stay FIFO on the size-ordered simulated
-/// network. A single-chunk stream (small full states, most deltas) has
-/// no sibling chunks to race, but it still must not undercut its own
-/// `ChunkStart`/`DeltaStart` announcement (which would overtake it on
-/// the size-ordered network and desync the channel sequence), so it
-/// pads only up to [`MIN_CHUNK_SIZE`] — which exceeds every start
-/// frame's wire size.
-fn chunk_frames(
-    stream: &ChunkStream,
-    channel: &mut SecureChannel,
-    from: u32,
-    upto: u32,
-) -> Vec<Vec<u8>> {
-    (from..upto)
-        .map(|idx| {
-            let (payload, mac) = stream.chunk(idx);
-            let pad = if stream.n_chunks() == 1 {
-                crate::transfer::MIN_CHUNK_SIZE.saturating_sub(payload.len() as u32)
-            } else {
-                stream.chunk_size() - payload.len() as u32
-            };
-            channel.seal(&MeToMe::encode_chunk(
-                &stream.nonce(),
-                idx,
-                payload,
-                &mac,
-                pad,
-            ))
-        })
-        .collect()
+/// Every stream frame towards one destination (announcements included)
+/// is padded to the same cell so equal-length ciphertexts stay FIFO on
+/// the size-ordered simulated network even when several streams'
+/// frames interleave on the shared channel.
+fn seal_chunk(stream: &ChunkStream, channel: &mut SecureChannel, idx: u32, cell: u32) -> Vec<u8> {
+    let (payload, mac) = stream.chunk(idx);
+    let pad = cell.saturating_sub(payload.len() as u32);
+    channel.seal(&MeToMe::encode_chunk(
+        &stream.nonce(),
+        idx,
+        payload,
+        &mac,
+        pad,
+    ))
 }
 
 /// Action the untrusted host must take after a [`ops::LIB_MSG`] ECALL.
@@ -369,7 +353,7 @@ struct MeConfig {
 }
 
 /// Progress of a chunked outgoing transfer (persisted so a restarted ME
-/// resumes from the last acknowledged chunk).
+/// resumes *all* in-flight streams from their last acknowledged chunks).
 struct OutgoingStream {
     nonce: TransferNonce,
     /// Chunk size the stream was started with (survives re-provisioning
@@ -389,6 +373,31 @@ struct OutgoingStream {
     /// Next chunk index to put on the wire (not persisted; reset to
     /// `acked` on restore).
     next_to_send: u32,
+    /// A `ResumeRequest` is outstanding: the scheduler must not grant
+    /// this stream chunks until the destination names the resume point
+    /// (ephemeral; set whenever a resume renegotiation starts).
+    awaiting_resume: bool,
+}
+
+impl OutgoingStream {
+    fn n_chunks(&self) -> u32 {
+        chunk_count(self.payload_len, self.chunk_size)
+    }
+
+    /// Whether every chunk has been cumulatively acknowledged.
+    fn complete(&self) -> bool {
+        self.acked >= self.n_chunks()
+    }
+
+    /// Wire cost of one frame of this stream in bytes — what the
+    /// destination link's cell must cover while the stream is active.
+    fn frame_cost(&self) -> u32 {
+        if self.n_chunks() > 1 {
+            self.chunk_size
+        } else {
+            (self.payload_len as u32).max(MIN_CHUNK_SIZE)
+        }
+    }
 }
 
 struct OutgoingMigration {
@@ -399,6 +408,10 @@ struct OutgoingMigration {
     /// cloned on the streaming path.
     state: Arc<[u8]>,
     sent: bool,
+    /// The destination confirmed it parked the payload (`Stored`); the
+    /// retained copy awaits `Delivered`. Ephemeral — a restore
+    /// re-dispatches and the destination answers idempotently.
+    stored: bool,
     /// Present once the transfer went (or is going) down the streamed
     /// path.
     stream: Option<OutgoingStream>,
@@ -406,9 +419,13 @@ struct OutgoingMigration {
 
 impl OutgoingMigration {
     fn n_chunks(&self) -> u32 {
-        self.stream
-            .as_ref()
-            .map_or(0, |s| chunk_count(s.payload_len, s.chunk_size))
+        self.stream.as_ref().map_or(0, OutgoingStream::n_chunks)
+    }
+
+    /// An announced stream that the destination has not fully
+    /// acknowledged yet.
+    fn stream_active(&self) -> bool {
+        self.sent && self.stream.as_ref().is_some_and(|s| !s.complete())
     }
 }
 
@@ -427,16 +444,52 @@ struct InboundStream {
 
 /// The last state generation an ME holds for an enclave measurement —
 /// recorded on both ends of every completed streamed transfer so repeat
-/// migrations can ship dirty-page deltas against it.
+/// migrations can ship dirty-page deltas against it. The cache is
+/// byte-budgeted ([`TransferConfig::cache_budget`]): least-recently-used
+/// entries are evicted, and an evicted base simply falls back to a full
+/// stream via the `DeltaNack` path.
 struct CachedGeneration {
     generation: u64,
     state: Arc<[u8]>,
+    /// LRU tick of the last insert or delta-base use (persisted so the
+    /// eviction order survives restarts).
+    last_used: u64,
 }
 
 struct PendingInbound {
     key: [u8; 16],
     g_i: PublicKey,
     g_r: PublicKey,
+}
+
+/// Evicts least-recently-used entries from a generation cache until the
+/// retained state fits `budget` bytes (the [`TransferConfig::cache_budget`]
+/// bound on the ME's delta-base memory and sealed-checkpoint footprint).
+///
+/// Entries in `pinned` are never evicted: an in-flight delta stream's
+/// base must survive until the stream completes — a restarted ME
+/// rebuilds the delta payload from it, and unlike the destination
+/// (which NACKs a missing base back to a full stream) the source has no
+/// fallback once the delta is announced. The budget may be exceeded
+/// transiently while such streams are active.
+fn evict_lru(
+    cache: &mut HashMap<MrEnclave, CachedGeneration>,
+    budget: u64,
+    pinned: &std::collections::HashSet<MrEnclave>,
+) {
+    let mut total: u64 = cache.values().map(|c| c.state.len() as u64).sum();
+    while total > budget {
+        let Some((victim, len)) = cache
+            .iter()
+            .filter(|(mr, _)| !pinned.contains(*mr))
+            .min_by_key(|(_, c)| c.last_used)
+            .map(|(mr, c)| (*mr, c.state.len() as u64))
+        else {
+            break;
+        };
+        cache.remove(&victim);
+        total -= len;
+    }
 }
 
 /// The Migration Enclave's trusted state and logic.
@@ -478,11 +531,23 @@ pub struct MigrationEnclave {
     out_manifests: HashMap<MrEnclave, DeltaManifest>,
     /// Last state generation held per enclave measurement (both roles:
     /// what we last shipped out and what we last received). Persisted;
-    /// the delta base for repeat migrations.
+    /// the delta base for repeat migrations. LRU-evicted beyond
+    /// [`TransferConfig::cache_budget`].
     state_cache: HashMap<MrEnclave, CachedGeneration>,
+    /// Monotonic tick stamping [`CachedGeneration::last_used`].
+    cache_clock: u64,
     /// Per-destination adaptive chunk/window controllers. Ephemeral —
     /// a restarted ME re-seeds them from the provisioned config.
     links: HashMap<MachineId, AdaptiveLink>,
+    /// Per-destination deficit-round-robin schedulers apportioning the
+    /// shared link window among concurrent streams. Ephemeral —
+    /// fairness state, not correctness state.
+    schedulers: HashMap<MachineId, DrrScheduler<MrEnclave>>,
+    /// Per-destination wire-cell high-water marks: every stream frame
+    /// towards a destination is padded to its current cell so frames of
+    /// concurrently multiplexed streams stay FIFO on the size-ordered
+    /// network. Shrinks only when nothing is in flight. Ephemeral.
+    wire_cells: HashMap<MachineId, u32>,
 }
 
 impl std::fmt::Debug for MigrationEnclave {
@@ -662,6 +727,7 @@ impl MigrationEnclave {
                         data,
                         state: state.into(),
                         sent: false,
+                        stored: false,
                         stream: None,
                     },
                 );
@@ -686,122 +752,220 @@ impl MigrationEnclave {
         Ok(action.to_bytes())
     }
 
-    /// Sends or queues outgoing data for `destination`.
-    ///
-    /// With an open channel, the next unsent migration goes out either
-    /// as a single-shot [`MeToMe::Transfer`] (state at or below the
-    /// streaming threshold), as a fresh chunk stream (`ChunkStart` plus
-    /// the first send-window of chunks, pipelined), or — when a
-    /// partially acknowledged stream survives from before a crash — as a
-    /// [`MeToMe::ResumeRequest`] renegotiating the resume point. Chunked
-    /// transfers serialize per destination: while one is mid-stream,
-    /// later migrations stay queued.
-    fn dispatch_outgoing(
-        &mut self,
-        env: &mut EnclaveEnv<'_>,
-        destination: MachineId,
-    ) -> Result<MeAction, MigError> {
-        if !self.channels_out.contains_key(&destination) {
-            if self.ra_out_pending.contains_key(&destination) {
-                // Handshake already in flight; data stays queued.
-                return Ok(MeAction::None);
-            }
-            let (session, hello) = RaInitiator::start(env)?;
-            self.ra_out_pending.insert(destination, session);
-            return Ok(MeAction::ConnectRemote {
-                destination,
-                hello: hello.to_bytes(),
-            });
-        }
+    /// Chunks in flight (sent, not yet cumulatively acknowledged) across
+    /// every stream towards `destination` — the consumed share of the
+    /// link's shared window budget.
+    fn in_flight_chunks(&self, destination: MachineId) -> u32 {
+        self.outgoing
+            .values()
+            .filter(|mig| mig.destination == destination && mig.sent)
+            .filter_map(|mig| mig.stream.as_ref())
+            .map(|s| s.next_to_send.saturating_sub(s.acked))
+            .sum()
+    }
 
-        // One chunked transfer at a time per destination.
-        let mid_stream = self.outgoing.values().any(|mig| {
-            mig.destination == destination
-                && mig.sent
-                && mig
-                    .stream
-                    .as_ref()
-                    .is_some_and(|s| s.acked < mig.n_chunks())
-        });
-        if mid_stream {
-            return Ok(MeAction::None);
-        }
+    /// Announced-and-incomplete streams towards `destination` (the
+    /// occupancy counted against [`TransferConfig::max_streams`]).
+    fn active_stream_count(&self, destination: MachineId) -> u32 {
+        self.outgoing
+            .values()
+            .filter(|mig| mig.destination == destination && mig.stream_active())
+            .count() as u32
+    }
 
-        // Deterministic pick: smallest unsent MRENCLAVE for this
-        // destination.
-        let Some(mr) = self
+    /// Bumps the LRU clock and re-stamps `mr`'s cache entry (called on
+    /// every delta-base use so hot bases survive the byte budget).
+    fn cache_touch(&mut self, mr: &MrEnclave) {
+        self.cache_clock += 1;
+        let tick = self.cache_clock;
+        if let Some(cached) = self.state_cache.get_mut(mr) {
+            cached.last_used = tick;
+        }
+    }
+
+    /// Inserts a generation into the per-measurement cache and evicts
+    /// least-recently-used entries beyond the provisioned byte budget.
+    /// An entry larger than the whole budget is itself evicted — the
+    /// next repeat migration then simply streams in full.
+    fn cache_insert(&mut self, mr: MrEnclave, generation: u64, state: Arc<[u8]>) {
+        self.cache_clock += 1;
+        let budget = self
+            .config
+            .as_ref()
+            .map_or(u64::MAX, |c| c.transfer.cache_budget);
+        self.state_cache.insert(
+            mr,
+            CachedGeneration {
+                generation,
+                state,
+                last_used: self.cache_clock,
+            },
+        );
+        // Bases referenced by announced-but-incomplete delta streams are
+        // pinned: the stream's payload is rebuilt from them on restore.
+        let pinned: std::collections::HashSet<MrEnclave> = self
             .outgoing
             .iter()
-            .filter(|(_, mig)| mig.destination == destination && !mig.sent)
+            .filter(|(_, mig)| {
+                mig.stream
+                    .as_ref()
+                    .is_some_and(|s| s.delta_base.is_some() && !s.complete())
+            })
             .map(|(mr, _)| *mr)
-            .min_by_key(|mr| mr.0)
-        else {
-            return Ok(MeAction::None);
-        };
+            .collect();
+        evict_lru(&mut self.state_cache, budget, &pinned);
+    }
 
+    /// The destination's current wire cell: the uniform padded size of
+    /// every stream frame on that link. Grows to `needed` while frames
+    /// are in flight (a larger frame sealed later cannot overtake) and
+    /// shrinks back only when the link is drained — a smaller frame
+    /// sealed behind in-flight larger ones would arrive first on the
+    /// size-ordered network and desync the channel.
+    fn bump_cell(&mut self, destination: MachineId, needed: u32, in_flight_before: u32) -> u32 {
+        let cell = self.wire_cells.entry(destination).or_insert(0);
+        if in_flight_before == 0 {
+            *cell = needed;
+        } else {
+            *cell = (*cell).max(needed);
+        }
+        *cell = (*cell).max(MIN_CHUNK_SIZE);
+        *cell
+    }
+
+    /// Grants send slots across the ready streams towards `destination`
+    /// — deficit round-robin over the shared link window — and seals the
+    /// resulting frames: `leads` (announcements / re-announcements)
+    /// first, each padded to the wire cell, then the granted chunks.
+    fn pump_streams(
+        &mut self,
+        destination: MachineId,
+        leads: Vec<MeToMe>,
+        lead_cost: u32,
+    ) -> Result<Vec<Vec<u8>>, MigError> {
         let transfer_cfg = self.config()?.transfer;
-        // Chunk size and window come from the destination link's
-        // adaptive controller (seeded from the provisioned config).
-        let (chunk_size, window) = {
-            let link = self
-                .links
-                .entry(destination)
-                .or_insert_with(|| AdaptiveLink::new(&transfer_cfg));
-            (link.chunk_size(), link.window())
-        };
+        let window = self
+            .links
+            .entry(destination)
+            .or_insert_with(|| AdaptiveLink::new(&transfer_cfg))
+            .window();
+        let in_flight = self.in_flight_chunks(destination);
+        let budget = window.saturating_sub(in_flight);
+
+        // Demands of every stream that could put a chunk on the wire
+        // right now, deterministic order.
+        let mut demands: Vec<(MrEnclave, StreamDemand)> = self
+            .outgoing
+            .iter()
+            .filter(|(_, mig)| mig.destination == destination && mig.sent)
+            .filter_map(|(mr, mig)| mig.stream.as_ref().map(|s| (*mr, s)))
+            .filter(|(_, s)| !s.awaiting_resume && s.next_to_send < s.n_chunks())
+            .map(|(mr, s)| {
+                (
+                    mr,
+                    StreamDemand {
+                        pending_chunks: s.n_chunks() - s.next_to_send,
+                        chunk_cost: u64::from(s.frame_cost()),
+                    },
+                )
+            })
+            .collect();
+        demands.sort_by_key(|(mr, _)| mr.0);
+
+        let grants = self
+            .schedulers
+            .entry(destination)
+            .or_default()
+            .allocate(budget, &demands);
+        if leads.is_empty() && grants.is_empty() {
+            return Ok(Vec::new());
+        }
+
+        // Rebuild transient chunk caches for everything about to send.
+        for mr in &grants {
+            self.ensure_out_stream(*mr)?;
+        }
+
+        // The cell must cover every frame of this batch: the granted
+        // streams' chunk geometry and the lead frames' natural sizes.
+        let lead_bytes: Vec<Vec<u8>> = leads.iter().map(MeToMe::to_bytes).collect();
+        let mut needed = lead_cost;
+        for (mr, demand) in &demands {
+            if grants.contains(mr) {
+                needed = needed.max(demand.chunk_cost as u32);
+            }
+        }
+        for bytes in &lead_bytes {
+            // A lead larger than the cell's frame size (a delta manifest
+            // naming many pages) raises the cell so chunks sealed after
+            // it cannot overtake it.
+            needed = needed.max(MeToMe::cell_for_frame_len(bytes.len()));
+        }
+        let cell = self.bump_cell(destination, needed, in_flight);
+        let target = MeToMe::chunk_frame_len(cell);
+
+        let mut next: HashMap<MrEnclave, u32> = grants
+            .iter()
+            .map(|mr| {
+                let s = self.outgoing[mr].stream.as_ref().expect("granted stream");
+                (*mr, s.next_to_send)
+            })
+            .collect();
+        let channel = self
+            .channels_out
+            .get_mut(&destination)
+            .ok_or(MigError::Protocol("no channel to destination"))?;
+        let mut frames = Vec::with_capacity(lead_bytes.len() + grants.len());
+        for mut bytes in lead_bytes {
+            MeToMe::pad_frame(&mut bytes, target);
+            frames.push(channel.seal(&bytes));
+        }
+        for mr in &grants {
+            let cache = self.out_streams.get(mr).expect("ensured above");
+            let idx = next[mr];
+            frames.push(seal_chunk(cache, channel, idx, cell));
+            *next.get_mut(mr).expect("inserted above") += 1;
+        }
+        for (mr, n) in next {
+            let stream = self
+                .outgoing
+                .get_mut(&mr)
+                .and_then(|mig| mig.stream.as_mut())
+                .expect("granted stream");
+            stream.next_to_send = n;
+        }
+        Ok(frames)
+    }
+
+    /// Builds the announcement for a fresh stream of `mr` (delta against
+    /// the cached base when profitable, full otherwise), registers the
+    /// per-nonce stream state, and returns the unsealed start message.
+    fn announce_stream(
+        &mut self,
+        env: &mut EnclaveEnv<'_>,
+        mr: MrEnclave,
+        chunk_size: u32,
+    ) -> Result<MeToMe, MigError> {
+        let transfer_cfg = self.config()?.transfer;
         let cached = self
             .state_cache
             .get(&mr)
             .map(|c| (c.generation, Arc::clone(&c.state)));
-        let mig = self.outgoing.get_mut(&mr).expect("picked above");
-        let channel = self
-            .channels_out
-            .get_mut(&destination)
-            .expect("checked above");
-
-        if let Some(stream) = &mig.stream {
-            // A stream predates this (re)connection: ask the destination
-            // where to resume rather than restarting blindly.
-            mig.sent = true;
-            let frame = channel.seal(
-                &MeToMe::ResumeRequest {
-                    mr_enclave: mr,
-                    nonce: stream.nonce,
-                }
-                .to_bytes(),
-            );
-            return Ok(MeAction::SendRemote {
-                destination,
-                transfer: frame,
-            });
+        if cached.is_some() {
+            self.cache_touch(&mr);
         }
-
-        if mig.state.len() <= transfer_cfg.stream_threshold as usize {
-            // Small-state fast path: the paper's single-shot transfer.
-            mig.sent = true;
-            let transfer = channel.seal(
-                &MeToMe::Transfer {
-                    mr_enclave: mr,
-                    data: mig.data.clone(),
-                    state: mig.state.to_vec(),
-                }
-                .to_bytes(),
-            );
-            return Ok(MeAction::SendRemote {
-                destination,
-                transfer,
-            });
-        }
-
-        // Start a chunk stream: announce, then pipeline the first window.
+        let mut nonce: TransferNonce = [0; 16];
+        env.random_bytes(&mut nonce);
+        let mig = self
+            .outgoing
+            .get_mut(&mr)
+            .ok_or(MigError::Protocol("no retained migration data"))?;
+        let generation = cached.as_ref().map_or(0, |(g, _)| g + 1);
         // When a previous generation of this enclave's state is cached (a
         // repeat migration), diff against it and ship only the dirty
         // pages — unless the delta exceeds the provisioned fraction of
         // the full state, in which case the full stream is cheaper than
         // a delta that rewrites most pages anyway.
-        let mut nonce: TransferNonce = [0; 16];
-        env.random_bytes(&mut nonce);
-        let generation = cached.as_ref().map_or(0, |(g, _)| g + 1);
         let delta = cached.and_then(|(base_generation, base_state)| {
             let digests = PageDigests::compute(&base_state, delta::PAGE_SIZE);
             let (manifest, payload) =
@@ -840,10 +1004,7 @@ impl MigrationEnclave {
                 (stream, None, start)
             }
         };
-        let n_chunks = stream.n_chunks();
-        let initial = n_chunks.min(window);
-        let mut frames = vec![channel.seal(&start_msg.to_bytes())];
-        frames.extend(chunk_frames(&stream, channel, 0, initial));
+        let mig = self.outgoing.get_mut(&mr).expect("present above");
         mig.sent = true;
         mig.stream = Some(OutgoingStream {
             nonce,
@@ -852,12 +1013,178 @@ impl MigrationEnclave {
             generation,
             delta_base,
             acked: 0,
-            next_to_send: initial,
+            next_to_send: 0,
+            awaiting_resume: false,
         });
         self.out_streams.insert(mr, stream);
-        Ok(MeAction::StreamRemote {
-            destination,
-            frames,
+        Ok(start_msg)
+    }
+
+    /// Sends or queues outgoing data for `destination`.
+    ///
+    /// With an open channel, every unsent migration towards the
+    /// destination dispatches **concurrently** (up to
+    /// [`TransferConfig::max_streams`]), multiplexed on the shared
+    /// attested channel: streams that predate a crash/reconnect send a
+    /// [`MeToMe::ResumeRequest`] renegotiating their per-nonce resume
+    /// point, fresh large states announce a `ChunkStart`/`DeltaStart`
+    /// and get their first chunks from the deficit-round-robin share of
+    /// the link window, and small states ride the paper's single-shot
+    /// [`MeToMe::Transfer`] when the link is quiet (on a busy link a
+    /// small frame sealed behind in-flight cells would overtake them,
+    /// so non-empty small states join the multiplex as single-chunk
+    /// streams instead). Migrations beyond the stream cap stay queued
+    /// and drain as streams complete.
+    fn dispatch_outgoing(
+        &mut self,
+        env: &mut EnclaveEnv<'_>,
+        destination: MachineId,
+    ) -> Result<MeAction, MigError> {
+        if !self.channels_out.contains_key(&destination) {
+            if self.ra_out_pending.contains_key(&destination) {
+                // Handshake already in flight; data stays queued.
+                return Ok(MeAction::None);
+            }
+            let (session, hello) = RaInitiator::start(env)?;
+            self.ra_out_pending.insert(destination, session);
+            return Ok(MeAction::ConnectRemote {
+                destination,
+                hello: hello.to_bytes(),
+            });
+        }
+
+        let transfer_cfg = self.config()?.transfer;
+        let active = self.active_stream_count(destination);
+        let unconfirmed_singleshot = self.outgoing.values().any(|mig| {
+            mig.destination == destination && mig.sent && mig.stream.is_none() && !mig.stored
+        });
+        // Nothing this ME previously put on the wire towards the
+        // destination can still be in flight.
+        let quiet = active == 0 && !unconfirmed_singleshot;
+
+        let mut unsent: Vec<MrEnclave> = self
+            .outgoing
+            .iter()
+            .filter(|(_, mig)| mig.destination == destination && !mig.sent)
+            .map(|(mr, _)| *mr)
+            .collect();
+        unsent.sort_by_key(|mr| mr.0);
+        if unsent.is_empty() {
+            return Ok(MeAction::None);
+        }
+
+        let mut slots = transfer_cfg.max_streams.saturating_sub(active);
+        let fresh_count = unsent
+            .iter()
+            .filter(|mr| self.outgoing[*mr].stream.is_none())
+            .count();
+        // Decided up front, not while partitioning: a ResumeRequest is
+        // smaller than a non-empty Transfer frame, so the two must never
+        // share a batch regardless of MRENCLAVE sort order (the smaller
+        // frame sealed second would overtake on the size-ordered
+        // network).
+        let batch_resumes = unsent.len() != fresh_count;
+        let mut singleshots: Vec<MrEnclave> = Vec::new();
+        let mut resumes: Vec<MrEnclave> = Vec::new();
+        let mut announces: Vec<MrEnclave> = Vec::new();
+        for mr in unsent {
+            let mig = &self.outgoing[&mr];
+            if mig.stream.is_some() {
+                if slots > 0 {
+                    resumes.push(mr);
+                    slots -= 1;
+                }
+            } else if mig.state.is_empty() {
+                // No bulk state: must ride the single-shot message (a
+                // zero-length payload cannot chunk). Safe only on a
+                // quiet link; otherwise it waits for the streams to
+                // drain (dispatch re-runs on every completion).
+                if quiet {
+                    singleshots.push(mr);
+                }
+            } else if mig.state.len() <= transfer_cfg.stream_threshold as usize
+                && quiet
+                && fresh_count == 1
+                && !batch_resumes
+            {
+                // Small-state fast path: the paper's single-shot
+                // transfer, kept for the common sole-migration case.
+                singleshots.push(mr);
+            } else if slots > 0 && !unconfirmed_singleshot {
+                // A non-empty single-shot Transfer still in flight is
+                // *larger* than cell-padded chunk frames; announcing a
+                // stream now would let its frames overtake the Transfer
+                // on the size-ordered network and desync the channel.
+                // Stay queued until the Stored/Delivered confirmation
+                // re-runs dispatch (empty Transfers are smaller than
+                // every stream frame and need no such gate).
+                announces.push(mr);
+                slots -= 1;
+            }
+        }
+
+        // Seal order = arrival order on the size-ordered network:
+        // single-shot transfers (empty ones are the smallest frames),
+        // then resume requests, then cell-padded announcements + chunks.
+        let mut frames = Vec::new();
+        for mr in singleshots {
+            let mig = self.outgoing.get_mut(&mr).expect("listed above");
+            mig.sent = true;
+            let msg = MeToMe::Transfer {
+                mr_enclave: mr,
+                data: mig.data.clone(),
+                state: mig.state.to_vec(),
+            };
+            let channel = self
+                .channels_out
+                .get_mut(&destination)
+                .expect("checked above");
+            frames.push(channel.seal(&msg.to_bytes()));
+        }
+        for mr in resumes {
+            let mig = self.outgoing.get_mut(&mr).expect("listed above");
+            mig.sent = true;
+            let stream = mig.stream.as_mut().expect("resume implies stream");
+            // Anything this side believed in flight died with the old
+            // channel; the destination's `Resume` names the true point.
+            stream.next_to_send = stream.acked;
+            stream.awaiting_resume = true;
+            let msg = MeToMe::ResumeRequest {
+                mr_enclave: mr,
+                nonce: stream.nonce,
+            };
+            let channel = self
+                .channels_out
+                .get_mut(&destination)
+                .expect("checked above");
+            frames.push(channel.seal(&msg.to_bytes()));
+        }
+        if !announces.is_empty() {
+            let chunk_size = self
+                .links
+                .entry(destination)
+                .or_insert_with(|| AdaptiveLink::new(&transfer_cfg))
+                .chunk_size();
+            let mut leads = Vec::with_capacity(announces.len());
+            let mut lead_cost = 0u32;
+            for mr in announces {
+                leads.push(self.announce_stream(env, mr, chunk_size)?);
+                let stream = self.outgoing[&mr].stream.as_ref().expect("announced");
+                lead_cost = lead_cost.max(stream.frame_cost());
+            }
+            frames.extend(self.pump_streams(destination, leads, lead_cost)?);
+        }
+
+        Ok(match frames.len() {
+            0 => MeAction::None,
+            1 => MeAction::SendRemote {
+                destination,
+                transfer: frames.remove(0),
+            },
+            _ => MeAction::StreamRemote {
+                destination,
+                frames,
+            },
         })
     }
 
@@ -1052,12 +1379,28 @@ impl MigrationEnclave {
             .get_mut(&mr)
             .ok_or(MigError::Protocol("no retained migration data"))?;
         outgoing.destination = destination;
-        outgoing.sent = false;
         // The failure being retried may be a dead peer channel (e.g. the
         // destination's management VM restarted); drop any cached state
         // towards the destination so a fresh mutual attestation runs.
+        // Every migration multiplexed on that channel lost its in-flight
+        // frames with it, so mark them all unsent: the reconnect
+        // renegotiates each stream's resume point per nonce.
         self.channels_out.remove(&destination);
         self.ra_out_pending.remove(&destination);
+        self.schedulers.remove(&destination);
+        self.wire_cells.remove(&destination);
+        for mig in self
+            .outgoing
+            .values_mut()
+            .filter(|mig| mig.destination == destination)
+        {
+            mig.sent = false;
+            mig.stored = false;
+            if let Some(stream) = mig.stream.as_mut() {
+                stream.next_to_send = stream.acked;
+                stream.awaiting_resume = false;
+            }
+        }
         let action = self.dispatch_outgoing(env, destination)?;
         Ok(action.to_bytes())
     }
@@ -1132,8 +1475,10 @@ impl MigrationEnclave {
         for (mr, cached) in &self.state_cache {
             w.array(&mr.0);
             w.u64(cached.generation);
+            w.u64(cached.last_used);
             w.bytes(&cached.state);
         }
+        w.u64(self.cache_clock);
         let plaintext = w.finish();
         Ok(env.seal_data(
             sgx_sim::cpu::KeyPolicy::MrEnclave,
@@ -1184,6 +1529,7 @@ impl MigrationEnclave {
                         // Anything past the last ack may be lost in
                         // flight; resend from there.
                         next_to_send: acked,
+                        awaiting_resume: false,
                     })
                 }
                 _ => return Err(MigError::Sgx(SgxError::Decode)),
@@ -1198,6 +1544,7 @@ impl MigrationEnclave {
                     data,
                     state: state.into(),
                     sent: false,
+                    stored: false,
                     stream,
                 },
             );
@@ -1241,9 +1588,18 @@ impl MigrationEnclave {
         for _ in 0..n_cached {
             let mr = MrEnclave(r.array()?);
             let generation = r.u64()?;
+            let last_used = r.u64()?;
             let state: Arc<[u8]> = r.bytes_vec()?.into();
-            state_cache.insert(mr, CachedGeneration { generation, state });
+            state_cache.insert(
+                mr,
+                CachedGeneration {
+                    generation,
+                    state,
+                    last_used,
+                },
+            );
         }
+        let cache_clock = r.u64()?;
         r.finish()?;
 
         let signing = SigningKey::from_seed(seed);
@@ -1265,11 +1621,14 @@ impl MigrationEnclave {
         self.pending_incoming = pending_incoming;
         self.inbound_streams = inbound_streams;
         self.state_cache = state_cache;
+        self.cache_clock = cache_clock;
         self.out_streams.clear();
         self.out_manifests.clear();
-        // Adaptive link state is ephemeral: re-seed from the provisioned
-        // config on the next stream.
+        // Adaptive link, scheduler, and wire-cell state is ephemeral:
+        // re-seeded from the provisioned config on the next stream.
         self.links.clear();
+        self.schedulers.clear();
+        self.wire_cells.clear();
         Ok(vec![])
     }
 
@@ -1415,7 +1774,21 @@ impl MigrationEnclave {
                 if inbound.source != source {
                     return Err(MigError::Protocol("chunk from wrong source"));
                 }
-                inbound.assembler.accept(idx, &payload, &mac)?;
+                if let Err(e) = inbound.assembler.accept(idx, &payload, &mac) {
+                    // An out-of-order index is a loss artifact of the
+                    // network: keep the verified prefix so a resume
+                    // renegotiation continues from it. Anything else —
+                    // a chain-MAC mismatch (cross-nonce splice, payload
+                    // tamper) or a wrong length — is evidence of
+                    // manipulation below the channel: quarantine *this*
+                    // stream only (drop its partial state; a resume
+                    // restarts it from chunk 0) and leave every other
+                    // multiplexed stream untouched.
+                    if !matches!(e, MigError::Transfer("chunk index out of order")) {
+                        self.inbound_streams.remove(&nonce);
+                    }
+                    return Err(e);
+                }
                 let upto = inbound.assembler.next_idx();
                 let mr_enclave = inbound.mr_enclave;
                 if !inbound.assembler.is_complete() {
@@ -1453,7 +1826,12 @@ impl MigrationEnclave {
                                 && mig_crypto::sha256::sha256(&c.state) == manifest.base_digest
                         });
                         match base {
-                            Some(base) => delta::apply(&base.state, manifest, &payload)?.into(),
+                            Some(base) => {
+                                let applied: Arc<[u8]> =
+                                    delta::apply(&base.state, manifest, &payload)?.into();
+                                self.cache_touch(&mr_enclave);
+                                applied
+                            }
                             None => {
                                 let nack = self
                                     .channels_in
@@ -1472,14 +1850,9 @@ impl MigrationEnclave {
                     None => payload.into(),
                 };
                 // Both ends retain the installed generation as the next
-                // repeat migration's delta base.
-                self.state_cache.insert(
-                    mr_enclave,
-                    CachedGeneration {
-                        generation: inbound.generation,
-                        state: Arc::clone(&state),
-                    },
-                );
+                // repeat migration's delta base (LRU-bounded; an evicted
+                // base later NACKs back to a full stream).
+                self.cache_insert(mr_enclave, inbound.generation, Arc::clone(&state));
                 let ack = self
                     .channels_in
                     .get_mut(&source)
@@ -1547,10 +1920,11 @@ impl MigrationEnclave {
     }
 
     /// Advances the outgoing stream `nonce` after a cumulative ack
-    /// (`resume_from: None`) or a negotiated resume point
-    /// (`resume_from: Some(idx)`; `0` restarts the stream, fresh
-    /// `ChunkStart` included), returning the owning MRENCLAVE and the
-    /// next window of frames to send.
+    /// (`resume: false`) or a negotiated resume point (`resume: true`;
+    /// `upto == 0` restarts the stream, fresh `ChunkStart` included),
+    /// then refills the freed shared-window budget **across every
+    /// stream** towards the destination (deficit round-robin), returning
+    /// the owning MRENCLAVE and the frames to send.
     fn advance_stream(
         &mut self,
         destination: MachineId,
@@ -1559,13 +1933,19 @@ impl MigrationEnclave {
         resume: bool,
     ) -> Result<(MrEnclave, Vec<Vec<u8>>), MigError> {
         let mr = self.outgoing_by_nonce(&nonce)?;
+        // Per-nonce binding: an ack relayed from a different peer than
+        // the stream's destination is a cross-stream splice attempt —
+        // reject it without touching any stream's state.
+        if self.outgoing[&mr].destination != destination {
+            return Err(MigError::Protocol("ack from wrong destination"));
+        }
         self.ensure_out_stream(mr)?;
         // Feed the adaptive controller: a cumulative ack is the healthy
         // signal that grows the window; a resume renegotiation is the
         // disruption that shrinks chunk size for *future* streams (the
         // current stream keeps its announced geometry).
         let transfer_cfg = self.config()?.transfer;
-        let window = {
+        {
             let link = self
                 .links
                 .entry(destination)
@@ -1575,8 +1955,7 @@ impl MigrationEnclave {
             } else {
                 link.on_clean_ack();
             }
-            link.window()
-        };
+        }
         let mig = self.outgoing.get_mut(&mr).expect("found above");
         let n_chunks = mig.n_chunks();
         if upto > n_chunks {
@@ -1587,32 +1966,21 @@ impl MigrationEnclave {
             // Anything past the negotiated point may be lost; rewind.
             stream.acked = upto;
             stream.next_to_send = upto;
+            stream.awaiting_resume = false;
         } else {
             stream.acked = stream.acked.max(upto);
             stream.next_to_send = stream.next_to_send.max(stream.acked);
         }
-        // Slide the window: keep `window` chunks in flight.
-        let from = stream.next_to_send;
-        let upto_send = n_chunks.min(stream.acked + window).max(from);
-        stream.next_to_send = upto_send;
 
-        let start_msg = if resume && upto == 0 {
+        let (leads, lead_cost) = if resume && upto == 0 {
             // Rewind to the very beginning: re-announce the stream
             // (ChunkStart or DeltaStart, whichever it was).
-            Some(self.rebuild_start_msg(mr)?)
+            let cost = mig.stream.as_ref().expect("checked above").frame_cost();
+            (vec![self.rebuild_start_msg(mr)?], cost)
         } else {
-            None
+            (Vec::new(), 0)
         };
-        let cache = self.out_streams.get(&mr).expect("ensured above");
-        let channel = self
-            .channels_out
-            .get_mut(&destination)
-            .ok_or(MigError::Protocol("no channel to destination"))?;
-        let mut frames = Vec::new();
-        if let Some(msg) = start_msg {
-            frames.push(channel.seal(&msg.to_bytes()));
-        }
-        frames.extend(chunk_frames(cache, channel, from, upto_send));
+        let frames = self.pump_streams(destination, leads, lead_cost)?;
         Ok((mr, frames))
     }
 
@@ -1640,6 +2008,20 @@ impl MigrationEnclave {
         let plaintext = channel.open(&ciphertext)?;
         match MeToMe::from_bytes(&plaintext)? {
             MeToMe::Delivered { mr_enclave } => {
+                // Delivery binding: only the migration's *current*
+                // destination may release the retained copy (Fig. 2) —
+                // a stale confirmation from a previous destination must
+                // not destroy the frozen source's only copy mid-stream
+                // towards the new one.
+                if self
+                    .outgoing
+                    .get(&mr_enclave)
+                    .is_some_and(|mig| mig.destination != destination)
+                {
+                    return Err(MigError::Protocol(
+                        "delivery confirmation from wrong destination",
+                    ));
+                }
                 // Safe to delete the retained migration data (Fig. 2).
                 self.outgoing.remove(&mr_enclave);
                 self.out_streams.remove(&mr_enclave);
@@ -1656,7 +2038,35 @@ impl MigrationEnclave {
             }
             MeToMe::Stored { mr_enclave } => {
                 // Destination parked the data; retain ours until DONE —
-                // but the channel is free for further queued migrations.
+                // but the stream slot (or single-shot confirmation) is
+                // free for further queued migrations. Same binding as
+                // Delivered: only the current destination's confirmation
+                // may close the stream's accounting.
+                let mut completed_stream = None;
+                if let Some(mig) = self.outgoing.get_mut(&mr_enclave) {
+                    if mig.destination != destination {
+                        return Err(MigError::Protocol(
+                            "storage confirmation from wrong destination",
+                        ));
+                    }
+                    mig.stored = true;
+                    if let Some(stream) = mig.stream.as_mut() {
+                        // A resume renegotiation found the payload fully
+                        // received: close out the stream's accounting.
+                        let n = stream.n_chunks();
+                        stream.acked = n;
+                        stream.next_to_send = n;
+                        stream.awaiting_resume = false;
+                        completed_stream = Some((stream.generation, Arc::clone(&mig.state)));
+                    }
+                }
+                // The destination holds (and caches) the full streamed
+                // generation: record it as the delta base exactly as the
+                // final-ChunkAck path does, so a repeat migration after
+                // a Stored-closed resume still ships a delta.
+                if let Some((generation, state)) = completed_stream {
+                    self.cache_insert(mr_enclave, generation, state);
+                }
                 let next = Self::action_frames(self.dispatch_outgoing(env, destination)?);
                 Ok(Self::ack_output(2, mr_enclave, None, &next))
             }
@@ -1671,18 +2081,15 @@ impl MigrationEnclave {
                     // Final cumulative ack: the stream is fully at the
                     // destination (retained until Delivered). Record the
                     // shipped generation as the delta base for the next
-                    // repeat migration, then let the channel start the
-                    // next queued migration.
-                    if let Some(mig) = self.outgoing.get(&mr) {
-                        if let Some(stream) = &mig.stream {
-                            self.state_cache.insert(
-                                mr,
-                                CachedGeneration {
-                                    generation: stream.generation,
-                                    state: Arc::clone(&mig.state),
-                                },
-                            );
-                        }
+                    // repeat migration, then let the freed stream slot
+                    // start the next queued migration.
+                    let completed = self.outgoing.get(&mr).and_then(|mig| {
+                        mig.stream
+                            .as_ref()
+                            .map(|s| (s.generation, Arc::clone(&mig.state)))
+                    });
+                    if let Some((generation, state)) = completed {
+                        self.cache_insert(mr, generation, state);
                     }
                     frames.extend(Self::action_frames(
                         self.dispatch_outgoing(env, destination)?,
@@ -1763,6 +2170,27 @@ impl MigrationEnclave {
                 w.u8(0);
             }
         }
+        // Per-stream state of the multiplexed link (diagnostics): every
+        // announced stream towards the destination with its per-nonce
+        // progress. The nonce itself stays inside the enclave — it keys
+        // the chunk HMAC chain.
+        let mut streams: Vec<(&MrEnclave, &OutgoingStream)> = self
+            .outgoing
+            .iter()
+            .filter(|(_, mig)| mig.destination == destination && mig.sent)
+            .filter_map(|(mr, mig)| mig.stream.as_ref().map(|s| (mr, s)))
+            .collect();
+        streams.sort_by_key(|(mr, _)| mr.0);
+        w.u32(streams.len() as u32);
+        for (mr, stream) in streams {
+            w.array(&mr.0);
+            w.u32(stream.acked);
+            w.u32(stream.n_chunks());
+            w.u32(stream.next_to_send.saturating_sub(stream.acked));
+            w.u8(u8::from(stream.delta_base.is_some()));
+            w.u8(u8::from(stream.awaiting_resume));
+        }
+        w.u32(self.wire_cells.get(&destination).copied().unwrap_or(0));
         Ok(w.finish())
     }
 }
@@ -1825,5 +2253,101 @@ impl MigrationEnclave {
             SecureChannel::new(pending.key, ChannelRole::Responder),
         );
         Ok(vec![])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(len: usize, last_used: u64) -> CachedGeneration {
+        CachedGeneration {
+            generation: 0,
+            state: vec![0u8; len].into(),
+            last_used,
+        }
+    }
+
+    fn no_pins() -> std::collections::HashSet<MrEnclave> {
+        std::collections::HashSet::new()
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget_and_recency() {
+        let mut cache = HashMap::new();
+        cache.insert(MrEnclave([1; 32]), entry(100, 1));
+        cache.insert(MrEnclave([2; 32]), entry(100, 3));
+        cache.insert(MrEnclave([3; 32]), entry(100, 2));
+        evict_lru(&mut cache, 200, &no_pins());
+        assert!(!cache.contains_key(&MrEnclave([1; 32])), "oldest evicted");
+        assert!(cache.contains_key(&MrEnclave([2; 32])));
+        assert!(cache.contains_key(&MrEnclave([3; 32])));
+        // A touch (fresher tick) protects an entry from the next round.
+        cache.get_mut(&MrEnclave([3; 32])).unwrap().last_used = 4;
+        evict_lru(&mut cache, 100, &no_pins());
+        assert!(cache.contains_key(&MrEnclave([3; 32])));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_drops_oversized_sole_entry() {
+        let mut cache = HashMap::new();
+        cache.insert(MrEnclave([1; 32]), entry(500, 1));
+        evict_lru(&mut cache, 400, &no_pins());
+        assert!(cache.is_empty(), "an entry larger than the budget goes too");
+        // Zero entries never loop.
+        evict_lru(&mut cache, 0, &no_pins());
+    }
+
+    #[test]
+    fn lru_eviction_never_evicts_pinned_bases() {
+        // An in-flight delta stream's base must survive even over
+        // budget; the next-oldest unpinned entry goes instead, and if
+        // everything left is pinned the budget is exceeded transiently.
+        let mut cache = HashMap::new();
+        cache.insert(MrEnclave([1; 32]), entry(100, 1)); // oldest, pinned
+        cache.insert(MrEnclave([2; 32]), entry(100, 2));
+        cache.insert(MrEnclave([3; 32]), entry(100, 3));
+        let pinned: std::collections::HashSet<MrEnclave> =
+            [MrEnclave([1; 32])].into_iter().collect();
+        evict_lru(&mut cache, 200, &pinned);
+        assert!(cache.contains_key(&MrEnclave([1; 32])), "pinned survives");
+        assert!(!cache.contains_key(&MrEnclave([2; 32])), "next LRU goes");
+        evict_lru(&mut cache, 50, &pinned);
+        assert!(
+            cache.contains_key(&MrEnclave([1; 32])),
+            "pinned survives even a budget it alone exceeds"
+        );
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn outgoing_stream_frame_cost_and_completion() {
+        let mut stream = OutgoingStream {
+            nonce: [0; 16],
+            chunk_size: 64 * 1024,
+            payload_len: 256 * 1024,
+            generation: 0,
+            delta_base: None,
+            acked: 0,
+            next_to_send: 0,
+            awaiting_resume: false,
+        };
+        assert_eq!(stream.n_chunks(), 4);
+        assert_eq!(
+            stream.frame_cost(),
+            64 * 1024,
+            "multi-chunk cost = chunk size"
+        );
+        assert!(!stream.complete());
+        stream.acked = 4;
+        assert!(stream.complete());
+        // A single-chunk stream costs its payload (floored at the
+        // minimum chunk size).
+        stream.payload_len = 1000;
+        assert_eq!(stream.n_chunks(), 1);
+        assert_eq!(stream.frame_cost(), MIN_CHUNK_SIZE);
+        stream.payload_len = 20_000;
+        assert_eq!(stream.frame_cost(), 20_000);
     }
 }

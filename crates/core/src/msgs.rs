@@ -21,9 +21,20 @@
 //! (driving the source's send window), [`MeToMe::ResumeRequest`] /
 //! [`MeToMe::Resume`] renegotiate the resume point after a crash, and
 //! [`MeToMe::DeltaNack`] tells a source whose delta base the destination
-//! does not hold to fall back to a full stream. `Chunk` messages are
-//! padded to a uniform wire size so equal-length ciphertexts keep FIFO
-//! ordering on the simulated network.
+//! does not hold to fall back to a full stream.
+//!
+//! **Per-nonce multiplexing and wire cells.** Several chunk streams to
+//! the same destination interleave on one attested channel, each frame
+//! tagged by its [`TransferNonce`]; the channel's per-session sequence
+//! numbers keep the *interleaving itself* tamper-evident, and the
+//! per-nonce HMAC chain rejects any cross-stream splice below it. The
+//! simulated network delivers smaller ciphertexts earlier, so every
+//! source→destination stream frame (`ChunkStart` / `DeltaStart` /
+//! `Chunk`) is padded to the destination link's current *wire cell* —
+//! frames of equal length stay FIFO — and the small
+//! destination→source control frames (`Delivered` / `Stored` /
+//! `ChunkAck` / `Resume` / `DeltaNack`) are padded to one uniform
+//! [`CTRL_FRAME_LEN`] for the same reason.
 
 use crate::library::state::MigrationData;
 use crate::transfer::chunker::{ChunkMac, TransferNonce};
@@ -32,6 +43,13 @@ use crate::transfer::delta::DeltaManifest;
 /// Zero padding appended to `ResumeRequest` so its ciphertext is larger
 /// than any `RA_FINISH` frame (see encode comment).
 const RESUME_REQUEST_PAD: usize = 4096;
+
+/// Uniform plaintext length of the small destination→source control
+/// frames (`Delivered`, `Stored`, `ChunkAck`, `Resume`, `DeltaNack`).
+/// With multiple streams multiplexed on one channel these frames are
+/// sealed back to back; equal lengths keep their ciphertexts FIFO on
+/// the size-ordered simulated network.
+pub const CTRL_FRAME_LEN: usize = 64;
 use sgx_sim::machine::MachineId;
 use sgx_sim::measurement::MrEnclave;
 use sgx_sim::wire::{WireReader, WireWriter};
@@ -314,6 +332,55 @@ impl MeToMe {
         w.finish()
     }
 
+    /// Fixed wire overhead of a [`MeToMe::Chunk`] frame: tag(1) +
+    /// nonce(16) + idx(4) + payload len prefix(4) + mac(32) + pad len
+    /// prefix(4).
+    const CHUNK_FRAME_OVERHEAD: usize = 61;
+
+    /// Plaintext length of a [`MeToMe::Chunk`] frame whose payload plus
+    /// padding sum to `cell` bytes — the uniform *wire cell* every
+    /// stream frame towards one destination is padded to.
+    #[must_use]
+    pub fn chunk_frame_len(cell: u32) -> usize {
+        cell as usize + Self::CHUNK_FRAME_OVERHEAD
+    }
+
+    /// Inverse of [`MeToMe::chunk_frame_len`]: the smallest cell whose
+    /// chunk frames are at least `frame_len` bytes on the wire — what a
+    /// link's cell must grow to so an oversized lead frame (e.g. a
+    /// `DeltaStart` naming many pages) cannot be overtaken by the
+    /// chunks sealed after it.
+    #[must_use]
+    pub fn cell_for_frame_len(frame_len: usize) -> u32 {
+        frame_len.saturating_sub(Self::CHUNK_FRAME_OVERHEAD) as u32
+    }
+
+    /// Grows the trailing pad field of a freshly encoded stream frame
+    /// (`ChunkStart` / `DeltaStart`, whose [`MeToMe::to_bytes`] emits an
+    /// empty pad) so the plaintext reaches exactly `target` bytes —
+    /// equalizing its wire size with the destination's chunk frames. A
+    /// frame already at or above `target` is left unchanged.
+    pub fn pad_frame(frame: &mut Vec<u8>, target: usize) {
+        if frame.len() >= target {
+            return;
+        }
+        let extra = target - frame.len();
+        let len_pos = frame.len() - 4;
+        debug_assert_eq!(
+            &frame[len_pos..],
+            &[0u8; 4],
+            "pad_frame requires a trailing empty pad field"
+        );
+        frame[len_pos..].copy_from_slice(&u32::try_from(extra).expect("pad < 4 GiB").to_le_bytes());
+        frame.resize(target, 0);
+    }
+
+    /// Pads a control frame up to [`CTRL_FRAME_LEN`] plaintext bytes.
+    fn ctrl_pad(w: &mut WireWriter) {
+        let pad = CTRL_FRAME_LEN.saturating_sub(w.len() + 4);
+        w.bytes(&vec![0u8; pad]);
+    }
+
     /// Serializes the message (channel plaintext).
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
@@ -332,10 +399,12 @@ impl MeToMe {
             MeToMe::Delivered { mr_enclave } => {
                 w.u8(2);
                 w.array(&mr_enclave.0);
+                Self::ctrl_pad(&mut w);
             }
             MeToMe::Stored { mr_enclave } => {
                 w.u8(3);
                 w.array(&mr_enclave.0);
+                Self::ctrl_pad(&mut w);
             }
             MeToMe::ChunkStart {
                 mr_enclave,
@@ -354,6 +423,9 @@ impl MeToMe {
                 w.u32(*chunk_size);
                 w.array(state_digest);
                 w.bytes(&data.to_bytes());
+                // Empty pad field; [`MeToMe::pad_frame`] grows it to the
+                // destination's wire cell before sealing.
+                w.bytes(&[]);
             }
             MeToMe::Chunk {
                 nonce,
@@ -379,16 +451,20 @@ impl MeToMe {
                 w.array(payload_digest);
                 w.bytes(&manifest.to_bytes());
                 w.bytes(&data.to_bytes());
+                // Empty pad field; grown to the wire cell before sealing.
+                w.bytes(&[]);
             }
             MeToMe::DeltaNack { mr_enclave, nonce } => {
                 w.u8(10);
                 w.array(&mr_enclave.0);
                 w.array(nonce);
+                Self::ctrl_pad(&mut w);
             }
             MeToMe::ChunkAck { nonce, upto } => {
                 w.u8(6);
                 w.array(nonce);
                 w.u32(*upto);
+                Self::ctrl_pad(&mut w);
             }
             MeToMe::ResumeRequest { mr_enclave, nonce } => {
                 w.u8(7);
@@ -404,6 +480,7 @@ impl MeToMe {
                 w.u8(8);
                 w.array(nonce);
                 w.u32(*from_idx);
+                Self::ctrl_pad(&mut w);
             }
         }
         w.finish()
@@ -422,21 +499,33 @@ impl MeToMe {
                 data: MigrationData::from_bytes(r.bytes()?)?,
                 state: r.bytes_vec()?,
             },
-            2 => MeToMe::Delivered {
-                mr_enclave: MrEnclave(r.array()?),
-            },
-            3 => MeToMe::Stored {
-                mr_enclave: MrEnclave(r.array()?),
-            },
-            4 => MeToMe::ChunkStart {
-                mr_enclave: MrEnclave(r.array()?),
-                nonce: r.array()?,
-                generation: r.u64()?,
-                total_len: r.u64()?,
-                chunk_size: r.u32()?,
-                state_digest: r.array()?,
-                data: MigrationData::from_bytes(r.bytes()?)?,
-            },
+            2 => {
+                let msg = MeToMe::Delivered {
+                    mr_enclave: MrEnclave(r.array()?),
+                };
+                let _pad = r.bytes()?;
+                msg
+            }
+            3 => {
+                let msg = MeToMe::Stored {
+                    mr_enclave: MrEnclave(r.array()?),
+                };
+                let _pad = r.bytes()?;
+                msg
+            }
+            4 => {
+                let msg = MeToMe::ChunkStart {
+                    mr_enclave: MrEnclave(r.array()?),
+                    nonce: r.array()?,
+                    generation: r.u64()?,
+                    total_len: r.u64()?,
+                    chunk_size: r.u32()?,
+                    state_digest: r.array()?,
+                    data: MigrationData::from_bytes(r.bytes()?)?,
+                };
+                let _pad = r.bytes()?;
+                msg
+            }
             5 => MeToMe::Chunk {
                 nonce: r.array()?,
                 idx: r.u32()?,
@@ -444,10 +533,14 @@ impl MeToMe {
                 mac: r.array()?,
                 pad: u32::try_from(r.bytes()?.len()).map_err(|_| SgxError::Decode)?,
             },
-            6 => MeToMe::ChunkAck {
-                nonce: r.array()?,
-                upto: r.u32()?,
-            },
+            6 => {
+                let msg = MeToMe::ChunkAck {
+                    nonce: r.array()?,
+                    upto: r.u32()?,
+                };
+                let _pad = r.bytes()?;
+                msg
+            }
             7 => {
                 let msg = MeToMe::ResumeRequest {
                     mr_enclave: MrEnclave(r.array()?),
@@ -456,22 +549,34 @@ impl MeToMe {
                 let _pad = r.bytes()?;
                 msg
             }
-            8 => MeToMe::Resume {
-                nonce: r.array()?,
-                from_idx: r.u32()?,
-            },
-            9 => MeToMe::DeltaStart {
-                mr_enclave: MrEnclave(r.array()?),
-                nonce: r.array()?,
-                chunk_size: r.u32()?,
-                payload_digest: r.array()?,
-                manifest: DeltaManifest::from_bytes(r.bytes()?)?,
-                data: MigrationData::from_bytes(r.bytes()?)?,
-            },
-            10 => MeToMe::DeltaNack {
-                mr_enclave: MrEnclave(r.array()?),
-                nonce: r.array()?,
-            },
+            8 => {
+                let msg = MeToMe::Resume {
+                    nonce: r.array()?,
+                    from_idx: r.u32()?,
+                };
+                let _pad = r.bytes()?;
+                msg
+            }
+            9 => {
+                let msg = MeToMe::DeltaStart {
+                    mr_enclave: MrEnclave(r.array()?),
+                    nonce: r.array()?,
+                    chunk_size: r.u32()?,
+                    payload_digest: r.array()?,
+                    manifest: DeltaManifest::from_bytes(r.bytes()?)?,
+                    data: MigrationData::from_bytes(r.bytes()?)?,
+                };
+                let _pad = r.bytes()?;
+                msg
+            }
+            10 => {
+                let msg = MeToMe::DeltaNack {
+                    mr_enclave: MrEnclave(r.array()?),
+                    nonce: r.array()?,
+                };
+                let _pad = r.bytes()?;
+                msg
+            }
             _ => return Err(SgxError::Decode),
         };
         r.finish()?;
@@ -640,6 +745,71 @@ mod tests {
             incoming.to_bytes(),
             MeToLib::encode_incoming_migration(&data(), b"bulk")
         );
+    }
+
+    #[test]
+    fn control_frames_share_one_wire_size() {
+        // All destination→source control frames must seal to the same
+        // ciphertext length; an interleaved multi-stream ack sequence
+        // would otherwise reorder on the size-ordered network.
+        let frames = [
+            MeToMe::Delivered {
+                mr_enclave: MrEnclave([5; 32]),
+            }
+            .to_bytes(),
+            MeToMe::Stored {
+                mr_enclave: MrEnclave([6; 32]),
+            }
+            .to_bytes(),
+            MeToMe::ChunkAck {
+                nonce: [8; 16],
+                upto: 8,
+            }
+            .to_bytes(),
+            MeToMe::Resume {
+                nonce: [8; 16],
+                from_idx: 3,
+            }
+            .to_bytes(),
+            MeToMe::DeltaNack {
+                mr_enclave: MrEnclave([5; 32]),
+                nonce: [8; 16],
+            }
+            .to_bytes(),
+        ];
+        for frame in &frames {
+            assert_eq!(frame.len(), CTRL_FRAME_LEN, "control frames are uniform");
+        }
+    }
+
+    #[test]
+    fn chunk_frame_len_matches_encoding() {
+        for (payload, pad) in [(0usize, 4096u32), (100, 3996), (4096, 0)] {
+            let frame = MeToMe::encode_chunk(&[1; 16], 0, &vec![7; payload], &[2; 32], pad);
+            assert_eq!(frame.len(), MeToMe::chunk_frame_len(4096));
+        }
+    }
+
+    #[test]
+    fn padded_start_frames_parse_identically() {
+        let start = MeToMe::ChunkStart {
+            mr_enclave: MrEnclave([5; 32]),
+            nonce: [8; 16],
+            generation: 3,
+            total_len: 1_000_000,
+            chunk_size: 4096,
+            state_digest: [9; 32],
+            data: data(),
+        };
+        let mut frame = start.to_bytes();
+        MeToMe::pad_frame(&mut frame, MeToMe::chunk_frame_len(64 * 1024));
+        assert_eq!(frame.len(), MeToMe::chunk_frame_len(64 * 1024));
+        assert_eq!(MeToMe::from_bytes(&frame).unwrap(), start);
+        // A frame already above the target is untouched.
+        let mut big = start.to_bytes();
+        let natural = big.len();
+        MeToMe::pad_frame(&mut big, 10);
+        assert_eq!(big.len(), natural);
     }
 
     #[test]

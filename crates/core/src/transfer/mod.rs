@@ -36,9 +36,15 @@
 //! [`crate::msgs::MeToMe`]; the Migration Enclave ([`crate::me`]) drives
 //! the engine with windowed, pipelined sends over the existing attested
 //! [`crate::secure_channel`], sizing chunks and windows through the
-//! per-destination [`AdaptiveLink`] controller. State at or below
+//! per-destination [`AdaptiveLink`] controller. Up to
+//! [`TransferConfig::max_streams`] transfers towards one destination
+//! run **concurrently**, keyed by their per-transfer nonce and
+//! multiplexed on the shared channel; the [`DrrScheduler`] apportions
+//! the link window among them (deficit round-robin) so a large-state
+//! migration cannot starve a small one. State at or below
 //! [`TransferConfig::stream_threshold`] still travels in the original
-//! single-shot `Transfer` message (the small-state fast path).
+//! single-shot `Transfer` message (the small-state fast path) when the
+//! link is quiet.
 
 pub mod checkpoint;
 pub mod chunker;
@@ -47,6 +53,8 @@ pub mod delta;
 use cloud_sim::network::LinkProfile;
 use sgx_sim::wire::{WireReader, WireWriter};
 use sgx_sim::SgxError;
+use std::collections::HashMap;
+use std::hash::Hash;
 
 /// Default streaming threshold: state strictly larger than this streams.
 pub const DEFAULT_STREAM_THRESHOLD: u32 = 64 * 1024;
@@ -59,6 +67,13 @@ pub const DEFAULT_MAX_WINDOW: u32 = 32;
 /// Default largest delta payload, in percent of the full state, still
 /// shipped as a delta (larger deltas fall back to a full stream).
 pub const DEFAULT_MAX_DELTA_PERCENT: u32 = 50;
+/// Default cap on concurrently multiplexed chunk streams per
+/// destination; further migrations queue until a stream completes.
+pub const DEFAULT_MAX_STREAMS: u32 = 8;
+/// Default byte budget of the ME's per-measurement generation cache
+/// (delta bases). Least-recently-used entries are evicted beyond it;
+/// evicted bases simply fall back to full streams via `DeltaNack`.
+pub const DEFAULT_CACHE_BUDGET: u64 = 256 * 1024 * 1024;
 /// Minimum accepted chunk size. Keeps every chunk ciphertext larger
 /// than the RA handshake-finish frame, so chunks sent in the same step
 /// as the finish cannot overtake it on the size-ordered simulated
@@ -88,6 +103,12 @@ pub struct TransferConfig {
     /// worth shipping as a dirty-page delta; anything larger streams the
     /// full state.
     pub max_delta_percent: u32,
+    /// Maximum chunk streams multiplexed concurrently towards one
+    /// destination; further migrations stay queued until a slot frees.
+    pub max_streams: u32,
+    /// Byte budget of the per-measurement generation cache (delta
+    /// bases); least-recently-used entries are evicted beyond it.
+    pub cache_budget: u64,
 }
 
 impl Default for TransferConfig {
@@ -98,6 +119,8 @@ impl Default for TransferConfig {
             window: DEFAULT_WINDOW,
             max_window: DEFAULT_MAX_WINDOW,
             max_delta_percent: DEFAULT_MAX_DELTA_PERCENT,
+            max_streams: DEFAULT_MAX_STREAMS,
+            cache_budget: DEFAULT_CACHE_BUDGET,
         }
     }
 }
@@ -132,6 +155,8 @@ impl TransferConfig {
         w.u32(self.window);
         w.u32(self.max_window);
         w.u32(self.max_delta_percent);
+        w.u32(self.max_streams);
+        w.u64(self.cache_budget);
     }
 
     /// Parses a config, rejecting degenerate geometry.
@@ -140,7 +165,8 @@ impl TransferConfig {
     ///
     /// [`SgxError::Decode`] on malformed input, a chunk size below
     /// [`MIN_CHUNK_SIZE`], a zero window, a window ceiling below the
-    /// initial window, or a delta fraction above 100 %.
+    /// initial window, a delta fraction above 100 %, a zero stream cap,
+    /// or a zero cache budget.
     pub fn decode(r: &mut WireReader<'_>) -> Result<Self, SgxError> {
         let config = TransferConfig {
             stream_threshold: r.u32()?,
@@ -148,11 +174,15 @@ impl TransferConfig {
             window: r.u32()?,
             max_window: r.u32()?,
             max_delta_percent: r.u32()?,
+            max_streams: r.u32()?,
+            cache_budget: r.u64()?,
         };
         if config.chunk_size < MIN_CHUNK_SIZE
             || config.window == 0
             || config.max_window < config.window
             || config.max_delta_percent > 100
+            || config.max_streams == 0
+            || config.cache_budget == 0
         {
             return Err(SgxError::Decode);
         }
@@ -216,6 +246,129 @@ impl AdaptiveLink {
     }
 }
 
+/// One stream's appetite in a [`DrrScheduler::allocate`] round: how many
+/// chunks it still wants to put on the wire and what one chunk costs in
+/// bytes (its announced chunk size — streams announced under different
+/// link conditions carry different geometry).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamDemand {
+    /// Chunks the stream could send right now (unsent, inside the
+    /// payload).
+    pub pending_chunks: u32,
+    /// Wire cost of one chunk in bytes.
+    pub chunk_cost: u64,
+}
+
+/// Deficit-round-robin scheduler apportioning a shared per-destination
+/// link budget among concurrently multiplexed chunk streams.
+///
+/// Classic DRR (Shreedhar & Varghese): every ready stream accrues one
+/// `quantum` of byte credit per round and spends it on whole chunks; the
+/// leftover deficit carries into the next round, so a stream with small
+/// chunks is not systematically out-scheduled by one with large chunks,
+/// and a 64 MiB migration cannot starve a 64 KiB one — each gets its
+/// proportional share of every refill. State (round-robin order, cursor,
+/// deficits) persists across calls for long-run fairness but is
+/// deliberately ephemeral in the ME: after a restart the first refill
+/// simply starts a fresh round.
+#[derive(Debug)]
+pub struct DrrScheduler<K: Copy + Eq + Hash> {
+    order: Vec<K>,
+    cursor: usize,
+    deficit: HashMap<K, u64>,
+}
+
+impl<K: Copy + Eq + Hash> Default for DrrScheduler<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Copy + Eq + Hash> DrrScheduler<K> {
+    /// Creates an empty scheduler.
+    #[must_use]
+    pub fn new() -> Self {
+        DrrScheduler {
+            order: Vec::new(),
+            cursor: 0,
+            deficit: HashMap::new(),
+        }
+    }
+
+    /// Synchronizes the round-robin ring with the currently active
+    /// streams: departed keys drop out (with their deficit), new keys
+    /// join at the end of the ring.
+    fn sync(&mut self, demands: &[(K, StreamDemand)]) {
+        let cursor_key = self.order.get(self.cursor).copied();
+        self.order.retain(|k| demands.iter().any(|(dk, _)| dk == k));
+        self.deficit
+            .retain(|k, _| demands.iter().any(|(dk, _)| dk == k));
+        for (k, _) in demands {
+            if !self.order.contains(k) {
+                self.order.push(*k);
+            }
+        }
+        self.cursor = cursor_key
+            .and_then(|k| self.order.iter().position(|o| *o == k))
+            .unwrap_or(0);
+        if self.order.is_empty() {
+            self.cursor = 0;
+        } else {
+            self.cursor %= self.order.len();
+        }
+    }
+
+    /// Distributes a budget of `budget_chunks` send slots over the
+    /// demanding streams, returning the emission order (one entry per
+    /// granted chunk, interleaved the way the frames should hit the
+    /// wire).
+    pub fn allocate(&mut self, mut budget_chunks: u32, demands: &[(K, StreamDemand)]) -> Vec<K> {
+        self.sync(demands);
+        let mut pending: HashMap<K, u32> = demands
+            .iter()
+            .map(|(k, d)| (*k, d.pending_chunks))
+            .collect();
+        let cost: HashMap<K, u64> = demands.iter().map(|(k, d)| (*k, d.chunk_cost)).collect();
+        // One quantum lets the hungriest stream send at least one chunk
+        // per round, so every round makes progress.
+        let quantum = demands
+            .iter()
+            .filter(|(_, d)| d.pending_chunks > 0)
+            .map(|(_, d)| d.chunk_cost)
+            .max()
+            .unwrap_or(0);
+        let mut grants = Vec::new();
+        if quantum == 0 || self.order.is_empty() {
+            return grants;
+        }
+        while budget_chunks > 0 && pending.values().any(|p| *p > 0) {
+            let key = self.order[self.cursor];
+            self.cursor = (self.cursor + 1) % self.order.len();
+            let p = pending.entry(key).or_insert(0);
+            if *p == 0 {
+                // An idle stream carries no credit into its next busy
+                // period (standard DRR: deficit resets when the queue
+                // empties).
+                self.deficit.insert(key, 0);
+                continue;
+            }
+            let c = cost.get(&key).copied().unwrap_or(quantum).max(1);
+            let deficit = self.deficit.entry(key).or_insert(0);
+            *deficit += quantum;
+            while *deficit >= c && *p > 0 && budget_chunks > 0 {
+                grants.push(key);
+                *deficit -= c;
+                *p -= 1;
+                budget_chunks -= 1;
+            }
+            if *p == 0 {
+                *deficit = 0;
+            }
+        }
+        grants
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,6 +381,8 @@ mod tests {
             window: 3,
             max_window: 24,
             max_delta_percent: 10,
+            max_streams: 4,
+            cache_budget: 8 * 1024 * 1024,
         };
         let mut w = WireWriter::new();
         config.encode(&mut w);
@@ -239,26 +394,43 @@ mod tests {
 
     #[test]
     fn degenerate_config_rejected() {
+        let ok = TransferConfig::default();
         let cases = [
-            (0u32, 1u32, 8u32, 50u32),
-            (MIN_CHUNK_SIZE - 1, 1, 8, 50),
-            (MIN_CHUNK_SIZE, 0, 8, 50),
-            (MIN_CHUNK_SIZE, 4, 3, 50),  // ceiling below initial window
-            (MIN_CHUNK_SIZE, 4, 8, 101), // delta fraction above 100 %
-        ];
-        for (chunk_size, window, max_window, max_delta_percent) in cases {
-            let mut w = WireWriter::new();
             TransferConfig {
-                stream_threshold: 0,
-                chunk_size,
-                window,
-                max_window,
-                max_delta_percent,
-            }
-            .encode(&mut w);
+                chunk_size: 0,
+                ..ok
+            },
+            TransferConfig {
+                chunk_size: MIN_CHUNK_SIZE - 1,
+                ..ok
+            },
+            TransferConfig { window: 0, ..ok },
+            // Ceiling below the initial window.
+            TransferConfig {
+                window: 4,
+                max_window: 3,
+                ..ok
+            },
+            // Delta fraction above 100 %.
+            TransferConfig {
+                max_delta_percent: 101,
+                ..ok
+            },
+            TransferConfig {
+                max_streams: 0,
+                ..ok
+            },
+            TransferConfig {
+                cache_budget: 0,
+                ..ok
+            },
+        ];
+        for config in cases {
+            let mut w = WireWriter::new();
+            config.encode(&mut w);
             let buf = w.finish();
             let mut r = WireReader::new(&buf);
-            assert!(TransferConfig::decode(&mut r).is_err());
+            assert!(TransferConfig::decode(&mut r).is_err(), "{config:?}");
         }
     }
 
@@ -271,6 +443,74 @@ mod tests {
         // A faster link gets at least as large a chunk size.
         let local = TransferConfig::for_link(&LinkProfile::local());
         assert!(local.chunk_size >= MIN_CHUNK_SIZE);
+    }
+
+    fn demand(pending: u32, cost: u64) -> StreamDemand {
+        StreamDemand {
+            pending_chunks: pending,
+            chunk_cost: cost,
+        }
+    }
+
+    #[test]
+    fn drr_shares_budget_evenly_between_equal_streams() {
+        let mut sched: DrrScheduler<u8> = DrrScheduler::new();
+        let grants = sched.allocate(8, &[(1, demand(100, 4096)), (2, demand(100, 4096))]);
+        assert_eq!(grants.len(), 8);
+        let a = grants.iter().filter(|k| **k == 1).count();
+        let b = grants.iter().filter(|k| **k == 2).count();
+        assert_eq!((a, b), (4, 4), "equal streams split the budget evenly");
+        // Emission interleaves rather than bursting one stream.
+        assert_ne!(grants[0], grants[1]);
+    }
+
+    #[test]
+    fn drr_small_stream_finishes_inside_large_stream_refills() {
+        let mut sched: DrrScheduler<u8> = DrrScheduler::new();
+        // A 256-chunk elephant and a 4-chunk mouse: the mouse drains in
+        // the very first window.
+        let grants = sched.allocate(8, &[(1, demand(256, 65536)), (2, demand(4, 65536))]);
+        assert_eq!(grants.iter().filter(|k| **k == 2).count(), 4);
+        assert_eq!(grants.iter().filter(|k| **k == 1).count(), 4);
+    }
+
+    #[test]
+    fn drr_is_work_conserving() {
+        let mut sched: DrrScheduler<u8> = DrrScheduler::new();
+        // One stream has little to send; the other absorbs the leftover.
+        let grants = sched.allocate(10, &[(1, demand(2, 4096)), (2, demand(100, 4096))]);
+        assert_eq!(grants.iter().filter(|k| **k == 1).count(), 2);
+        assert_eq!(grants.iter().filter(|k| **k == 2).count(), 8);
+    }
+
+    #[test]
+    fn drr_deficit_compensates_unequal_chunk_costs() {
+        let mut sched: DrrScheduler<u8> = DrrScheduler::new();
+        // Stream 1 carries 64 KiB chunks, stream 2 16 KiB chunks: over a
+        // large budget, stream 2 must get ~4x the chunks (equal bytes).
+        let grants = sched.allocate(
+            100,
+            &[(1, demand(1000, 64 * 1024)), (2, demand(1000, 16 * 1024))],
+        );
+        let a = grants.iter().filter(|k| **k == 1).count() as f64;
+        let b = grants.iter().filter(|k| **k == 2).count() as f64;
+        assert!(
+            (b / a - 4.0).abs() < 0.5,
+            "byte-fair split expected ~1:4 chunks, got {a}:{b}"
+        );
+    }
+
+    #[test]
+    fn drr_survives_departures_and_arrivals() {
+        let mut sched: DrrScheduler<u8> = DrrScheduler::new();
+        let _ = sched.allocate(4, &[(1, demand(10, 4096)), (2, demand(10, 4096))]);
+        // Stream 1 departs, stream 3 arrives; allocation stays sane.
+        let grants = sched.allocate(4, &[(2, demand(10, 4096)), (3, demand(10, 4096))]);
+        assert_eq!(grants.len(), 4);
+        assert!(grants.iter().all(|k| *k == 2 || *k == 3));
+        // Empty demand yields nothing and does not spin.
+        assert!(sched.allocate(4, &[]).is_empty());
+        assert!(sched.allocate(0, &[(2, demand(1, 4096))]).is_empty());
     }
 
     #[test]

@@ -769,6 +769,247 @@ fn chunk_replay_and_reorder_attacks_blocked() {
 }
 
 // ---------------------------------------------------------------------
+// Concurrent multiplexed streams: cross-stream splice / ack replay
+// ---------------------------------------------------------------------
+
+/// Splicing a valid `Chunk` frame from stream A into stream B — at any
+/// layer — is rejected and quarantines only the affected stream.
+///
+/// Below the channel, the per-nonce HMAC chain rejects A's chunk+MAC
+/// presented under B's nonce even at the matching index, and the failed
+/// attempt poisons neither assembler: B's genuine sequence still
+/// verifies and A is untouched. On the wire, stream frames travel
+/// sealed with per-session sequence numbers, so a cross-position splice
+/// of a *recorded* frame desyncs only the shared channel — never
+/// installs a byte — and both multiplexed streams recover via their
+/// per-nonce resume points while the destination keeps each stream's
+/// verified prefix.
+#[test]
+fn cross_stream_chunk_splice_rejected_and_quarantined() {
+    use cloud_sim::network::{Envelope, TapAction};
+    use mig_apps::kvstore::{self, ops as kv_ops, KvStore};
+    use mig_core::host::AppStatus;
+    use mig_core::transfer::chunker::{ChunkAssembler, ChunkStream};
+    use mig_core::transfer::TransferConfig;
+    use parking_lot::Mutex;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    // --- Engine level: the per-nonce chain rejects the splice and only
+    // the targeted stream is affected.
+    let payload: Vec<u8> = (0..200_000u32).map(|i| (i / 7) as u8).collect();
+    let xfer_a = ChunkStream::new([0xA7; 16], 4096, payload.clone());
+    let xfer_b = ChunkStream::new([0xB8; 16], 4096, payload.clone());
+    let mut asm_a =
+        ChunkAssembler::new([0xA7; 16], 4096, xfer_a.total_len(), xfer_a.digest()).unwrap();
+    let mut asm_b =
+        ChunkAssembler::new([0xB8; 16], 4096, xfer_b.total_len(), xfer_b.digest()).unwrap();
+    for idx in 0..xfer_a.n_chunks() {
+        // At every position, A's genuine frame spliced into B fails...
+        let (a_chunk, a_mac) = xfer_a.chunk(idx);
+        assert!(
+            asm_b.accept(idx, a_chunk, &a_mac).is_err(),
+            "cross-nonce splice at index {idx} must fail the chain"
+        );
+        // ...while both genuine streams proceed: the rejection is
+        // per-frame, the quarantine per-stream.
+        let (b_chunk, b_mac) = xfer_b.chunk(idx);
+        asm_b.accept(idx, b_chunk, &b_mac).unwrap();
+        asm_a.accept(idx, a_chunk, &a_mac).unwrap();
+    }
+    assert_eq!(asm_a.finish().unwrap(), payload);
+    assert_eq!(asm_b.finish().unwrap(), payload);
+
+    // --- Wire level: two concurrent streams; the adversary replaces a
+    // mid-flight frame with a recorded earlier frame (a cross-position /
+    // cross-stream splice of genuine ciphertexts).
+    let image_a = EnclaveImage::build("splice-a", 1, b"kv", &EnclaveSigner::from_seed([28; 32]));
+    let image_b = EnclaveImage::build("splice-b", 1, b"kv", &EnclaveSigner::from_seed([29; 32]));
+    let config = TransferConfig {
+        stream_threshold: 4096,
+        chunk_size: 64 * 1024,
+        window: 4,
+        ..TransferConfig::default()
+    };
+    let mut dc = Datacenter::new(111);
+    let policy = MigrationPolicy::same_operator_only();
+    let m1 = dc.add_machine_with_transfer(MachineLabels::default(), &policy, config);
+    let m2 = dc.add_machine_with_transfer(MachineLabels::default(), &policy, config);
+
+    let captured: Arc<Mutex<Vec<Vec<u8>>>> = Arc::new(Mutex::new(Vec::new()));
+    let seen = Arc::new(AtomicUsize::new(0));
+    {
+        let captured = Arc::clone(&captured);
+        let seen = Arc::clone(&seen);
+        dc.world_mut()
+            .network_mut()
+            .add_tap(Box::new(move |e: &Envelope| {
+                if e.from.machine == m1
+                    && e.to.machine == m2
+                    && e.from.service == "me"
+                    && e.payload.first() == Some(&mig_core::host::tags::RA_TRANSFER)
+                {
+                    let n = seen.fetch_add(1, Ordering::SeqCst);
+                    let mut log = captured.lock();
+                    log.push(e.payload.clone());
+                    if n == 8 {
+                        // Splice: deliver frame #2's ciphertext in frame
+                        // #8's slot (both are genuine stream frames).
+                        return TapAction::Replace(log[2].clone());
+                    }
+                }
+                TapAction::Deliver
+            }));
+    }
+
+    for (app, dst, image, entries) in [
+        ("a", "a-dst", &image_a, 512u32),
+        ("b", "b-dst", &image_b, 256),
+    ] {
+        dc.deploy_app(app, m1, image, KvStore::new(), InitRequest::New)
+            .unwrap();
+        dc.call_app(app, kv_ops::INIT, &[]).unwrap();
+        dc.call_app(
+            app,
+            kv_ops::BULK_PUT,
+            &kvstore::encode_bulk_put(entries, 4096, 0x61),
+        )
+        .unwrap();
+        dc.deploy_app(dst, m2, image, KvStore::new(), InitRequest::Migrate)
+            .unwrap();
+    }
+
+    // Both migrations fire together; the splice stalls the shared
+    // channel mid-flight without installing a single spliced byte.
+    {
+        let a = dc.app("a");
+        a.lock()
+            .migrate_to(dc.world_mut().network_mut(), m2)
+            .unwrap();
+    }
+    {
+        let b = dc.app("b");
+        b.lock()
+            .migrate_to(dc.world_mut().network_mut(), m2)
+            .unwrap();
+    }
+    dc.run();
+    assert!(
+        !dc.me_host(m2).lock().errors.is_empty(),
+        "the spliced frame and the frames behind it surface as MAC errors"
+    );
+    assert_eq!(dc.app("a-dst").lock().status(), AppStatus::AwaitingIncoming);
+    assert_eq!(dc.app("b-dst").lock().status(), AppStatus::AwaitingIncoming);
+
+    // Per-nonce recovery: one retry renegotiates both streams' resume
+    // points and both payloads arrive byte-exactly.
+    dc.resume_migration("a", "a-dst").unwrap();
+    for (dst, entries) in [("a-dst", 512u32), ("b-dst", 256)] {
+        assert_eq!(dc.app(dst).lock().status(), AppStatus::Ready, "{dst}");
+        let state = dc.app_bulk_state(dst).unwrap().expect("migrated state");
+        dc.call_app(dst, kv_ops::LOAD, &state).unwrap();
+        let len = dc.call_app(dst, kv_ops::LEN, &[]).unwrap();
+        assert_eq!(u32::from_le_bytes(len[..4].try_into().unwrap()), entries);
+        let probe = dc.call_app(dst, kv_ops::GET, b"bulk-00000001").unwrap();
+        let expected: Vec<u8> = (0..4096usize)
+            .map(|j| 0x61u8.wrapping_add((1 + j) as u8))
+            .collect();
+        assert_eq!(probe, expected, "{dst} entry survives the splice attempt");
+    }
+}
+
+/// Replaying a recorded `ChunkAck` across streams (or at all) is
+/// rejected by the source ME and quarantines nothing: every replay
+/// fails the channel sequence check, no stream's window moves, and the
+/// completed migrations' retained state is unaffected.
+#[test]
+fn chunk_ack_replay_across_streams_rejected() {
+    use cloud_sim::network::Envelope;
+    use mig_apps::kvstore::{self, ops as kv_ops, KvStore};
+    use mig_core::host::AppStatus;
+    use mig_core::transfer::TransferConfig;
+
+    let image_a = EnclaveImage::build("ackrep-a", 1, b"kv", &EnclaveSigner::from_seed([30; 32]));
+    let image_b = EnclaveImage::build("ackrep-b", 1, b"kv", &EnclaveSigner::from_seed([31; 32]));
+    let config = TransferConfig {
+        stream_threshold: 4096,
+        chunk_size: 64 * 1024,
+        window: 4,
+        ..TransferConfig::default()
+    };
+    let mut dc = Datacenter::new(112);
+    let policy = MigrationPolicy::same_operator_only();
+    let m1 = dc.add_machine_with_transfer(MachineLabels::default(), &policy, config);
+    let m2 = dc.add_machine_with_transfer(MachineLabels::default(), &policy, config);
+
+    for (app, dst, image, entries) in [
+        ("a", "a-dst", &image_a, 256u32),
+        ("b", "b-dst", &image_b, 128),
+    ] {
+        dc.deploy_app(app, m1, image, KvStore::new(), InitRequest::New)
+            .unwrap();
+        dc.call_app(app, kv_ops::INIT, &[]).unwrap();
+        dc.call_app(
+            app,
+            kv_ops::BULK_PUT,
+            &kvstore::encode_bulk_put(entries, 4096, 0x71),
+        )
+        .unwrap();
+        dc.deploy_app(dst, m2, image, KvStore::new(), InitRequest::Migrate)
+            .unwrap();
+    }
+
+    // Record every destination→source acknowledgement of the two
+    // interleaved streams during a clean concurrent run.
+    dc.world_mut().network_mut().start_recording();
+    dc.migrate_apps_concurrent(&[("a", "a-dst"), ("b", "b-dst")])
+        .unwrap();
+    let log = dc.world_mut().network_mut().stop_recording();
+    let replays: Vec<Envelope> = log
+        .iter()
+        .filter(|e| {
+            e.from.machine == m2
+                && e.to.machine == m1
+                && e.payload.first() == Some(&mig_core::host::tags::RA_ACK)
+        })
+        .cloned()
+        .collect();
+    assert!(
+        replays.len() > 8,
+        "two interleaved streams produce many acks, got {}",
+        replays.len()
+    );
+
+    // Replay them all — cumulative acks, resumes, final acks, delivery
+    // confirmations — in original order and reversed (cross-stream
+    // orderings included).
+    let errors_before = dc.me_host(m1).lock().errors.len();
+    let n_replays = replays.len() * 2;
+    for envelope in replays.iter().cloned().chain(replays.iter().rev().cloned()) {
+        dc.world_mut().network_mut().inject(envelope);
+    }
+    dc.run();
+    let errors_after = dc.me_host(m1).lock().errors.len();
+    assert_eq!(
+        errors_after - errors_before,
+        n_replays,
+        "every replayed ack must be rejected by the channel sequencing"
+    );
+
+    // No stream state resurrected at the source, no status disturbed.
+    for (app, dst) in [("a", "a-dst"), ("b", "b-dst")] {
+        let mr = dc.app(app).lock().enclave().identity().mr_enclave;
+        assert_eq!(
+            dc.me_host(m1).lock().stream_progress(mr).unwrap(),
+            None,
+            "no retained outgoing stream reappears for {app}"
+        );
+        assert_eq!(dc.app(app).lock().status(), AppStatus::Migrated);
+        assert_eq!(dc.app(dst).lock().status(), AppStatus::Ready);
+    }
+}
+
+// ---------------------------------------------------------------------
 // Delta transfer: tampered-manifest attacks
 // ---------------------------------------------------------------------
 

@@ -218,6 +218,174 @@ fn duplicate_delivery_after_crash_is_idempotent() {
     assert_eq!(v, 1);
 }
 
+/// The multiplexed-stream retention rule: the source ME crashes with
+/// **three** concurrent chunk streams at different offsets; after
+/// `restart_me` restores the sealed checkpoint, a single retry
+/// renegotiates every stream's per-nonce resume point and all three
+/// complete from their persisted progress.
+#[test]
+fn me_crash_with_three_streams_resumes_all_from_persisted_progress() {
+    use mig_apps::kvstore::{self, ops as kv_ops, KvStore};
+    use mig_core::transfer::TransferConfig;
+    use std::sync::atomic::AtomicBool;
+
+    let kv_image = |n: u8| {
+        EnclaveImage::build(
+            &format!("recovery-kv-{n}"),
+            1,
+            b"kv",
+            &EnclaveSigner::from_seed([62 + n; 32]),
+        )
+    };
+    let config = TransferConfig {
+        stream_threshold: 4096,
+        chunk_size: 256 * 1024,
+        window: 4,
+        ..TransferConfig::default()
+    };
+    let mut dc = Datacenter::new(405);
+    let policy = MigrationPolicy::same_operator_only();
+    let m1 = dc.add_machine_with_transfer(MachineLabels::default(), &policy, config);
+    let m2 = dc.add_machine_with_transfer(MachineLabels::default(), &policy, config);
+
+    // Cut the link after a fixed number of stream frames, mid-flight for
+    // all three streams (sizes differ so their offsets do too).
+    let seen = Arc::new(AtomicUsize::new(0));
+    let dropping = Arc::new(AtomicBool::new(false));
+    {
+        let seen = Arc::clone(&seen);
+        let dropping = Arc::clone(&dropping);
+        dc.world_mut()
+            .network_mut()
+            .add_tap(Box::new(move |e: &Envelope| {
+                if e.from.machine == m1
+                    && e.to.machine == m2
+                    && e.from.service == "me"
+                    && e.to.service == "me"
+                    && e.payload.first() == Some(&mig_core::host::tags::RA_TRANSFER)
+                {
+                    let n = seen.fetch_add(1, Ordering::SeqCst);
+                    if dropping.load(Ordering::SeqCst) && n >= 12 {
+                        return TapAction::Drop;
+                    }
+                }
+                TapAction::Deliver
+            }));
+    }
+
+    // Three kvstores with 2/4/6 MiB of bulk state on m1, three awaiting
+    // destinations on m2.
+    let sizes = [512u32, 1024, 1536];
+    let mut mrs = Vec::new();
+    for (i, entries) in sizes.iter().enumerate() {
+        let src = format!("src-{i}");
+        let dst = format!("dst-{i}");
+        dc.deploy_app(
+            &src,
+            m1,
+            &kv_image(i as u8),
+            KvStore::new(),
+            InitRequest::New,
+        )
+        .unwrap();
+        dc.call_app(&src, kv_ops::INIT, &[]).unwrap();
+        dc.call_app(
+            &src,
+            kv_ops::BULK_PUT,
+            &kvstore::encode_bulk_put(*entries, 4096, 0x10 + i as u8),
+        )
+        .unwrap();
+        dc.deploy_app(
+            &dst,
+            m2,
+            &kv_image(i as u8),
+            KvStore::new(),
+            InitRequest::Migrate,
+        )
+        .unwrap();
+        mrs.push(dc.app(&src).lock().enclave().identity().mr_enclave);
+    }
+
+    // Fire all three migrations together, then cut the cable mid-stream.
+    dropping.store(true, Ordering::SeqCst);
+    for i in 0..3 {
+        let src = dc.app(&format!("src-{i}"));
+        let mut src = src.lock();
+        src.migrate_to(dc.world_mut().network_mut(), m2).unwrap();
+    }
+    dc.run();
+
+    // All three stalled mid-stream, each with its own per-nonce progress.
+    let mut total_acked = 0;
+    for (i, mr) in mrs.iter().enumerate() {
+        let progress = dc
+            .me_host(m1)
+            .lock()
+            .stream_progress(*mr)
+            .unwrap()
+            .unwrap_or_else(|| panic!("stream {i} went down the chunked path"));
+        assert!(
+            progress.acked < progress.total_chunks,
+            "stream {i} must stall mid-stream: {progress:?}"
+        );
+        total_acked += progress.acked;
+        assert!(
+            progress.total_chunks > sizes[i] / 64,
+            "2/4/6 MiB at 256 KiB per chunk: {progress:?}"
+        );
+    }
+    assert!(
+        total_acked > 0,
+        "the link carried some chunks before the cut"
+    );
+    // Per-stream link telemetry sees all three multiplexed streams.
+    let (streams, _cell) = dc.me_host(m1).lock().link_streams(m2).unwrap();
+    assert_eq!(streams.len(), 3, "three per-nonce streams on the link");
+
+    // Management-VM crash: checkpoint, restart, re-attest the sources.
+    dc.persist_me(m1).unwrap();
+    dc.restart_me(m1).unwrap();
+    for i in 0..3 {
+        let src = dc.app(&format!("src-{i}"));
+        let mut src = src.lock();
+        src.attest_me(dc.world_mut().network_mut());
+    }
+    dc.run();
+    dropping.store(false, Ordering::SeqCst);
+
+    // ONE retry renegotiates every stream on the reconnected channel —
+    // the restored per-nonce table covers all of them.
+    dc.resume_migration("src-0", "dst-0").unwrap();
+    for (i, entries) in sizes.iter().enumerate() {
+        assert_eq!(
+            dc.app(&format!("src-{i}")).lock().status(),
+            AppStatus::Migrated,
+            "src-{i}"
+        );
+        assert_eq!(
+            dc.app(&format!("dst-{i}")).lock().status(),
+            AppStatus::Ready,
+            "dst-{i}"
+        );
+        let dst = format!("dst-{i}");
+        let state = dc.app_bulk_state(&dst).unwrap().expect("migrated state");
+        dc.call_app(&dst, kv_ops::LOAD, &state).unwrap();
+        let len = dc.call_app(&dst, kv_ops::LEN, &[]).unwrap();
+        assert_eq!(
+            u32::from_le_bytes(len[..4].try_into().unwrap()),
+            *entries,
+            "dst-{i} reconstructed every entry"
+        );
+        let key = format!("bulk-{:08}", entries - 1);
+        let value = dc.call_app(&dst, kv_ops::GET, key.as_bytes()).unwrap();
+        let fill = 0x10 + i as u8;
+        let expected: Vec<u8> = (0..4096usize)
+            .map(|j| fill.wrapping_add(((entries - 1) as usize + j) as u8))
+            .collect();
+        assert_eq!(value, expected, "dst-{i} last entry byte-identical");
+    }
+}
+
 #[test]
 fn restored_me_state_is_machine_bound() {
     // A checkpoint from machine A cannot be restored into machine B's ME

@@ -589,6 +589,405 @@ fn adaptive_link_reacts_to_acks_and_disruptions() {
     );
 }
 
+/// The fairness acceptance test: a 16 MiB and a 256 KiB migration are
+/// started together on one link. With per-nonce multiplexed streams and
+/// the deficit-round-robin share of the link window, the small one must
+/// complete in well under 25 % of the large one's wall-clock — measured
+/// from the first stream frame on the wire to each destination's
+/// incoming-migration delivery, with chunk-count telemetry backing it.
+#[test]
+fn concurrent_small_migration_not_starved_by_large() {
+    use cloud_sim::clock::SimTime;
+    use std::sync::atomic::AtomicU64;
+
+    let config = TransferConfig {
+        stream_threshold: 4096,
+        chunk_size: 16 * 1024,
+        window: 4,
+        max_window: 8,
+        ..TransferConfig::default()
+    };
+    let (mut dc, m1, m2) = dc_with_config(1612, config);
+
+    // Telemetry: virtual time of the first src→dst stream frame, of each
+    // destination's ME_FORWARD delivery, and running/total frame counts.
+    let stream_start = Arc::new(AtomicU64::new(0));
+    let big_done = Arc::new(AtomicU64::new(0));
+    let small_done = Arc::new(AtomicU64::new(0));
+    let frames = Arc::new(AtomicUsize::new(0));
+    let frames_at_small_done = Arc::new(AtomicUsize::new(0));
+    {
+        let stream_start = Arc::clone(&stream_start);
+        let big_done = Arc::clone(&big_done);
+        let small_done = Arc::clone(&small_done);
+        let frames = Arc::clone(&frames);
+        let frames_at_small_done = Arc::clone(&frames_at_small_done);
+        dc.world_mut()
+            .network_mut()
+            .add_tap(Box::new(move |e: &Envelope| {
+                if e.from.machine == m1
+                    && e.to.machine == m2
+                    && e.from.service == "me"
+                    && e.to.service == "me"
+                    && e.payload.first() == Some(&mig_core::host::tags::RA_TRANSFER)
+                {
+                    frames.fetch_add(1, Ordering::SeqCst);
+                    let _ = stream_start.compare_exchange(
+                        0,
+                        e.deliver_at.0.max(1),
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    );
+                }
+                if e.to.machine == m2
+                    && e.payload.first() == Some(&mig_core::host::tags::ME_FORWARD)
+                {
+                    let done = match e.to.service.as_str() {
+                        "app:dst" => Some(&big_done),
+                        "app:dst-small" => Some(&small_done),
+                        _ => None,
+                    };
+                    if let Some(done) = done {
+                        if done
+                            .compare_exchange(
+                                0,
+                                e.deliver_at.0.max(1),
+                                Ordering::SeqCst,
+                                Ordering::SeqCst,
+                            )
+                            .is_ok()
+                            && e.to.service == "app:dst-small"
+                        {
+                            frames_at_small_done
+                                .store(frames.load(Ordering::SeqCst), Ordering::SeqCst);
+                        }
+                    }
+                }
+                TapAction::Deliver
+            }));
+    }
+
+    // 16 MiB elephant, 256 KiB mouse, both on m1.
+    deploy_loaded_src(&mut dc, m1);
+    dc.deploy_app(
+        "src-small",
+        m1,
+        &small_image(),
+        KvStore::new(),
+        InitRequest::New,
+    )
+    .unwrap();
+    dc.call_app("src-small", kv_ops::INIT, &[]).unwrap();
+    dc.call_app(
+        "src-small",
+        kv_ops::BULK_PUT,
+        &kvstore::encode_bulk_put(64, 4096, 0x42),
+    )
+    .unwrap();
+    dc.deploy_app("dst", m2, &image(), KvStore::new(), InitRequest::Migrate)
+        .unwrap();
+    dc.deploy_app(
+        "dst-small",
+        m2,
+        &small_image(),
+        KvStore::new(),
+        InitRequest::Migrate,
+    )
+    .unwrap();
+
+    dc.migrate_apps_concurrent(&[("src", "dst"), ("src-small", "dst-small")])
+        .unwrap();
+
+    let start = SimTime(stream_start.load(Ordering::SeqCst));
+    let big = SimTime(big_done.load(Ordering::SeqCst));
+    let small = SimTime(small_done.load(Ordering::SeqCst));
+    assert!(
+        start.0 > 0 && big.0 > 0 && small.0 > 0,
+        "telemetry captured"
+    );
+    let big_wall = big.since(start);
+    let small_wall = small.since(start);
+    assert!(
+        small_wall.as_nanos() * 4 < big_wall.as_nanos(),
+        "small stream must finish in < 25% of the large one's wall-clock: \
+         small {small_wall:?} vs big {big_wall:?}"
+    );
+    let total = frames.load(Ordering::SeqCst);
+    let at_small = frames_at_small_done.load(Ordering::SeqCst);
+    assert!(
+        at_small * 4 < total,
+        "small stream completed within the first quarter of the chunk \
+         traffic: {at_small} of {total} frames"
+    );
+
+    // Both payloads arrived intact.
+    verify_destination(&mut dc);
+    let state = dc
+        .app_bulk_state("dst-small")
+        .unwrap()
+        .expect("small state");
+    dc.call_app("dst-small", kv_ops::LOAD, &state).unwrap();
+    let len = dc.call_app("dst-small", kv_ops::LEN, &[]).unwrap();
+    assert_eq!(u32::from_le_bytes(len[..4].try_into().unwrap()), 64);
+}
+
+/// A dirty-page *delta* stream multiplexes with a concurrent *full*
+/// stream on the same channel and both reconstruct byte-identically —
+/// the per-nonce chunk chains keep the interleaved frames apart.
+#[test]
+fn concurrent_delta_and_full_streams_interleave() {
+    let config = TransferConfig {
+        stream_threshold: 4096,
+        chunk_size: 64 * 1024,
+        window: 4,
+        ..TransferConfig::default()
+    };
+    let (mut dc, m1, m2) = dc_with_config(1613, config);
+    let back_tap = install_byte_tap(&mut dc, m2, m1);
+
+    // App A: ~2 MiB, migrates m1→m2 in full (both MEs cache the base).
+    dc.deploy_app("a-src", m1, &image(), KvStore::new(), InitRequest::New)
+        .unwrap();
+    dc.call_app("a-src", kv_ops::INIT, &[]).unwrap();
+    dc.call_app(
+        "a-src",
+        kv_ops::BULK_PUT,
+        &kvstore::encode_bulk_put(512, 4096, 0x21),
+    )
+    .unwrap();
+    dc.deploy_app("a-mid", m2, &image(), KvStore::new(), InitRequest::Migrate)
+        .unwrap();
+    dc.migrate_app("a-src", "a-mid").unwrap();
+
+    // Dirty a sliver of A at m2; deploy a fresh ~2 MiB app B on m2.
+    let state = dc.app_bulk_state("a-mid").unwrap().expect("A state");
+    dc.call_app("a-mid", kv_ops::LOAD, &state).unwrap();
+    dc.call_app(
+        "a-mid",
+        kv_ops::BULK_PUT,
+        &kvstore::encode_bulk_put(8, 4096, 0x99),
+    )
+    .unwrap();
+    dc.deploy_app(
+        "b-src",
+        m2,
+        &small_image(),
+        KvStore::new(),
+        InitRequest::New,
+    )
+    .unwrap();
+    dc.call_app("b-src", kv_ops::INIT, &[]).unwrap();
+    dc.call_app(
+        "b-src",
+        kv_ops::BULK_PUT,
+        &kvstore::encode_bulk_put(512, 4096, 0x55),
+    )
+    .unwrap();
+
+    // Concurrent m2→m1: A's repeat migration (delta against the cached
+    // base) and B's first migration (full stream) on one channel.
+    dc.deploy_app("a-back", m1, &image(), KvStore::new(), InitRequest::Migrate)
+        .unwrap();
+    dc.deploy_app(
+        "b-dst",
+        m1,
+        &small_image(),
+        KvStore::new(),
+        InitRequest::Migrate,
+    )
+    .unwrap();
+    back_tap.reset();
+    dc.migrate_apps_concurrent(&[("a-mid", "a-back"), ("b-src", "b-dst")])
+        .unwrap();
+
+    // The delta actually saved bytes: the channel carried roughly B's
+    // full state plus a small delta, not two full states.
+    let (_, bytes) = back_tap.snapshot();
+    let a_state = dc.app_bulk_state("a-back").unwrap().expect("A delta state");
+    let b_state = dc.app_bulk_state("b-dst").unwrap().expect("B full state");
+    assert!(
+        bytes < b_state.len() + a_state.len() / 2,
+        "concurrent delta must still save bytes: {bytes} wire bytes for \
+         {} + {} of state",
+        a_state.len(),
+        b_state.len()
+    );
+
+    // Byte-exact reconstruction on both streams.
+    dc.call_app("a-back", kv_ops::LOAD, &a_state).unwrap();
+    let dirtied = dc
+        .call_app("a-back", kv_ops::GET, b"bulk-00000003")
+        .unwrap();
+    let expected: Vec<u8> = (0..4096usize)
+        .map(|j| 0x99u8.wrapping_add((3 + j) as u8))
+        .collect();
+    assert_eq!(dirtied, expected, "dirtied entry carries the delta value");
+    let version = dc.call_app("a-back", kv_ops::VERSION, &[]).unwrap();
+    assert_eq!(u32::from_le_bytes(version[..4].try_into().unwrap()), 2);
+    dc.call_app("b-dst", kv_ops::LOAD, &b_state).unwrap();
+    let len = dc.call_app("b-dst", kv_ops::LEN, &[]).unwrap();
+    assert_eq!(u32::from_le_bytes(len[..4].try_into().unwrap()), 512);
+}
+
+/// Delta cache bounds: an ME whose generation cache is byte-budgeted
+/// evicts the least-recently-used base; a later delta against the
+/// evicted base is NACKed and the migration falls back to a full stream
+/// — completing correctly, just without the savings.
+#[test]
+fn evicted_delta_base_falls_back_to_full_stream() {
+    let small_cache = TransferConfig {
+        stream_threshold: 4096,
+        chunk_size: 256 * 1024,
+        window: 4,
+        // Fits one ~2.2 MiB state, not two: storing B's base evicts A's.
+        cache_budget: 3 * 1024 * 1024,
+        ..TransferConfig::default()
+    };
+    let big_cache = TransferConfig {
+        cache_budget: 256 * 1024 * 1024,
+        ..small_cache
+    };
+    let mut dc = Datacenter::new(1614);
+    let policy = MigrationPolicy::same_operator_only();
+    let m1 = dc.add_machine_with_transfer(MachineLabels::default(), &policy, small_cache);
+    let m2 = dc.add_machine_with_transfer(MachineLabels::default(), &policy, big_cache);
+    let back_tap = install_byte_tap(&mut dc, m2, m1);
+
+    let bulk = |dc: &mut Datacenter, app: &str| {
+        dc.call_app(app, kv_ops::INIT, &[]).unwrap();
+        dc.call_app(
+            app,
+            kv_ops::BULK_PUT,
+            &kvstore::encode_bulk_put(512, 4096, 0x21),
+        )
+        .unwrap();
+    };
+
+    // A migrates m1→m2: m1 (source) caches A's base; m2 (dest) too.
+    dc.deploy_app("a-src", m1, &image(), KvStore::new(), InitRequest::New)
+        .unwrap();
+    bulk(&mut dc, "a-src");
+    dc.deploy_app("a-mid", m2, &image(), KvStore::new(), InitRequest::Migrate)
+        .unwrap();
+    dc.migrate_app("a-src", "a-mid").unwrap();
+
+    // B migrates m1→m2: m1's budgeted cache must evict A's base (LRU).
+    dc.deploy_app(
+        "b-src",
+        m1,
+        &small_image(),
+        KvStore::new(),
+        InitRequest::New,
+    )
+    .unwrap();
+    bulk(&mut dc, "b-src");
+    dc.deploy_app(
+        "b-dst",
+        m2,
+        &small_image(),
+        KvStore::new(),
+        InitRequest::Migrate,
+    )
+    .unwrap();
+    dc.migrate_app("b-src", "b-dst").unwrap();
+
+    // A returns m2→m1. m2 still holds A's base (big budget) and
+    // announces a delta; m1 evicted it and NACKs; the transfer restarts
+    // as a full stream on the same channel and completes.
+    let state = dc.app_bulk_state("a-mid").unwrap().expect("A state");
+    dc.call_app("a-mid", kv_ops::LOAD, &state).unwrap();
+    dc.call_app(
+        "a-mid",
+        kv_ops::BULK_PUT,
+        &kvstore::encode_bulk_put(4, 4096, 0x44),
+    )
+    .unwrap();
+    dc.deploy_app("a-back", m1, &image(), KvStore::new(), InitRequest::Migrate)
+        .unwrap();
+    back_tap.reset();
+    dc.migrate_app("a-mid", "a-back").unwrap();
+
+    let (frames, bytes) = back_tap.snapshot();
+    let state = dc.app_bulk_state("a-back").unwrap().expect("full state");
+    assert!(
+        bytes >= state.len(),
+        "evicted base forces the full-stream fallback: {bytes} wire bytes \
+         for {} state",
+        state.len()
+    );
+    assert!(
+        frames >= 4,
+        "DeltaStart + NACKed restart is several frames, saw {frames}"
+    );
+    dc.call_app("a-back", kv_ops::LOAD, &state).unwrap();
+    let len = dc.call_app("a-back", kv_ops::LEN, &[]).unwrap();
+    assert_eq!(u32::from_le_bytes(len[..4].try_into().unwrap()), 512);
+    let version = dc.call_app("a-back", kv_ops::VERSION, &[]).unwrap();
+    assert_eq!(u32::from_le_bytes(version[..4].try_into().unwrap()), 2);
+}
+
+/// Regression: a below-threshold single-shot `Transfer` and a streaming
+/// migration fired together on a **warm** channel must both complete.
+/// The Transfer's ciphertext is larger than the stream's cell-padded
+/// chunk frames, so the announcement must defer until the Stored /
+/// Delivered confirmation — chunks sealed behind the in-flight Transfer
+/// would otherwise overtake it on the size-ordered network and desync
+/// the channel.
+#[test]
+fn single_shot_and_stream_fired_together_on_warm_channel_both_complete() {
+    let config = TransferConfig {
+        stream_threshold: 64 * 1024,
+        chunk_size: 4096,
+        window: 4,
+        ..TransferConfig::default()
+    };
+    let (mut dc, m1, m2) = dc_with_config(1615, config);
+
+    // Warm the ME↔ME channel with a throwaway migration.
+    dc.deploy_app("warm", m1, &image(), KvStore::new(), InitRequest::New)
+        .unwrap();
+    dc.call_app("warm", kv_ops::INIT, &[]).unwrap();
+    dc.deploy_app(
+        "warm-dst",
+        m2,
+        &image(),
+        KvStore::new(),
+        InitRequest::Migrate,
+    )
+    .unwrap();
+    dc.migrate_app("warm", "warm-dst").unwrap();
+
+    // A ~48 KiB below-threshold state (single-shot) and a ~96 KiB
+    // streaming state (4 KiB chunks), fired back to back.
+    let small_img = EnclaveImage::build("warm-s", 1, b"kv", &EnclaveSigner::from_seed([73; 32]));
+    let big_img = EnclaveImage::build("warm-b", 1, b"kv", &EnclaveSigner::from_seed([74; 32]));
+    for (app, dst, img, entries) in [
+        ("s-src", "s-dst", &small_img, 10u32),
+        ("b-src", "b-dst", &big_img, 20),
+    ] {
+        dc.deploy_app(app, m1, img, KvStore::new(), InitRequest::New)
+            .unwrap();
+        dc.call_app(app, kv_ops::INIT, &[]).unwrap();
+        dc.call_app(
+            app,
+            kv_ops::BULK_PUT,
+            &kvstore::encode_bulk_put(entries, 4096, 0x77),
+        )
+        .unwrap();
+        dc.deploy_app(dst, m2, img, KvStore::new(), InitRequest::Migrate)
+            .unwrap();
+    }
+    dc.migrate_apps_concurrent(&[("s-src", "s-dst"), ("b-src", "b-dst")])
+        .unwrap();
+
+    for (dst, entries) in [("s-dst", 10u32), ("b-dst", 20)] {
+        let state = dc.app_bulk_state(dst).unwrap().expect("state arrived");
+        dc.call_app(dst, kv_ops::LOAD, &state).unwrap();
+        let len = dc.call_app(dst, kv_ops::LEN, &[]).unwrap();
+        assert_eq!(u32::from_le_bytes(len[..4].try_into().unwrap()), entries);
+    }
+}
+
 #[test]
 fn queued_migrations_to_same_destination_all_complete() {
     // Two enclaves request migration to the same machine before any
