@@ -252,14 +252,15 @@ fn e4(n: usize) {
     println!("(kvstore sealed state 4 KiB → 64 MiB; streamed = 256 KiB chunks,");
     println!(" window 8, HMAC-chained, resumable; {n} migrations per cell)\n");
     println!(
-        "{:<8} {:>22} {:>22} {:>22}",
-        "state", "blob virt (ms)", "streamed virt (ms)", "streamed wall (ms)"
+        "{:<8} {:>22} {:>22} {:>22} {:>12}",
+        "state", "blob virt (ms)", "streamed virt (ms)", "streamed wall (ms)", "VM model"
     );
-    println!("{}", "-".repeat(78));
+    println!("{}", "-".repeat(92));
 
     let mut json_sweep = Vec::new();
     let mut seed = 0xE4_00u64;
     for &(label, entries, value_len) in sweep {
+        let vm_ms = mig_bench::vm_model_ms(u64::from(entries) * u64::from(value_len));
         let mut cells: Vec<Vec<f64>> = vec![Vec::new(); 3];
         for _ in 0..n {
             for (i, config) in [
@@ -285,20 +286,25 @@ fn e4(n: usize) {
             format!("{:>13.3} ± {:>6.3}", s.mean, s.ci_half_width)
         };
         println!(
-            "{:<8} {} {} {}",
+            "{:<8} {} {} {} {:>9.3}",
             label,
             fmt(&cells[0]),
             fmt(&cells[1]),
-            fmt(&cells[2])
+            fmt(&cells[2]),
+            vm_ms
         );
         let mean = |samples: &[f64]| mig_stats::summarize(samples, 0.99).mean;
         json_sweep.push(format!(
-            "    {{\"label\": \"{label}\", \"blob_virt_ms\": {:.4}, \"stream_virt_ms\": {:.4}, \"stream_wall_ms\": {:.4}}}",
+            "    {{\"label\": \"{label}\", \"blob_virt_ms\": {:.4}, \"stream_virt_ms\": {:.4}, \"stream_wall_ms\": {:.4}, \"vm_model_ms\": {:.4}}}",
             mean(&cells[0]),
             mean(&cells[1]),
-            mean(&cells[2])
+            mean(&cells[2]),
+            vm_ms
         ));
     }
+    println!(
+        "(VM model: cloud_sim::vm::vm_migration_time at the same byte count over the\n datacenter link — the enclave streamed path tracks it at equal state sizes.)"
+    );
 
     // Delta-vs-full series on the largest swept geometry: dirty 1 %,
     // 10 %, and 50 % of the entries at the destination, then migrate
@@ -394,11 +400,57 @@ fn e4(n: usize) {
         ));
     }
 
+    // Speculative-restore series: the destination's time-to-release
+    // (wall-clock tail of the final-chunk ECALL) with verified-prefix
+    // staging + incremental digest versus the legacy
+    // unseal-after-complete path, at the largest swept geometry.
+    println!("\n--- speculative restore: destination time-to-release ({label} state, {n} runs per cell) ---");
+    println!(
+        "{:<14} {:>22} {:>22}",
+        "mode", "release (ms)", "speedup vs unseal"
+    );
+    println!("{}", "-".repeat(62));
+    // One discarded warmup run per mode: the first migration in the
+    // process pays allocator and page-cache effects that would
+    // otherwise land entirely on one arm of the comparison.
+    let _ = mig_bench::release_latency_cell(seed + 9001, entries, value_len, true);
+    let _ = mig_bench::release_latency_cell(seed + 9002, entries, value_len, false);
+    let mut spec_cells: Vec<Vec<f64>> = vec![Vec::new(); 2];
+    for _ in 0..n {
+        for (i, speculative) in [true, false].into_iter().enumerate() {
+            seed += 1;
+            spec_cells[i].push(mig_bench::release_latency_cell(
+                seed,
+                entries,
+                value_len,
+                speculative,
+            ));
+        }
+    }
+    let spec = mig_stats::summarize(&spec_cells[0], 0.99);
+    let unseal = mig_stats::summarize(&spec_cells[1], 0.99);
+    println!(
+        "{:<14} {:>15.3} ± {:>4.3} {:>21.2}x",
+        "speculative",
+        spec.mean,
+        spec.ci_half_width,
+        unseal.mean / spec.mean.max(1e-9)
+    );
+    println!(
+        "{:<14} {:>15.3} ± {:>4.3} {:>22}",
+        "unseal-after", unseal.mean, unseal.ci_half_width, "1.00x"
+    );
+    let json_spec = format!(
+        "    {{\"label\": \"{label}\", \"speculative_release_ms\": {:.4}, \"unseal_release_ms\": {:.4}}}",
+        spec.mean, unseal.mean
+    );
+
     let json = format!(
-        "{{\n  \"sweep\": [\n{}\n  ],\n  \"delta\": [\n{}\n  ],\n  \"concurrency\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"sweep\": [\n{}\n  ],\n  \"delta\": [\n{}\n  ],\n  \"concurrency\": [\n{}\n  ],\n  \"speculative\": [\n{}\n  ]\n}}\n",
         json_sweep.join(",\n"),
         json_delta.join(",\n"),
-        json_conc.join(",\n")
+        json_conc.join(",\n"),
+        json_spec
     );
     let path = std::env::var("E4_JSON_PATH").unwrap_or_else(|_| "BENCH_e4.json".to_string());
     match std::fs::write(&path, &json) {

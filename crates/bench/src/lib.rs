@@ -584,6 +584,66 @@ pub fn concurrent_migration_cell(
     }
 }
 
+/// One cell of the E4 speculative-restore series: the same streamed
+/// migration measured with destination-side speculative restore on and
+/// off. `release_ms` is the destination ME host's wall-clock duration
+/// of the TRANSFER ECALL that completed the stream and released the
+/// payload — everything serialized between the final chunk's arrival
+/// and the state leaving the enclave. Speculation moves the whole-state
+/// digest (and, for deltas, the base staging and page overlay) off that
+/// path, so its cell should be markedly smaller at large state sizes.
+#[derive(Clone, Copy, Debug)]
+pub struct SpeculativeCell {
+    /// Time-to-release with speculative restore (staged prefixes,
+    /// incremental digest), in ms.
+    pub speculative_release_ms: f64,
+    /// Time-to-release with the legacy unseal-after-complete path, in
+    /// ms.
+    pub unseal_release_ms: f64,
+}
+
+/// Runs one streamed migration of `entries` × `value_len` bytes and
+/// returns the destination's time-to-release (ms), with speculative
+/// restore on or off.
+///
+/// # Panics
+///
+/// Panics on fixture failures (bench invariants).
+#[must_use]
+pub fn release_latency_cell(seed: u64, entries: u32, value_len: u32, speculative: bool) -> f64 {
+    let transfer = mig_core::transfer::TransferConfig {
+        speculative_restore: speculative,
+        ..sweep_stream_config()
+    };
+    let mut dc = prepared_kv_datacenter(seed, transfer, entries, value_len);
+    dc.migrate_app("src", "dst").expect("migrate");
+    let dst_machine = dc.app_machine("dst");
+    let latency = dc
+        .me_host(dst_machine)
+        .lock()
+        .release_latency()
+        .expect("a transfer completed at the destination");
+    latency.as_secs_f64() * 1e3
+}
+
+/// The VM-migration transfer-time model evaluated at a bulk-state size
+/// (ms over the datacenter link profile): what moving the same number
+/// of bytes as guest memory would cost under
+/// [`cloud_sim::vm::vm_migration_time`]. The E4 sweep reports this
+/// next to the measured enclave-migration times so the two transfer
+/// models are comparable at equal state sizes (ROADMAP item).
+#[must_use]
+pub fn vm_model_ms(state_bytes: u64) -> f64 {
+    let vm = cloud_sim::vm::Vm {
+        id: cloud_sim::vm::VmId(0),
+        host: MachineId(0),
+        memory_bytes: state_bytes,
+    };
+    cloud_sim::vm::vm_migration_time(&vm, &cloud_sim::network::LinkProfile::datacenter())
+        .as_secs_f64()
+        * 1e3
+}
+
 /// Streaming-transfer configuration used by the sweep's streamed arm.
 #[must_use]
 pub fn sweep_stream_config() -> mig_core::transfer::TransferConfig {

@@ -47,6 +47,22 @@ pub enum MigError {
     /// chunk index, broken HMAC chain, digest mismatch, or inconsistent
     /// stream geometry.
     Transfer(&'static str),
+    /// A session-layer state machine (`me::session::SenderFsm` /
+    /// `me::session::ReceiverFsm`) was driven with an event its current
+    /// state does not accept — e.g. announcing a stream that is already
+    /// streaming, or resuming a migration that was never dispatched.
+    InvalidTransition {
+        /// The state the machine was in.
+        state: &'static str,
+        /// The event that does not apply in that state.
+        event: &'static str,
+    },
+    /// A stream frame or acknowledgement referenced a transfer nonce
+    /// that no active stream owns (stale, already completed, or forged).
+    StaleNonce,
+    /// A dirty-page delta referenced a base generation this enclave no
+    /// longer retains (evicted from the byte-budgeted generation cache).
+    BaseEvicted,
     /// The untrusted host was asked to do something its status forbids.
     HostState(&'static str),
 }
@@ -81,6 +97,15 @@ impl fmt::Display for MigError {
             MigError::PolicyViolation(why) => write!(f, "migration policy violation: {why}"),
             MigError::Protocol(what) => write!(f, "protocol error: {what}"),
             MigError::Transfer(what) => write!(f, "state-transfer error: {what}"),
+            MigError::InvalidTransition { state, event } => {
+                write!(f, "invalid session transition: {event} in state {state}")
+            }
+            MigError::StaleNonce => {
+                write!(f, "stale transfer nonce: no active stream owns it")
+            }
+            MigError::BaseEvicted => {
+                write!(f, "delta base generation no longer retained (evicted)")
+            }
             MigError::HostState(what) => write!(f, "host state error: {what}"),
         }
     }
@@ -140,6 +165,12 @@ mod tests {
             MigError::PolicyViolation("other dc".into()),
             MigError::Protocol("bad msg"),
             MigError::Transfer("chain broken"),
+            MigError::InvalidTransition {
+                state: "Idle",
+                event: "on_ack",
+            },
+            MigError::StaleNonce,
+            MigError::BaseEvicted,
             MigError::HostState("not ready"),
         ];
         for e in all {

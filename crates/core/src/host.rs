@@ -99,6 +99,12 @@ pub struct MeHost {
     app_by_mr: HashMap<MrEnclave, Endpoint>,
     /// Reverse: attested measurement per app endpoint.
     mr_by_app: HashMap<Endpoint, MrEnclave>,
+    /// Wall-clock duration of the last `TRANSFER` ECALL that *released*
+    /// incoming migration data (forwarded or parked it) — the
+    /// destination's serialized time-to-release from the arrival of the
+    /// frame that completed the payload. Benchmarks read this to
+    /// compare speculative restore against unseal-after-complete.
+    release_latency: Option<Duration>,
     /// Non-fatal protocol errors observed (visible to tests).
     pub errors: Vec<String>,
 }
@@ -123,8 +129,17 @@ impl MeHost {
             ias,
             app_by_mr: HashMap::new(),
             mr_by_app: HashMap::new(),
+            release_latency: None,
             errors: Vec::new(),
         }
+    }
+
+    /// Wall-clock duration of the last incoming-transfer ECALL that
+    /// released migration data (see the field docs); `None` until a
+    /// transfer completed here.
+    #[must_use]
+    pub fn release_latency(&self) -> Option<Duration> {
+        self.release_latency
     }
 
     /// The ME enclave handle (diagnostics).
@@ -364,10 +379,12 @@ impl MeHost {
         let mut w = WireWriter::new();
         w.u64(from.machine.0);
         w.bytes(ct);
+        let ecall_start = std::time::Instant::now();
         let out = match self.enclave.ecall(me_ops::TRANSFER, &w.finish()) {
             Ok(out) => out,
             Err(e) => return self.fail("ra transfer", e),
         };
+        let ecall_took = ecall_start.elapsed();
         let parsed: Result<TransferOutput, SgxError> = (|| {
             let mut r = WireReader::new(&out);
             let kind = r.u8()?;
@@ -378,7 +395,13 @@ impl MeHost {
             Ok((kind, mr, forward, ack))
         })();
         match parsed {
-            Ok((_kind, mr, forward, ack)) => {
+            Ok((kind, mr, forward, ack)) => {
+                // Kinds 1 (forwarded) and 2 (stored) mean this ECALL
+                // completed and released a payload: its duration is the
+                // destination's time-to-release.
+                if kind == 1 || kind == 2 {
+                    self.release_latency = Some(ecall_took);
+                }
                 if let Some(ct) = forward {
                     if let Some(app) = self.app_by_mr.get(&mr).cloned() {
                         net.send(&self.endpoint, &app, frame(tags::ME_FORWARD, &ct));

@@ -1,0 +1,2532 @@
+//! The **session layer** of the Migration Enclave: explicit, typed
+//! state machines for every migration the enclave is driving.
+//!
+//! Each *outgoing* migration is a [`SenderFsm`] — announce →
+//! chunk/delta streaming → resume/retry → stored → delivered — keyed by
+//! the migrating enclave's MRENCLAVE, with the per-nonce chunk progress
+//! carried inside the active states as a [`StreamProgress`]. Each
+//! *incoming* chunk stream is a [`ReceiverFsm`] keyed by its
+//! [`TransferNonce`], verifying the HMAC chain chunk by chunk and —
+//! when [`TransferConfig::speculative_restore`](crate::transfer::TransferConfig::speculative_restore)
+//! is on — staging the verified prefix eagerly (incremental whole-state
+//! digest; delta bases overlaid page by page) so the final chunk only
+//! finalizes the digest check and releases.
+//!
+//! Invalid events surface as [`MigError::InvalidTransition`], frames
+//! for nonces no stream owns as [`MigError::StaleNonce`], and a delta
+//! whose base generation fell out of the LRU cache as
+//! [`MigError::BaseEvicted`]. The wire-facing side (cells, padding,
+//! scheduling) lives in [`super::wire`]; durable state in
+//! [`super::persist`].
+
+use crate::error::MigError;
+use crate::library::state::MigrationData;
+use crate::me::wire::{self, LinkShaper, StreamDemand};
+use crate::me::MigrationEnclave;
+use crate::msgs::{LibToMe, MeToLib, MeToMe};
+use crate::transfer::chunker::{chunk_count, ChunkAssembler, ChunkMac, ChunkStream, TransferNonce};
+use crate::transfer::delta::{self, DeltaManifest, PageDigests, StagedApply};
+use crate::transfer::MIN_CHUNK_SIZE;
+use sgx_sim::enclave::EnclaveEnv;
+use sgx_sim::machine::MachineId;
+use sgx_sim::measurement::MrEnclave;
+use sgx_sim::wire::{WireReader, WireWriter};
+use sgx_sim::SgxError;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use super::write_opt;
+
+/// Action the untrusted host must take after a
+/// [`ops::LIB_MSG`](super::ops::LIB_MSG) ECALL.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MeAction {
+    /// Nothing to do (e.g. handshake already in flight; data queued).
+    None,
+    /// Open a connection to the destination ME: send the RA hello.
+    ConnectRemote {
+        /// Destination machine.
+        destination: MachineId,
+        /// `RaHello` bytes to deliver to the destination's ME host.
+        hello: Vec<u8>,
+    },
+    /// A channel already exists: send this encrypted transfer.
+    SendRemote {
+        /// Destination machine.
+        destination: MachineId,
+        /// Channel-sealed [`MeToMe::Transfer`].
+        transfer: Vec<u8>,
+    },
+    /// A channel exists and a streamed transfer is starting or resuming:
+    /// send these encrypted frames in order.
+    StreamRemote {
+        /// Destination machine.
+        destination: MachineId,
+        /// Channel-sealed [`MeToMe`] stream frames (`ChunkStart` /
+        /// `Chunk` / `ResumeRequest`).
+        frames: Vec<Vec<u8>>,
+    },
+    /// (Destination side) relay this encrypted acknowledgement to the
+    /// source ME.
+    AckSource {
+        /// Source machine.
+        source: MachineId,
+        /// Channel-sealed [`MeToMe::Delivered`].
+        ack: Vec<u8>,
+    },
+}
+
+impl MeAction {
+    /// Serializes the action (ECALL output).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            MeAction::None => {
+                w.u8(0);
+            }
+            MeAction::ConnectRemote { destination, hello } => {
+                w.u8(1);
+                w.u64(destination.0);
+                w.bytes(hello);
+            }
+            MeAction::SendRemote {
+                destination,
+                transfer,
+            } => {
+                w.u8(2);
+                w.u64(destination.0);
+                w.bytes(transfer);
+            }
+            MeAction::AckSource { source, ack } => {
+                w.u8(3);
+                w.u64(source.0);
+                w.bytes(ack);
+            }
+            MeAction::StreamRemote {
+                destination,
+                frames,
+            } => {
+                w.u8(4);
+                w.u64(destination.0);
+                w.u32(frames.len() as u32);
+                for frame in frames {
+                    w.bytes(frame);
+                }
+            }
+        }
+        w.finish()
+    }
+
+    /// Parses an action.
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::Decode`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SgxError> {
+        let mut r = WireReader::new(bytes);
+        let action = match r.u8()? {
+            0 => MeAction::None,
+            1 => MeAction::ConnectRemote {
+                destination: MachineId(r.u64()?),
+                hello: r.bytes_vec()?,
+            },
+            2 => MeAction::SendRemote {
+                destination: MachineId(r.u64()?),
+                transfer: r.bytes_vec()?,
+            },
+            3 => MeAction::AckSource {
+                source: MachineId(r.u64()?),
+                ack: r.bytes_vec()?,
+            },
+            4 => {
+                let destination = MachineId(r.u64()?);
+                let n = r.u32()? as usize;
+                let mut frames = Vec::with_capacity(n);
+                for _ in 0..n {
+                    frames.push(r.bytes_vec()?);
+                }
+                MeAction::StreamRemote {
+                    destination,
+                    frames,
+                }
+            }
+            _ => return Err(SgxError::Decode),
+        };
+        r.finish()?;
+        Ok(action)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sender side
+// ---------------------------------------------------------------------
+
+/// Per-nonce progress of an outgoing chunk stream, carried inside the
+/// active [`SenderFsm`] states and persisted so a restarted ME resumes
+/// every in-flight stream from its last acknowledged chunk.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamProgress {
+    pub(crate) nonce: TransferNonce,
+    /// Chunk size the stream was started with (survives re-provisioning
+    /// with a different config and adaptive drift).
+    pub(crate) chunk_size: u32,
+    /// Length of the streamed payload: the full state for a full stream,
+    /// the packed dirty pages for a delta stream.
+    pub(crate) payload_len: u64,
+    /// State generation this stream installs at the destination.
+    pub(crate) generation: u64,
+    /// `Some(base)` when the stream ships a dirty-page delta against the
+    /// destination's retained generation `base`.
+    pub(crate) delta_base: Option<u64>,
+    /// Cumulative acknowledgement: chunks `< acked` are at the
+    /// destination.
+    pub(crate) acked: u32,
+    /// Next chunk index to put on the wire (not persisted; reset to
+    /// `acked` on restore).
+    pub(crate) next_to_send: u32,
+}
+
+impl StreamProgress {
+    /// Fresh progress for a just-announced stream (nothing acked).
+    #[must_use]
+    pub fn new(
+        nonce: TransferNonce,
+        chunk_size: u32,
+        payload_len: u64,
+        generation: u64,
+        delta_base: Option<u64>,
+    ) -> Self {
+        StreamProgress {
+            nonce,
+            chunk_size,
+            payload_len,
+            generation,
+            delta_base,
+            acked: 0,
+            next_to_send: 0,
+        }
+    }
+
+    /// Progress restored from a persisted checkpoint: anything past the
+    /// last cumulative ack may be lost in flight, so sending restarts
+    /// from there.
+    #[must_use]
+    pub fn restored(
+        nonce: TransferNonce,
+        chunk_size: u32,
+        payload_len: u64,
+        generation: u64,
+        delta_base: Option<u64>,
+        acked: u32,
+    ) -> Self {
+        StreamProgress {
+            nonce,
+            chunk_size,
+            payload_len,
+            generation,
+            delta_base,
+            acked,
+            next_to_send: acked,
+        }
+    }
+
+    /// The per-transfer nonce keying the chunk HMAC chain.
+    #[must_use]
+    pub fn nonce(&self) -> TransferNonce {
+        self.nonce
+    }
+
+    /// Total chunks of the stream.
+    #[must_use]
+    pub fn n_chunks(&self) -> u32 {
+        chunk_count(self.payload_len, self.chunk_size)
+    }
+
+    /// Whether every chunk has been cumulatively acknowledged.
+    #[must_use]
+    pub fn complete(&self) -> bool {
+        self.acked >= self.n_chunks()
+    }
+
+    /// Cumulatively acknowledged chunks.
+    #[must_use]
+    pub fn acked(&self) -> u32 {
+        self.acked
+    }
+
+    /// Next chunk index to put on the wire.
+    #[must_use]
+    pub fn next_to_send(&self) -> u32 {
+        self.next_to_send
+    }
+
+    /// State generation this stream installs.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The delta base generation, when this is a delta stream.
+    #[must_use]
+    pub fn delta_base(&self) -> Option<u64> {
+        self.delta_base
+    }
+
+    /// Wire cost of one frame of this stream in bytes — what the
+    /// destination link's cell must cover while the stream is active.
+    #[must_use]
+    pub fn frame_cost(&self) -> u32 {
+        if self.n_chunks() > 1 {
+            self.chunk_size
+        } else {
+            (self.payload_len as u32).max(MIN_CHUNK_SIZE)
+        }
+    }
+
+    /// Advances the progress by a cumulative ack (`rewind == false`:
+    /// `acked` only moves forward, the send cursor never drops behind
+    /// it) or a negotiated resume point (`rewind == true`: both rewind
+    /// to `upto` — anything past it may be lost). Returns whether the
+    /// stream is complete afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`MigError::Protocol`] when `upto` lies beyond the stream end
+    /// (the progress is untouched).
+    fn advance(&mut self, upto: u32, rewind: bool) -> Result<bool, MigError> {
+        if upto > self.n_chunks() {
+            return Err(MigError::Protocol("ack/resume beyond stream end"));
+        }
+        if rewind {
+            self.acked = upto;
+            self.next_to_send = upto;
+        } else {
+            self.acked = self.acked.max(upto);
+            self.next_to_send = self.next_to_send.max(self.acked);
+        }
+        Ok(self.complete())
+    }
+}
+
+/// The typed per-migration sender state machine, replacing the ad-hoc
+/// `sent` / `stored` / `awaiting_resume` flags the Migration Enclave
+/// used to keep per outgoing migration.
+///
+/// ```text
+///            dispatch_single_shot           on_stored
+///   Idle ───────────────────────► AwaitingReceipt ─────► Stored
+///    │ │                                                   ▲
+///    │ │ dispatch_resume            on_resume_point        │ on_stored
+///    │ └──────────────► AwaitingResume ──────┐             │
+///    │ dispatch_announce        ▲            ▼   on_ack    │
+///    └──────────────────────► Streaming ──────────► Complete
+///          (reset_channel / on_delta_nack rewind to Idle;
+///           on_delivered removes the whole migration)
+/// ```
+///
+/// Events that do not apply in the current state return
+/// [`MigError::InvalidTransition`] and leave the state untouched.
+#[derive(Debug)]
+pub enum SenderFsm {
+    /// Nothing is on the wire towards the current destination: a fresh
+    /// request, a restored checkpoint, or a post-`RETRY` rewind. A
+    /// retained [`StreamProgress`] means an interrupted stream whose
+    /// resume point must be renegotiated before chunks flow again.
+    Idle {
+        /// Progress of a previously announced stream, if any.
+        stream: Option<StreamProgress>,
+    },
+    /// The single-shot `Transfer` frame is on the wire, unconfirmed.
+    AwaitingReceipt,
+    /// A `ResumeRequest` is outstanding: the scheduler must not grant
+    /// this stream chunks until the destination names the resume point.
+    AwaitingResume {
+        /// The interrupted stream's progress.
+        stream: StreamProgress,
+    },
+    /// The announced stream is live: the deficit-round-robin scheduler
+    /// grants it chunks from the shared link window.
+    Streaming {
+        /// The live stream's progress.
+        stream: StreamProgress,
+    },
+    /// Every chunk is cumulatively acknowledged — the payload is fully
+    /// at the destination, awaiting its `Stored` / `Delivered`.
+    Complete {
+        /// The finished stream's progress.
+        stream: StreamProgress,
+    },
+    /// The destination confirmed it parked the payload (`Stored`); the
+    /// retained copy awaits `Delivered`.
+    Stored {
+        /// The closed stream's progress (`None` for a single-shot
+        /// transfer).
+        stream: Option<StreamProgress>,
+    },
+}
+
+impl SenderFsm {
+    /// The state's name (diagnostics and [`MigError::InvalidTransition`]).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            SenderFsm::Idle { .. } => "Idle",
+            SenderFsm::AwaitingReceipt => "AwaitingReceipt",
+            SenderFsm::AwaitingResume { .. } => "AwaitingResume",
+            SenderFsm::Streaming { .. } => "Streaming",
+            SenderFsm::Complete { .. } => "Complete",
+            SenderFsm::Stored { .. } => "Stored",
+        }
+    }
+
+    fn invalid(&self, event: &'static str) -> MigError {
+        MigError::InvalidTransition {
+            state: self.name(),
+            event,
+        }
+    }
+
+    /// Puts the paper's single-shot `Transfer` on the wire.
+    ///
+    /// # Errors
+    ///
+    /// [`MigError::InvalidTransition`] outside `Idle` (or when a stream
+    /// is retained — an interrupted stream must resume, not restart).
+    pub fn dispatch_single_shot(&mut self) -> Result<(), MigError> {
+        match self {
+            SenderFsm::Idle { stream: None } => {
+                *self = SenderFsm::AwaitingReceipt;
+                Ok(())
+            }
+            _ => Err(self.invalid("dispatch_single_shot")),
+        }
+    }
+
+    /// Sends a `ResumeRequest` for the retained stream, returning its
+    /// nonce. Anything this side believed in flight died with the old
+    /// channel; the destination's `Resume` names the true point.
+    ///
+    /// # Errors
+    ///
+    /// [`MigError::InvalidTransition`] unless `Idle` with a retained
+    /// stream.
+    pub fn dispatch_resume(&mut self) -> Result<TransferNonce, MigError> {
+        match std::mem::replace(self, SenderFsm::Idle { stream: None }) {
+            SenderFsm::Idle {
+                stream: Some(mut stream),
+            } => {
+                stream.next_to_send = stream.acked;
+                let nonce = stream.nonce;
+                *self = SenderFsm::AwaitingResume { stream };
+                Ok(nonce)
+            }
+            other => {
+                *self = other;
+                Err(self.invalid("dispatch_resume"))
+            }
+        }
+    }
+
+    /// Announces a fresh chunk/delta stream.
+    ///
+    /// # Errors
+    ///
+    /// [`MigError::InvalidTransition`] unless `Idle` with no retained
+    /// stream.
+    pub fn dispatch_announce(&mut self, stream: StreamProgress) -> Result<(), MigError> {
+        match self {
+            SenderFsm::Idle { stream: None } => {
+                *self = SenderFsm::Streaming { stream };
+                Ok(())
+            }
+            _ => Err(self.invalid("dispatch_announce")),
+        }
+    }
+
+    /// A cumulative `ChunkAck` up to `upto` arrived.
+    ///
+    /// # Errors
+    ///
+    /// [`MigError::InvalidTransition`] in states without a sent stream;
+    /// [`MigError::Protocol`] on an ack beyond the stream end.
+    pub fn on_ack(&mut self, upto: u32) -> Result<(), MigError> {
+        // `StreamProgress::advance` validates before mutating, so on
+        // error each arm restores its original variant verbatim.
+        match std::mem::replace(self, SenderFsm::Idle { stream: None }) {
+            SenderFsm::Streaming { mut stream } => match stream.advance(upto, false) {
+                Ok(true) => {
+                    *self = SenderFsm::Complete { stream };
+                    Ok(())
+                }
+                Ok(false) => {
+                    *self = SenderFsm::Streaming { stream };
+                    Ok(())
+                }
+                Err(e) => {
+                    *self = SenderFsm::Streaming { stream };
+                    Err(e)
+                }
+            },
+            // An ack racing a resume renegotiation only advances the
+            // bookkeeping; the stream stays gated until the destination
+            // names the resume point.
+            SenderFsm::AwaitingResume { mut stream } => match stream.advance(upto, false) {
+                Ok(true) => {
+                    *self = SenderFsm::Complete { stream };
+                    Ok(())
+                }
+                Ok(false) => {
+                    *self = SenderFsm::AwaitingResume { stream };
+                    Ok(())
+                }
+                Err(e) => {
+                    *self = SenderFsm::AwaitingResume { stream };
+                    Err(e)
+                }
+            },
+            // Duplicate final acks are harmless.
+            SenderFsm::Complete { mut stream } => {
+                let result = stream.advance(upto, false).map(|_| ());
+                *self = SenderFsm::Complete { stream };
+                result
+            }
+            SenderFsm::Stored {
+                stream: Some(stream),
+            } => {
+                *self = SenderFsm::Stored {
+                    stream: Some(stream),
+                };
+                Ok(())
+            }
+            other => {
+                *self = other;
+                Err(self.invalid("on_ack"))
+            }
+        }
+    }
+
+    /// The destination named the resume point: rewind to `upto` and
+    /// stream from there (`upto == 0` restarts the stream; the caller
+    /// re-announces).
+    ///
+    /// # Errors
+    ///
+    /// [`MigError::InvalidTransition`] unless streaming or awaiting the
+    /// resume point; [`MigError::Protocol`] beyond the stream end.
+    pub fn on_resume_point(&mut self, upto: u32) -> Result<(), MigError> {
+        // Both gated states resolve to Streaming (or Complete) at the
+        // negotiated point; a rejected point restores whichever state
+        // the machine was in (`advance` is untouched-on-error).
+        match std::mem::replace(self, SenderFsm::Idle { stream: None }) {
+            SenderFsm::Streaming { mut stream } => match stream.advance(upto, true) {
+                Ok(complete) => {
+                    *self = if complete {
+                        SenderFsm::Complete { stream }
+                    } else {
+                        SenderFsm::Streaming { stream }
+                    };
+                    Ok(())
+                }
+                Err(e) => {
+                    *self = SenderFsm::Streaming { stream };
+                    Err(e)
+                }
+            },
+            SenderFsm::AwaitingResume { mut stream } => match stream.advance(upto, true) {
+                Ok(complete) => {
+                    *self = if complete {
+                        SenderFsm::Complete { stream }
+                    } else {
+                        SenderFsm::Streaming { stream }
+                    };
+                    Ok(())
+                }
+                Err(e) => {
+                    *self = SenderFsm::AwaitingResume { stream };
+                    Err(e)
+                }
+            },
+            other => {
+                *self = other;
+                Err(self.invalid("on_resume_point"))
+            }
+        }
+    }
+
+    /// The destination confirmed it parked the payload (`Stored`).
+    /// Returns the generation of the closed stream, if any — the caller
+    /// records it as the delta base for the next repeat migration.
+    ///
+    /// # Errors
+    ///
+    /// [`MigError::InvalidTransition`] when nothing was dispatched.
+    pub fn on_stored(&mut self) -> Result<Option<u64>, MigError> {
+        match std::mem::replace(self, SenderFsm::Idle { stream: None }) {
+            SenderFsm::AwaitingReceipt => {
+                *self = SenderFsm::Stored { stream: None };
+                Ok(None)
+            }
+            SenderFsm::Streaming { mut stream }
+            | SenderFsm::AwaitingResume { mut stream }
+            | SenderFsm::Complete { mut stream } => {
+                // A resume renegotiation found the payload fully
+                // received: close out the stream's accounting.
+                let n = stream.n_chunks();
+                stream.acked = n;
+                stream.next_to_send = n;
+                let generation = stream.generation;
+                *self = SenderFsm::Stored {
+                    stream: Some(stream),
+                };
+                Ok(Some(generation))
+            }
+            // Idempotent: the destination answers resumed transfers with
+            // Stored as often as asked.
+            SenderFsm::Stored { stream } => {
+                let generation = stream.as_ref().map(|s| s.generation);
+                *self = SenderFsm::Stored { stream };
+                Ok(generation)
+            }
+            other => {
+                *self = other;
+                Err(self.invalid("on_stored"))
+            }
+        }
+    }
+
+    /// The destination cannot apply the announced delta (no base):
+    /// drop the stream so dispatch restarts the transfer in full.
+    ///
+    /// # Errors
+    ///
+    /// [`MigError::InvalidTransition`] without a sent stream.
+    pub fn on_delta_nack(&mut self) -> Result<(), MigError> {
+        match self {
+            SenderFsm::Streaming { .. }
+            | SenderFsm::AwaitingResume { .. }
+            | SenderFsm::Complete { .. }
+            | SenderFsm::Stored { stream: Some(_) } => {
+                *self = SenderFsm::Idle { stream: None };
+                Ok(())
+            }
+            _ => Err(self.invalid("on_delta_nack")),
+        }
+    }
+
+    /// The channel to the destination died (`RETRY` reconnect or a
+    /// restored checkpoint): everything in flight is lost. Rewinds to
+    /// `Idle`, keeping the stream progress (sending restarts from the
+    /// last cumulative ack).
+    pub fn reset_channel(&mut self) {
+        let stream = match std::mem::replace(self, SenderFsm::Idle { stream: None }) {
+            SenderFsm::Idle { stream } | SenderFsm::Stored { stream } => stream,
+            SenderFsm::AwaitingReceipt => None,
+            SenderFsm::Streaming { stream }
+            | SenderFsm::AwaitingResume { stream }
+            | SenderFsm::Complete { stream } => Some(stream),
+        };
+        let stream = stream.map(|mut s| {
+            s.next_to_send = s.acked;
+            s
+        });
+        *self = SenderFsm::Idle { stream };
+    }
+
+    /// The stream's progress in any state that carries one.
+    #[must_use]
+    pub fn stream(&self) -> Option<&StreamProgress> {
+        match self {
+            SenderFsm::Idle { stream } | SenderFsm::Stored { stream } => stream.as_ref(),
+            SenderFsm::AwaitingReceipt => None,
+            SenderFsm::AwaitingResume { stream }
+            | SenderFsm::Streaming { stream }
+            | SenderFsm::Complete { stream } => Some(stream),
+        }
+    }
+
+    /// The stream's progress in the states where it is on the wire
+    /// (everything but `Idle`).
+    #[must_use]
+    pub fn sent_stream(&self) -> Option<&StreamProgress> {
+        match self {
+            SenderFsm::Idle { .. } | SenderFsm::AwaitingReceipt => None,
+            SenderFsm::Stored { stream } => stream.as_ref(),
+            SenderFsm::AwaitingResume { stream }
+            | SenderFsm::Streaming { stream }
+            | SenderFsm::Complete { stream } => Some(stream),
+        }
+    }
+
+    /// The stream, when the scheduler may grant it chunks right now.
+    #[must_use]
+    pub fn sendable_stream(&self) -> Option<&StreamProgress> {
+        match self {
+            SenderFsm::Streaming { stream } => Some(stream),
+            _ => None,
+        }
+    }
+
+    fn sendable_stream_mut(&mut self) -> Option<&mut StreamProgress> {
+        match self {
+            SenderFsm::Streaming { stream } => Some(stream),
+            _ => None,
+        }
+    }
+
+    /// Whether anything is on the wire (not `Idle`).
+    #[must_use]
+    pub fn is_sent(&self) -> bool {
+        !matches!(self, SenderFsm::Idle { .. })
+    }
+
+    /// An announced stream the destination has not fully acknowledged
+    /// yet (the occupancy counted against the stream cap). A resumed
+    /// stream that was already fully acked before the crash does not
+    /// occupy a slot — its renegotiation resolves to `Stored`.
+    #[must_use]
+    pub fn stream_active(&self) -> bool {
+        match self {
+            SenderFsm::Streaming { stream } | SenderFsm::AwaitingResume { stream } => {
+                !stream.complete()
+            }
+            _ => false,
+        }
+    }
+
+    /// An unconfirmed single-shot `Transfer` is in flight.
+    #[must_use]
+    pub fn awaiting_receipt(&self) -> bool {
+        matches!(self, SenderFsm::AwaitingReceipt)
+    }
+
+    /// A `ResumeRequest` is outstanding for this stream.
+    #[must_use]
+    pub fn is_awaiting_resume(&self) -> bool {
+        matches!(self, SenderFsm::AwaitingResume { .. })
+    }
+}
+
+/// One retained outgoing migration: the Table I payload, the bulk
+/// state, and the [`SenderFsm`] tracking what is on the wire.
+pub(crate) struct OutgoingMigration {
+    pub(crate) destination: MachineId,
+    pub(crate) data: MigrationData,
+    /// Bulk state accompanying the Table I payload (possibly empty).
+    /// Shared with the chunk stream and the generation cache — never
+    /// cloned on the streaming path.
+    pub(crate) state: Arc<[u8]>,
+    pub(crate) fsm: SenderFsm,
+}
+
+impl OutgoingMigration {
+    pub(crate) fn n_chunks(&self) -> u32 {
+        self.fsm.stream().map_or(0, StreamProgress::n_chunks)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Receiver side
+// ---------------------------------------------------------------------
+
+/// How the destination stages the arriving payload.
+enum Staging {
+    /// Full stream: the assembler's verified buffer *is* the state (with
+    /// speculative restore on, its whole-state digest is folded in chunk
+    /// by chunk).
+    Full,
+    /// Delta stream whose base was retained and content-verified at
+    /// announce time: the base is staged up front and dirty pages are
+    /// overlaid as their payload bytes verify (speculative restore).
+    StagedDelta(StagedApply),
+    /// Delta stream assembled without staging (base missing at announce,
+    /// or speculation disabled): applied after completion; NACKed when
+    /// the base is still missing then.
+    DeferredDelta(DeltaManifest),
+}
+
+/// What [`ReceiverFsm::release`] produced.
+// MigrationData carries the Table I fixed arrays inline (1.3 KiB); the
+// value is consumed immediately by the release path, so boxing would
+// only add an allocation.
+#[allow(clippy::large_enum_variant)]
+pub enum ReceiverRelease {
+    /// The whole-state digest checked out: the reconstructed state (and
+    /// the Table I payload that travelled with the announcement) is
+    /// released for parking/forwarding.
+    Released {
+        /// The Table I control payload.
+        data: MigrationData,
+        /// The verified, reconstructed bulk state.
+        state: Arc<[u8]>,
+    },
+    /// The stream is a delta whose base generation this enclave does not
+    /// hold: the caller NACKs so the source restarts as a full stream.
+    BaseMissing,
+}
+
+/// The typed per-nonce receiver state machine: verifies the chunk HMAC
+/// chain strictly in order and stages the verified prefix.
+///
+/// Lifecycle: constructed by an announcement
+/// ([`ReceiverFsm::start_full`] / [`ReceiverFsm::start_delta`]), driven
+/// by [`ReceiverFsm::on_chunk`] until [`ReceiverFsm::is_complete`], then
+/// consumed by [`ReceiverFsm::release`] — which enforces the release
+/// rules unchanged from the batch path: whole-state digest before
+/// release, manifest validated before any page is applied, and any
+/// tamper evidence quarantines the stream (the partial state is
+/// dropped; a resume restarts it from chunk 0).
+///
+/// With speculative restore on, the expensive tail work is done as
+/// chunks arrive — the running digest and (for deltas) the staged base
+/// overlay — so `release` after the final chunk only finalizes.
+pub struct ReceiverFsm {
+    source: MachineId,
+    mr_enclave: MrEnclave,
+    data: MigrationData,
+    /// State generation the stream installs (for a delta, the
+    /// manifest's `new_generation`).
+    generation: u64,
+    assembler: ChunkAssembler,
+    staging: Staging,
+}
+
+impl std::fmt::Debug for ReceiverFsm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReceiverFsm")
+            .field("source", &self.source)
+            .field("next_idx", &self.assembler.next_idx())
+            .field("n_chunks", &self.assembler.n_chunks())
+            .field(
+                "staging",
+                &match &self.staging {
+                    Staging::Full => "full",
+                    Staging::StagedDelta(_) => "staged-delta",
+                    Staging::DeferredDelta(_) => "deferred-delta",
+                },
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+impl ReceiverFsm {
+    /// Opens a receiver for an announced full-state stream.
+    ///
+    /// # Errors
+    ///
+    /// [`MigError::Transfer`] on inconsistent announced geometry.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_full(
+        source: MachineId,
+        mr_enclave: MrEnclave,
+        data: MigrationData,
+        nonce: TransferNonce,
+        generation: u64,
+        total_len: u64,
+        chunk_size: u32,
+        state_digest: [u8; 32],
+        speculative: bool,
+    ) -> Result<Self, MigError> {
+        let mut assembler = ChunkAssembler::new(nonce, chunk_size, total_len, state_digest)?;
+        if speculative {
+            assembler.enable_incremental_digest();
+        }
+        Ok(ReceiverFsm {
+            source,
+            mr_enclave,
+            data,
+            generation,
+            assembler,
+            staging: Staging::Full,
+        })
+    }
+
+    /// Opens a receiver for an announced dirty-page delta stream.
+    ///
+    /// `base` is the retained candidate for the manifest's base
+    /// generation (already generation-matched by the caller); with
+    /// speculation on and the base content-verified, the stream stages
+    /// eagerly, otherwise it defers the apply to completion — a base
+    /// that is missing or fails verification is *not* an error here:
+    /// the NACK happens after the last chunk, keeping the channel
+    /// strictly FIFO.
+    ///
+    /// # Errors
+    ///
+    /// [`MigError::Transfer`] on inconsistent announced geometry.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_delta(
+        source: MachineId,
+        mr_enclave: MrEnclave,
+        data: MigrationData,
+        nonce: TransferNonce,
+        chunk_size: u32,
+        payload_digest: [u8; 32],
+        manifest: DeltaManifest,
+        base: Option<&[u8]>,
+        speculative: bool,
+    ) -> Result<Self, MigError> {
+        let mut assembler =
+            ChunkAssembler::new(nonce, chunk_size, manifest.payload_len(), payload_digest)?;
+        if speculative {
+            assembler.enable_incremental_digest();
+        }
+        let generation = manifest.new_generation;
+        let staging = match base
+            .filter(|_| speculative)
+            .and_then(|b| StagedApply::new(b, &manifest).ok())
+        {
+            Some(staged) => Staging::StagedDelta(staged),
+            None => Staging::DeferredDelta(manifest),
+        };
+        Ok(ReceiverFsm {
+            source,
+            mr_enclave,
+            data,
+            generation,
+            assembler,
+            staging,
+        })
+    }
+
+    /// Rebuilds a receiver from persisted parts (ME restore). The
+    /// staging is reconstructed deterministically: the assembler's
+    /// verified prefix is re-absorbed onto the (re-verified) base; when
+    /// the base did not survive the restart the stream falls back to
+    /// the deferred path, exactly like a base evicted before announce.
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn restore(
+        source: MachineId,
+        mr_enclave: MrEnclave,
+        data: MigrationData,
+        generation: u64,
+        mut assembler: ChunkAssembler,
+        manifest: Option<DeltaManifest>,
+        base: Option<&[u8]>,
+        speculative: bool,
+    ) -> Self {
+        if speculative {
+            assembler.enable_incremental_digest();
+        }
+        let staging = match manifest {
+            None => Staging::Full,
+            Some(manifest) => {
+                let staged = base.filter(|_| speculative).and_then(|b| {
+                    let mut staged = StagedApply::new(b, &manifest).ok()?;
+                    staged.absorb(assembler.received()).ok()?;
+                    Some(staged)
+                });
+                match staged {
+                    Some(staged) => Staging::StagedDelta(staged),
+                    None => Staging::DeferredDelta(manifest),
+                }
+            }
+        };
+        ReceiverFsm {
+            source,
+            mr_enclave,
+            data,
+            generation,
+            assembler,
+            staging,
+        }
+    }
+
+    /// The source machine the stream arrives from.
+    #[must_use]
+    pub fn source(&self) -> MachineId {
+        self.source
+    }
+
+    /// The migrating enclave's measurement.
+    #[must_use]
+    pub fn mr_enclave(&self) -> MrEnclave {
+        self.mr_enclave
+    }
+
+    /// The Table I control payload that travelled with the announcement.
+    #[must_use]
+    pub fn data(&self) -> &MigrationData {
+        &self.data
+    }
+
+    /// The state generation the stream installs.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Index of the next chunk the receiver will accept — equivalently
+    /// the cumulative acknowledgement.
+    #[must_use]
+    pub fn next_idx(&self) -> u32 {
+        self.assembler.next_idx()
+    }
+
+    /// Whether every chunk has been verified.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.assembler.is_complete()
+    }
+
+    /// The delta manifest, for either delta mode (persistence).
+    #[must_use]
+    pub fn delta_manifest(&self) -> Option<&DeltaManifest> {
+        match &self.staging {
+            Staging::Full => None,
+            Staging::StagedDelta(staged) => Some(staged.manifest()),
+            Staging::DeferredDelta(manifest) => Some(manifest),
+        }
+    }
+
+    /// The manifest whose base [`ReceiverFsm::release`] still needs —
+    /// only a deferred delta; a staged one captured the base at
+    /// announce time.
+    #[must_use]
+    pub fn needs_base(&self) -> Option<&DeltaManifest> {
+        match &self.staging {
+            Staging::DeferredDelta(manifest) => Some(manifest),
+            _ => None,
+        }
+    }
+
+    /// Whether the stream is speculatively staged onto a retained base.
+    #[must_use]
+    pub fn is_staged(&self) -> bool {
+        matches!(self.staging, Staging::StagedDelta(_))
+    }
+
+    /// Serialized assembler state (persistence).
+    #[must_use]
+    pub fn assembler_bytes(&self) -> Vec<u8> {
+        self.assembler.to_bytes()
+    }
+
+    /// Verifies and stages chunk `idx`.
+    ///
+    /// # Errors
+    ///
+    /// [`MigError::Transfer`] on an out-of-order index (loss artifact —
+    /// the verified prefix is kept), a wrong payload length, or a
+    /// chain-MAC mismatch (tamper evidence — the caller quarantines the
+    /// stream).
+    pub fn on_chunk(&mut self, idx: u32, payload: &[u8], mac: &ChunkMac) -> Result<(), MigError> {
+        self.assembler.accept(idx, payload, mac)?;
+        if let Staging::StagedDelta(staged) = &mut self.staging {
+            staged.absorb(payload)?;
+        }
+        Ok(())
+    }
+
+    /// Consumes the completed stream, enforcing the release rules:
+    /// whole-state digest before release; a deferred delta is applied
+    /// onto `base` (validate-before-apply) or answered
+    /// [`ReceiverRelease::BaseMissing`] when `base` is `None`.
+    ///
+    /// # Errors
+    ///
+    /// [`MigError::Transfer`] on an incomplete stream or any digest
+    /// mismatch — the partial state is dropped with the consumed
+    /// receiver (quarantine).
+    pub fn release(self, base: Option<&[u8]>) -> Result<ReceiverRelease, MigError> {
+        let ReceiverFsm {
+            data,
+            assembler,
+            staging,
+            ..
+        } = self;
+        match staging {
+            Staging::Full => {
+                let state: Arc<[u8]> = assembler.finish()?.into();
+                Ok(ReceiverRelease::Released { data, state })
+            }
+            Staging::StagedDelta(staged) => {
+                // The chain's payload digest and the manifest's
+                // whole-state digest both still gate the release; with
+                // speculation both are running digests, so only the
+                // finalizes happen here.
+                assembler.finish()?;
+                let state: Arc<[u8]> = staged.finish()?.into();
+                Ok(ReceiverRelease::Released { data, state })
+            }
+            Staging::DeferredDelta(manifest) => {
+                let payload = assembler.finish()?;
+                match base {
+                    Some(base) => {
+                        let state: Arc<[u8]> = delta::apply(base, &manifest, &payload)?.into();
+                        Ok(ReceiverRelease::Released { data, state })
+                    }
+                    None => Ok(ReceiverRelease::BaseMissing),
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Session-layer opcode handling
+// ---------------------------------------------------------------------
+
+impl MigrationEnclave {
+    pub(super) fn op_lib_msg(
+        &mut self,
+        env: &mut EnclaveEnv<'_>,
+        input: &[u8],
+    ) -> Result<Vec<u8>, MigError> {
+        let mut r = WireReader::new(input);
+        let mr = MrEnclave(r.array()?);
+        let ciphertext = r.bytes_vec()?;
+        r.finish()?;
+
+        let channel = self
+            .local_sessions
+            .get_mut(&mr)
+            .ok_or(MigError::Protocol("no local session for enclave"))?;
+        let plaintext = channel.open(&ciphertext)?;
+        let action = match LibToMe::from_bytes(&plaintext)? {
+            LibToMe::MigrateRequest {
+                destination,
+                data,
+                state,
+            } => {
+                self.out_streams.remove(&mr);
+                self.out_manifests.remove(&mr);
+                self.outgoing.insert(
+                    mr,
+                    OutgoingMigration {
+                        destination,
+                        data,
+                        state: state.into(),
+                        fsm: SenderFsm::Idle { stream: None },
+                    },
+                );
+                self.dispatch_outgoing(env, destination)?
+            }
+            LibToMe::Done => {
+                // Destination side: the library confirmed installation; the
+                // parked copy can finally be dropped.
+                let source = self
+                    .awaiting_done
+                    .remove(&mr)
+                    .ok_or(MigError::Protocol("unexpected DONE"))?;
+                self.pending_incoming.remove(&mr);
+                let channel = self
+                    .channels_in
+                    .get_mut(&source)
+                    .ok_or(MigError::Protocol("no channel to source"))?;
+                let ack = channel.seal(&MeToMe::Delivered { mr_enclave: mr }.to_bytes());
+                MeAction::AckSource { source, ack }
+            }
+        };
+        Ok(action.to_bytes())
+    }
+
+    /// Chunks in flight (sent, not yet cumulatively acknowledged) across
+    /// every stream towards `destination` — the consumed share of the
+    /// link's shared window budget.
+    fn in_flight_chunks(&self, destination: MachineId) -> u32 {
+        self.outgoing
+            .values()
+            .filter(|mig| mig.destination == destination)
+            .filter_map(|mig| mig.fsm.sent_stream())
+            .map(|s| s.next_to_send.saturating_sub(s.acked))
+            .sum()
+    }
+
+    /// Announced-and-incomplete streams towards `destination` (the
+    /// occupancy counted against `TransferConfig::max_streams`).
+    fn active_stream_count(&self, destination: MachineId) -> u32 {
+        self.outgoing
+            .values()
+            .filter(|mig| mig.destination == destination && mig.fsm.stream_active())
+            .count() as u32
+    }
+
+    /// Grants send slots across the ready streams towards `destination`
+    /// — deficit round-robin over the shared link window — and seals the
+    /// resulting frames: `leads` (announcements / re-announcements)
+    /// first, each padded to the wire cell, then the granted chunks.
+    fn pump_streams(
+        &mut self,
+        destination: MachineId,
+        leads: Vec<MeToMe>,
+        lead_cost: u32,
+    ) -> Result<Vec<Vec<u8>>, MigError> {
+        let transfer_cfg = self.config()?.transfer;
+        let in_flight = self.in_flight_chunks(destination);
+
+        // Demands of every stream that could put a chunk on the wire
+        // right now, deterministic order.
+        let mut demands: Vec<(MrEnclave, StreamDemand)> = self
+            .outgoing
+            .iter()
+            .filter(|(_, mig)| mig.destination == destination)
+            .filter_map(|(mr, mig)| mig.fsm.sendable_stream().map(|s| (*mr, s)))
+            .filter(|(_, s)| s.next_to_send < s.n_chunks())
+            .map(|(mr, s)| {
+                (
+                    mr,
+                    StreamDemand {
+                        pending_chunks: s.n_chunks() - s.next_to_send,
+                        chunk_cost: u64::from(s.frame_cost()),
+                    },
+                )
+            })
+            .collect();
+        demands.sort_by_key(|(mr, _)| mr.0);
+
+        let shaper = self
+            .shapers
+            .entry(destination)
+            .or_insert_with(|| LinkShaper::new(&transfer_cfg));
+        let budget = shaper.adaptive().window().saturating_sub(in_flight);
+        let grants = shaper.allocate(budget, &demands);
+        if leads.is_empty() && grants.is_empty() {
+            return Ok(Vec::new());
+        }
+
+        // Rebuild transient chunk caches for everything about to send.
+        for mr in &grants {
+            self.ensure_out_stream(*mr)?;
+        }
+
+        // The cell must cover every frame of this batch: the granted
+        // streams' chunk geometry and the lead frames' natural sizes.
+        let lead_bytes: Vec<Vec<u8>> = leads.iter().map(MeToMe::to_bytes).collect();
+        let mut needed = lead_cost;
+        for (mr, demand) in &demands {
+            if grants.contains(mr) {
+                needed = needed.max(demand.chunk_cost as u32);
+            }
+        }
+        for bytes in &lead_bytes {
+            // A lead larger than the cell's frame size (a delta manifest
+            // naming many pages) raises the cell so chunks sealed after
+            // it cannot overtake it.
+            needed = needed.max(wire::cell_for_frame_len(bytes.len()));
+        }
+        let cell = self
+            .shapers
+            .get_mut(&destination)
+            .expect("inserted above")
+            .bump_cell(needed, in_flight);
+
+        let mut next: HashMap<MrEnclave, u32> = grants
+            .iter()
+            .map(|mr| {
+                let s = self.outgoing[mr]
+                    .fsm
+                    .sendable_stream()
+                    .expect("granted stream");
+                (*mr, s.next_to_send)
+            })
+            .collect();
+        let channel = self
+            .channels_out
+            .get_mut(&destination)
+            .ok_or(MigError::Protocol("no channel to destination"))?;
+        let mut frames = Vec::with_capacity(lead_bytes.len() + grants.len());
+        for bytes in lead_bytes {
+            frames.push(wire::seal_lead(channel, bytes, cell));
+        }
+        for mr in &grants {
+            let cache = self.out_streams.get(mr).expect("ensured above");
+            let idx = next[mr];
+            frames.push(wire::seal_chunk(cache, channel, idx, cell));
+            *next.get_mut(mr).expect("inserted above") += 1;
+        }
+        for (mr, n) in next {
+            let stream = self
+                .outgoing
+                .get_mut(&mr)
+                .and_then(|mig| mig.fsm.sendable_stream_mut())
+                .expect("granted stream");
+            stream.next_to_send = n;
+        }
+        Ok(frames)
+    }
+
+    /// Builds the announcement for a fresh stream of `mr` (delta against
+    /// the cached base when profitable, full otherwise), drives the
+    /// sender FSM into `Streaming`, and returns the unsealed start
+    /// message.
+    fn announce_stream(
+        &mut self,
+        env: &mut EnclaveEnv<'_>,
+        mr: MrEnclave,
+        chunk_size: u32,
+    ) -> Result<MeToMe, MigError> {
+        let transfer_cfg = self.config()?.transfer;
+        let cached = self
+            .cache
+            .get(&mr)
+            .map(|c| (c.generation, Arc::clone(&c.state)));
+        if cached.is_some() {
+            self.cache.touch(&mr);
+        }
+        let mut nonce: TransferNonce = [0; 16];
+        env.random_bytes(&mut nonce);
+        let mig = self
+            .outgoing
+            .get_mut(&mr)
+            .ok_or(MigError::Protocol("no retained migration data"))?;
+        let generation = cached.as_ref().map_or(0, |(g, _)| g + 1);
+        // When a previous generation of this enclave's state is cached (a
+        // repeat migration), diff against it and ship only the dirty
+        // pages — unless the delta exceeds the provisioned fraction of
+        // the full state, in which case the full stream is cheaper than
+        // a delta that rewrites most pages anyway.
+        let delta = cached.and_then(|(base_generation, base_state)| {
+            let digests = PageDigests::compute(&base_state, delta::PAGE_SIZE);
+            let (manifest, payload) =
+                delta::diff(&digests, base_generation, generation, &mig.state);
+            let within_budget = manifest.payload_len().saturating_mul(100)
+                <= (mig.state.len() as u64)
+                    .saturating_mul(u64::from(transfer_cfg.max_delta_percent));
+            within_budget.then_some((manifest, payload))
+        });
+        let (stream, delta_base, start_msg) = match delta {
+            Some((manifest, payload)) => {
+                let stream = ChunkStream::new(nonce, chunk_size, payload);
+                let delta_base = manifest.base_generation;
+                let start = MeToMe::DeltaStart {
+                    mr_enclave: mr,
+                    nonce,
+                    chunk_size,
+                    payload_digest: stream.digest(),
+                    manifest: manifest.clone(),
+                    data: mig.data.clone(),
+                };
+                self.out_manifests.insert(mr, manifest);
+                (stream, Some(delta_base), start)
+            }
+            None => {
+                let stream = ChunkStream::new(nonce, chunk_size, Arc::clone(&mig.state));
+                let start = MeToMe::ChunkStart {
+                    mr_enclave: mr,
+                    nonce,
+                    generation,
+                    total_len: stream.total_len(),
+                    chunk_size,
+                    state_digest: stream.digest(),
+                    data: mig.data.clone(),
+                };
+                (stream, None, start)
+            }
+        };
+        let mig = self.outgoing.get_mut(&mr).expect("present above");
+        mig.fsm.dispatch_announce(StreamProgress::new(
+            nonce,
+            chunk_size,
+            stream.total_len(),
+            generation,
+            delta_base,
+        ))?;
+        self.out_streams.insert(mr, stream);
+        Ok(start_msg)
+    }
+
+    /// Sends or queues outgoing data for `destination`.
+    ///
+    /// With an open channel, every unsent migration towards the
+    /// destination dispatches **concurrently** (up to
+    /// `TransferConfig::max_streams`), multiplexed on the shared
+    /// attested channel: streams that predate a crash/reconnect send a
+    /// [`MeToMe::ResumeRequest`] renegotiating their per-nonce resume
+    /// point, fresh large states announce a `ChunkStart`/`DeltaStart`
+    /// and get their first chunks from the deficit-round-robin share of
+    /// the link window, and small states ride the paper's single-shot
+    /// [`MeToMe::Transfer`] when the link is quiet (on a busy link a
+    /// small frame sealed behind in-flight cells would overtake them,
+    /// so non-empty small states join the multiplex as single-chunk
+    /// streams instead). Migrations beyond the stream cap stay queued
+    /// and drain as streams complete.
+    pub(super) fn dispatch_outgoing(
+        &mut self,
+        env: &mut EnclaveEnv<'_>,
+        destination: MachineId,
+    ) -> Result<MeAction, MigError> {
+        if !self.channels_out.contains_key(&destination) {
+            if self.ra_out_pending.contains_key(&destination) {
+                // Handshake already in flight; data stays queued.
+                return Ok(MeAction::None);
+            }
+            let (session, hello) = crate::remote_attest::RaInitiator::start(env)?;
+            self.ra_out_pending.insert(destination, session);
+            return Ok(MeAction::ConnectRemote {
+                destination,
+                hello: hello.to_bytes(),
+            });
+        }
+
+        let transfer_cfg = self.config()?.transfer;
+        let active = self.active_stream_count(destination);
+        let unconfirmed_singleshot = self
+            .outgoing
+            .values()
+            .any(|mig| mig.destination == destination && mig.fsm.awaiting_receipt());
+        // Nothing this ME previously put on the wire towards the
+        // destination can still be in flight.
+        let quiet = active == 0 && !unconfirmed_singleshot;
+
+        let mut unsent: Vec<MrEnclave> = self
+            .outgoing
+            .iter()
+            .filter(|(_, mig)| mig.destination == destination && !mig.fsm.is_sent())
+            .map(|(mr, _)| *mr)
+            .collect();
+        unsent.sort_by_key(|mr| mr.0);
+        if unsent.is_empty() {
+            return Ok(MeAction::None);
+        }
+
+        let mut slots = transfer_cfg.max_streams.saturating_sub(active);
+        let fresh_count = unsent
+            .iter()
+            .filter(|mr| self.outgoing[*mr].fsm.stream().is_none())
+            .count();
+        // Decided up front, not while partitioning: a ResumeRequest is
+        // smaller than a non-empty Transfer frame, so the two must never
+        // share a batch regardless of MRENCLAVE sort order (the smaller
+        // frame sealed second would overtake on the size-ordered
+        // network).
+        let batch_resumes = unsent.len() != fresh_count;
+        let mut singleshots: Vec<MrEnclave> = Vec::new();
+        let mut resumes: Vec<MrEnclave> = Vec::new();
+        let mut announces: Vec<MrEnclave> = Vec::new();
+        for mr in unsent {
+            let mig = &self.outgoing[&mr];
+            if mig.fsm.stream().is_some() {
+                if slots > 0 {
+                    resumes.push(mr);
+                    slots -= 1;
+                }
+            } else if mig.state.is_empty() {
+                // No bulk state: must ride the single-shot message (a
+                // zero-length payload cannot chunk). Safe only on a
+                // quiet link; otherwise it waits for the streams to
+                // drain (dispatch re-runs on every completion).
+                if quiet {
+                    singleshots.push(mr);
+                }
+            } else if mig.state.len() <= transfer_cfg.stream_threshold as usize
+                && quiet
+                && fresh_count == 1
+                && !batch_resumes
+            {
+                // Small-state fast path: the paper's single-shot
+                // transfer, kept for the common sole-migration case.
+                singleshots.push(mr);
+            } else if slots > 0 && !unconfirmed_singleshot {
+                // A non-empty single-shot Transfer still in flight is
+                // *larger* than cell-padded chunk frames; announcing a
+                // stream now would let its frames overtake the Transfer
+                // on the size-ordered network and desync the channel.
+                // Stay queued until the Stored/Delivered confirmation
+                // re-runs dispatch (empty Transfers are smaller than
+                // every stream frame and need no such gate).
+                announces.push(mr);
+                slots -= 1;
+            }
+        }
+
+        // Seal order = arrival order on the size-ordered network:
+        // single-shot transfers (empty ones are the smallest frames),
+        // then resume requests, then cell-padded announcements + chunks.
+        let mut frames = Vec::new();
+        for mr in singleshots {
+            let mig = self.outgoing.get_mut(&mr).expect("listed above");
+            mig.fsm.dispatch_single_shot()?;
+            let msg = MeToMe::Transfer {
+                mr_enclave: mr,
+                data: mig.data.clone(),
+                state: mig.state.to_vec(),
+            };
+            let channel = self
+                .channels_out
+                .get_mut(&destination)
+                .expect("checked above");
+            frames.push(channel.seal(&msg.to_bytes()));
+        }
+        for mr in resumes {
+            let mig = self.outgoing.get_mut(&mr).expect("listed above");
+            let nonce = mig.fsm.dispatch_resume()?;
+            let msg = MeToMe::ResumeRequest {
+                mr_enclave: mr,
+                nonce,
+            };
+            let channel = self
+                .channels_out
+                .get_mut(&destination)
+                .expect("checked above");
+            frames.push(channel.seal(&msg.to_bytes()));
+        }
+        if !announces.is_empty() {
+            let chunk_size = self
+                .shapers
+                .entry(destination)
+                .or_insert_with(|| LinkShaper::new(&transfer_cfg))
+                .adaptive()
+                .chunk_size();
+            let mut leads = Vec::with_capacity(announces.len());
+            let mut lead_cost = 0u32;
+            for mr in announces {
+                leads.push(self.announce_stream(env, mr, chunk_size)?);
+                let stream = self.outgoing[&mr].fsm.stream().expect("announced");
+                lead_cost = lead_cost.max(stream.frame_cost());
+            }
+            frames.extend(self.pump_streams(destination, leads, lead_cost)?);
+        }
+
+        Ok(match frames.len() {
+            0 => MeAction::None,
+            1 => MeAction::SendRemote {
+                destination,
+                transfer: frames.remove(0),
+            },
+            _ => MeAction::StreamRemote {
+                destination,
+                frames,
+            },
+        })
+    }
+
+    /// Recomputes the delta payload of an outgoing delta stream from the
+    /// cached base generation (deterministic: the same diff that was
+    /// announced).
+    fn delta_payload(&self, mr: MrEnclave) -> Result<(DeltaManifest, Vec<u8>), MigError> {
+        let mig = self
+            .outgoing
+            .get(&mr)
+            .ok_or(MigError::Protocol("no retained migration data"))?;
+        let stream = mig
+            .fsm
+            .stream()
+            .ok_or(MigError::Protocol("no stream for migration"))?;
+        let base_generation = stream
+            .delta_base
+            .ok_or(MigError::Protocol("stream is not a delta"))?;
+        let cached = self
+            .cache
+            .get(&mr)
+            .filter(|c| c.generation == base_generation)
+            .ok_or(MigError::BaseEvicted)?;
+        let digests = PageDigests::compute(&cached.state, delta::PAGE_SIZE);
+        let (manifest, payload) =
+            delta::diff(&digests, base_generation, stream.generation, &mig.state);
+        if payload.len() as u64 != stream.payload_len {
+            return Err(MigError::Protocol(
+                "delta payload drifted from announcement",
+            ));
+        }
+        Ok((manifest, payload))
+    }
+
+    /// Rebuilds the transient chunk cache for `mr` after a restore.
+    fn ensure_out_stream(&mut self, mr: MrEnclave) -> Result<(), MigError> {
+        if self.out_streams.contains_key(&mr) {
+            return Ok(());
+        }
+        let mig = self
+            .outgoing
+            .get(&mr)
+            .ok_or(MigError::Protocol("no retained migration data"))?;
+        let stream = mig
+            .fsm
+            .stream()
+            .ok_or(MigError::Protocol("no stream for migration"))?;
+        let (nonce, chunk_size) = (stream.nonce, stream.chunk_size);
+        let payload: Arc<[u8]> = if stream.delta_base.is_some() {
+            let (manifest, payload) = self.delta_payload(mr)?;
+            self.out_manifests.insert(mr, manifest);
+            payload.into()
+        } else {
+            Arc::clone(&mig.state)
+        };
+        self.out_streams
+            .insert(mr, ChunkStream::new(nonce, chunk_size, payload));
+        Ok(())
+    }
+
+    /// Rebuilds the announcement frame (`ChunkStart` / `DeltaStart`) of
+    /// the retained stream for `mr` — used when a resume renegotiation
+    /// rewinds to chunk 0.
+    fn rebuild_start_msg(&self, mr: MrEnclave) -> Result<MeToMe, MigError> {
+        let mig = self
+            .outgoing
+            .get(&mr)
+            .ok_or(MigError::Protocol("no retained migration data"))?;
+        let stream = mig
+            .fsm
+            .stream()
+            .ok_or(MigError::Protocol("no stream for migration"))?;
+        let cache = self
+            .out_streams
+            .get(&mr)
+            .ok_or(MigError::Protocol("chunk cache not rebuilt"))?;
+        Ok(match stream.delta_base {
+            None => MeToMe::ChunkStart {
+                mr_enclave: mr,
+                nonce: stream.nonce,
+                generation: stream.generation,
+                total_len: cache.total_len(),
+                chunk_size: cache.chunk_size(),
+                state_digest: cache.digest(),
+                data: mig.data.clone(),
+            },
+            Some(_) => MeToMe::DeltaStart {
+                mr_enclave: mr,
+                nonce: stream.nonce,
+                chunk_size: cache.chunk_size(),
+                payload_digest: cache.digest(),
+                manifest: self
+                    .out_manifests
+                    .get(&mr)
+                    .cloned()
+                    .map_or_else(|| self.delta_payload(mr).map(|(m, _)| m), Ok)?,
+                data: mig.data.clone(),
+            },
+        })
+    }
+
+    pub(super) fn op_retry(
+        &mut self,
+        env: &mut EnclaveEnv<'_>,
+        input: &[u8],
+    ) -> Result<Vec<u8>, MigError> {
+        let mut r = WireReader::new(input);
+        let mr = MrEnclave(r.array()?);
+        let destination = MachineId(r.u64()?);
+        r.finish()?;
+
+        let outgoing = self
+            .outgoing
+            .get_mut(&mr)
+            .ok_or(MigError::Protocol("no retained migration data"))?;
+        outgoing.destination = destination;
+        // The failure being retried may be a dead peer channel (e.g. the
+        // destination's management VM restarted); drop any cached state
+        // towards the destination so a fresh mutual attestation runs.
+        // Every migration multiplexed on that channel lost its in-flight
+        // frames with it, so rewind them all to Idle: the reconnect
+        // renegotiates each stream's resume point per nonce.
+        self.channels_out.remove(&destination);
+        self.ra_out_pending.remove(&destination);
+        if let Some(shaper) = self.shapers.get_mut(&destination) {
+            shaper.reset_framing();
+        }
+        for mig in self
+            .outgoing
+            .values_mut()
+            .filter(|mig| mig.destination == destination)
+        {
+            mig.fsm.reset_channel();
+        }
+        let action = self.dispatch_outgoing(env, destination)?;
+        Ok(action.to_bytes())
+    }
+
+    /// Accepts complete incoming migration data: parks it, forwards to a
+    /// matching attested enclave if present, or tells the source it is
+    /// stored. Returns the encoded `TRANSFER` output.
+    fn accept_incoming(
+        &mut self,
+        source: MachineId,
+        mr_enclave: MrEnclave,
+        data: MigrationData,
+        state: Arc<[u8]>,
+        final_ack: Option<Vec<u8>>,
+    ) -> Vec<u8> {
+        // Park the data regardless; it is only dropped once the
+        // destination library confirms with DONE (crash safety). The
+        // Arc is shared with the caller and the generation cache.
+        self.pending_incoming
+            .insert(mr_enclave, (data.clone(), Arc::clone(&state), source));
+        if let Some(local) = self.local_sessions.get_mut(&mr_enclave) {
+            let forward = local.seal(&MeToLib::encode_incoming_migration(&data, &state));
+            self.awaiting_done.insert(mr_enclave, source);
+            let mut w = WireWriter::new();
+            w.u8(1); // forwarded
+            w.array(&mr_enclave.0);
+            write_opt(&mut w, Some(&forward));
+            write_opt(&mut w, final_ack.as_deref());
+            w.finish()
+        } else {
+            // No matching enclave yet; tell the source the data is
+            // stored (it keeps its copy). A chunked transfer's final
+            // cumulative ack already means "stored"; reuse it.
+            let ack = final_ack.unwrap_or_else(|| {
+                let channel = self
+                    .channels_in
+                    .get_mut(&source)
+                    .expect("caller verified the channel");
+                channel.seal(&MeToMe::Stored { mr_enclave }.to_bytes())
+            });
+            let mut w = WireWriter::new();
+            w.u8(2); // stored
+            w.array(&mr_enclave.0);
+            write_opt(&mut w, None);
+            write_opt(&mut w, Some(&ack));
+            w.finish()
+        }
+    }
+
+    /// Encodes the common "stream progress" TRANSFER output: kind 3,
+    /// the enclave measurement, no forward, and an optional reply frame
+    /// for the source.
+    fn stream_progress_output(mr_enclave: MrEnclave, reply: Option<&[u8]>) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u8(3); // stream progress
+        w.array(&mr_enclave.0);
+        write_opt(&mut w, None);
+        write_opt(&mut w, reply);
+        w.finish()
+    }
+
+    pub(super) fn op_transfer(&mut self, input: &[u8]) -> Result<Vec<u8>, MigError> {
+        let mut r = WireReader::new(input);
+        let source = MachineId(r.u64()?);
+        let ciphertext = r.bytes_vec()?;
+        r.finish()?;
+
+        let channel = self
+            .channels_in
+            .get_mut(&source)
+            .ok_or(MigError::Protocol("no channel from source"))?;
+        let plaintext = channel.open(&ciphertext)?;
+        let speculative = self.config()?.transfer.speculative_restore;
+        match MeToMe::from_bytes(&plaintext)? {
+            MeToMe::Transfer {
+                mr_enclave,
+                data,
+                state,
+            } => Ok(self.accept_incoming(source, mr_enclave, data, state.into(), None)),
+            MeToMe::ChunkStart {
+                mr_enclave,
+                nonce,
+                generation,
+                total_len,
+                chunk_size,
+                state_digest,
+                data,
+            } => {
+                // A repeated announcement (stream restarted from 0)
+                // replaces any stale partial state for this nonce.
+                let fsm = ReceiverFsm::start_full(
+                    source,
+                    mr_enclave,
+                    data,
+                    nonce,
+                    generation,
+                    total_len,
+                    chunk_size,
+                    state_digest,
+                    speculative,
+                )?;
+                self.inbound.insert(nonce, fsm);
+                Ok(Self::stream_progress_output(mr_enclave, None))
+            }
+            MeToMe::DeltaStart {
+                mr_enclave,
+                nonce,
+                chunk_size,
+                payload_digest,
+                manifest,
+                data,
+            } => {
+                // Accept the delta stream even when we do not hold its
+                // base generation: the payload is small by construction
+                // (the source capped it at a fraction of the full state)
+                // and NACKing *after* the last chunk keeps the channel
+                // strictly FIFO — a NACK racing in-flight chunks would
+                // let the restarted announcement overtake them on the
+                // size-ordered network and desync the channel sequence.
+                // With speculative restore on and the base retained, the
+                // base is content-verified and staged *now*, overlapping
+                // the restore work with the arriving chunks. The lookup
+                // hashes the retained base, so it is skipped entirely in
+                // unseal-after-complete mode (which would discard it).
+                let base = speculative
+                    .then(|| {
+                        self.cache
+                            .delta_base(&mr_enclave, &manifest)
+                            .map(|c| Arc::clone(&c.state))
+                    })
+                    .flatten();
+                let fsm = ReceiverFsm::start_delta(
+                    source,
+                    mr_enclave,
+                    data,
+                    nonce,
+                    chunk_size,
+                    payload_digest,
+                    manifest,
+                    base.as_deref(),
+                    speculative,
+                )?;
+                if fsm.is_staged() {
+                    self.cache.touch(&mr_enclave);
+                }
+                self.inbound.insert(nonce, fsm);
+                Ok(Self::stream_progress_output(mr_enclave, None))
+            }
+            MeToMe::Chunk {
+                nonce,
+                idx,
+                payload,
+                mac,
+                pad: _,
+            } => {
+                let fsm = self.inbound.get_mut(&nonce).ok_or(MigError::StaleNonce)?;
+                if fsm.source() != source {
+                    return Err(MigError::Protocol("chunk from wrong source"));
+                }
+                if let Err(e) = fsm.on_chunk(idx, &payload, &mac) {
+                    // An out-of-order index is a loss artifact of the
+                    // network: keep the verified prefix so a resume
+                    // renegotiation continues from it. Anything else —
+                    // a chain-MAC mismatch (cross-nonce splice, payload
+                    // tamper) or a wrong length — is evidence of
+                    // manipulation below the channel: quarantine *this*
+                    // stream only (drop its partial state; a resume
+                    // restarts it from chunk 0) and leave every other
+                    // multiplexed stream untouched.
+                    if !matches!(e, MigError::Transfer("chunk index out of order")) {
+                        self.inbound.remove(&nonce);
+                    }
+                    return Err(e);
+                }
+                let upto = fsm.next_idx();
+                let mr_enclave = fsm.mr_enclave();
+                if !fsm.is_complete() {
+                    let ack = self
+                        .channels_in
+                        .get_mut(&source)
+                        .expect("checked above")
+                        .seal(&MeToMe::ChunkAck { nonce, upto }.to_bytes());
+                    return Ok(Self::stream_progress_output(mr_enclave, Some(&ack)));
+                }
+                let fsm = self.inbound.remove(&nonce).expect("present above");
+                let generation = fsm.generation();
+                // A deferred delta is applied onto the retained base
+                // generation here (digest-verified before release); the
+                // base is content-addressed — generation number AND
+                // whole-state digest must match our retained copy
+                // (generations renumber after a fallback reset, so the
+                // number alone is not identity). A staged delta captured
+                // its base at announce time; a full payload *is* the
+                // state. A delta whose base we do not hold is NACKed
+                // *in place of* the final ack — the source restarts as
+                // a full stream with no frames left in flight to race
+                // the restarted announcement.
+                let deferred_base = fsm.needs_base().and_then(|manifest| {
+                    self.cache
+                        .delta_base(&mr_enclave, manifest)
+                        .map(|c| Arc::clone(&c.state))
+                });
+                let used_deferred_base = deferred_base.is_some();
+                match fsm.release(deferred_base.as_deref())? {
+                    ReceiverRelease::Released { data, state } => {
+                        if used_deferred_base {
+                            self.cache.touch(&mr_enclave);
+                        }
+                        // Both ends retain the installed generation as
+                        // the next repeat migration's delta base
+                        // (LRU-bounded; an evicted base later NACKs back
+                        // to a full stream).
+                        self.cache_insert(mr_enclave, generation, Arc::clone(&state));
+                        let ack = self
+                            .channels_in
+                            .get_mut(&source)
+                            .expect("checked above")
+                            .seal(&MeToMe::ChunkAck { nonce, upto }.to_bytes());
+                        Ok(self.accept_incoming(source, mr_enclave, data, state, Some(ack)))
+                    }
+                    ReceiverRelease::BaseMissing => {
+                        let nack = self
+                            .channels_in
+                            .get_mut(&source)
+                            .expect("checked above")
+                            .seal(&MeToMe::DeltaNack { mr_enclave, nonce }.to_bytes());
+                        Ok(Self::stream_progress_output(mr_enclave, Some(&nack)))
+                    }
+                }
+            }
+            MeToMe::ResumeRequest { mr_enclave, nonce } => {
+                // Three cases: mid-stream partial (resume from next
+                // index), already fully received (Stored — the normal
+                // retention flow finishes delivery), or nothing known
+                // (restart from 0).
+                let reply = if let Some(fsm) = self.inbound.get(&nonce) {
+                    MeToMe::Resume {
+                        nonce,
+                        from_idx: fsm.next_idx(),
+                    }
+                } else if self.pending_incoming.contains_key(&mr_enclave) {
+                    MeToMe::Stored { mr_enclave }
+                } else {
+                    MeToMe::Resume { nonce, from_idx: 0 }
+                };
+                let ack = self
+                    .channels_in
+                    .get_mut(&source)
+                    .expect("checked above")
+                    .seal(&reply.to_bytes());
+                Ok(Self::stream_progress_output(mr_enclave, Some(&ack)))
+            }
+            _ => Err(MigError::Protocol("unexpected ME-to-ME message")),
+        }
+    }
+
+    /// Encodes the `ACK` ECALL output: kind, MRENCLAVE, optional
+    /// completion ciphertext for the local library, and follow-on stream
+    /// frames to send back to the destination.
+    fn ack_output(kind: u8, mr: MrEnclave, complete: Option<&[u8]>, frames: &[Vec<u8>]) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u8(kind);
+        w.array(&mr.0);
+        write_opt(&mut w, complete);
+        w.u32(frames.len() as u32);
+        for frame in frames {
+            w.bytes(frame);
+        }
+        w.finish()
+    }
+
+    /// Looks up the outgoing migration owning the sent stream `nonce`.
+    fn outgoing_by_nonce(&self, nonce: &TransferNonce) -> Result<MrEnclave, MigError> {
+        self.outgoing
+            .iter()
+            .find(|(_, mig)| mig.fsm.sent_stream().is_some_and(|s| s.nonce == *nonce))
+            .map(|(mr, _)| *mr)
+            .ok_or(MigError::StaleNonce)
+    }
+
+    /// Advances the outgoing stream `nonce` after a cumulative ack
+    /// (`resume: false`) or a negotiated resume point (`resume: true`;
+    /// `upto == 0` restarts the stream, fresh `ChunkStart` included),
+    /// then refills the freed shared-window budget **across every
+    /// stream** towards the destination (deficit round-robin), returning
+    /// the owning MRENCLAVE and the frames to send.
+    fn advance_stream(
+        &mut self,
+        destination: MachineId,
+        nonce: TransferNonce,
+        upto: u32,
+        resume: bool,
+    ) -> Result<(MrEnclave, Vec<Vec<u8>>), MigError> {
+        let mr = self.outgoing_by_nonce(&nonce)?;
+        // Per-nonce binding: an ack relayed from a different peer than
+        // the stream's destination is a cross-stream splice attempt —
+        // reject it without touching any stream's state.
+        if self.outgoing[&mr].destination != destination {
+            return Err(MigError::Protocol("ack from wrong destination"));
+        }
+        self.ensure_out_stream(mr)?;
+        // Feed the adaptive controller: a cumulative ack is the healthy
+        // signal that grows the window; a resume renegotiation is the
+        // disruption that shrinks chunk size for *future* streams (the
+        // current stream keeps its announced geometry).
+        let transfer_cfg = self.config()?.transfer;
+        {
+            let shaper = self
+                .shapers
+                .entry(destination)
+                .or_insert_with(|| LinkShaper::new(&transfer_cfg));
+            if resume {
+                shaper.adaptive_mut().on_disruption();
+            } else {
+                shaper.adaptive_mut().on_clean_ack();
+            }
+        }
+        let fsm = &mut self.outgoing.get_mut(&mr).expect("found above").fsm;
+        if resume {
+            fsm.on_resume_point(upto)?;
+        } else {
+            fsm.on_ack(upto)?;
+        }
+
+        let (leads, lead_cost) = if resume && upto == 0 {
+            // Rewind to the very beginning: re-announce the stream
+            // (ChunkStart or DeltaStart, whichever it was).
+            let cost = self.outgoing[&mr]
+                .fsm
+                .stream()
+                .expect("stream checked above")
+                .frame_cost();
+            (vec![self.rebuild_start_msg(mr)?], cost)
+        } else {
+            (Vec::new(), 0)
+        };
+        let frames = self.pump_streams(destination, leads, lead_cost)?;
+        Ok((mr, frames))
+    }
+
+    /// Converts a [`MeAction`] produced by `dispatch_outgoing` into raw
+    /// frames for `destination` (used where the output encoding carries
+    /// frames instead of an action).
+    fn action_frames(action: MeAction) -> Vec<Vec<u8>> {
+        match action {
+            MeAction::SendRemote { transfer, .. } => vec![transfer],
+            MeAction::StreamRemote { frames, .. } => frames,
+            _ => Vec::new(),
+        }
+    }
+
+    pub(super) fn op_ack(
+        &mut self,
+        env: &mut EnclaveEnv<'_>,
+        input: &[u8],
+    ) -> Result<Vec<u8>, MigError> {
+        let mut r = WireReader::new(input);
+        let destination = MachineId(r.u64()?);
+        let ciphertext = r.bytes_vec()?;
+        r.finish()?;
+
+        let channel = self
+            .channels_out
+            .get_mut(&destination)
+            .ok_or(MigError::Protocol("no channel to destination"))?;
+        let plaintext = channel.open(&ciphertext)?;
+        match MeToMe::from_bytes(&plaintext)? {
+            MeToMe::Delivered { mr_enclave } => {
+                // Delivery binding: only the migration's *current*
+                // destination may release the retained copy (Fig. 2) —
+                // a stale confirmation from a previous destination must
+                // not destroy the frozen source's only copy mid-stream
+                // towards the new one.
+                if self
+                    .outgoing
+                    .get(&mr_enclave)
+                    .is_some_and(|mig| mig.destination != destination)
+                {
+                    return Err(MigError::Protocol(
+                        "delivery confirmation from wrong destination",
+                    ));
+                }
+                // Safe to delete the retained migration data (Fig. 2).
+                self.outgoing.remove(&mr_enclave);
+                self.out_streams.remove(&mr_enclave);
+                self.out_manifests.remove(&mr_enclave);
+                // Tell the (frozen) source library, if still attested.
+                let complete = self
+                    .local_sessions
+                    .get_mut(&mr_enclave)
+                    .map(|local| local.seal(&MeToLib::MigrationComplete.to_bytes()));
+                // The channel is free again: dispatch the next queued
+                // migration for this destination, if any.
+                let next = Self::action_frames(self.dispatch_outgoing(env, destination)?);
+                Ok(Self::ack_output(1, mr_enclave, complete.as_deref(), &next))
+            }
+            MeToMe::Stored { mr_enclave } => {
+                // Destination parked the data; retain ours until DONE —
+                // but the stream slot (or single-shot confirmation) is
+                // free for further queued migrations. Same binding as
+                // Delivered: only the current destination's confirmation
+                // may close the stream's accounting.
+                let mut completed_stream = None;
+                if let Some(mig) = self.outgoing.get_mut(&mr_enclave) {
+                    if mig.destination != destination {
+                        return Err(MigError::Protocol(
+                            "storage confirmation from wrong destination",
+                        ));
+                    }
+                    completed_stream = mig
+                        .fsm
+                        .on_stored()?
+                        .map(|generation| (generation, Arc::clone(&mig.state)));
+                }
+                // The destination holds (and caches) the full streamed
+                // generation: record it as the delta base exactly as the
+                // final-ChunkAck path does, so a repeat migration after
+                // a Stored-closed resume still ships a delta.
+                if let Some((generation, state)) = completed_stream {
+                    self.cache_insert(mr_enclave, generation, state);
+                }
+                let next = Self::action_frames(self.dispatch_outgoing(env, destination)?);
+                Ok(Self::ack_output(2, mr_enclave, None, &next))
+            }
+            MeToMe::ChunkAck { nonce, upto } => {
+                let (mr, mut frames) = self.advance_stream(destination, nonce, upto, false)?;
+                if upto
+                    == self
+                        .outgoing
+                        .get(&mr)
+                        .map_or(0, OutgoingMigration::n_chunks)
+                {
+                    // Final cumulative ack: the stream is fully at the
+                    // destination (retained until Delivered). Record the
+                    // shipped generation as the delta base for the next
+                    // repeat migration, then let the freed stream slot
+                    // start the next queued migration.
+                    let completed = self.outgoing.get(&mr).and_then(|mig| {
+                        mig.fsm
+                            .stream()
+                            .map(|s| (s.generation, Arc::clone(&mig.state)))
+                    });
+                    if let Some((generation, state)) = completed {
+                        self.cache_insert(mr, generation, state);
+                    }
+                    frames.extend(Self::action_frames(
+                        self.dispatch_outgoing(env, destination)?,
+                    ));
+                }
+                Ok(Self::ack_output(3, mr, None, &frames))
+            }
+            MeToMe::Resume { nonce, from_idx } => {
+                // The destination told us where to pick the stream back
+                // up after a crash (0 restarts, announcement included).
+                let (mr, frames) = self.advance_stream(destination, nonce, from_idx, true)?;
+                Ok(Self::ack_output(3, mr, None, &frames))
+            }
+            MeToMe::DeltaNack { mr_enclave, nonce } => {
+                // The destination does not hold our delta base: drop the
+                // stale cache entry and the delta stream, then restart
+                // the transfer as a full stream over the same channel.
+                let mr = self.outgoing_by_nonce(&nonce)?;
+                if mr != mr_enclave {
+                    return Err(MigError::Protocol("delta nack for wrong enclave"));
+                }
+                self.cache.remove(&mr);
+                self.out_streams.remove(&mr);
+                self.out_manifests.remove(&mr);
+                self.outgoing
+                    .get_mut(&mr)
+                    .ok_or(MigError::Protocol("no retained migration data"))?
+                    .fsm
+                    .on_delta_nack()?;
+                let frames = Self::action_frames(self.dispatch_outgoing(env, destination)?);
+                Ok(Self::ack_output(3, mr, None, &frames))
+            }
+            _ => Err(MigError::Protocol("unexpected message on ack path")),
+        }
+    }
+
+    pub(super) fn op_stream_stat(&self, input: &[u8]) -> Result<Vec<u8>, MigError> {
+        let mut r = WireReader::new(input);
+        let mr = MrEnclave(r.array()?);
+        r.finish()?;
+        let mut w = WireWriter::new();
+        match self.outgoing.get(&mr) {
+            Some(mig) => match mig.fsm.stream() {
+                Some(stream) => {
+                    w.u8(1);
+                    w.u32(stream.acked);
+                    w.u32(mig.n_chunks());
+                    w.u64(mig.state.len() as u64);
+                    w.u64(stream.payload_len);
+                    w.u8(u8::from(stream.delta_base.is_some()));
+                    w.u32(stream.chunk_size);
+                }
+                None => {
+                    w.u8(2); // retained, not streamed
+                    w.u64(mig.state.len() as u64);
+                }
+            },
+            None => {
+                w.u8(0); // nothing retained
+            }
+        }
+        Ok(w.finish())
+    }
+
+    pub(super) fn op_link_stat(&self, input: &[u8]) -> Result<Vec<u8>, MigError> {
+        let mut r = WireReader::new(input);
+        let destination = MachineId(r.u64()?);
+        r.finish()?;
+        let mut w = WireWriter::new();
+        match self.shapers.get(&destination) {
+            Some(shaper) => {
+                w.u8(1);
+                w.u32(shaper.adaptive().chunk_size());
+                w.u32(shaper.adaptive().window());
+            }
+            None => {
+                w.u8(0);
+            }
+        }
+        // Per-stream state of the multiplexed link (diagnostics): every
+        // announced stream towards the destination with its per-nonce
+        // progress. The nonce itself stays inside the enclave — it keys
+        // the chunk HMAC chain.
+        let mut streams: Vec<(&MrEnclave, &SenderFsm)> = self
+            .outgoing
+            .iter()
+            .filter(|(_, mig)| mig.destination == destination && mig.fsm.sent_stream().is_some())
+            .map(|(mr, mig)| (mr, &mig.fsm))
+            .collect();
+        streams.sort_by_key(|(mr, _)| mr.0);
+        w.u32(streams.len() as u32);
+        for (mr, fsm) in streams {
+            let stream = fsm.sent_stream().expect("filtered above");
+            w.array(&mr.0);
+            w.u32(stream.acked);
+            w.u32(stream.n_chunks());
+            w.u32(stream.next_to_send.saturating_sub(stream.acked));
+            w.u8(u8::from(stream.delta_base.is_some()));
+            w.u8(u8::from(fsm.is_awaiting_resume()));
+        }
+        w.u32(self.shapers.get(&destination).map_or(0, LinkShaper::cell));
+        Ok(w.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::state::COUNTER_SLOTS;
+
+    fn progress(n_chunks: u32) -> StreamProgress {
+        StreamProgress::new([7; 16], 4096, u64::from(n_chunks) * 4096, 3, None)
+    }
+
+    fn data() -> MigrationData {
+        MigrationData {
+            counters_active: [false; COUNTER_SLOTS],
+            counter_values: [0; COUNTER_SLOTS],
+            msk: [7; 16],
+        }
+    }
+
+    #[test]
+    fn sender_single_shot_table() {
+        let mut fsm = SenderFsm::Idle { stream: None };
+        fsm.dispatch_single_shot().unwrap();
+        assert_eq!(fsm.name(), "AwaitingReceipt");
+        assert!(fsm.is_sent() && fsm.awaiting_receipt());
+        // Events that do not apply leave the state untouched.
+        assert!(matches!(
+            fsm.dispatch_single_shot(),
+            Err(MigError::InvalidTransition {
+                state: "AwaitingReceipt",
+                ..
+            })
+        ));
+        assert!(fsm.on_ack(1).is_err());
+        assert!(fsm.on_resume_point(0).is_err());
+        assert_eq!(fsm.name(), "AwaitingReceipt");
+        // Stored closes the single shot; repeats are idempotent.
+        assert_eq!(fsm.on_stored().unwrap(), None);
+        assert_eq!(fsm.name(), "Stored");
+        assert_eq!(fsm.on_stored().unwrap(), None);
+        // A channel reset rewinds to Idle with nothing retained.
+        fsm.reset_channel();
+        assert!(matches!(fsm, SenderFsm::Idle { stream: None }));
+    }
+
+    #[test]
+    fn sender_streaming_table() {
+        let mut fsm = SenderFsm::Idle { stream: None };
+        fsm.dispatch_announce(progress(4)).unwrap();
+        assert_eq!(fsm.name(), "Streaming");
+        assert!(fsm.stream_active());
+        assert!(fsm.sendable_stream().is_some());
+        // Cumulative acks only move forward.
+        fsm.on_ack(2).unwrap();
+        assert_eq!(fsm.stream().unwrap().acked(), 2);
+        fsm.on_ack(1).unwrap();
+        assert_eq!(fsm.stream().unwrap().acked(), 2);
+        // Beyond the stream end is a protocol violation, state kept.
+        assert!(matches!(fsm.on_ack(5), Err(MigError::Protocol(_))));
+        assert_eq!(fsm.name(), "Streaming");
+        // The final ack completes the stream.
+        fsm.on_ack(4).unwrap();
+        assert_eq!(fsm.name(), "Complete");
+        assert!(!fsm.stream_active(), "complete streams free their slot");
+        // Stored closes the accounting and reports the generation.
+        assert_eq!(fsm.on_stored().unwrap(), Some(3));
+        assert_eq!(fsm.name(), "Stored");
+        assert_eq!(fsm.stream().unwrap().acked(), 4);
+    }
+
+    #[test]
+    fn sender_resume_table() {
+        let mut fsm = SenderFsm::Idle { stream: None };
+        fsm.dispatch_announce(progress(4)).unwrap();
+        fsm.on_ack(2).unwrap();
+        // Channel dies: rewind keeps the progress, unsends the rest.
+        fsm.reset_channel();
+        assert!(matches!(&fsm, SenderFsm::Idle { stream: Some(s) } if s.next_to_send() == 2));
+        assert!(!fsm.is_sent());
+        // A retained stream must resume, not restart.
+        assert!(fsm.dispatch_announce(progress(4)).is_err());
+        assert!(fsm.dispatch_single_shot().is_err());
+        let nonce = fsm.dispatch_resume().unwrap();
+        assert_eq!(nonce, [7; 16]);
+        assert_eq!(fsm.name(), "AwaitingResume");
+        assert!(fsm.is_awaiting_resume() && fsm.stream_active());
+        assert!(
+            fsm.sendable_stream().is_none(),
+            "no chunks granted until the destination names the resume point"
+        );
+        // The destination names a point behind our ack: rewind to it.
+        fsm.on_resume_point(1).unwrap();
+        assert_eq!(fsm.name(), "Streaming");
+        let s = fsm.stream().unwrap();
+        assert_eq!((s.acked(), s.next_to_send()), (1, 1));
+        // A resume point at the end completes the stream.
+        fsm.on_resume_point(4).unwrap();
+        assert_eq!(fsm.name(), "Complete");
+    }
+
+    #[test]
+    fn sender_invalid_events_from_idle() {
+        let mut fsm = SenderFsm::Idle { stream: None };
+        assert!(matches!(
+            fsm.dispatch_resume(),
+            Err(MigError::InvalidTransition {
+                state: "Idle",
+                event: "dispatch_resume"
+            })
+        ));
+        assert!(fsm.on_ack(0).is_err());
+        assert!(fsm.on_resume_point(0).is_err());
+        assert!(fsm.on_stored().is_err());
+        assert!(fsm.on_delta_nack().is_err());
+        assert!(matches!(fsm, SenderFsm::Idle { stream: None }));
+    }
+
+    #[test]
+    fn sender_delta_nack_rewinds_to_fresh_idle() {
+        let mut fsm = SenderFsm::Idle { stream: None };
+        fsm.dispatch_announce(StreamProgress::new([1; 16], 4096, 8192, 5, Some(4)))
+            .unwrap();
+        fsm.on_ack(1).unwrap();
+        fsm.on_delta_nack().unwrap();
+        // The delta stream is gone entirely: dispatch restarts in full.
+        assert!(matches!(fsm, SenderFsm::Idle { stream: None }));
+    }
+
+    #[test]
+    fn sender_ack_during_resume_only_advances_bookkeeping() {
+        let mut fsm = SenderFsm::Idle { stream: None };
+        fsm.dispatch_announce(progress(4)).unwrap();
+        fsm.reset_channel();
+        fsm.dispatch_resume().unwrap();
+        fsm.on_ack(2).unwrap();
+        assert_eq!(fsm.name(), "AwaitingResume");
+        assert_eq!(fsm.stream().unwrap().acked(), 2);
+    }
+
+    fn drive(stream: &ChunkStream, fsm: &mut ReceiverFsm, from: u32) {
+        for idx in from..stream.n_chunks() {
+            let (c, m) = stream.chunk(idx);
+            fsm.on_chunk(idx, c, &m).unwrap();
+        }
+    }
+
+    #[test]
+    fn receiver_full_release_parity_speculative_and_not() {
+        let payload: Vec<u8> = (0..20_000).map(|i| (i % 251) as u8).collect();
+        let stream = ChunkStream::new([9; 16], 4096, payload.clone());
+        for speculative in [false, true] {
+            let mut fsm = ReceiverFsm::start_full(
+                MachineId(1),
+                MrEnclave([5; 32]),
+                data(),
+                [9; 16],
+                1,
+                stream.total_len(),
+                4096,
+                stream.digest(),
+                speculative,
+            )
+            .unwrap();
+            assert!(fsm.delta_manifest().is_none() && fsm.needs_base().is_none());
+            drive(&stream, &mut fsm, 0);
+            assert!(fsm.is_complete());
+            match fsm.release(None).unwrap() {
+                ReceiverRelease::Released { state, .. } => {
+                    assert_eq!(&state[..], &payload[..], "speculative={speculative}");
+                }
+                ReceiverRelease::BaseMissing => panic!("full stream needs no base"),
+            }
+        }
+    }
+
+    #[test]
+    fn receiver_delta_staged_vs_deferred() {
+        let base: Vec<u8> = (0..40_000).map(|i| (i % 251) as u8).collect();
+        let mut new = base.clone();
+        new[5000] ^= 0xAA;
+        new[20_000] ^= 0x55;
+        let digests = PageDigests::compute(&base, delta::PAGE_SIZE);
+        let (manifest, payload) = delta::diff(&digests, 4, 5, &new);
+        let stream = ChunkStream::new([8; 16], 4096, payload.clone());
+
+        // Speculative with the base at announce: staged, releases with
+        // no base argument.
+        let mut fsm = ReceiverFsm::start_delta(
+            MachineId(1),
+            MrEnclave([5; 32]),
+            data(),
+            [8; 16],
+            4096,
+            stream.digest(),
+            manifest.clone(),
+            Some(&base),
+            true,
+        )
+        .unwrap();
+        assert!(fsm.is_staged() && fsm.needs_base().is_none());
+        assert_eq!(fsm.generation(), 5);
+        drive(&stream, &mut fsm, 0);
+        match fsm.release(None).unwrap() {
+            ReceiverRelease::Released { state, .. } => assert_eq!(&state[..], &new[..]),
+            ReceiverRelease::BaseMissing => panic!("staged delta captured its base"),
+        }
+
+        // No base at announce (or speculation off): deferred — the base
+        // is needed at release, and its absence NACKs.
+        for (announce_base, speculative) in [(None, true), (Some(&base[..]), false)] {
+            let mut fsm = ReceiverFsm::start_delta(
+                MachineId(1),
+                MrEnclave([5; 32]),
+                data(),
+                [8; 16],
+                4096,
+                stream.digest(),
+                manifest.clone(),
+                announce_base,
+                speculative,
+            )
+            .unwrap();
+            assert!(!fsm.is_staged() && fsm.needs_base().is_some());
+            drive(&stream, &mut fsm, 0);
+            match fsm.release(Some(&base)).unwrap() {
+                ReceiverRelease::Released { state, .. } => assert_eq!(&state[..], &new[..]),
+                ReceiverRelease::BaseMissing => panic!("base was supplied"),
+            }
+        }
+        let mut fsm = ReceiverFsm::start_delta(
+            MachineId(1),
+            MrEnclave([5; 32]),
+            data(),
+            [8; 16],
+            4096,
+            stream.digest(),
+            manifest.clone(),
+            None,
+            true,
+        )
+        .unwrap();
+        drive(&stream, &mut fsm, 0);
+        assert!(matches!(
+            fsm.release(None).unwrap(),
+            ReceiverRelease::BaseMissing
+        ));
+    }
+
+    #[test]
+    fn receiver_tamper_is_rejected_in_both_modes() {
+        let payload: Vec<u8> = (0..10_000).map(|i| (i % 251) as u8).collect();
+        let stream = ChunkStream::new([3; 16], 2048, payload);
+        for speculative in [false, true] {
+            let mut fsm = ReceiverFsm::start_full(
+                MachineId(1),
+                MrEnclave([5; 32]),
+                data(),
+                [3; 16],
+                1,
+                stream.total_len(),
+                2048,
+                stream.digest(),
+                speculative,
+            )
+            .unwrap();
+            let (c0, m0) = stream.chunk(0);
+            let mut evil = c0.to_vec();
+            evil[0] ^= 1;
+            let err = fsm.on_chunk(0, &evil, &m0).unwrap_err();
+            assert!(
+                !matches!(err, MigError::Transfer("chunk index out of order")),
+                "tamper is not a loss artifact"
+            );
+            // Out-of-order is the one recoverable error: prefix kept.
+            let (c1, m1) = stream.chunk(1);
+            assert!(matches!(
+                fsm.on_chunk(1, c1, &m1),
+                Err(MigError::Transfer("chunk index out of order"))
+            ));
+            assert_eq!(fsm.next_idx(), 0);
+            // A wrong announced digest still quarantines at release.
+            let mut fsm = ReceiverFsm::start_full(
+                MachineId(1),
+                MrEnclave([5; 32]),
+                data(),
+                [3; 16],
+                1,
+                stream.total_len(),
+                2048,
+                [0; 32],
+                speculative,
+            )
+            .unwrap();
+            drive(&stream, &mut fsm, 0);
+            assert!(fsm.release(None).is_err(), "speculative={speculative}");
+        }
+    }
+
+    #[test]
+    fn receiver_restore_rebuilds_staging_deterministically() {
+        let base: Vec<u8> = (0..30_000).map(|i| (i % 251) as u8).collect();
+        let mut new = base.clone();
+        new[100] ^= 1;
+        new[25_000] ^= 2;
+        let digests = PageDigests::compute(&base, delta::PAGE_SIZE);
+        let (manifest, payload) = delta::diff(&digests, 1, 2, &new);
+        let stream = ChunkStream::new([6; 16], 1024, payload);
+
+        let mut fsm = ReceiverFsm::start_delta(
+            MachineId(1),
+            MrEnclave([5; 32]),
+            data(),
+            [6; 16],
+            1024,
+            stream.digest(),
+            manifest.clone(),
+            Some(&base),
+            true,
+        )
+        .unwrap();
+        for idx in 0..3 {
+            let (c, m) = stream.chunk(idx);
+            fsm.on_chunk(idx, c, &m).unwrap();
+        }
+        // Crash: only the assembler is persisted; staging is rebuilt.
+        let blob = fsm.assembler_bytes();
+        let assembler = ChunkAssembler::from_bytes(&blob).unwrap();
+        let mut restored = ReceiverFsm::restore(
+            MachineId(1),
+            MrEnclave([5; 32]),
+            data(),
+            2,
+            assembler,
+            Some(manifest.clone()),
+            Some(&base),
+            true,
+        );
+        assert!(restored.is_staged());
+        assert_eq!(restored.next_idx(), 3);
+        drive(&stream, &mut restored, 3);
+        match restored.release(None).unwrap() {
+            ReceiverRelease::Released { state, .. } => assert_eq!(&state[..], &new[..]),
+            ReceiverRelease::BaseMissing => panic!("staged"),
+        }
+        // The base evicted during the downtime: falls back to deferred,
+        // exactly like a base missing at announce.
+        let assembler = ChunkAssembler::from_bytes(&blob).unwrap();
+        let restored = ReceiverFsm::restore(
+            MachineId(1),
+            MrEnclave([5; 32]),
+            data(),
+            2,
+            assembler,
+            Some(manifest),
+            None,
+            true,
+        );
+        assert!(!restored.is_staged() && restored.needs_base().is_some());
+    }
+}

@@ -1,0 +1,525 @@
+//! The **wire layer** of the Migration Enclave: everything that decides
+//! how session frames are shaped for one destination link.
+//!
+//! The simulated network delivers smaller ciphertexts earlier within a
+//! step, so FIFO delivery of a multiplexed chunk stream is a *sizing*
+//! property: every source→destination stream frame is padded to the
+//! link's current **wire cell** ([`LinkShaper::bump_cell`]), oversized
+//! lead frames grow the cell ([`cell_for_frame_len`]), and the small
+//! destination→source control frames share one uniform
+//! [`CTRL_FRAME_LEN`]. This module owns that policy in one place —
+//! the frame-size arithmetic ([`chunk_frame_len`] / [`pad_frame`]), the
+//! per-destination [`AdaptiveLink`] chunk/window controller, and the
+//! [`DrrScheduler`] apportioning the shared link window among
+//! concurrent streams — so the session layer ([`super::session`]) never
+//! computes a pad byte itself.
+
+use crate::msgs::MeToMe;
+use crate::secure_channel::SecureChannel;
+use crate::transfer::chunker::ChunkStream;
+use crate::transfer::{TransferConfig, MIN_CHUNK_SIZE};
+use sgx_sim::measurement::MrEnclave;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Uniform plaintext length of the small destination→source control
+/// frames (`Delivered`, `Stored`, `ChunkAck`, `Resume`, `DeltaNack`).
+/// With multiple streams multiplexed on one channel these frames are
+/// sealed back to back; equal lengths keep their ciphertexts FIFO on
+/// the size-ordered simulated network.
+pub const CTRL_FRAME_LEN: usize = 64;
+
+/// Fixed wire overhead of a [`MeToMe::Chunk`] frame — the layout
+/// emitted by [`MeToMe::encode_chunk`]: tag(1), nonce(16), idx(4),
+/// payload len prefix(4), mac(32), pad len prefix(4).
+const CHUNK_FRAME_OVERHEAD: usize = 61;
+
+/// Plaintext length of a [`MeToMe::Chunk`] frame whose payload plus
+/// padding sum to `cell` bytes — the uniform *wire cell* every stream
+/// frame towards one destination is padded to.
+#[must_use]
+pub fn chunk_frame_len(cell: u32) -> usize {
+    cell as usize + CHUNK_FRAME_OVERHEAD
+}
+
+/// Inverse of [`chunk_frame_len`]: the smallest cell whose chunk frames
+/// are at least `frame_len` bytes on the wire — what a link's cell must
+/// grow to so an oversized lead frame (e.g. a `DeltaStart` naming many
+/// pages) cannot be overtaken by the chunks sealed after it.
+#[must_use]
+pub fn cell_for_frame_len(frame_len: usize) -> u32 {
+    frame_len.saturating_sub(CHUNK_FRAME_OVERHEAD) as u32
+}
+
+/// Grows the trailing pad field of a freshly encoded stream frame
+/// (`ChunkStart` / `DeltaStart`, whose [`MeToMe::to_bytes`] emits an
+/// empty pad) so the plaintext reaches exactly `target` bytes —
+/// equalizing its wire size with the destination's chunk frames. A
+/// frame already at or above `target` is left unchanged.
+pub fn pad_frame(frame: &mut Vec<u8>, target: usize) {
+    if frame.len() >= target {
+        return;
+    }
+    let extra = target - frame.len();
+    let len_pos = frame.len() - 4;
+    debug_assert_eq!(
+        &frame[len_pos..],
+        &[0u8; 4],
+        "pad_frame requires a trailing empty pad field"
+    );
+    frame[len_pos..].copy_from_slice(&u32::try_from(extra).expect("pad < 4 GiB").to_le_bytes());
+    frame.resize(target, 0);
+}
+
+/// Seals chunk `idx` of `stream` on `channel`, padded to the
+/// destination's wire `cell`. Chunk payloads are encoded straight from
+/// the stream's shared buffer ([`MeToMe::encode_chunk`]) — no per-chunk
+/// clone.
+///
+/// Every stream frame towards one destination (announcements included)
+/// is padded to the same cell so equal-length ciphertexts stay FIFO on
+/// the size-ordered simulated network even when several streams'
+/// frames interleave on the shared channel.
+pub(crate) fn seal_chunk(
+    stream: &ChunkStream,
+    channel: &mut SecureChannel,
+    idx: u32,
+    cell: u32,
+) -> Vec<u8> {
+    let (payload, mac) = stream.chunk(idx);
+    let pad = cell.saturating_sub(payload.len() as u32);
+    channel.seal(&MeToMe::encode_chunk(
+        &stream.nonce(),
+        idx,
+        payload,
+        &mac,
+        pad,
+    ))
+}
+
+/// Pads an encoded lead frame (`ChunkStart` / `DeltaStart` /
+/// re-announcement) to the cell's chunk-frame length and seals it.
+pub(crate) fn seal_lead(channel: &mut SecureChannel, mut frame: Vec<u8>, cell: u32) -> Vec<u8> {
+    pad_frame(&mut frame, chunk_frame_len(cell));
+    channel.seal(&frame)
+}
+
+/// Per-destination adaptive chunk/window controller.
+///
+/// Seeded from the provisioned [`TransferConfig`], then driven by the
+/// observed link behaviour: every clean cumulative ack grows the send
+/// window by one (up to [`TransferConfig::max_window`]) — additive
+/// increase keeps the pipe filling on a healthy link — and every
+/// disruption (a `Resume` renegotiation after a crash or loss) halves
+/// the chunk size (floor [`MIN_CHUNK_SIZE`]) and resets the window to
+/// the provisioned base, so a flaky link retransmits less per loss.
+/// New streams pick up the controller's current values; a mid-flight
+/// stream keeps the geometry it was announced with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdaptiveLink {
+    base_window: u32,
+    max_window: u32,
+    chunk_size: u32,
+    window: u32,
+}
+
+impl AdaptiveLink {
+    /// Seeds a controller from the provisioned config.
+    #[must_use]
+    pub fn new(config: &TransferConfig) -> Self {
+        AdaptiveLink {
+            base_window: config.window,
+            max_window: config.max_window.max(config.window),
+            chunk_size: config.chunk_size.max(MIN_CHUNK_SIZE),
+            window: config.window,
+        }
+    }
+
+    /// Chunk size the next stream to this destination will use.
+    #[must_use]
+    pub fn chunk_size(&self) -> u32 {
+        self.chunk_size
+    }
+
+    /// Current send window (chunks in flight).
+    #[must_use]
+    pub fn window(&self) -> u32 {
+        self.window
+    }
+
+    /// A cumulative ack arrived in order: grow the window additively.
+    pub fn on_clean_ack(&mut self) {
+        self.window = (self.window + 1).min(self.max_window);
+    }
+
+    /// The stream was disrupted (resume renegotiation): shrink the chunk
+    /// size and fall back to the provisioned window.
+    pub fn on_disruption(&mut self) {
+        self.chunk_size = (self.chunk_size / 2).max(MIN_CHUNK_SIZE);
+        self.window = self.base_window;
+    }
+}
+
+/// One stream's appetite in a [`DrrScheduler::allocate`] round: how many
+/// chunks it still wants to put on the wire and what one chunk costs in
+/// bytes (its announced chunk size — streams announced under different
+/// link conditions carry different geometry).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamDemand {
+    /// Chunks the stream could send right now (unsent, inside the
+    /// payload).
+    pub pending_chunks: u32,
+    /// Wire cost of one chunk in bytes.
+    pub chunk_cost: u64,
+}
+
+/// Deficit-round-robin scheduler apportioning a shared per-destination
+/// link budget among concurrently multiplexed chunk streams.
+///
+/// Classic DRR (Shreedhar & Varghese): every ready stream accrues one
+/// `quantum` of byte credit per round and spends it on whole chunks; the
+/// leftover deficit carries into the next round, so a stream with small
+/// chunks is not systematically out-scheduled by one with large chunks,
+/// and a 64 MiB migration cannot starve a 64 KiB one — each gets its
+/// proportional share of every refill. State (round-robin order, cursor,
+/// deficits) persists across calls for long-run fairness but is
+/// deliberately ephemeral in the ME: after a restart the first refill
+/// simply starts a fresh round.
+#[derive(Debug)]
+pub struct DrrScheduler<K: Copy + Eq + Hash> {
+    order: Vec<K>,
+    cursor: usize,
+    deficit: HashMap<K, u64>,
+}
+
+impl<K: Copy + Eq + Hash> Default for DrrScheduler<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Copy + Eq + Hash> DrrScheduler<K> {
+    /// Creates an empty scheduler.
+    #[must_use]
+    pub fn new() -> Self {
+        DrrScheduler {
+            order: Vec::new(),
+            cursor: 0,
+            deficit: HashMap::new(),
+        }
+    }
+
+    /// Synchronizes the round-robin ring with the currently active
+    /// streams: departed keys drop out (with their deficit), new keys
+    /// join at the end of the ring.
+    fn sync(&mut self, demands: &[(K, StreamDemand)]) {
+        let cursor_key = self.order.get(self.cursor).copied();
+        self.order.retain(|k| demands.iter().any(|(dk, _)| dk == k));
+        self.deficit
+            .retain(|k, _| demands.iter().any(|(dk, _)| dk == k));
+        for (k, _) in demands {
+            if !self.order.contains(k) {
+                self.order.push(*k);
+            }
+        }
+        self.cursor = cursor_key
+            .and_then(|k| self.order.iter().position(|o| *o == k))
+            .unwrap_or(0);
+        if self.order.is_empty() {
+            self.cursor = 0;
+        } else {
+            self.cursor %= self.order.len();
+        }
+    }
+
+    /// Distributes a budget of `budget_chunks` send slots over the
+    /// demanding streams, returning the emission order (one entry per
+    /// granted chunk, interleaved the way the frames should hit the
+    /// wire).
+    pub fn allocate(&mut self, mut budget_chunks: u32, demands: &[(K, StreamDemand)]) -> Vec<K> {
+        self.sync(demands);
+        let mut pending: HashMap<K, u32> = demands
+            .iter()
+            .map(|(k, d)| (*k, d.pending_chunks))
+            .collect();
+        let cost: HashMap<K, u64> = demands.iter().map(|(k, d)| (*k, d.chunk_cost)).collect();
+        // One quantum lets the hungriest stream send at least one chunk
+        // per round, so every round makes progress.
+        let quantum = demands
+            .iter()
+            .filter(|(_, d)| d.pending_chunks > 0)
+            .map(|(_, d)| d.chunk_cost)
+            .max()
+            .unwrap_or(0);
+        let mut grants = Vec::new();
+        if quantum == 0 || self.order.is_empty() {
+            return grants;
+        }
+        while budget_chunks > 0 && pending.values().any(|p| *p > 0) {
+            let key = self.order[self.cursor];
+            self.cursor = (self.cursor + 1) % self.order.len();
+            let p = pending.entry(key).or_insert(0);
+            if *p == 0 {
+                // An idle stream carries no credit into its next busy
+                // period (standard DRR: deficit resets when the queue
+                // empties).
+                self.deficit.insert(key, 0);
+                continue;
+            }
+            let c = cost.get(&key).copied().unwrap_or(quantum).max(1);
+            let deficit = self.deficit.entry(key).or_insert(0);
+            *deficit += quantum;
+            while *deficit >= c && *p > 0 && budget_chunks > 0 {
+                grants.push(key);
+                *deficit -= c;
+                *p -= 1;
+                budget_chunks -= 1;
+            }
+            if *p == 0 {
+                *deficit = 0;
+            }
+        }
+        grants
+    }
+}
+
+/// Everything the wire layer tracks for one destination link: the
+/// [`AdaptiveLink`] chunk/window controller, the [`DrrScheduler`]
+/// sharing the window among concurrent streams, and the current wire
+/// cell.
+///
+/// Lifecycles differ deliberately: the adaptive controller is link
+/// memory that survives a `RETRY` reconnect ([`LinkShaper::reset_framing`]
+/// keeps it), while the scheduler and the cell describe in-flight frames
+/// that died with the old channel and are reset. The whole shaper is
+/// ephemeral across an ME restart — re-seeded from the provisioned
+/// config on the next stream.
+#[derive(Debug)]
+pub struct LinkShaper {
+    adaptive: AdaptiveLink,
+    scheduler: DrrScheduler<MrEnclave>,
+    cell: u32,
+}
+
+impl LinkShaper {
+    /// Seeds a shaper for a fresh destination link.
+    #[must_use]
+    pub fn new(config: &TransferConfig) -> Self {
+        LinkShaper {
+            adaptive: AdaptiveLink::new(config),
+            scheduler: DrrScheduler::new(),
+            cell: 0,
+        }
+    }
+
+    /// The adaptive chunk/window controller.
+    #[must_use]
+    pub fn adaptive(&self) -> &AdaptiveLink {
+        &self.adaptive
+    }
+
+    /// Mutable access to the adaptive controller (ack/disruption
+    /// feedback).
+    pub fn adaptive_mut(&mut self) -> &mut AdaptiveLink {
+        &mut self.adaptive
+    }
+
+    /// The destination's current wire cell (0 before any stream frame).
+    #[must_use]
+    pub fn cell(&self) -> u32 {
+        self.cell
+    }
+
+    /// Drops the framing state bound to a dead channel (scheduler round
+    /// and wire cell) while keeping the adaptive link memory — the
+    /// `RETRY` path: in-flight frames died with the channel, but the
+    /// link's observed behaviour did not change.
+    pub fn reset_framing(&mut self) {
+        self.scheduler = DrrScheduler::new();
+        self.cell = 0;
+    }
+
+    /// The destination's wire cell for the next frame batch: the uniform
+    /// padded size of every stream frame on that link. Grows to `needed`
+    /// while frames are in flight (a larger frame sealed later cannot
+    /// overtake) and shrinks back only when the link is drained — a
+    /// smaller frame sealed behind in-flight larger ones would arrive
+    /// first on the size-ordered network and desync the channel.
+    pub fn bump_cell(&mut self, needed: u32, in_flight_before: u32) -> u32 {
+        if in_flight_before == 0 {
+            self.cell = needed;
+        } else {
+            self.cell = self.cell.max(needed);
+        }
+        self.cell = self.cell.max(MIN_CHUNK_SIZE);
+        self.cell
+    }
+
+    /// Deficit-round-robin share-out of `budget` send slots over the
+    /// ready streams (see [`DrrScheduler::allocate`]).
+    pub fn allocate(
+        &mut self,
+        budget: u32,
+        demands: &[(MrEnclave, StreamDemand)],
+    ) -> Vec<MrEnclave> {
+        self.scheduler.allocate(budget, demands)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_frame_len_matches_encoding() {
+        for (payload, pad) in [(0usize, 4096u32), (100, 3996), (4096, 0)] {
+            let frame = MeToMe::encode_chunk(&[1; 16], 0, &vec![7; payload], &[2; 32], pad);
+            assert_eq!(frame.len(), chunk_frame_len(4096));
+        }
+        // cell_for_frame_len inverts chunk_frame_len.
+        for cell in [MIN_CHUNK_SIZE, 64 * 1024] {
+            assert_eq!(cell_for_frame_len(chunk_frame_len(cell)), cell);
+        }
+    }
+
+    #[test]
+    fn padded_start_frames_parse_identically() {
+        let data = crate::library::state::MigrationData {
+            counters_active: [false; crate::library::state::COUNTER_SLOTS],
+            counter_values: [0; crate::library::state::COUNTER_SLOTS],
+            msk: [7; 16],
+        };
+        let start = MeToMe::ChunkStart {
+            mr_enclave: MrEnclave([5; 32]),
+            nonce: [8; 16],
+            generation: 3,
+            total_len: 1_000_000,
+            chunk_size: 4096,
+            state_digest: [9; 32],
+            data,
+        };
+        let mut frame = start.to_bytes();
+        pad_frame(&mut frame, chunk_frame_len(64 * 1024));
+        assert_eq!(frame.len(), chunk_frame_len(64 * 1024));
+        assert_eq!(MeToMe::from_bytes(&frame).unwrap(), start);
+        // A frame already above the target is untouched.
+        let mut big = start.to_bytes();
+        let natural = big.len();
+        pad_frame(&mut big, 10);
+        assert_eq!(big.len(), natural);
+    }
+
+    fn demand(pending: u32, cost: u64) -> StreamDemand {
+        StreamDemand {
+            pending_chunks: pending,
+            chunk_cost: cost,
+        }
+    }
+
+    #[test]
+    fn drr_shares_budget_evenly_between_equal_streams() {
+        let mut sched: DrrScheduler<u8> = DrrScheduler::new();
+        let grants = sched.allocate(8, &[(1, demand(100, 4096)), (2, demand(100, 4096))]);
+        assert_eq!(grants.len(), 8);
+        let a = grants.iter().filter(|k| **k == 1).count();
+        let b = grants.iter().filter(|k| **k == 2).count();
+        assert_eq!((a, b), (4, 4), "equal streams split the budget evenly");
+        // Emission interleaves rather than bursting one stream.
+        assert_ne!(grants[0], grants[1]);
+    }
+
+    #[test]
+    fn drr_small_stream_finishes_inside_large_stream_refills() {
+        let mut sched: DrrScheduler<u8> = DrrScheduler::new();
+        // A 256-chunk elephant and a 4-chunk mouse: the mouse drains in
+        // the very first window.
+        let grants = sched.allocate(8, &[(1, demand(256, 65536)), (2, demand(4, 65536))]);
+        assert_eq!(grants.iter().filter(|k| **k == 2).count(), 4);
+        assert_eq!(grants.iter().filter(|k| **k == 1).count(), 4);
+    }
+
+    #[test]
+    fn drr_is_work_conserving() {
+        let mut sched: DrrScheduler<u8> = DrrScheduler::new();
+        // One stream has little to send; the other absorbs the leftover.
+        let grants = sched.allocate(10, &[(1, demand(2, 4096)), (2, demand(100, 4096))]);
+        assert_eq!(grants.iter().filter(|k| **k == 1).count(), 2);
+        assert_eq!(grants.iter().filter(|k| **k == 2).count(), 8);
+    }
+
+    #[test]
+    fn drr_deficit_compensates_unequal_chunk_costs() {
+        let mut sched: DrrScheduler<u8> = DrrScheduler::new();
+        // Stream 1 carries 64 KiB chunks, stream 2 16 KiB chunks: over a
+        // large budget, stream 2 must get ~4x the chunks (equal bytes).
+        let grants = sched.allocate(
+            100,
+            &[(1, demand(1000, 64 * 1024)), (2, demand(1000, 16 * 1024))],
+        );
+        let a = grants.iter().filter(|k| **k == 1).count() as f64;
+        let b = grants.iter().filter(|k| **k == 2).count() as f64;
+        assert!(
+            (b / a - 4.0).abs() < 0.5,
+            "byte-fair split expected ~1:4 chunks, got {a}:{b}"
+        );
+    }
+
+    #[test]
+    fn drr_survives_departures_and_arrivals() {
+        let mut sched: DrrScheduler<u8> = DrrScheduler::new();
+        let _ = sched.allocate(4, &[(1, demand(10, 4096)), (2, demand(10, 4096))]);
+        // Stream 1 departs, stream 3 arrives; allocation stays sane.
+        let grants = sched.allocate(4, &[(2, demand(10, 4096)), (3, demand(10, 4096))]);
+        assert_eq!(grants.len(), 4);
+        assert!(grants.iter().all(|k| *k == 2 || *k == 3));
+        // Empty demand yields nothing and does not spin.
+        assert!(sched.allocate(4, &[]).is_empty());
+        assert!(sched.allocate(0, &[(2, demand(1, 4096))]).is_empty());
+    }
+
+    #[test]
+    fn adaptive_link_grows_on_acks_and_shrinks_on_disruption() {
+        let config = TransferConfig {
+            chunk_size: 64 * 1024,
+            window: 2,
+            max_window: 5,
+            ..TransferConfig::default()
+        };
+        let mut link = AdaptiveLink::new(&config);
+        assert_eq!((link.chunk_size(), link.window()), (64 * 1024, 2));
+        for _ in 0..10 {
+            link.on_clean_ack();
+        }
+        assert_eq!(link.window(), 5, "window capped at max_window");
+        link.on_disruption();
+        assert_eq!(link.chunk_size(), 32 * 1024, "chunk size halves");
+        assert_eq!(link.window(), 2, "window resets to provisioned base");
+        for _ in 0..20 {
+            link.on_disruption();
+        }
+        assert_eq!(
+            link.chunk_size(),
+            MIN_CHUNK_SIZE,
+            "floored at MIN_CHUNK_SIZE"
+        );
+    }
+
+    #[test]
+    fn link_shaper_cell_grows_under_flight_and_resets_when_drained() {
+        let mut shaper = LinkShaper::new(&TransferConfig::default());
+        assert_eq!(shaper.cell(), 0);
+        // Quiet link: the cell snaps to what the batch needs (floored).
+        assert_eq!(shaper.bump_cell(16 * 1024, 0), 16 * 1024);
+        // Frames in flight: the cell only grows.
+        assert_eq!(shaper.bump_cell(4 * 1024, 3), 16 * 1024);
+        assert_eq!(shaper.bump_cell(64 * 1024, 3), 64 * 1024);
+        // Drained again: shrink is allowed, floored at MIN_CHUNK_SIZE.
+        assert_eq!(shaper.bump_cell(1, 0), MIN_CHUNK_SIZE);
+        // A retry keeps the adaptive memory but clears the framing.
+        shaper.adaptive_mut().on_disruption();
+        let chunk = shaper.adaptive().chunk_size();
+        shaper.reset_framing();
+        assert_eq!(shaper.cell(), 0);
+        assert_eq!(shaper.adaptive().chunk_size(), chunk);
+    }
+}

@@ -44,12 +44,7 @@ use crate::transfer::delta::DeltaManifest;
 /// than any `RA_FINISH` frame (see encode comment).
 const RESUME_REQUEST_PAD: usize = 4096;
 
-/// Uniform plaintext length of the small destination→source control
-/// frames (`Delivered`, `Stored`, `ChunkAck`, `Resume`, `DeltaNack`).
-/// With multiple streams multiplexed on one channel these frames are
-/// sealed back to back; equal lengths keep their ciphertexts FIFO on
-/// the size-ordered simulated network.
-pub const CTRL_FRAME_LEN: usize = 64;
+use crate::me::wire::CTRL_FRAME_LEN;
 use sgx_sim::machine::MachineId;
 use sgx_sim::measurement::MrEnclave;
 use sgx_sim::wire::{WireReader, WireWriter};
@@ -332,49 +327,6 @@ impl MeToMe {
         w.finish()
     }
 
-    /// Fixed wire overhead of a [`MeToMe::Chunk`] frame: tag(1) +
-    /// nonce(16) + idx(4) + payload len prefix(4) + mac(32) + pad len
-    /// prefix(4).
-    const CHUNK_FRAME_OVERHEAD: usize = 61;
-
-    /// Plaintext length of a [`MeToMe::Chunk`] frame whose payload plus
-    /// padding sum to `cell` bytes — the uniform *wire cell* every
-    /// stream frame towards one destination is padded to.
-    #[must_use]
-    pub fn chunk_frame_len(cell: u32) -> usize {
-        cell as usize + Self::CHUNK_FRAME_OVERHEAD
-    }
-
-    /// Inverse of [`MeToMe::chunk_frame_len`]: the smallest cell whose
-    /// chunk frames are at least `frame_len` bytes on the wire — what a
-    /// link's cell must grow to so an oversized lead frame (e.g. a
-    /// `DeltaStart` naming many pages) cannot be overtaken by the
-    /// chunks sealed after it.
-    #[must_use]
-    pub fn cell_for_frame_len(frame_len: usize) -> u32 {
-        frame_len.saturating_sub(Self::CHUNK_FRAME_OVERHEAD) as u32
-    }
-
-    /// Grows the trailing pad field of a freshly encoded stream frame
-    /// (`ChunkStart` / `DeltaStart`, whose [`MeToMe::to_bytes`] emits an
-    /// empty pad) so the plaintext reaches exactly `target` bytes —
-    /// equalizing its wire size with the destination's chunk frames. A
-    /// frame already at or above `target` is left unchanged.
-    pub fn pad_frame(frame: &mut Vec<u8>, target: usize) {
-        if frame.len() >= target {
-            return;
-        }
-        let extra = target - frame.len();
-        let len_pos = frame.len() - 4;
-        debug_assert_eq!(
-            &frame[len_pos..],
-            &[0u8; 4],
-            "pad_frame requires a trailing empty pad field"
-        );
-        frame[len_pos..].copy_from_slice(&u32::try_from(extra).expect("pad < 4 GiB").to_le_bytes());
-        frame.resize(target, 0);
-    }
-
     /// Pads a control frame up to [`CTRL_FRAME_LEN`] plaintext bytes.
     fn ctrl_pad(w: &mut WireWriter) {
         let pad = CTRL_FRAME_LEN.saturating_sub(w.len() + 4);
@@ -423,7 +375,7 @@ impl MeToMe {
                 w.u32(*chunk_size);
                 w.array(state_digest);
                 w.bytes(&data.to_bytes());
-                // Empty pad field; [`MeToMe::pad_frame`] grows it to the
+                // Empty pad field; [`crate::me::wire::pad_frame`] grows it to the
                 // destination's wire cell before sealing.
                 w.bytes(&[]);
             }
@@ -780,36 +732,6 @@ mod tests {
         for frame in &frames {
             assert_eq!(frame.len(), CTRL_FRAME_LEN, "control frames are uniform");
         }
-    }
-
-    #[test]
-    fn chunk_frame_len_matches_encoding() {
-        for (payload, pad) in [(0usize, 4096u32), (100, 3996), (4096, 0)] {
-            let frame = MeToMe::encode_chunk(&[1; 16], 0, &vec![7; payload], &[2; 32], pad);
-            assert_eq!(frame.len(), MeToMe::chunk_frame_len(4096));
-        }
-    }
-
-    #[test]
-    fn padded_start_frames_parse_identically() {
-        let start = MeToMe::ChunkStart {
-            mr_enclave: MrEnclave([5; 32]),
-            nonce: [8; 16],
-            generation: 3,
-            total_len: 1_000_000,
-            chunk_size: 4096,
-            state_digest: [9; 32],
-            data: data(),
-        };
-        let mut frame = start.to_bytes();
-        MeToMe::pad_frame(&mut frame, MeToMe::chunk_frame_len(64 * 1024));
-        assert_eq!(frame.len(), MeToMe::chunk_frame_len(64 * 1024));
-        assert_eq!(MeToMe::from_bytes(&frame).unwrap(), start);
-        // A frame already above the target is untouched.
-        let mut big = start.to_bytes();
-        let natural = big.len();
-        MeToMe::pad_frame(&mut big, 10);
-        assert_eq!(big.len(), natural);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use crate::error::MigError;
 use mig_crypto::ct::ct_eq;
 use mig_crypto::hmac::HmacSha256;
-use mig_crypto::sha256::sha256;
+use mig_crypto::sha256::{sha256, Sha256};
 use sgx_sim::wire::{WireReader, WireWriter};
 use std::sync::Arc;
 
@@ -179,6 +179,13 @@ pub struct ChunkAssembler {
     buf: Vec<u8>,
     next_idx: u32,
     prev_mac: ChunkMac,
+    /// Running SHA-256 over the verified prefix (speculative restore):
+    /// when enabled, every accepted chunk is folded into the digest as
+    /// it arrives, so [`ChunkAssembler::finish`] only *finalizes* the
+    /// hash instead of re-walking the whole payload after the final
+    /// chunk. Not serialized; re-enabled (and re-seeded from the buffer)
+    /// after a restore.
+    hasher: Option<Sha256>,
 }
 
 impl std::fmt::Debug for ChunkAssembler {
@@ -222,7 +229,27 @@ impl ChunkAssembler {
             key,
             buf: Vec::new(),
             next_idx: 0,
+            hasher: None,
         })
+    }
+
+    /// Switches the assembler to incremental digesting (speculative
+    /// restore): chunks already received and every chunk accepted from
+    /// now on are folded into a running SHA-256, making the final
+    /// digest check O(1) in the payload size. Idempotent.
+    pub fn enable_incremental_digest(&mut self) {
+        if self.hasher.is_none() {
+            let mut hasher = Sha256::new();
+            hasher.update(&self.buf);
+            self.hasher = Some(hasher);
+        }
+    }
+
+    /// The verified payload prefix received so far (every byte covered
+    /// by the chain MACs of the accepted chunks).
+    #[must_use]
+    pub fn received(&self) -> &[u8] {
+        &self.buf
     }
 
     /// The transfer nonce.
@@ -276,6 +303,9 @@ impl ChunkAssembler {
             return Err(MigError::Transfer("chunk chain MAC mismatch"));
         }
         self.buf.extend_from_slice(payload);
+        if let Some(hasher) = &mut self.hasher {
+            hasher.update(payload);
+        }
         self.prev_mac = expected;
         self.next_idx += 1;
         Ok(())
@@ -291,7 +321,14 @@ impl ChunkAssembler {
         if !self.is_complete() {
             return Err(MigError::Transfer("stream incomplete"));
         }
-        if !ct_eq(&sha256(&self.buf), &self.digest) {
+        // Speculative restore: the digest was folded in chunk by chunk,
+        // leaving only the finalize here; otherwise hash the whole
+        // payload now (the legacy unseal-after-complete path).
+        let digest = match self.hasher {
+            Some(hasher) => hasher.finalize(),
+            None => sha256(&self.buf),
+        };
+        if !ct_eq(&digest, &self.digest) {
             return Err(MigError::Transfer("state digest mismatch"));
         }
         Ok(self.buf)
@@ -429,6 +466,34 @@ mod tests {
         assert_eq!(restored.next_idx(), 3);
         stream_through(&stream, &mut restored, 3).unwrap();
         assert_eq!(restored.finish().unwrap(), data);
+    }
+
+    #[test]
+    fn incremental_digest_matches_final_hash() {
+        let data = payload(1000);
+        let stream = ChunkStream::new([9; 16], 128, data.clone());
+        // Enabled from the start.
+        let mut asm = ChunkAssembler::new([9; 16], 128, 1000, stream.digest()).unwrap();
+        asm.enable_incremental_digest();
+        stream_through(&stream, &mut asm, 0).unwrap();
+        assert_eq!(asm.finish().unwrap(), data);
+        // Enabled mid-stream (the restore path): bytes already received
+        // are folded in at enable time.
+        let mut asm = ChunkAssembler::new([9; 16], 128, 1000, stream.digest()).unwrap();
+        for idx in 0..3 {
+            let (c, m) = stream.chunk(idx);
+            asm.accept(idx, c, &m).unwrap();
+        }
+        assert_eq!(asm.received().len(), 3 * 128);
+        asm.enable_incremental_digest();
+        asm.enable_incremental_digest(); // idempotent
+        stream_through(&stream, &mut asm, 3).unwrap();
+        assert_eq!(asm.finish().unwrap(), data);
+        // A wrong announced digest still rejects on the incremental path.
+        let mut asm = ChunkAssembler::new([9; 16], 128, 1000, [0; 32]).unwrap();
+        asm.enable_incremental_digest();
+        stream_through(&stream, &mut asm, 0).unwrap();
+        assert!(matches!(asm.finish(), Err(MigError::Transfer(_))));
     }
 
     #[test]

@@ -19,7 +19,7 @@
 
 use crate::error::MigError;
 use crate::transfer::chunker::MAX_STREAM_LEN;
-use mig_crypto::sha256::sha256;
+use mig_crypto::sha256::{sha256, Sha256};
 use sgx_sim::wire::{WireReader, WireWriter};
 use sgx_sim::SgxError;
 
@@ -369,6 +369,175 @@ pub fn apply(base: &[u8], manifest: &DeltaManifest, payload: &[u8]) -> Result<Ve
     Ok(out)
 }
 
+/// Destination-side **speculative delta restore**.
+///
+/// The eager counterpart of [`apply`]: instead of reconstructing the new
+/// state only after the whole packed payload arrived, the retained base
+/// is staged up front (manifest validated, base content-checked, clean
+/// pages copied into place) and the dirty-page payload is overlaid
+/// fragment by fragment as its chunks verify, folding the new state's
+/// whole digest in incrementally. When the final chunk lands, only the
+/// digest finalize and the release remain. The release rule is identical
+/// to [`apply`]'s: nothing is handed out before the reconstructed state
+/// matches [`DeltaManifest::new_digest`].
+pub struct StagedApply {
+    manifest: DeltaManifest,
+    /// The staged output: clean pages copied from the base up front,
+    /// dirty page slots overwritten as payload bytes verify.
+    out: Vec<u8>,
+    /// Payload bytes absorbed so far (the packed dirty pages arrive
+    /// strictly in order behind the chunk chain).
+    absorbed: u64,
+    /// Cursor into the dirty-page list: which dirty page the next
+    /// payload byte lands in, and how far into it.
+    rank: usize,
+    offset_in_page: u64,
+    /// Incremental SHA-256 over `out`, folded in up to `hashed_upto` —
+    /// the frontier below which every byte is final (clean pages, plus
+    /// dirty pages fully covered by absorbed payload).
+    hasher: Sha256,
+    hashed_upto: usize,
+}
+
+impl std::fmt::Debug for StagedApply {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StagedApply")
+            .field("new_len", &self.manifest.new_len)
+            .field("absorbed", &self.absorbed)
+            .field("hashed_upto", &self.hashed_upto)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StagedApply {
+    /// Stages `base` for the delta described by `manifest`: validates
+    /// the manifest, content-checks the base (length + digest), and
+    /// copies every clean page into the output buffer.
+    ///
+    /// # Errors
+    ///
+    /// The same rejections as [`apply`]'s up-front phase:
+    /// [`MigError::Transfer`] on a manifest that fails validation, a
+    /// base length/digest mismatch, or a clean page not fully covered by
+    /// the base.
+    pub fn new(base: &[u8], manifest: &DeltaManifest) -> Result<Self, MigError> {
+        manifest.validate()?;
+        if base.len() as u64 != manifest.base_len {
+            return Err(MigError::Transfer("delta: base length mismatch"));
+        }
+        if !mig_crypto::ct::ct_eq(&sha256(base), &manifest.base_digest) {
+            return Err(MigError::Transfer("delta: base digest mismatch"));
+        }
+        let n_pages = page_count(manifest.new_len, manifest.page_size);
+        let mut out = vec![0u8; manifest.new_len as usize];
+        for idx in 0..n_pages {
+            if manifest.dirty.binary_search(&idx).is_ok() {
+                continue;
+            }
+            let start = idx as usize * manifest.page_size as usize;
+            let len = page_len(manifest.new_len, manifest.page_size, idx) as usize;
+            if (start + len) as u64 > manifest.base_len {
+                return Err(MigError::Transfer("delta: clean page outside base"));
+            }
+            out[start..start + len].copy_from_slice(&base[start..start + len]);
+        }
+        let mut staged = StagedApply {
+            manifest: manifest.clone(),
+            out,
+            absorbed: 0,
+            rank: 0,
+            offset_in_page: 0,
+            hasher: Sha256::new(),
+            hashed_upto: 0,
+        };
+        // A clean prefix (pages before the first dirty one) is final
+        // immediately; fold it in now.
+        staged.advance_hash();
+        Ok(staged)
+    }
+
+    /// The generation this staged delta produces.
+    #[must_use]
+    pub fn new_generation(&self) -> u64 {
+        self.manifest.new_generation
+    }
+
+    /// The manifest being applied.
+    #[must_use]
+    pub fn manifest(&self) -> &DeltaManifest {
+        &self.manifest
+    }
+
+    /// Overlays the next `bytes` of the verified packed payload onto the
+    /// staged output and advances the incremental digest over every byte
+    /// that just became final. Feed exactly the chunk payloads, in chunk
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// [`MigError::Transfer`] when more payload arrives than the
+    /// manifest's dirty pages can absorb.
+    pub fn absorb(&mut self, mut bytes: &[u8]) -> Result<(), MigError> {
+        while !bytes.is_empty() {
+            let Some(&page) = self.manifest.dirty.get(self.rank) else {
+                return Err(MigError::Transfer("delta: payload length mismatch"));
+            };
+            let page_len = page_len(self.manifest.new_len, self.manifest.page_size, page);
+            let start =
+                page as usize * self.manifest.page_size as usize + self.offset_in_page as usize;
+            let take = ((page_len - self.offset_in_page) as usize).min(bytes.len());
+            self.out[start..start + take].copy_from_slice(&bytes[..take]);
+            bytes = &bytes[take..];
+            self.absorbed += take as u64;
+            self.offset_in_page += take as u64;
+            if self.offset_in_page == page_len {
+                self.rank += 1;
+                self.offset_in_page = 0;
+            }
+        }
+        self.advance_hash();
+        Ok(())
+    }
+
+    /// Folds every newly finalized byte of `out` into the running
+    /// digest. The frontier is the start of the first dirty page the
+    /// payload has not fully covered yet (everything before it — clean
+    /// pages included — can never change again), or the whole state once
+    /// the payload is complete.
+    fn advance_hash(&mut self) {
+        let frontier = match self.manifest.dirty.get(self.rank) {
+            Some(&page) => {
+                (u64::from(page) * u64::from(self.manifest.page_size) + self.offset_in_page)
+                    as usize
+            }
+            None => self.out.len(),
+        };
+        if frontier > self.hashed_upto {
+            self.hasher.update(&self.out[self.hashed_upto..frontier]);
+            self.hashed_upto = frontier;
+        }
+    }
+
+    /// Finalizes the staged state: checks that the payload is complete
+    /// and the reconstructed state matches the manifest's
+    /// [`DeltaManifest::new_digest`], then releases it.
+    ///
+    /// # Errors
+    ///
+    /// [`MigError::Transfer`] on a short payload or a digest mismatch
+    /// (the reconstruction is discarded).
+    pub fn finish(self) -> Result<Vec<u8>, MigError> {
+        if self.absorbed != self.manifest.payload_len() {
+            return Err(MigError::Transfer("delta: payload length mismatch"));
+        }
+        debug_assert_eq!(self.hashed_upto, self.out.len());
+        if !mig_crypto::ct::ct_eq(&self.hasher.finalize(), &self.manifest.new_digest) {
+            return Err(MigError::Transfer("delta: reconstructed digest mismatch"));
+        }
+        Ok(self.out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -453,6 +622,76 @@ mod tests {
         let mut m = manifest.clone();
         m.new_digest[0] ^= 1;
         assert!(apply(&base, &m, &payload).is_err());
+    }
+
+    /// Feeds `payload` into a staged apply in `piece`-sized fragments
+    /// (chunk-boundary agnostic, like the real chunk stream).
+    fn staged_absorb_all(staged: &mut StagedApply, payload: &[u8], piece: usize) {
+        for chunk in payload.chunks(piece.max(1)) {
+            staged.absorb(chunk).unwrap();
+        }
+    }
+
+    #[test]
+    fn staged_apply_matches_batch_apply() {
+        let base = state(20_000, 0);
+        let mut new = base.clone();
+        new[5000] ^= 0xFF;
+        new[12_288] ^= 1;
+        let digests = PageDigests::compute(&base, PAGE_SIZE);
+        let (manifest, payload) = diff(&digests, 4, 5, &new);
+        // Odd fragment sizes cross page boundaries every which way.
+        for piece in [1usize, 7, 100, 4096, 10_000] {
+            let mut staged = StagedApply::new(&base, &manifest).unwrap();
+            staged_absorb_all(&mut staged, &payload, piece);
+            assert_eq!(staged.finish().unwrap(), new, "piece={piece}");
+        }
+        assert_eq!(apply(&base, &manifest, &payload).unwrap(), new);
+    }
+
+    #[test]
+    fn staged_apply_handles_growth_and_shrink() {
+        let base = state(10_000, 7);
+        for new_len in [3_000usize, 10_000, 17_000] {
+            let mut new = state(new_len, 7);
+            if new_len >= 10_000 {
+                new[100] ^= 1;
+            }
+            let digests = PageDigests::compute(&base, PAGE_SIZE);
+            let (manifest, payload) = diff(&digests, 0, 1, &new);
+            let mut staged = StagedApply::new(&base, &manifest).unwrap();
+            staged_absorb_all(&mut staged, &payload, 333);
+            assert_eq!(staged.finish().unwrap(), new);
+        }
+    }
+
+    #[test]
+    fn staged_apply_rejects_what_batch_apply_rejects() {
+        let base = state(20_000, 0);
+        let mut new = base.clone();
+        new[0] ^= 1;
+        let digests = PageDigests::compute(&base, PAGE_SIZE);
+        let (manifest, payload) = diff(&digests, 0, 1, &new);
+
+        // Wrong base content: rejected before anything is staged.
+        assert!(StagedApply::new(&base[..100], &manifest).is_err());
+        let mut other = base.clone();
+        other[1] ^= 1;
+        assert!(StagedApply::new(&other, &manifest).is_err());
+        // Short payload: rejected at finish.
+        let mut staged = StagedApply::new(&base, &manifest).unwrap();
+        staged.absorb(&payload[..payload.len() - 1]).unwrap();
+        assert!(staged.finish().is_err());
+        // Excess payload: rejected at absorb.
+        let mut staged = StagedApply::new(&base, &manifest).unwrap();
+        staged.absorb(&payload).unwrap();
+        assert!(staged.absorb(&[0]).is_err());
+        // Tampered new-state digest: the reconstruction is discarded.
+        let mut m = manifest.clone();
+        m.new_digest[0] ^= 1;
+        let mut staged = StagedApply::new(&base, &m).unwrap();
+        staged.absorb(&payload).unwrap();
+        assert!(staged.finish().is_err());
     }
 
     #[test]

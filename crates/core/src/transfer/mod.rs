@@ -50,11 +50,11 @@ pub mod checkpoint;
 pub mod chunker;
 pub mod delta;
 
+pub use crate::me::wire::{AdaptiveLink, DrrScheduler, StreamDemand};
+
 use cloud_sim::network::LinkProfile;
 use sgx_sim::wire::{WireReader, WireWriter};
 use sgx_sim::SgxError;
-use std::collections::HashMap;
-use std::hash::Hash;
 
 /// Default streaming threshold: state strictly larger than this streams.
 pub const DEFAULT_STREAM_THRESHOLD: u32 = 64 * 1024;
@@ -109,6 +109,14 @@ pub struct TransferConfig {
     /// Byte budget of the per-measurement generation cache (delta
     /// bases); least-recently-used entries are evicted beyond it.
     pub cache_budget: u64,
+    /// Destination-side **speculative restore**: unseal and stage
+    /// verified HMAC-chain prefixes as chunks arrive (incremental
+    /// whole-state digest; delta bases staged and overlaid page by
+    /// page), so the final chunk only finalizes the digest check and
+    /// releases. Off = the legacy unseal-after-complete path. Release
+    /// rules (digest-before-release, validate-before-apply, quarantine
+    /// on tamper) are identical either way.
+    pub speculative_restore: bool,
 }
 
 impl Default for TransferConfig {
@@ -121,6 +129,7 @@ impl Default for TransferConfig {
             max_delta_percent: DEFAULT_MAX_DELTA_PERCENT,
             max_streams: DEFAULT_MAX_STREAMS,
             cache_budget: DEFAULT_CACHE_BUDGET,
+            speculative_restore: true,
         }
     }
 }
@@ -157,6 +166,7 @@ impl TransferConfig {
         w.u32(self.max_delta_percent);
         w.u32(self.max_streams);
         w.u64(self.cache_budget);
+        w.u8(u8::from(self.speculative_restore));
     }
 
     /// Parses a config, rejecting degenerate geometry.
@@ -176,6 +186,7 @@ impl TransferConfig {
             max_delta_percent: r.u32()?,
             max_streams: r.u32()?,
             cache_budget: r.u64()?,
+            speculative_restore: r.u8()? != 0,
         };
         if config.chunk_size < MIN_CHUNK_SIZE
             || config.window == 0
@@ -187,185 +198,6 @@ impl TransferConfig {
             return Err(SgxError::Decode);
         }
         Ok(config)
-    }
-}
-
-/// Per-destination adaptive chunk/window controller.
-///
-/// Seeded from the provisioned [`TransferConfig`], then driven by the
-/// observed link behaviour: every clean cumulative ack grows the send
-/// window by one (up to [`TransferConfig::max_window`]) — additive
-/// increase keeps the pipe filling on a healthy link — and every
-/// disruption (a `Resume` renegotiation after a crash or loss) halves
-/// the chunk size (floor [`MIN_CHUNK_SIZE`]) and resets the window to
-/// the provisioned base, so a flaky link retransmits less per loss.
-/// New streams pick up the controller's current values; a mid-flight
-/// stream keeps the geometry it was announced with.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct AdaptiveLink {
-    base_window: u32,
-    max_window: u32,
-    chunk_size: u32,
-    window: u32,
-}
-
-impl AdaptiveLink {
-    /// Seeds a controller from the provisioned config.
-    #[must_use]
-    pub fn new(config: &TransferConfig) -> Self {
-        AdaptiveLink {
-            base_window: config.window,
-            max_window: config.max_window.max(config.window),
-            chunk_size: config.chunk_size.max(MIN_CHUNK_SIZE),
-            window: config.window,
-        }
-    }
-
-    /// Chunk size the next stream to this destination will use.
-    #[must_use]
-    pub fn chunk_size(&self) -> u32 {
-        self.chunk_size
-    }
-
-    /// Current send window (chunks in flight).
-    #[must_use]
-    pub fn window(&self) -> u32 {
-        self.window
-    }
-
-    /// A cumulative ack arrived in order: grow the window additively.
-    pub fn on_clean_ack(&mut self) {
-        self.window = (self.window + 1).min(self.max_window);
-    }
-
-    /// The stream was disrupted (resume renegotiation): shrink the chunk
-    /// size and fall back to the provisioned window.
-    pub fn on_disruption(&mut self) {
-        self.chunk_size = (self.chunk_size / 2).max(MIN_CHUNK_SIZE);
-        self.window = self.base_window;
-    }
-}
-
-/// One stream's appetite in a [`DrrScheduler::allocate`] round: how many
-/// chunks it still wants to put on the wire and what one chunk costs in
-/// bytes (its announced chunk size — streams announced under different
-/// link conditions carry different geometry).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct StreamDemand {
-    /// Chunks the stream could send right now (unsent, inside the
-    /// payload).
-    pub pending_chunks: u32,
-    /// Wire cost of one chunk in bytes.
-    pub chunk_cost: u64,
-}
-
-/// Deficit-round-robin scheduler apportioning a shared per-destination
-/// link budget among concurrently multiplexed chunk streams.
-///
-/// Classic DRR (Shreedhar & Varghese): every ready stream accrues one
-/// `quantum` of byte credit per round and spends it on whole chunks; the
-/// leftover deficit carries into the next round, so a stream with small
-/// chunks is not systematically out-scheduled by one with large chunks,
-/// and a 64 MiB migration cannot starve a 64 KiB one — each gets its
-/// proportional share of every refill. State (round-robin order, cursor,
-/// deficits) persists across calls for long-run fairness but is
-/// deliberately ephemeral in the ME: after a restart the first refill
-/// simply starts a fresh round.
-#[derive(Debug)]
-pub struct DrrScheduler<K: Copy + Eq + Hash> {
-    order: Vec<K>,
-    cursor: usize,
-    deficit: HashMap<K, u64>,
-}
-
-impl<K: Copy + Eq + Hash> Default for DrrScheduler<K> {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl<K: Copy + Eq + Hash> DrrScheduler<K> {
-    /// Creates an empty scheduler.
-    #[must_use]
-    pub fn new() -> Self {
-        DrrScheduler {
-            order: Vec::new(),
-            cursor: 0,
-            deficit: HashMap::new(),
-        }
-    }
-
-    /// Synchronizes the round-robin ring with the currently active
-    /// streams: departed keys drop out (with their deficit), new keys
-    /// join at the end of the ring.
-    fn sync(&mut self, demands: &[(K, StreamDemand)]) {
-        let cursor_key = self.order.get(self.cursor).copied();
-        self.order.retain(|k| demands.iter().any(|(dk, _)| dk == k));
-        self.deficit
-            .retain(|k, _| demands.iter().any(|(dk, _)| dk == k));
-        for (k, _) in demands {
-            if !self.order.contains(k) {
-                self.order.push(*k);
-            }
-        }
-        self.cursor = cursor_key
-            .and_then(|k| self.order.iter().position(|o| *o == k))
-            .unwrap_or(0);
-        if self.order.is_empty() {
-            self.cursor = 0;
-        } else {
-            self.cursor %= self.order.len();
-        }
-    }
-
-    /// Distributes a budget of `budget_chunks` send slots over the
-    /// demanding streams, returning the emission order (one entry per
-    /// granted chunk, interleaved the way the frames should hit the
-    /// wire).
-    pub fn allocate(&mut self, mut budget_chunks: u32, demands: &[(K, StreamDemand)]) -> Vec<K> {
-        self.sync(demands);
-        let mut pending: HashMap<K, u32> = demands
-            .iter()
-            .map(|(k, d)| (*k, d.pending_chunks))
-            .collect();
-        let cost: HashMap<K, u64> = demands.iter().map(|(k, d)| (*k, d.chunk_cost)).collect();
-        // One quantum lets the hungriest stream send at least one chunk
-        // per round, so every round makes progress.
-        let quantum = demands
-            .iter()
-            .filter(|(_, d)| d.pending_chunks > 0)
-            .map(|(_, d)| d.chunk_cost)
-            .max()
-            .unwrap_or(0);
-        let mut grants = Vec::new();
-        if quantum == 0 || self.order.is_empty() {
-            return grants;
-        }
-        while budget_chunks > 0 && pending.values().any(|p| *p > 0) {
-            let key = self.order[self.cursor];
-            self.cursor = (self.cursor + 1) % self.order.len();
-            let p = pending.entry(key).or_insert(0);
-            if *p == 0 {
-                // An idle stream carries no credit into its next busy
-                // period (standard DRR: deficit resets when the queue
-                // empties).
-                self.deficit.insert(key, 0);
-                continue;
-            }
-            let c = cost.get(&key).copied().unwrap_or(quantum).max(1);
-            let deficit = self.deficit.entry(key).or_insert(0);
-            *deficit += quantum;
-            while *deficit >= c && *p > 0 && budget_chunks > 0 {
-                grants.push(key);
-                *deficit -= c;
-                *p -= 1;
-                budget_chunks -= 1;
-            }
-            if *p == 0 {
-                *deficit = 0;
-            }
-        }
-        grants
     }
 }
 
@@ -383,6 +215,7 @@ mod tests {
             max_delta_percent: 10,
             max_streams: 4,
             cache_budget: 8 * 1024 * 1024,
+            speculative_restore: false,
         };
         let mut w = WireWriter::new();
         config.encode(&mut w);
@@ -443,100 +276,5 @@ mod tests {
         // A faster link gets at least as large a chunk size.
         let local = TransferConfig::for_link(&LinkProfile::local());
         assert!(local.chunk_size >= MIN_CHUNK_SIZE);
-    }
-
-    fn demand(pending: u32, cost: u64) -> StreamDemand {
-        StreamDemand {
-            pending_chunks: pending,
-            chunk_cost: cost,
-        }
-    }
-
-    #[test]
-    fn drr_shares_budget_evenly_between_equal_streams() {
-        let mut sched: DrrScheduler<u8> = DrrScheduler::new();
-        let grants = sched.allocate(8, &[(1, demand(100, 4096)), (2, demand(100, 4096))]);
-        assert_eq!(grants.len(), 8);
-        let a = grants.iter().filter(|k| **k == 1).count();
-        let b = grants.iter().filter(|k| **k == 2).count();
-        assert_eq!((a, b), (4, 4), "equal streams split the budget evenly");
-        // Emission interleaves rather than bursting one stream.
-        assert_ne!(grants[0], grants[1]);
-    }
-
-    #[test]
-    fn drr_small_stream_finishes_inside_large_stream_refills() {
-        let mut sched: DrrScheduler<u8> = DrrScheduler::new();
-        // A 256-chunk elephant and a 4-chunk mouse: the mouse drains in
-        // the very first window.
-        let grants = sched.allocate(8, &[(1, demand(256, 65536)), (2, demand(4, 65536))]);
-        assert_eq!(grants.iter().filter(|k| **k == 2).count(), 4);
-        assert_eq!(grants.iter().filter(|k| **k == 1).count(), 4);
-    }
-
-    #[test]
-    fn drr_is_work_conserving() {
-        let mut sched: DrrScheduler<u8> = DrrScheduler::new();
-        // One stream has little to send; the other absorbs the leftover.
-        let grants = sched.allocate(10, &[(1, demand(2, 4096)), (2, demand(100, 4096))]);
-        assert_eq!(grants.iter().filter(|k| **k == 1).count(), 2);
-        assert_eq!(grants.iter().filter(|k| **k == 2).count(), 8);
-    }
-
-    #[test]
-    fn drr_deficit_compensates_unequal_chunk_costs() {
-        let mut sched: DrrScheduler<u8> = DrrScheduler::new();
-        // Stream 1 carries 64 KiB chunks, stream 2 16 KiB chunks: over a
-        // large budget, stream 2 must get ~4x the chunks (equal bytes).
-        let grants = sched.allocate(
-            100,
-            &[(1, demand(1000, 64 * 1024)), (2, demand(1000, 16 * 1024))],
-        );
-        let a = grants.iter().filter(|k| **k == 1).count() as f64;
-        let b = grants.iter().filter(|k| **k == 2).count() as f64;
-        assert!(
-            (b / a - 4.0).abs() < 0.5,
-            "byte-fair split expected ~1:4 chunks, got {a}:{b}"
-        );
-    }
-
-    #[test]
-    fn drr_survives_departures_and_arrivals() {
-        let mut sched: DrrScheduler<u8> = DrrScheduler::new();
-        let _ = sched.allocate(4, &[(1, demand(10, 4096)), (2, demand(10, 4096))]);
-        // Stream 1 departs, stream 3 arrives; allocation stays sane.
-        let grants = sched.allocate(4, &[(2, demand(10, 4096)), (3, demand(10, 4096))]);
-        assert_eq!(grants.len(), 4);
-        assert!(grants.iter().all(|k| *k == 2 || *k == 3));
-        // Empty demand yields nothing and does not spin.
-        assert!(sched.allocate(4, &[]).is_empty());
-        assert!(sched.allocate(0, &[(2, demand(1, 4096))]).is_empty());
-    }
-
-    #[test]
-    fn adaptive_link_grows_on_acks_and_shrinks_on_disruption() {
-        let config = TransferConfig {
-            chunk_size: 64 * 1024,
-            window: 2,
-            max_window: 5,
-            ..TransferConfig::default()
-        };
-        let mut link = AdaptiveLink::new(&config);
-        assert_eq!((link.chunk_size(), link.window()), (64 * 1024, 2));
-        for _ in 0..10 {
-            link.on_clean_ack();
-        }
-        assert_eq!(link.window(), 5, "window capped at max_window");
-        link.on_disruption();
-        assert_eq!(link.chunk_size(), 32 * 1024, "chunk size halves");
-        assert_eq!(link.window(), 2, "window resets to provisioned base");
-        for _ in 0..20 {
-            link.on_disruption();
-        }
-        assert_eq!(
-            link.chunk_size(),
-            MIN_CHUNK_SIZE,
-            "floored at MIN_CHUNK_SIZE"
-        );
     }
 }

@@ -1,5 +1,6 @@
 //! Offline shim for `proptest` covering the API surface this workspace
-//! uses: the [`proptest!`] macro, [`Strategy`] with ranges / [`Just`] /
+//! uses: the [`proptest!`] macro, [`strategy::Strategy`] with ranges /
+//! [`strategy::Just`] /
 //! `prop_map` / [`prop_oneof!`] / collections / simple `[a-z]{m,n}`
 //! regex strategies, and the `prop_assert*!` / `prop_assume!` macros.
 //!
