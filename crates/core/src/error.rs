@@ -65,6 +65,35 @@ pub enum MigError {
     BaseEvicted,
     /// The untrusted host was asked to do something its status forbids.
     HostState(&'static str),
+    /// An attested ME-to-ME channel this operation requires is not open
+    /// (never established, or torn down by a session reset).
+    ChannelMissing {
+        /// The missing peer's role from this enclave's point of view.
+        peer: ChannelPeer,
+    },
+    /// A session-layer invariant that should hold by construction was
+    /// violated at runtime. Converted panic sites from the enclave-panic
+    /// triage land here: instead of aborting the enclave on corrupted
+    /// internal state, the operation fails closed naming the invariant.
+    SessionInvariant(&'static str),
+}
+
+/// Which side of an attested ME-to-ME channel was expected to exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelPeer {
+    /// The migration source (inbound direction).
+    Source,
+    /// The migration destination (outbound direction).
+    Destination,
+}
+
+impl fmt::Display for ChannelPeer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelPeer::Source => write!(f, "source"),
+            ChannelPeer::Destination => write!(f, "destination"),
+        }
+    }
 }
 
 impl fmt::Display for MigError {
@@ -107,6 +136,12 @@ impl fmt::Display for MigError {
                 write!(f, "delta base generation no longer retained (evicted)")
             }
             MigError::HostState(what) => write!(f, "host state error: {what}"),
+            MigError::ChannelMissing { peer } => {
+                write!(f, "no attested channel to the migration {peer}")
+            }
+            MigError::SessionInvariant(what) => {
+                write!(f, "session invariant violated: {what}")
+            }
         }
     }
 }
@@ -172,6 +207,13 @@ mod tests {
             MigError::StaleNonce,
             MigError::BaseEvicted,
             MigError::HostState("not ready"),
+            MigError::ChannelMissing {
+                peer: ChannelPeer::Source,
+            },
+            MigError::ChannelMissing {
+                peer: ChannelPeer::Destination,
+            },
+            MigError::SessionInvariant("stream map entry vanished"),
         ];
         for e in all {
             assert!(!e.to_string().is_empty());

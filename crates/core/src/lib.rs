@@ -106,4 +106,4 @@ pub mod remote_attest;
 pub mod secure_channel;
 pub mod transfer;
 
-pub use error::MigError;
+pub use error::{ChannelPeer, MigError};

@@ -49,6 +49,13 @@ impl std::fmt::Debug for MigrationData {
     }
 }
 
+impl Drop for MigrationData {
+    fn drop(&mut self) {
+        // The MSK lets anyone unseal every migratable blob of the enclave.
+        mig_crypto::zeroize::zeroize_bytes(&mut self.msk);
+    }
+}
+
 impl MigrationData {
     /// Wire size in bytes: 256 activity flags + 256 × u32 values + MSK.
     pub const WIRE_SIZE: usize = COUNTER_SLOTS + 4 * COUNTER_SLOTS + 16;
@@ -136,6 +143,12 @@ const NULL_UUID: CounterUuid = CounterUuid {
     slot: 0,
     nonce: [0; 8],
 };
+
+impl Drop for LibraryState {
+    fn drop(&mut self) {
+        mig_crypto::zeroize::zeroize_bytes(&mut self.msk);
+    }
+}
 
 impl LibraryState {
     /// Wire size in bytes: frozen + flags + 9-byte UUIDs + offsets + MSK.

@@ -138,7 +138,10 @@ impl GenerationCache {
         self.entries.get(mr).filter(|c| {
             c.generation == manifest.base_generation
                 && c.state.len() as u64 == manifest.base_len
-                && mig_crypto::sha256::sha256(&c.state) == manifest.base_digest
+                && mig_crypto::ct::ct_eq(
+                    &mig_crypto::sha256::sha256(&c.state),
+                    &manifest.base_digest,
+                )
         })
     }
 

@@ -19,7 +19,7 @@
 //! scheduling) lives in [`super::wire`]; durable state in
 //! [`super::persist`].
 
-use crate::error::MigError;
+use crate::error::{ChannelPeer, MigError};
 use crate::library::state::MigrationData;
 use crate::me::wire::{self, LinkShaper, StreamDemand};
 use crate::me::MigrationEnclave;
@@ -399,7 +399,12 @@ impl SenderFsm {
                 *self = SenderFsm::AwaitingReceipt;
                 Ok(())
             }
-            _ => Err(self.invalid("dispatch_single_shot")),
+            SenderFsm::Idle { stream: Some(_) }
+            | SenderFsm::AwaitingReceipt
+            | SenderFsm::AwaitingResume { .. }
+            | SenderFsm::Streaming { .. }
+            | SenderFsm::Complete { .. }
+            | SenderFsm::Stored { .. } => Err(self.invalid("dispatch_single_shot")),
         }
     }
 
@@ -421,8 +426,13 @@ impl SenderFsm {
                 *self = SenderFsm::AwaitingResume { stream };
                 Ok(nonce)
             }
-            other => {
-                *self = other;
+            state @ (SenderFsm::Idle { stream: None }
+            | SenderFsm::AwaitingReceipt
+            | SenderFsm::AwaitingResume { .. }
+            | SenderFsm::Streaming { .. }
+            | SenderFsm::Complete { .. }
+            | SenderFsm::Stored { .. }) => {
+                *self = state;
                 Err(self.invalid("dispatch_resume"))
             }
         }
@@ -440,7 +450,12 @@ impl SenderFsm {
                 *self = SenderFsm::Streaming { stream };
                 Ok(())
             }
-            _ => Err(self.invalid("dispatch_announce")),
+            SenderFsm::Idle { stream: Some(_) }
+            | SenderFsm::AwaitingReceipt
+            | SenderFsm::AwaitingResume { .. }
+            | SenderFsm::Streaming { .. }
+            | SenderFsm::Complete { .. }
+            | SenderFsm::Stored { .. } => Err(self.invalid("dispatch_announce")),
         }
     }
 
@@ -499,8 +514,10 @@ impl SenderFsm {
                 };
                 Ok(())
             }
-            other => {
-                *self = other;
+            state @ (SenderFsm::Idle { .. }
+            | SenderFsm::AwaitingReceipt
+            | SenderFsm::Stored { stream: None }) => {
+                *self = state;
                 Err(self.invalid("on_ack"))
             }
         }
@@ -547,8 +564,11 @@ impl SenderFsm {
                     Err(e)
                 }
             },
-            other => {
-                *self = other;
+            state @ (SenderFsm::Idle { .. }
+            | SenderFsm::AwaitingReceipt
+            | SenderFsm::Complete { .. }
+            | SenderFsm::Stored { .. }) => {
+                *self = state;
                 Err(self.invalid("on_resume_point"))
             }
         }
@@ -588,8 +608,8 @@ impl SenderFsm {
                 *self = SenderFsm::Stored { stream };
                 Ok(generation)
             }
-            other => {
-                *self = other;
+            state @ SenderFsm::Idle { .. } => {
+                *self = state;
                 Err(self.invalid("on_stored"))
             }
         }
@@ -610,7 +630,9 @@ impl SenderFsm {
                 *self = SenderFsm::Idle { stream: None };
                 Ok(())
             }
-            _ => Err(self.invalid("on_delta_nack")),
+            SenderFsm::Idle { .. }
+            | SenderFsm::AwaitingReceipt
+            | SenderFsm::Stored { stream: None } => Err(self.invalid("on_delta_nack")),
         }
     }
 
@@ -663,14 +685,22 @@ impl SenderFsm {
     pub fn sendable_stream(&self) -> Option<&StreamProgress> {
         match self {
             SenderFsm::Streaming { stream } => Some(stream),
-            _ => None,
+            SenderFsm::Idle { .. }
+            | SenderFsm::AwaitingReceipt
+            | SenderFsm::AwaitingResume { .. }
+            | SenderFsm::Complete { .. }
+            | SenderFsm::Stored { .. } => None,
         }
     }
 
     fn sendable_stream_mut(&mut self) -> Option<&mut StreamProgress> {
         match self {
             SenderFsm::Streaming { stream } => Some(stream),
-            _ => None,
+            SenderFsm::Idle { .. }
+            | SenderFsm::AwaitingReceipt
+            | SenderFsm::AwaitingResume { .. }
+            | SenderFsm::Complete { .. }
+            | SenderFsm::Stored { .. } => None,
         }
     }
 
@@ -690,7 +720,10 @@ impl SenderFsm {
             SenderFsm::Streaming { stream } | SenderFsm::AwaitingResume { stream } => {
                 !stream.complete()
             }
-            _ => false,
+            SenderFsm::Idle { .. }
+            | SenderFsm::AwaitingReceipt
+            | SenderFsm::Complete { .. }
+            | SenderFsm::Stored { .. } => false,
         }
     }
 
@@ -987,7 +1020,7 @@ impl ReceiverFsm {
     pub fn needs_base(&self) -> Option<&DeltaManifest> {
         match &self.staging {
             Staging::DeferredDelta(manifest) => Some(manifest),
-            _ => None,
+            Staging::Full | Staging::StagedDelta(_) => None,
         }
     }
 
@@ -1111,10 +1144,12 @@ impl MigrationEnclave {
                     .remove(&mr)
                     .ok_or(MigError::Protocol("unexpected DONE"))?;
                 self.pending_incoming.remove(&mr);
-                let channel = self
-                    .channels_in
-                    .get_mut(&source)
-                    .ok_or(MigError::Protocol("no channel to source"))?;
+                let channel =
+                    self.channels_in
+                        .get_mut(&source)
+                        .ok_or(MigError::ChannelMissing {
+                            peer: ChannelPeer::Source,
+                        })?;
                 let ack = channel.seal(&MeToMe::Delivered { mr_enclave: mr }.to_bytes());
                 MeAction::AckSource { source, ack }
             }
@@ -1209,39 +1244,45 @@ impl MigrationEnclave {
         let cell = self
             .shapers
             .get_mut(&destination)
-            .expect("inserted above")
+            .ok_or(MigError::SessionInvariant("link shaper vanished"))?
             .bump_cell(needed, in_flight);
 
-        let mut next: HashMap<MrEnclave, u32> = grants
-            .iter()
-            .map(|mr| {
-                let s = self.outgoing[mr]
-                    .fsm
-                    .sendable_stream()
-                    .expect("granted stream");
-                (*mr, s.next_to_send)
-            })
-            .collect();
+        let mut next: HashMap<MrEnclave, u32> = HashMap::new();
+        for mr in &grants {
+            let s = self
+                .outgoing
+                .get(mr)
+                .and_then(|mig| mig.fsm.sendable_stream())
+                .ok_or(MigError::SessionInvariant("granted stream not sendable"))?;
+            next.insert(*mr, s.next_to_send);
+        }
         let channel = self
             .channels_out
             .get_mut(&destination)
-            .ok_or(MigError::Protocol("no channel to destination"))?;
+            .ok_or(MigError::ChannelMissing {
+                peer: ChannelPeer::Destination,
+            })?;
         let mut frames = Vec::with_capacity(lead_bytes.len() + grants.len());
         for bytes in lead_bytes {
             frames.push(wire::seal_lead(channel, bytes, cell));
         }
         for mr in &grants {
-            let cache = self.out_streams.get(mr).expect("ensured above");
-            let idx = next[mr];
-            frames.push(wire::seal_chunk(cache, channel, idx, cell));
-            *next.get_mut(mr).expect("inserted above") += 1;
+            let cache = self
+                .out_streams
+                .get(mr)
+                .ok_or(MigError::SessionInvariant("transient chunk cache missing"))?;
+            let idx = next
+                .get_mut(mr)
+                .ok_or(MigError::SessionInvariant("granted stream not scheduled"))?;
+            frames.push(wire::seal_chunk(cache, channel, *idx, cell));
+            *idx += 1;
         }
         for (mr, n) in next {
             let stream = self
                 .outgoing
                 .get_mut(&mr)
                 .and_then(|mig| mig.fsm.sendable_stream_mut())
-                .expect("granted stream");
+                .ok_or(MigError::SessionInvariant("granted stream not sendable"))?;
             stream.next_to_send = n;
         }
         Ok(frames)
@@ -1315,7 +1356,10 @@ impl MigrationEnclave {
                 (stream, None, start)
             }
         };
-        let mig = self.outgoing.get_mut(&mr).expect("present above");
+        let mig = self
+            .outgoing
+            .get_mut(&mr)
+            .ok_or(MigError::SessionInvariant("retained migration vanished"))?;
         mig.fsm.dispatch_announce(StreamProgress::new(
             nonce,
             chunk_size,
@@ -1384,7 +1428,8 @@ impl MigrationEnclave {
         let mut slots = transfer_cfg.max_streams.saturating_sub(active);
         let fresh_count = unsent
             .iter()
-            .filter(|mr| self.outgoing[*mr].fsm.stream().is_none())
+            .filter_map(|mr| self.outgoing.get(mr))
+            .filter(|mig| mig.fsm.stream().is_none())
             .count();
         // Decided up front, not while partitioning: a ResumeRequest is
         // smaller than a non-empty Transfer frame, so the two must never
@@ -1396,7 +1441,10 @@ impl MigrationEnclave {
         let mut resumes: Vec<MrEnclave> = Vec::new();
         let mut announces: Vec<MrEnclave> = Vec::new();
         for mr in unsent {
-            let mig = &self.outgoing[&mr];
+            let mig = self
+                .outgoing
+                .get(&mr)
+                .ok_or(MigError::SessionInvariant("unsent migration vanished"))?;
             if mig.fsm.stream().is_some() {
                 if slots > 0 {
                     resumes.push(mr);
@@ -1436,30 +1484,40 @@ impl MigrationEnclave {
         // then resume requests, then cell-padded announcements + chunks.
         let mut frames = Vec::new();
         for mr in singleshots {
-            let mig = self.outgoing.get_mut(&mr).expect("listed above");
+            let mig = self
+                .outgoing
+                .get_mut(&mr)
+                .ok_or(MigError::SessionInvariant("queued migration vanished"))?;
             mig.fsm.dispatch_single_shot()?;
             let msg = MeToMe::Transfer {
                 mr_enclave: mr,
                 data: mig.data.clone(),
                 state: mig.state.to_vec(),
             };
-            let channel = self
-                .channels_out
-                .get_mut(&destination)
-                .expect("checked above");
+            let channel =
+                self.channels_out
+                    .get_mut(&destination)
+                    .ok_or(MigError::ChannelMissing {
+                        peer: ChannelPeer::Destination,
+                    })?;
             frames.push(channel.seal(&msg.to_bytes()));
         }
         for mr in resumes {
-            let mig = self.outgoing.get_mut(&mr).expect("listed above");
+            let mig = self
+                .outgoing
+                .get_mut(&mr)
+                .ok_or(MigError::SessionInvariant("queued migration vanished"))?;
             let nonce = mig.fsm.dispatch_resume()?;
             let msg = MeToMe::ResumeRequest {
                 mr_enclave: mr,
                 nonce,
             };
-            let channel = self
-                .channels_out
-                .get_mut(&destination)
-                .expect("checked above");
+            let channel =
+                self.channels_out
+                    .get_mut(&destination)
+                    .ok_or(MigError::ChannelMissing {
+                        peer: ChannelPeer::Destination,
+                    })?;
             frames.push(channel.seal(&msg.to_bytes()));
         }
         if !announces.is_empty() {
@@ -1473,7 +1531,13 @@ impl MigrationEnclave {
             let mut lead_cost = 0u32;
             for mr in announces {
                 leads.push(self.announce_stream(env, mr, chunk_size)?);
-                let stream = self.outgoing[&mr].fsm.stream().expect("announced");
+                let stream = self
+                    .outgoing
+                    .get(&mr)
+                    .and_then(|mig| mig.fsm.stream())
+                    .ok_or(MigError::SessionInvariant(
+                        "announced stream has no progress",
+                    ))?;
                 lead_cost = lead_cost.max(stream.frame_cost());
             }
             frames.extend(self.pump_streams(destination, leads, lead_cost)?);
@@ -1637,7 +1701,7 @@ impl MigrationEnclave {
         data: MigrationData,
         state: Arc<[u8]>,
         final_ack: Option<Vec<u8>>,
-    ) -> Vec<u8> {
+    ) -> Result<Vec<u8>, MigError> {
         // Park the data regardless; it is only dropped once the
         // destination library confirms with DONE (crash safety). The
         // Arc is shared with the caller and the generation cache.
@@ -1651,24 +1715,29 @@ impl MigrationEnclave {
             w.array(&mr_enclave.0);
             write_opt(&mut w, Some(&forward));
             write_opt(&mut w, final_ack.as_deref());
-            w.finish()
+            Ok(w.finish())
         } else {
             // No matching enclave yet; tell the source the data is
             // stored (it keeps its copy). A chunked transfer's final
             // cumulative ack already means "stored"; reuse it.
-            let ack = final_ack.unwrap_or_else(|| {
-                let channel = self
-                    .channels_in
-                    .get_mut(&source)
-                    .expect("caller verified the channel");
-                channel.seal(&MeToMe::Stored { mr_enclave }.to_bytes())
-            });
+            let ack = match final_ack {
+                Some(ack) => ack,
+                None => {
+                    let channel =
+                        self.channels_in
+                            .get_mut(&source)
+                            .ok_or(MigError::ChannelMissing {
+                                peer: ChannelPeer::Source,
+                            })?;
+                    channel.seal(&MeToMe::Stored { mr_enclave }.to_bytes())
+                }
+            };
             let mut w = WireWriter::new();
             w.u8(2); // stored
             w.array(&mr_enclave.0);
             write_opt(&mut w, None);
             write_opt(&mut w, Some(&ack));
-            w.finish()
+            Ok(w.finish())
         }
     }
 
@@ -1693,7 +1762,9 @@ impl MigrationEnclave {
         let channel = self
             .channels_in
             .get_mut(&source)
-            .ok_or(MigError::Protocol("no channel from source"))?;
+            .ok_or(MigError::ChannelMissing {
+                peer: ChannelPeer::Source,
+            })?;
         let plaintext = channel.open(&ciphertext)?;
         let speculative = self.config()?.transfer.speculative_restore;
         match MeToMe::from_bytes(&plaintext)? {
@@ -1701,7 +1772,7 @@ impl MigrationEnclave {
                 mr_enclave,
                 data,
                 state,
-            } => Ok(self.accept_incoming(source, mr_enclave, data, state.into(), None)),
+            } => self.accept_incoming(source, mr_enclave, data, state.into(), None),
             MeToMe::ChunkStart {
                 mr_enclave,
                 nonce,
@@ -1803,11 +1874,16 @@ impl MigrationEnclave {
                     let ack = self
                         .channels_in
                         .get_mut(&source)
-                        .expect("checked above")
+                        .ok_or(MigError::ChannelMissing {
+                            peer: ChannelPeer::Source,
+                        })?
                         .seal(&MeToMe::ChunkAck { nonce, upto }.to_bytes());
                     return Ok(Self::stream_progress_output(mr_enclave, Some(&ack)));
                 }
-                let fsm = self.inbound.remove(&nonce).expect("present above");
+                let fsm = self
+                    .inbound
+                    .remove(&nonce)
+                    .ok_or(MigError::SessionInvariant("inbound stream vanished"))?;
                 let generation = fsm.generation();
                 // A deferred delta is applied onto the retained base
                 // generation here (digest-verified before release); the
@@ -1839,15 +1915,19 @@ impl MigrationEnclave {
                         let ack = self
                             .channels_in
                             .get_mut(&source)
-                            .expect("checked above")
+                            .ok_or(MigError::ChannelMissing {
+                                peer: ChannelPeer::Source,
+                            })?
                             .seal(&MeToMe::ChunkAck { nonce, upto }.to_bytes());
-                        Ok(self.accept_incoming(source, mr_enclave, data, state, Some(ack)))
+                        self.accept_incoming(source, mr_enclave, data, state, Some(ack))
                     }
                     ReceiverRelease::BaseMissing => {
                         let nack = self
                             .channels_in
                             .get_mut(&source)
-                            .expect("checked above")
+                            .ok_or(MigError::ChannelMissing {
+                                peer: ChannelPeer::Source,
+                            })?
                             .seal(&MeToMe::DeltaNack { mr_enclave, nonce }.to_bytes());
                         Ok(Self::stream_progress_output(mr_enclave, Some(&nack)))
                     }
@@ -1871,7 +1951,9 @@ impl MigrationEnclave {
                 let ack = self
                     .channels_in
                     .get_mut(&source)
-                    .expect("checked above")
+                    .ok_or(MigError::ChannelMissing {
+                        peer: ChannelPeer::Source,
+                    })?
                     .seal(&reply.to_bytes());
                 Ok(Self::stream_progress_output(mr_enclave, Some(&ack)))
             }
@@ -1920,7 +2002,12 @@ impl MigrationEnclave {
         // Per-nonce binding: an ack relayed from a different peer than
         // the stream's destination is a cross-stream splice attempt —
         // reject it without touching any stream's state.
-        if self.outgoing[&mr].destination != destination {
+        let ack_dest = self
+            .outgoing
+            .get(&mr)
+            .ok_or(MigError::SessionInvariant("acked migration vanished"))?
+            .destination;
+        if ack_dest != destination {
             return Err(MigError::Protocol("ack from wrong destination"));
         }
         self.ensure_out_stream(mr)?;
@@ -1940,7 +2027,11 @@ impl MigrationEnclave {
                 shaper.adaptive_mut().on_clean_ack();
             }
         }
-        let fsm = &mut self.outgoing.get_mut(&mr).expect("found above").fsm;
+        let fsm = &mut self
+            .outgoing
+            .get_mut(&mr)
+            .ok_or(MigError::SessionInvariant("retained migration vanished"))?
+            .fsm;
         if resume {
             fsm.on_resume_point(upto)?;
         } else {
@@ -1950,10 +2041,11 @@ impl MigrationEnclave {
         let (leads, lead_cost) = if resume && upto == 0 {
             // Rewind to the very beginning: re-announce the stream
             // (ChunkStart or DeltaStart, whichever it was).
-            let cost = self.outgoing[&mr]
-                .fsm
-                .stream()
-                .expect("stream checked above")
+            let cost = self
+                .outgoing
+                .get(&mr)
+                .and_then(|mig| mig.fsm.stream())
+                .ok_or(MigError::SessionInvariant("resumed stream has no progress"))?
                 .frame_cost();
             (vec![self.rebuild_start_msg(mr)?], cost)
         } else {
@@ -1987,7 +2079,9 @@ impl MigrationEnclave {
         let channel = self
             .channels_out
             .get_mut(&destination)
-            .ok_or(MigError::Protocol("no channel to destination"))?;
+            .ok_or(MigError::ChannelMissing {
+                peer: ChannelPeer::Destination,
+            })?;
         let plaintext = channel.open(&ciphertext)?;
         match MeToMe::from_bytes(&plaintext)? {
             MeToMe::Delivered { mr_enclave } => {
@@ -2150,16 +2244,15 @@ impl MigrationEnclave {
         // announced stream towards the destination with its per-nonce
         // progress. The nonce itself stays inside the enclave — it keys
         // the chunk HMAC chain.
-        let mut streams: Vec<(&MrEnclave, &SenderFsm)> = self
+        let mut streams: Vec<(&MrEnclave, &SenderFsm, &StreamProgress)> = self
             .outgoing
             .iter()
-            .filter(|(_, mig)| mig.destination == destination && mig.fsm.sent_stream().is_some())
-            .map(|(mr, mig)| (mr, &mig.fsm))
+            .filter(|(_, mig)| mig.destination == destination)
+            .filter_map(|(mr, mig)| mig.fsm.sent_stream().map(|s| (mr, &mig.fsm, s)))
             .collect();
-        streams.sort_by_key(|(mr, _)| mr.0);
+        streams.sort_by_key(|(mr, _, _)| mr.0);
         w.u32(streams.len() as u32);
-        for (mr, fsm) in streams {
-            let stream = fsm.sent_stream().expect("filtered above");
+        for (mr, fsm, stream) in streams {
             w.array(&mr.0);
             w.u32(stream.acked);
             w.u32(stream.n_chunks());

@@ -63,10 +63,12 @@ pub fn pad_frame(frame: &mut Vec<u8>, target: usize) {
     let extra = target - frame.len();
     let len_pos = frame.len() - 4;
     debug_assert_eq!(
+        // mig-lint: allow(enclave-panic, "debug-only guard; every MeToMe frame ends in the 4-byte pad-length field")
         &frame[len_pos..],
         &[0u8; 4],
         "pad_frame requires a trailing empty pad field"
     );
+    // mig-lint: allow(enclave-panic, "len_pos = frame.len()-4 is in bounds (frames end in the pad field) and extra <= target <= cell <= u32::MAX")
     frame[len_pos..].copy_from_slice(&u32::try_from(extra).expect("pad < 4 GiB").to_le_bytes());
     frame.resize(target, 0);
 }
@@ -256,6 +258,7 @@ impl<K: Copy + Eq + Hash> DrrScheduler<K> {
             return grants;
         }
         while budget_chunks > 0 && pending.values().any(|p| *p > 0) {
+            // mig-lint: allow(enclave-panic, "cursor is maintained mod order.len() and order is non-empty (checked above)")
             let key = self.order[self.cursor];
             self.cursor = (self.cursor + 1) % self.order.len();
             let p = pending.entry(key).or_insert(0);

@@ -293,7 +293,7 @@ pub fn diff(
         let page = page_slice(new_state, page_size, idx);
         let clean = idx < base.n_pages()
             && page_len(base.total_len, page_size, idx) == page.len() as u64
-            && base.digests[idx as usize] == sha256(page);
+            && mig_crypto::ct::ct_eq(&base.digests[idx as usize], &sha256(page));
         if !clean {
             dirty.push(idx);
             payload.extend_from_slice(page);

@@ -195,7 +195,7 @@ fn transfer_without_channel_fails() {
     w.bytes(b"ct");
     let err = me.ecall(me_ops::TRANSFER, &w.finish()).unwrap_err();
     assert!(
-        matches!(err, SgxError::Enclave(ref m) if m.contains("no channel")),
+        matches!(err, SgxError::Enclave(ref m) if m.contains("no attested channel")),
         "{err:?}"
     );
 }
@@ -210,7 +210,7 @@ fn ack_without_channel_fails() {
     w.bytes(b"ct");
     let err = me.ecall(me_ops::ACK, &w.finish()).unwrap_err();
     assert!(
-        matches!(err, SgxError::Enclave(ref m) if m.contains("no channel")),
+        matches!(err, SgxError::Enclave(ref m) if m.contains("no attested channel")),
         "{err:?}"
     );
 }

@@ -61,6 +61,15 @@ impl std::fmt::Debug for Aes128 {
     }
 }
 
+impl Drop for Aes128 {
+    fn drop(&mut self) {
+        // The expanded key schedule is equivalent to the key itself.
+        for rk in &mut self.round_keys {
+            crate::zeroize::zeroize_bytes(rk);
+        }
+    }
+}
+
 impl Aes128 {
     /// Expands `key` into the 11 round keys of AES-128.
     #[must_use]
@@ -87,6 +96,9 @@ impl Aes128 {
             for c in 0..4 {
                 rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
             }
+        }
+        for word in &mut w {
+            crate::zeroize::zeroize_bytes(word);
         }
         Aes128 { round_keys }
     }

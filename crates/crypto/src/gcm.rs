@@ -52,6 +52,13 @@ impl std::fmt::Debug for AesGcm {
     }
 }
 
+impl Drop for AesGcm {
+    fn drop(&mut self) {
+        // H = E(K, 0) lets an attacker forge tags; `cipher` scrubs itself.
+        crate::zeroize::zeroize_u128(&mut self.h);
+    }
+}
+
 impl AesGcm {
     /// Creates a GCM instance for the given 128-bit key.
     #[must_use]

@@ -38,21 +38,25 @@ pub fn hkdf_expand(prk: &[u8; DIGEST_LEN], info: &[u8], out: &mut [u8]) {
         out.len() <= MAX_OUTPUT_LEN,
         "HKDF output length exceeds 255*HashLen"
     );
-    let mut t: Vec<u8> = Vec::new();
+    // T(i) is keying material; keep it in one fixed buffer and scrub it
+    // before returning instead of reallocating per block.
+    let mut t = [0u8; DIGEST_LEN];
+    let mut t_len = 0usize;
     let mut generated = 0usize;
     let mut counter = 1u8;
     while generated < out.len() {
         let mut mac = HmacSha256::new(prk);
-        mac.update(&t);
+        mac.update(&t[..t_len]);
         mac.update(info);
         mac.update(&[counter]);
-        let block = mac.finalize();
+        t = mac.finalize();
+        t_len = DIGEST_LEN;
         let take = (out.len() - generated).min(DIGEST_LEN);
-        out[generated..generated + take].copy_from_slice(&block[..take]);
+        out[generated..generated + take].copy_from_slice(&t[..take]);
         generated += take;
-        t = block.to_vec();
         counter = counter.wrapping_add(1);
     }
+    crate::zeroize::zeroize_bytes(&mut t);
 }
 
 /// One-shot HKDF (extract + expand) producing an `N`-byte key.
@@ -65,9 +69,10 @@ pub fn hkdf_expand(prk: &[u8; DIGEST_LEN], info: &[u8], out: &mut [u8]) {
 /// ```
 #[must_use]
 pub fn hkdf<const N: usize>(salt: &[u8], ikm: &[u8], info: &[u8]) -> [u8; N] {
-    let prk = hkdf_extract(salt, ikm);
+    let mut prk = hkdf_extract(salt, ikm);
     let mut out = [0u8; N];
     hkdf_expand(&prk, info, &mut out);
+    crate::zeroize::zeroize_bytes(&mut prk);
     out
 }
 

@@ -20,10 +20,17 @@ use crate::sha512::{self, Sha512};
 /// let tag = mac.finalize();
 /// assert!(HmacSha256::verify(b"key", b"message", &tag));
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct HmacSha256 {
     inner: Sha256,
     outer: Sha256,
+}
+
+impl std::fmt::Debug for HmacSha256 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The keyed hash states must never be printed.
+        f.debug_struct("HmacSha256").finish_non_exhaustive()
+    }
 }
 
 impl HmacSha256 {
@@ -48,6 +55,9 @@ impl HmacSha256 {
         inner.update(&ipad);
         let mut outer = Sha256::new();
         outer.update(&opad);
+        crate::zeroize::zeroize_bytes(&mut key_block);
+        crate::zeroize::zeroize_bytes(&mut ipad);
+        crate::zeroize::zeroize_bytes(&mut opad);
         HmacSha256 { inner, outer }
     }
 
@@ -80,10 +90,17 @@ impl HmacSha256 {
 }
 
 /// Streaming HMAC-SHA-512.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct HmacSha512 {
     inner: Sha512,
     outer: Sha512,
+}
+
+impl std::fmt::Debug for HmacSha512 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The keyed hash states must never be printed.
+        f.debug_struct("HmacSha512").finish_non_exhaustive()
+    }
 }
 
 impl HmacSha512 {
@@ -108,6 +125,9 @@ impl HmacSha512 {
         inner.update(&ipad);
         let mut outer = Sha512::new();
         outer.update(&opad);
+        crate::zeroize::zeroize_bytes(&mut key_block);
+        crate::zeroize::zeroize_bytes(&mut ipad);
+        crate::zeroize::zeroize_bytes(&mut opad);
         HmacSha512 { inner, outer }
     }
 

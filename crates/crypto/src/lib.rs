@@ -14,7 +14,8 @@
 //! * [`gcm`] — NIST SP 800-38D AES-128-GCM authenticated encryption,
 //! * [`x25519`] — RFC 7748 Diffie–Hellman over Curve25519,
 //! * [`ed25519`] — RFC 8032 signatures,
-//! * [`ct`] — constant-time comparison helpers.
+//! * [`ct`] — constant-time comparison helpers,
+//! * [`zeroize`] — best-effort scrubbing of key material on drop.
 //!
 //! Every primitive is validated against the published test vectors of its
 //! specification (see the unit tests in each module) plus property-based
@@ -56,6 +57,7 @@ pub mod hmac;
 pub mod sha256;
 pub mod sha512;
 pub mod x25519;
+pub mod zeroize;
 
 mod curve25519;
 

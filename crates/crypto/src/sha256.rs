@@ -59,6 +59,16 @@ impl std::fmt::Debug for Sha256 {
     }
 }
 
+impl Drop for Sha256 {
+    fn drop(&mut self) {
+        // The chaining state and buffered bytes hold key material whenever
+        // the hash is keyed (HMAC ipad/opad states, HKDF PRKs).
+        crate::zeroize::zeroize_u32s(&mut self.state);
+        crate::zeroize::zeroize_bytes(&mut self.buf);
+        self.buf_len = 0;
+    }
+}
+
 impl Sha256 {
     /// Creates a fresh hasher.
     #[must_use]

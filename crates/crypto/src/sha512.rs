@@ -137,6 +137,16 @@ impl std::fmt::Debug for Sha512 {
     }
 }
 
+impl Drop for Sha512 {
+    fn drop(&mut self) {
+        // The chaining state and buffered bytes hold key material whenever
+        // the hash is keyed (HMAC ipad/opad states).
+        crate::zeroize::zeroize_u64s(&mut self.state);
+        crate::zeroize::zeroize_bytes(&mut self.buf);
+        self.buf_len = 0;
+    }
+}
+
 impl Sha512 {
     /// Creates a fresh hasher.
     #[must_use]

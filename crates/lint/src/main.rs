@@ -1,0 +1,93 @@
+//! mig-lint CLI.
+//!
+//! ```text
+//! cargo run -p mig-lint                  # lint the workspace, write LINT.json
+//! cargo run -p mig-lint -- --self-test   # prove each rule fires on its fixtures
+//! cargo run -p mig-lint -- --root DIR --json OUT.json
+//! ```
+//!
+//! Exit codes: 0 clean (or all findings annotated), 1 unannotated
+//! violations or self-test failure, 2 usage error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: mig-lint [--root DIR] [--json FILE] [--self-test]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json: Option<PathBuf> = None;
+    let mut run_self_test = false;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--root" => match argv.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--json" => match argv.next() {
+                Some(v) => json = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--self-test" => run_self_test = true,
+            "--help" | "-h" => {
+                println!("usage: mig-lint [--root DIR] [--json FILE] [--self-test]");
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    // Default root: the workspace (two levels above this crate).
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from("."))
+    });
+
+    if run_self_test {
+        let errors = match mig_lint::self_test(&root) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("mig-lint: self-test failed to run: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if errors.is_empty() {
+            println!("mig-lint self-test: all rules fire on their fixtures");
+            return ExitCode::SUCCESS;
+        }
+        for e in &errors {
+            eprintln!("self-test failure: {e}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    let report = match mig_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mig-lint: scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.render_human());
+
+    let json_path = json.unwrap_or_else(|| root.join("LINT.json"));
+    if let Err(e) = std::fs::write(&json_path, report.to_json()) {
+        eprintln!("mig-lint: cannot write {}: {e}", json_path.display());
+        return ExitCode::FAILURE;
+    }
+
+    if report.unannotated().count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,188 @@
+//! Violation model and report rendering.
+//!
+//! `LINT.json` is written with a hand-rolled serializer (the workspace is
+//! offline; no serde). The format is stable: violations sorted by
+//! `(file, line, rule)`, one object per violation, plus a summary block.
+
+use std::fmt::Write as _;
+
+/// One resolved lint finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Rule identifier, e.g. `enclave-panic`.
+    pub rule: &'static str,
+    /// File path relative to the scan root, forward slashes.
+    pub file: String,
+    /// 1-indexed line of the finding.
+    pub line: usize,
+    /// Trimmed source line, for the report.
+    pub snippet: String,
+    /// True if a well-formed `allow` annotation with a non-empty reason
+    /// covers this line.
+    pub annotated: bool,
+    /// The annotation's reason (empty when unannotated).
+    pub reason: String,
+}
+
+/// The outcome of a lint run.
+#[derive(Default)]
+pub struct Report {
+    /// All findings, sorted by `(file, line, rule)`.
+    pub violations: Vec<Violation>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Sorts findings into the stable report order.
+    pub fn finish(&mut self) {
+        self.violations
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    }
+
+    /// Findings not covered by an annotation — these fail the build.
+    pub fn unannotated(&self) -> impl Iterator<Item = &Violation> {
+        self.violations.iter().filter(|v| !v.annotated)
+    }
+
+    /// Human-readable report.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        let unannotated = self.unannotated().count();
+        let allowed = self.violations.len() - unannotated;
+        for v in &self.violations {
+            if v.annotated {
+                continue;
+            }
+            let _ = writeln!(out, "error[{}]: {}:{}", v.rule, v.file, v.line);
+            let _ = writeln!(out, "    {}", v.snippet);
+        }
+        for v in &self.violations {
+            if !v.annotated {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "allowed[{}]: {}:{} ({})",
+                v.rule, v.file, v.line, v.reason
+            );
+        }
+        let _ = writeln!(
+            out,
+            "mig-lint: {} files scanned, {} violations ({} allowed, {} unannotated)",
+            self.files_scanned,
+            self.violations.len(),
+            allowed,
+            unannotated
+        );
+        out
+    }
+
+    /// The stable `LINT.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"snippet\": {}, \"annotated\": {}, \"reason\": {}}}",
+                json_str(v.rule),
+                json_str(&v.file),
+                v.line,
+                json_str(&v.snippet),
+                v.annotated,
+                json_str(&v.reason)
+            );
+        }
+        if !self.violations.is_empty() {
+            out.push_str("\n  ");
+        }
+        let _ = write!(
+            out,
+            "],\n  \"summary\": {{\"files_scanned\": {}, \"total\": {}, \"unannotated\": {}}}\n}}\n",
+            self.files_scanned,
+            self.violations.len(),
+            self.unannotated().count()
+        );
+        out
+    }
+}
+
+/// JSON string literal with the required escapes.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: &'static str, file: &str, line: usize, annotated: bool) -> Violation {
+        Violation {
+            rule,
+            file: file.into(),
+            line,
+            snippet: "x".into(),
+            annotated,
+            reason: if annotated {
+                "why".into()
+            } else {
+                String::new()
+            },
+        }
+    }
+
+    #[test]
+    fn report_sorts_and_counts() {
+        let mut r = Report {
+            violations: vec![
+                v("enclave-panic", "b.rs", 2, false),
+                v("ct-compare", "a.rs", 9, true),
+                v("ct-compare", "b.rs", 2, false),
+            ],
+            files_scanned: 3,
+        };
+        r.finish();
+        assert_eq!(r.violations[0].file, "a.rs");
+        assert_eq!(r.violations[1].rule, "ct-compare");
+        assert_eq!(r.unannotated().count(), 2);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let mut r = Report {
+            violations: vec![Violation {
+                rule: "ct-compare",
+                file: "a.rs".into(),
+                line: 1,
+                snippet: "if a == \"b\\n\" {".into(),
+                annotated: false,
+                reason: String::new(),
+            }],
+            files_scanned: 1,
+        };
+        r.finish();
+        let j = r.to_json();
+        assert!(j.contains("\\\"b\\\\n\\\""));
+        assert!(j.contains("\"unannotated\": 1"));
+        assert!(j.contains("\"files_scanned\": 1"));
+    }
+}

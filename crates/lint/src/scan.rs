@@ -1,0 +1,257 @@
+//! Workspace walking and per-file source model.
+//!
+//! A [`SourceFile`] bundles everything a rule needs: the raw text (for
+//! snippets), the scrubbed text (for matching), the annotations, a
+//! line-offset table, and the spans of test code. Rules that only apply
+//! to production code call [`SourceFile::in_test`] to skip `#[cfg(test)]`
+//! modules, `#[test]` functions, and files under `tests/` / `benches/`.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::scrub::{scrub, Annotation};
+
+/// One parsed source file ready for rule matching.
+pub struct SourceFile {
+    /// Path relative to the scan root, with forward slashes.
+    pub rel_path: String,
+    /// Original file contents (snippets are cut from here).
+    pub raw: String,
+    /// Comment/string-blanked contents, same byte length as `raw`.
+    pub scrubbed: String,
+    /// All `mig-lint: allow(...)` annotations in the file.
+    pub annotations: Vec<Annotation>,
+    /// Byte offset where each line starts (index 0 = line 1).
+    line_starts: Vec<usize>,
+    /// Byte ranges of `#[cfg(test)]` / `#[test]` items.
+    test_spans: Vec<(usize, usize)>,
+    /// True for files under `tests/` or `benches/` directories.
+    whole_file_test: bool,
+}
+
+impl SourceFile {
+    /// Reads and parses the file at `root.join(rel)`.
+    pub fn load(root: &Path, rel: &Path) -> io::Result<Self> {
+        let raw = fs::read_to_string(root.join(rel))?;
+        let rel_path = rel
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        Ok(Self::from_source(rel_path, raw))
+    }
+
+    /// Parses in-memory source, used by unit tests and fixtures.
+    pub fn from_source(rel_path: String, raw: String) -> Self {
+        let scrubbed = scrub(&raw);
+        let mut line_starts = vec![0usize];
+        for (i, b) in raw.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        let test_spans = find_test_spans(&scrubbed.text);
+        // Fixture files sit under `tests/fixtures/` but model production
+        // code — they must stay visible to the rules.
+        let whole_file_test = !rel_path.contains("fixtures/")
+            && rel_path.split('/').any(|c| c == "tests" || c == "benches");
+        SourceFile {
+            rel_path,
+            raw,
+            scrubbed: scrubbed.text,
+            annotations: scrubbed.annotations,
+            line_starts,
+            test_spans,
+            whole_file_test,
+        }
+    }
+
+    /// 1-indexed line containing byte `offset`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// The raw text of 1-indexed `line`, trimmed, for report snippets.
+    pub fn line_text(&self, line: usize) -> &str {
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .map_or(self.raw.len(), |&e| e.saturating_sub(1));
+        self.raw[start..end.max(start)].trim()
+    }
+
+    /// Whether byte `offset` falls inside test-only code.
+    pub fn in_test(&self, offset: usize) -> bool {
+        self.whole_file_test
+            || self
+                .test_spans
+                .iter()
+                .any(|&(s, e)| offset >= s && offset < e)
+    }
+}
+
+/// Finds the byte spans of `#[cfg(test)]` and `#[test]` items by brace
+/// matching on scrubbed text. If no `{` appears within a short window
+/// (e.g. the attribute sits on a `use` or a `;`-terminated item), the
+/// span covers just the attribute.
+fn find_test_spans(scrubbed: &str) -> Vec<(usize, usize)> {
+    let bytes = scrubbed.as_bytes();
+    let mut spans = Vec::new();
+    let mut from = 0usize;
+    while let Some(pos) = find_from(scrubbed, from, "#[") {
+        from = pos + 2;
+        let rest = &scrubbed[pos..];
+        let is_test_attr = {
+            let after = rest[2..].trim_start();
+            after.starts_with("cfg(test)")
+                || after.starts_with("test]")
+                || after.starts_with("test)")
+        };
+        if !is_test_attr {
+            continue;
+        }
+        // Skip past the attribute's closing `]`, then any further
+        // attributes, then find the item's opening brace.
+        let attr_end = match find_from(scrubbed, pos, "]") {
+            Some(e) => e + 1,
+            None => break,
+        };
+        let mut j = attr_end;
+        let limit = (j + 500).min(bytes.len());
+        let mut open = None;
+        while j < limit {
+            match bytes[j] {
+                b'{' => {
+                    open = Some(j);
+                    break;
+                }
+                b';' => break,
+                _ => j += 1,
+            }
+        }
+        if let Some(open) = open {
+            let end = match_brace(bytes, open).unwrap_or(bytes.len());
+            spans.push((pos, end + 1));
+            from = end + 1;
+        } else {
+            spans.push((pos, attr_end));
+        }
+    }
+    spans
+}
+
+/// Index of the `}` matching the `{` at `open` in scrubbed bytes.
+pub fn match_brace(bytes: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Index of the `)` matching the `(` at `open` in scrubbed bytes.
+pub fn match_paren(bytes: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// `str::find` starting at byte `from`, returning an absolute offset.
+pub fn find_from(haystack: &str, from: usize, needle: &str) -> Option<usize> {
+    haystack.get(from..)?.find(needle).map(|p| from + p)
+}
+
+/// Recursively collects the `.rs` files under `root`, skipping `target`,
+/// `.git`, and (unless `include_fixtures`) the lint fixture corpus. The
+/// result is sorted for deterministic reports.
+pub fn walk_rs_files(root: &Path, include_fixtures: bool) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name == ".git" {
+                    continue;
+                }
+                if !include_fixtures && path.ends_with("crates/lint/tests/fixtures") {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                if let Ok(rel) = path.strip_prefix(root) {
+                    out.push(rel.to_path_buf());
+                }
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_of_maps_offsets() {
+        let f = SourceFile::from_source("a.rs".into(), "ab\ncd\nef".into());
+        assert_eq!(f.line_of(0), 1);
+        assert_eq!(f.line_of(2), 1);
+        assert_eq!(f.line_of(3), 2);
+        assert_eq!(f.line_of(6), 3);
+        assert_eq!(f.line_text(2), "cd");
+    }
+
+    #[test]
+    fn cfg_test_module_is_a_test_span() {
+        let src = "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n fn b() { y.unwrap(); }\n}\n";
+        let f = SourceFile::from_source("a.rs".into(), src.into());
+        let prod = src.find("x.unwrap").unwrap();
+        let test = src.find("y.unwrap").unwrap();
+        assert!(!f.in_test(prod));
+        assert!(f.in_test(test));
+    }
+
+    #[test]
+    fn test_fn_attribute_is_a_test_span() {
+        let src = "#[test]\nfn t() { z.unwrap(); }\nfn p() { w.unwrap(); }\n";
+        let f = SourceFile::from_source("a.rs".into(), src.into());
+        assert!(f.in_test(src.find("z.unwrap").unwrap()));
+        assert!(!f.in_test(src.find("w.unwrap").unwrap()));
+    }
+
+    #[test]
+    fn tests_dir_is_whole_file_test() {
+        let f = SourceFile::from_source("crates/core/tests/x.rs".into(), "fn a() {}".into());
+        assert!(f.in_test(0));
+    }
+}

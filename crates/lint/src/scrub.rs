@@ -1,0 +1,304 @@
+//! Comment- and string-stripping scrubber.
+//!
+//! The rule engine works on a *scrubbed* copy of each source file: every
+//! byte inside a comment, string literal, or character literal is replaced
+//! with a space, while delimiters, newlines, and byte offsets are preserved
+//! exactly. Identifier and operator scans on the scrubbed text therefore
+//! cannot be fooled by `"_ =>"` appearing inside a string or a commented-out
+//! `unwrap()`, and brace matching sees only real code braces.
+//!
+//! `mig-lint: allow(...)` annotations live in comments, so they are parsed
+//! *before* the comment bytes are blanked.
+
+/// One parsed `// mig-lint: allow(<rule>, "<reason>")` annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Annotation {
+    /// The rule the annotation suppresses.
+    pub rule: String,
+    /// The justification. An empty reason does not suppress anything.
+    pub reason: String,
+    /// 1-indexed line the annotation appears on.
+    pub line: usize,
+}
+
+/// Scrubber output: the blanked source plus the annotations found.
+pub struct Scrubbed {
+    /// Same length as the input; comments/strings/chars blanked to spaces.
+    pub text: String,
+    /// All well-formed annotations, in file order.
+    pub annotations: Vec<Annotation>,
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Parses `mig-lint: allow(rule, "reason")` out of one comment's text.
+/// The reason is a quoted string and may itself contain parentheses.
+fn parse_annotation(comment: &str, line: usize) -> Option<Annotation> {
+    let rest = comment.split("mig-lint:").nth(1)?;
+    let rest = rest.trim_start().strip_prefix("allow(")?;
+    let sep = rest.find([',', ')'])?;
+    let rule = rest[..sep].trim().to_string();
+    let reason = if rest.as_bytes()[sep] == b',' {
+        let after = rest[sep + 1..].trim_start();
+        match after.strip_prefix('"') {
+            Some(quoted) => quoted[..quoted.find('"')?].to_string(),
+            None => after[..after.find(')')?].trim().to_string(),
+        }
+    } else {
+        String::new()
+    };
+    Some(Annotation { rule, reason, line })
+}
+
+/// Scrubs `src`, returning the blanked text and the annotations.
+///
+/// Handles line comments, nested block comments, string literals (plain,
+/// raw, byte, C), and character literals vs. lifetimes.
+pub fn scrub(src: &str) -> Scrubbed {
+    let bytes = src.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut annotations = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let end = bytes[i..]
+                    .iter()
+                    .position(|&c| c == b'\n')
+                    .map_or(bytes.len(), |p| i + p);
+                if let Ok(text) = std::str::from_utf8(&bytes[i..end]) {
+                    if let Some(a) = parse_annotation(text, line) {
+                        annotations.push(a);
+                    }
+                }
+                blank(&mut out, &mut line, i, end);
+                i = end;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                if let Ok(text) = std::str::from_utf8(&bytes[start..i]) {
+                    let first_line = line;
+                    if let Some(a) = parse_annotation(text, first_line) {
+                        annotations.push(a);
+                    }
+                }
+                blank(&mut out, &mut line, start, i);
+            }
+            b'"' => {
+                i = scrub_string(bytes, &mut out, &mut line, i);
+            }
+            b'r' | b'b' | b'c' if !prev_is_ident(bytes, i) => {
+                // Possible raw/byte/C string prefix: r" r#" b" br" b' c".
+                let mut j = i + 1;
+                let mut raw = b == b'r';
+                if b == b'b' && bytes.get(j) == Some(&b'r') {
+                    raw = true;
+                    j += 1;
+                }
+                let mut hashes = 0usize;
+                if raw {
+                    while bytes.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                }
+                if bytes.get(j) == Some(&b'"') {
+                    if raw {
+                        i = scrub_raw_string(bytes, &mut out, &mut line, i, j, hashes);
+                    } else {
+                        i = scrub_string(bytes, &mut out, &mut line, j);
+                    }
+                } else if b == b'b' && bytes.get(j) == Some(&b'\'') {
+                    i = scrub_char(bytes, &mut out, &mut line, j);
+                } else {
+                    i += 1;
+                }
+            }
+            b'\'' if !prev_is_ident(bytes, i) => {
+                // Distinguish 'a' (char) from 'a (lifetime): a char literal
+                // either starts with a backslash or closes after one char.
+                let next = bytes.get(i + 1).copied();
+                let after = bytes.get(i + 2).copied();
+                if next == Some(b'\\') || (after == Some(b'\'') && next != Some(b'\'')) {
+                    i = scrub_char(bytes, &mut out, &mut line, i);
+                } else {
+                    i += 1;
+                }
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+
+    Scrubbed {
+        text: String::from_utf8_lossy(&out).into_owned(),
+        annotations,
+    }
+}
+
+fn prev_is_ident(bytes: &[u8], i: usize) -> bool {
+    i > 0 && is_ident_byte(bytes[i - 1])
+}
+
+/// Scrubs a plain string starting at the opening quote `open`; returns the
+/// index just past the closing quote.
+fn scrub_string(bytes: &[u8], out: &mut [u8], line: &mut usize, open: usize) -> usize {
+    let mut i = open + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                blank(out, line, open + 1, i.min(bytes.len()));
+                return i + 1;
+            }
+            _ => i += 1,
+        }
+    }
+    blank(out, line, open + 1, bytes.len());
+    bytes.len()
+}
+
+/// Scrubs a raw string whose opening quote is at `quote` with `hashes`
+/// `#`s; returns the index just past the closing delimiter.
+fn scrub_raw_string(
+    bytes: &[u8],
+    out: &mut [u8],
+    line: &mut usize,
+    _start: usize,
+    quote: usize,
+    hashes: usize,
+) -> usize {
+    let mut i = quote + 1;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if bytes.get(i + 1 + k) != Some(&b'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                blank(out, line, quote + 1, i);
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    blank(out, line, quote + 1, bytes.len());
+    bytes.len()
+}
+
+/// Scrubs a char literal starting at the opening `'`; returns the index
+/// just past the closing `'`.
+fn scrub_char(bytes: &[u8], out: &mut [u8], line: &mut usize, open: usize) -> usize {
+    let mut i = open + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\'' => {
+                blank(out, line, open + 1, i.min(bytes.len()));
+                return i + 1;
+            }
+            _ => i += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// Blanks `out[from..to]`, keeping newlines (byte offsets must stay
+/// stable) and counting the lines passed over.
+fn blank(out: &mut [u8], line: &mut usize, from: usize, to: usize) {
+    for b in &mut out[from..to] {
+        if *b == b'\n' {
+            *line += 1;
+        } else {
+            *b = b' ';
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = "let x = \"_ => unwrap()\"; // unwrap()\nlet y = 1;";
+        let s = scrub(src);
+        assert!(!s.text.contains("unwrap"));
+        assert!(s.text.contains("let x ="));
+        assert!(s.text.contains("let y = 1;"));
+        assert_eq!(s.text.len(), src.len());
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = scrub("a /* one /* two */ still */ b");
+        assert!(s.text.starts_with('a'));
+        assert!(s.text.ends_with('b'));
+        assert!(!s.text.contains("two"));
+        assert!(!s.text.contains("still"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let s = scrub("let r = r#\"panic!(\"no\")\"#;");
+        assert!(!s.text.contains("panic"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let s = scrub("fn f<'a>(x: &'a str) { let c = '{'; let d = '\\n'; }");
+        assert!(s.text.contains("'a>"));
+        assert!(!s.text.contains("'{'"));
+        assert!(s.text.contains("fn f<"));
+    }
+
+    #[test]
+    fn newlines_preserved_in_blanked_regions() {
+        let s = scrub("/* a\nb\nc */ fn x() {}");
+        assert_eq!(s.text.matches('\n').count(), 2);
+        assert!(s.text.contains("fn x()"));
+    }
+
+    #[test]
+    fn annotations_parsed_with_line_numbers() {
+        let src = "fn a() {}\n// mig-lint: allow(enclave-panic, \"bounded above\")\nfn b() {}\n";
+        let s = scrub(src);
+        assert_eq!(s.annotations.len(), 1);
+        let a = &s.annotations[0];
+        assert_eq!(a.rule, "enclave-panic");
+        assert_eq!(a.reason, "bounded above");
+        assert_eq!(a.line, 2);
+    }
+
+    #[test]
+    fn annotation_without_reason_has_empty_reason() {
+        let s = scrub("// mig-lint: allow(ct-compare)\n");
+        assert_eq!(s.annotations[0].reason, "");
+    }
+}

@@ -1,0 +1,6 @@
+// Fixture: an annotated (suppressed) ct-compare finding.
+
+pub fn legacy_check(digest: &[u8; 32], cached: &[u8; 32]) -> bool {
+    // mig-lint: allow(ct-compare, "fixture: annotated legacy comparison, not secret-dependent")
+    digest == cached
+}

@@ -1,0 +1,14 @@
+// Fixture: true positives for ct-compare. Short-circuiting slice
+// comparison on authenticator values leaks the first differing byte
+// through timing. Never compiled; scanned by the lint self-test.
+
+pub fn verify_tag(expected_tag: &[u8; 16], got: &[u8; 16]) -> bool {
+    if expected_tag != got {
+        return false;
+    }
+    true
+}
+
+pub fn check_digest(digest: &[u8; 32], manifest_digest: &[u8; 32]) -> bool {
+    digest == manifest_digest
+}

@@ -1,0 +1,13 @@
+// Fixture: compliant digest handling. Value comparison goes through
+// mig_crypto::ct; comparing *lengths* of authenticators is fine.
+
+pub fn verify_tag(expected_tag: &[u8], got: &[u8]) -> bool {
+    if expected_tag.len() != got.len() {
+        return false;
+    }
+    mig_crypto::ct::ct_eq(expected_tag, got)
+}
+
+pub fn check_digest(digest: &[u8; 32], manifest: &[u8; 32]) -> bool {
+    mig_crypto::ct::ct_eq(digest, manifest)
+}

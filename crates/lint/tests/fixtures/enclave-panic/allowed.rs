@@ -1,0 +1,7 @@
+// Fixture: a provably-infallible panic site carrying the required
+// annotation with a reason.
+
+pub fn version_byte(header: &[u8; 4]) -> u8 {
+    // mig-lint: allow(enclave-panic, "fixture: index 0 of a fixed [u8; 4] array is always in bounds")
+    header[0]
+}

@@ -1,0 +1,20 @@
+// Fixture: true positives for enclave-panic. Each of these aborts the
+// enclave instead of surfacing a MigError.
+
+pub fn first_byte(buf: &[u8]) -> u8 {
+    buf[0]
+}
+
+pub fn must_have(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn config_or_die(cfg: Option<&str>) -> &str {
+    cfg.expect("config must be loaded")
+}
+
+pub fn assert_frozen(frozen: bool) {
+    if !frozen {
+        panic!("enclave not frozen");
+    }
+}

@@ -1,0 +1,22 @@
+// Fixture: compliant enclave code — every fallible access returns an
+// error instead of panicking.
+
+pub fn first_byte(buf: &[u8]) -> Option<u8> {
+    buf.first().copied()
+}
+
+pub fn must_have(v: Option<u32>) -> Result<u32, MigError> {
+    v.ok_or(MigError::NotInitialized)
+}
+
+pub fn config_or_err(cfg: Option<&str>) -> Result<&str, MigError> {
+    cfg.ok_or(MigError::NotInitialized)
+}
+
+pub fn check_frozen(frozen: bool) -> Result<(), MigError> {
+    if frozen {
+        Ok(())
+    } else {
+        Err(MigError::Frozen)
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: an annotated (suppressed) catch-all in an FSM match.
+
+pub enum SenderFsm {
+    Idle,
+    Streaming,
+    Complete,
+}
+
+impl SenderFsm {
+    pub fn is_terminal(&self) -> bool {
+        match self {
+            SenderFsm::Complete => true,
+            // mig-lint: allow(no-wildcard-fsm, "fixture: annotated legacy catch-all kept for the test corpus")
+            _ => false,
+        }
+    }
+}

@@ -1,0 +1,35 @@
+// Fixture: true positives for no-wildcard-fsm — catch-all arms inside
+// the sender/receiver FSM impls swallow states added later.
+
+pub enum SenderFsm {
+    Idle,
+    Streaming,
+    Complete,
+}
+
+impl SenderFsm {
+    pub fn is_active(&self) -> bool {
+        match self {
+            SenderFsm::Streaming => true,
+            _ => false,
+        }
+    }
+}
+
+pub enum ReceiverFsm {
+    Waiting,
+    Staged,
+}
+
+impl ReceiverFsm {
+    pub fn describe(&self) -> &'static str {
+        match self {
+            ReceiverFsm::Waiting => "waiting",
+            other => other.fallback_name(),
+        }
+    }
+
+    fn fallback_name(&self) -> &'static str {
+        "staged"
+    }
+}

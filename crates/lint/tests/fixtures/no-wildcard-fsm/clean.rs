@@ -1,0 +1,30 @@
+// Fixture: compliant FSM matches — every state named, no catch-alls.
+
+pub enum SenderFsm {
+    Idle,
+    Streaming,
+    Complete,
+}
+
+impl SenderFsm {
+    pub fn is_active(&self) -> bool {
+        match self {
+            SenderFsm::Streaming => true,
+            SenderFsm::Idle | SenderFsm::Complete => false,
+        }
+    }
+}
+
+pub enum ReceiverFsm {
+    Waiting,
+    Staged,
+}
+
+impl ReceiverFsm {
+    pub fn describe(&self) -> &'static str {
+        match self {
+            ReceiverFsm::Waiting => "waiting",
+            ReceiverFsm::Staged => "staged",
+        }
+    }
+}

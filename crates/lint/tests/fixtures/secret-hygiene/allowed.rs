@@ -1,0 +1,13 @@
+// Fixture: an annotated (suppressed) Debug derive on a key type.
+
+// mig-lint: allow(secret-hygiene, "fixture: annotated legacy derive kept for the test corpus")
+#[derive(Debug)]
+pub struct FixtureSessionKey {
+    msk: [u8; 16],
+}
+
+impl Drop for FixtureSessionKey {
+    fn drop(&mut self) {
+        self.msk = [0u8; 16];
+    }
+}

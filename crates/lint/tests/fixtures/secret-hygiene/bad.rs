@@ -1,0 +1,11 @@
+// Fixture: true positives for secret-hygiene — a key type deriving
+// Debug, key material reaching a logging macro, and no zeroizing Drop.
+
+#[derive(Clone, Debug)]
+pub struct FixtureSessionKey {
+    msk: [u8; 16],
+}
+
+pub fn trace_key(key: &FixtureSessionKey) {
+    println!("session msk = {:?}", key.msk);
+}

@@ -1,0 +1,18 @@
+// Fixture: compliant secret handling — redacting manual Debug, a
+// zeroizing Drop, and no key material near a formatting macro.
+
+pub struct FixtureSessionKey {
+    msk: [u8; 16],
+}
+
+impl Drop for FixtureSessionKey {
+    fn drop(&mut self) {
+        mig_crypto::zeroize::zeroize_bytes(&mut self.msk);
+    }
+}
+
+impl core::fmt::Debug for FixtureSessionKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("FixtureSessionKey").finish_non_exhaustive()
+    }
+}

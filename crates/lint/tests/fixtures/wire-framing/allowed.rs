@@ -1,0 +1,7 @@
+// Fixture: an annotated (suppressed) out-of-band framing call.
+
+pub fn resend_start(ch: &mut Channel, frame: &mut Vec<u8>) -> Vec<u8> {
+    // mig-lint: allow(wire-framing, "fixture: annotated legacy call site kept for the test corpus")
+    pad_frame(frame, 4096);
+    ch.seal(frame)
+}

@@ -1,0 +1,14 @@
+// Fixture: compliant frame construction — everything routes through
+// the me/wire.rs sealed constructors, which pad to the wire cell.
+
+pub fn send_start(ch: &mut Channel, stream: &Stream, cell: u32) -> Vec<u8> {
+    wire::seal_lead(ch, stream, cell)
+}
+
+pub fn send_chunk(ch: &mut Channel, stream: &Stream, idx: u32, cell: u32) -> Vec<u8> {
+    wire::seal_chunk(ch, stream, idx, cell)
+}
+
+pub fn budget(frame_len: usize) -> u32 {
+    wire::cell_for_frame_len(frame_len)
+}
