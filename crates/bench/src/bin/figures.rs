@@ -258,10 +258,14 @@ fn e4(n: usize) {
     println!("{}", "-".repeat(92));
 
     let mut json_sweep = Vec::new();
+    let mut phase_rows = Vec::new();
+    let mut trace_export = None;
     let mut seed = 0xE4_00u64;
     for &(label, entries, value_len) in sweep {
         let vm_ms = mig_bench::vm_model_ms(u64::from(entries) * u64::from(value_len));
         let mut cells: Vec<Vec<f64>> = vec![Vec::new(); 3];
+        let mut phases: Vec<Vec<f64>> = vec![Vec::new(); 4];
+        let mut transitions = Vec::new();
         for _ in 0..n {
             for (i, config) in [
                 mig_bench::sweep_blob_config(),
@@ -278,6 +282,17 @@ fn e4(n: usize) {
                 cells[i].push(virt.as_secs_f64() * 1e3);
                 if i == 1 {
                     cells[2].push(wall.as_secs_f64() * 1e3);
+                    // Per-phase breakdown and transition count from the
+                    // deterministic trace export (streamed arm only).
+                    let telemetry = dc.fleet_telemetry().expect("fleet telemetry");
+                    let b = mig_bench::stream_phase_breakdown(&telemetry)
+                        .expect("streamed migration leaves a Stream-phase trace");
+                    phases[0].push(b.announce_ms);
+                    phases[1].push(b.stream_ms);
+                    phases[2].push(b.stage_ms);
+                    phases[3].push(b.release_ms);
+                    transitions.push(b.transitions as f64);
+                    trace_export = Some(telemetry);
                 }
             }
         }
@@ -295,16 +310,47 @@ fn e4(n: usize) {
         );
         let mean = |samples: &[f64]| mig_stats::summarize(samples, 0.99).mean;
         json_sweep.push(format!(
-            "    {{\"label\": \"{label}\", \"blob_virt_ms\": {:.4}, \"stream_virt_ms\": {:.4}, \"stream_wall_ms\": {:.4}, \"vm_model_ms\": {:.4}}}",
+            "    {{\"label\": \"{label}\", \"blob_virt_ms\": {:.4}, \"stream_virt_ms\": {:.4}, \"stream_wall_ms\": {:.4}, \"vm_model_ms\": {:.4}, \"announce_ms\": {:.4}, \"stream_ms\": {:.4}, \"stage_ms\": {:.4}, \"release_ms\": {:.4}, \"transitions_per_migration\": {:.1}}}",
             mean(&cells[0]),
             mean(&cells[1]),
             mean(&cells[2]),
-            vm_ms
+            vm_ms,
+            mean(&phases[0]),
+            mean(&phases[1]),
+            mean(&phases[2]),
+            mean(&phases[3]),
+            mean(&transitions),
+        ));
+        phase_rows.push((
+            label,
+            mean(&phases[0]),
+            mean(&phases[1]),
+            mean(&phases[2]),
+            mean(&phases[3]),
+            mean(&transitions),
         ));
     }
     println!(
         "(VM model: cloud_sim::vm::vm_migration_time at the same byte count over the\n datacenter link — the enclave streamed path tracks it at equal state sizes.)"
     );
+
+    // Per-phase breakdown of the streamed arm, from the mig-trace span
+    // partition (virtual time — deterministic per seed). The transition
+    // column counts the ECALLs/OCALLs attributed to the migration's
+    // trace id: 2 × chunks (one destination TRANSFER + one source ACK
+    // per chunk).
+    println!("\n--- streamed path per-phase breakdown (virtual ms; mean over {n} runs) ---");
+    println!(
+        "{:<8} {:>12} {:>12} {:>8} {:>12} {:>13}",
+        "state", "announce", "stream", "stage", "release", "transitions"
+    );
+    println!("{}", "-".repeat(70));
+    for (label, announce, stream, stage, release, trans) in &phase_rows {
+        println!(
+            "{:<8} {:>12.3} {:>12.3} {:>8.3} {:>12.3} {:>13.1}",
+            label, announce, stream, stage, release, trans
+        );
+    }
 
     // Delta-vs-full series on the largest swept geometry: dirty 1 %,
     // 10 %, and 50 % of the entries at the destination, then migrate
@@ -456,6 +502,18 @@ fn e4(n: usize) {
     match std::fs::write(&path, &json) {
         Ok(()) => println!("\nmachine-readable results written to {path}"),
         Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
+
+    // The last streamed sweep cell's full fleet telemetry, exported as
+    // the stable sorted TRACE.json (byte-identical for identical seeds
+    // and sweep geometry).
+    if let Some(telemetry) = trace_export {
+        let trace_path =
+            std::env::var("TRACE_JSON_PATH").unwrap_or_else(|_| "TRACE.json".to_string());
+        match std::fs::write(&trace_path, telemetry.to_json()) {
+            Ok(()) => println!("deterministic trace export written to {trace_path}"),
+            Err(e) => eprintln!("failed to write {trace_path}: {e}"),
+        }
     }
 
     println!("\nThe streamed path pipelines chunks through the attested channel, so its");

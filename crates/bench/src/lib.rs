@@ -667,6 +667,57 @@ pub fn sweep_blob_config() -> mig_core::transfer::TransferConfig {
     }
 }
 
+/// Per-phase breakdown of one streamed migration plus its transition
+/// tally, extracted from the fleet telemetry.
+///
+/// The phases are the destination-side partition recorded by the ME
+/// host: Announce (announcement arrival → first chunk), Stream (first
+/// chunk → completion), Stage (zero-width under speculative staging),
+/// Release (the completing ECALL's virtual cost). All in virtual
+/// milliseconds, so the breakdown is deterministic per seed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseBreakdown {
+    /// Announce span duration in ms.
+    pub announce_ms: f64,
+    /// Stream span duration in ms.
+    pub stream_ms: f64,
+    /// Stage span duration in ms.
+    pub stage_ms: f64,
+    /// Release span duration in ms.
+    pub release_ms: f64,
+    /// ECALL + OCALL transitions attributed to the migration's trace id.
+    pub transitions: u64,
+}
+
+/// Extracts the streamed migration's phase breakdown from `telemetry`:
+/// the unique trace carrying a Stream-phase span. Returns `None` when
+/// no such trace exists (e.g. the blob path's single-shot transfer).
+#[must_use]
+pub fn stream_phase_breakdown(telemetry: &mig_trace::Telemetry) -> Option<PhaseBreakdown> {
+    for trace in telemetry.trace_ids() {
+        let spans = telemetry.spans_for(trace);
+        if !spans.iter().any(|(p, _, _)| *p == mig_trace::Phase::Stream) {
+            continue;
+        }
+        let mut breakdown = PhaseBreakdown::default();
+        for (phase, at, end) in &spans {
+            let ms = (end - at) as f64 / 1e6;
+            match phase {
+                mig_trace::Phase::Announce => breakdown.announce_ms += ms,
+                mig_trace::Phase::Stream => breakdown.stream_ms += ms,
+                mig_trace::Phase::Stage => breakdown.stage_ms += ms,
+                mig_trace::Phase::Release => breakdown.release_ms += ms,
+                mig_trace::Phase::Negotiate => {}
+            }
+        }
+        if let Some(tally) = telemetry.transitions.by_trace.get(&trace) {
+            breakdown.transitions = tally.ecalls + tally.ocalls;
+        }
+        return Some(breakdown);
+    }
+    None
+}
+
 /// Runs one full enclave migration in a fresh datacenter, returning
 /// `(virtual_duration, wall_duration)`.
 ///

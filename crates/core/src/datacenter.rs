@@ -156,6 +156,7 @@ impl Datacenter {
             endpoint.clone(),
             enclave,
             self.world.ias().clone(),
+            self.world.clock(),
         )));
         self.me_hosts.insert(machine_id, Arc::clone(&host));
         self.me_policies.insert(machine_id, policy.clone());
@@ -661,6 +662,27 @@ impl Datacenter {
             .ok_or_else(|| SgxError::Enclave("no persisted state on disk".into()))?;
         self.stop_app(instance);
         self.deploy_app(instance, machine, image, app, InitRequest::Restore { blob })
+    }
+
+    /// Merged telemetry across every machine's ME host, in machine-id
+    /// order: trace events (stably re-sorted by timestamp), additive
+    /// counters, machine-scoped gauges, merged histograms, and the
+    /// fleet's ECALL/OCALL transition tally. Deterministic for a given
+    /// seed — `to_json()` of two same-seed runs is byte-identical.
+    ///
+    /// # Errors
+    ///
+    /// Enclave errors from any machine's `TELEMETRY` ECALL propagate.
+    pub fn fleet_telemetry(&mut self) -> Result<mig_trace::Telemetry, SgxError> {
+        let mut machines: Vec<MachineId> = self.me_hosts.keys().copied().collect();
+        machines.sort_by_key(|m| m.0);
+        let mut fleet = mig_trace::Telemetry::default();
+        for machine in machines {
+            let host = self.me_host(machine);
+            let telemetry = host.lock().telemetry()?;
+            fleet.merge(&telemetry);
+        }
+        Ok(fleet)
     }
 
     /// Pumps the world until idle.

@@ -9,12 +9,17 @@
 
 use crate::harness::{encode_init, open_envelope, ops as lib_ops};
 use crate::library::InitRequest;
-use crate::me::{ops as me_ops, read_opt, MeAction, RaResponseAuth};
+use crate::me::{ops as me_ops, read_opt, MeAction, RaResponseAuth, TelemetryReport};
 use crate::remote_attest::RaHello;
 use crate::transfer::checkpoint::CheckpointStore;
+use cloud_sim::clock::{SimClock, SimTime};
 use cloud_sim::disk::UntrustedDisk;
 use cloud_sim::network::{Endpoint, Network};
 use cloud_sim::world::Service;
+use mig_trace::{
+    trace_from_label, Edge, Event, EventKind, MetricsRegistry, Phase, Recorder, Telemetry, TraceId,
+    TransitionCount, LATENCY_BOUNDS_NS,
+};
 use sgx_sim::enclave::EnclaveHandle;
 use sgx_sim::ias::AttestationService;
 use sgx_sim::machine::MachineId;
@@ -22,18 +27,51 @@ use sgx_sim::measurement::MrEnclave;
 use sgx_sim::quote::Quote;
 use sgx_sim::wire::{WireReader, WireWriter};
 use sgx_sim::SgxError;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::time::Duration;
 
 /// Parsed output of the ME's `LA_MSG2` ECALL: msg3, attested
 /// measurement, optional forward ciphertext.
 type LaMsg2Output = (Vec<u8>, MrEnclave, Option<Vec<u8>>);
 /// Parsed output of the ME's `TRANSFER` ECALL: kind, measurement,
-/// optional forward ciphertext, optional ack ciphertext.
-type TransferOutput = (u8, MrEnclave, Option<Vec<u8>>, Option<Vec<u8>>);
+/// optional trace id, optional forward ciphertext, optional ack
+/// ciphertext.
+type TransferOutput = (
+    u8,
+    MrEnclave,
+    Option<TraceId>,
+    Option<Vec<u8>>,
+    Option<Vec<u8>>,
+);
 /// Parsed output of the ME's `ACK` ECALL: kind, measurement, optional
-/// completion ciphertext, and follow-on stream frames for the peer.
-type AckOutput = (u8, MrEnclave, Option<Vec<u8>>, Vec<Vec<u8>>);
+/// trace id, optional completion ciphertext, and follow-on stream
+/// frames for the peer.
+type AckOutput = (
+    u8,
+    MrEnclave,
+    Option<TraceId>,
+    Option<Vec<u8>>,
+    Vec<Vec<u8>>,
+);
+
+/// Reads the optional 8-byte trace id the extended ECALL outputs carry.
+fn read_trace(r: &mut WireReader<'_>) -> Result<Option<TraceId>, SgxError> {
+    Ok(match read_opt(r)? {
+        Some(bytes) => Some(bytes.try_into().map_err(|_| SgxError::Decode)?),
+        None => None,
+    })
+}
+
+/// Duration → whole nanoseconds, saturating (virtual times fit easily).
+fn ns_u64(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Short stable tag for an enclave measurement in gauge names (first
+/// four measurement bytes, hex). Measurements are public identities.
+fn mr_tag(mr: &MrEnclave) -> String {
+    mr.0[..4].iter().map(|b| format!("{b:02x}")).collect()
+}
 
 /// How many library persists elapse between durable checkpoint-store
 /// generations written by an [`AppHost`].
@@ -89,21 +127,51 @@ fn unframe(bytes: &[u8]) -> Result<(u8, Vec<u8>), SgxError> {
 // MeHost
 // ---------------------------------------------------------------------
 
+/// Destination-side bookkeeping for one inbound chunk stream, in
+/// virtual time: announcement arrival and first chunk arrival. The
+/// completion frame's arrival closes the partition (see
+/// [`MeHost::on_ra_transfer`]).
+struct InboundSpan {
+    /// Arrival of the `ChunkStart`/`DeltaStart` announcement.
+    t0: SimTime,
+    /// Arrival of the first data chunk, once seen.
+    first_chunk: Option<SimTime>,
+}
+
 /// The untrusted host of a machine's Migration Enclave, running in the
 /// management VM and registered as the machine's `"me"` service.
 pub struct MeHost {
     endpoint: Endpoint,
     enclave: EnclaveHandle,
     ias: AttestationService,
+    /// Shared handle on the world's deterministic clock; every trace
+    /// timestamp and latency observation derives from it.
+    clock: SimClock,
     /// App endpoint per attested enclave measurement (routing only).
     app_by_mr: HashMap<MrEnclave, Endpoint>,
     /// Reverse: attested measurement per app endpoint.
     mr_by_app: HashMap<Endpoint, MrEnclave>,
+    /// Bounded ring buffer of migration trace events.
+    recorder: Recorder,
+    /// Host-side metrics: latency histograms and wire-layer gauges.
+    registry: MetricsRegistry,
+    /// Open inbound streams by trace id (span bookkeeping).
+    inbound: BTreeMap<TraceId, InboundSpan>,
+    /// Open channel negotiations by pseudo trace id (see
+    /// [`MeHost::channel_trace`]).
+    negotiating: BTreeMap<TraceId, SimTime>,
+    /// Virtual send time of the last stream frame per peer machine;
+    /// chunk acks from that peer observe the round trip against it.
+    last_stream_send: HashMap<MachineId, SimTime>,
+    /// Enclave quarantine-ledger entries already mirrored as edges.
+    quarantines_seen: usize,
     /// Wall-clock duration of the last `TRANSFER` ECALL that *released*
-    /// incoming migration data (forwarded or parked it) — the
-    /// destination's serialized time-to-release from the arrival of the
-    /// frame that completed the payload. Benchmarks read this to
-    /// compare speculative restore against unseal-after-complete.
+    /// incoming migration data (forwarded or parked it) — the real
+    /// compute cost of the release, which the speculative-restore
+    /// benchmark compares against unseal-after-complete. Deliberately
+    /// wall-clock and therefore excluded from the deterministic trace
+    /// export; the virtual-time quantity lives in the
+    /// `me.time_to_release_ns` histogram.
     release_latency: Option<Duration>,
     /// Non-fatal protocol errors observed (visible to tests).
     pub errors: Vec<String>,
@@ -122,13 +190,25 @@ impl std::fmt::Debug for MeHost {
 impl MeHost {
     /// Creates the host around a loaded, provisioned ME enclave.
     #[must_use]
-    pub fn new(endpoint: Endpoint, enclave: EnclaveHandle, ias: AttestationService) -> Self {
+    pub fn new(
+        endpoint: Endpoint,
+        enclave: EnclaveHandle,
+        ias: AttestationService,
+        clock: SimClock,
+    ) -> Self {
         MeHost {
             endpoint,
             enclave,
             ias,
+            clock,
             app_by_mr: HashMap::new(),
             mr_by_app: HashMap::new(),
+            recorder: Recorder::default(),
+            registry: MetricsRegistry::default(),
+            inbound: BTreeMap::new(),
+            negotiating: BTreeMap::new(),
+            last_stream_send: HashMap::new(),
+            quarantines_seen: 0,
             release_latency: None,
             errors: Vec::new(),
         }
@@ -146,6 +226,166 @@ impl MeHost {
     #[must_use]
     pub fn enclave(&self) -> &EnclaveHandle {
         &self.enclave
+    }
+
+    /// Pseudo trace id for channel-scoped events (negotiation spans,
+    /// retries): the channel has no transfer nonce yet, so both ends
+    /// derive the id from the directed `source → destination` label.
+    fn channel_trace(source: MachineId, destination: MachineId) -> TraceId {
+        trace_from_label(&format!("m{}->m{}", source.0, destination.0))
+    }
+
+    fn record_edge(&mut self, trace: TraceId, at: SimTime, edge: Edge) {
+        self.recorder.record_event(Event {
+            at_ns: at.0,
+            trace,
+            kind: EventKind::Edge(edge),
+        });
+    }
+
+    fn negotiate_begin(&mut self, trace: TraceId) {
+        let now = self.clock.now();
+        self.negotiating.entry(trace).or_insert(now);
+    }
+
+    fn negotiate_end(&mut self, trace: TraceId) {
+        if let Some(t0) = self.negotiating.remove(&trace) {
+            let now = self.clock.now();
+            self.recorder.record_event(Event {
+                at_ns: t0.0,
+                trace,
+                kind: EventKind::Span {
+                    phase: Phase::Negotiate,
+                    end_ns: now.0,
+                },
+            });
+        }
+    }
+
+    /// Tracks an inbound stream-progress frame: the announcement stamps
+    /// the stream's arrival, the first data chunk splits Announce from
+    /// Stream.
+    fn track_inbound(&mut self, trace: TraceId, now: SimTime, is_chunk: bool) {
+        let span = self.inbound.entry(trace).or_insert(InboundSpan {
+            t0: now,
+            first_chunk: None,
+        });
+        if is_chunk && span.first_chunk.is_none() {
+            span.first_chunk = Some(now);
+        }
+    }
+
+    /// Closes the destination-side phase partition of a completed
+    /// inbound stream: contiguous Announce/Stream/Stage/Release spans
+    /// whose durations sum to the total time-to-release. Speculative
+    /// staging overlaps the stream, so Stage is zero-width at the
+    /// completion point by construction; Release is the virtual time
+    /// the completing ECALL itself accounted.
+    fn finish_inbound(&mut self, trace: TraceId, now: SimTime, release_ns: u64) {
+        let span = self.inbound.remove(&trace).unwrap_or(InboundSpan {
+            t0: now,
+            first_chunk: None,
+        });
+        let t0 = span.t0.0;
+        let t1 = span.first_chunk.map_or(now.0, |t| t.0);
+        let t2 = now.0;
+        let released = t2.saturating_add(release_ns);
+        for (phase, at, end) in [
+            (Phase::Announce, t0, t1),
+            (Phase::Stream, t1, t2),
+            (Phase::Stage, t2, t2),
+            (Phase::Release, t2, released),
+        ] {
+            self.recorder.record_event(Event {
+                at_ns: at,
+                trace,
+                kind: EventKind::Span { phase, end_ns: end },
+            });
+        }
+        self.registry
+            .observe_ns("me.time_to_release_ns", LATENCY_BOUNDS_NS, released - t0);
+    }
+
+    /// Mirrors enclave quarantine-ledger entries not yet seen as
+    /// Quarantine edges, stamped with the current virtual time (the
+    /// ledger itself is orderless on purpose — the enclave does not
+    /// reveal when it quarantined).
+    fn note_quarantines(&mut self, quarantined: &[[u8; 8]]) {
+        let now = self.clock.now();
+        for trace in quarantined.iter().skip(self.quarantines_seen) {
+            self.record_edge(*trace, now, Edge::Quarantine);
+            self.inbound.remove(trace);
+        }
+        self.quarantines_seen = quarantined.len();
+    }
+
+    /// Pulls the enclave's quarantine ledger after a rejected
+    /// `TRANSFER` ECALL (best effort — telemetry must not mask the
+    /// protocol error already recorded).
+    fn sync_quarantine_edges(&mut self) {
+        let Ok(out) = self.enclave.ecall(me_ops::TELEMETRY, &[]) else {
+            return;
+        };
+        let Ok(report) = TelemetryReport::from_bytes(&out) else {
+            return;
+        };
+        self.note_quarantines(&report.quarantined);
+    }
+
+    /// Snapshot of this machine's full telemetry: host-recorded trace
+    /// events and histograms joined with the enclave's counters and
+    /// wire-layer gauges (via the `TELEMETRY` ECALL) and the simulated
+    /// CPU's ECALL/OCALL transition tally. Deterministic for a given
+    /// seed; gauges are machine-scoped (`m<id>.…`) so fleet merges
+    /// stay unambiguous, counters are plain names and fleet-additive.
+    ///
+    /// # Errors
+    ///
+    /// Enclave errors propagate; malformed telemetry output surfaces
+    /// as [`SgxError::Decode`].
+    pub fn telemetry(&mut self) -> Result<Telemetry, SgxError> {
+        let report = TelemetryReport::from_bytes(&self.enclave.ecall(me_ops::TELEMETRY, &[])?)?;
+        self.note_quarantines(&report.quarantined);
+        let mut registry = self.registry.clone();
+        for (name, value) in &report.counters {
+            registry.bump_counter(name, *value);
+        }
+        let m = self.endpoint.machine.0;
+        registry.set_gauge(
+            &format!("m{m}.cache.bytes"),
+            i64::try_from(report.cache_bytes).unwrap_or(i64::MAX),
+        );
+        for link in &report.links {
+            let d = link.destination.0;
+            registry.set_gauge(
+                &format!("m{m}.link.m{d}.chunk_size"),
+                i64::from(link.chunk_size),
+            );
+            registry.set_gauge(&format!("m{m}.link.m{d}.window"), i64::from(link.window));
+            registry.set_gauge(&format!("m{m}.link.m{d}.cell"), i64::from(link.cell));
+            for (mr, deficit) in &link.deficits {
+                registry.set_gauge(
+                    &format!("m{m}.link.m{d}.deficit.{}", mr_tag(mr)),
+                    i64::try_from(*deficit).unwrap_or(i64::MAX),
+                );
+            }
+        }
+        let mut telemetry = Telemetry::from_parts(&self.recorder, &registry);
+        let tally = self.enclave.transition_tally();
+        telemetry.transitions.total = TransitionCount {
+            ecalls: tally.total.ecalls,
+            ocalls: tally.total.ocalls,
+        };
+        for (trace, c) in tally.by_trace {
+            telemetry.transitions.by_trace.insert(
+                trace,
+                TransitionCount {
+                    ecalls: c.ecalls,
+                    ocalls: c.ocalls,
+                },
+            );
+        }
+        Ok(telemetry)
     }
 
     fn fail(&mut self, context: &str, err: impl std::fmt::Display) {
@@ -185,6 +425,7 @@ impl MeHost {
             MeAction::ConnectRemote { destination, hello } => {
                 let me = Endpoint::new(destination, ME_SERVICE);
                 net.send(&self.endpoint, &me, frame(tags::RA_HELLO, &hello));
+                self.negotiate_begin(Self::channel_trace(self.endpoint.machine, destination));
             }
             MeAction::SendRemote {
                 destination,
@@ -192,6 +433,7 @@ impl MeHost {
             } => {
                 let me = Endpoint::new(destination, ME_SERVICE);
                 net.send(&self.endpoint, &me, frame(tags::RA_TRANSFER, &transfer));
+                self.last_stream_send.insert(destination, self.clock.now());
             }
             MeAction::StreamRemote {
                 destination,
@@ -201,6 +443,7 @@ impl MeHost {
                 for ct in frames {
                     net.send(&self.endpoint, &me, frame(tags::RA_TRANSFER, &ct));
                 }
+                self.last_stream_send.insert(destination, self.clock.now());
             }
             MeAction::AckSource { source, ack } => {
                 let me = Endpoint::new(source, ME_SERVICE);
@@ -253,6 +496,8 @@ impl MeHost {
         w.array(&mr.0);
         w.u64(destination.0);
         let action = self.enclave.ecall(me_ops::RETRY, &w.finish())?;
+        let retry_trace = Self::channel_trace(self.endpoint.machine, destination);
+        self.record_edge(retry_trace, self.clock.now(), Edge::Retry);
         self.handle_action(net, &action);
         Ok(())
     }
@@ -313,6 +558,7 @@ impl MeHost {
             Ok(h) => h,
             Err(e) => return self.fail("parse ra hello", e),
         };
+        self.negotiate_begin(Self::channel_trace(from.machine, self.endpoint.machine));
         let Some(evidence) = self.ias_evidence(net, &hello.quote.to_bytes()) else {
             return;
         };
@@ -357,9 +603,16 @@ impl MeHost {
         })();
         match parsed {
             Ok((finish, transfers)) => {
+                // The channel is established on our side once the
+                // finish message goes out.
+                self.negotiate_end(Self::channel_trace(self.endpoint.machine, from.machine));
                 net.send(&self.endpoint, from, frame(tags::RA_FINISH, &finish));
+                let streamed = !transfers.is_empty();
                 for transfer in transfers {
                     net.send(&self.endpoint, from, frame(tags::RA_TRANSFER, &transfer));
+                }
+                if streamed {
+                    self.last_stream_send.insert(from.machine, self.clock.now());
                 }
             }
             Err(e) => self.fail("parse ra response output", e),
@@ -370,8 +623,9 @@ impl MeHost {
         let mut w = WireWriter::new();
         w.u64(from.machine.0);
         w.bytes(payload);
-        if let Err(e) = self.enclave.ecall(me_ops::RA_FINISH, &w.finish()) {
-            self.fail("ra finish", e);
+        match self.enclave.ecall(me_ops::RA_FINISH, &w.finish()) {
+            Ok(_) => self.negotiate_end(Self::channel_trace(from.machine, self.endpoint.machine)),
+            Err(e) => self.fail("ra finish", e),
         }
     }
 
@@ -379,28 +633,49 @@ impl MeHost {
         let mut w = WireWriter::new();
         w.u64(from.machine.0);
         w.bytes(ct);
+        let input = w.finish();
         let ecall_start = std::time::Instant::now();
-        let out = match self.enclave.ecall(me_ops::TRANSFER, &w.finish()) {
+        let virt_before = self.enclave.peek_virtual_time();
+        let out = match self.enclave.ecall(me_ops::TRANSFER, &input) {
             Ok(out) => out,
-            Err(e) => return self.fail("ra transfer", e),
+            Err(e) => {
+                // The rejection may have quarantined the inbound
+                // stream; mirror new ledger entries as edges.
+                self.fail("ra transfer", e);
+                self.sync_quarantine_edges();
+                return;
+            }
         };
         let ecall_took = ecall_start.elapsed();
+        let release_ns = ns_u64(self.enclave.peek_virtual_time().saturating_sub(virt_before));
         let parsed: Result<TransferOutput, SgxError> = (|| {
             let mut r = WireReader::new(&out);
             let kind = r.u8()?;
             let mr = MrEnclave(r.array()?);
+            let trace = read_trace(&mut r)?;
             let forward = read_opt(&mut r)?;
             let ack = read_opt(&mut r)?;
             r.finish()?;
-            Ok((kind, mr, forward, ack))
+            Ok((kind, mr, trace, forward, ack))
         })();
         match parsed {
-            Ok((kind, mr, forward, ack)) => {
-                // Kinds 1 (forwarded) and 2 (stored) mean this ECALL
-                // completed and released a payload: its duration is the
-                // destination's time-to-release.
-                if kind == 1 || kind == 2 {
-                    self.release_latency = Some(ecall_took);
+            Ok((kind, mr, trace, forward, ack)) => {
+                let now = self.clock.now();
+                match (kind, trace) {
+                    // Kinds 1 (forwarded) and 2 (stored) mean this
+                    // ECALL completed and released a payload; with a
+                    // trace id it closed a chunk stream.
+                    (1 | 2, Some(tid)) => {
+                        self.finish_inbound(tid, now, release_ns);
+                        self.release_latency = Some(ecall_took);
+                    }
+                    (1 | 2, None) => self.release_latency = Some(ecall_took),
+                    // Stream progress: the announcement carries no ack
+                    // yet; every data chunk produces one.
+                    (3, Some(tid)) => self.track_inbound(tid, now, ack.is_some()),
+                    // Delta NACK: fell back to a full stream.
+                    (4, Some(tid)) => self.record_edge(tid, now, Edge::DeltaFallback),
+                    _ => {}
                 }
                 if let Some(ct) = forward {
                     if let Some(app) = self.app_by_mr.get(&mr).cloned() {
@@ -429,6 +704,7 @@ impl MeHost {
             let mut r = WireReader::new(&out);
             let kind = r.u8()?;
             let mr = MrEnclave(r.array()?);
+            let trace = read_trace(&mut r)?;
             let complete = read_opt(&mut r)?;
             let n = r.u32()? as usize;
             let mut frames = Vec::with_capacity(n);
@@ -436,10 +712,27 @@ impl MeHost {
                 frames.push(r.bytes_vec()?);
             }
             r.finish()?;
-            Ok((kind, mr, complete, frames))
+            Ok((kind, mr, trace, complete, frames))
         })();
         match parsed {
-            Ok((kind, mr, complete, frames)) => {
+            Ok((kind, mr, trace, complete, frames)) => {
+                let now = self.clock.now();
+                match (kind, trace) {
+                    // Chunk ack: round trip since the last stream
+                    // frame we sent towards that peer.
+                    (3, Some(_)) => {
+                        if let Some(sent) = self.last_stream_send.get(&from.machine) {
+                            self.registry.observe_ns(
+                                "me.chunk_rtt_ns",
+                                LATENCY_BOUNDS_NS,
+                                ns_u64(now.since(*sent)),
+                            );
+                        }
+                    }
+                    // Delta NACK from the destination: fall back.
+                    (4, Some(tid)) => self.record_edge(tid, now, Edge::DeltaFallback),
+                    _ => {}
+                }
                 if kind == 1 {
                     // Delivered: notify the (frozen) source app if known.
                     if let (Some(ct), Some(app)) = (complete, self.app_by_mr.get(&mr).cloned()) {
@@ -448,8 +741,12 @@ impl MeHost {
                 }
                 // Follow-on stream frames (window slide / resume) go back
                 // to the destination that acked.
+                let streamed = !frames.is_empty();
                 for ct in frames {
                     net.send(&self.endpoint, from, frame(tags::RA_TRANSFER, &ct));
+                }
+                if streamed {
+                    self.last_stream_send.insert(from.machine, now);
                 }
             }
             Err(e) => self.fail("parse ack output", e),
@@ -510,6 +807,14 @@ impl MeHost {
             1 => Some((r.u32()?, r.u32()?)),
             _ => None,
         };
+        if let Some((chunk_size, window)) = result {
+            let m = self.endpoint.machine.0;
+            let d = destination.0;
+            self.registry
+                .set_gauge(&format!("m{m}.link.m{d}.chunk_size"), i64::from(chunk_size));
+            self.registry
+                .set_gauge(&format!("m{m}.link.m{d}.window"), i64::from(window));
+        }
         Ok(result)
     }
 
@@ -548,6 +853,21 @@ impl MeHost {
         }
         let cell = r.u32()?;
         r.finish()?;
+        let m = self.endpoint.machine.0;
+        let d = destination.0;
+        self.registry
+            .set_gauge(&format!("m{m}.link.m{d}.cell"), i64::from(cell));
+        for s in &streams {
+            let tag = mr_tag(&s.mr_enclave);
+            self.registry.set_gauge(
+                &format!("m{m}.link.m{d}.stream.{tag}.acked"),
+                i64::from(s.acked),
+            );
+            self.registry.set_gauge(
+                &format!("m{m}.link.m{d}.stream.{tag}.in_flight"),
+                i64::from(s.in_flight),
+            );
+        }
         Ok((streams, cell))
     }
 }

@@ -33,9 +33,11 @@
 
 pub mod persist;
 pub mod session;
+pub mod telemetry;
 pub mod wire;
 
 pub use session::{MeAction, ReceiverFsm, ReceiverRelease, SenderFsm, StreamProgress};
+pub use telemetry::{LinkTelemetry, TelemetryReport};
 
 use crate::error::MigError;
 use crate::msgs::MeToLib;
@@ -101,6 +103,11 @@ pub mod ops {
     /// Adaptive-controller state query for a destination link
     /// (diagnostics: current chunk size and send window).
     pub const LINK_STAT: u32 = 15;
+    /// Export the ME's telemetry: migration counters, live wire-layer
+    /// gauges, and the quarantine ledger (trace ids only — one-way
+    /// hashes of the transfer nonce; the nonce never leaves the
+    /// enclave). Read-only.
+    pub const TELEMETRY: u32 = 16;
 }
 
 /// The canonical Migration Enclave image. Identical on every machine, as
@@ -288,6 +295,9 @@ pub struct MigrationEnclave {
     /// controller, DRR scheduler, wire cell). Ephemeral — a restarted
     /// ME re-seeds them from the provisioned config.
     pub(crate) shapers: HashMap<MachineId, LinkShaper>,
+    /// Migration telemetry counters and the quarantine ledger, exported
+    /// via [`ops::TELEMETRY`]. Ephemeral by design (see [`telemetry`]).
+    pub(crate) telemetry: telemetry::MeTelemetry,
 }
 
 impl std::fmt::Debug for MigrationEnclave {
@@ -570,13 +580,14 @@ impl EnclaveCode for MigrationEnclave {
             ops::RA_HELLO => self.op_ra_hello(env, input),
             ops::RA_RESPONSE => self.op_ra_response(env, input),
             ops::RA_FINISH => self.op_ra_finish(env, input),
-            ops::TRANSFER => self.op_transfer(input),
+            ops::TRANSFER => self.op_transfer(env, input),
             ops::ACK => self.op_ack(env, input),
             ops::RETRY => self.op_retry(env, input),
             ops::PERSIST => self.op_persist(env),
             ops::RESTORE => self.op_restore(env, input),
             ops::STREAM_STAT => self.op_stream_stat(input),
             ops::LINK_STAT => self.op_link_stat(input),
+            ops::TELEMETRY => self.op_telemetry(),
             _ => Err(MigError::Protocol("unknown opcode")),
         };
         result.map_err(SgxError::from)

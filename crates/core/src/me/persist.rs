@@ -56,12 +56,15 @@ pub(crate) struct CachedGeneration {
 /// (which NACKs a missing base back to a full stream) the source has no
 /// fallback once the delta is announced. The budget may be exceeded
 /// transiently while such streams are active.
+///
+/// Returns the number of entries evicted (telemetry).
 fn evict_lru(
     cache: &mut HashMap<MrEnclave, CachedGeneration>,
     budget: u64,
     pinned: &HashSet<MrEnclave>,
-) {
+) -> u64 {
     let mut total: u64 = cache.values().map(|c| c.state.len() as u64).sum();
+    let mut evicted = 0;
     while total > budget {
         let Some((victim, len)) = cache
             .iter()
@@ -73,7 +76,9 @@ fn evict_lru(
         };
         cache.remove(&victim);
         total -= len;
+        evicted += 1;
     }
+    evicted
 }
 
 /// The per-measurement generation cache plus its monotonic LRU clock.
@@ -105,7 +110,8 @@ impl GenerationCache {
     /// Inserts a generation and evicts least-recently-used entries
     /// beyond `budget` (entries in `pinned` survive). An entry larger
     /// than the whole budget is itself evicted — the next repeat
-    /// migration then simply streams in full.
+    /// migration then simply streams in full. Returns how many entries
+    /// the insert evicted (telemetry).
     pub(crate) fn insert(
         &mut self,
         mr: MrEnclave,
@@ -113,7 +119,7 @@ impl GenerationCache {
         state: Arc<[u8]>,
         budget: u64,
         pinned: &HashSet<MrEnclave>,
-    ) {
+    ) -> u64 {
         self.clock += 1;
         self.entries.insert(
             mr,
@@ -123,7 +129,13 @@ impl GenerationCache {
                 last_used: self.clock,
             },
         );
-        evict_lru(&mut self.entries, budget, pinned);
+        evict_lru(&mut self.entries, budget, pinned)
+    }
+
+    /// Total retained state bytes across every cached generation (the
+    /// quantity [`evict_lru`] bounds; exported as a telemetry gauge).
+    pub(crate) fn total_bytes(&self) -> u64 {
+        self.entries.values().map(|c| c.state.len() as u64).sum()
     }
 
     /// The retained entry for `mr` iff it content-addresses the base
@@ -198,7 +210,8 @@ impl MigrationEnclave {
             })
             .map(|(mr, _)| *mr)
             .collect();
-        self.cache.insert(mr, generation, state, budget, &pinned);
+        let evicted = self.cache.insert(mr, generation, state, budget, &pinned);
+        self.telemetry.cache_evictions += evicted;
     }
 
     /// AAD tag binding sealed ME-state blobs.

@@ -24,7 +24,9 @@ use crate::library::state::MigrationData;
 use crate::me::wire::{self, LinkShaper, StreamDemand};
 use crate::me::MigrationEnclave;
 use crate::msgs::{LibToMe, MeToLib, MeToMe};
-use crate::transfer::chunker::{chunk_count, ChunkAssembler, ChunkMac, ChunkStream, TransferNonce};
+use crate::transfer::chunker::{
+    chunk_count, trace_id, ChunkAssembler, ChunkMac, ChunkStream, TransferNonce,
+};
 use crate::transfer::delta::{self, DeltaManifest, PageDigests, StagedApply};
 use crate::transfer::MIN_CHUNK_SIZE;
 use sgx_sim::enclave::EnclaveEnv;
@@ -1277,6 +1279,7 @@ impl MigrationEnclave {
             frames.push(wire::seal_chunk(cache, channel, *idx, cell));
             *idx += 1;
         }
+        self.telemetry.chunks_sealed += grants.len() as u64;
         for (mr, n) in next {
             let stream = self
                 .outgoing
@@ -1368,6 +1371,7 @@ impl MigrationEnclave {
             delta_base,
         ))?;
         self.out_streams.insert(mr, stream);
+        self.telemetry.announcements += 1;
         Ok(start_msg)
     }
 
@@ -1489,6 +1493,7 @@ impl MigrationEnclave {
                 .get_mut(&mr)
                 .ok_or(MigError::SessionInvariant("queued migration vanished"))?;
             mig.fsm.dispatch_single_shot()?;
+            self.telemetry.singleshot_transfers += 1;
             let msg = MeToMe::Transfer {
                 mr_enclave: mr,
                 data: mig.data.clone(),
@@ -1508,6 +1513,7 @@ impl MigrationEnclave {
                 .get_mut(&mr)
                 .ok_or(MigError::SessionInvariant("queued migration vanished"))?;
             let nonce = mig.fsm.dispatch_resume()?;
+            self.telemetry.resume_requests += 1;
             let msg = MeToMe::ResumeRequest {
                 mr_enclave: mr,
                 nonce,
@@ -1693,7 +1699,9 @@ impl MigrationEnclave {
 
     /// Accepts complete incoming migration data: parks it, forwards to a
     /// matching attested enclave if present, or tells the source it is
-    /// stored. Returns the encoded `TRANSFER` output.
+    /// stored. Returns the encoded `TRANSFER` output. `trace` is the
+    /// stream's public trace id (`None` for single-shot transfers,
+    /// which have no nonce).
     fn accept_incoming(
         &mut self,
         source: MachineId,
@@ -1701,6 +1709,7 @@ impl MigrationEnclave {
         data: MigrationData,
         state: Arc<[u8]>,
         final_ack: Option<Vec<u8>>,
+        trace: Option<[u8; 8]>,
     ) -> Result<Vec<u8>, MigError> {
         // Park the data regardless; it is only dropped once the
         // destination library confirms with DONE (crash safety). The
@@ -1713,6 +1722,7 @@ impl MigrationEnclave {
             let mut w = WireWriter::new();
             w.u8(1); // forwarded
             w.array(&mr_enclave.0);
+            write_opt(&mut w, trace.as_ref().map(<[u8; 8]>::as_slice));
             write_opt(&mut w, Some(&forward));
             write_opt(&mut w, final_ack.as_deref());
             Ok(w.finish())
@@ -1735,25 +1745,46 @@ impl MigrationEnclave {
             let mut w = WireWriter::new();
             w.u8(2); // stored
             w.array(&mr_enclave.0);
+            write_opt(&mut w, trace.as_ref().map(<[u8; 8]>::as_slice));
             write_opt(&mut w, None);
             write_opt(&mut w, Some(&ack));
             Ok(w.finish())
         }
     }
 
-    /// Encodes the common "stream progress" TRANSFER output: kind 3,
-    /// the enclave measurement, no forward, and an optional reply frame
-    /// for the source.
-    fn stream_progress_output(mr_enclave: MrEnclave, reply: Option<&[u8]>) -> Vec<u8> {
+    /// Encodes the common "stream progress" TRANSFER output: kind 3
+    /// (or kind 4 for a delta-fallback NACK), the enclave measurement,
+    /// the stream's public trace id, no forward, and an optional reply
+    /// frame for the source.
+    fn stream_progress_kind(
+        kind: u8,
+        mr_enclave: MrEnclave,
+        trace: [u8; 8],
+        reply: Option<&[u8]>,
+    ) -> Vec<u8> {
         let mut w = WireWriter::new();
-        w.u8(3); // stream progress
+        w.u8(kind);
         w.array(&mr_enclave.0);
+        write_opt(&mut w, Some(&trace));
         write_opt(&mut w, None);
         write_opt(&mut w, reply);
         w.finish()
     }
 
-    pub(super) fn op_transfer(&mut self, input: &[u8]) -> Result<Vec<u8>, MigError> {
+    /// Kind-3 stream progress (see [`Self::stream_progress_kind`]).
+    fn stream_progress_output(
+        mr_enclave: MrEnclave,
+        trace: [u8; 8],
+        reply: Option<&[u8]>,
+    ) -> Vec<u8> {
+        Self::stream_progress_kind(3, mr_enclave, trace, reply)
+    }
+
+    pub(super) fn op_transfer(
+        &mut self,
+        env: &mut EnclaveEnv<'_>,
+        input: &[u8],
+    ) -> Result<Vec<u8>, MigError> {
         let mut r = WireReader::new(input);
         let source = MachineId(r.u64()?);
         let ciphertext = r.bytes_vec()?;
@@ -1772,7 +1803,7 @@ impl MigrationEnclave {
                 mr_enclave,
                 data,
                 state,
-            } => self.accept_incoming(source, mr_enclave, data, state.into(), None),
+            } => self.accept_incoming(source, mr_enclave, data, state.into(), None, None),
             MeToMe::ChunkStart {
                 mr_enclave,
                 nonce,
@@ -1796,7 +1827,11 @@ impl MigrationEnclave {
                     speculative,
                 )?;
                 self.inbound.insert(nonce, fsm);
-                Ok(Self::stream_progress_output(mr_enclave, None))
+                Ok(Self::stream_progress_output(
+                    mr_enclave,
+                    trace_id(&nonce),
+                    None,
+                ))
             }
             MeToMe::DeltaStart {
                 mr_enclave,
@@ -1840,7 +1875,11 @@ impl MigrationEnclave {
                     self.cache.touch(&mr_enclave);
                 }
                 self.inbound.insert(nonce, fsm);
-                Ok(Self::stream_progress_output(mr_enclave, None))
+                Ok(Self::stream_progress_output(
+                    mr_enclave,
+                    trace_id(&nonce),
+                    None,
+                ))
             }
             MeToMe::Chunk {
                 nonce,
@@ -1862,12 +1901,19 @@ impl MigrationEnclave {
                     // manipulation below the channel: quarantine *this*
                     // stream only (drop its partial state; a resume
                     // restarts it from chunk 0) and leave every other
-                    // multiplexed stream untouched.
+                    // multiplexed stream untouched. The quarantine is
+                    // appended to the telemetry ledger so the host can
+                    // timestamp the edge via `TELEMETRY` after the
+                    // failed ECALL.
                     if !matches!(e, MigError::Transfer("chunk index out of order")) {
                         self.inbound.remove(&nonce);
+                        self.telemetry.quarantines += 1;
+                        self.telemetry.quarantined.push(trace_id(&nonce));
                     }
                     return Err(e);
                 }
+                env.attribute_transition(trace_id(&nonce));
+                self.telemetry.chunks_received += 1;
                 let upto = fsm.next_idx();
                 let mr_enclave = fsm.mr_enclave();
                 if !fsm.is_complete() {
@@ -1878,7 +1924,11 @@ impl MigrationEnclave {
                             peer: ChannelPeer::Source,
                         })?
                         .seal(&MeToMe::ChunkAck { nonce, upto }.to_bytes());
-                    return Ok(Self::stream_progress_output(mr_enclave, Some(&ack)));
+                    return Ok(Self::stream_progress_output(
+                        mr_enclave,
+                        trace_id(&nonce),
+                        Some(&ack),
+                    ));
                 }
                 let fsm = self
                     .inbound
@@ -1919,9 +1969,17 @@ impl MigrationEnclave {
                                 peer: ChannelPeer::Source,
                             })?
                             .seal(&MeToMe::ChunkAck { nonce, upto }.to_bytes());
-                        self.accept_incoming(source, mr_enclave, data, state, Some(ack))
+                        self.accept_incoming(
+                            source,
+                            mr_enclave,
+                            data,
+                            state,
+                            Some(ack),
+                            Some(trace_id(&nonce)),
+                        )
                     }
                     ReceiverRelease::BaseMissing => {
+                        self.telemetry.delta_fallbacks += 1;
                         let nack = self
                             .channels_in
                             .get_mut(&source)
@@ -1929,7 +1987,13 @@ impl MigrationEnclave {
                                 peer: ChannelPeer::Source,
                             })?
                             .seal(&MeToMe::DeltaNack { mr_enclave, nonce }.to_bytes());
-                        Ok(Self::stream_progress_output(mr_enclave, Some(&nack)))
+                        // Kind 4: the host records a delta-fallback edge.
+                        Ok(Self::stream_progress_kind(
+                            4,
+                            mr_enclave,
+                            trace_id(&nonce),
+                            Some(&nack),
+                        ))
                     }
                 }
             }
@@ -1955,19 +2019,31 @@ impl MigrationEnclave {
                         peer: ChannelPeer::Source,
                     })?
                     .seal(&reply.to_bytes());
-                Ok(Self::stream_progress_output(mr_enclave, Some(&ack)))
+                Ok(Self::stream_progress_output(
+                    mr_enclave,
+                    trace_id(&nonce),
+                    Some(&ack),
+                ))
             }
             _ => Err(MigError::Protocol("unexpected ME-to-ME message")),
         }
     }
 
-    /// Encodes the `ACK` ECALL output: kind, MRENCLAVE, optional
+    /// Encodes the `ACK` ECALL output: kind, MRENCLAVE, the acked
+    /// stream's public trace id (when the ack names a nonce), optional
     /// completion ciphertext for the local library, and follow-on stream
     /// frames to send back to the destination.
-    fn ack_output(kind: u8, mr: MrEnclave, complete: Option<&[u8]>, frames: &[Vec<u8>]) -> Vec<u8> {
+    fn ack_output(
+        kind: u8,
+        mr: MrEnclave,
+        trace: Option<[u8; 8]>,
+        complete: Option<&[u8]>,
+        frames: &[Vec<u8>],
+    ) -> Vec<u8> {
         let mut w = WireWriter::new();
         w.u8(kind);
         w.array(&mr.0);
+        write_opt(&mut w, trace.as_ref().map(<[u8; 8]>::as_slice));
         write_opt(&mut w, complete);
         w.u32(frames.len() as u32);
         for frame in frames {
@@ -2033,7 +2109,14 @@ impl MigrationEnclave {
             .ok_or(MigError::SessionInvariant("retained migration vanished"))?
             .fsm;
         if resume {
+            // Chunks past the renegotiated point were already sealed
+            // once and will be sealed again: count the rewind as
+            // retransmissions.
+            let rewound = fsm
+                .stream()
+                .map_or(0, |s| u64::from(s.next_to_send.saturating_sub(upto)));
             fsm.on_resume_point(upto)?;
+            self.telemetry.chunks_retransmitted += rewound;
         } else {
             fsm.on_ack(upto)?;
         }
@@ -2111,7 +2194,13 @@ impl MigrationEnclave {
                 // The channel is free again: dispatch the next queued
                 // migration for this destination, if any.
                 let next = Self::action_frames(self.dispatch_outgoing(env, destination)?);
-                Ok(Self::ack_output(1, mr_enclave, complete.as_deref(), &next))
+                Ok(Self::ack_output(
+                    1,
+                    mr_enclave,
+                    None,
+                    complete.as_deref(),
+                    &next,
+                ))
             }
             MeToMe::Stored { mr_enclave } => {
                 // Destination parked the data; retain ours until DONE —
@@ -2139,9 +2228,10 @@ impl MigrationEnclave {
                     self.cache_insert(mr_enclave, generation, state);
                 }
                 let next = Self::action_frames(self.dispatch_outgoing(env, destination)?);
-                Ok(Self::ack_output(2, mr_enclave, None, &next))
+                Ok(Self::ack_output(2, mr_enclave, None, None, &next))
             }
             MeToMe::ChunkAck { nonce, upto } => {
+                env.attribute_transition(trace_id(&nonce));
                 let (mr, mut frames) = self.advance_stream(destination, nonce, upto, false)?;
                 if upto
                     == self
@@ -2166,13 +2256,25 @@ impl MigrationEnclave {
                         self.dispatch_outgoing(env, destination)?,
                     ));
                 }
-                Ok(Self::ack_output(3, mr, None, &frames))
+                Ok(Self::ack_output(
+                    3,
+                    mr,
+                    Some(trace_id(&nonce)),
+                    None,
+                    &frames,
+                ))
             }
             MeToMe::Resume { nonce, from_idx } => {
                 // The destination told us where to pick the stream back
                 // up after a crash (0 restarts, announcement included).
                 let (mr, frames) = self.advance_stream(destination, nonce, from_idx, true)?;
-                Ok(Self::ack_output(3, mr, None, &frames))
+                Ok(Self::ack_output(
+                    3,
+                    mr,
+                    Some(trace_id(&nonce)),
+                    None,
+                    &frames,
+                ))
             }
             MeToMe::DeltaNack { mr_enclave, nonce } => {
                 // The destination does not hold our delta base: drop the
@@ -2190,8 +2292,16 @@ impl MigrationEnclave {
                     .ok_or(MigError::Protocol("no retained migration data"))?
                     .fsm
                     .on_delta_nack()?;
+                self.telemetry.delta_fallbacks += 1;
                 let frames = Self::action_frames(self.dispatch_outgoing(env, destination)?);
-                Ok(Self::ack_output(3, mr, None, &frames))
+                // Kind 4: the host records a delta-fallback edge.
+                Ok(Self::ack_output(
+                    4,
+                    mr,
+                    Some(trace_id(&nonce)),
+                    None,
+                    &frames,
+                ))
             }
             _ => Err(MigError::Protocol("unexpected message on ack path")),
         }

@@ -367,6 +367,20 @@ impl LinkShaper {
     ) -> Vec<MrEnclave> {
         self.scheduler.allocate(budget, demands)
     }
+
+    /// The scheduler's carried byte deficits, sorted by measurement for
+    /// deterministic export (telemetry gauges).
+    #[must_use]
+    pub fn deficits(&self) -> Vec<(MrEnclave, u64)> {
+        let mut deficits: Vec<(MrEnclave, u64)> = self
+            .scheduler
+            .deficit
+            .iter()
+            .map(|(mr, d)| (*mr, *d))
+            .collect();
+        deficits.sort_by_key(|(mr, _)| mr.0);
+        deficits
+    }
 }
 
 #[cfg(test)]

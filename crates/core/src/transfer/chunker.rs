@@ -31,6 +31,24 @@ pub const MAX_STREAM_LEN: u64 = 1 << 30;
 const CHAIN_KEY_LABEL: &[u8] = b"sgx-migrate.transfer.chain-key.v1";
 /// Label for the chain seed MAC.
 const CHAIN_SEED_LABEL: &[u8] = b"sgx-migrate.transfer.chain-seed.v1";
+/// Label for the public trace-id derivation.
+const TRACE_ID_LABEL: &[u8] = b"sgx-migrate.trace-id.v1";
+
+/// Derives the public trace id for a transfer nonce.
+///
+/// The nonce itself keys the chunk HMAC chain and must never leave the
+/// attested channel; telemetry instead identifies a migration by this
+/// one-way hash, which both endpoints derive independently.
+#[must_use]
+pub fn trace_id(nonce: &TransferNonce) -> [u8; 8] {
+    let mut h = Sha256::new();
+    h.update(TRACE_ID_LABEL);
+    h.update(nonce);
+    let digest = h.finalize();
+    let mut id = [0u8; 8];
+    id.copy_from_slice(&digest[..8]);
+    id
+}
 
 /// Number of chunks a payload of `total_len` splits into.
 #[must_use]

@@ -74,6 +74,16 @@ const FORMAT_MACROS: [&str; 17] = [
     "assert_ne",
 ];
 
+/// Telemetry sink methods (mig-trace recorder/registry) whose arguments
+/// must never carry key material, sealed payload bytes, or the raw
+/// transfer nonce — migrations are identified by public trace ids only.
+const TELEMETRY_SINKS: [&str; 4] = ["bump_counter", "set_gauge", "observe_ns", "record_event"];
+
+/// Identifiers banned from telemetry-sink arguments on top of
+/// [`SECRET_FIELDS`]: the transfer nonce keys the chunk HMAC chain, and
+/// sealed blobs carry ciphertext tied to key context.
+const TELEMETRY_SECRET_ARGS: [&str; 2] = ["nonce", "sealed"];
+
 /// A rule hit before annotation/line resolution.
 pub struct RawViolation {
     /// Which rule fired.
@@ -429,10 +439,12 @@ pub fn wire_framing(f: &SourceFile) -> Vec<RawViolation> {
     out
 }
 
-/// **secret-hygiene** — three sub-checks: no derived `Debug` and no
+/// **secret-hygiene** — four sub-checks: no derived `Debug` and no
 /// `Display` on secret-bearing types, no secret field in a formatting
-/// macro, and (cross-file, resolved by the driver) every key type has a
-/// zeroizing `Drop`.
+/// macro, no secret identifier in a telemetry-sink call (trace event
+/// fields and metric labels are exported to the untrusted host), and
+/// (cross-file, resolved by the driver) every key type has a zeroizing
+/// `Drop`.
 pub fn secret_hygiene(f: &SourceFile) -> (Vec<RawViolation>, CrossFileFacts) {
     let text = &f.scrubbed;
     let bytes = text.as_bytes();
@@ -523,6 +535,33 @@ pub fn secret_hygiene(f: &SourceFile) -> (Vec<RawViolation>, CrossFileFacts) {
             let args = &text[open..close.min(text.len())];
             for field in SECRET_FIELDS {
                 for fpos in find_word(args, field) {
+                    if !f.in_test(open + fpos) {
+                        out.push(RawViolation {
+                            rule: "secret-hygiene",
+                            offset: open + fpos,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Secret identifier passed to a telemetry sink. Anchored on a
+    // method call (`.bump_counter(...)` etc.) so definitions of the
+    // sinks themselves don't fire.
+    for sink in TELEMETRY_SINKS {
+        for pos in find_word(text, sink) {
+            if pos == 0 || bytes[pos - 1] != b'.' {
+                continue;
+            }
+            let open = skip_ws(bytes, pos + sink.len());
+            if bytes.get(open) != Some(&b'(') {
+                continue;
+            }
+            let close = match_paren(bytes, open).unwrap_or(bytes.len().saturating_sub(1));
+            let args = &text[open..close.min(text.len())];
+            for secret in SECRET_FIELDS.iter().chain(TELEMETRY_SECRET_ARGS.iter()) {
+                for fpos in find_word(args, secret) {
                     if !f.in_test(open + fpos) {
                         out.push(RawViolation {
                             rule: "secret-hygiene",

@@ -11,3 +11,8 @@ impl Drop for FixtureSessionKey {
         self.msk = [0u8; 16];
     }
 }
+
+pub fn gauge_sealed_len(registry: &mut MetricsRegistry, sealed: &[u8]) {
+    // mig-lint: allow(secret-hygiene, "fixture: sealed *length* is public wire geometry, not payload bytes")
+    registry.set_gauge("fixture.sealed_len", sealed.len() as u64);
+}

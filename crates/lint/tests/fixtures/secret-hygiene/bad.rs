@@ -1,5 +1,6 @@
 // Fixture: true positives for secret-hygiene — a key type deriving
-// Debug, key material reaching a logging macro, and no zeroizing Drop.
+// Debug, key material reaching a logging macro, secrets flowing into
+// telemetry sinks, and no zeroizing Drop.
 
 #[derive(Clone, Debug)]
 pub struct FixtureSessionKey {
@@ -8,4 +9,11 @@ pub struct FixtureSessionKey {
 
 pub fn trace_key(key: &FixtureSessionKey) {
     println!("session msk = {:?}", key.msk);
+}
+
+pub fn leak_into_telemetry(registry: &mut MetricsRegistry, key: &FixtureSessionKey, nonce: [u8; 16]) {
+    // The raw transfer nonce must never label a metric, and key bytes
+    // must never become a gauge value.
+    registry.bump_counter(&label_for(nonce), 1);
+    registry.set_gauge("fixture.key_byte", u64::from(key.msk[0]));
 }

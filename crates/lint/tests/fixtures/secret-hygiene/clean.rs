@@ -1,5 +1,6 @@
 // Fixture: compliant secret handling — redacting manual Debug, a
-// zeroizing Drop, and no key material near a formatting macro.
+// zeroizing Drop, no key material near a formatting macro, and
+// telemetry labelled by public trace ids only.
 
 pub struct FixtureSessionKey {
     msk: [u8; 16],
@@ -15,4 +16,12 @@ impl core::fmt::Debug for FixtureSessionKey {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("FixtureSessionKey").finish_non_exhaustive()
     }
+}
+
+pub fn record_release(registry: &mut MetricsRegistry, trace: [u8; 8], released_ns: u64) {
+    // Public quantities only: the one-way trace id and a virtual-time
+    // duration. No nonce, no key material, no sealed payload bytes.
+    registry.bump_counter("me.releases", 1);
+    registry.observe_ns("me.time_to_release_ns", BOUNDS, released_ns);
+    let _ = trace;
 }

@@ -9,6 +9,70 @@
 use crate::error::SgxError;
 use crate::measurement::EnclaveIdentity;
 use mig_crypto::hkdf::hkdf;
+use std::collections::BTreeMap;
+
+/// ECALL/OCALL boundary-crossing counts.
+///
+/// The simulator has no asynchronous OCALLs; platform services (EGETKEY,
+/// EREPORT, quoting, counter NVRAM) are the enclave's exits to the
+/// platform, so each accounted [`crate::cost::PlatformOp`] is counted as
+/// one OCALL-equivalent transition.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransitionCounters {
+    /// Enclave entries ([`crate::enclave::EnclaveHandle::ecall`]).
+    pub ecalls: u64,
+    /// Platform-service exits (accounted platform operations).
+    pub ocalls: u64,
+}
+
+/// Per-machine transition tally with per-migration attribution.
+///
+/// Totals count every transition on the machine. Enclave code may
+/// attribute the ECALL it is currently servicing to a migration trace id
+/// (a *hash* of the transfer nonce — never the nonce itself) via
+/// [`crate::enclave::EnclaveEnv::attribute_transition`]; subsequent
+/// platform operations within the same ECALL are credited to the same
+/// trace.
+#[derive(Clone, Debug, Default)]
+pub struct TransitionTally {
+    /// All transitions on the machine.
+    pub total: TransitionCounters,
+    /// Transitions attributed to a migration trace id.
+    pub by_trace: BTreeMap<[u8; 8], TransitionCounters>,
+    current: Option<[u8; 8]>,
+}
+
+impl TransitionTally {
+    /// Counts an enclave entry; attribution resets until the enclave
+    /// claims the ECALL for a trace.
+    pub(crate) fn begin_ecall(&mut self) {
+        self.total.ecalls += 1;
+        self.current = None;
+    }
+
+    /// Clears attribution when the ECALL returns.
+    pub(crate) fn end_ecall(&mut self) {
+        self.current = None;
+    }
+
+    /// Retroactively credits the in-progress ECALL to `trace` and routes
+    /// its remaining platform operations there.
+    pub(crate) fn attribute(&mut self, trace: [u8; 8]) {
+        if self.current != Some(trace) {
+            self.current = Some(trace);
+            self.by_trace.entry(trace).or_default().ecalls += 1;
+        }
+    }
+
+    /// Counts a platform-service exit, credited to the attributed trace
+    /// when one is active.
+    pub(crate) fn ocall(&mut self) {
+        self.total.ocalls += 1;
+        if let Some(trace) = self.current {
+            self.by_trace.entry(trace).or_default().ocalls += 1;
+        }
+    }
+}
 
 /// The per-machine CPU fuse secret that every derived key is rooted in.
 #[derive(Clone)]

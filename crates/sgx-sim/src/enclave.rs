@@ -100,11 +100,27 @@ impl EnclaveHandle {
             return Err(SgxError::EnclaveLost);
         }
         let mut code = self.instance.code.lock();
+        self.core.transitions.lock().begin_ecall();
         let mut env = EnclaveEnv {
             core: &self.core,
             identity: self.instance.identity,
         };
-        code.ecall(&mut env, opcode, input)
+        let result = code.ecall(&mut env, opcode, input);
+        self.core.transitions.lock().end_ecall();
+        result
+    }
+
+    /// Snapshot of the host machine's ECALL/OCALL transition tally.
+    #[must_use]
+    pub fn transition_tally(&self) -> crate::cpu::TransitionTally {
+        self.core.transitions.lock().clone()
+    }
+
+    /// The host machine's undrained virtual time (telemetry peeks the
+    /// delta across one ECALL without consuming it).
+    #[must_use]
+    pub fn peek_virtual_time(&self) -> std::time::Duration {
+        *self.core.virtual_elapsed.lock()
     }
 }
 
@@ -144,6 +160,16 @@ impl EnclaveEnv<'_> {
     pub fn random_bytes(&mut self, buf: &mut [u8]) {
         use rand::RngCore as _;
         self.core.rng.lock().fill_bytes(buf);
+    }
+
+    /// Attributes the ECALL being serviced (and its remaining platform
+    /// operations) to a migration trace id for transition telemetry.
+    ///
+    /// `trace` must be a *derived* identifier (a hash of the transfer
+    /// nonce), never secret material itself — it is exported verbatim by
+    /// the telemetry layer.
+    pub fn attribute_transition(&mut self, trace: [u8; 8]) {
+        self.core.transitions.lock().attribute(trace);
     }
 
     /// Derives a 128-bit key (`EGETKEY`).

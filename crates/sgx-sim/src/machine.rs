@@ -10,7 +10,7 @@
 
 use crate::cost::{CostModel, NoCost, PlatformOp};
 use crate::counters::CounterStore;
-use crate::cpu::CpuSecret;
+use crate::cpu::{CpuSecret, TransitionTally};
 use crate::enclave::{EnclaveCode, EnclaveHandle, EnclaveInstance};
 use crate::error::SgxError;
 use crate::ias::{AttestationService, PlatformEnrollment};
@@ -42,7 +42,8 @@ pub(crate) struct MachineCore {
     pub(crate) counters: Mutex<CounterStore>,
     pub(crate) rng: Mutex<StdRng>,
     cost: Arc<dyn CostModel>,
-    virtual_elapsed: Mutex<Duration>,
+    pub(crate) virtual_elapsed: Mutex<Duration>,
+    pub(crate) transitions: Mutex<TransitionTally>,
     epoch: AtomicU64,
     enrollment: PlatformEnrollment,
 }
@@ -53,7 +54,10 @@ impl MachineCore {
     }
 
     /// Applies the cost model and accounts the duration as virtual time.
+    /// Every accounted platform operation is also one OCALL-equivalent
+    /// enclave transition (regardless of the cost model).
     pub(crate) fn account(&self, op: PlatformOp) {
+        self.transitions.lock().ocall();
         let d = self.cost.apply(op);
         if !d.is_zero() {
             *self.virtual_elapsed.lock() += d;
@@ -148,6 +152,7 @@ impl SgxMachine {
                 rng: Mutex::new(StdRng::from_seed(seed)),
                 cost,
                 virtual_elapsed: Mutex::new(Duration::ZERO),
+                transitions: Mutex::new(TransitionTally::default()),
                 epoch: AtomicU64::new(0),
                 enrollment,
             }),
@@ -223,6 +228,19 @@ impl SgxMachine {
     #[must_use]
     pub fn drain_virtual_time(&self) -> Duration {
         std::mem::take(&mut *self.core.virtual_elapsed.lock())
+    }
+
+    /// The virtual time accumulated since the last drain, *without*
+    /// draining it (telemetry peeks across a single ECALL).
+    #[must_use]
+    pub fn peek_virtual_time(&self) -> Duration {
+        *self.core.virtual_elapsed.lock()
+    }
+
+    /// Snapshot of this machine's ECALL/OCALL transition tally.
+    #[must_use]
+    pub fn transition_tally(&self) -> TransitionTally {
+        self.core.transitions.lock().clone()
     }
 
     /// Number of live NVRAM counters owned by `mr_enclave` (diagnostics).

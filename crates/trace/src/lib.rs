@@ -1,0 +1,812 @@
+//! Deterministic migration telemetry: typed per-migration events, a
+//! metrics registry, and stable exporters.
+//!
+//! Everything here is driven by the simulation's virtual clock
+//! (`cloud_sim::clock::SimTime` nanoseconds) — never wall-clock — so a
+//! seeded run produces byte-identical output. The crate is
+//! zero-dependency (like `mig-stats` and `mig-lint`) and holds no
+//! policy: instrumentation sites in `mig-core`/`sgx-sim` decide *what*
+//! to record, this crate decides *how* it is bounded, aggregated, and
+//! rendered.
+//!
+//! # Model
+//!
+//! A migration is identified by a [`TraceId`] — an 8-byte hash of the
+//! secret `TransferNonce`, computed *inside* the enclave so the nonce
+//! itself never reaches the untrusted host or any exported artifact.
+//! Each migration's lifecycle is covered by [`Phase`] spans
+//! (negotiate → announce → stream → stage → release) plus exceptional
+//! [`Edge`] events (retry, quarantine, delta-fallback). Events land in
+//! a byte-budgeted ring-buffer [`Recorder`]; scalar series land in a
+//! [`MetricsRegistry`] (counters, gauges, fixed-bucket histograms);
+//! ECALL/OCALL transition tallies from `sgx-sim` are merged in as
+//! [`Transitions`]. A [`Telemetry`] snapshot aggregates all of it and
+//! exports a stable sorted JSON document (`TRACE.json`) and a
+//! human-readable per-trace timeline.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+
+/// Per-migration identifier: a hash of the secret transfer nonce,
+/// derived inside the enclave. Safe to export.
+pub type TraceId = [u8; 8];
+
+/// Accounting size of one recorded event (encoded upper bound: 8-byte
+/// timestamp + 8-byte trace id + tag + span payload, rounded up). The
+/// ring buffer's byte budget is `EVENT_BYTES * capacity`.
+pub const EVENT_BYTES: usize = 32;
+
+/// Migration lifecycle phases, in order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// Attested-channel establishment between two MEs (channel-scoped:
+    /// recorded under a label-derived pseudo trace id, since the
+    /// channel is negotiated before any migration nonce exists).
+    Negotiate,
+    /// Stream announced (ChunkStart/DeltaStart seen) up to the first
+    /// payload chunk.
+    Announce,
+    /// Payload chunks in flight (first chunk to last chunk).
+    Stream,
+    /// Staging of verified bytes. Under speculative restore this
+    /// overlaps [`Phase::Stream`] and the span collapses to zero width.
+    Stage,
+    /// Final verification and release of the migrated state (the
+    /// completing TRANSFER ecall's virtual-time cost).
+    Release,
+}
+
+impl Phase {
+    /// All phases in lifecycle order.
+    pub const ALL: [Phase; 5] = [
+        Phase::Negotiate,
+        Phase::Announce,
+        Phase::Stream,
+        Phase::Stage,
+        Phase::Release,
+    ];
+
+    /// Stable lowercase name used in exports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Negotiate => "negotiate",
+            Phase::Announce => "announce",
+            Phase::Stream => "stream",
+            Phase::Stage => "stage",
+            Phase::Release => "release",
+        }
+    }
+}
+
+/// Exceptional lifecycle edges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Edge {
+    /// Host-driven RETRY: the channel was reset and every in-flight
+    /// migration to the peer re-dispatched.
+    Retry,
+    /// Destination quarantined an inbound stream (chain verification
+    /// failure).
+    Quarantine,
+    /// Delta stream fell back to a full stream (DeltaNack / missing
+    /// base).
+    DeltaFallback,
+}
+
+impl Edge {
+    /// Stable lowercase name used in exports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Edge::Retry => "retry",
+            Edge::Quarantine => "quarantine",
+            Edge::DeltaFallback => "delta-fallback",
+        }
+    }
+}
+
+/// What happened at an event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A completed phase span; `end_ns >=` the event's `at_ns`.
+    Span {
+        /// Which lifecycle phase the span covers.
+        phase: Phase,
+        /// Span end, virtual nanoseconds.
+        end_ns: u64,
+    },
+    /// A point-in-time exceptional edge.
+    Edge(Edge),
+}
+
+/// One telemetry event, timestamped in virtual nanoseconds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Event (or span start) time, virtual nanoseconds.
+    pub at_ns: u64,
+    /// The migration (or channel pseudo-trace) this event belongs to.
+    pub trace: TraceId,
+    /// Span or edge payload.
+    pub kind: EventKind,
+}
+
+/// Byte-budgeted ring buffer of [`Event`]s. When full, the oldest
+/// event is evicted and counted in [`Recorder::dropped`].
+#[derive(Debug)]
+pub struct Recorder {
+    events: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// Default recorder budget: 64 KiB (2048 events).
+pub const DEFAULT_RECORDER_BUDGET: usize = 64 * 1024;
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::with_budget(DEFAULT_RECORDER_BUDGET)
+    }
+}
+
+impl Recorder {
+    /// A recorder bounded to roughly `budget_bytes` of encoded events
+    /// (at least one event).
+    #[must_use]
+    pub fn with_budget(budget_bytes: usize) -> Self {
+        Recorder {
+            events: VecDeque::new(),
+            capacity: (budget_bytes / EVENT_BYTES).max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest if the budget is reached.
+    pub fn record_event(&mut self, event: Event) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Current accounted size in bytes (always within the budget).
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.events.len() * EVENT_BYTES
+    }
+
+    /// The configured budget in bytes.
+    #[must_use]
+    pub fn budget_bytes(&self) -> usize {
+        self.capacity * EVENT_BYTES
+    }
+
+    /// Number of events evicted to stay within the budget.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events in record order (oldest first).
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+}
+
+/// Fixed-bucket histogram: `counts[i]` holds observations
+/// `<= bounds[i]`, the final slot holds overflows.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    /// Inclusive upper bounds, ascending.
+    pub bounds: Vec<u64>,
+    /// `bounds.len() + 1` bucket counts (last = overflow).
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Number of observations.
+    pub n: u64,
+}
+
+impl Histogram {
+    /// An empty histogram over `bounds`.
+    #[must_use]
+    pub fn new(bounds: &[u64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0,
+            n: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.n += 1;
+    }
+
+    /// Mean observation, or 0 with no data.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.n as f64
+        }
+    }
+
+    /// Adds `other` into `self` (bucket-wise when bounds match,
+    /// otherwise only the scalar sum/count are folded in).
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.bounds == other.bounds {
+            for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+                *c += o;
+            }
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+        self.n += other.n;
+    }
+}
+
+/// Nanosecond bucket bounds for latency-shaped histograms
+/// (10 µs … 100 s, decades with a 1-2-5 ladder).
+pub const LATENCY_BOUNDS_NS: &[u64] = &[
+    10_000,
+    20_000,
+    50_000,
+    100_000,
+    200_000,
+    500_000,
+    1_000_000,
+    2_000_000,
+    5_000_000,
+    10_000_000,
+    20_000_000,
+    50_000_000,
+    100_000_000,
+    200_000_000,
+    500_000_000,
+    1_000_000_000,
+    2_000_000_000,
+    5_000_000_000,
+    10_000_000_000,
+    100_000_000_000,
+];
+
+/// Counters, gauges, and fixed-bucket histograms, keyed by stable
+/// label strings. All maps are ordered so iteration (and therefore
+/// every export) is deterministic.
+///
+/// Secret-hygiene contract (enforced by the `secret-hygiene` mig-lint
+/// rule): arguments to [`MetricsRegistry::bump_counter`],
+/// [`MetricsRegistry::set_gauge`], [`MetricsRegistry::observe_ns`] and
+/// [`Recorder::record_event`] must never carry key material, sealed
+/// payload bytes, or the raw transfer nonce — identify migrations by
+/// [`TraceId`] only.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Adds `by` to the named counter.
+    pub fn bump_counter(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Sets the named gauge to `value` (last write wins).
+    pub fn set_gauge(&mut self, name: &str, value: i64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Records `value_ns` into the named histogram, creating it over
+    /// `bounds` on first use.
+    pub fn observe_ns(&mut self, name: &str, bounds: &[u64], value_ns: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(value_ns);
+    }
+
+    /// Current counter value (0 when never bumped).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current gauge value, if set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, if any observation landed.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+}
+
+/// ECALL/OCALL transition counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransitionCount {
+    /// Enclave entries.
+    pub ecalls: u64,
+    /// Enclave exits for platform services (OCALL-equivalents).
+    pub ocalls: u64,
+}
+
+impl TransitionCount {
+    /// Adds `other` into `self`.
+    pub fn add(&mut self, other: TransitionCount) {
+        self.ecalls += other.ecalls;
+        self.ocalls += other.ocalls;
+    }
+}
+
+/// Transition tallies: machine totals plus per-migration attribution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Transitions {
+    /// All transitions on the contributing machines.
+    pub total: TransitionCount,
+    /// Transitions attributed to a migration trace.
+    pub by_trace: BTreeMap<TraceId, TransitionCount>,
+}
+
+impl Transitions {
+    /// Adds `other` into `self`.
+    pub fn merge(&mut self, other: &Transitions) {
+        self.total.add(other.total);
+        for (trace, count) in &other.by_trace {
+            self.by_trace.entry(*trace).or_default().add(*count);
+        }
+    }
+}
+
+/// A complete telemetry snapshot: events, metrics, and transition
+/// tallies, ready to merge across machines and export.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    /// Events, stably sorted by timestamp.
+    pub events: Vec<Event>,
+    /// Events evicted from ring buffers before this snapshot.
+    pub dropped_events: u64,
+    /// Counter values by label.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by label.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histograms by label.
+    pub histograms: BTreeMap<String, Histogram>,
+    /// ECALL/OCALL tallies.
+    pub transitions: Transitions,
+}
+
+impl Telemetry {
+    /// Builds a snapshot from one machine's recorder and registry.
+    #[must_use]
+    pub fn from_parts(recorder: &Recorder, registry: &MetricsRegistry) -> Self {
+        let mut t = Telemetry {
+            events: recorder.events().copied().collect(),
+            dropped_events: recorder.dropped(),
+            counters: registry.counters.clone(),
+            gauges: registry.gauges.clone(),
+            histograms: registry.histograms.clone(),
+            transitions: Transitions::default(),
+        };
+        t.events.sort_by_key(|e| e.at_ns);
+        t
+    }
+
+    /// Folds `other` into `self`: events interleave by timestamp
+    /// (stable — caller order breaks ties), counters and transitions
+    /// add, gauges insert (labels are expected to be machine-scoped),
+    /// histograms merge bucket-wise.
+    pub fn merge(&mut self, other: &Telemetry) {
+        self.events.extend_from_slice(&other.events);
+        self.events.sort_by_key(|e| e.at_ns);
+        self.dropped_events += other.dropped_events;
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(k.clone(), h.clone());
+                }
+            }
+        }
+        self.transitions.merge(&other.transitions);
+    }
+
+    /// Completed spans for `trace`, in lifecycle-phase order.
+    #[must_use]
+    pub fn spans_for(&self, trace: TraceId) -> Vec<(Phase, u64, u64)> {
+        let mut spans: Vec<(Phase, u64, u64)> = self
+            .events
+            .iter()
+            .filter(|e| e.trace == trace)
+            .filter_map(|e| match e.kind {
+                EventKind::Span { phase, end_ns } => Some((phase, e.at_ns, end_ns)),
+                EventKind::Edge(_) => None,
+            })
+            .collect();
+        spans.sort_by_key(|&(phase, at, _)| (phase, at));
+        spans
+    }
+
+    /// Distinct trace ids, ordered by first event time (stable across
+    /// runs), then id.
+    #[must_use]
+    pub fn trace_ids(&self) -> Vec<TraceId> {
+        let mut first_seen: BTreeMap<TraceId, u64> = BTreeMap::new();
+        for e in &self.events {
+            let at = first_seen.entry(e.trace).or_insert(e.at_ns);
+            *at = (*at).min(e.at_ns);
+        }
+        let mut ids: Vec<(u64, TraceId)> = first_seen.into_iter().map(|(t, at)| (at, t)).collect();
+        ids.sort();
+        ids.into_iter().map(|(_, t)| t).collect()
+    }
+
+    /// The stable `TRACE.json` document. Same seed ⇒ byte-identical
+    /// output: every map is ordered, events are timestamp-sorted, and
+    /// all values derive from the virtual clock.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"events\": [");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match e.kind {
+                EventKind::Span { phase, end_ns } => {
+                    let _ = write!(
+                        out,
+                        "\n    {{\"at_ns\": {}, \"trace\": {}, \"kind\": \"span\", \"phase\": {}, \"end_ns\": {}}}",
+                        e.at_ns,
+                        json_str(&hex8(&e.trace)),
+                        json_str(phase.name()),
+                        end_ns
+                    );
+                }
+                EventKind::Edge(edge) => {
+                    let _ = write!(
+                        out,
+                        "\n    {{\"at_ns\": {}, \"trace\": {}, \"kind\": \"edge\", \"edge\": {}}}",
+                        e.at_ns,
+                        json_str(&hex8(&e.trace)),
+                        json_str(edge.name())
+                    );
+                }
+            }
+        }
+        if !self.events.is_empty() {
+            out.push_str("\n  ");
+        }
+        let _ = write!(out, "],\n  \"dropped_events\": {},", self.dropped_events);
+        out.push_str("\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {}: {}", json_str(k), v);
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"gauges\": {");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {}: {}", json_str(k), v);
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"histograms\": {");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {}: {{\"bounds\": {}, \"counts\": {}, \"sum\": {}, \"n\": {}}}",
+                json_str(k),
+                json_u64_array(&h.bounds),
+                json_u64_array(&h.counts),
+                h.sum,
+                h.n
+            );
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        let _ = write!(
+            out,
+            "}},\n  \"transitions\": {{\"ecalls\": {}, \"ocalls\": {}, \"by_trace\": {{",
+            self.transitions.total.ecalls, self.transitions.total.ocalls
+        );
+        for (i, (trace, c)) in self.transitions.by_trace.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {}: {{\"ecalls\": {}, \"ocalls\": {}}}",
+                json_str(&hex8(trace)),
+                c.ecalls,
+                c.ocalls
+            );
+        }
+        if !self.transitions.by_trace.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}}\n}\n");
+        out
+    }
+
+    /// Human-readable per-trace timeline (phases, durations, edges).
+    #[must_use]
+    pub fn render_timeline(&self) -> String {
+        let mut out = String::new();
+        for trace in self.trace_ids() {
+            let _ = writeln!(out, "trace {}", hex8(&trace));
+            let spans = self.spans_for(trace);
+            for (phase, at, end) in &spans {
+                let _ = writeln!(
+                    out,
+                    "  {:>12}  {:>12}  ..{:>12}  ({})",
+                    phase.name(),
+                    fmt_ms(*at),
+                    fmt_ms(*end),
+                    fmt_ms(end - at)
+                );
+            }
+            for e in self.events.iter().filter(|e| e.trace == trace) {
+                if let EventKind::Edge(edge) = e.kind {
+                    let _ = writeln!(out, "  {:>12}  @ {}", edge.name(), fmt_ms(e.at_ns));
+                }
+            }
+            if let (Some(first), Some(last)) = (
+                spans.iter().map(|&(_, at, _)| at).min(),
+                spans.iter().map(|&(_, _, end)| end).max(),
+            ) {
+                let _ = writeln!(out, "  total {}", fmt_ms(last - first));
+            }
+            if let Some(c) = self.transitions.by_trace.get(&trace) {
+                let _ = writeln!(
+                    out,
+                    "  transitions: {} ecalls, {} ocalls",
+                    c.ecalls, c.ocalls
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{} events ({} dropped), {} traces",
+            self.events.len(),
+            self.dropped_events,
+            self.trace_ids().len()
+        );
+        out
+    }
+}
+
+/// Lowercase hex of a trace id.
+#[must_use]
+pub fn hex8(id: &TraceId) -> String {
+    let mut s = String::with_capacity(16);
+    for b in id {
+        let _ = write!(s, "{b:02x}");
+    }
+    s
+}
+
+/// FNV-1a 64-bit over a label — used to derive pseudo trace ids for
+/// channel-scoped spans (the label is public, e.g. `"m0->m1"`).
+#[must_use]
+pub fn label_id(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A channel-scoped pseudo [`TraceId`] from a public label.
+#[must_use]
+pub fn trace_from_label(label: &str) -> TraceId {
+    label_id(label).to_be_bytes()
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{}.{:03}ms", ns / 1_000_000, (ns % 1_000_000) / 1_000)
+}
+
+fn json_u64_array(v: &[u64]) -> String {
+    let mut out = String::from("[");
+    for (i, x) in v.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{x}");
+    }
+    out.push(']');
+    out
+}
+
+/// JSON string literal with the required escapes.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(at: u64, trace: TraceId, phase: Phase, end: u64) -> Event {
+        Event {
+            at_ns: at,
+            trace,
+            kind: EventKind::Span { phase, end_ns: end },
+        }
+    }
+
+    #[test]
+    fn recorder_respects_byte_budget_and_counts_drops() {
+        let budget = 4 * EVENT_BYTES;
+        let mut r = Recorder::with_budget(budget);
+        for i in 0..10 {
+            r.record_event(span(i, [1; 8], Phase::Stream, i + 1));
+            assert!(r.bytes() <= budget, "over budget at event {i}");
+        }
+        assert_eq!(r.dropped(), 6);
+        assert_eq!(r.events().count(), 4);
+        // Oldest evicted first: the survivors are the last four.
+        assert_eq!(r.events().next().map(|e| e.at_ns), Some(6));
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(&[10, 100]);
+        for v in [5, 10, 11, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts, vec![2, 1, 1]);
+        assert_eq!(h.n, 4);
+        assert_eq!(h.sum, 1026);
+    }
+
+    #[test]
+    fn registry_counters_gauges_histograms() {
+        let mut m = MetricsRegistry::default();
+        m.bump_counter("chunks", 3);
+        m.bump_counter("chunks", 1);
+        m.set_gauge("window", 8);
+        m.set_gauge("window", 16);
+        m.observe_ns("rtt", LATENCY_BOUNDS_NS, 15_000);
+        assert_eq!(m.counter("chunks"), 4);
+        assert_eq!(m.gauge("window"), Some(16));
+        assert_eq!(m.histogram("rtt").map(|h| h.n), Some(1));
+    }
+
+    #[test]
+    fn merge_is_deterministic_and_additive() {
+        let mut r1 = Recorder::default();
+        r1.record_event(span(10, [1; 8], Phase::Announce, 20));
+        let mut m1 = MetricsRegistry::default();
+        m1.bump_counter("c", 2);
+        let mut t1 = Telemetry::from_parts(&r1, &m1);
+        t1.transitions.total.ecalls = 5;
+
+        let mut r2 = Recorder::default();
+        r2.record_event(span(5, [2; 8], Phase::Announce, 9));
+        let mut m2 = MetricsRegistry::default();
+        m2.bump_counter("c", 3);
+        let mut t2 = Telemetry::from_parts(&r2, &m2);
+        t2.transitions.by_trace.insert(
+            [2; 8],
+            TransitionCount {
+                ecalls: 4,
+                ocalls: 1,
+            },
+        );
+
+        t1.merge(&t2);
+        assert_eq!(t1.events[0].trace, [2; 8]);
+        assert_eq!(t1.counters["c"], 5);
+        assert_eq!(t1.transitions.total.ecalls, 5);
+        assert_eq!(t1.transitions.by_trace[&[2u8; 8]].ecalls, 4);
+
+        // Merging in the same order twice yields identical JSON.
+        let mut t3 = Telemetry::from_parts(&r1, &m1);
+        t3.transitions.total.ecalls = 5;
+        t3.merge(&t2);
+        assert_eq!(t1.to_json(), t3.to_json());
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let mut r = Recorder::default();
+        r.record_event(span(1, [0xab; 8], Phase::Stream, 2));
+        r.record_event(Event {
+            at_ns: 3,
+            trace: [0xab; 8],
+            kind: EventKind::Edge(Edge::Retry),
+        });
+        let mut m = MetricsRegistry::default();
+        m.bump_counter("a\"b", 1);
+        let t = Telemetry::from_parts(&r, &m);
+        let j = t.to_json();
+        assert!(j.contains("\"kind\": \"span\""));
+        assert!(j.contains("\"edge\": \"retry\""));
+        assert!(j.contains("\"a\\\"b\": 1"));
+        assert!(j.contains("\"trace\": \"abababababababab\""));
+        assert_eq!(j, t.to_json());
+    }
+
+    #[test]
+    fn timeline_lists_phases_in_order() {
+        let mut r = Recorder::default();
+        r.record_event(span(10_000_000, [1; 8], Phase::Stream, 30_000_000));
+        r.record_event(span(0, [1; 8], Phase::Announce, 10_000_000));
+        r.record_event(span(30_000_000, [1; 8], Phase::Release, 35_000_000));
+        let t = Telemetry::from_parts(&r, &MetricsRegistry::default());
+        let tl = t.render_timeline();
+        let announce = tl.find("announce").unwrap();
+        let stream = tl.find("stream").unwrap();
+        let release = tl.find("release").unwrap();
+        assert!(announce < stream && stream < release);
+        assert!(tl.contains("total 35.000ms"));
+    }
+
+    #[test]
+    fn label_ids_are_stable() {
+        assert_eq!(label_id("m0->m1"), label_id("m0->m1"));
+        assert_ne!(label_id("m0->m1"), label_id("m1->m0"));
+        assert_eq!(trace_from_label("x"), label_id("x").to_be_bytes());
+    }
+
+    #[test]
+    fn spans_for_orders_by_phase() {
+        let mut r = Recorder::default();
+        r.record_event(span(30, [1; 8], Phase::Release, 35));
+        r.record_event(span(0, [1; 8], Phase::Announce, 10));
+        r.record_event(span(10, [2; 8], Phase::Stream, 30));
+        let t = Telemetry::from_parts(&r, &MetricsRegistry::default());
+        let spans = t.spans_for([1; 8]);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].0, Phase::Announce);
+        assert_eq!(spans[1].0, Phase::Release);
+    }
+}

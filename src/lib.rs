@@ -14,7 +14,9 @@
 //!   Enclave, protocol, policies, baselines;
 //! * [`apps`] — Teechan-style payment channels, TrInX-style certified
 //!   counters, and a sealed KV store built on the public API;
-//! * [`stats`] — the evaluation statistics (99 % CIs, Welch t-tests).
+//! * [`stats`] — the evaluation statistics (99 % CIs, Welch t-tests);
+//! * [`trace`] — deterministic per-migration tracing, the metrics
+//!   registry, transition tallies, and the `TRACE.json` exporter.
 //!
 //! See `README.md` for a guided tour, `DESIGN.md` for the system
 //! inventory, and `examples/` for runnable end-to-end scenarios
@@ -28,4 +30,5 @@ pub use mig_apps as apps;
 pub use mig_core as core;
 pub use mig_crypto as crypto;
 pub use mig_stats as stats;
+pub use mig_trace as trace;
 pub use sgx_sim as sgx;

@@ -475,6 +475,7 @@ fn migration_to_foreign_operator_machine_rejected() {
             endpoint.clone(),
             enclave,
             dc.world().ias().clone(),
+            dc.world().clock(),
         )));
         dc.world_mut().register_service(endpoint, host);
     }
