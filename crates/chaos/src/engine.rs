@@ -1,0 +1,438 @@
+//! Executes a [`FaultPlan`] against the simulation's existing seams.
+//!
+//! The engine never reaches into protocol internals. It acts only
+//! through public fault surfaces:
+//!
+//! * a [`NetworkTap`] for frame drop / corruption / delay / partitions;
+//! * an [`UntrustedDisk`](cloud_sim::disk::UntrustedDisk) fault hook for
+//!   failed and torn writes;
+//! * a host-fault queue ([`ChaosEngine::take_due_host_faults`]) the
+//!   supervisor polls to crash MEs and abort ECALLs.
+//!
+//! Every fault that actually fires is appended to a log
+//! ([`ChaosEngine::fired`]) so reports can account for the full injected
+//! history.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cloud_sim::clock::{SimClock, SimTime};
+use cloud_sim::disk::WriteFault;
+use cloud_sim::network::{NetworkTap, TapAction};
+use parking_lot::Mutex;
+use sgx_sim::machine::MachineId;
+
+use crate::plan::{FaultKind, FaultPlan, ScheduledFault};
+
+/// A fault the engine cannot apply itself: the embedding harness must
+/// drive the corresponding recovery machinery (ME restart, ECALL-abort
+/// scheduling) because only it holds the world.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HostFault {
+    /// Destroy and restart the Migration Enclave on this machine.
+    CrashMe(MachineId),
+    /// Schedule the next ECALL on this machine to abort.
+    EcallAbort(MachineId),
+}
+
+/// A fault that actually fired, stamped with its firing instant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Virtual instant at which the fault took effect.
+    pub at: SimTime,
+    /// What was injected.
+    pub kind: FaultKind,
+}
+
+struct PartitionWindow {
+    from: SimTime,
+    until: SimTime,
+    a: MachineId,
+    b: MachineId,
+    logged: bool,
+}
+
+struct Inner {
+    /// One-shot network faults, time-ordered; each consumes one frame.
+    net: Vec<ScheduledFault>,
+    partitions: Vec<PartitionWindow>,
+    disk: HashMap<MachineId, Vec<ScheduledFault>>,
+    host: Vec<ScheduledFault>,
+    fired: Vec<FaultRecord>,
+}
+
+/// Shared executor for one [`FaultPlan`].
+///
+/// Cloneable; all clones (and all taps/hooks handed out) share the same
+/// pending-fault state and fired log.
+#[derive(Clone)]
+pub struct ChaosEngine {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl ChaosEngine {
+    /// Arms `plan` for execution.
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> Self {
+        let mut inner = Inner {
+            net: Vec::new(),
+            partitions: Vec::new(),
+            disk: HashMap::new(),
+            host: Vec::new(),
+            fired: Vec::new(),
+        };
+        for fault in plan.faults {
+            match fault.kind {
+                FaultKind::NetDrop | FaultKind::NetCorrupt | FaultKind::NetDelay { .. } => {
+                    inner.net.push(fault);
+                }
+                FaultKind::Partition { a, b, hold } => inner.partitions.push(PartitionWindow {
+                    from: fault.at,
+                    until: fault.at.after(hold),
+                    a,
+                    b,
+                    logged: false,
+                }),
+                FaultKind::DiskFail { machine } | FaultKind::DiskTorn { machine } => {
+                    inner.disk.entry(machine).or_default().push(fault);
+                }
+                FaultKind::CrashMe { .. } | FaultKind::EcallAbort { .. } => {
+                    inner.host.push(fault);
+                }
+            }
+        }
+        ChaosEngine {
+            inner: Arc::new(Mutex::new(inner)),
+        }
+    }
+
+    /// A tap for [`Network::add_tap`](cloud_sim::network::Network::add_tap)
+    /// that applies this engine's network faults to frames addressed to
+    /// `service` (other traffic passes untouched).
+    #[must_use]
+    pub fn network_tap(&self, service: &str) -> Box<dyn NetworkTap> {
+        let inner = Arc::clone(&self.inner);
+        let service = service.to_string();
+        Box::new(move |envelope: &cloud_sim::network::Envelope| {
+            if envelope.to.service != service {
+                return TapAction::Deliver;
+            }
+            let mut inner = inner.lock();
+            let now = envelope.deliver_at;
+            // Partitions first: a severed link drops everything between
+            // its endpoints for the whole window.
+            for window in &mut inner.partitions {
+                let pair = (envelope.from.machine, envelope.to.machine);
+                let severed = pair == (window.a, window.b) || pair == (window.b, window.a);
+                if severed && now >= window.from && now <= window.until {
+                    if !window.logged {
+                        window.logged = true;
+                        let record = FaultRecord {
+                            at: now,
+                            kind: FaultKind::Partition {
+                                a: window.a,
+                                b: window.b,
+                                hold: window.until.since(window.from),
+                            },
+                        };
+                        inner.fired.push(record);
+                    }
+                    return TapAction::Drop;
+                }
+            }
+            // Then one-shot frame faults, earliest due first.
+            let due = inner
+                .net
+                .iter()
+                .position(|f| f.at <= now)
+                .map(|idx| inner.net.remove(idx));
+            let Some(fault) = due else {
+                return TapAction::Deliver;
+            };
+            inner.fired.push(FaultRecord {
+                at: now,
+                kind: fault.kind,
+            });
+            match fault.kind {
+                FaultKind::NetDrop => TapAction::Drop,
+                FaultKind::NetCorrupt => {
+                    let mut payload = envelope.payload.clone();
+                    if payload.is_empty() {
+                        return TapAction::Drop;
+                    }
+                    let idx = payload.len() / 2;
+                    payload[idx] ^= 0x20;
+                    TapAction::Replace(payload)
+                }
+                FaultKind::NetDelay { by } => TapAction::Delay(by),
+                _ => unreachable!("only network faults are queued on net"),
+            }
+        })
+    }
+
+    /// A write-fault hook for `disk.set_fault_hook(...)` on `machine`'s
+    /// untrusted disk: each due disk fault makes exactly one write fail
+    /// or tear.
+    pub fn disk_hook(
+        &self,
+        machine: MachineId,
+        clock: SimClock,
+    ) -> impl FnMut(&str, &[u8]) -> WriteFault + Send + 'static {
+        let inner = Arc::clone(&self.inner);
+        move |_key: &str, value: &[u8]| {
+            let mut inner = inner.lock();
+            let now = clock.now();
+            let due = inner.disk.get_mut(&machine).and_then(|queue| {
+                queue
+                    .iter()
+                    .position(|f| f.at <= now)
+                    .map(|idx| queue.remove(idx))
+            });
+            let Some(fault) = due else {
+                return WriteFault::None;
+            };
+            inner.fired.push(FaultRecord {
+                at: now,
+                kind: fault.kind,
+            });
+            match fault.kind {
+                FaultKind::DiskFail { .. } => WriteFault::Fail,
+                FaultKind::DiskTorn { .. } => WriteFault::Torn {
+                    keep: value.len() / 2,
+                },
+                _ => unreachable!("only disk faults are queued per machine"),
+            }
+        }
+    }
+
+    /// Pops every machine-level fault due at or before `now`, recording
+    /// each. The caller applies them (restart the ME, schedule an ECALL
+    /// abort) through its own recovery paths.
+    pub fn take_due_host_faults(&self, now: SimTime) -> Vec<HostFault> {
+        let mut inner = self.inner.lock();
+        let mut due = Vec::new();
+        let mut remaining = Vec::new();
+        for fault in std::mem::take(&mut inner.host) {
+            if fault.at <= now {
+                inner.fired.push(FaultRecord {
+                    at: now,
+                    kind: fault.kind,
+                });
+                due.push(match fault.kind {
+                    FaultKind::CrashMe { machine } => HostFault::CrashMe(machine),
+                    FaultKind::EcallAbort { machine } => HostFault::EcallAbort(machine),
+                    _ => unreachable!("only host faults are queued on host"),
+                });
+            } else {
+                remaining.push(fault);
+            }
+        }
+        inner.host = remaining;
+        due
+    }
+
+    /// Discards every fault that has not fired yet (network one-shots,
+    /// partition windows, disk and host faults). Taps and hooks already
+    /// handed out turn inert. Used by soak harnesses to end the fault
+    /// window before verifying post-abort recoverability.
+    pub fn disarm(&self) {
+        let mut inner = self.inner.lock();
+        inner.net.clear();
+        inner.partitions.clear();
+        inner.disk.clear();
+        inner.host.clear();
+    }
+
+    /// Every fault that has actually fired so far, in firing order.
+    #[must_use]
+    pub fn fired(&self) -> Vec<FaultRecord> {
+        self.inner.lock().fired.clone()
+    }
+
+    /// Count of armed faults that have not fired yet (partitions count
+    /// until their window has been logged or never matched).
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        let inner = self.inner.lock();
+        inner.net.len()
+            + inner.disk.values().map(Vec::len).sum::<usize>()
+            + inner.host.len()
+            + inner.partitions.iter().filter(|w| !w.logged).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloud_sim::network::{Endpoint, Envelope};
+    use std::time::Duration;
+
+    fn frame(from: u64, to: u64, at: u64, payload: Vec<u8>) -> Envelope {
+        Envelope {
+            from: Endpoint {
+                machine: MachineId(from),
+                service: "me".into(),
+            },
+            to: Endpoint {
+                machine: MachineId(to),
+                service: "me".into(),
+            },
+            payload,
+            deliver_at: SimTime(at),
+            seq: 0,
+        }
+    }
+
+    fn engine(faults: Vec<ScheduledFault>) -> ChaosEngine {
+        ChaosEngine::new(FaultPlan { faults })
+    }
+
+    #[test]
+    fn tap_ignores_other_services_and_early_frames() {
+        let engine = engine(vec![ScheduledFault {
+            at: SimTime(100),
+            kind: FaultKind::NetDrop,
+        }]);
+        let mut tap = engine.network_tap("me");
+        let mut other = frame(1, 2, 200, vec![1]);
+        other.to.service = "app".into();
+        assert!(matches!(tap.intercept(&other), TapAction::Deliver));
+        let early = frame(1, 2, 50, vec![1]);
+        assert!(matches!(tap.intercept(&early), TapAction::Deliver));
+        assert_eq!(engine.pending(), 1);
+    }
+
+    #[test]
+    fn one_shot_faults_fire_once_in_order() {
+        let engine = engine(vec![
+            ScheduledFault {
+                at: SimTime(10),
+                kind: FaultKind::NetDrop,
+            },
+            ScheduledFault {
+                at: SimTime(20),
+                kind: FaultKind::NetCorrupt,
+            },
+        ]);
+        let mut tap = engine.network_tap("me");
+        assert!(matches!(
+            tap.intercept(&frame(1, 2, 30, vec![0; 8])),
+            TapAction::Drop
+        ));
+        match tap.intercept(&frame(1, 2, 31, vec![0; 8])) {
+            TapAction::Replace(bytes) => {
+                assert_eq!(bytes.len(), 8);
+                assert_ne!(bytes, vec![0; 8]);
+            }
+            other => panic!("expected corruption, got {other:?}"),
+        }
+        assert!(matches!(
+            tap.intercept(&frame(1, 2, 32, vec![0; 8])),
+            TapAction::Deliver
+        ));
+        assert_eq!(engine.fired().len(), 2);
+    }
+
+    #[test]
+    fn delay_faults_reschedule() {
+        let engine = engine(vec![ScheduledFault {
+            at: SimTime(10),
+            kind: FaultKind::NetDelay {
+                by: Duration::from_millis(5),
+            },
+        }]);
+        let mut tap = engine.network_tap("me");
+        assert!(matches!(
+            tap.intercept(&frame(1, 2, 20, vec![1])),
+            TapAction::Delay(by) if by == Duration::from_millis(5)
+        ));
+    }
+
+    #[test]
+    fn partitions_drop_both_directions_within_window() {
+        let engine = engine(vec![ScheduledFault {
+            at: SimTime(100),
+            kind: FaultKind::Partition {
+                a: MachineId(1),
+                b: MachineId(2),
+                hold: Duration::from_nanos(50),
+            },
+        }]);
+        let mut tap = engine.network_tap("me");
+        assert!(matches!(
+            tap.intercept(&frame(1, 2, 120, vec![1])),
+            TapAction::Drop
+        ));
+        assert!(matches!(
+            tap.intercept(&frame(2, 1, 140, vec![1])),
+            TapAction::Drop
+        ));
+        // Outside the window and between other machines: untouched.
+        assert!(matches!(
+            tap.intercept(&frame(1, 2, 151, vec![1])),
+            TapAction::Deliver
+        ));
+        assert!(matches!(
+            tap.intercept(&frame(1, 3, 120, vec![1])),
+            TapAction::Deliver
+        ));
+        // The partition is logged once, not per dropped frame.
+        assert_eq!(engine.fired().len(), 1);
+    }
+
+    #[test]
+    fn disk_hook_pops_due_faults_per_machine() {
+        let engine = engine(vec![
+            ScheduledFault {
+                at: SimTime(10),
+                kind: FaultKind::DiskFail {
+                    machine: MachineId(1),
+                },
+            },
+            ScheduledFault {
+                at: SimTime(10),
+                kind: FaultKind::DiskTorn {
+                    machine: MachineId(2),
+                },
+            },
+        ]);
+        let clock = SimClock::new();
+        let mut hook1 = engine.disk_hook(MachineId(1), clock.clone());
+        let mut hook2 = engine.disk_hook(MachineId(2), clock.clone());
+        // Not due yet.
+        assert!(matches!(hook1("k", &[0; 4]), WriteFault::None));
+        clock.advance(Duration::from_nanos(10));
+        assert!(matches!(hook1("k", &[0; 4]), WriteFault::Fail));
+        assert!(matches!(hook1("k", &[0; 4]), WriteFault::None));
+        assert!(matches!(hook2("k", &[0; 4]), WriteFault::Torn { keep: 2 }));
+        assert_eq!(engine.fired().len(), 2);
+    }
+
+    #[test]
+    fn host_faults_pop_when_due() {
+        let engine = engine(vec![
+            ScheduledFault {
+                at: SimTime(10),
+                kind: FaultKind::CrashMe {
+                    machine: MachineId(1),
+                },
+            },
+            ScheduledFault {
+                at: SimTime(99),
+                kind: FaultKind::EcallAbort {
+                    machine: MachineId(2),
+                },
+            },
+        ]);
+        assert!(engine.take_due_host_faults(SimTime(5)).is_empty());
+        assert_eq!(
+            engine.take_due_host_faults(SimTime(50)),
+            vec![HostFault::CrashMe(MachineId(1))]
+        );
+        assert_eq!(
+            engine.take_due_host_faults(SimTime(100)),
+            vec![HostFault::EcallAbort(MachineId(2))]
+        );
+        assert_eq!(engine.pending(), 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! Deterministic chaos for the simulated SGX datacenter.
+//!
+//! The migration protocol ([`mig-core`]) claims convergence under an
+//! adversarial environment: frames may be dropped, corrupted, or
+//! delayed; untrusted disks may fail or tear writes; Migration Enclaves
+//! may crash at any instant. This crate turns those claims into a
+//! repeatable test surface:
+//!
+//! * [`rng`] — a self-contained SplitMix64 generator so schedules are
+//!   reproducible from the seed alone;
+//! * [`plan`] — seeded [`FaultPlan`]s: time-ordered fault schedules on
+//!   virtual time, bounded by a [`FaultSpec`] envelope;
+//! * [`engine`] — the [`ChaosEngine`], which executes a plan through the
+//!   simulator's existing seams (network taps, disk write-fault hooks,
+//!   a polled host-fault queue) and logs every fault that fires;
+//! * [`report`] — byte-stable sorted JSON ([`ChaosReport`]) so CI can
+//!   diff soak results across runs.
+//!
+//! The crate deliberately knows nothing about the migration protocol:
+//! it depends only on the simulation substrate, and the supervisor in
+//! `mig-core` consumes its host-fault queue through a plain callback.
+//!
+//! [`mig-core`]: ../mig_core/index.html
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod plan;
+pub mod report;
+pub mod rng;
+
+pub use engine::{ChaosEngine, FaultRecord, HostFault};
+pub use plan::{FaultKind, FaultPlan, FaultSpec, ScheduledFault};
+pub use report::{ChaosReport, SeedReport};

@@ -1,0 +1,257 @@
+//! Seeded fault schedules on virtual time.
+//!
+//! A [`FaultPlan`] is generated up front from a seed and a [`FaultSpec`]
+//! envelope, then handed to the [`engine`](crate::engine) for execution.
+//! Because the schedule is fixed before the run starts and anchored to
+//! virtual time, the same seed always injects the same faults at the
+//! same instants — chaos runs are exactly replayable.
+
+use std::time::Duration;
+
+use cloud_sim::clock::SimTime;
+use sgx_sim::machine::MachineId;
+
+use crate::rng::SplitMix64;
+
+/// One category of injectable fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Drop the next matching network frame.
+    NetDrop,
+    /// Bit-flip the next matching network frame (same length).
+    NetCorrupt,
+    /// Delay the next matching network frame by `by`.
+    NetDelay {
+        /// Extra in-flight delay applied to the frame.
+        by: Duration,
+    },
+    /// Drop every frame between machines `a` and `b` for `hold`.
+    Partition {
+        /// One side of the severed pair.
+        a: MachineId,
+        /// Other side of the severed pair.
+        b: MachineId,
+        /// How long the partition holds.
+        hold: Duration,
+    },
+    /// The next hooked disk write on `machine` fails (nothing stored).
+    DiskFail {
+        /// Machine whose untrusted disk misbehaves.
+        machine: MachineId,
+    },
+    /// The next hooked disk write on `machine` is torn (prefix stored).
+    DiskTorn {
+        /// Machine whose untrusted disk misbehaves.
+        machine: MachineId,
+    },
+    /// Crash and restart the Migration Enclave on `machine`.
+    CrashMe {
+        /// Machine whose ME dies.
+        machine: MachineId,
+    },
+    /// Abort the next ECALL on `machine` (AEX-style, state untouched).
+    EcallAbort {
+        /// Machine whose next enclave call aborts.
+        machine: MachineId,
+    },
+}
+
+impl FaultKind {
+    /// Short stable label used in fault records and reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::NetDrop => "net-drop",
+            FaultKind::NetCorrupt => "net-corrupt",
+            FaultKind::NetDelay { .. } => "net-delay",
+            FaultKind::Partition { .. } => "partition",
+            FaultKind::DiskFail { .. } => "disk-fail",
+            FaultKind::DiskTorn { .. } => "disk-torn",
+            FaultKind::CrashMe { .. } => "crash-me",
+            FaultKind::EcallAbort { .. } => "ecall-abort",
+        }
+    }
+}
+
+/// A fault armed at a virtual-time instant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScheduledFault {
+    /// Instant at which the fault arms.
+    pub at: SimTime,
+    /// What goes wrong.
+    pub kind: FaultKind,
+}
+
+/// Envelope bounding what a generated plan may contain.
+#[derive(Clone, Debug)]
+pub struct FaultSpec {
+    /// Earliest instant a fault may arm (lets setup run cleanly).
+    pub start: SimTime,
+    /// Window after `start` within which all faults arm.
+    pub horizon: Duration,
+    /// Machines eligible for targeted faults (disk, crash, ECALL,
+    /// partition endpoints). Must not be empty.
+    pub machines: Vec<MachineId>,
+    /// Number of single-frame network faults (drop/corrupt/delay).
+    pub net_faults: u32,
+    /// Number of timed partitions.
+    pub partitions: u32,
+    /// Number of disk write faults (fail/torn).
+    pub disk_faults: u32,
+    /// Number of ME crashes.
+    pub crashes: u32,
+    /// Number of scheduled ECALL aborts.
+    pub ecall_aborts: u32,
+    /// Upper bound for `NetDelay` delays.
+    pub max_delay: Duration,
+    /// Upper bound for partition hold times.
+    pub max_partition: Duration,
+}
+
+impl FaultSpec {
+    /// A moderate mixed-fault envelope over `machines`, starting at
+    /// `start`: a few of every category inside a one-second window.
+    #[must_use]
+    pub fn mixed(start: SimTime, machines: Vec<MachineId>) -> Self {
+        FaultSpec {
+            start,
+            horizon: Duration::from_secs(1),
+            machines,
+            net_faults: 4,
+            partitions: 1,
+            disk_faults: 2,
+            crashes: 1,
+            ecall_aborts: 1,
+            max_delay: Duration::from_millis(50),
+            max_partition: Duration::from_millis(40),
+        }
+    }
+}
+
+/// A complete, time-ordered fault schedule.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Faults ordered by arming instant.
+    pub faults: Vec<ScheduledFault>,
+}
+
+impl FaultPlan {
+    /// Generates a schedule from `seed` within the `spec` envelope.
+    ///
+    /// Equal `(seed, spec)` pairs yield identical plans.
+    #[must_use]
+    pub fn generate(seed: u64, spec: &FaultSpec) -> Self {
+        assert!(
+            !spec.machines.is_empty(),
+            "fault spec needs at least one machine"
+        );
+        let mut rng = SplitMix64::new(seed);
+        let horizon_ns = spec.horizon.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let at = |rng: &mut SplitMix64| {
+            SimTime(spec.start.0.saturating_add(rng.below(horizon_ns.max(1))))
+        };
+        let pick = |rng: &mut SplitMix64, machines: &[MachineId]| {
+            machines[rng.below(machines.len() as u64) as usize]
+        };
+
+        let mut faults = Vec::new();
+        for _ in 0..spec.net_faults {
+            let kind = match rng.below(3) {
+                0 => FaultKind::NetDrop,
+                1 => FaultKind::NetCorrupt,
+                _ => FaultKind::NetDelay {
+                    by: Duration::from_nanos(rng.range(1, spec.max_delay.as_nanos().max(2) as u64)),
+                },
+            };
+            faults.push(ScheduledFault {
+                at: at(&mut rng),
+                kind,
+            });
+        }
+        for _ in 0..spec.partitions {
+            let a = pick(&mut rng, &spec.machines);
+            // Partitions need two distinct endpoints; with one machine
+            // available the partition severs nothing, which is fine.
+            let b = pick(&mut rng, &spec.machines);
+            faults.push(ScheduledFault {
+                at: at(&mut rng),
+                kind: FaultKind::Partition {
+                    a,
+                    b,
+                    hold: Duration::from_nanos(
+                        rng.range(1, spec.max_partition.as_nanos().max(2) as u64),
+                    ),
+                },
+            });
+        }
+        for _ in 0..spec.disk_faults {
+            let machine = pick(&mut rng, &spec.machines);
+            let kind = if rng.chance(50) {
+                FaultKind::DiskFail { machine }
+            } else {
+                FaultKind::DiskTorn { machine }
+            };
+            faults.push(ScheduledFault {
+                at: at(&mut rng),
+                kind,
+            });
+        }
+        for _ in 0..spec.crashes {
+            faults.push(ScheduledFault {
+                at: at(&mut rng),
+                kind: FaultKind::CrashMe {
+                    machine: pick(&mut rng, &spec.machines),
+                },
+            });
+        }
+        for _ in 0..spec.ecall_aborts {
+            faults.push(ScheduledFault {
+                at: at(&mut rng),
+                kind: FaultKind::EcallAbort {
+                    machine: pick(&mut rng, &spec.machines),
+                },
+            });
+        }
+        faults.sort_by_key(|f| f.at);
+        FaultPlan { faults }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> FaultSpec {
+        FaultSpec::mixed(SimTime(1_000), vec![MachineId(1), MachineId(2)])
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = FaultPlan::generate(99, &spec());
+        let b = FaultPlan::generate(99, &spec());
+        assert_eq!(a.faults, b.faults);
+        assert!(!a.faults.is_empty());
+    }
+
+    #[test]
+    fn seeds_change_the_plan() {
+        let a = FaultPlan::generate(1, &spec());
+        let b = FaultPlan::generate(2, &spec());
+        assert_ne!(a.faults, b.faults);
+    }
+
+    #[test]
+    fn plan_respects_window_and_ordering() {
+        let s = spec();
+        let plan = FaultPlan::generate(7, &s);
+        let end = s.start.after(s.horizon);
+        for pair in plan.faults.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+        for f in &plan.faults {
+            assert!(f.at >= s.start && f.at <= end);
+        }
+        let count = s.net_faults + s.partitions + s.disk_faults + s.crashes + s.ecall_aborts;
+        assert_eq!(plan.faults.len(), count as usize);
+    }
+}

@@ -1,0 +1,149 @@
+//! Stable, sorted JSON reports for chaos soak runs.
+//!
+//! The CI job diffs `CHAOS.json` between runs of the same seed set, so
+//! the exporter must be byte-stable: keys in fixed order, seeds sorted,
+//! fault records sorted by firing instant then label. All JSON is
+//! hand-rolled — every emitted string is a static label, so no escaping
+//! is needed.
+
+use crate::engine::FaultRecord;
+
+/// Outcome and fault history of one seeded soak run.
+#[derive(Clone, Debug)]
+pub struct SeedReport {
+    /// The seed that generated the fault plan.
+    pub seed: u64,
+    /// Number of concurrent migration streams in the run.
+    pub streams: u32,
+    /// Streams that released exactly once with bit-identical state.
+    pub released: u32,
+    /// Streams that aborted with the source still authoritative.
+    pub aborted: u32,
+    /// Total supervisor recovery attempts across the run.
+    pub retries: u32,
+    /// Every fault that fired, in firing order.
+    pub faults: Vec<FaultRecord>,
+}
+
+impl SeedReport {
+    fn write_json(&self, out: &mut String) {
+        let mut faults = self.faults.clone();
+        faults.sort_by_key(|f| (f.at, f.kind.name()));
+        out.push_str(&format!(
+            "{{\"seed\":{},\"streams\":{},\"released\":{},\"aborted\":{},\"retries\":{},\"faults\":[",
+            self.seed, self.streams, self.released, self.aborted, self.retries
+        ));
+        for (i, fault) in faults.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"at_ns\":{},\"kind\":\"{}\"}}",
+                fault.at.0,
+                fault.kind.name()
+            ));
+        }
+        out.push_str("]}");
+    }
+}
+
+/// A full soak report: one [`SeedReport`] per seed.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosReport {
+    /// Per-seed results (sorted on export).
+    pub seeds: Vec<SeedReport>,
+}
+
+impl ChaosReport {
+    /// Serializes to stable JSON: seeds sorted ascending, fixed key
+    /// order, fault records sorted by instant then label. Equal runs
+    /// yield byte-identical output.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut seeds = self.seeds.clone();
+        seeds.sort_by_key(|s| s.seed);
+        let total_faults: usize = seeds.iter().map(|s| s.faults.len()).sum();
+        let released: u32 = seeds.iter().map(|s| s.released).sum();
+        let aborted: u32 = seeds.iter().map(|s| s.aborted).sum();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"schema\":\"chaos-v1\",\"seeds\":{},\"released\":{},\"aborted\":{},\"faults\":{},\"runs\":[",
+            seeds.len(),
+            released,
+            aborted,
+            total_faults
+        ));
+        for (i, seed) in seeds.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            seed.write_json(&mut out);
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultKind;
+    use cloud_sim::clock::SimTime;
+
+    fn report() -> ChaosReport {
+        ChaosReport {
+            seeds: vec![
+                SeedReport {
+                    seed: 2,
+                    streams: 1,
+                    released: 1,
+                    aborted: 0,
+                    retries: 3,
+                    faults: vec![
+                        FaultRecord {
+                            at: SimTime(20),
+                            kind: FaultKind::NetCorrupt,
+                        },
+                        FaultRecord {
+                            at: SimTime(10),
+                            kind: FaultKind::NetDrop,
+                        },
+                    ],
+                },
+                SeedReport {
+                    seed: 1,
+                    streams: 2,
+                    released: 1,
+                    aborted: 1,
+                    retries: 0,
+                    faults: Vec::new(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn export_is_sorted_and_stable() {
+        let a = report().to_json();
+        let mut shuffled = report();
+        shuffled.seeds.reverse();
+        shuffled.seeds[1].faults.reverse();
+        assert_eq!(a, shuffled.to_json());
+        // Seeds ascending, faults by instant.
+        let one = a.find("\"seed\":1").unwrap();
+        let two = a.find("\"seed\":2").unwrap();
+        assert!(one < two);
+        let drop_at = a.find("net-drop").unwrap();
+        let corrupt_at = a.find("net-corrupt").unwrap();
+        assert!(drop_at < corrupt_at);
+    }
+
+    #[test]
+    fn export_carries_totals() {
+        let json = report().to_json();
+        assert!(json.starts_with(
+            "{\"schema\":\"chaos-v1\",\"seeds\":2,\"released\":2,\"aborted\":1,\"faults\":2,"
+        ));
+        assert!(json.ends_with("]}\n"));
+    }
+}

@@ -11,6 +11,51 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// Why a fallible disk write ([`UntrustedDisk::try_put`]) failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiskError {
+    /// The write was rejected outright; the stored value (if any) is
+    /// unchanged.
+    Failed,
+    /// The write tore mid-way: a **prefix** of the new value replaced
+    /// the old one before the failure (the classic crashed-mid-write
+    /// artifact torn-write recovery must tolerate).
+    Torn,
+}
+
+impl std::fmt::Display for DiskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiskError::Failed => write!(f, "disk write failed"),
+            DiskError::Torn => write!(f, "disk write torn mid-way"),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+/// Verdict a write-fault hook returns for one [`UntrustedDisk::try_put`]
+/// attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteFault {
+    /// The write proceeds normally.
+    None,
+    /// The write is rejected; nothing is stored.
+    Fail,
+    /// The write tears: only the first `keep` bytes of the value are
+    /// stored (clamped to the value length), and the write reports
+    /// [`DiskError::Torn`].
+    Torn {
+        /// Prefix length that reaches the platter before the failure.
+        keep: usize,
+    },
+}
+
+/// A write-fault hook: inspects `(key, value)` of each fallible write
+/// and decides its fate. Installed per disk via
+/// [`UntrustedDisk::set_fault_hook`] (fault injection).
+pub type FaultHook = Box<dyn FnMut(&str, &[u8]) -> WriteFault + Send>;
+
 /// A point-in-time copy of a disk's contents (an adversary capability).
 #[derive(Clone, Debug)]
 pub struct DiskSnapshot {
@@ -51,9 +96,21 @@ impl DiskSnapshot {
 /// disk.restore(&snap);                 // ... and rolls it back later
 /// assert_eq!(disk.get("blob").unwrap(), b"v1");
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Default)]
 pub struct UntrustedDisk {
     entries: Arc<Mutex<HashMap<String, Vec<u8>>>>,
+    /// Shared across clones: every handle on the machine's disk sees the
+    /// same injected faults.
+    fault_hook: Arc<Mutex<Option<FaultHook>>>,
+}
+
+impl std::fmt::Debug for UntrustedDisk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UntrustedDisk")
+            .field("objects", &self.entries.lock().len())
+            .field("fault_hook", &self.fault_hook.lock().is_some())
+            .finish()
+    }
 }
 
 impl UntrustedDisk {
@@ -64,8 +121,50 @@ impl UntrustedDisk {
     }
 
     /// Stores `value` under `key`, replacing any previous value.
+    ///
+    /// Infallible and immune to injected faults — this is the adversary's
+    /// (and test harness's) direct handle on the medium. Durability-aware
+    /// writers go through [`UntrustedDisk::try_put`].
     pub fn put(&self, key: &str, value: Vec<u8>) {
         self.entries.lock().insert(key.to_string(), value);
+    }
+
+    /// Stores `value` under `key` through the fault hook, if installed.
+    ///
+    /// # Errors
+    ///
+    /// [`DiskError::Failed`] leaves the stored value unchanged;
+    /// [`DiskError::Torn`] stores a prefix of `value` before failing.
+    pub fn try_put(&self, key: &str, value: Vec<u8>) -> Result<(), DiskError> {
+        let fault = match &mut *self.fault_hook.lock() {
+            Some(hook) => hook(key, &value),
+            None => WriteFault::None,
+        };
+        match fault {
+            WriteFault::None => {
+                self.entries.lock().insert(key.to_string(), value);
+                Ok(())
+            }
+            WriteFault::Fail => Err(DiskError::Failed),
+            WriteFault::Torn { keep } => {
+                let keep = keep.min(value.len());
+                self.entries
+                    .lock()
+                    .insert(key.to_string(), value[..keep].to_vec());
+                Err(DiskError::Torn)
+            }
+        }
+    }
+
+    /// Installs the write-fault hook consulted by every
+    /// [`UntrustedDisk::try_put`] on this disk (all clones share it).
+    pub fn set_fault_hook(&self, hook: impl FnMut(&str, &[u8]) -> WriteFault + Send + 'static) {
+        *self.fault_hook.lock() = Some(Box::new(hook));
+    }
+
+    /// Removes the installed write-fault hook, restoring reliable writes.
+    pub fn clear_fault_hook(&self) {
+        *self.fault_hook.lock() = None;
     }
 
     /// Reads the value under `key`.
@@ -163,6 +262,65 @@ mod tests {
         let alias = disk.clone();
         disk.put("k", b"v".to_vec());
         assert_eq!(alias.get("k").unwrap(), b"v");
+    }
+
+    #[test]
+    fn try_put_without_hook_behaves_like_put() {
+        let disk = UntrustedDisk::new();
+        disk.try_put("k", b"v".to_vec()).unwrap();
+        assert_eq!(disk.get("k").unwrap(), b"v");
+    }
+
+    #[test]
+    fn failed_write_leaves_old_value() {
+        let disk = UntrustedDisk::new();
+        disk.put("k", b"old".to_vec());
+        disk.set_fault_hook(|_, _| WriteFault::Fail);
+        assert_eq!(disk.try_put("k", b"new".to_vec()), Err(DiskError::Failed));
+        assert_eq!(disk.get("k").unwrap(), b"old");
+        // The infallible path is immune to the hook.
+        disk.put("k", b"direct".to_vec());
+        assert_eq!(disk.get("k").unwrap(), b"direct");
+        disk.clear_fault_hook();
+        disk.try_put("k", b"new".to_vec()).unwrap();
+        assert_eq!(disk.get("k").unwrap(), b"new");
+    }
+
+    #[test]
+    fn torn_write_stores_prefix_and_errors() {
+        let disk = UntrustedDisk::new();
+        disk.put("k", b"previous".to_vec());
+        disk.set_fault_hook(|_, value| WriteFault::Torn {
+            keep: value.len() / 2,
+        });
+        assert_eq!(
+            disk.try_put("k", b"abcdefgh".to_vec()),
+            Err(DiskError::Torn)
+        );
+        assert_eq!(disk.get("k").unwrap(), b"abcd");
+    }
+
+    #[test]
+    fn fault_hook_is_shared_across_clones() {
+        let disk = UntrustedDisk::new();
+        let alias = disk.clone();
+        disk.set_fault_hook(|_, _| WriteFault::Fail);
+        assert_eq!(alias.try_put("k", vec![1]), Err(DiskError::Failed));
+    }
+
+    #[test]
+    fn hook_sees_key_and_value() {
+        let disk = UntrustedDisk::new();
+        disk.set_fault_hook(|key, value| {
+            if key.starts_with("ckpt/") && value.len() > 2 {
+                WriteFault::Fail
+            } else {
+                WriteFault::None
+            }
+        });
+        disk.try_put("ckpt/1", vec![0; 8]).unwrap_err();
+        disk.try_put("ckpt/2", vec![0; 2]).unwrap();
+        disk.try_put("other", vec![0; 8]).unwrap();
     }
 
     #[test]

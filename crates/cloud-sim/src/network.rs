@@ -117,6 +117,10 @@ pub enum TapAction {
     Drop,
     /// Deliver a replacement payload instead.
     Replace(Vec<u8>),
+    /// Hold the message back and re-deliver it `Duration` later (link
+    /// jitter / transient congestion). The delayed copy passes the taps
+    /// again on its new delivery time.
+    Delay(Duration),
 }
 
 /// An adversary interception point. Taps see every message at delivery.
@@ -263,6 +267,11 @@ impl Network {
                 TapAction::Deliver => {}
                 TapAction::Drop => return None,
                 TapAction::Replace(payload) => envelope.payload = payload,
+                TapAction::Delay(by) => {
+                    envelope.deliver_at = envelope.deliver_at.after(by);
+                    self.push(envelope);
+                    return None;
+                }
             }
         }
         if self.recording {
@@ -348,6 +357,39 @@ mod tests {
         }));
         net.send(&ep(1, "a"), &ep(2, "b"), b"good".to_vec());
         assert_eq!(net.deliver_next().unwrap().payload, b"evil");
+    }
+
+    #[test]
+    fn tap_can_delay_messages() {
+        let mut net = Network::new(SimClock::new());
+        // Delay each message exactly once: the re-queued copy passes the
+        // tap again, so a one-shot flag keeps this terminating.
+        let mut delayed = false;
+        net.add_tap(Box::new(move |_: &Envelope| {
+            if delayed {
+                TapAction::Deliver
+            } else {
+                delayed = true;
+                TapAction::Delay(Duration::from_millis(5))
+            }
+        }));
+        net.send(&ep(1, "a"), &ep(2, "b"), b"late".to_vec());
+        let original_arrival = net
+            .link()
+            .transfer_time(4)
+            .as_nanos()
+            .try_into()
+            .unwrap_or(u64::MAX);
+        assert!(net.deliver_next().is_none(), "held back on first pass");
+        assert_eq!(net.pending(), 1, "the delayed copy is re-queued");
+        let envelope = net.deliver_next().unwrap();
+        assert_eq!(envelope.payload, b"late");
+        assert_eq!(
+            envelope.deliver_at.0,
+            original_arrival + 5_000_000,
+            "re-delivered exactly the delay later"
+        );
+        assert_eq!(net.now(), envelope.deliver_at);
     }
 
     #[test]

@@ -149,7 +149,9 @@ impl Datacenter {
     ) -> MachineId {
         let machine_id = self.world.add_machine(labels.clone());
         self.me_transfer_configs.insert(machine_id, transfer);
-        let enclave = self.provision_me(machine_id, policy);
+        let enclave = self
+            .provision_me(machine_id, policy)
+            .expect("ME provisioning at setup must succeed");
 
         let endpoint = Endpoint::new(machine_id, ME_SERVICE);
         let host = Arc::new(Mutex::new(MeHost::new(
@@ -171,18 +173,19 @@ impl Datacenter {
         &mut self,
         machine_id: MachineId,
         policy: &MigrationPolicy,
-    ) -> sgx_sim::enclave::EnclaveHandle {
+    ) -> Result<sgx_sim::enclave::EnclaveHandle, SgxError> {
         let machine = self.world.machine(machine_id).clone();
         let enclave = machine
             .sgx
-            .load_enclave(&me_image(), Box::new(MigrationEnclave::new()))
-            .expect("ME image must load");
+            .load_enclave(&me_image(), Box::new(MigrationEnclave::new()))?;
 
         // CSR-style provisioning: the key is generated inside the ME.
-        let pubkey_bytes = enclave
-            .ecall(me_ops::KEYGEN, &[])
-            .expect("ME keygen must succeed");
-        let me_key = VerifyingKey(pubkey_bytes.try_into().expect("32-byte pubkey"));
+        let pubkey_bytes = enclave.ecall(me_ops::KEYGEN, &[])?;
+        let me_key = VerifyingKey(
+            pubkey_bytes
+                .try_into()
+                .map_err(|_| SgxError::Enclave("ME keygen returned a malformed pubkey".into()))?,
+        );
         let credential = self
             .operator
             .issue_credential(me_key, machine_id, &machine.labels);
@@ -197,10 +200,8 @@ impl Datacenter {
             .copied()
             .unwrap_or_default()
             .encode(&mut w);
-        enclave
-            .ecall(me_ops::PROVISION, &w.finish())
-            .expect("ME provisioning must succeed");
-        enclave
+        enclave.ecall(me_ops::PROVISION, &w.finish())?;
+        Ok(enclave)
     }
 
     /// The ME host on `machine` (diagnostics, error inspection).
@@ -509,10 +510,14 @@ impl Datacenter {
     ///
     /// # Errors
     ///
-    /// Enclave errors propagate.
+    /// Enclave errors propagate; a failed or torn disk write surfaces as
+    /// an enclave error too (the previous checkpoint generation stays
+    /// authoritative on disk).
     pub fn persist_me(&mut self, machine: MachineId) -> Result<(), SgxError> {
         let blob = self.me_host(machine).lock().persist_state()?;
-        self.me_checkpoints(machine).put(blob);
+        self.me_checkpoints(machine)
+            .put(blob)
+            .map_err(|e| SgxError::Enclave(format!("me checkpoint write: {e}")))?;
         Ok(())
     }
 
@@ -544,7 +549,7 @@ impl Datacenter {
             }
             None => {
                 let policy = self.me_policies.get(&machine).cloned().unwrap_or_default();
-                (self.provision_me(machine, &policy), None)
+                (self.provision_me(machine, &policy)?, None)
             }
         };
         self.me_host(machine)

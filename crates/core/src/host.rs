@@ -502,6 +502,45 @@ impl MeHost {
         Ok(())
     }
 
+    /// Discards staged incoming migration state for `mr` (supervisor
+    /// graceful degradation on the destination side). Returns whether
+    /// the ME actually discarded anything — `false` means the data was
+    /// already handed to the destination library and the abort was
+    /// refused to keep a later retry from double-releasing.
+    ///
+    /// # Errors
+    ///
+    /// Enclave errors propagate.
+    pub fn abort_incoming(&mut self, mr: MrEnclave) -> Result<bool, SgxError> {
+        let mut w = WireWriter::new();
+        w.array(&mr.0);
+        let out = self.enclave.ecall(me_ops::ABORT, &w.finish())?;
+        let mut r = WireReader::new(&out);
+        let discarded = r.u8().map_err(|_| SgxError::Decode)? == 1;
+        if discarded {
+            self.registry.bump_counter("host.aborts_incoming", 1);
+        }
+        Ok(discarded)
+    }
+
+    /// Records a channel-scoped trace edge (injected fault, supervisor
+    /// backoff / abort) on the directed `source → destination` channel,
+    /// and tallies it in the metrics registry. This is the hook chaos
+    /// and supervision layers use to make every fault and recovery
+    /// action visible in the exported trace.
+    pub fn record_channel_edge(
+        &mut self,
+        source: MachineId,
+        destination: MachineId,
+        at: SimTime,
+        edge: Edge,
+    ) {
+        let trace = Self::channel_trace(source, destination);
+        self.record_edge(trace, at, edge);
+        self.registry
+            .bump_counter(&format!("edge.{}", edge.name()), 1);
+    }
+
     fn on_la_start(&mut self, net: &mut Network, from: &Endpoint) {
         let mut w = WireWriter::new();
         w.bytes(&Self::token_for(from));
@@ -1052,7 +1091,12 @@ impl AppHost {
     fn store_persist(&mut self, envelope_bytes: &[u8]) -> Result<Vec<u8>, SgxError> {
         let (payload, persist) = open_envelope(envelope_bytes)?;
         if let Some(blob) = persist {
-            self.disk.put(&self.state_key(), blob.clone());
+            // A failed or torn write surfaces to the caller: the enclave
+            // has already advanced, but the host must not pretend the
+            // state is durable when the platter rejected it.
+            self.disk
+                .try_put(&self.state_key(), blob.clone())
+                .map_err(|e| SgxError::Enclave(format!("persist write: {e}")))?;
             // Periodic durable checkpoint generation (the "C" of CTR):
             // the latest-but-one generation survives even a crash
             // mid-write of the newest.
@@ -1061,7 +1105,9 @@ impl AppHost {
                 || self.checkpoints.latest_generation().is_none()
             {
                 self.persists_since_checkpoint = 0;
-                self.checkpoints.put(blob);
+                self.checkpoints
+                    .put(blob)
+                    .map_err(|e| SgxError::Enclave(format!("checkpoint write: {e}")))?;
             }
         }
         Ok(payload)

@@ -104,6 +104,7 @@ pub mod operator;
 pub mod policy;
 pub mod remote_attest;
 pub mod secure_channel;
+pub mod supervisor;
 pub mod transfer;
 
 pub use error::{ChannelPeer, MigError};

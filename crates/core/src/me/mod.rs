@@ -108,6 +108,12 @@ pub mod ops {
     /// hashes of the transfer nonce; the nonce never leaves the
     /// enclave). Read-only.
     pub const TELEMETRY: u32 = 16;
+    /// Host-directed discard of staged **incoming** migration state for
+    /// one enclave measurement (supervisor graceful degradation).
+    /// Refused once the data has been handed to the destination
+    /// library, so an abort can never race a completed delivery into a
+    /// double release.
+    pub const ABORT: u32 = 17;
 }
 
 /// The canonical Migration Enclave image. Identical on every machine, as
@@ -588,6 +594,7 @@ impl EnclaveCode for MigrationEnclave {
             ops::STREAM_STAT => self.op_stream_stat(input),
             ops::LINK_STAT => self.op_link_stat(input),
             ops::TELEMETRY => self.op_telemetry(),
+            ops::ABORT => self.op_abort(input),
             _ => Err(MigError::Protocol("unknown opcode")),
         };
         result.map_err(SgxError::from)

@@ -2307,6 +2307,45 @@ impl MigrationEnclave {
         }
     }
 
+    /// `ABORT` — discards staged **incoming** state for `mr`: the parked
+    /// `pending_incoming` payload and every partial inbound stream
+    /// targeting that measurement. Output is `0` (refused) when the data
+    /// has already been handed to the destination library
+    /// (`awaiting_done`) — at that point the library may have installed
+    /// it, and discarding the ME's record could let a later retry
+    /// double-release — otherwise `1` plus the number of staged items
+    /// dropped. After a destination-ME crash `awaiting_done` is empty
+    /// (it is deliberately not persisted), so a post-restart abort
+    /// always discards.
+    pub(super) fn op_abort(&mut self, input: &[u8]) -> Result<Vec<u8>, MigError> {
+        let mut r = WireReader::new(input);
+        let mr = MrEnclave(r.array()?);
+        r.finish()?;
+        let mut w = WireWriter::new();
+        if self.awaiting_done.contains_key(&mr) {
+            w.u8(0);
+            return Ok(w.finish());
+        }
+        let mut discarded = 0u32;
+        if self.pending_incoming.remove(&mr).is_some() {
+            discarded += 1;
+        }
+        let stale: Vec<TransferNonce> = self
+            .inbound
+            .iter()
+            .filter(|(_, fsm)| fsm.mr_enclave() == mr)
+            .map(|(nonce, _)| *nonce)
+            .collect();
+        for nonce in stale {
+            self.inbound.remove(&nonce);
+            discarded += 1;
+        }
+        self.telemetry.aborts_incoming += 1;
+        w.u8(1);
+        w.u32(discarded);
+        Ok(w.finish())
+    }
+
     pub(super) fn op_stream_stat(&self, input: &[u8]) -> Result<Vec<u8>, MigError> {
         let mut r = WireReader::new(input);
         let mr = MrEnclave(r.array()?);

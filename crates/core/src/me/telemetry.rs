@@ -24,6 +24,9 @@ use sgx_sim::SgxError;
 /// ledger of quarantined inbound streams.
 #[derive(Debug, Default)]
 pub(crate) struct MeTelemetry {
+    /// Host-directed incoming-state aborts executed (`ABORT` ECALL;
+    /// refusals are not counted).
+    pub(crate) aborts_incoming: u64,
     /// Stream announcements dispatched (`ChunkStart` / `DeltaStart`).
     pub(crate) announcements: u64,
     /// Generation-cache entries evicted by the LRU byte budget.
@@ -51,8 +54,9 @@ pub(crate) struct MeTelemetry {
 
 impl MeTelemetry {
     /// Counter (name, value) pairs in stable sorted-by-name order.
-    fn counters(&self) -> [(&'static str, u64); 9] {
+    fn counters(&self) -> [(&'static str, u64); 10] {
         [
+            ("me.aborts_incoming", self.aborts_incoming),
             ("me.announcements", self.announcements),
             ("me.cache_evictions", self.cache_evictions),
             ("me.chunks_received", self.chunks_received),
@@ -193,7 +197,7 @@ mod tests {
         let me = MigrationEnclave::new();
         let bytes = me.op_telemetry().unwrap();
         let report = TelemetryReport::from_bytes(&bytes).unwrap();
-        assert_eq!(report.counters.len(), 9);
+        assert_eq!(report.counters.len(), 10);
         assert!(report.counters.iter().all(|(_, v)| *v == 0));
         assert!(report.links.is_empty() && report.quarantined.is_empty());
         // Counter names arrive sorted (stable export order).

@@ -18,7 +18,7 @@
 //! never a silently wrong state.
 
 use crate::transfer::delta::{self, DeltaManifest, PageDigests};
-use cloud_sim::disk::UntrustedDisk;
+use cloud_sim::disk::{DiskError, UntrustedDisk};
 
 /// Default number of retained checkpoint generations.
 pub const DEFAULT_KEEP: usize = 4;
@@ -103,22 +103,32 @@ impl CheckpointStore {
     /// Stores a checkpoint, returning its generation number. Records the
     /// blob's page digest table alongside it so later generations can be
     /// diffed against this one via [`CheckpointStore::delta_since`].
-    pub fn put(&self, blob: Vec<u8>) -> u64 {
+    ///
+    /// The `latest` pointer is written last: on any error the pointer is
+    /// untouched, so the previous generation stays authoritative and a
+    /// torn or failed blob write is never pointed to. A failed put may
+    /// leave orphan sidecar/blob entries at the unpointed generation;
+    /// the next successful put reuses and overwrites that generation.
+    ///
+    /// # Errors
+    ///
+    /// Any disk write that fails or tears ([`DiskError`]) aborts the put.
+    pub fn put(&self, blob: Vec<u8>) -> Result<u64, DiskError> {
         let generation = self.latest_generation().map_or(0, |g| g + 1);
         if self.record_digests {
             let digests = PageDigests::compute(&blob, delta::PAGE_SIZE);
             self.disk
-                .put(&self.digests_key(generation), digests.to_bytes());
+                .try_put(&self.digests_key(generation), digests.to_bytes())?;
         }
-        self.disk.put(&self.blob_key(generation), blob);
+        self.disk.try_put(&self.blob_key(generation), blob)?;
         self.disk
-            .put(&self.latest_key(), generation.to_le_bytes().to_vec());
+            .try_put(&self.latest_key(), generation.to_le_bytes().to_vec())?;
         // Prune beyond the retention window.
         if let Some(expired) = generation.checked_sub(self.keep as u64) {
             self.disk.delete(&self.blob_key(expired));
             self.disk.delete(&self.digests_key(expired));
         }
-        generation
+        Ok(generation)
     }
 
     /// Reads a specific generation.
@@ -191,8 +201,8 @@ mod tests {
     fn put_latest_get_round_trip() {
         let store = CheckpointStore::new(UntrustedDisk::new(), "app:a");
         assert!(store.latest().is_none());
-        assert_eq!(store.put(b"v0".to_vec()), 0);
-        assert_eq!(store.put(b"v1".to_vec()), 1);
+        assert_eq!(store.put(b"v0".to_vec()).unwrap(), 0);
+        assert_eq!(store.put(b"v1".to_vec()).unwrap(), 1);
         assert_eq!(store.latest().unwrap(), (1, b"v1".to_vec()));
         assert_eq!(store.get(0).unwrap(), b"v0");
     }
@@ -201,7 +211,7 @@ mod tests {
     fn prunes_beyond_retention() {
         let store = CheckpointStore::with_keep(UntrustedDisk::new(), "app:b", 2);
         for i in 0..5u8 {
-            store.put(vec![i]);
+            store.put(vec![i]).unwrap();
         }
         assert_eq!(store.generations(), vec![3, 4]);
         assert_eq!(store.latest().unwrap(), (4, vec![4]));
@@ -212,10 +222,10 @@ mod tests {
     fn delta_since_yields_only_dirty_pages() {
         let store = CheckpointStore::new(UntrustedDisk::new(), "app:d");
         let base: Vec<u8> = vec![0u8; 64 * 1024];
-        let g0 = store.put(base.clone());
+        let g0 = store.put(base.clone()).unwrap();
         let mut new = base.clone();
         new[5 * 4096] = 0xAA; // dirty exactly one page
-        let g1 = store.put(new.clone());
+        let g1 = store.put(new.clone()).unwrap();
         let (manifest, payload) = store.delta_since(g0).expect("both generations on disk");
         assert_eq!(manifest.base_generation, g0);
         assert_eq!(manifest.new_generation, g1);
@@ -228,7 +238,7 @@ mod tests {
     fn delta_since_unavailable_when_base_pruned() {
         let store = CheckpointStore::with_keep(UntrustedDisk::new(), "app:e", 2);
         for i in 0..5u8 {
-            store.put(vec![i; 100]);
+            store.put(vec![i; 100]).unwrap();
         }
         assert!(store.delta_since(0).is_none(), "generation 0 was pruned");
         assert!(store.delta_since(3).is_some(), "generation 3 retained");
@@ -239,7 +249,7 @@ mod tests {
     fn latest_meta_matches_latest_without_loading() {
         let store = CheckpointStore::new(UntrustedDisk::new(), "app:f");
         assert!(store.latest_meta().is_none());
-        store.put(vec![7; 1234]);
+        store.put(vec![7; 1234]).unwrap();
         let meta = store.latest_meta().unwrap();
         assert_eq!(meta.generation, 0);
         assert_eq!(meta.len, 1234);
@@ -248,13 +258,42 @@ mod tests {
     }
 
     #[test]
+    fn failed_put_leaves_previous_generation_authoritative() {
+        use cloud_sim::disk::WriteFault;
+
+        let disk = UntrustedDisk::new();
+        let store = CheckpointStore::new(disk.clone(), "app:g");
+        store.put(b"good".to_vec()).unwrap();
+
+        // Fail the next blob write outright, then tear the one after.
+        let mut faults = vec![WriteFault::Torn { keep: 1 }, WriteFault::Fail];
+        disk.set_fault_hook(move |key: &str, _value: &[u8]| {
+            if key.contains("/ckpt/") {
+                faults.pop().unwrap_or(WriteFault::None)
+            } else {
+                WriteFault::None
+            }
+        });
+
+        assert_eq!(store.put(b"lost".to_vec()), Err(DiskError::Failed));
+        assert_eq!(store.put(b"torn".to_vec()), Err(DiskError::Torn));
+        // The latest pointer never moved off the good generation.
+        assert_eq!(store.latest().unwrap(), (0, b"good".to_vec()));
+
+        // With the fault budget exhausted, the next put succeeds and
+        // overwrites the unpointed generation.
+        assert_eq!(store.put(b"next".to_vec()).unwrap(), 1);
+        assert_eq!(store.latest().unwrap(), (1, b"next".to_vec()));
+    }
+
+    #[test]
     fn namespaces_are_independent() {
         let disk = UntrustedDisk::new();
         let a = CheckpointStore::new(disk.clone(), "a");
         let b = CheckpointStore::new(disk, "b");
-        a.put(b"for a".to_vec());
+        a.put(b"for a".to_vec()).unwrap();
         assert!(b.latest().is_none());
-        b.put(b"for b".to_vec());
+        b.put(b"for b".to_vec()).unwrap();
         assert_eq!(a.latest().unwrap().1, b"for a");
         assert_eq!(b.latest().unwrap().1, b"for b");
     }

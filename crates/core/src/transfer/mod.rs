@@ -55,6 +55,7 @@ pub use crate::me::wire::{AdaptiveLink, DrrScheduler, StreamDemand};
 use cloud_sim::network::LinkProfile;
 use sgx_sim::wire::{WireReader, WireWriter};
 use sgx_sim::SgxError;
+use std::time::Duration;
 
 /// Default streaming threshold: state strictly larger than this streams.
 pub const DEFAULT_STREAM_THRESHOLD: u32 = 64 * 1024;
@@ -81,6 +82,14 @@ pub const DEFAULT_CACHE_BUDGET: u64 = 256 * 1024 * 1024;
 pub const MIN_CHUNK_SIZE: u32 = 4096;
 /// Largest chunk size [`TransferConfig::for_link`] will derive.
 pub const MAX_CHUNK_SIZE: u32 = 4 * 1024 * 1024;
+/// Default virtual-time deadline for one supervised migration; past it
+/// the supervisor aborts with the source still authoritative.
+pub const DEFAULT_DEADLINE: Duration = Duration::from_secs(30);
+/// Default supervisor recovery-attempt budget per migration.
+pub const DEFAULT_RETRY_BUDGET: u32 = 6;
+/// Default base of the supervisor's bounded exponential backoff
+/// (attempt *n* waits `backoff_base * 2^(n-1)` of virtual time).
+pub const DEFAULT_BACKOFF_BASE: Duration = Duration::from_millis(5);
 
 /// Tuning knobs of the streaming state transfer, provisioned into each
 /// Migration Enclave alongside the migration policy. `chunk_size` and
@@ -117,6 +126,16 @@ pub struct TransferConfig {
     /// rules (digest-before-release, validate-before-apply, quarantine
     /// on tamper) are identical either way.
     pub speculative_restore: bool,
+    /// Virtual-time deadline for one supervised migration. When it
+    /// lapses the [`crate::supervisor::MigrationSupervisor`] stops
+    /// retrying and aborts with the source still authoritative.
+    pub deadline: Duration,
+    /// Supervisor recovery attempts per migration before giving up.
+    /// Zero means a single attempt with no recovery.
+    pub retry_budget: u32,
+    /// Base of the supervisor's bounded exponential backoff: recovery
+    /// attempt *n* waits `backoff_base * 2^(n-1)` of virtual time.
+    pub backoff_base: Duration,
 }
 
 impl Default for TransferConfig {
@@ -130,6 +149,9 @@ impl Default for TransferConfig {
             max_streams: DEFAULT_MAX_STREAMS,
             cache_budget: DEFAULT_CACHE_BUDGET,
             speculative_restore: true,
+            deadline: DEFAULT_DEADLINE,
+            retry_budget: DEFAULT_RETRY_BUDGET,
+            backoff_base: DEFAULT_BACKOFF_BASE,
         }
     }
 }
@@ -167,6 +189,9 @@ impl TransferConfig {
         w.u32(self.max_streams);
         w.u64(self.cache_budget);
         w.u8(u8::from(self.speculative_restore));
+        w.u64(self.deadline.as_nanos().min(u128::from(u64::MAX)) as u64);
+        w.u32(self.retry_budget);
+        w.u64(self.backoff_base.as_nanos().min(u128::from(u64::MAX)) as u64);
     }
 
     /// Parses a config, rejecting degenerate geometry.
@@ -176,7 +201,7 @@ impl TransferConfig {
     /// [`SgxError::Decode`] on malformed input, a chunk size below
     /// [`MIN_CHUNK_SIZE`], a zero window, a window ceiling below the
     /// initial window, a delta fraction above 100 %, a zero stream cap,
-    /// or a zero cache budget.
+    /// a zero cache budget, a zero deadline, or a zero backoff base.
     pub fn decode(r: &mut WireReader<'_>) -> Result<Self, SgxError> {
         let config = TransferConfig {
             stream_threshold: r.u32()?,
@@ -187,6 +212,9 @@ impl TransferConfig {
             max_streams: r.u32()?,
             cache_budget: r.u64()?,
             speculative_restore: r.u8()? != 0,
+            deadline: Duration::from_nanos(r.u64()?),
+            retry_budget: r.u32()?,
+            backoff_base: Duration::from_nanos(r.u64()?),
         };
         if config.chunk_size < MIN_CHUNK_SIZE
             || config.window == 0
@@ -194,6 +222,8 @@ impl TransferConfig {
             || config.max_delta_percent > 100
             || config.max_streams == 0
             || config.cache_budget == 0
+            || config.deadline.is_zero()
+            || config.backoff_base.is_zero()
         {
             return Err(SgxError::Decode);
         }
@@ -216,6 +246,9 @@ mod tests {
             max_streams: 4,
             cache_budget: 8 * 1024 * 1024,
             speculative_restore: false,
+            deadline: Duration::from_secs(7),
+            retry_budget: 2,
+            backoff_base: Duration::from_millis(1),
         };
         let mut w = WireWriter::new();
         config.encode(&mut w);
@@ -255,6 +288,14 @@ mod tests {
             },
             TransferConfig {
                 cache_budget: 0,
+                ..ok
+            },
+            TransferConfig {
+                deadline: Duration::ZERO,
+                ..ok
+            },
+            TransferConfig {
+                backoff_base: Duration::ZERO,
                 ..ok
             },
         ];

@@ -99,6 +99,11 @@ impl EnclaveHandle {
         if !self.is_alive() {
             return Err(SgxError::EnclaveLost);
         }
+        if self.core.take_ecall_fault() {
+            // Injected AEX-style abort: the call never enters the
+            // enclave, so enclave state is untouched.
+            return Err(SgxError::Enclave("injected ecall abort".into()));
+        }
         let mut code = self.instance.code.lock();
         self.core.transitions.lock().begin_ecall();
         let mut env = EnclaveEnv {

@@ -36,6 +36,15 @@ impl std::fmt::Display for MachineId {
     }
 }
 
+/// Scheduled ECALL-abort fault state: the machine-wide ECALL ordinal
+/// counter plus the set of ordinals whose ECALL aborts (fault
+/// injection; see [`SgxMachine::schedule_ecall_abort`]).
+#[derive(Default)]
+pub(crate) struct EcallFaults {
+    calls: u64,
+    scheduled: std::collections::BTreeSet<u64>,
+}
+
 pub(crate) struct MachineCore {
     pub(crate) machine_id: MachineId,
     pub(crate) cpu: CpuSecret,
@@ -46,11 +55,21 @@ pub(crate) struct MachineCore {
     pub(crate) transitions: Mutex<TransitionTally>,
     epoch: AtomicU64,
     enrollment: PlatformEnrollment,
+    pub(crate) ecall_faults: Mutex<EcallFaults>,
 }
 
 impl MachineCore {
     pub(crate) fn current_epoch(&self) -> u64 {
         self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Counts one ECALL entry attempt and reports whether an injected
+    /// abort is scheduled for this ordinal (consumed once).
+    pub(crate) fn take_ecall_fault(&self) -> bool {
+        let mut faults = self.ecall_faults.lock();
+        let ordinal = faults.calls;
+        faults.calls += 1;
+        faults.scheduled.remove(&ordinal)
     }
 
     /// Applies the cost model and accounts the duration as virtual time.
@@ -155,6 +174,7 @@ impl SgxMachine {
                 transitions: Mutex::new(TransitionTally::default()),
                 epoch: AtomicU64::new(0),
                 enrollment,
+                ecall_faults: Mutex::new(EcallFaults::default()),
             }),
         }
     }
@@ -247,6 +267,30 @@ impl SgxMachine {
     #[must_use]
     pub fn live_counters(&self, mr_enclave: MrEnclave) -> usize {
         self.core.counters.lock().live_count(mr_enclave)
+    }
+
+    /// Machine-wide ordinal of the next ECALL (every enclave on the
+    /// machine shares the counter). Fault injectors read this to anchor
+    /// [`SgxMachine::schedule_ecall_abort`] ordinals.
+    #[must_use]
+    pub fn ecall_count(&self) -> u64 {
+        self.core.ecall_faults.lock().calls
+    }
+
+    /// Schedules the ECALL with machine-wide ordinal `ordinal` (see
+    /// [`SgxMachine::ecall_count`]) to abort before entering the enclave
+    /// — an AEX-style fault: the enclave's state is untouched, the
+    /// caller sees an error. Past ordinals are silently inert.
+    pub fn schedule_ecall_abort(&self, ordinal: u64) {
+        self.core.ecall_faults.lock().scheduled.insert(ordinal);
+    }
+
+    /// Discards every scheduled-but-unconsumed ECALL abort. Fault
+    /// injectors call this when disarming, so a stale scheduled abort
+    /// cannot fire on an unrelated later ECALL (e.g. post-run
+    /// verification).
+    pub fn clear_scheduled_ecall_aborts(&self) {
+        self.core.ecall_faults.lock().scheduled.clear();
     }
 }
 
@@ -491,6 +535,22 @@ mod tests {
         assert!(m1
             .load_enclave(&image, Box::new(TestEnclave { secret: vec![] }))
             .is_ok());
+    }
+
+    #[test]
+    fn scheduled_ecall_abort_fires_once_and_leaves_enclave_usable() {
+        let (m1, _, image) = setup();
+        let enclave = load(&m1, &image);
+        let blob = enclave.ecall(OP_SEAL, b"pre-fault").unwrap();
+        // Schedule the *next* ECALL to abort; a stale past ordinal is
+        // inert.
+        m1.schedule_ecall_abort(m1.ecall_count());
+        m1.schedule_ecall_abort(0);
+        let err = enclave.ecall(OP_UNSEAL, &blob).unwrap_err();
+        assert_eq!(err, SgxError::Enclave("injected ecall abort".into()));
+        // One-shot: the retry enters the enclave and succeeds, state
+        // untouched by the aborted attempt.
+        assert_eq!(enclave.ecall(OP_UNSEAL, &blob).unwrap(), b"pre-fault");
     }
 
     #[test]

@@ -91,6 +91,16 @@ pub enum Edge {
     /// Delta stream fell back to a full stream (DeltaNack / missing
     /// base).
     DeltaFallback,
+    /// An injected fault hit the channel (chaos testing: network drop /
+    /// corruption / delay / partition, disk failure, crash, ECALL
+    /// abort).
+    Fault,
+    /// The supervisor backed off before a recovery attempt (bounded
+    /// exponential backoff on virtual time).
+    Backoff,
+    /// The supervisor aborted the migration with the source still
+    /// authoritative (retry budget or deadline exhausted).
+    Abort,
 }
 
 impl Edge {
@@ -101,6 +111,9 @@ impl Edge {
             Edge::Retry => "retry",
             Edge::Quarantine => "quarantine",
             Edge::DeltaFallback => "delta-fallback",
+            Edge::Fault => "fault",
+            Edge::Backoff => "backoff",
+            Edge::Abort => "abort",
         }
     }
 }

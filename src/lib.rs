@@ -16,7 +16,12 @@
 //!   counters, and a sealed KV store built on the public API;
 //! * [`stats`] — the evaluation statistics (99 % CIs, Welch t-tests);
 //! * [`trace`] — deterministic per-migration tracing, the metrics
-//!   registry, transition tallies, and the `TRACE.json` exporter.
+//!   registry, transition tallies, and the `TRACE.json` exporter;
+//! * [`chaos`] — deterministic seeded fault injection (network, disk,
+//!   crash, ECALL-abort faults on virtual time);
+//! * [`soak`] — the chaos soak harness asserting the convergence
+//!   invariant under generated fault schedules (`cargo run --release
+//!   --bin chaos_soak`).
 //!
 //! See `README.md` for a guided tour, `DESIGN.md` for the system
 //! inventory, and `examples/` for runnable end-to-end scenarios
@@ -25,8 +30,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod soak;
+
 pub use cloud_sim as cloud;
 pub use mig_apps as apps;
+pub use mig_chaos as chaos;
 pub use mig_core as core;
 pub use mig_crypto as crypto;
 pub use mig_stats as stats;

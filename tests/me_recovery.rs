@@ -393,7 +393,7 @@ fn restored_me_state_is_machine_bound() {
     let (mut dc, m1, m2) = dc2(404);
     dc.persist_me(m1).unwrap();
     let (_, blob) = dc.me_checkpoints(m1).latest().unwrap();
-    dc.me_checkpoints(m2).put(blob);
+    dc.me_checkpoints(m2).put(blob).unwrap();
     let err = dc.restart_me(m2).unwrap_err();
     assert_eq!(err, SgxError::MacMismatch);
 }

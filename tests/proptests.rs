@@ -465,7 +465,7 @@ proptest! {
         use mig_core::transfer::delta;
 
         let store = CheckpointStore::new(UntrustedDisk::new(), "prop-delta");
-        let g0 = store.put(base.clone());
+        let g0 = store.put(base.clone()).unwrap();
 
         let mut new = base.clone();
         for off in &dirty_offsets {
@@ -475,7 +475,7 @@ proptest! {
         new.extend_from_slice(&growth);
         let keep = new.len().saturating_sub(shrink).max(1);
         new.truncate(keep);
-        let g1 = store.put(new.clone());
+        let g1 = store.put(new.clone()).unwrap();
 
         let (manifest, payload) = store.delta_since(g0).expect("both generations retained");
         prop_assert_eq!(manifest.base_generation, g0);
