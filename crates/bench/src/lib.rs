@@ -385,7 +385,11 @@ fn transfer_byte_tap(
                 && e.to.machine == to
                 && e.from.service == "me"
                 && e.to.service == "me"
-                && e.payload.first() == Some(&mig_core::host::tags::RA_TRANSFER)
+                && matches!(
+                    e.payload.first(),
+                    Some(&mig_core::host::tags::RA_TRANSFER)
+                        | Some(&mig_core::host::tags::RA_TRANSFER_BATCH)
+                )
             {
                 tap_bytes.fetch_add(e.payload.len() as u64, Ordering::SeqCst);
             }
@@ -514,7 +518,11 @@ pub fn concurrent_migration_cell(
                 if e.from.machine == m1
                     && e.to.machine == m2
                     && e.from.service == "me"
-                    && e.payload.first() == Some(&mig_core::host::tags::RA_TRANSFER)
+                    && matches!(
+                        e.payload.first(),
+                        Some(&mig_core::host::tags::RA_TRANSFER)
+                            | Some(&mig_core::host::tags::RA_TRANSFER_BATCH)
+                    )
                 {
                     tap_bytes.fetch_add(e.payload.len() as u64, Ordering::SeqCst);
                 }

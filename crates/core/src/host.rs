@@ -9,7 +9,9 @@
 
 use crate::harness::{encode_init, open_envelope, ops as lib_ops};
 use crate::library::InitRequest;
-use crate::me::{ops as me_ops, read_opt, MeAction, RaResponseAuth, TelemetryReport};
+use crate::me::{
+    ops as me_ops, read_opt, MeAction, RaResponseAuth, StreamFrames, TelemetryReport, FRAME_BATCH,
+};
 use crate::remote_attest::RaHello;
 use crate::transfer::checkpoint::CheckpointStore;
 use cloud_sim::clock::{SimClock, SimTime};
@@ -44,14 +46,14 @@ type TransferOutput = (
     Option<Vec<u8>>,
 );
 /// Parsed output of the ME's `ACK` ECALL: kind, measurement, optional
-/// trace id, optional completion ciphertext, and follow-on stream
-/// frames for the peer.
+/// trace id, optional completion ciphertext, and kind-tagged follow-on
+/// stream frames for the peer.
 type AckOutput = (
     u8,
     MrEnclave,
     Option<TraceId>,
     Option<Vec<u8>>,
-    Vec<Vec<u8>>,
+    StreamFrames,
 );
 
 /// Reads the optional 8-byte trace id the extended ECALL outputs carry.
@@ -107,6 +109,20 @@ pub mod tags {
     pub const RA_TRANSFER: u8 = 10;
     /// ME ↔ ME: encrypted acknowledgement.
     pub const RA_ACK: u8 = 11;
+    /// ME ↔ ME: batched migration transfer (a container of sealed
+    /// cells delivered in one enclave transition).
+    pub const RA_TRANSFER_BATCH: u8 = 12;
+}
+
+/// Untrusted wire tag for one outgoing stream frame, selected by the
+/// enclave's frame-kind byte: batch containers ride
+/// [`tags::RA_TRANSFER_BATCH`], everything else [`tags::RA_TRANSFER`].
+fn stream_frame_tag(kind: u8) -> u8 {
+    if kind == FRAME_BATCH {
+        tags::RA_TRANSFER_BATCH
+    } else {
+        tags::RA_TRANSFER
+    }
 }
 
 fn frame(tag: u8, payload: &[u8]) -> Vec<u8> {
@@ -440,8 +456,8 @@ impl MeHost {
                 frames,
             } => {
                 let me = Endpoint::new(destination, ME_SERVICE);
-                for ct in frames {
-                    net.send(&self.endpoint, &me, frame(tags::RA_TRANSFER, &ct));
+                for (kind, ct) in frames {
+                    net.send(&self.endpoint, &me, frame(stream_frame_tag(kind), &ct));
                 }
                 self.last_stream_send.insert(destination, self.clock.now());
             }
@@ -624,18 +640,20 @@ impl MeHost {
         w.array(&auth.response.g_r.0);
         w.bytes(&evidence);
         w.bytes(&auth.credential.to_bytes());
+        w.u32(auth.batch);
         w.array(&auth.signature.0);
         let out = match self.enclave.ecall(me_ops::RA_RESPONSE, &w.finish()) {
             Ok(out) => out,
             Err(e) => return self.fail("ra response", e),
         };
-        let parsed: Result<(Vec<u8>, Vec<Vec<u8>>), SgxError> = (|| {
+        let parsed: Result<(Vec<u8>, StreamFrames), SgxError> = (|| {
             let mut r = WireReader::new(&out);
             let finish = r.bytes_vec()?;
             let n = r.u32()? as usize;
             let mut transfers = Vec::with_capacity(n);
             for _ in 0..n {
-                transfers.push(r.bytes_vec()?);
+                let kind = r.u8()?;
+                transfers.push((kind, r.bytes_vec()?));
             }
             r.finish()?;
             Ok((finish, transfers))
@@ -647,8 +665,12 @@ impl MeHost {
                 self.negotiate_end(Self::channel_trace(self.endpoint.machine, from.machine));
                 net.send(&self.endpoint, from, frame(tags::RA_FINISH, &finish));
                 let streamed = !transfers.is_empty();
-                for transfer in transfers {
-                    net.send(&self.endpoint, from, frame(tags::RA_TRANSFER, &transfer));
+                for (kind, transfer) in transfers {
+                    net.send(
+                        &self.endpoint,
+                        from,
+                        frame(stream_frame_tag(kind), &transfer),
+                    );
                 }
                 if streamed {
                     self.last_stream_send.insert(from.machine, self.clock.now());
@@ -689,45 +711,114 @@ impl MeHost {
         let release_ns = ns_u64(self.enclave.peek_virtual_time().saturating_sub(virt_before));
         let parsed: Result<TransferOutput, SgxError> = (|| {
             let mut r = WireReader::new(&out);
-            let kind = r.u8()?;
-            let mr = MrEnclave(r.array()?);
-            let trace = read_trace(&mut r)?;
-            let forward = read_opt(&mut r)?;
-            let ack = read_opt(&mut r)?;
+            let record = Self::read_transfer_record(&mut r)?;
             r.finish()?;
-            Ok((kind, mr, trace, forward, ack))
+            Ok(record)
         })();
         match parsed {
-            Ok((kind, mr, trace, forward, ack)) => {
-                let now = self.clock.now();
-                match (kind, trace) {
-                    // Kinds 1 (forwarded) and 2 (stored) mean this
-                    // ECALL completed and released a payload; with a
-                    // trace id it closed a chunk stream.
-                    (1 | 2, Some(tid)) => {
-                        self.finish_inbound(tid, now, release_ns);
-                        self.release_latency = Some(ecall_took);
-                    }
-                    (1 | 2, None) => self.release_latency = Some(ecall_took),
-                    // Stream progress: the announcement carries no ack
-                    // yet; every data chunk produces one.
-                    (3, Some(tid)) => self.track_inbound(tid, now, ack.is_some()),
-                    // Delta NACK: fell back to a full stream.
-                    (4, Some(tid)) => self.record_edge(tid, now, Edge::DeltaFallback),
-                    _ => {}
-                }
-                if let Some(ct) = forward {
-                    if let Some(app) = self.app_by_mr.get(&mr).cloned() {
-                        net.send(&self.endpoint, &app, frame(tags::ME_FORWARD, &ct));
-                    } else {
-                        self.fail("ra transfer", "forward with no app endpoint");
-                    }
-                }
-                if let Some(ct) = ack {
-                    net.send(&self.endpoint, from, frame(tags::RA_ACK, &ct));
-                }
+            Ok(record) => {
+                self.apply_transfer_record(net, from, record, release_ns, ecall_took);
             }
             Err(e) => self.fail("parse transfer output", e),
+        }
+    }
+
+    /// Reads one `TRANSFER`-format output record (shared by the
+    /// single-frame and batched paths).
+    fn read_transfer_record(r: &mut WireReader<'_>) -> Result<TransferOutput, SgxError> {
+        let kind = r.u8()?;
+        let mr = MrEnclave(r.array()?);
+        let trace = read_trace(r)?;
+        let forward = read_opt(r)?;
+        let ack = read_opt(r)?;
+        Ok((kind, mr, trace, forward, ack))
+    }
+
+    /// Applies one transfer-output record: span bookkeeping, trace
+    /// edges, and routing of the forward/ack ciphertexts.
+    fn apply_transfer_record(
+        &mut self,
+        net: &mut Network,
+        from: &Endpoint,
+        record: TransferOutput,
+        release_ns: u64,
+        ecall_took: Duration,
+    ) {
+        let (kind, mr, trace, forward, ack) = record;
+        let now = self.clock.now();
+        match (kind, trace) {
+            // Kinds 1 (forwarded) and 2 (stored) mean the ECALL
+            // completed and released a payload; with a trace id it
+            // closed a chunk stream.
+            (1 | 2, Some(tid)) => {
+                self.finish_inbound(tid, now, release_ns);
+                self.release_latency = Some(ecall_took);
+            }
+            (1 | 2, None) => self.release_latency = Some(ecall_took),
+            // Stream progress: the announcement carries no ack yet;
+            // data chunks produce one (one combined ack per stream on
+            // the batched path).
+            (3, Some(tid)) => self.track_inbound(tid, now, ack.is_some()),
+            // Delta NACK: fell back to a full stream.
+            (4, Some(tid)) => self.record_edge(tid, now, Edge::DeltaFallback),
+            _ => {}
+        }
+        if let Some(ct) = forward {
+            if let Some(app) = self.app_by_mr.get(&mr).cloned() {
+                net.send(&self.endpoint, &app, frame(tags::ME_FORWARD, &ct));
+            } else {
+                self.fail("ra transfer", "forward with no app endpoint");
+            }
+        }
+        if let Some(ct) = ack {
+            net.send(&self.endpoint, from, frame(tags::RA_ACK, &ct));
+        }
+    }
+
+    fn on_ra_transfer_batch(&mut self, net: &mut Network, from: &Endpoint, container: &[u8]) {
+        let mut w = WireWriter::new();
+        w.u64(from.machine.0);
+        w.bytes(container);
+        let input = w.finish();
+        let ecall_start = std::time::Instant::now();
+        let virt_before = self.enclave.peek_virtual_time();
+        let out = match self.enclave.ecall(me_ops::TRANSFER_BATCH, &input) {
+            Ok(out) => out,
+            Err(e) => {
+                self.fail("ra transfer batch", e);
+                self.sync_quarantine_edges();
+                return;
+            }
+        };
+        let ecall_took = ecall_start.elapsed();
+        let release_ns = ns_u64(self.enclave.peek_virtual_time().saturating_sub(virt_before));
+        let parsed: Result<(Vec<TransferOutput>, u8), SgxError> = (|| {
+            let mut r = WireReader::new(&out);
+            let n = r.u32()? as usize;
+            let mut records = Vec::with_capacity(n);
+            for _ in 0..n {
+                let bytes = r.bytes_vec()?;
+                let mut rr = WireReader::new(&bytes);
+                let record = Self::read_transfer_record(&mut rr)?;
+                rr.finish()?;
+                records.push(record);
+            }
+            let status = r.u8()?;
+            r.finish()?;
+            Ok((records, status))
+        })();
+        match parsed {
+            Ok((records, status)) => {
+                for record in records {
+                    self.apply_transfer_record(net, from, record, release_ns, ecall_took);
+                }
+                if status != 0 {
+                    // Part of the container was rejected; any new
+                    // quarantine ledger entries become trace edges.
+                    self.sync_quarantine_edges();
+                }
+            }
+            Err(e) => self.fail("parse transfer batch output", e),
         }
     }
 
@@ -748,7 +839,8 @@ impl MeHost {
             let n = r.u32()? as usize;
             let mut frames = Vec::with_capacity(n);
             for _ in 0..n {
-                frames.push(r.bytes_vec()?);
+                let frame_kind = r.u8()?;
+                frames.push((frame_kind, r.bytes_vec()?));
             }
             r.finish()?;
             Ok((kind, mr, trace, complete, frames))
@@ -781,8 +873,12 @@ impl MeHost {
                 // Follow-on stream frames (window slide / resume) go back
                 // to the destination that acked.
                 let streamed = !frames.is_empty();
-                for ct in frames {
-                    net.send(&self.endpoint, from, frame(tags::RA_TRANSFER, &ct));
+                for (frame_kind, ct) in frames {
+                    net.send(
+                        &self.endpoint,
+                        from,
+                        frame(stream_frame_tag(frame_kind), &ct),
+                    );
                 }
                 if streamed {
                     self.last_stream_send.insert(from.machine, now);
@@ -962,6 +1058,7 @@ impl Service for MeHost {
             tags::RA_RESPONSE => self.on_ra_response(net, from, &body),
             tags::RA_FINISH => self.on_ra_finish(from, &body),
             tags::RA_TRANSFER => self.on_ra_transfer(net, from, &body),
+            tags::RA_TRANSFER_BATCH => self.on_ra_transfer_batch(net, from, &body),
             tags::RA_ACK => self.on_ra_ack(net, from, &body),
             other => self.fail("unknown tag", other),
         }

@@ -69,7 +69,7 @@ pub enum LibPhase {
 enum MeSession {
     None,
     Handshaking(DhInitiator),
-    Established { channel: SecureChannel },
+    Established { channel: Box<SecureChannel> },
 }
 
 /// The Migration Library instance embedded in a migratable enclave.
@@ -340,7 +340,7 @@ impl MigrationLibrary {
             ));
         }
         self.me_session = MeSession::Established {
-            channel: SecureChannel::new(key, ChannelRole::Initiator),
+            channel: Box::new(SecureChannel::new(key, ChannelRole::Initiator)),
         };
         Ok(())
     }

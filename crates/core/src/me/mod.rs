@@ -36,7 +36,10 @@ pub mod session;
 pub mod telemetry;
 pub mod wire;
 
-pub use session::{MeAction, ReceiverFsm, ReceiverRelease, SenderFsm, StreamProgress};
+pub use session::{
+    MeAction, ReceiverFsm, ReceiverRelease, SenderFsm, StreamFrames, StreamProgress, FRAME_BATCH,
+    FRAME_SINGLE,
+};
 pub use telemetry::{LinkTelemetry, TelemetryReport};
 
 use crate::error::MigError;
@@ -114,6 +117,11 @@ pub mod ops {
     /// library, so an abort can never race a completed delivery into a
     /// double release.
     pub const ABORT: u32 = 17;
+    /// Encrypted ME→ME transfer **batch** received (destination side):
+    /// one container of up to the link's negotiated batch size of
+    /// sealed stream cells, verified and staged in one enclave
+    /// transition with a single combined ack per touched stream.
+    pub const TRANSFER_BATCH: u32 = 18;
 }
 
 /// The canonical Migration Enclave image. Identical on every machine, as
@@ -165,7 +173,14 @@ pub struct RaResponseAuth {
     pub response: RaResponseQuote,
     /// Responder's operator credential.
     pub credential: MeCredential,
-    /// Signature over `transcript || "R"` under the credentialed key.
+    /// Responder's advertised `TRANSFER_BATCH` capacity (its provisioned
+    /// [`TransferConfig::batch_size`]); the link uses the minimum of
+    /// both sides, so a peer advertising 1 keeps the legacy per-frame
+    /// path. Covered by `signature`, so the untrusted relay cannot
+    /// renegotiate the batch size.
+    pub batch: u32,
+    /// Signature over `transcript || "R" || batch_le` under the
+    /// credentialed key.
     pub signature: Signature,
 }
 
@@ -176,6 +191,7 @@ impl RaResponseAuth {
         let mut w = WireWriter::new();
         w.bytes(&self.response.to_bytes());
         w.bytes(&self.credential.to_bytes());
+        w.u32(self.batch);
         w.array(&self.signature.0);
         w.finish()
     }
@@ -189,11 +205,13 @@ impl RaResponseAuth {
         let mut r = WireReader::new(bytes);
         let response = RaResponseQuote::from_bytes(r.bytes()?)?;
         let credential = MeCredential::from_bytes(r.bytes()?)?;
+        let batch = r.u32()?;
         let signature = Signature(r.array::<64>()?);
         r.finish()?;
         Ok(RaResponseAuth {
             response,
             credential,
+            batch,
             signature,
         })
     }
@@ -468,12 +486,19 @@ impl MigrationEnclave {
         let (session, response) = RaResponder::respond(env, &cfg, g_i, &evidence)?;
         let (g_i, g_r) = session.keys();
         let transcript = transcript_bytes(&g_i, &g_r, &env.identity().mr_enclave);
+        // Advertise our TRANSFER_BATCH capacity inside the signed
+        // transcript: the source uses min(its own, ours), and the relay
+        // cannot strip or inflate the advertisement without breaking
+        // the signature.
+        let batch = self.config()?.transfer.batch_size;
         let mut signed = transcript;
         signed.extend_from_slice(b"R");
+        signed.extend_from_slice(&batch.to_le_bytes());
         let signature = self.signing()?.sign(&signed);
         let auth = RaResponseAuth {
             response,
             credential: self.config()?.credential.clone(),
+            batch,
             signature,
         };
         self.ra_in_pending.insert(
@@ -497,6 +522,7 @@ impl MigrationEnclave {
         let g_r = PublicKey(r.array()?);
         let evidence = AttestationEvidence::from_bytes(r.bytes()?)?;
         let credential = MeCredential::from_bytes(r.bytes()?)?;
+        let advertised_batch = r.u32()?;
         let signature = Signature(r.array::<64>()?);
         r.finish()?;
 
@@ -509,7 +535,11 @@ impl MigrationEnclave {
         let key = session.process_response(&cfg, g_r, &evidence)?;
 
         let transcript = transcript_bytes(&g_i, &g_r, &env.identity().mr_enclave);
-        self.authenticate_peer(&credential, destination, &transcript, b"R", &signature)?;
+        // The responder signed its batch advertisement into the role
+        // tag, so a relay-tampered batch value fails authentication.
+        let mut role_tag = b"R".to_vec();
+        role_tag.extend_from_slice(&advertised_batch.to_le_bytes());
+        self.authenticate_peer(&credential, destination, &transcript, &role_tag, &signature)?;
 
         // Channel up: authenticate ourselves and dispatch the first
         // queued migration (chunked transfers serialize per destination;
@@ -523,9 +553,19 @@ impl MigrationEnclave {
         };
         self.channels_out
             .insert(destination, SecureChannel::new(key, ChannelRole::Initiator));
+        // Negotiate the link's batch size before anything is sealed:
+        // min(our provisioned size, the peer's authenticated
+        // advertisement) — a peer advertising 1 keeps this link on the
+        // legacy per-frame TRANSFER path.
+        let transfer_cfg = self.config()?.transfer;
+        let negotiated = transfer_cfg.batch_size.min(advertised_batch.max(1));
+        self.shapers
+            .entry(destination)
+            .or_insert_with(|| LinkShaper::new(&transfer_cfg))
+            .set_batch(negotiated);
         let transfers = match self.dispatch_outgoing(env, destination)? {
             MeAction::None => Vec::new(),
-            MeAction::SendRemote { transfer, .. } => vec![transfer],
+            MeAction::SendRemote { transfer, .. } => vec![(session::FRAME_SINGLE, transfer)],
             MeAction::StreamRemote { frames, .. } => frames,
             _ => return Err(MigError::Protocol("unexpected dispatch action")),
         };
@@ -533,7 +573,8 @@ impl MigrationEnclave {
         let mut w = WireWriter::new();
         w.bytes(&finish.to_bytes());
         w.u32(transfers.len() as u32);
-        for transfer in &transfers {
+        for (kind, transfer) in &transfers {
+            w.u8(*kind);
             w.bytes(transfer);
         }
         Ok(w.finish())
@@ -587,13 +628,26 @@ impl EnclaveCode for MigrationEnclave {
             ops::RA_RESPONSE => self.op_ra_response(env, input),
             ops::RA_FINISH => self.op_ra_finish(env, input),
             ops::TRANSFER => self.op_transfer(env, input),
+            ops::TRANSFER_BATCH => self.op_transfer_batch(env, input),
             ops::ACK => self.op_ack(env, input),
             ops::RETRY => self.op_retry(env, input),
             ops::PERSIST => self.op_persist(env),
             ops::RESTORE => self.op_restore(env, input),
-            ops::STREAM_STAT => self.op_stream_stat(input),
-            ops::LINK_STAT => self.op_link_stat(input),
-            ops::TELEMETRY => self.op_telemetry(),
+            // Read-only diagnostics: a host polling these mid-stream
+            // must never inflate a migration's per-trace transition
+            // tally (they are not transfer work).
+            ops::STREAM_STAT => {
+                env.exclude_transition_attribution();
+                self.op_stream_stat(input)
+            }
+            ops::LINK_STAT => {
+                env.exclude_transition_attribution();
+                self.op_link_stat(input)
+            }
+            ops::TELEMETRY => {
+                env.exclude_transition_attribution();
+                self.op_telemetry()
+            }
             ops::ABORT => self.op_abort(input),
             _ => Err(MigError::Protocol("unknown opcode")),
         };

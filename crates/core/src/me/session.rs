@@ -39,6 +39,18 @@ use std::sync::Arc;
 
 use super::write_opt;
 
+/// Stream-frame kind: one channel-sealed cell, delivered via
+/// [`ops::TRANSFER`](super::ops::TRANSFER).
+pub const FRAME_SINGLE: u8 = 0;
+/// Stream-frame kind: a packed batch container of sealed cells,
+/// delivered via [`ops::TRANSFER_BATCH`](super::ops::TRANSFER_BATCH).
+pub const FRAME_BATCH: u8 = 1;
+
+/// Outgoing stream frames, each tagged with its frame kind
+/// ([`FRAME_SINGLE`] or [`FRAME_BATCH`]) so the host can pick the wire
+/// tag without inspecting the ciphertext.
+pub type StreamFrames = Vec<(u8, Vec<u8>)>;
+
 /// Action the untrusted host must take after a
 /// [`ops::LIB_MSG`](super::ops::LIB_MSG) ECALL.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -65,8 +77,12 @@ pub enum MeAction {
         /// Destination machine.
         destination: MachineId,
         /// Channel-sealed [`MeToMe`] stream frames (`ChunkStart` /
-        /// `Chunk` / `ResumeRequest`).
-        frames: Vec<Vec<u8>>,
+        /// `Chunk` / `ResumeRequest`), each tagged with the ECALL the
+        /// host must deliver it through: [`FRAME_SINGLE`] is one sealed
+        /// cell for [`ops::TRANSFER`](super::ops::TRANSFER),
+        /// [`FRAME_BATCH`] is a packed batch container for
+        /// [`ops::TRANSFER_BATCH`](super::ops::TRANSFER_BATCH).
+        frames: StreamFrames,
     },
     /// (Destination side) relay this encrypted acknowledgement to the
     /// source ME.
@@ -112,7 +128,8 @@ impl MeAction {
                 w.u8(4);
                 w.u64(destination.0);
                 w.u32(frames.len() as u32);
-                for frame in frames {
+                for (kind, frame) in frames {
+                    w.u8(*kind);
                     w.bytes(frame);
                 }
             }
@@ -146,7 +163,11 @@ impl MeAction {
                 let n = r.u32()? as usize;
                 let mut frames = Vec::with_capacity(n);
                 for _ in 0..n {
-                    frames.push(r.bytes_vec()?);
+                    let kind = r.u8()?;
+                    if kind > FRAME_BATCH {
+                        return Err(SgxError::Decode);
+                    }
+                    frames.push((kind, r.bytes_vec()?));
                 }
                 MeAction::StreamRemote {
                     destination,
@@ -1189,7 +1210,7 @@ impl MigrationEnclave {
         destination: MachineId,
         leads: Vec<MeToMe>,
         lead_cost: u32,
-    ) -> Result<Vec<Vec<u8>>, MigError> {
+    ) -> Result<StreamFrames, MigError> {
         let transfer_cfg = self.config()?.transfer;
         let in_flight = self.in_flight_chunks(destination);
 
@@ -1241,7 +1262,7 @@ impl MigrationEnclave {
             // A lead larger than the cell's frame size (a delta manifest
             // naming many pages) raises the cell so chunks sealed after
             // it cannot overtake it.
-            needed = needed.max(wire::cell_for_frame_len(bytes.len()));
+            needed = needed.max(wire::cell_for_frame_len(bytes.len())?);
         }
         let cell = self
             .shapers
@@ -1258,15 +1279,14 @@ impl MigrationEnclave {
                 .ok_or(MigError::SessionInvariant("granted stream not sendable"))?;
             next.insert(*mr, s.next_to_send);
         }
-        let channel = self
-            .channels_out
-            .get_mut(&destination)
-            .ok_or(MigError::ChannelMissing {
-                peer: ChannelPeer::Destination,
-            })?;
-        let mut frames = Vec::with_capacity(lead_bytes.len() + grants.len());
+        // Build every plaintext of this burst first (leads padded to the
+        // chunk-frame length, then the granted chunks), then hand the
+        // whole burst to the channel's seal lanes at once — the AEAD
+        // work overlaps across lanes while the sealed sequence numbers
+        // and ciphertexts stay byte-identical to sequential sealing.
+        let mut plaintexts: Vec<Vec<u8>> = Vec::with_capacity(lead_bytes.len() + grants.len());
         for bytes in lead_bytes {
-            frames.push(wire::seal_lead(channel, bytes, cell));
+            plaintexts.push(wire::lead_plaintext(bytes, cell));
         }
         for mr in &grants {
             let cache = self
@@ -1276,10 +1296,39 @@ impl MigrationEnclave {
             let idx = next
                 .get_mut(mr)
                 .ok_or(MigError::SessionInvariant("granted stream not scheduled"))?;
-            frames.push(wire::seal_chunk(cache, channel, *idx, cell));
+            plaintexts.push(wire::chunk_plaintext(cache, *idx, cell));
             *idx += 1;
         }
+        let (batch, seal_lanes) = {
+            let shaper = self
+                .shapers
+                .get(&destination)
+                .ok_or(MigError::SessionInvariant("link shaper vanished"))?;
+            (shaper.batch(), transfer_cfg.seal_lanes)
+        };
+        let channel = self
+            .channels_out
+            .get_mut(&destination)
+            .ok_or(MigError::ChannelMissing {
+                peer: ChannelPeer::Destination,
+            })?;
+        let sealed = channel.seal_many(&plaintexts, seal_lanes);
         self.telemetry.chunks_sealed += grants.len() as u64;
+        // On a batch-negotiated link the whole burst (leads included —
+        // all sealed to one uniform cell length) rides in TRANSFER_BATCH
+        // containers, collapsing up to `batch` enclave transitions into
+        // one; a batch of 1 keeps the legacy per-frame TRANSFER path
+        // byte-identical.
+        let frames: StreamFrames = if batch > 1 {
+            let containers: StreamFrames = sealed
+                .chunks(batch as usize)
+                .map(|cells| (FRAME_BATCH, wire::pack_batch(cells, cell, batch)))
+                .collect();
+            self.telemetry.batches_sealed += containers.len() as u64;
+            containers
+        } else {
+            sealed.into_iter().map(|ct| (FRAME_SINGLE, ct)).collect()
+        };
         for (mr, n) in next {
             let stream = self
                 .outgoing
@@ -1332,7 +1381,8 @@ impl MigrationEnclave {
         });
         let (stream, delta_base, start_msg) = match delta {
             Some((manifest, payload)) => {
-                let stream = ChunkStream::new(nonce, chunk_size, payload);
+                let stream =
+                    ChunkStream::with_lanes(nonce, chunk_size, payload, transfer_cfg.seal_lanes);
                 let delta_base = manifest.base_generation;
                 let start = MeToMe::DeltaStart {
                     mr_enclave: mr,
@@ -1346,7 +1396,12 @@ impl MigrationEnclave {
                 (stream, Some(delta_base), start)
             }
             None => {
-                let stream = ChunkStream::new(nonce, chunk_size, Arc::clone(&mig.state));
+                let stream = ChunkStream::with_lanes(
+                    nonce,
+                    chunk_size,
+                    Arc::clone(&mig.state),
+                    transfer_cfg.seal_lanes,
+                );
                 let start = MeToMe::ChunkStart {
                     mr_enclave: mr,
                     nonce,
@@ -1486,7 +1541,7 @@ impl MigrationEnclave {
         // Seal order = arrival order on the size-ordered network:
         // single-shot transfers (empty ones are the smallest frames),
         // then resume requests, then cell-padded announcements + chunks.
-        let mut frames = Vec::new();
+        let mut frames: StreamFrames = Vec::new();
         for mr in singleshots {
             let mig = self
                 .outgoing
@@ -1505,7 +1560,7 @@ impl MigrationEnclave {
                     .ok_or(MigError::ChannelMissing {
                         peer: ChannelPeer::Destination,
                     })?;
-            frames.push(channel.seal(&msg.to_bytes()));
+            frames.push((FRAME_SINGLE, channel.seal(&msg.to_bytes())));
         }
         for mr in resumes {
             let mig = self
@@ -1524,7 +1579,7 @@ impl MigrationEnclave {
                     .ok_or(MigError::ChannelMissing {
                         peer: ChannelPeer::Destination,
                     })?;
-            frames.push(channel.seal(&msg.to_bytes()));
+            frames.push((FRAME_SINGLE, channel.seal(&msg.to_bytes())));
         }
         if !announces.is_empty() {
             let chunk_size = self
@@ -1549,17 +1604,22 @@ impl MigrationEnclave {
             frames.extend(self.pump_streams(destination, leads, lead_cost)?);
         }
 
-        Ok(match frames.len() {
-            0 => MeAction::None,
-            1 => MeAction::SendRemote {
-                destination,
-                transfer: frames.remove(0),
+        // A lone single-cell frame rides the scalar SendRemote path; a
+        // lone batch container must still go through StreamRemote so the
+        // host delivers it via TRANSFER_BATCH.
+        Ok(
+            match (frames.len(), frames.first().map(|(kind, _)| *kind)) {
+                (0, _) => MeAction::None,
+                (1, Some(FRAME_SINGLE)) => MeAction::SendRemote {
+                    destination,
+                    transfer: frames.remove(0).1,
+                },
+                _ => MeAction::StreamRemote {
+                    destination,
+                    frames,
+                },
             },
-            _ => MeAction::StreamRemote {
-                destination,
-                frames,
-            },
-        })
+        )
     }
 
     /// Recomputes the delta payload of an outgoing delta stream from the
@@ -1598,6 +1658,7 @@ impl MigrationEnclave {
         if self.out_streams.contains_key(&mr) {
             return Ok(());
         }
+        let seal_lanes = self.config()?.transfer.seal_lanes;
         let mig = self
             .outgoing
             .get(&mr)
@@ -1614,8 +1675,10 @@ impl MigrationEnclave {
         } else {
             Arc::clone(&mig.state)
         };
-        self.out_streams
-            .insert(mr, ChunkStream::new(nonce, chunk_size, payload));
+        self.out_streams.insert(
+            mr,
+            ChunkStream::with_lanes(nonce, chunk_size, payload, seal_lanes),
+        );
         Ok(())
     }
 
@@ -2029,6 +2092,260 @@ impl MigrationEnclave {
         }
     }
 
+    /// `TRANSFER_BATCH`: one enclave transition verifying and staging a
+    /// whole container of sealed stream cells (up to the link's
+    /// negotiated batch size), acknowledged with **one** combined
+    /// cumulative `ChunkAck` per touched stream instead of one per
+    /// chunk — the hot-call batching that drops enclave transitions per
+    /// migration from ~2×chunks towards ~2×⌈chunks/batch⌉.
+    ///
+    /// The container framing is untrusted and validated before any AEAD
+    /// work ([`wire::unpack_batch`]); the cells inside carry the
+    /// channel's per-cell sequence numbers, so a spliced, replayed, or
+    /// reordered cell fails authentication exactly as on the per-frame
+    /// path. On an authentication failure mid-container the verified
+    /// prefix is kept ([`SecureChannel::open_many`]), acked, and the
+    /// nonzero status byte tells the host to sync quarantine edges.
+    ///
+    /// Output: `u32` record count, that many length-prefixed records in
+    /// the `TRANSFER` output format, then a `u8` status (0 = whole
+    /// container processed cleanly).
+    pub(super) fn op_transfer_batch(
+        &mut self,
+        env: &mut EnclaveEnv<'_>,
+        input: &[u8],
+    ) -> Result<Vec<u8>, MigError> {
+        let mut r = WireReader::new(input);
+        let source = MachineId(r.u64()?);
+        let container = r.bytes_vec()?;
+        r.finish()?;
+
+        let transfer_cfg = self.config()?.transfer;
+        let speculative = transfer_cfg.speculative_restore;
+        let cells = wire::unpack_batch(&container)?;
+        let channel = self
+            .channels_in
+            .get_mut(&source)
+            .ok_or(MigError::ChannelMissing {
+                peer: ChannelPeer::Source,
+            })?;
+        let (plaintexts, all_ok) = channel.open_many(&cells, transfer_cfg.seal_lanes);
+        self.telemetry.batches_received += 1;
+
+        let mut results: Vec<Vec<u8>> = Vec::new();
+        let mut status: u8 = u8::from(!all_ok);
+        // Streams touched by data chunks in this container, in first-touch
+        // order; each gets exactly one transition attribution and (when
+        // still incomplete at the end) one combined cumulative ack.
+        let mut touched: Vec<TransferNonce> = Vec::new();
+        'cells: for plaintext in &plaintexts {
+            let msg = match MeToMe::from_bytes(plaintext) {
+                Ok(msg) => msg,
+                Err(_) => {
+                    status = 1;
+                    break 'cells;
+                }
+            };
+            match msg {
+                MeToMe::ChunkStart {
+                    mr_enclave,
+                    nonce,
+                    generation,
+                    total_len,
+                    chunk_size,
+                    state_digest,
+                    data,
+                } => {
+                    let fsm = ReceiverFsm::start_full(
+                        source,
+                        mr_enclave,
+                        data,
+                        nonce,
+                        generation,
+                        total_len,
+                        chunk_size,
+                        state_digest,
+                        speculative,
+                    )?;
+                    self.inbound.insert(nonce, fsm);
+                    results.push(Self::stream_progress_output(
+                        mr_enclave,
+                        trace_id(&nonce),
+                        None,
+                    ));
+                }
+                MeToMe::DeltaStart {
+                    mr_enclave,
+                    nonce,
+                    chunk_size,
+                    payload_digest,
+                    manifest,
+                    data,
+                } => {
+                    let base = speculative
+                        .then(|| {
+                            self.cache
+                                .delta_base(&mr_enclave, &manifest)
+                                .map(|c| Arc::clone(&c.state))
+                        })
+                        .flatten();
+                    let fsm = ReceiverFsm::start_delta(
+                        source,
+                        mr_enclave,
+                        data,
+                        nonce,
+                        chunk_size,
+                        payload_digest,
+                        manifest,
+                        base.as_deref(),
+                        speculative,
+                    )?;
+                    if fsm.is_staged() {
+                        self.cache.touch(&mr_enclave);
+                    }
+                    self.inbound.insert(nonce, fsm);
+                    results.push(Self::stream_progress_output(
+                        mr_enclave,
+                        trace_id(&nonce),
+                        None,
+                    ));
+                }
+                MeToMe::Chunk {
+                    nonce,
+                    idx,
+                    payload,
+                    mac,
+                    pad: _,
+                } => {
+                    // A cell for a nonce quarantined earlier in this same
+                    // container is expected debris — skip it without
+                    // disturbing the other multiplexed streams.
+                    let Some(fsm) = self.inbound.get_mut(&nonce) else {
+                        continue 'cells;
+                    };
+                    if fsm.source() != source {
+                        status = 1;
+                        break 'cells;
+                    }
+                    if let Err(e) = fsm.on_chunk(idx, &payload, &mac) {
+                        // Same policy as the per-frame path: keep the
+                        // verified prefix on an out-of-order index,
+                        // quarantine this stream on tamper evidence —
+                        // but keep processing the container's other
+                        // streams either way.
+                        if !matches!(e, MigError::Transfer("chunk index out of order")) {
+                            self.inbound.remove(&nonce);
+                            self.telemetry.quarantines += 1;
+                            self.telemetry.quarantined.push(trace_id(&nonce));
+                            status = 1;
+                        }
+                        continue 'cells;
+                    }
+                    if !touched.contains(&nonce) {
+                        touched.push(nonce);
+                        env.attribute_transition(trace_id(&nonce));
+                    }
+                    self.telemetry.chunks_received += 1;
+                    if !fsm.is_complete() {
+                        continue 'cells;
+                    }
+                    let upto = fsm.next_idx();
+                    let mr_enclave = fsm.mr_enclave();
+                    let fsm = self
+                        .inbound
+                        .remove(&nonce)
+                        .ok_or(MigError::SessionInvariant("inbound stream vanished"))?;
+                    let generation = fsm.generation();
+                    let deferred_base = fsm.needs_base().and_then(|manifest| {
+                        self.cache
+                            .delta_base(&mr_enclave, manifest)
+                            .map(|c| Arc::clone(&c.state))
+                    });
+                    let used_deferred_base = deferred_base.is_some();
+                    match fsm.release(deferred_base.as_deref())? {
+                        ReceiverRelease::Released { data, state } => {
+                            if used_deferred_base {
+                                self.cache.touch(&mr_enclave);
+                            }
+                            self.cache_insert(mr_enclave, generation, Arc::clone(&state));
+                            // The final cumulative ack is sealed before
+                            // the release record so it doubles as the
+                            // stream's combined batch ack.
+                            let ack = self
+                                .channels_in
+                                .get_mut(&source)
+                                .ok_or(MigError::ChannelMissing {
+                                    peer: ChannelPeer::Source,
+                                })?
+                                .seal(&MeToMe::ChunkAck { nonce, upto }.to_bytes());
+                            results.push(self.accept_incoming(
+                                source,
+                                mr_enclave,
+                                data,
+                                state,
+                                Some(ack),
+                                Some(trace_id(&nonce)),
+                            )?);
+                        }
+                        ReceiverRelease::BaseMissing => {
+                            self.telemetry.delta_fallbacks += 1;
+                            let nack = self
+                                .channels_in
+                                .get_mut(&source)
+                                .ok_or(MigError::ChannelMissing {
+                                    peer: ChannelPeer::Source,
+                                })?
+                                .seal(&MeToMe::DeltaNack { mr_enclave, nonce }.to_bytes());
+                            results.push(Self::stream_progress_kind(
+                                4,
+                                mr_enclave,
+                                trace_id(&nonce),
+                                Some(&nack),
+                            ));
+                        }
+                    }
+                }
+                // Single-shot transfers and resume requests never ride
+                // inside a batch container (dispatch gates keep them on
+                // the per-frame path).
+                _ => {
+                    status = 1;
+                    break 'cells;
+                }
+            }
+        }
+
+        // One combined cumulative ack per touched, still-incomplete
+        // stream — this is where ~batch acks collapse into one.
+        for nonce in touched {
+            let Some(fsm) = self.inbound.get(&nonce) else {
+                continue;
+            };
+            let upto = fsm.next_idx();
+            let mr_enclave = fsm.mr_enclave();
+            let ack = self
+                .channels_in
+                .get_mut(&source)
+                .ok_or(MigError::ChannelMissing {
+                    peer: ChannelPeer::Source,
+                })?
+                .seal(&MeToMe::ChunkAck { nonce, upto }.to_bytes());
+            results.push(Self::stream_progress_output(
+                mr_enclave,
+                trace_id(&nonce),
+                Some(&ack),
+            ));
+        }
+
+        let mut w = WireWriter::new();
+        w.u32(results.len() as u32);
+        for record in &results {
+            w.bytes(record);
+        }
+        w.u8(status);
+        Ok(w.finish())
+    }
+
     /// Encodes the `ACK` ECALL output: kind, MRENCLAVE, the acked
     /// stream's public trace id (when the ack names a nonce), optional
     /// completion ciphertext for the local library, and follow-on stream
@@ -2038,7 +2355,7 @@ impl MigrationEnclave {
         mr: MrEnclave,
         trace: Option<[u8; 8]>,
         complete: Option<&[u8]>,
-        frames: &[Vec<u8>],
+        frames: &[(u8, Vec<u8>)],
     ) -> Vec<u8> {
         let mut w = WireWriter::new();
         w.u8(kind);
@@ -2046,7 +2363,8 @@ impl MigrationEnclave {
         write_opt(&mut w, trace.as_ref().map(<[u8; 8]>::as_slice));
         write_opt(&mut w, complete);
         w.u32(frames.len() as u32);
-        for frame in frames {
+        for (frame_kind, frame) in frames {
+            w.u8(*frame_kind);
             w.bytes(frame);
         }
         w.finish()
@@ -2073,7 +2391,7 @@ impl MigrationEnclave {
         nonce: TransferNonce,
         upto: u32,
         resume: bool,
-    ) -> Result<(MrEnclave, Vec<Vec<u8>>), MigError> {
+    ) -> Result<(MrEnclave, StreamFrames), MigError> {
         let mr = self.outgoing_by_nonce(&nonce)?;
         // Per-nonce binding: an ack relayed from a different peer than
         // the stream's destination is a cross-stream splice attempt —
@@ -2141,9 +2459,9 @@ impl MigrationEnclave {
     /// Converts a [`MeAction`] produced by `dispatch_outgoing` into raw
     /// frames for `destination` (used where the output encoding carries
     /// frames instead of an action).
-    fn action_frames(action: MeAction) -> Vec<Vec<u8>> {
+    fn action_frames(action: MeAction) -> StreamFrames {
         match action {
-            MeAction::SendRemote { transfer, .. } => vec![transfer],
+            MeAction::SendRemote { transfer, .. } => vec![(FRAME_SINGLE, transfer)],
             MeAction::StreamRemote { frames, .. } => frames,
             _ => Vec::new(),
         }

@@ -29,6 +29,10 @@ pub(crate) struct MeTelemetry {
     pub(crate) aborts_incoming: u64,
     /// Stream announcements dispatched (`ChunkStart` / `DeltaStart`).
     pub(crate) announcements: u64,
+    /// `TRANSFER_BATCH` containers accepted (destination side).
+    pub(crate) batches_received: u64,
+    /// `TRANSFER_BATCH` containers packed onto the wire (source side).
+    pub(crate) batches_sealed: u64,
     /// Generation-cache entries evicted by the LRU byte budget.
     pub(crate) cache_evictions: u64,
     /// Chunks received and chain-verified (destination side).
@@ -54,10 +58,12 @@ pub(crate) struct MeTelemetry {
 
 impl MeTelemetry {
     /// Counter (name, value) pairs in stable sorted-by-name order.
-    fn counters(&self) -> [(&'static str, u64); 10] {
+    fn counters(&self) -> [(&'static str, u64); 12] {
         [
             ("me.aborts_incoming", self.aborts_incoming),
             ("me.announcements", self.announcements),
+            ("me.batches_received", self.batches_received),
+            ("me.batches_sealed", self.batches_sealed),
             ("me.cache_evictions", self.cache_evictions),
             ("me.chunks_received", self.chunks_received),
             ("me.chunks_retransmitted", self.chunks_retransmitted),
@@ -197,7 +203,7 @@ mod tests {
         let me = MigrationEnclave::new();
         let bytes = me.op_telemetry().unwrap();
         let report = TelemetryReport::from_bytes(&bytes).unwrap();
-        assert_eq!(report.counters.len(), 10);
+        assert_eq!(report.counters.len(), 12);
         assert!(report.counters.iter().all(|(_, v)| *v == 0));
         assert!(report.links.is_empty() && report.quarantined.is_empty());
         // Counter names arrive sorted (stable export order).

@@ -14,11 +14,13 @@
 //! concurrent streams — so the session layer ([`super::session`]) never
 //! computes a pad byte itself.
 
+use crate::error::MigError;
 use crate::msgs::MeToMe;
-use crate::secure_channel::SecureChannel;
 use crate::transfer::chunker::ChunkStream;
 use crate::transfer::{TransferConfig, MIN_CHUNK_SIZE};
+use mig_crypto::gcm::TAG_LEN;
 use sgx_sim::measurement::MrEnclave;
+use sgx_sim::wire::{WireReader, WireWriter};
 use std::collections::HashMap;
 use std::hash::Hash;
 
@@ -46,9 +48,18 @@ pub fn chunk_frame_len(cell: u32) -> usize {
 /// are at least `frame_len` bytes on the wire — what a link's cell must
 /// grow to so an oversized lead frame (e.g. a `DeltaStart` naming many
 /// pages) cannot be overtaken by the chunks sealed after it.
-#[must_use]
-pub fn cell_for_frame_len(frame_len: usize) -> u32 {
-    frame_len.saturating_sub(CHUNK_FRAME_OVERHEAD) as u32
+///
+/// # Errors
+///
+/// [`MigError::Transfer`] when `frame_len` is below the fixed chunk
+/// frame overhead: such a frame cannot be a well-formed stream frame,
+/// and silently mapping it to a 0-byte cell would let a corrupt length
+/// propagate into the link's framing state.
+pub fn cell_for_frame_len(frame_len: usize) -> Result<u32, MigError> {
+    let cell = frame_len
+        .checked_sub(CHUNK_FRAME_OVERHEAD)
+        .ok_or(MigError::Transfer("frame shorter than chunk overhead"))?;
+    u32::try_from(cell).map_err(|_| MigError::Transfer("frame exceeds cell range"))
 }
 
 /// Grows the trailing pad field of a freshly encoded stream frame
@@ -73,37 +84,92 @@ pub fn pad_frame(frame: &mut Vec<u8>, target: usize) {
     frame.resize(target, 0);
 }
 
-/// Seals chunk `idx` of `stream` on `channel`, padded to the
-/// destination's wire `cell`. Chunk payloads are encoded straight from
-/// the stream's shared buffer ([`MeToMe::encode_chunk`]) — no per-chunk
-/// clone.
+/// Encodes chunk `idx` of `stream` as a seal-ready plaintext, padded to
+/// the destination's wire `cell`. Chunk payloads are encoded straight
+/// from the stream's shared buffer ([`MeToMe::encode_chunk`]) — no
+/// per-chunk clone.
 ///
 /// Every stream frame towards one destination (announcements included)
 /// is padded to the same cell so equal-length ciphertexts stay FIFO on
 /// the size-ordered simulated network even when several streams'
-/// frames interleave on the shared channel.
-pub(crate) fn seal_chunk(
-    stream: &ChunkStream,
-    channel: &mut SecureChannel,
-    idx: u32,
-    cell: u32,
-) -> Vec<u8> {
+/// frames interleave on the shared channel. Building plaintexts apart
+/// from sealing lets the session layer hand the whole send burst to
+/// [`SecureChannel::seal_many`](crate::secure_channel::SecureChannel::seal_many)
+/// and overlap the AEAD work across its
+/// seal lanes.
+pub(crate) fn chunk_plaintext(stream: &ChunkStream, idx: u32, cell: u32) -> Vec<u8> {
     let (payload, mac) = stream.chunk(idx);
     let pad = cell.saturating_sub(payload.len() as u32);
-    channel.seal(&MeToMe::encode_chunk(
-        &stream.nonce(),
-        idx,
-        payload,
-        &mac,
-        pad,
-    ))
+    MeToMe::encode_chunk(&stream.nonce(), idx, payload, &mac, pad)
 }
 
 /// Pads an encoded lead frame (`ChunkStart` / `DeltaStart` /
-/// re-announcement) to the cell's chunk-frame length and seals it.
-pub(crate) fn seal_lead(channel: &mut SecureChannel, mut frame: Vec<u8>, cell: u32) -> Vec<u8> {
+/// re-announcement) to the cell's chunk-frame length, ready to seal.
+pub(crate) fn lead_plaintext(mut frame: Vec<u8>, cell: u32) -> Vec<u8> {
     pad_frame(&mut frame, chunk_frame_len(cell));
-    channel.seal(&frame)
+    frame
+}
+
+/// Hard upper bound on the cells one `TRANSFER_BATCH` container may
+/// carry, independent of the negotiated batch size. The container
+/// framing is untrusted (the host could repack it), so the receiver
+/// bounds its allocations here before opening a single cell.
+pub const MAX_BATCH: u32 = 256;
+
+/// Uniform wire length of a `TRANSFER_BATCH` container on a link whose
+/// negotiated batch size is `batch` and whose wire cell is `cell`:
+/// cell count, `batch` length-prefixed sealed cells, and the trailing
+/// pad field. Containers holding fewer than `batch` cells are padded up
+/// to this length so a final partial batch (a smaller ciphertext) can
+/// never overtake earlier full batches on the size-ordered network.
+#[must_use]
+pub fn batch_frame_len(cell: u32, batch: u32) -> usize {
+    let sealed_cell = chunk_frame_len(cell) + TAG_LEN;
+    4 + batch as usize * (4 + sealed_cell) + 4
+}
+
+/// Packs individually channel-sealed cells (chunk frames and padded
+/// lead frames, all of one uniform sealed length) into one batch
+/// container, padded to [`batch_frame_len`] for the link's negotiated
+/// `batch` size.
+pub(crate) fn pack_batch(cells: &[Vec<u8>], cell: u32, batch: u32) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.u32(cells.len() as u32);
+    let mut used = 4usize;
+    for ct in cells {
+        w.bytes(ct);
+        used += 4 + ct.len();
+    }
+    let target = batch_frame_len(cell, batch);
+    let pad = target.saturating_sub(used + 4);
+    w.bytes(&vec![0u8; pad]);
+    w.finish()
+}
+
+/// Parses a `TRANSFER_BATCH` container into its sealed cells, in the
+/// order they were sealed. The framing is untrusted: cell counts
+/// outside `1..=`[`MAX_BATCH`] and truncation anywhere — including mid
+/// cell — are rejected before any AEAD work happens, so a malformed
+/// container cannot consume channel sequence numbers.
+///
+/// # Errors
+///
+/// [`MigError::Transfer`] on an empty, oversized, truncated, or
+/// trailing-garbage container.
+pub fn unpack_batch(bytes: &[u8]) -> Result<Vec<&[u8]>, MigError> {
+    let framing = MigError::Transfer("malformed transfer batch container");
+    let mut r = WireReader::new(bytes);
+    let count = r.u32().map_err(|_| framing.clone())?;
+    if count == 0 || count > MAX_BATCH {
+        return Err(MigError::Transfer("batch cell count out of range"));
+    }
+    let mut cells = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        cells.push(r.bytes().map_err(|_| framing.clone())?);
+    }
+    let _pad = r.bytes().map_err(|_| framing.clone())?;
+    r.finish().map_err(|_| framing)?;
+    Ok(cells)
 }
 
 /// Per-destination adaptive chunk/window controller.
@@ -302,6 +368,7 @@ pub struct LinkShaper {
     adaptive: AdaptiveLink,
     scheduler: DrrScheduler<MrEnclave>,
     cell: u32,
+    batch: u32,
 }
 
 impl LinkShaper {
@@ -312,7 +379,25 @@ impl LinkShaper {
             adaptive: AdaptiveLink::new(config),
             scheduler: DrrScheduler::new(),
             cell: 0,
+            batch: 1,
         }
+    }
+
+    /// The link's negotiated batch size: how many sealed cells one
+    /// `TRANSFER_BATCH` container carries. 1 (the default) keeps the
+    /// legacy one-frame-per-transition path.
+    #[must_use]
+    pub fn batch(&self) -> u32 {
+        self.batch
+    }
+
+    /// Fixes the link's batch size from the channel negotiation
+    /// (`min(own config, peer advertisement)`, clamped to
+    /// `1..=`[`MAX_BATCH`]). Set once per channel establishment,
+    /// *before* any stream frame flies — changing it with containers in
+    /// flight would break the uniform-size FIFO discipline.
+    pub fn set_batch(&mut self, batch: u32) {
+        self.batch = batch.clamp(1, MAX_BATCH);
     }
 
     /// The adaptive chunk/window controller.
@@ -340,6 +425,9 @@ impl LinkShaper {
     pub fn reset_framing(&mut self) {
         self.scheduler = DrrScheduler::new();
         self.cell = 0;
+        // Batching is negotiated per channel; the replacement channel
+        // re-advertises before any stream frame flies.
+        self.batch = 1;
     }
 
     /// The destination's wire cell for the next frame batch: the uniform
@@ -395,8 +483,78 @@ mod tests {
         }
         // cell_for_frame_len inverts chunk_frame_len.
         for cell in [MIN_CHUNK_SIZE, 64 * 1024] {
-            assert_eq!(cell_for_frame_len(chunk_frame_len(cell)), cell);
+            assert_eq!(cell_for_frame_len(chunk_frame_len(cell)).unwrap(), cell);
         }
+    }
+
+    #[test]
+    fn sub_overhead_frame_rejected_as_framing_error() {
+        // A frame shorter than the fixed chunk overhead cannot be a
+        // well-formed stream frame; it must surface as a framing error,
+        // not silently map to a 0-byte cell.
+        for len in [0, 1, CHUNK_FRAME_OVERHEAD - 1] {
+            assert!(matches!(
+                cell_for_frame_len(len),
+                Err(MigError::Transfer(_))
+            ));
+        }
+        // The boundary itself is the legitimate empty-payload frame.
+        assert_eq!(cell_for_frame_len(CHUNK_FRAME_OVERHEAD).unwrap(), 0);
+    }
+
+    #[test]
+    fn batch_container_round_trips_and_pads_uniformly() {
+        let cell = MIN_CHUNK_SIZE;
+        let sealed_len = chunk_frame_len(cell) + TAG_LEN;
+        let full: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; sealed_len]).collect();
+        let packed_full = pack_batch(&full, cell, 4);
+        assert_eq!(packed_full.len(), batch_frame_len(cell, 4));
+        let cells = unpack_batch(&packed_full).unwrap();
+        assert_eq!(cells.len(), 4);
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(*c, &full[i][..]);
+        }
+        // A partial batch pads to the same uniform container length, so
+        // it cannot overtake a full batch on the size-ordered network.
+        let partial = pack_batch(&full[..1], cell, 4);
+        assert_eq!(partial.len(), packed_full.len());
+        assert_eq!(unpack_batch(&partial).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn truncated_or_malformed_batch_rejected() {
+        let cell = MIN_CHUNK_SIZE;
+        let sealed_len = chunk_frame_len(cell) + TAG_LEN;
+        let cells: Vec<Vec<u8>> = (0..2u8).map(|i| vec![i; sealed_len]).collect();
+        let packed = pack_batch(&cells, cell, 2);
+        // Truncation mid-cell must be rejected before any AEAD work.
+        for cut in [3, 10, sealed_len + 6, packed.len() - 1] {
+            assert!(unpack_batch(&packed[..cut]).is_err(), "cut at {cut}");
+        }
+        // Zero cells and oversized counts are out of range.
+        let mut w = WireWriter::new();
+        w.u32(0);
+        w.bytes(&[]);
+        assert!(unpack_batch(&w.finish()).is_err());
+        let mut w = WireWriter::new();
+        w.u32(MAX_BATCH + 1);
+        assert!(unpack_batch(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn link_shaper_batch_negotiation_clamps_and_resets() {
+        let mut shaper = LinkShaper::new(&TransferConfig::default());
+        assert_eq!(shaper.batch(), 1, "unbatched until negotiated");
+        shaper.set_batch(16);
+        assert_eq!(shaper.batch(), 16);
+        shaper.set_batch(0);
+        assert_eq!(shaper.batch(), 1, "zero clamps to the legacy path");
+        shaper.set_batch(MAX_BATCH * 2);
+        assert_eq!(shaper.batch(), MAX_BATCH);
+        // A channel reset renegotiates: framing reset drops to 1.
+        shaper.set_batch(8);
+        shaper.reset_framing();
+        assert_eq!(shaper.batch(), 1);
     }
 
     #[test]

@@ -92,7 +92,7 @@ impl SecureChannel {
     pub fn seal(&mut self, plaintext: &[u8]) -> Vec<u8> {
         let nonce = Self::nonce(self.role.direction_byte(), self.send_seq);
         self.send_seq += 1;
-        self.aead.seal(&nonce, b"sgx-migrate.channel", plaintext)
+        self.aead.seal(&nonce, CHANNEL_AAD, plaintext)
     }
 
     /// Decrypts the next in-order message from the peer.
@@ -105,11 +105,149 @@ impl SecureChannel {
         let nonce = Self::nonce(self.role.peer().direction_byte(), self.recv_seq);
         let plaintext = self
             .aead
-            .open(&nonce, b"sgx-migrate.channel", ciphertext)
+            .open(&nonce, CHANNEL_AAD, ciphertext)
             .map_err(|_| MigError::Sgx(sgx_sim::SgxError::MacMismatch))?;
         self.recv_seq += 1;
         Ok(plaintext)
     }
+
+    /// Seals a run of messages, assigning them consecutive send
+    /// sequence numbers in slice order, with the AEAD work fanned out
+    /// over `lanes` worker threads (message `i` on lane `i % lanes`).
+    /// The ciphertexts are byte-identical to `lanes` sequential
+    /// [`SecureChannel::seal`] calls — the lane split only overlaps the
+    /// encryption, it never reorders the sequence space.
+    #[must_use]
+    pub fn seal_many(&mut self, plaintexts: &[Vec<u8>], lanes: u32) -> Vec<Vec<u8>> {
+        let direction = self.role.direction_byte();
+        let base = self.send_seq;
+        self.send_seq += plaintexts.len() as u64;
+        let lanes = effective_lanes(lanes, plaintexts.len());
+        if lanes <= 1 {
+            return plaintexts
+                .iter()
+                .enumerate()
+                .map(|(i, pt)| {
+                    self.aead
+                        .seal(&Self::nonce(direction, base + i as u64), CHANNEL_AAD, pt)
+                })
+                .collect();
+        }
+        let aead = &self.aead;
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); plaintexts.len()];
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..lanes)
+                .map(|lane| {
+                    s.spawn(move || {
+                        plaintexts
+                            .iter()
+                            .enumerate()
+                            .skip(lane)
+                            .step_by(lanes)
+                            .map(|(i, pt)| {
+                                (
+                                    i,
+                                    aead.seal(
+                                        &Self::nonce(direction, base + i as u64),
+                                        CHANNEL_AAD,
+                                        pt,
+                                    ),
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                // mig-lint: allow(enclave-panic, "a panicked seal lane is a caller bug (AesGcm::seal is infallible); propagating the panic preserves fail-stop semantics")
+                for (i, ct) in handle.join().expect("seal lane panicked") {
+                    out[i] = ct;
+                }
+            }
+        });
+        out
+    }
+
+    /// Opens a run of ciphertexts expected at consecutive receive
+    /// sequence numbers, fanning the AEAD work over `lanes` worker
+    /// threads (cell `i` on lane `i % lanes`).
+    ///
+    /// Semantics match a loop of sequential [`SecureChannel::open`]
+    /// calls exactly: the verified *prefix* before the first failing
+    /// cell is returned and only those cells consume receive sequence
+    /// numbers; everything at and after the first failure is discarded.
+    /// The `bool` is `true` when every cell verified.
+    #[must_use]
+    pub fn open_many(&mut self, ciphertexts: &[&[u8]], lanes: u32) -> (Vec<Vec<u8>>, bool) {
+        let direction = self.role.peer().direction_byte();
+        let base = self.recv_seq;
+        let lanes = effective_lanes(lanes, ciphertexts.len());
+        let mut opened: Vec<Option<Vec<u8>>> = if lanes <= 1 {
+            ciphertexts
+                .iter()
+                .enumerate()
+                .map(|(i, ct)| {
+                    self.aead
+                        .open(&Self::nonce(direction, base + i as u64), CHANNEL_AAD, ct)
+                        .ok()
+                })
+                .collect()
+        } else {
+            let aead = &self.aead;
+            let mut out: Vec<Option<Vec<u8>>> = vec![None; ciphertexts.len()];
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..lanes)
+                    .map(|lane| {
+                        s.spawn(move || {
+                            ciphertexts
+                                .iter()
+                                .enumerate()
+                                .skip(lane)
+                                .step_by(lanes)
+                                .map(|(i, ct)| {
+                                    (
+                                        i,
+                                        aead.open(
+                                            &Self::nonce(direction, base + i as u64),
+                                            CHANNEL_AAD,
+                                            ct,
+                                        )
+                                        .ok(),
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    // mig-lint: allow(enclave-panic, "a panicked open lane is a caller bug (AesGcm::open returns Result); propagating the panic preserves fail-stop semantics")
+                    for (i, pt) in handle.join().expect("open lane panicked") {
+                        out[i] = pt;
+                    }
+                }
+            });
+            out
+        };
+        let verified = opened.iter().take_while(|pt| pt.is_some()).count();
+        self.recv_seq += verified as u64;
+        let ok = verified == ciphertexts.len();
+        opened.truncate(verified);
+        let prefix = opened.into_iter().flatten().collect();
+        (prefix, ok)
+    }
+}
+
+/// AAD binding every channel message to this protocol.
+const CHANNEL_AAD: &[u8] = b"sgx-migrate.channel";
+
+/// Worker-lane count actually used for a batch of `items` cells: the
+/// configured count, clamped to the item count and to the host's
+/// available parallelism. Lane assignment is by index modulo lanes, so
+/// the clamp only changes scheduling, never bytes — extra lanes on a
+/// single-core host are pure thread overhead.
+fn effective_lanes(lanes: u32, items: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    (lanes.max(1) as usize).min(items.max(1)).min(cores)
 }
 
 #[cfg(test)]
@@ -190,5 +328,44 @@ mod tests {
         let mut b = SecureChannel::new([2; 16], ChannelRole::Responder);
         let ct = a.seal(b"x");
         assert!(b.open(&ct).is_err());
+    }
+
+    #[test]
+    fn seal_many_matches_sequential_seals_for_every_lane_count() {
+        let msgs: Vec<Vec<u8>> = (0..7u8).map(|i| vec![i; 40 + i as usize]).collect();
+        let mut reference = SecureChannel::new([3; 16], ChannelRole::Initiator);
+        let expected: Vec<Vec<u8>> = msgs.iter().map(|m| reference.seal(m)).collect();
+        for lanes in [1, 2, 3, 8] {
+            let mut c = SecureChannel::new([3; 16], ChannelRole::Initiator);
+            assert_eq!(c.seal_many(&msgs, lanes), expected, "lanes={lanes}");
+        }
+        // Follow-on single seals continue the sequence space.
+        let mut c = SecureChannel::new([3; 16], ChannelRole::Initiator);
+        let _ = c.seal_many(&msgs[..3], 4);
+        assert_eq!(c.seal(&msgs[3]), expected[3]);
+    }
+
+    #[test]
+    fn open_many_round_trips_and_keeps_prefix_on_failure() {
+        let (mut a, mut b) = pair();
+        let msgs: Vec<Vec<u8>> = (0..6u8).map(|i| vec![i; 64]).collect();
+        let cts = a.seal_many(&msgs, 3);
+        let refs: Vec<&[u8]> = cts.iter().map(Vec::as_slice).collect();
+        let (opened, ok) = b.open_many(&refs, 3);
+        assert!(ok);
+        assert_eq!(opened, msgs);
+
+        // A tampered cell mid-run: the verified prefix is kept, exactly
+        // the cells before it consume receive sequence numbers, and the
+        // channel continues in-order from there.
+        let cts = a.seal_many(&msgs, 2);
+        let mut tampered: Vec<Vec<u8>> = cts.clone();
+        tampered[3][0] ^= 1;
+        let refs: Vec<&[u8]> = tampered.iter().map(Vec::as_slice).collect();
+        let (opened, ok) = b.open_many(&refs, 4);
+        assert!(!ok);
+        assert_eq!(opened, &msgs[..3]);
+        // The untampered original of cell 3 still opens next in order.
+        assert_eq!(b.open(&cts[3]).unwrap(), msgs[3]);
     }
 }

@@ -2,15 +2,24 @@
 //! chunks bound by an HMAC chain, reassemble and verify them in order,
 //! and resume from an arbitrary chunk boundary after a crash.
 //!
-//! Every chunk `i` carries `mac_i = HMAC(K, mac_{i-1} || i || payload_i)`
-//! with `mac_{-1} = HMAC(K, "seed")` and `K` derived from a secret
-//! per-transfer nonce that travels only inside the attested ME↔ME
-//! channel. The chain means a chunk is only accepted in its unique
-//! position within its own transfer: a replayed, reordered, or
-//! cross-transfer-spliced chunk fails verification even when it is
-//! re-injected across a *resumed* session (where the secure channel's
-//! per-session sequence numbers restart). The full-payload SHA-256
-//! digest announced in `ChunkStart` is checked once more on completion.
+//! Every chunk `i` carries `mac_i = HMAC(K, mac_{i-1} || i || d_i)` with
+//! `d_i = SHA-256(payload_i)`, `mac_{-1} = HMAC(K, "seed")`, and `K`
+//! derived from a secret per-transfer nonce that travels only inside
+//! the attested ME↔ME channel. The chain means a chunk is only accepted
+//! in its unique position within its own transfer: a replayed,
+//! reordered, or cross-transfer-spliced chunk fails verification even
+//! when it is re-injected across a *resumed* session (where the secure
+//! channel's per-session sequence numbers restart). The stream digest
+//! announced in `ChunkStart` — `SHA-256(d_0 || … || d_{n-1})` over the
+//! per-chunk digests — is checked once more on completion.
+//!
+//! Chaining over the 32-byte chunk *digests* (rather than the raw
+//! payloads) keeps the serial chain O(n) in the chunk count: the
+//! payload-proportional hashing is embarrassingly parallel and
+//! [`ChunkStream::with_lanes`] fans it out over a fixed worker-lane
+//! pool with deterministic lane assignment (`idx % lanes`), so the
+//! MACs, the stream digest, and every wire byte are identical for any
+//! lane count.
 
 use crate::error::MigError;
 use mig_crypto::ct::ct_eq;
@@ -65,12 +74,64 @@ fn chain_seed(key: &[u8; 32]) -> ChunkMac {
     HmacSha256::mac(key, CHAIN_SEED_LABEL)
 }
 
-fn chunk_mac(key: &[u8; 32], prev: &ChunkMac, idx: u32, payload: &[u8]) -> ChunkMac {
+fn chunk_mac(key: &[u8; 32], prev: &ChunkMac, idx: u32, chunk_digest: &[u8; 32]) -> ChunkMac {
     let mut mac = HmacSha256::new(key);
     mac.update(prev);
     mac.update(&idx.to_le_bytes());
-    mac.update(payload);
+    mac.update(chunk_digest);
     mac.finalize()
+}
+
+/// Per-chunk SHA-256 digests of `payload`, computed on `lanes` worker
+/// threads with deterministic assignment (`idx % lanes`) — identical
+/// output for any lane count.
+fn chunk_digests(payload: &[u8], chunk_size: u32, n: u32, lanes: u32) -> Vec<[u8; 32]> {
+    // Clamp to the host's parallelism: assignment is idx % lanes with
+    // results written back by index, so the clamp changes scheduling
+    // only, never output bytes.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let lanes = (lanes.max(1) as usize).min((n as usize).max(1)).min(cores);
+    if lanes <= 1 {
+        return (0..n)
+            .map(|idx| sha256(slice_chunk(payload, chunk_size, idx)))
+            .collect();
+    }
+    let mut digests = vec![[0u8; 32]; n as usize];
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..lanes)
+            .map(|lane| {
+                s.spawn(move || {
+                    (0..n)
+                        .skip(lane)
+                        .step_by(lanes)
+                        .map(|idx| (idx, sha256(slice_chunk(payload, chunk_size, idx))))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            // mig-lint: allow(enclave-panic, "a panicked digest lane is a caller bug (sha256 is infallible); propagating the panic preserves fail-stop semantics")
+            for (idx, digest) in handle.join().expect("digest lane panicked") {
+                digests[idx as usize] = digest;
+            }
+        }
+    });
+    digests
+}
+
+fn slice_chunk(payload: &[u8], chunk_size: u32, idx: u32) -> &[u8] {
+    let start = idx as usize * chunk_size as usize;
+    let end = (start + chunk_size as usize).min(payload.len());
+    &payload[start..end]
+}
+
+/// The stream digest: SHA-256 over the concatenated per-chunk digests.
+fn digest_of_digests(digests: &[[u8; 32]]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    for d in digests {
+        h.update(d);
+    }
+    h.finalize()
 }
 
 /// Source side: a payload split into chunks with precomputed chain MACs.
@@ -110,6 +171,24 @@ impl ChunkStream {
     /// validation and the Migration Library.
     #[must_use]
     pub fn new(nonce: TransferNonce, chunk_size: u32, payload: impl Into<Arc<[u8]>>) -> Self {
+        Self::with_lanes(nonce, chunk_size, payload, 1)
+    }
+
+    /// [`ChunkStream::new`] with the payload-proportional hashing fanned
+    /// out over `lanes` worker threads (deterministic `idx % lanes`
+    /// assignment). MACs and digest are identical for any lane count;
+    /// the serial HMAC chain runs over the 32-byte chunk digests only.
+    ///
+    /// # Panics
+    ///
+    /// Same caller invariants as [`ChunkStream::new`].
+    #[must_use]
+    pub fn with_lanes(
+        nonce: TransferNonce,
+        chunk_size: u32,
+        payload: impl Into<Arc<[u8]>>,
+        lanes: u32,
+    ) -> Self {
         let payload: Arc<[u8]> = payload.into();
         assert!(chunk_size > 0, "zero chunk size");
         assert!(
@@ -118,14 +197,15 @@ impl ChunkStream {
         );
         let key = chain_key(&nonce);
         let n = chunk_count(payload.len() as u64, chunk_size);
+        let digests = chunk_digests(&payload, chunk_size, n, lanes);
         let mut macs = Vec::with_capacity(n as usize);
         let mut prev = chain_seed(&key);
-        for idx in 0..n {
-            let mac = chunk_mac(&key, &prev, idx, Self::slice(&payload, chunk_size, idx));
+        for (idx, d) in digests.iter().enumerate() {
+            let mac = chunk_mac(&key, &prev, idx as u32, d);
             macs.push(mac);
             prev = mac;
         }
-        let digest = sha256(&payload);
+        let digest = digest_of_digests(&digests);
         ChunkStream {
             nonce,
             chunk_size,
@@ -136,9 +216,7 @@ impl ChunkStream {
     }
 
     fn slice(payload: &[u8], chunk_size: u32, idx: u32) -> &[u8] {
-        let start = idx as usize * chunk_size as usize;
-        let end = (start + chunk_size as usize).min(payload.len());
-        &payload[start..end]
+        slice_chunk(payload, chunk_size, idx)
     }
 
     /// The transfer nonce.
@@ -257,8 +335,13 @@ impl ChunkAssembler {
     /// digest check O(1) in the payload size. Idempotent.
     pub fn enable_incremental_digest(&mut self) {
         if self.hasher.is_none() {
+            // The stream digest is a digest-of-digests, so fold the
+            // 32-byte digest of every fully buffered chunk — not the
+            // raw bytes — and let `accept` continue from there.
             let mut hasher = Sha256::new();
-            hasher.update(&self.buf);
+            for chunk in self.buf.chunks(self.chunk_size as usize) {
+                hasher.update(&sha256(chunk));
+            }
             self.hasher = Some(hasher);
         }
     }
@@ -316,13 +399,14 @@ impl ChunkAssembler {
         if payload.len() as u64 != self.expected_len(idx) {
             return Err(MigError::Transfer("chunk length mismatch"));
         }
-        let expected = chunk_mac(&self.key, &self.prev_mac, idx, payload);
+        let d = sha256(payload);
+        let expected = chunk_mac(&self.key, &self.prev_mac, idx, &d);
         if !ct_eq(&expected, mac) {
             return Err(MigError::Transfer("chunk chain MAC mismatch"));
         }
         self.buf.extend_from_slice(payload);
         if let Some(hasher) = &mut self.hasher {
-            hasher.update(payload);
+            hasher.update(&d);
         }
         self.prev_mac = expected;
         self.next_idx += 1;
@@ -340,11 +424,17 @@ impl ChunkAssembler {
             return Err(MigError::Transfer("stream incomplete"));
         }
         // Speculative restore: the digest was folded in chunk by chunk,
-        // leaving only the finalize here; otherwise hash the whole
-        // payload now (the legacy unseal-after-complete path).
+        // leaving only the finalize here; otherwise walk the payload
+        // chunk-wise now (the legacy unseal-after-complete path).
         let digest = match self.hasher {
             Some(hasher) => hasher.finalize(),
-            None => sha256(&self.buf),
+            None => {
+                let mut hasher = Sha256::new();
+                for chunk in self.buf.chunks(self.chunk_size as usize) {
+                    hasher.update(&sha256(chunk));
+                }
+                hasher.finalize()
+            }
         };
         if !ct_eq(&digest, &self.digest) {
             return Err(MigError::Transfer("state digest mismatch"));
@@ -428,6 +518,28 @@ mod tests {
             assert_eq!(asm.n_chunks(), stream.n_chunks());
             stream_through(&stream, &mut asm, 0).unwrap();
             assert_eq!(asm.finish().unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn lane_count_never_changes_macs_or_digest() {
+        // Deterministic idx % lanes assignment: every lane count
+        // (including more lanes than chunks) yields byte-identical
+        // chain MACs and stream digest.
+        for len in [1usize, 255, 256, 1000] {
+            let data = payload(len);
+            let base = ChunkStream::new([9; 16], 64, data.clone());
+            for lanes in [1u32, 2, 3, 4, 8, 64] {
+                let fanned = ChunkStream::with_lanes([9; 16], 64, data.clone(), lanes);
+                assert_eq!(fanned.digest(), base.digest(), "lanes={lanes} len={len}");
+                for idx in 0..base.n_chunks() {
+                    assert_eq!(
+                        fanned.chunk(idx),
+                        base.chunk(idx),
+                        "lanes={lanes} idx={idx}"
+                    );
+                }
+            }
         }
     }
 

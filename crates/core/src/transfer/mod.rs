@@ -90,6 +90,14 @@ pub const DEFAULT_RETRY_BUDGET: u32 = 6;
 /// Default base of the supervisor's bounded exponential backoff
 /// (attempt *n* waits `backoff_base * 2^(n-1)` of virtual time).
 pub const DEFAULT_BACKOFF_BASE: Duration = Duration::from_millis(5);
+/// Default hot-call batch size: 1 keeps the legacy one-frame-per-
+/// transition `TRANSFER` path (and the exact 2×chunks transition
+/// profile earlier telemetry asserts on).
+pub const DEFAULT_BATCH_SIZE: u32 = 1;
+/// Default seal/digest worker-lane count (1 = serial pipeline).
+pub const DEFAULT_SEAL_LANES: u32 = 1;
+/// Largest accepted seal/digest worker-lane count.
+pub const MAX_SEAL_LANES: u32 = 64;
 
 /// Tuning knobs of the streaming state transfer, provisioned into each
 /// Migration Enclave alongside the migration policy. `chunk_size` and
@@ -136,6 +144,17 @@ pub struct TransferConfig {
     /// Base of the supervisor's bounded exponential backoff: recovery
     /// attempt *n* waits `backoff_base * 2^(n-1)` of virtual time.
     pub backoff_base: Duration,
+    /// Hot-call batch size: how many wire cells one `TRANSFER_BATCH`
+    /// ECALL moves (and, on the receive side, the advertisement made to
+    /// peers during channel negotiation — the effective link batch is
+    /// `min(sender config, receiver advertisement)`). 1 keeps the
+    /// legacy one-frame-per-transition path.
+    pub batch_size: u32,
+    /// Seal/digest worker lanes: chunk digests and cell AEAD work fan
+    /// out over this many deterministic lanes (assignment by chunk
+    /// index, so wire bytes and TRACE.json stay byte-identical). 1 =
+    /// serial.
+    pub seal_lanes: u32,
 }
 
 impl Default for TransferConfig {
@@ -152,6 +171,8 @@ impl Default for TransferConfig {
             deadline: DEFAULT_DEADLINE,
             retry_budget: DEFAULT_RETRY_BUDGET,
             backoff_base: DEFAULT_BACKOFF_BASE,
+            batch_size: DEFAULT_BATCH_SIZE,
+            seal_lanes: DEFAULT_SEAL_LANES,
         }
     }
 }
@@ -192,6 +213,8 @@ impl TransferConfig {
         w.u64(self.deadline.as_nanos().min(u128::from(u64::MAX)) as u64);
         w.u32(self.retry_budget);
         w.u64(self.backoff_base.as_nanos().min(u128::from(u64::MAX)) as u64);
+        w.u32(self.batch_size);
+        w.u32(self.seal_lanes);
     }
 
     /// Parses a config, rejecting degenerate geometry.
@@ -215,6 +238,18 @@ impl TransferConfig {
             deadline: Duration::from_nanos(r.u64()?),
             retry_budget: r.u32()?,
             backoff_base: Duration::from_nanos(r.u64()?),
+            // Trailing throughput knobs: older encodings omit them and
+            // keep the legacy serial, unbatched behaviour.
+            batch_size: if r.remaining() > 0 {
+                r.u32()?
+            } else {
+                DEFAULT_BATCH_SIZE
+            },
+            seal_lanes: if r.remaining() > 0 {
+                r.u32()?
+            } else {
+                DEFAULT_SEAL_LANES
+            },
         };
         if config.chunk_size < MIN_CHUNK_SIZE
             || config.window == 0
@@ -224,6 +259,10 @@ impl TransferConfig {
             || config.cache_budget == 0
             || config.deadline.is_zero()
             || config.backoff_base.is_zero()
+            || config.batch_size == 0
+            || config.batch_size > crate::me::wire::MAX_BATCH
+            || config.seal_lanes == 0
+            || config.seal_lanes > MAX_SEAL_LANES
         {
             return Err(SgxError::Decode);
         }
@@ -249,12 +288,30 @@ mod tests {
             deadline: Duration::from_secs(7),
             retry_budget: 2,
             backoff_base: Duration::from_millis(1),
+            batch_size: 16,
+            seal_lanes: 4,
         };
         let mut w = WireWriter::new();
         config.encode(&mut w);
         let buf = w.finish();
         let mut r = WireReader::new(&buf);
         assert_eq!(TransferConfig::decode(&mut r).unwrap(), config);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn config_without_trailing_throughput_knobs_defaults() {
+        // Encodings predating the batch/lane knobs stop after the
+        // backoff base; decode fills the legacy defaults.
+        let config = TransferConfig::default();
+        let mut w = WireWriter::new();
+        config.encode(&mut w);
+        let buf = w.finish();
+        let trimmed = &buf[..buf.len() - 8];
+        let mut r = WireReader::new(trimmed);
+        let decoded = TransferConfig::decode(&mut r).unwrap();
+        assert_eq!(decoded.batch_size, DEFAULT_BATCH_SIZE);
+        assert_eq!(decoded.seal_lanes, DEFAULT_SEAL_LANES);
         r.finish().unwrap();
     }
 
@@ -296,6 +353,22 @@ mod tests {
             },
             TransferConfig {
                 backoff_base: Duration::ZERO,
+                ..ok
+            },
+            TransferConfig {
+                batch_size: 0,
+                ..ok
+            },
+            TransferConfig {
+                batch_size: crate::me::wire::MAX_BATCH + 1,
+                ..ok
+            },
+            TransferConfig {
+                seal_lanes: 0,
+                ..ok
+            },
+            TransferConfig {
+                seal_lanes: MAX_SEAL_LANES + 1,
                 ..ok
             },
         ];

@@ -40,6 +40,11 @@ pub struct TransitionTally {
     /// Transitions attributed to a migration trace id.
     pub by_trace: BTreeMap<[u8; 8], TransitionCounters>,
     current: Option<[u8; 8]>,
+    /// Whether the in-progress ECALL may still be attributed to a trace.
+    /// Read-only diagnostics ECALLs (telemetry polling mid-stream) clear
+    /// this so no code path reached from them can inflate a migration's
+    /// per-trace tally.
+    attributable: bool,
 }
 
 impl TransitionTally {
@@ -48,6 +53,7 @@ impl TransitionTally {
     pub(crate) fn begin_ecall(&mut self) {
         self.total.ecalls += 1;
         self.current = None;
+        self.attributable = true;
     }
 
     /// Clears attribution when the ECALL returns.
@@ -55,9 +61,20 @@ impl TransitionTally {
         self.current = None;
     }
 
+    /// Marks the in-progress ECALL as non-transfer work: later
+    /// [`TransitionTally::attribute`] calls within it are ignored.
+    pub(crate) fn exclude(&mut self) {
+        self.current = None;
+        self.attributable = false;
+    }
+
     /// Retroactively credits the in-progress ECALL to `trace` and routes
-    /// its remaining platform operations there.
+    /// its remaining platform operations there. Ignored when the ECALL
+    /// has been excluded from attribution.
     pub(crate) fn attribute(&mut self, trace: [u8; 8]) {
+        if !self.attributable {
+            return;
+        }
         if self.current != Some(trace) {
             self.current = Some(trace);
             self.by_trace.entry(trace).or_default().ecalls += 1;

@@ -177,6 +177,15 @@ impl EnclaveEnv<'_> {
         self.core.transitions.lock().attribute(trace);
     }
 
+    /// Excludes the ECALL being serviced from per-trace transition
+    /// attribution: read-only diagnostics (telemetry / stat polling)
+    /// call this first so they never count towards an active
+    /// migration's tally, and any later [`Self::attribute_transition`]
+    /// within the same ECALL is ignored.
+    pub fn exclude_transition_attribution(&mut self) {
+        self.core.transitions.lock().exclude();
+    }
+
     /// Derives a 128-bit key (`EGETKEY`).
     #[must_use]
     pub fn egetkey(&mut self, req: &KeyRequest) -> [u8; 16] {

@@ -254,16 +254,24 @@ impl Histogram {
         }
     }
 
-    /// Adds `other` into `self` (bucket-wise when bounds match,
-    /// otherwise only the scalar sum/count are folded in).
-    pub fn merge(&mut self, other: &Histogram) {
-        if self.bounds == other.bounds {
+    /// Adds `other` into `self`. Bucket counts fold element-wise when
+    /// the bounds match; on a bounds mismatch all of `other`'s
+    /// observations land in `self`'s overflow bucket instead, so fleet
+    /// merges never silently lose counts. Returns whether the bounds
+    /// matched.
+    pub fn merge(&mut self, other: &Histogram) -> bool {
+        let matched = self.bounds == other.bounds;
+        if matched {
             for (c, o) in self.counts.iter_mut().zip(&other.counts) {
                 *c += o;
             }
+        } else if let Some(overflow) = self.counts.last_mut() {
+            let total = other.counts.iter().fold(0u64, |a, &c| a.saturating_add(c));
+            *overflow = overflow.saturating_add(total);
         }
         self.sum = self.sum.saturating_add(other.sum);
         self.n += other.n;
+        matched
     }
 }
 
@@ -432,13 +440,24 @@ impl Telemetry {
         for (k, v) in &other.gauges {
             self.gauges.insert(k.clone(), *v);
         }
+        let mut bounds_mismatches = 0u64;
         for (k, h) in &other.histograms {
             match self.histograms.get_mut(k) {
-                Some(mine) => mine.merge(h),
+                Some(mine) => {
+                    if !mine.merge(h) {
+                        bounds_mismatches += 1;
+                    }
+                }
                 None => {
                     self.histograms.insert(k.clone(), h.clone());
                 }
             }
+        }
+        if bounds_mismatches > 0 {
+            *self
+                .counters
+                .entry("trace.merge_bounds_mismatch".to_string())
+                .or_insert(0) += bounds_mismatches;
         }
         self.transitions.merge(&other.transitions);
     }
@@ -731,6 +750,52 @@ mod tests {
         assert_eq!(m.counter("chunks"), 4);
         assert_eq!(m.gauge("window"), Some(16));
         assert_eq!(m.histogram("rtt").map(|h| h.n), Some(1));
+    }
+
+    #[test]
+    fn histogram_merge_mismatch_folds_into_overflow() {
+        let mut a = Histogram::new(&[10, 100]);
+        a.observe(5);
+        let mut b = Histogram::new(&[7, 9, 11]);
+        for v in [1, 8, 10, 2000] {
+            b.observe(v);
+        }
+        assert!(!a.merge(&b), "bounds differ");
+        // No observation vanished: the four foreign counts sit in the
+        // overflow bucket and sum/n fold in exactly.
+        assert_eq!(a.counts, vec![1, 0, 4]);
+        assert_eq!(a.n, 5);
+        assert_eq!(a.sum, 5 + 1 + 8 + 10 + 2000);
+        assert_eq!(a.counts.iter().sum::<u64>(), a.n);
+
+        // Matching bounds still fold bucket-wise and report a match.
+        let mut c = Histogram::new(&[10, 100]);
+        c.observe(50);
+        assert!(a.merge(&c));
+        assert_eq!(a.counts, vec![1, 1, 4]);
+    }
+
+    #[test]
+    fn telemetry_merge_counts_bounds_mismatch() {
+        let mut m1 = MetricsRegistry::default();
+        m1.observe_ns("rtt", &[10, 100], 5);
+        let mut t1 = Telemetry::from_parts(&Recorder::default(), &m1);
+
+        let mut m2 = MetricsRegistry::default();
+        m2.observe_ns("rtt", &[1, 2, 3], 99);
+        let t2 = Telemetry::from_parts(&Recorder::default(), &m2);
+
+        t1.merge(&t2);
+        assert_eq!(t1.counters["trace.merge_bounds_mismatch"], 1);
+        let h = &t1.histograms["rtt"];
+        assert_eq!(h.n, 2);
+        assert_eq!(h.counts.iter().sum::<u64>(), 2);
+
+        // A clean merge does not create the counter.
+        let mut t3 = Telemetry::from_parts(&Recorder::default(), &m1);
+        let t4 = Telemetry::from_parts(&Recorder::default(), &m1);
+        t3.merge(&t4);
+        assert!(!t3.counters.contains_key("trace.merge_bounds_mismatch"));
     }
 
     #[test]

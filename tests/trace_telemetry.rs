@@ -247,6 +247,70 @@ fn concurrent_migrations_keep_ring_buffer_bounded_and_traces_separate() {
     assert_eq!(telemetry.to_json(), run(4202).to_json());
 }
 
+/// Regression (observability attribution leak): TELEMETRY exports,
+/// STREAM_STAT progress probes, and LINK_STAT window probes issued
+/// **while the chunk stream is in flight** must not be attributed to
+/// the migration's trace. The world is pumped one message at a time
+/// with all three polls fired every few deliveries; the per-trace
+/// transition tally still comes out at exactly one destination
+/// TRANSFER plus one source ACK ECALL per chunk, as if the host had
+/// never polled.
+#[test]
+fn mid_stream_observability_polls_never_inflate_per_trace_transitions() {
+    let (mut dc, m1, m2) = two_machines(4204, TransferConfig::default());
+    dc.deploy_app("src", m1, &image(0), KvStore::new(), InitRequest::New)
+        .unwrap();
+    dc.call_app("src", kv_ops::INIT, &[]).unwrap();
+    dc.call_app(
+        "src",
+        kv_ops::BULK_PUT,
+        &kvstore::encode_bulk_put(BULK_COUNT, BULK_VALUE_LEN, 0x5A),
+    )
+    .unwrap();
+    dc.deploy_app("dst", m2, &image(0), KvStore::new(), InitRequest::Migrate)
+        .unwrap();
+
+    let mr = dc.app("src").lock().enclave().identity().mr_enclave;
+    let dst_machine = dc.app_machine("dst");
+    let src = dc.app("src");
+    src.lock()
+        .migrate_to(dc.world_mut().network_mut(), dst_machine)
+        .unwrap();
+
+    let mut steps = 0u64;
+    let mut polls = 0u32;
+    while dc.world_mut().step() {
+        steps += 1;
+        if steps.is_multiple_of(5) {
+            dc.fleet_telemetry().unwrap();
+            dc.me_host(m1).lock().stream_progress(mr).unwrap();
+            dc.me_host(m1).lock().link_state(m2).unwrap();
+            polls += 1;
+        }
+    }
+    assert!(
+        polls > 10,
+        "a 16 MiB stream must leave room for many mid-stream polls (got {polls})"
+    );
+
+    let state_len = dc
+        .app_bulk_state("dst")
+        .unwrap()
+        .expect("migration released despite mid-stream polling")
+        .len() as u64;
+    let chunks = u64::from(chunk_count(state_len, TransferConfig::default().chunk_size));
+    let telemetry = dc.fleet_telemetry().unwrap();
+    assert_eq!(telemetry.counters.get("me.chunks_received"), Some(&chunks));
+
+    let tid = migration_trace(&telemetry);
+    let per_trace = telemetry.transitions.by_trace.get(&tid).unwrap();
+    assert_eq!(
+        per_trace.ecalls,
+        2 * chunks,
+        "observability polls leaked into the migration's transition tally"
+    );
+}
+
 /// The timeline rendering covers every migration trace (smoke — the
 /// exact format is pinned down by mig-trace's unit tests).
 #[test]
