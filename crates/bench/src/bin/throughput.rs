@@ -7,9 +7,21 @@
 //! cargo run -p mig-bench --release --bin throughput
 //! THROUGHPUT_MIB=16 cargo run -p mig-bench --release --bin throughput
 //! THROUGHPUT_BATCH=8 cargo run -p mig-bench --release --bin throughput
+//! THROUGHPUT_ROUNDS=3 cargo run -p mig-bench --release --bin throughput
 //! THROUGHPUT_DEBUG=1 cargo run -p mig-bench --release --bin throughput  # dump counters
 //! THROUGHPUT_ASSERT=1 cargo run -p mig-bench --release --bin throughput  # CI smoke
 //! ```
+//!
+//! Each arm runs `THROUGHPUT_ROUNDS` times (default 2) with the arms
+//! interleaved — unbatched, batched, unbatched, batched — and the
+//! fastest round per arm is reported. Interleaving matters: the two
+//! arms do several seconds of identical crypto per round, and on a
+//! shared machine a strictly sequential A-then-B order hands whichever
+//! arm runs second a measurable frequency/cache handicap (a control
+//! run with `THROUGHPUT_BATCH=1`, i.e. both arms doing literally the
+//! same work, still measured the second arm ~4% slower). Best-of-N
+//! over alternating rounds compares the arms' actual work instead of
+//! their slot in the schedule.
 //!
 //! The batched arm ships `batch_size` sealed cells per `TRANSFER_BATCH`
 //! ECALL and seals/digests chunks on `seal_lanes` worker lanes, so
@@ -18,7 +30,9 @@
 //! is spread across cores. Results land in `BENCH_throughput.json`
 //! (override with `THROUGHPUT_JSON_PATH`). With `THROUGHPUT_ASSERT=1`
 //! the run exits nonzero unless the batched arm's trace-attributed
-//! ECALLs stay under 0.25 × chunks.
+//! ECALLs stay under 0.25 × chunks **and** the batched arm is at least
+//! as fast as the unbatched arm end to end (`speedup >= 1.0`) — fewer
+//! transitions must never be bought with a wall-clock regression.
 
 use mig_bench::prepared_kv_datacenter;
 use mig_core::transfer::TransferConfig;
@@ -137,9 +151,25 @@ fn main() {
     // 4 KiB values: entries × 4096 ≈ the requested state size.
     let entries = mib * 256;
 
-    println!("=== Sealed-state migration throughput ({mib} MiB kvstore) ===\n");
-    let unbatched = run_arm("unbatched", 0x7A11, entries, false);
-    let batched = run_arm("batched", 0x7A11, entries, true);
+    let rounds: u32 = std::env::var("THROUGHPUT_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2)
+        .max(1);
+
+    println!("=== Sealed-state migration throughput ({mib} MiB kvstore, best of {rounds}) ===\n");
+    let faster = |best: Option<Arm>, arm: Arm| match best {
+        Some(b) if b.wall_s <= arm.wall_s => Some(b),
+        _ => Some(arm),
+    };
+    let mut best_unbatched: Option<Arm> = None;
+    let mut best_batched: Option<Arm> = None;
+    for _ in 0..rounds {
+        best_unbatched = faster(best_unbatched, run_arm("unbatched", 0x7A11, entries, false));
+        best_batched = faster(best_batched, run_arm("batched", 0x7A11, entries, true));
+    }
+    let unbatched = best_unbatched.expect("rounds >= 1");
+    let batched = best_batched.expect("rounds >= 1");
 
     for arm in [&unbatched, &batched] {
         println!(
@@ -183,8 +213,19 @@ fn main() {
             batched.batches_received > 0,
             "batched arm never took the TRANSFER_BATCH path"
         );
+        // Wall-clock regression guard: saving transitions is worthless
+        // if batching is slower end to end. This caught the pre-kernel
+        // state of the world (speedup 0.967) and keeps the next crypto
+        // or pipelining regression out of CI.
+        assert!(
+            speedup >= 1.0,
+            "batched arm is wall-clock slower than unbatched: speedup {speedup:.3} < 1.0 \
+             ({:.2} vs {:.2} MB/s)",
+            batched.mb_per_s,
+            unbatched.mb_per_s
+        );
         println!(
-            "assert ok: {} trace ECALLs < {bound:.1} (0.25 × {} chunks)",
+            "assert ok: {} trace ECALLs < {bound:.1} (0.25 × {} chunks); speedup {speedup:.2}x >= 1.0",
             batched.trace_ecalls, batched.chunks
         );
     }

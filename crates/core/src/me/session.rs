@@ -1312,22 +1312,31 @@ impl MigrationEnclave {
             .ok_or(MigError::ChannelMissing {
                 peer: ChannelPeer::Destination,
             })?;
-        let sealed = channel.seal_many(&plaintexts, seal_lanes);
         self.telemetry.chunks_sealed += grants.len() as u64;
         // On a batch-negotiated link the whole burst (leads included —
         // all sealed to one uniform cell length) rides in TRANSFER_BATCH
         // containers, collapsing up to `batch` enclave transitions into
-        // one; a batch of 1 keeps the legacy per-frame TRANSFER path
+        // one; each container is allocated at its final size and the
+        // cells are sealed straight into it (`wire::seal_batch`). A
+        // batch of 1 keeps the legacy per-frame TRANSFER path
         // byte-identical.
         let frames: StreamFrames = if batch > 1 {
-            let containers: StreamFrames = sealed
-                .chunks(batch as usize)
-                .map(|cells| (FRAME_BATCH, wire::pack_batch(cells, cell, batch)))
-                .collect();
+            let mut containers: StreamFrames =
+                Vec::with_capacity(plaintexts.len().div_ceil(batch as usize));
+            for cells in plaintexts.chunks(batch as usize) {
+                containers.push((
+                    FRAME_BATCH,
+                    wire::seal_batch(channel, cells, cell, batch, seal_lanes),
+                ));
+            }
             self.telemetry.batches_sealed += containers.len() as u64;
             containers
         } else {
-            sealed.into_iter().map(|ct| (FRAME_SINGLE, ct)).collect()
+            channel
+                .seal_many(&plaintexts, seal_lanes)
+                .into_iter()
+                .map(|ct| (FRAME_SINGLE, ct))
+                .collect()
         };
         for (mr, n) in next {
             let stream = self

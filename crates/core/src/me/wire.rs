@@ -16,11 +16,14 @@
 
 use crate::error::MigError;
 use crate::msgs::MeToMe;
+use crate::secure_channel::SecureChannel;
 use crate::transfer::chunker::ChunkStream;
 use crate::transfer::{TransferConfig, MIN_CHUNK_SIZE};
 use mig_crypto::gcm::TAG_LEN;
 use sgx_sim::measurement::MrEnclave;
-use sgx_sim::wire::{WireReader, WireWriter};
+use sgx_sim::wire::WireReader;
+#[cfg(test)]
+use sgx_sim::wire::WireWriter;
 use std::collections::HashMap;
 use std::hash::Hash;
 
@@ -128,19 +131,46 @@ pub fn batch_frame_len(cell: u32, batch: u32) -> usize {
     4 + batch as usize * (4 + sealed_cell) + 4
 }
 
-/// Packs individually channel-sealed cells (chunk frames and padded
-/// lead frames, all of one uniform sealed length) into one batch
+/// Seals a run of plaintext cells (chunk frames and padded lead frames,
+/// all of one uniform plaintext length) directly into one batch
 /// container, padded to [`batch_frame_len`] for the link's negotiated
-/// `batch` size.
+/// `batch` size. The container is allocated once at its final size and
+/// the channel seals each cell in place behind its length prefix
+/// ([`SecureChannel::seal_many_framed`]) — no per-cell ciphertext
+/// buffers, no second copy into the container.
+pub(crate) fn seal_batch(
+    channel: &mut SecureChannel,
+    cells: &[Vec<u8>],
+    cell: u32,
+    batch: u32,
+    lanes: u32,
+) -> Vec<u8> {
+    let target = batch_frame_len(cell, batch);
+    let mut out = Vec::with_capacity(target);
+    out.extend_from_slice(&(cells.len() as u32).to_le_bytes());
+    channel.seal_many_framed(cells, lanes, &mut out);
+    // Trailing pad field, exactly as pack_batch framed it.
+    let pad = target.saturating_sub(out.len() + 4);
+    // mig-lint: allow(enclave-panic, "pad < target <= batch_frame_len < 4 GiB")
+    out.extend_from_slice(&u32::try_from(pad).expect("pad < 4 GiB").to_le_bytes());
+    out.resize(target, 0);
+    out
+}
+
+/// Packs individually channel-sealed cells into one batch container —
+/// the two-pass framing [`seal_batch`] collapsed into a single pass.
+/// Retained as the byte-layout oracle for `seal_batch` and the builder
+/// for `unpack_batch` tests.
+#[cfg(test)]
 pub(crate) fn pack_batch(cells: &[Vec<u8>], cell: u32, batch: u32) -> Vec<u8> {
-    let mut w = WireWriter::new();
+    let target = batch_frame_len(cell, batch);
+    let mut w = WireWriter::with_capacity(target);
     w.u32(cells.len() as u32);
     let mut used = 4usize;
     for ct in cells {
         w.bytes(ct);
         used += 4 + ct.len();
     }
-    let target = batch_frame_len(cell, batch);
     let pad = target.saturating_sub(used + 4);
     w.bytes(&vec![0u8; pad]);
     w.finish()
@@ -519,6 +549,25 @@ mod tests {
         let partial = pack_batch(&full[..1], cell, 4);
         assert_eq!(partial.len(), packed_full.len());
         assert_eq!(unpack_batch(&partial).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn seal_batch_matches_pack_batch_of_seal_many() {
+        use crate::secure_channel::ChannelRole;
+        let cell = MIN_CHUNK_SIZE;
+        let plaintexts: Vec<Vec<u8>> = (0..3u8).map(|i| vec![i; chunk_frame_len(cell)]).collect();
+        for lanes in [1u32, 2, 4] {
+            // Two-pass oracle: seal the cells, then pack the ciphertexts.
+            let mut oracle = SecureChannel::new([9; 16], ChannelRole::Initiator);
+            let expected = pack_batch(&oracle.seal_many(&plaintexts, lanes), cell, 4);
+            // Single-pass path under test: seal straight into the container.
+            let mut direct = SecureChannel::new([9; 16], ChannelRole::Initiator);
+            let container = seal_batch(&mut direct, &plaintexts, cell, 4, lanes);
+            assert_eq!(container, expected, "lanes={lanes}");
+            assert_eq!(container.len(), batch_frame_len(cell, 4));
+            // And the receiver parses the sealed cells back out in order.
+            assert_eq!(unpack_batch(&container).unwrap().len(), 3);
+        }
     }
 
     #[test]

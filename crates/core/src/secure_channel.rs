@@ -8,7 +8,7 @@
 //! reordered within a session.
 
 use crate::error::MigError;
-use mig_crypto::gcm::AesGcm;
+use mig_crypto::gcm::{AesGcm, TAG_LEN};
 
 /// Which end of the channel this instance is (determines nonce spaces).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -95,6 +95,17 @@ impl SecureChannel {
         self.aead.seal(&nonce, CHANNEL_AAD, plaintext)
     }
 
+    /// Encrypts and sequences a message, appending `ciphertext || tag`
+    /// to `out` — identical bytes to [`SecureChannel::seal`], but into a
+    /// caller-provided buffer so frame builders that know their final
+    /// length (batch containers, padded cells) seal with zero
+    /// intermediate allocations or copies.
+    pub fn seal_into(&mut self, plaintext: &[u8], out: &mut Vec<u8>) {
+        let nonce = Self::nonce(self.role.direction_byte(), self.send_seq);
+        self.send_seq += 1;
+        self.aead.seal_into(&nonce, CHANNEL_AAD, plaintext, out);
+    }
+
     /// Decrypts the next in-order message from the peer.
     ///
     /// # Errors
@@ -166,6 +177,34 @@ impl SecureChannel {
             }
         });
         out
+    }
+
+    /// Seals a run of messages like [`SecureChannel::seal_many`], but
+    /// appends each ciphertext to `out` behind a `u32` length prefix —
+    /// the `TRANSFER_BATCH` cell framing — so a batch container is
+    /// assembled in place. With one effective lane (the common case on
+    /// small hosts) every cell is sealed directly into `out` with no
+    /// intermediate per-cell allocation or copy; with more lanes the
+    /// AEAD work fans out exactly like `seal_many` and only the final
+    /// gather copies. Bytes and sequence numbers are identical either
+    /// way.
+    pub fn seal_many_framed(&mut self, plaintexts: &[Vec<u8>], lanes: u32, out: &mut Vec<u8>) {
+        if effective_lanes(lanes, plaintexts.len()) <= 1 {
+            let direction = self.role.direction_byte();
+            for pt in plaintexts {
+                let sealed_len = u32::try_from(pt.len() + TAG_LEN).expect("cell < 4 GiB");
+                out.extend_from_slice(&sealed_len.to_le_bytes());
+                let nonce = Self::nonce(direction, self.send_seq);
+                self.send_seq += 1;
+                self.aead.seal_into(&nonce, CHANNEL_AAD, pt, out);
+            }
+        } else {
+            for ct in self.seal_many(plaintexts, lanes) {
+                let sealed_len = u32::try_from(ct.len()).expect("cell < 4 GiB");
+                out.extend_from_slice(&sealed_len.to_le_bytes());
+                out.extend_from_slice(&ct);
+            }
+        }
     }
 
     /// Opens a run of ciphertexts expected at consecutive receive
@@ -343,6 +382,42 @@ mod tests {
         let mut c = SecureChannel::new([3; 16], ChannelRole::Initiator);
         let _ = c.seal_many(&msgs[..3], 4);
         assert_eq!(c.seal(&msgs[3]), expected[3]);
+    }
+
+    #[test]
+    fn seal_into_matches_seal_and_continues_sequence() {
+        let mut reference = SecureChannel::new([4; 16], ChannelRole::Initiator);
+        let expected: Vec<Vec<u8>> = (0..3u8).map(|i| reference.seal(&[i; 33])).collect();
+
+        let mut c = SecureChannel::new([4; 16], ChannelRole::Initiator);
+        let mut buf = b"hdr".to_vec();
+        c.seal_into(&[0; 33], &mut buf);
+        assert_eq!(&buf[..3], b"hdr");
+        assert_eq!(buf[3..], expected[0]);
+        // Mixing seal_into and seal shares one sequence space.
+        assert_eq!(c.seal(&[1; 33]), expected[1]);
+        let mut buf = Vec::new();
+        c.seal_into(&[2; 33], &mut buf);
+        assert_eq!(buf, expected[2]);
+    }
+
+    #[test]
+    fn seal_many_framed_matches_length_prefixed_seal_many() {
+        let msgs: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i; 48]).collect();
+        for lanes in [1, 2, 4] {
+            let mut by_parts = SecureChannel::new([6; 16], ChannelRole::Responder);
+            let mut expected = Vec::new();
+            for ct in by_parts.seal_many(&msgs, lanes) {
+                expected.extend_from_slice(&(ct.len() as u32).to_le_bytes());
+                expected.extend_from_slice(&ct);
+            }
+            let mut framed = SecureChannel::new([6; 16], ChannelRole::Responder);
+            let mut out = Vec::new();
+            framed.seal_many_framed(&msgs, lanes, &mut out);
+            assert_eq!(out, expected, "lanes={lanes}");
+            // Both channels end at the same sequence number.
+            assert_eq!(framed.seal(b"next"), by_parts.seal(b"next"));
+        }
     }
 
     #[test]

@@ -19,7 +19,11 @@
 //! [`ChunkStream::with_lanes`] fans it out over a fixed worker-lane
 //! pool with deterministic lane assignment (`idx % lanes`), so the
 //! MACs, the stream digest, and every wire byte are identical for any
-//! lane count.
+//! lane count. Each chunk is digested with one [`sha256`] call over the
+//! whole payload slice, which the hash folds through its bulk
+//! compression kernel — no per-block buffering anywhere on the digest
+//! path, so chunk hashing runs at raw kernel speed on a single lane
+//! too.
 
 use crate::error::MigError;
 use mig_crypto::ct::ct_eq;

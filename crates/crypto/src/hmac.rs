@@ -1,8 +1,12 @@
 //! HMAC (RFC 2104 / FIPS 198-1) over SHA-256 and SHA-512.
 //!
-//! HMAC-SHA-256 keys the simulated SGX report MACs and the secure-channel
-//! key-confirmation messages; HMAC-SHA-512 is provided for completeness.
-//! Validated against the RFC 4231 test vectors.
+//! HMAC-SHA-256 keys the simulated SGX report MACs, the secure-channel
+//! key-confirmation messages, and the chunk-stream MAC chain;
+//! HMAC-SHA-512 is provided for completeness. `update` forwards
+//! directly to the underlying hash, so whole containers fold through
+//! the unrolled bulk compression kernel ([`Sha256::update`]) without
+//! per-block buffering — the MAC chain rides the same hot path as
+//! plain digests. Validated against the RFC 4231 test vectors.
 
 use crate::ct::ct_eq;
 use crate::sha256::{self, Sha256};

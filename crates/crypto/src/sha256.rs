@@ -1,8 +1,16 @@
-//! SHA-256 (FIPS 180-4).
+//! SHA-256 (FIPS 180-4), with a block-unrolled bulk compression kernel.
 //!
 //! Provides both a streaming [`Sha256`] hasher and the one-shot [`sha256`]
-//! convenience function. Validated against the FIPS 180-4 / NIST CAVP
-//! example vectors, including the one-million-`a` vector.
+//! convenience function. The compression function is fully unrolled in
+//! 16-round groups over a rolling 16-word message schedule — no 64-entry
+//! schedule array and no per-round register rotation — and
+//! [`Sha256::update`] folds every full-block run of its input through
+//! [`compress_blocks`] in one call, so multi-megabyte payloads (chunk
+//! digests, HMAC chains, sealed-state digests) never round-trip through
+//! the 64-byte buffer. The straightforward rolled compression this
+//! replaces is retained in [`reference`] as the equivalence oracle.
+//! Validated against the FIPS 180-4 / NIST CAVP example vectors,
+//! including the one-million-`a` vector.
 
 /// Digest size in bytes.
 pub const DIGEST_LEN: usize = 32;
@@ -23,6 +31,259 @@ const K: [u32; 64] = [
 const H0: [u32; 8] = [
     0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
 ];
+
+/// One SHA-256 round with explicit register names. Sixteen invocations
+/// with the names rotated one position to the right per round put every
+/// register back in its original role, so a 16-round group needs no
+/// register shuffling at all.
+macro_rules! round {
+    ($a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $f:ident, $g:ident, $h:ident, $kw:expr) => {{
+        let t1 = $h
+            .wrapping_add($e.rotate_right(6) ^ $e.rotate_right(11) ^ $e.rotate_right(25))
+            .wrapping_add(($e & $f) ^ (!$e & $g))
+            .wrapping_add($kw);
+        let t2 = ($a.rotate_right(2) ^ $a.rotate_right(13) ^ $a.rotate_right(22))
+            .wrapping_add(($a & $b) ^ ($a & $c) ^ ($b & $c));
+        $d = $d.wrapping_add(t1);
+        $h = t1.wrapping_add(t2);
+    }};
+}
+
+/// Sixteen unrolled rounds consuming `w[0..16]` against `K[$base..]`.
+macro_rules! rounds16 {
+    ($a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $f:ident, $g:ident, $h:ident,
+     $w:ident, $base:expr) => {{
+        round!($a, $b, $c, $d, $e, $f, $g, $h, K[$base].wrapping_add($w[0]));
+        round!(
+            $h,
+            $a,
+            $b,
+            $c,
+            $d,
+            $e,
+            $f,
+            $g,
+            K[$base + 1].wrapping_add($w[1])
+        );
+        round!(
+            $g,
+            $h,
+            $a,
+            $b,
+            $c,
+            $d,
+            $e,
+            $f,
+            K[$base + 2].wrapping_add($w[2])
+        );
+        round!(
+            $f,
+            $g,
+            $h,
+            $a,
+            $b,
+            $c,
+            $d,
+            $e,
+            K[$base + 3].wrapping_add($w[3])
+        );
+        round!(
+            $e,
+            $f,
+            $g,
+            $h,
+            $a,
+            $b,
+            $c,
+            $d,
+            K[$base + 4].wrapping_add($w[4])
+        );
+        round!(
+            $d,
+            $e,
+            $f,
+            $g,
+            $h,
+            $a,
+            $b,
+            $c,
+            K[$base + 5].wrapping_add($w[5])
+        );
+        round!(
+            $c,
+            $d,
+            $e,
+            $f,
+            $g,
+            $h,
+            $a,
+            $b,
+            K[$base + 6].wrapping_add($w[6])
+        );
+        round!(
+            $b,
+            $c,
+            $d,
+            $e,
+            $f,
+            $g,
+            $h,
+            $a,
+            K[$base + 7].wrapping_add($w[7])
+        );
+        round!(
+            $a,
+            $b,
+            $c,
+            $d,
+            $e,
+            $f,
+            $g,
+            $h,
+            K[$base + 8].wrapping_add($w[8])
+        );
+        round!(
+            $h,
+            $a,
+            $b,
+            $c,
+            $d,
+            $e,
+            $f,
+            $g,
+            K[$base + 9].wrapping_add($w[9])
+        );
+        round!(
+            $g,
+            $h,
+            $a,
+            $b,
+            $c,
+            $d,
+            $e,
+            $f,
+            K[$base + 10].wrapping_add($w[10])
+        );
+        round!(
+            $f,
+            $g,
+            $h,
+            $a,
+            $b,
+            $c,
+            $d,
+            $e,
+            K[$base + 11].wrapping_add($w[11])
+        );
+        round!(
+            $e,
+            $f,
+            $g,
+            $h,
+            $a,
+            $b,
+            $c,
+            $d,
+            K[$base + 12].wrapping_add($w[12])
+        );
+        round!(
+            $d,
+            $e,
+            $f,
+            $g,
+            $h,
+            $a,
+            $b,
+            $c,
+            K[$base + 13].wrapping_add($w[13])
+        );
+        round!(
+            $c,
+            $d,
+            $e,
+            $f,
+            $g,
+            $h,
+            $a,
+            $b,
+            K[$base + 14].wrapping_add($w[14])
+        );
+        round!(
+            $b,
+            $c,
+            $d,
+            $e,
+            $f,
+            $g,
+            $h,
+            $a,
+            K[$base + 15].wrapping_add($w[15])
+        );
+    }};
+}
+
+/// Advances the rolling 16-word schedule in place: after the update,
+/// `w[i]` holds `W[t+16+i]` where it held `W[t+i]` before. The ring
+/// indices resolve to already-updated slots exactly where FIPS 180-4
+/// references schedule words of the new group.
+#[inline]
+fn schedule_next(w: &mut [u32; 16]) {
+    for i in 0..16 {
+        let s0 = {
+            let x = w[(i + 1) & 15];
+            x.rotate_right(7) ^ x.rotate_right(18) ^ (x >> 3)
+        };
+        let s1 = {
+            let x = w[(i + 14) & 15];
+            x.rotate_right(17) ^ x.rotate_right(19) ^ (x >> 10)
+        };
+        w[i] = w[i]
+            .wrapping_add(s0)
+            .wrapping_add(w[(i + 9) & 15])
+            .wrapping_add(s1);
+    }
+}
+
+/// Folds a run of whole 64-byte blocks into `state`.
+///
+/// This is the bulk kernel behind [`Sha256::update`]: one call walks any
+/// number of consecutive blocks with the unrolled round function and a
+/// rolling schedule held in registers/stack scratch that is reused (and
+/// overwritten) block after block — no per-block buffer copies, no
+/// 64-entry schedule array.
+///
+/// # Panics
+///
+/// Debug-asserts that `blocks` is a multiple of [`BLOCK_LEN`]; a ragged
+/// tail would be silently dropped otherwise (caller bug).
+fn compress_blocks(state: &mut [u32; 8], blocks: &[u8]) {
+    debug_assert_eq!(blocks.len() % BLOCK_LEN, 0);
+    let mut w = [0u32; 16];
+    for block in blocks.chunks_exact(BLOCK_LEN) {
+        for (wi, chunk) in w.iter_mut().zip(block.chunks_exact(4)) {
+            *wi = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+        rounds16!(a, b, c, d, e, f, g, h, w, 0);
+        schedule_next(&mut w);
+        rounds16!(a, b, c, d, e, f, g, h, w, 16);
+        schedule_next(&mut w);
+        rounds16!(a, b, c, d, e, f, g, h, w, 32);
+        schedule_next(&mut w);
+        rounds16!(a, b, c, d, e, f, g, h, w, 48);
+        state[0] = state[0].wrapping_add(a);
+        state[1] = state[1].wrapping_add(b);
+        state[2] = state[2].wrapping_add(c);
+        state[3] = state[3].wrapping_add(d);
+        state[4] = state[4].wrapping_add(e);
+        state[5] = state[5].wrapping_add(f);
+        state[6] = state[6].wrapping_add(g);
+        state[7] = state[7].wrapping_add(h);
+    }
+    // The last block's schedule words are message-derived scratch; when
+    // the message is keyed (HMAC/HKDF) they must not linger.
+    crate::zeroize::zeroize_u32s(&mut w);
+}
 
 /// Streaming SHA-256 hasher.
 ///
@@ -82,6 +343,11 @@ impl Sha256 {
     }
 
     /// Absorbs `data` into the hash state.
+    ///
+    /// Full blocks are compressed straight from `data` in one
+    /// [`compress_blocks`] call; only a ragged head (completing a
+    /// previously buffered partial block) or tail touches the internal
+    /// buffer.
     pub fn update(&mut self, data: &[u8]) {
         self.total_len = self.total_len.wrapping_add(data.len() as u64);
         let mut rest = data;
@@ -92,18 +358,18 @@ impl Sha256 {
             rest = &rest[take..];
             if self.buf_len == BLOCK_LEN {
                 let block = self.buf;
-                self.compress(&block);
+                compress_blocks(&mut self.state, &block);
                 self.buf_len = 0;
             }
         }
-        while rest.len() >= BLOCK_LEN {
-            let (block, tail) = rest.split_at(BLOCK_LEN);
-            self.compress(block.try_into().expect("exact block"));
-            rest = tail;
+        let full = rest.len() - rest.len() % BLOCK_LEN;
+        let (blocks, tail) = rest.split_at(full);
+        if !blocks.is_empty() {
+            compress_blocks(&mut self.state, blocks);
         }
-        if !rest.is_empty() {
-            self.buf[..rest.len()].copy_from_slice(rest);
-            self.buf_len = rest.len();
+        if !tail.is_empty() {
+            self.buf[..tail.len()].copy_from_slice(tail);
+            self.buf_len = tail.len();
         }
     }
 
@@ -120,7 +386,7 @@ impl Sha256 {
         // so compress the final block manually.
         self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
         let block = self.buf;
-        self.compress(&block);
+        compress_blocks(&mut self.state, &block);
 
         let mut out = [0u8; DIGEST_LEN];
         for (i, word) in self.state.iter().enumerate() {
@@ -128,8 +394,54 @@ impl Sha256 {
         }
         out
     }
+}
 
-    fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
+/// One-shot SHA-256.
+///
+/// # Example
+///
+/// ```
+/// let d = mig_crypto::sha256::sha256(b"abc");
+/// assert_eq!(mig_crypto::hex_encode(&d),
+///     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+/// ```
+#[must_use]
+pub fn sha256(data: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// The straightforward rolled SHA-256 the unrolled kernel replaced,
+/// retained verbatim as an independent equivalence oracle for tests and
+/// the `crypto_kernels` microbench (`reference` feature).
+#[cfg(any(test, feature = "reference"))]
+pub mod reference {
+    use super::{BLOCK_LEN, DIGEST_LEN, H0, K};
+
+    /// One-shot rolled SHA-256 (64-entry schedule array, per-round
+    /// register rotation) — the pre-kernel implementation.
+    #[must_use]
+    pub fn sha256_rolled(data: &[u8]) -> [u8; DIGEST_LEN] {
+        let mut state = H0;
+        let bit_len = (data.len() as u64).wrapping_mul(8);
+        let mut msg = data.to_vec();
+        msg.push(0x80);
+        while msg.len() % BLOCK_LEN != 56 {
+            msg.push(0);
+        }
+        msg.extend_from_slice(&bit_len.to_be_bytes());
+        for block in msg.chunks_exact(BLOCK_LEN) {
+            compress_rolled(&mut state, block.try_into().expect("exact block"));
+        }
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress_rolled(state: &mut [u32; 8], block: &[u8; BLOCK_LEN]) {
         let mut w = [0u32; 64];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
             w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
@@ -143,7 +455,7 @@ impl Sha256 {
                 .wrapping_add(s1);
         }
 
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
         for i in 0..64 {
             let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
             let ch = (e & f) ^ (!e & g);
@@ -165,37 +477,22 @@ impl Sha256 {
             a = t1.wrapping_add(t2);
         }
 
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+        state[0] = state[0].wrapping_add(a);
+        state[1] = state[1].wrapping_add(b);
+        state[2] = state[2].wrapping_add(c);
+        state[3] = state[3].wrapping_add(d);
+        state[4] = state[4].wrapping_add(e);
+        state[5] = state[5].wrapping_add(f);
+        state[6] = state[6].wrapping_add(g);
+        state[7] = state[7].wrapping_add(h);
     }
-}
-
-/// One-shot SHA-256.
-///
-/// # Example
-///
-/// ```
-/// let d = mig_crypto::sha256::sha256(b"abc");
-/// assert_eq!(mig_crypto::hex_encode(&d),
-///     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
-/// ```
-#[must_use]
-pub fn sha256(data: &[u8]) -> [u8; DIGEST_LEN] {
-    let mut h = Sha256::new();
-    h.update(data);
-    h.finalize()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::hex_encode;
+    use proptest::prelude::*;
 
     #[test]
     fn fips_vector_empty() {
@@ -269,6 +566,41 @@ hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu";
                 h.update(std::slice::from_ref(b));
             }
             assert_eq!(h.finalize(), sha256(&data), "len {len}");
+        }
+    }
+
+    #[test]
+    fn unrolled_matches_rolled_oracle_at_block_boundaries() {
+        // The multi-block bulk path and the padding paths must agree
+        // with the retained rolled implementation bit for bit.
+        for len in [0usize, 1, 55, 56, 63, 64, 65, 127, 128, 129, 1000, 4096] {
+            let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            assert_eq!(sha256(&data), reference::sha256_rolled(&data), "len {len}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_unrolled_matches_rolled_oracle(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+            prop_assert_eq!(sha256(&data), reference::sha256_rolled(&data));
+        }
+
+        #[test]
+        fn prop_bulk_update_matches_chunked_updates(
+            data in proptest::collection::vec(any::<u8>(), 0..1024),
+            splits in proptest::collection::vec(0usize..1024, 0..8),
+        ) {
+            // Any partition of the input through the streaming interface
+            // must equal the one-shot (single bulk compress_blocks run).
+            let mut h = Sha256::new();
+            let mut rest: &[u8] = &data;
+            for s in splits {
+                let take = s.min(rest.len());
+                h.update(&rest[..take]);
+                rest = &rest[take..];
+            }
+            h.update(rest);
+            prop_assert_eq!(h.finalize(), sha256(&data));
         }
     }
 }

@@ -37,6 +37,16 @@ impl WireWriter {
         WireWriter { buf: Vec::new() }
     }
 
+    /// Creates an empty writer with `capacity` bytes pre-reserved, for
+    /// encoders that know the final frame length up front (batch
+    /// containers, padded cells) and want a single allocation.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        WireWriter {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
     /// Appends a single byte.
     pub fn u8(&mut self, v: u8) -> &mut Self {
         self.buf.push(v);
